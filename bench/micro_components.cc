@@ -1,0 +1,135 @@
+// Micro-benchmarks (google-benchmark) for the building blocks on the hot
+// paths: the event kernel, the tier-2 controller, the data-plane channel,
+// and the tier-1 solver. These quantify the claim that the distributed
+// controller is "computationally light" (paper §V-C).
+#include <benchmark/benchmark.h>
+
+#include "control/cpu_scheduler.h"
+#include "control/flow_controller.h"
+#include "control/lqr.h"
+#include "control/node_controller.h"
+#include "graph/topology_generator.h"
+#include "opt/global_optimizer.h"
+#include "runtime/channel.h"
+#include "sim/simulator.h"
+#include "sim/stream_simulation.h"
+
+namespace {
+
+using namespace aces;
+
+void BM_EventQueueScheduleAndRun(benchmark::State& state) {
+  const auto events = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Simulator simulator;
+    for (int i = 0; i < events; ++i) {
+      simulator.schedule_at((i * 7919) % 1000 * 1e-3, [] {});
+    }
+    simulator.run_all();
+    benchmark::DoNotOptimize(simulator.executed());
+  }
+  state.SetItemsProcessed(state.iterations() * events);
+}
+BENCHMARK(BM_EventQueueScheduleAndRun)->Arg(1000)->Arg(10000);
+
+void BM_FlowControllerUpdate(benchmark::State& state) {
+  const auto gains = control::design_flow_gains(2, control::LqrWeights{});
+  control::FlowController fc(gains, 25.0);
+  double b = 40.0;
+  for (auto _ : state) {
+    const double r = fc.update(b, 100.0);
+    b = b > 25.0 ? b - 0.1 : b + 0.1;
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_FlowControllerUpdate);
+
+void BM_PartitionCpu(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<control::CpuDemand> demands(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    demands[i] = {1.0 + static_cast<double>(i % 7),
+                  0.05 * static_cast<double>(1 + i % 4)};
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(control::partition_cpu(1.0, demands));
+  }
+}
+BENCHMARK(BM_PartitionCpu)->Arg(6)->Arg(32);
+
+void BM_NodeControllerTick(benchmark::State& state) {
+  graph::TopologyParams params;
+  params.num_nodes = 1;
+  params.num_ingress = 2;
+  params.num_intermediate = 3;
+  params.num_egress = 1;
+  const auto g = generate_topology(params, 1);
+  const auto plan = opt::optimize(g);
+  control::NodeController controller(g, NodeId(0), plan,
+                                     control::ControllerConfig{});
+  std::vector<control::PeTickInput> inputs(controller.local_pes().size());
+  for (auto& in : inputs) {
+    in.buffer_occupancy = 20.0;
+    in.processed_sdos = 10.0;
+    in.cpu_seconds_used = 0.02;
+    in.arrived_sdos = 11.0;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(controller.tick(0.1, inputs));
+  }
+}
+BENCHMARK(BM_NodeControllerTick);
+
+void BM_DareSolve(benchmark::State& state) {
+  const int delay = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        control::design_flow_gains(delay, control::LqrWeights{}));
+  }
+}
+BENCHMARK(BM_DareSolve)->Arg(0)->Arg(2)->Arg(6);
+
+void BM_ChannelPushPop(benchmark::State& state) {
+  runtime::Channel<int> ch(1024);
+  for (auto _ : state) {
+    ch.try_push(1);
+    benchmark::DoNotOptimize(ch.try_pop());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ChannelPushPop);
+
+void BM_TopologyGeneration(benchmark::State& state) {
+  graph::TopologyParams params;  // 60 PEs / 10 nodes
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(generate_topology(params, seed++));
+  }
+}
+BENCHMARK(BM_TopologyGeneration);
+
+void BM_GlobalOptimize(benchmark::State& state) {
+  const auto g = generate_topology(graph::TopologyParams{}, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(opt::optimize(g));
+  }
+}
+BENCHMARK(BM_GlobalOptimize);
+
+void BM_SimulatedSecond(benchmark::State& state) {
+  // Cost of simulating one virtual second of the 60 PE / 10 node system.
+  const auto g = generate_topology(graph::TopologyParams{}, 1);
+  const auto plan = opt::optimize(g);
+  for (auto _ : state) {
+    sim::SimOptions o;
+    o.duration = 2.0;
+    o.warmup = 1.0;
+    o.seed = 1;
+    benchmark::DoNotOptimize(sim::simulate(g, plan, o));
+  }
+}
+BENCHMARK(BM_SimulatedSecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,115 @@
+// Market-surveillance fan-in: many exchange feeds are normalized, merged
+// into a correlation engine, and split into a high-priority compliance
+// alert stream and a low-priority analytics dashboard — the "high
+// performance transaction processing" class of workload the paper cites
+// (Aurora/Medusa, STREAM).
+//
+// Demonstrates: fan-in merging, weight-driven tier-1 allocation, and how
+// ACES behaves when the offered load is deliberately pushed ABOVE capacity
+// (load factor 1.3): "making the best use of resources even when the
+// proffered load is greater than available resources" (paper §I).
+//
+//   $ ./examples/market_surveillance
+#include <iostream>
+
+#include "graph/topology_generator.h"
+#include "harness/experiment.h"
+#include "harness/table.h"
+
+int main() {
+  using namespace aces;
+
+  // Hand-tune a generated topology: 8 feeds, two stages, 4 sinks on 4 nodes.
+  graph::TopologyParams params;
+  params.num_nodes = 4;
+  params.num_ingress = 8;
+  params.num_intermediate = 8;
+  params.num_egress = 4;
+  params.depth = 2;
+  params.load_factor = 1.3;  // deliberately overloaded
+  params.source_burstiness = 0.8;  // market data is very bursty
+  params.max_weight = 10;
+  graph::ProcessingGraph g = graph::generate_topology(params, 21);
+
+  // Make the weight contrast stark: first egress = compliance (10), rest =
+  // dashboards (1).
+  bool first = true;
+  for (PeId id : g.all_pes()) {
+    if (g.pe(id).kind != graph::PeKind::kEgress) continue;
+    g.pe(id).weight = first ? 10.0 : 1.0;
+    first = false;
+  }
+
+  const opt::AllocationPlan plan = opt::optimize(g);
+  std::cout << "Offered load is 1.3x the busiest node's capacity; the "
+               "tier-1 optimizer\nmust choose what to serve. Fluid-optimal "
+               "weighted throughput: "
+            << harness::cell(plan.weighted_throughput, 1) << "\n\n";
+
+  // Policy constraint demo (paper SV: tier 1 "can take into account
+  // arbitrarily complex policy constraints"): each dashboard carries a
+  // 30 SDO/s SLA floor. On this topology the optimum already satisfies the
+  // floors (shortfall 0 at zero cost); on contended placements the floors
+  // actively pull CPU back from the compliance stream — see
+  // tests/opt/rate_floor_test.cc for that case.
+  opt::OptimizerConfig linear_config;
+  linear_config.utility = opt::UtilityKind::kLinear;
+  const opt::AllocationPlan greedy = opt::optimize(g, linear_config);
+  opt::OptimizerConfig floored_config = linear_config;
+  std::vector<PeId> dashboards;
+  for (PeId id : g.all_pes()) {
+    if (g.pe(id).kind == graph::PeKind::kEgress && g.pe(id).weight < 5.0) {
+      dashboards.push_back(id);
+      floored_config.rate_floors.push_back(opt::RateFloor{id, 30.0});
+    }
+  }
+  const opt::AllocationPlan floored = opt::optimize(g, floored_config);
+  std::cout << "Unconstrained (linear utility): dashboards get";
+  for (PeId id : dashboards)
+    std::cout << ' ' << harness::cell(greedy.at(id).rout_sdo, 1);
+  std::cout << " SDO/s.\nWith a 30 SDO/s tier-1 floor each:";
+  for (PeId id : dashboards)
+    std::cout << ' ' << harness::cell(floored.at(id).rout_sdo, 1);
+  std::cout << " SDO/s\n(shortfall "
+            << harness::cell(floored.floor_shortfall, 2)
+            << "; weighted throughput cost "
+            << harness::cell(greedy.weighted_throughput -
+                             floored.weighted_throughput, 1)
+            << ").\n\n";
+
+  harness::Table alloc({"egress", "weight", "fluid out SDO/s"});
+  for (PeId id : g.all_pes()) {
+    if (g.pe(id).kind != graph::PeKind::kEgress) continue;
+    alloc.add_row({"pe" + std::to_string(id.value()),
+                   harness::cell(g.pe(id).weight, 0),
+                   harness::cell(plan.at(id).rout_sdo, 1)});
+  }
+  alloc.print(std::cout);
+
+  std::cout << "\n40 s of simulated trading under each policy (note where "
+               "each policy loses\ndata when overloaded):\n";
+  harness::Table results({"policy", "wtput", "wtput/fluid", "latency ms",
+                          "ingress drops/s", "internal drops/s"});
+  for (const auto policy :
+       {control::FlowPolicy::kAces, control::FlowPolicy::kUdp,
+        control::FlowPolicy::kLockStep}) {
+    sim::SimOptions o;
+    o.duration = 40.0;
+    o.warmup = 10.0;
+    o.seed = 12;
+    o.controller.policy = policy;
+    const harness::RunSummary s = harness::run_single(g, plan, o);
+    results.add_row({to_string(policy),
+                     harness::cell(s.weighted_throughput, 1),
+                     harness::cell(s.normalized_throughput(), 3),
+                     harness::cell(s.latency_mean * 1e3, 1),
+                     harness::cell(s.ingress_drops_per_sec, 1),
+                     harness::cell(s.internal_drops_per_sec, 1)});
+  }
+  results.print(std::cout);
+  std::cout << "\nUnder overload, Lock-Step pushes all loss to the system "
+               "input (min-flow\nbackpressure), UDP wastes work on SDOs it "
+               "later drops mid-pipeline, and ACES\nthrottles upstream via "
+               "Eq. 7 advertisements so drops cost the least work.\n";
+  return 0;
+}

@@ -1,0 +1,125 @@
+// Video-analytics pipeline: the classic bursty stream-processing workload
+// the paper's §III-C motivates ("video processing PEs may require an entire
+// frame, or an entire set of independently-compressed frames — 'Group Of
+// Pictures' — to do a processing step").
+//
+// Two camera feeds are decoded, run through a detector, then fan out to
+// consumers with very different appetites (the paper's Figure-2 situation):
+// a cheap thumbnailer, a mid-cost tracker, and an expensive high-resolution
+// archiver. Weights encode that the tracker's alerts matter most.
+//
+//   $ ./examples/video_analytics
+#include <iostream>
+
+#include "harness/experiment.h"
+#include "harness/table.h"
+#include "opt/global_optimizer.h"
+
+int main() {
+  using namespace aces;
+
+  graph::ProcessingGraph g;
+  const NodeId ingest_node = g.add_node({1.0, "ingest"});
+  const NodeId analytics_node = g.add_node({1.0, "analytics"});
+  const NodeId delivery_node = g.add_node({1.0, "delivery"});
+
+  // 25 fps per camera, moderately bursty network arrivals.
+  const StreamId cam0 = g.add_stream({25.0, 0.6, "camera0"});
+  const StreamId cam1 = g.add_stream({25.0, 0.6, "camera1"});
+
+  // Decoders: I-frames are ~10x the cost of P-frames, and frame types come
+  // in runs (GOPs) — exactly the two-state service model.
+  graph::PeDescriptor decoder;
+  decoder.kind = graph::PeKind::kIngress;
+  decoder.node = ingest_node;
+  decoder.service_time[0] = 0.004;  // P-frame
+  decoder.service_time[1] = 0.040;  // I-frame burst
+  decoder.sojourn_mean[0] = 2.0;
+  decoder.sojourn_mean[1] = 0.4;
+  decoder.buffer_capacity = 40;
+  decoder.input_stream = cam0;
+  const PeId dec0 = g.add_pe(decoder);
+  decoder.input_stream = cam1;
+  const PeId dec1 = g.add_pe(decoder);
+
+  // Detector: joins both decoded feeds, emits one detection record per
+  // frame on average.
+  graph::PeDescriptor detector;
+  detector.kind = graph::PeKind::kIntermediate;
+  detector.node = analytics_node;
+  detector.service_time[0] = 0.006;
+  detector.service_time[1] = 0.018;
+  detector.sojourn_mean[0] = 5.0;
+  detector.sojourn_mean[1] = 1.0;
+  detector.buffer_capacity = 60;
+  const PeId detect = g.add_pe(detector);
+  g.add_edge(dec0, detect);
+  g.add_edge(dec1, detect);
+
+  // Fan-out consumers at very different speeds and importances.
+  graph::PeDescriptor consumer;
+  consumer.kind = graph::PeKind::kEgress;
+  consumer.node = delivery_node;
+  consumer.buffer_capacity = 40;
+
+  consumer.service_time[0] = 0.001;  // thumbnailer: cheap
+  consumer.service_time[1] = 0.002;
+  consumer.weight = 1.0;
+  const PeId thumbs = g.add_pe(consumer);
+  g.add_edge(detect, thumbs);
+
+  consumer.service_time[0] = 0.005;  // tracker: the product
+  consumer.service_time[1] = 0.015;
+  consumer.weight = 10.0;
+  const PeId tracker = g.add_pe(consumer);
+  g.add_edge(detect, tracker);
+
+  consumer.service_time[0] = 0.020;  // archiver: expensive, least urgent
+  consumer.service_time[1] = 0.030;
+  consumer.weight = 2.0;
+  const PeId archive = g.add_pe(consumer);
+  g.add_edge(detect, archive);
+
+  g.validate();
+
+  const opt::AllocationPlan plan = opt::optimize(g);
+  std::cout << "Tier-1 CPU targets (weights pull CPU toward the tracker):\n";
+  harness::Table alloc({"PE", "role", "weight", "cpu target", "rate SDO/s"});
+  const char* roles[] = {"decoder0", "decoder1", "detector",
+                         "thumbnails", "tracker", "archiver"};
+  for (PeId id : g.all_pes()) {
+    alloc.add_row({"pe" + std::to_string(id.value()), roles[id.value()],
+                   harness::cell(g.pe(id).weight, 0),
+                   harness::cell(plan.at(id).cpu, 3),
+                   harness::cell(plan.at(id).rout_sdo, 1)});
+  }
+  alloc.print(std::cout);
+
+  std::cout << "\nSimulated 60 s under each policy:\n";
+  harness::Table results({"policy", "weighted tput", "tracker out/s",
+                          "archiver out/s", "latency ms", "drops/s"});
+  for (const auto policy :
+       {control::FlowPolicy::kAces, control::FlowPolicy::kUdp,
+        control::FlowPolicy::kLockStep}) {
+    sim::SimOptions o;
+    o.duration = 60.0;
+    o.warmup = 15.0;
+    o.seed = 7;
+    o.controller.policy = policy;
+    const metrics::RunReport report = sim::simulate(g, plan, o);
+    // Egress index order follows PE creation order: thumbs, tracker,
+    // archive.
+    results.add_row(
+        {to_string(policy), harness::cell(report.weighted_throughput, 1),
+         harness::cell(report.egress_outputs[1] / report.measured_seconds, 1),
+         harness::cell(report.egress_outputs[2] / report.measured_seconds, 1),
+         harness::cell(report.latency.mean() * 1e3, 1),
+         harness::cell(static_cast<double>(report.internal_drops) /
+                           report.measured_seconds, 1)});
+  }
+  results.print(std::cout);
+  std::cout << "\nNote how Lock-Step gates the tracker at the archiver's "
+               "pace (min-flow), while\nACES keeps the high-weight tracker "
+               "fed (max-flow, Eq. 8).\n";
+  return 0;
+}

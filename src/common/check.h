@@ -1,0 +1,42 @@
+// Precondition / invariant checking.
+//
+// ACES_CHECK is always on (cheap comparisons guarding control-plane logic);
+// failures throw CheckFailure so tests can assert on misuse and long-running
+// experiment harnesses can report which invariant broke instead of aborting.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace aces {
+
+/// Thrown when a checked precondition or invariant is violated.
+class CheckFailure : public std::logic_error {
+ public:
+  explicit CheckFailure(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void check_failed(const char* expr, const char* file, int line,
+                               const std::string& message);
+}  // namespace detail
+
+}  // namespace aces
+
+#define ACES_CHECK(expr)                                                   \
+  do {                                                                     \
+    if (!(expr)) {                                                         \
+      ::aces::detail::check_failed(#expr, __FILE__, __LINE__, {});         \
+    }                                                                      \
+  } while (false)
+
+#define ACES_CHECK_MSG(expr, msg)                                          \
+  do {                                                                     \
+    if (!(expr)) {                                                         \
+      std::ostringstream aces_check_oss_;                                  \
+      aces_check_oss_ << msg; /* NOLINT */                                 \
+      ::aces::detail::check_failed(#expr, __FILE__, __LINE__,              \
+                                   aces_check_oss_.str());                 \
+    }                                                                      \
+  } while (false)

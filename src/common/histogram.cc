@@ -1,0 +1,74 @@
+#include "common/histogram.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace aces {
+
+LogHistogram::LogHistogram(double min_value, double max_value,
+                           int buckets_per_decade)
+    : min_value_(min_value), log_min_(std::log10(min_value)) {
+  ACES_CHECK(min_value > 0.0 && max_value > min_value);
+  ACES_CHECK(buckets_per_decade > 0);
+  log_step_ = 1.0 / buckets_per_decade;
+  inv_log_step_ = buckets_per_decade;
+  const double decades = std::log10(max_value) - log_min_;
+  const auto interior =
+      static_cast<std::size_t>(std::ceil(decades * buckets_per_decade));
+  counts_.assign(interior + 2, 0);
+}
+
+void LogHistogram::add(double value, std::uint64_t weight) {
+  std::size_t index;
+  if (!(value > 0.0) || value < min_value_) {
+    index = 0;  // underflow (also catches NaN and non-positive values)
+  } else {
+    const double pos = (std::log10(value) - log_min_) * inv_log_step_;
+    const auto bucket = static_cast<std::size_t>(pos);
+    index = bucket >= bucket_count() ? counts_.size() - 1 : bucket + 1;
+  }
+  counts_[index] += weight;
+  count_ += weight;
+}
+
+void LogHistogram::merge(const LogHistogram& other) {
+  ACES_CHECK_MSG(counts_.size() == other.counts_.size() &&
+                     min_value_ == other.min_value_,
+                 "merging histograms with different geometry");
+  for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+  count_ += other.count_;
+}
+
+void LogHistogram::reset() {
+  for (auto& c : counts_) c = 0;
+  count_ = 0;
+}
+
+double LogHistogram::bucket_lower(std::size_t i) const {
+  return std::pow(10.0, log_min_ + static_cast<double>(i) * log_step_);
+}
+
+double LogHistogram::quantile(double q) const {
+  ACES_CHECK(q >= 0.0 && q <= 1.0);
+  if (count_ == 0) return 0.0;
+  // Nearest-rank: the q-quantile is the ceil(q·N)-th smallest sample.
+  const auto rank = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(
+             std::ceil(q * static_cast<double>(count_))));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    seen += counts_[i];
+    if (seen >= rank) {
+      if (i == 0) return min_value_;                        // underflow bucket
+      if (i == counts_.size() - 1) return bucket_lower(bucket_count());
+      // Geometric midpoint of interior bucket i-1.
+      const double lo = bucket_lower(i - 1);
+      const double hi = bucket_lower(i);
+      return std::sqrt(lo * hi);
+    }
+  }
+  return bucket_lower(bucket_count());
+}
+
+}  // namespace aces

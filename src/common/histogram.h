@@ -1,0 +1,52 @@
+// Log-bucketed histogram for latency distributions.
+//
+// End-to-end SDO latencies span ~4 orders of magnitude (sub-millisecond to
+// tens of seconds under congestion); logarithmic buckets give bounded memory
+// with bounded relative quantile error, the same trade HdrHistogram makes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace aces {
+
+/// Histogram over (0, +inf) with geometrically-spaced bucket boundaries.
+class LogHistogram {
+ public:
+  /// Buckets span [min_value, max_value] with `buckets_per_decade` buckets per
+  /// factor of 10. Values below/above the span land in under/overflow buckets.
+  LogHistogram(double min_value = 1e-6, double max_value = 1e4,
+               int buckets_per_decade = 20);
+
+  void add(double value, std::uint64_t weight = 1);
+  void merge(const LogHistogram& other);
+  void reset();
+
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  /// Quantile in [0,1]; returns the geometric midpoint of the bucket holding
+  /// the q-th sample. 0 when empty.
+  [[nodiscard]] double quantile(double q) const;
+  [[nodiscard]] double median() const { return quantile(0.5); }
+  [[nodiscard]] double p99() const { return quantile(0.99); }
+
+  /// Number of interior buckets (excludes under/overflow).
+  [[nodiscard]] std::size_t bucket_count() const { return counts_.size() - 2; }
+  [[nodiscard]] std::uint64_t underflow() const { return counts_.front(); }
+  [[nodiscard]] std::uint64_t overflow() const { return counts_.back(); }
+
+  /// Lower bound of interior bucket i.
+  [[nodiscard]] double bucket_lower(std::size_t i) const;
+  [[nodiscard]] std::uint64_t bucket_value(std::size_t i) const {
+    return counts_[i + 1];
+  }
+
+ private:
+  double min_value_;
+  double log_min_;
+  double inv_log_step_;
+  double log_step_;
+  std::vector<std::uint64_t> counts_;  // [underflow, interior..., overflow]
+  std::uint64_t count_ = 0;
+};
+
+}  // namespace aces

@@ -1,0 +1,38 @@
+// Minimal leveled logging to stderr.
+//
+// The hot paths (simulator events, channel operations) never log; logging is
+// for the control plane and harness, so a mutex-guarded stderr writer is
+// sufficient and keeps the dependency surface at zero.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace aces {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global threshold; messages below it are discarded. Default: kWarn, so
+/// tests and benchmarks stay quiet unless something is wrong.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+namespace detail {
+void log_write(LogLevel level, const std::string& message);
+}  // namespace detail
+
+}  // namespace aces
+
+#define ACES_LOG(level, expr)                                        \
+  do {                                                               \
+    if (static_cast<int>(level) >= static_cast<int>(::aces::log_level())) { \
+      std::ostringstream aces_log_oss_;                              \
+      aces_log_oss_ << expr; /* NOLINT */                            \
+      ::aces::detail::log_write(level, aces_log_oss_.str());         \
+    }                                                                \
+  } while (false)
+
+#define ACES_DEBUG(expr) ACES_LOG(::aces::LogLevel::kDebug, expr)
+#define ACES_INFO(expr) ACES_LOG(::aces::LogLevel::kInfo, expr)
+#define ACES_WARN(expr) ACES_LOG(::aces::LogLevel::kWarn, expr)
+#define ACES_ERROR(expr) ACES_LOG(::aces::LogLevel::kError, expr)

@@ -1,0 +1,165 @@
+#include "common/matrix.h"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+
+#include "common/check.h"
+
+namespace aces {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<double>> rows) {
+  rows_ = rows.size();
+  cols_ = rows_ ? rows.begin()->size() : 0;
+  data_.reserve(rows_ * cols_);
+  for (const auto& row : rows) {
+    ACES_CHECK_MSG(row.size() == cols_, "ragged initializer");
+    data_.insert(data_.end(), row.begin(), row.end());
+  }
+}
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+double& Matrix::operator()(std::size_t r, std::size_t c) {
+  ACES_CHECK(r < rows_ && c < cols_);
+  return data_[r * cols_ + c];
+}
+
+double Matrix::operator()(std::size_t r, std::size_t c) const {
+  ACES_CHECK(r < rows_ && c < cols_);
+  return data_[r * cols_ + c];
+}
+
+Matrix Matrix::transpose() const {
+  Matrix t(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t c = 0; c < cols_; ++c) t(c, r) = (*this)(r, c);
+  return t;
+}
+
+Matrix& Matrix::operator+=(const Matrix& rhs) {
+  ACES_CHECK(rows_ == rhs.rows_ && cols_ == rhs.cols_);
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += rhs.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator-=(const Matrix& rhs) {
+  ACES_CHECK(rows_ == rhs.rows_ && cols_ == rhs.cols_);
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= rhs.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator*=(double s) {
+  for (auto& v : data_) v *= s;
+  return *this;
+}
+
+Matrix operator*(const Matrix& lhs, const Matrix& rhs) {
+  ACES_CHECK_MSG(lhs.cols_ == rhs.rows_, "shape mismatch in matrix product");
+  Matrix out(lhs.rows_, rhs.cols_);
+  for (std::size_t r = 0; r < lhs.rows_; ++r) {
+    for (std::size_t k = 0; k < lhs.cols_; ++k) {
+      const double a = lhs(r, k);
+      if (a == 0.0) continue;
+      for (std::size_t c = 0; c < rhs.cols_; ++c) out(r, c) += a * rhs(k, c);
+    }
+  }
+  return out;
+}
+
+double Matrix::max_abs_diff(const Matrix& other) const {
+  ACES_CHECK(rows_ == other.rows_ && cols_ == other.cols_);
+  double worst = 0.0;
+  for (std::size_t i = 0; i < data_.size(); ++i)
+    worst = std::max(worst, std::abs(data_[i] - other.data_[i]));
+  return worst;
+}
+
+double Matrix::max_abs() const {
+  double worst = 0.0;
+  for (double v : data_) worst = std::max(worst, std::abs(v));
+  return worst;
+}
+
+std::ostream& operator<<(std::ostream& os, const Matrix& m) {
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    os << (r == 0 ? "[" : " ");
+    for (std::size_t c = 0; c < m.cols(); ++c)
+      os << m(r, c) << (c + 1 < m.cols() ? ", " : "");
+    os << (r + 1 < m.rows() ? ";\n" : "]");
+  }
+  return os;
+}
+
+Matrix solve(Matrix a, Matrix b) {
+  ACES_CHECK_MSG(a.rows() == a.cols(), "solve requires a square matrix");
+  ACES_CHECK_MSG(a.rows() == b.rows(), "rhs row count mismatch");
+  const std::size_t n = a.rows();
+  for (std::size_t col = 0; col < n; ++col) {
+    // Partial pivot.
+    std::size_t pivot = col;
+    for (std::size_t r = col + 1; r < n; ++r)
+      if (std::abs(a(r, col)) > std::abs(a(pivot, col))) pivot = r;
+    if (pivot != col) {
+      for (std::size_t c = 0; c < n; ++c) std::swap(a(col, c), a(pivot, c));
+      for (std::size_t c = 0; c < b.cols(); ++c) std::swap(b(col, c), b(pivot, c));
+    }
+    const double p = a(col, col);
+    ACES_CHECK_MSG(std::abs(p) > 1e-12, "singular matrix in solve()");
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double factor = a(r, col) / p;
+      if (factor == 0.0) continue;
+      for (std::size_t c = col; c < n; ++c) a(r, c) -= factor * a(col, c);
+      for (std::size_t c = 0; c < b.cols(); ++c) b(r, c) -= factor * b(col, c);
+    }
+  }
+  // Back substitution.
+  Matrix x(n, b.cols());
+  for (std::size_t ri = n; ri-- > 0;) {
+    for (std::size_t c = 0; c < b.cols(); ++c) {
+      double acc = b(ri, c);
+      for (std::size_t k = ri + 1; k < n; ++k) acc -= a(ri, k) * x(k, c);
+      x(ri, c) = acc / a(ri, ri);
+    }
+  }
+  return x;
+}
+
+namespace {
+double frobenius(const Matrix& m) {
+  double sum = 0.0;
+  for (std::size_t r = 0; r < m.rows(); ++r)
+    for (std::size_t c = 0; c < m.cols(); ++c) sum += m(r, c) * m(r, c);
+  return std::sqrt(sum);
+}
+}  // namespace
+
+double spectral_radius(const Matrix& a, int iterations) {
+  ACES_CHECK(a.rows() == a.cols());
+  if (a.rows() == 0) return 0.0;
+  // Gelfand's formula: rho(A) = lim ||A^k||^(1/k). Repeated squaring with
+  // renormalization is robust to complex eigenvalue pairs, which defeat
+  // plain power iteration on real nonsymmetric matrices.
+  const int squarings = std::clamp(iterations / 16, 6, 24);
+  Matrix b = a;
+  double log_scale = 0.0;
+  double k = 1.0;
+  for (int i = 0; i < squarings; ++i) {
+    const double norm = frobenius(b);
+    if (norm == 0.0) return 0.0;
+    b *= 1.0 / norm;
+    log_scale = 2.0 * (log_scale + std::log(norm));
+    b = b * b;
+    k *= 2.0;
+  }
+  return std::exp((log_scale + std::log(frobenius(b))) / k);
+}
+
+}  // namespace aces

@@ -1,0 +1,64 @@
+// Minimal dense linear algebra for the LQR designer.
+//
+// The delay-augmented controller state is tiny (≤ ~8 dimensions), so a simple
+// row-major dynamic matrix with partial-pivot Gaussian elimination is the
+// right tool; no external BLAS dependency.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <iosfwd>
+#include <vector>
+
+namespace aces {
+
+/// Row-major dense matrix of doubles.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0);
+  /// Construct from nested braces: Matrix{{1,2},{3,4}}.
+  Matrix(std::initializer_list<std::initializer_list<double>> rows);
+
+  static Matrix identity(std::size_t n);
+
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+
+  double& operator()(std::size_t r, std::size_t c);
+  double operator()(std::size_t r, std::size_t c) const;
+
+  [[nodiscard]] Matrix transpose() const;
+
+  Matrix& operator+=(const Matrix& rhs);
+  Matrix& operator-=(const Matrix& rhs);
+  Matrix& operator*=(double s);
+
+  friend Matrix operator+(Matrix lhs, const Matrix& rhs) { return lhs += rhs; }
+  friend Matrix operator-(Matrix lhs, const Matrix& rhs) { return lhs -= rhs; }
+  friend Matrix operator*(Matrix lhs, double s) { return lhs *= s; }
+  friend Matrix operator*(double s, Matrix rhs) { return rhs *= s; }
+  friend Matrix operator*(const Matrix& lhs, const Matrix& rhs);
+
+  /// Max absolute difference between entries; matrices must be same shape.
+  [[nodiscard]] double max_abs_diff(const Matrix& other) const;
+  /// Largest absolute entry.
+  [[nodiscard]] double max_abs() const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Matrix& m);
+
+/// Solves A x = b by Gaussian elimination with partial pivoting.
+/// Throws CheckFailure if A is singular (pivot below 1e-12 of row scale).
+Matrix solve(Matrix a, Matrix b);
+
+/// Spectral radius estimate via power iteration on A (largest |eigenvalue|).
+/// Used by tests to certify closed-loop stability of designed gains.
+double spectral_radius(const Matrix& a, int iterations = 200);
+
+}  // namespace aces

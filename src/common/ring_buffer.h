@@ -1,0 +1,54 @@
+// Fixed-capacity history ring used by the LQR flow controller.
+//
+// Equation 7 of the paper references K lags of buffer occupancy and L lags of
+// the rate-mismatch term; HistoryRing stores the most recent N samples with
+// O(1) push and indexed access by lag.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/check.h"
+
+namespace aces {
+
+/// Ring of the most recent `capacity` samples of T.
+/// `at_lag(0)` is the newest sample, `at_lag(k)` the value pushed k steps ago.
+template <typename T>
+class HistoryRing {
+ public:
+  explicit HistoryRing(std::size_t capacity, T fill = T{})
+      : data_(capacity, fill) {
+    ACES_CHECK(capacity > 0);
+  }
+
+  void push(T value) {
+    head_ = (head_ + 1) % data_.size();
+    data_[head_] = value;
+    if (size_ < data_.size()) ++size_;
+  }
+
+  /// Newest-first access. Lags beyond what has been pushed return the fill
+  /// value the ring was constructed with (controller warm-up semantics).
+  [[nodiscard]] const T& at_lag(std::size_t lag) const {
+    ACES_CHECK_MSG(lag < data_.size(), "lag " << lag << " exceeds capacity");
+    return data_[(head_ + data_.size() - lag) % data_.size()];
+  }
+
+  /// Overwrite every slot (used when re-homing a controller set-point).
+  void fill(T value) {
+    for (auto& v : data_) v = value;
+    size_ = data_.size();
+  }
+
+  [[nodiscard]] std::size_t capacity() const { return data_.size(); }
+  /// Number of samples actually pushed, saturating at capacity.
+  [[nodiscard]] std::size_t size() const { return size_; }
+
+ private:
+  std::vector<T> data_;
+  std::size_t head_ = 0;  // index of newest element
+  std::size_t size_ = 0;
+};
+
+}  // namespace aces

@@ -1,0 +1,61 @@
+// Seedable random number generation.
+//
+// Every stochastic entity in the system (PE state machine, source, topology
+// generator, tick phase) owns its own Rng derived deterministically from a
+// master seed, so simulator runs are bit-reproducible and entities can be
+// added or removed without perturbing the streams of unrelated entities.
+//
+// Engine: xoshiro256** (public domain, Blackman & Vigna), seeded through
+// SplitMix64 as its authors recommend.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+
+namespace aces {
+
+/// Deterministic pseudo-random generator with distribution helpers.
+/// Satisfies std::uniform_random_bit_generator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds via SplitMix64 expansion of `seed`.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  /// Next raw 64-bit draw.
+  result_type operator()();
+
+  /// Derives an independent child generator. `salt` distinguishes children
+  /// created from the same parent state (e.g. entity ids).
+  [[nodiscard]] Rng fork(std::uint64_t salt);
+
+  /// Uniform real in [0, 1).
+  double uniform();
+  /// Uniform real in [lo, hi).
+  double uniform(double lo, double hi);
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+  /// Exponential with the given mean (not rate). Requires mean > 0.
+  double exponential(double mean);
+  /// Standard normal via Box-Muller (no cached spare; stateless).
+  double normal(double mean = 0.0, double stddev = 1.0);
+  /// Poisson with the given mean (Knuth for small, normal approx for large).
+  std::int64_t poisson(double mean);
+  /// Bernoulli trial with probability p of true.
+  bool bernoulli(double p);
+
+ private:
+  std::array<std::uint64_t, 4> state_;
+};
+
+/// SplitMix64 step; exposed for deterministic seed derivation in tests.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+}  // namespace aces

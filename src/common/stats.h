@@ -1,0 +1,88 @@
+// Online statistics accumulators.
+//
+// Welford's algorithm keeps mean/variance numerically stable over the long
+// runs the experiment harness performs (hours of simulated time, millions of
+// SDO latencies), without storing samples.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace aces {
+
+/// Single-pass mean / variance / min / max accumulator (Welford).
+class OnlineStats {
+ public:
+  void add(double x);
+  /// Merges another accumulator (parallel Welford / Chan et al.).
+  void merge(const OnlineStats& other);
+  void reset();
+
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] bool empty() const { return count_ == 0; }
+  /// Mean of samples; 0 when empty.
+  [[nodiscard]] double mean() const { return count_ ? mean_ : 0.0; }
+  /// Population variance; 0 with fewer than 2 samples.
+  [[nodiscard]] double variance() const;
+  /// Unbiased sample variance; 0 with fewer than 2 samples.
+  [[nodiscard]] double sample_variance() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double sum() const { return mean_ * static_cast<double>(count_); }
+  /// +inf when empty.
+  [[nodiscard]] double min() const { return min_; }
+  /// -inf when empty.
+  [[nodiscard]] double max() const { return max_; }
+
+ private:
+  std::uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Exponentially-weighted moving average used for rate tracking in the
+/// distributed controller (paper §V: "simple token bucket and rate tracking
+/// mechanisms").
+class Ewma {
+ public:
+  /// `alpha` in (0,1]: weight of the newest sample.
+  explicit Ewma(double alpha);
+
+  void add(double x);
+  void reset();
+  [[nodiscard]] bool initialized() const { return initialized_; }
+  /// Current estimate; 0 before any sample.
+  [[nodiscard]] double value() const { return initialized_ ? value_ : 0.0; }
+
+ private:
+  double alpha_;
+  double value_ = 0.0;
+  bool initialized_ = false;
+};
+
+/// Tracks a rate (events or bytes per second) over fixed windows: call
+/// `record(amount)` as events occur and `roll(window_seconds)` at window
+/// boundaries; `rate()` reports the last completed window smoothed by EWMA.
+class RateTracker {
+ public:
+  explicit RateTracker(double smoothing_alpha = 0.3);
+
+  void record(double amount) { pending_ += amount; }
+  /// Closes the current window of length `window_seconds` (> 0).
+  void roll(double window_seconds);
+  /// Smoothed per-second rate over completed windows.
+  [[nodiscard]] double rate() const { return smoothed_.value(); }
+  /// Raw amount accumulated in the still-open window.
+  [[nodiscard]] double pending() const { return pending_; }
+  /// Total amount recorded since construction/reset (closed + open windows).
+  [[nodiscard]] double total() const { return total_; }
+  void reset();
+
+ private:
+  Ewma smoothed_;
+  double pending_ = 0.0;
+  double total_ = 0.0;
+};
+
+}  // namespace aces

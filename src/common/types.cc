@@ -1,0 +1,20 @@
+#include "common/types.h"
+
+#include <ostream>
+
+namespace aces {
+
+namespace {
+template <typename Tag>
+std::ostream& print(std::ostream& os, detail::Id<Tag> id, const char* prefix) {
+  if (!id.valid()) return os << prefix << "<invalid>";
+  return os << prefix << id.value();
+}
+}  // namespace
+
+std::ostream& operator<<(std::ostream& os, PeId id) { return print(os, id, "pe"); }
+std::ostream& operator<<(std::ostream& os, NodeId id) { return print(os, id, "pn"); }
+std::ostream& operator<<(std::ostream& os, StreamId id) { return print(os, id, "s"); }
+std::ostream& operator<<(std::ostream& os, EdgeId id) { return print(os, id, "e"); }
+
+}  // namespace aces

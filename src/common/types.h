@@ -1,0 +1,73 @@
+// Strong identifier types and fundamental unit aliases shared by all modules.
+//
+// IDs are thin wrappers over an integer index. They exist to make it a type
+// error to hand a processing-element id to an API expecting a node id, which
+// in a system wiring PEs onto nodes onto streams is a real class of bug.
+#pragma once
+
+#include <compare>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <limits>
+
+namespace aces {
+
+namespace detail {
+
+// CRTP-free tagged index. `Tag` is an empty struct unique per id space.
+template <typename Tag>
+class Id {
+ public:
+  using value_type = std::uint32_t;
+  static constexpr value_type kInvalid = std::numeric_limits<value_type>::max();
+
+  constexpr Id() = default;
+  constexpr explicit Id(value_type v) : value_(v) {}
+
+  [[nodiscard]] constexpr value_type value() const { return value_; }
+  [[nodiscard]] constexpr bool valid() const { return value_ != kInvalid; }
+
+  friend constexpr auto operator<=>(Id, Id) = default;
+
+ private:
+  value_type value_ = kInvalid;
+};
+
+}  // namespace detail
+
+struct PeTag {};
+struct NodeTag {};
+struct StreamTag {};
+struct EdgeTag {};
+
+/// Identifies a processing element (PE) within a ProcessingGraph.
+using PeId = detail::Id<PeTag>;
+/// Identifies a processing node (PN) within a ProcessingGraph.
+using NodeId = detail::Id<NodeTag>;
+/// Identifies an external input stream feeding an ingress PE.
+using StreamId = detail::Id<StreamTag>;
+/// Identifies a directed producer->consumer edge in the PE graph.
+using EdgeId = detail::Id<EdgeTag>;
+
+/// Simulated / wall time in seconds. All rates are per-second.
+using Seconds = double;
+/// Data volume. The paper measures rates in bytes; SDO counts are separate.
+using Bytes = double;
+
+std::ostream& operator<<(std::ostream& os, PeId id);
+std::ostream& operator<<(std::ostream& os, NodeId id);
+std::ostream& operator<<(std::ostream& os, StreamId id);
+std::ostream& operator<<(std::ostream& os, EdgeId id);
+
+}  // namespace aces
+
+namespace std {
+template <typename Tag>
+struct hash<aces::detail::Id<Tag>> {
+  size_t operator()(aces::detail::Id<Tag> id) const noexcept {
+    return std::hash<typename aces::detail::Id<Tag>::value_type>{}(id.value());
+  }
+};
+}  // namespace std

@@ -1,0 +1,86 @@
+// Tier-2 controller configuration shared by the simulator and the runtime.
+#pragma once
+
+#include "control/lqr.h"
+
+namespace aces::control {
+
+/// The three systems compared in the paper's evaluation (§VI).
+enum class FlowPolicy {
+  /// System 1: the paper's proposal — LQR flow control, occupancy-
+  /// proportional token-bucket CPU control, max-flow forwarding.
+  kAces,
+  /// System 2: fire-and-forget — send regardless of downstream occupancy,
+  /// drop on full buffers, static CPU targets.
+  kUdp,
+  /// System 3: min-flow / blocking send — a PE sleeps while any downstream
+  /// buffer is full; its CPU is redistributed on the node.
+  kLockStep,
+  /// Ablation baseline (not in the paper's evaluation): watermark XON/XOFF
+  /// backpressure in the style of Storm/Flink — a PE advertises "stop"
+  /// (r_max = 0) when its buffer crosses the high watermark and "go"
+  /// (r_max = ∞) once it drains below the low watermark. CPU control is
+  /// identical to ACES, so differences isolate Eq. 7's LQR flow law.
+  kThreshold,
+};
+
+const char* to_string(FlowPolicy policy);
+
+/// True for policies whose advertisements must propagate upstream.
+constexpr bool uses_flow_control(FlowPolicy policy) {
+  return policy == FlowPolicy::kAces || policy == FlowPolicy::kThreshold;
+}
+
+/// How the ACES/Threshold water-filling weighs PEs (ablation knob; the
+/// paper's §V-D prescribes occupancy).
+enum class CpuControlKind {
+  /// "expend their tokens for CPU cycles proportional to their input buffer
+  /// occupancies" — congested PEs temporarily outbid idle ones.
+  kOccupancyProportional,
+  /// Weigh by the tier-1 target instead: token/feedback caps still apply,
+  /// but short-term congestion does not attract extra CPU. Isolates the
+  /// value of occupancy-driven reallocation.
+  kTargetProportional,
+};
+
+const char* to_string(CpuControlKind kind);
+
+/// Where Eq. 7's ρ(n) comes from.
+enum class RhoSource {
+  /// Processing capacity at the current allocation: c_j(n) / T̂_j. Keeps the
+  /// advertisement meaningful when the PE is input-starved.
+  kAllocatedCapacity,
+  /// Measured completions per interval.
+  kMeasured,
+};
+
+struct ControllerConfig {
+  FlowPolicy policy = FlowPolicy::kAces;
+  LqrWeights lqr;
+  /// Feedback delay (control intervals) the LQR design assumes between an
+  /// advertisement and its effect on the arrival rate.
+  int feedback_delay_ticks = 1;
+  /// Buffer set-point as a fraction of capacity (paper: b0 = B/2).
+  double b0_fraction = 0.5;
+  /// Token-bucket depth in seconds of accrual at the CPU target.
+  double bucket_depth_seconds = 2.0;
+  /// EWMA weight for the per-SDO service-time estimate T̂.
+  double service_ewma_alpha = 0.2;
+  /// EWMA weight for the arrival-rate estimate.
+  double arrival_ewma_alpha = 0.3;
+  RhoSource rho_source = RhoSource::kAllocatedCapacity;
+  /// Lower clamp for advertised rates (see FlowController).
+  double rate_floor = 0.0;
+  /// Visible work is padded by this many SDOs when sizing CPU demands, so an
+  /// idle PE retains a small share and can begin processing the moment an
+  /// SDO arrives instead of waiting out the control interval.
+  double demand_floor_sdos = 2.0;
+  /// kThreshold watermarks, as fractions of buffer capacity: advertise XOFF
+  /// at or above `threshold_high`, XON again at or below `threshold_low`.
+  double threshold_high = 0.8;
+  double threshold_low = 0.4;
+  /// Water-filling weight source for ACES/Threshold (see CpuControlKind).
+  CpuControlKind cpu_control = CpuControlKind::kOccupancyProportional;
+};
+
+}  // namespace aces::control

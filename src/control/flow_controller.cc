@@ -1,0 +1,45 @@
+#include "control/flow_controller.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace aces::control {
+
+FlowController::FlowController(FlowGains gains, double b0, double rate_floor)
+    : gains_(std::move(gains)),
+      b0_(b0),
+      rate_floor_(rate_floor),
+      buffer_history_(std::max<std::size_t>(gains_.lambda.size(), 1)),
+      mismatch_history_(std::max<std::size_t>(gains_.mu.size(), 1)) {
+  ACES_CHECK_MSG(!gains_.lambda.empty(), "need at least one buffer gain");
+  ACES_CHECK_MSG(b0 >= 0.0, "negative buffer set-point");
+  ACES_CHECK_MSG(rate_floor >= 0.0, "negative rate floor");
+}
+
+double FlowController::update(double buffer_occupancy, double processing_rate,
+                              double hard_cap) {
+  ACES_CHECK_MSG(buffer_occupancy >= 0.0, "negative buffer occupancy");
+  ACES_CHECK_MSG(processing_rate >= 0.0, "negative processing rate");
+  buffer_history_.push(buffer_occupancy - b0_);
+
+  double rmax = processing_rate;
+  for (std::size_t k = 0; k < gains_.lambda.size(); ++k)
+    rmax -= gains_.lambda[k] * buffer_history_.at_lag(k);
+  for (std::size_t l = 0; l < gains_.mu.size(); ++l)
+    rmax -= gains_.mu[l] * mismatch_history_.at_lag(l);
+
+  rmax = std::clamp(rmax, rate_floor_, std::max(hard_cap, rate_floor_));
+  // Record the realized mismatch (after clamping — the clamp is part of the
+  // plant the next step observes, which keeps the [·]⁺ projection honest).
+  mismatch_history_.push(rmax - processing_rate);
+  last_rmax_ = rmax;
+  return rmax;
+}
+
+void FlowController::set_b0(double b0) {
+  ACES_CHECK(b0 >= 0.0);
+  b0_ = b0;
+}
+
+}  // namespace aces::control

@@ -1,0 +1,52 @@
+// Runtime evaluation of the Eq. 7 flow-control law.
+//
+// Once per control interval, each PE computes the maximum input rate it can
+// sustain — from its current processing rate, its buffer deviation history,
+// and its own recent advertisements — and advertises it upstream. The gains
+// come from control::design_flow_gains (or are supplied directly for the
+// gain-sweep ablation).
+#pragma once
+
+#include <limits>
+
+#include "common/ring_buffer.h"
+#include "common/types.h"
+#include "control/lqr.h"
+
+namespace aces::control {
+
+/// Per-PE state machine for Eq. 7:
+///   r_max(n) = [ρ(n) − Σ_k λ_k (b(n−k) − b0)
+///                     − Σ_l μ_l (r_max(n−l) − ρ(n−l))]⁺
+class FlowController {
+ public:
+  /// `b0`: buffer occupancy set-point in SDOs. `rate_floor` keeps a starved
+  /// controller from latching shut (an all-zero advertisement would stop
+  /// upstream flow forever since ρ would then never grow).
+  FlowController(FlowGains gains, double b0, double rate_floor = 0.0);
+
+  /// Computes and records r_max for this interval.
+  /// `buffer_occupancy`: SDOs queued now. `processing_rate`: ρ(n), SDOs/sec.
+  /// `hard_cap`: optional upper bound (e.g. free buffer space per second);
+  /// pass +inf for none.
+  double update(double buffer_occupancy, double processing_rate,
+                double hard_cap = std::numeric_limits<double>::infinity());
+
+  /// Most recent advertisement (r_max of the last update()).
+  [[nodiscard]] double last_advertisement() const { return last_rmax_; }
+
+  /// Re-homes the set-point (used when buffer capacity changes in sweeps).
+  void set_b0(double b0);
+  [[nodiscard]] double b0() const { return b0_; }
+  [[nodiscard]] const FlowGains& gains() const { return gains_; }
+
+ private:
+  FlowGains gains_;
+  double b0_;
+  double rate_floor_;
+  double last_rmax_ = 0.0;
+  HistoryRing<double> buffer_history_;    // b(n−k) − b0, newest first
+  HistoryRing<double> mismatch_history_;  // r_max(n−l) − ρ(n−l)
+};
+
+}  // namespace aces::control

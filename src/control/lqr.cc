@@ -1,0 +1,90 @@
+#include "control/lqr.h"
+
+#include <cstddef>
+
+#include "common/check.h"
+
+namespace aces::control {
+
+namespace {
+
+/// Builds the delay-augmented (A, B) of the buffer integrator with state
+/// z = [x, u(n−1), …, u(n−d)] and input u(n).
+void augmented_system(int delay, Matrix& a, Matrix& b) {
+  const auto n = static_cast<std::size_t>(delay) + 1;
+  a = Matrix(n, n);
+  b = Matrix(n, 1);
+  a(0, 0) = 1.0;
+  if (delay == 0) {
+    b(0, 0) = 1.0;
+    return;
+  }
+  a(0, n - 1) = 1.0;  // x += u(n−d)
+  b(1, 0) = 1.0;      // newest in-flight control slot receives u(n)
+  for (std::size_t k = 2; k < n; ++k) a(k, k - 1) = 1.0;  // shift the pipe
+}
+
+}  // namespace
+
+Matrix solve_dare(const Matrix& a, const Matrix& b, const Matrix& q,
+                  const Matrix& r, int max_iterations, double tolerance) {
+  ACES_CHECK(a.rows() == a.cols());
+  ACES_CHECK(b.rows() == a.rows());
+  ACES_CHECK(q.rows() == a.rows() && q.cols() == a.cols());
+  ACES_CHECK(r.rows() == b.cols() && r.cols() == b.cols());
+  const Matrix at = a.transpose();
+  const Matrix bt = b.transpose();
+  Matrix p = q;
+  for (int iter = 0; iter < max_iterations; ++iter) {
+    const Matrix btp = bt * p;
+    const Matrix gain = solve(r + btp * b, btp * a);  // (R+BᵀPB)⁻¹BᵀPA
+    const Matrix next = at * p * a - at * p * b * gain + q;
+    const double delta = next.max_abs_diff(p);
+    p = next;
+    if (delta < tolerance * (1.0 + p.max_abs())) return p;
+  }
+  ACES_CHECK_MSG(false, "DARE iteration did not converge");
+  return p;  // unreachable
+}
+
+Matrix lqr_gain(const Matrix& a, const Matrix& b, const Matrix& p,
+                const Matrix& r) {
+  const Matrix bt = b.transpose();
+  const Matrix btp = bt * p;
+  return solve(r + btp * b, btp * a);
+}
+
+FlowGains design_flow_gains(int actuation_delay, const LqrWeights& weights) {
+  ACES_CHECK_MSG(actuation_delay >= 0, "negative actuation delay");
+  ACES_CHECK_MSG(weights.state_cost > 0.0 && weights.control_cost > 0.0,
+                 "LQR weights must be positive");
+  Matrix a;
+  Matrix b;
+  augmented_system(actuation_delay, a, b);
+  const auto n = static_cast<std::size_t>(actuation_delay) + 1;
+  Matrix q(n, n);
+  q(0, 0) = weights.state_cost;  // only buffer deviation is penalized
+  Matrix r{{weights.control_cost}};
+  const Matrix p = solve_dare(a, b, q, r);
+  const Matrix k = lqr_gain(a, b, p, r);
+
+  FlowGains gains;
+  gains.lambda.push_back(k(0, 0));
+  for (std::size_t l = 1; l < n; ++l) gains.mu.push_back(k(0, l));
+  return gains;
+}
+
+Matrix closed_loop_matrix(int actuation_delay, const FlowGains& gains) {
+  ACES_CHECK(gains.lambda.size() == 1);
+  ACES_CHECK(gains.mu.size() == static_cast<std::size_t>(actuation_delay));
+  Matrix a;
+  Matrix b;
+  augmented_system(actuation_delay, a, b);
+  const auto n = static_cast<std::size_t>(actuation_delay) + 1;
+  Matrix k(1, n);
+  k(0, 0) = gains.lambda[0];
+  for (std::size_t l = 1; l < n; ++l) k(0, l) = gains.mu[l - 1];
+  return a - b * k;
+}
+
+}  // namespace aces::control

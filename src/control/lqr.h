@@ -1,0 +1,59 @@
+// LQR design of the flow-control gains (paper §V-C, Appendix A).
+//
+// The input buffer of a PE is a discrete integrator: with x(n) = b(n) − b0
+// (occupancy deviation) and u(n) = r_max(n) − ρ(n) (advertised input rate
+// minus processing rate),
+//
+//   x(n+1) = x(n) + u(n − d) + w(n)
+//
+// where d is the feedback/actuation delay in control intervals (an upstream
+// PE reacts to an advertisement one or more ticks after it was computed) and
+// w(n) lumps burstiness disturbances. Augmenting the state with the d
+// in-flight controls and minimizing  Σ q·x² + r·u²  yields a stationary LQR
+// whose gain row K gives exactly the form of the paper's Eq. 7:
+//
+//   r_max(n) = [ρ(n) − λ₀(b(n) − b0) − Σ_{l=1..d} μ_l (r_max(n−l) − ρ(n−l))]⁺
+//
+// with λ₀ = K[0] and μ_l = K[l]. Larger q/r tracks b0 tightly; smaller q/r
+// equalizes input and processing rates (the trade-off §V-C describes).
+#pragma once
+
+#include "common/matrix.h"
+
+namespace aces::control {
+
+/// LQR cost weights: q penalizes buffer deviation, r penalizes rate
+/// mismatch.
+struct LqrWeights {
+  double state_cost = 1.0;    ///< q
+  double control_cost = 4.0;  ///< r
+};
+
+/// Gains of the Eq. 7 control law.
+struct FlowGains {
+  /// λ_k: gains on buffer-deviation lags (index 0 = current occupancy).
+  std::vector<double> lambda;
+  /// μ_l: gains on rate-mismatch lags (index 0 = lag 1).
+  std::vector<double> mu;
+};
+
+/// Iterates the discrete algebraic Riccati equation
+///   P ← AᵀPA − AᵀPB (R + BᵀPB)⁻¹ BᵀPA + Q
+/// to a fixed point. Throws CheckFailure if it fails to converge.
+Matrix solve_dare(const Matrix& a, const Matrix& b, const Matrix& q,
+                  const Matrix& r, int max_iterations = 10000,
+                  double tolerance = 1e-12);
+
+/// Optimal state feedback K = (R + BᵀPB)⁻¹ BᵀPA for the DARE solution P.
+Matrix lqr_gain(const Matrix& a, const Matrix& b, const Matrix& p,
+                const Matrix& r);
+
+/// Designs Eq. 7 gains for the buffer integrator with `actuation_delay` ≥ 0
+/// control intervals of feedback delay.
+FlowGains design_flow_gains(int actuation_delay, const LqrWeights& weights);
+
+/// Closed-loop system matrix A − BK of the delay-augmented model under the
+/// given gains; tests certify spectral_radius(·) < 1.
+Matrix closed_loop_matrix(int actuation_delay, const FlowGains& gains);
+
+}  // namespace aces::control

@@ -1,0 +1,42 @@
+#include "control/token_bucket.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace aces::control {
+
+TokenBucket::TokenBucket(double rate, double depth_seconds)
+    : rate_(rate),
+      depth_seconds_(depth_seconds),
+      capacity_(rate * depth_seconds),
+      tokens_(capacity_) {
+  ACES_CHECK_MSG(rate >= 0.0, "negative token rate");
+  ACES_CHECK_MSG(depth_seconds > 0.0, "bucket depth must be positive");
+}
+
+void TokenBucket::accrue(double dt) {
+  ACES_CHECK_MSG(dt >= 0.0, "negative accrual interval");
+  tokens_ = std::min(tokens_ + rate_ * dt, capacity_);
+}
+
+double TokenBucket::draw(double amount) {
+  ACES_CHECK_MSG(amount >= 0.0, "negative draw");
+  const double drawn = std::clamp(tokens_, 0.0, amount);
+  tokens_ -= drawn;
+  return drawn;
+}
+
+void TokenBucket::charge(double amount) {
+  ACES_CHECK_MSG(amount >= 0.0, "negative charge");
+  tokens_ -= amount;
+}
+
+void TokenBucket::set_rate(double rate) {
+  ACES_CHECK_MSG(rate >= 0.0, "negative token rate");
+  rate_ = rate;
+  capacity_ = rate_ * depth_seconds_;
+  tokens_ = std::min(tokens_, capacity_);
+}
+
+}  // namespace aces::control

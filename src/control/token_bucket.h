@@ -1,0 +1,45 @@
+// CPU token bucket (paper §V-D).
+//
+// "each PE running on a node earns tokens at a fixed rate, and expends them
+//  when it does processing. If a PE does not use its tokens for a period of
+//  time, it accumulates these tokens up to a maximum value."
+//
+// Tokens are CPU-seconds. The accrual rate is the tier-1 CPU target c̄_j, so
+// long-term usage converges to the target while short-term usage can burst
+// up to the bucket depth.
+#pragma once
+
+namespace aces::control {
+
+class TokenBucket {
+ public:
+  /// `rate`: tokens (CPU-seconds) earned per second = c̄_j.
+  /// `depth_seconds`: bucket capacity expressed as seconds of accrual at
+  /// `rate` (capacity = rate × depth_seconds). Buckets start full so PEs can
+  /// work immediately at system start.
+  TokenBucket(double rate, double depth_seconds);
+
+  /// Earn tokens for an elapsed interval.
+  void accrue(double dt);
+  /// Spend up to `amount` tokens; returns the amount actually drawn.
+  double draw(double amount);
+  /// Force-spend `amount` (may push the level negative — used when measured
+  /// CPU consumption is reported after the fact; debt is repaid by accrual).
+  void charge(double amount);
+
+  [[nodiscard]] double available() const { return tokens_; }
+  [[nodiscard]] double rate() const { return rate_; }
+  [[nodiscard]] double capacity() const { return capacity_; }
+
+  /// Re-target the accrual rate (tier-1 re-optimization); capacity rescales
+  /// to preserve the configured depth, and the level is clamped to it.
+  void set_rate(double rate);
+
+ private:
+  double rate_;
+  double depth_seconds_;
+  double capacity_;
+  double tokens_;
+};
+
+}  // namespace aces::control

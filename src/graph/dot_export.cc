@@ -1,0 +1,32 @@
+#include "graph/dot_export.h"
+
+#include <sstream>
+
+namespace aces::graph {
+
+std::string to_dot(const ProcessingGraph& g) {
+  std::ostringstream os;
+  os << "digraph aces {\n  rankdir=LR;\n  node [shape=circle];\n";
+  for (NodeId node : g.all_nodes()) {
+    os << "  subgraph cluster_" << node.value() << " {\n"
+       << "    label=\"" << g.node(node).name << "\";\n";
+    for (PeId pe : g.pes_on_node(node)) {
+      const PeDescriptor& d = g.pe(pe);
+      os << "    pe" << pe.value() << " [label=\"pe" << pe.value();
+      if (d.kind == PeKind::kEgress) os << "\\nw=" << d.weight;
+      os << "\"";
+      if (d.kind == PeKind::kIngress) os << ", shape=triangle";
+      if (d.kind == PeKind::kEgress) os << ", shape=doublecircle";
+      os << "];\n";
+    }
+    os << "  }\n";
+  }
+  for (std::size_t i = 0; i < g.edge_count(); ++i) {
+    const Edge& e = g.edge(EdgeId(static_cast<EdgeId::value_type>(i)));
+    os << "  pe" << e.from.value() << " -> pe" << e.to.value() << ";\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace aces::graph

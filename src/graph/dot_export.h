@@ -1,0 +1,14 @@
+// Graphviz DOT rendering of a processing graph, clustered by node.
+#pragma once
+
+#include <string>
+
+#include "graph/processing_graph.h"
+
+namespace aces::graph {
+
+/// Renders the PE DAG as DOT text: one cluster per processing node, ingress
+/// PEs as triangles, egress as double circles annotated with their weight.
+std::string to_dot(const ProcessingGraph& g);
+
+}  // namespace aces::graph

@@ -1,0 +1,131 @@
+#include "graph/serialization.h"
+
+#include <iomanip>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace aces::graph {
+
+namespace {
+
+const char* kind_token(PeKind kind) {
+  switch (kind) {
+    case PeKind::kIngress: return "ingress";
+    case PeKind::kIntermediate: return "intermediate";
+    case PeKind::kEgress: return "egress";
+  }
+  return "?";
+}
+
+PeKind parse_kind(const std::string& token) {
+  if (token == "ingress") return PeKind::kIngress;
+  if (token == "intermediate") return PeKind::kIntermediate;
+  if (token == "egress") return PeKind::kEgress;
+  ACES_CHECK_MSG(false, "unknown PE kind '" << token << "'");
+  return PeKind::kIntermediate;  // unreachable
+}
+
+std::string sanitize_name(const std::string& name) {
+  ACES_CHECK_MSG(name.find_first_of(" \t\n") == std::string::npos,
+                 "names may not contain whitespace: '" << name << "'");
+  return name.empty() ? "-" : name;
+}
+
+}  // namespace
+
+void write_topology(const ProcessingGraph& g, std::ostream& os) {
+  os << "aces-topology 1\n";
+  os << std::setprecision(17);
+  for (NodeId n : g.all_nodes()) {
+    const auto& d = g.node(n);
+    os << "node " << d.cpu_capacity << ' ' << sanitize_name(d.name) << '\n';
+  }
+  for (std::size_t s = 0; s < g.stream_count(); ++s) {
+    const auto& d = g.stream(StreamId(static_cast<StreamId::value_type>(s)));
+    os << "stream " << d.mean_rate << ' ' << d.burstiness << ' '
+       << sanitize_name(d.name) << '\n';
+  }
+  for (PeId id : g.all_pes()) {
+    const auto& d = g.pe(id);
+    os << "pe " << kind_token(d.kind) << ' ' << d.node.value() << ' '
+       << d.service_time[0] << ' ' << d.service_time[1] << ' '
+       << d.sojourn_mean[0] << ' ' << d.sojourn_mean[1] << ' '
+       << d.selectivity << ' ' << d.bytes_per_sdo << ' ' << d.weight << ' '
+       << d.buffer_capacity << ' ' << d.cpu_overhead << ' ';
+    if (d.input_stream.valid()) {
+      os << d.input_stream.value();
+    } else {
+      os << '-';
+    }
+    os << '\n';
+  }
+  for (std::size_t e = 0; e < g.edge_count(); ++e) {
+    const Edge& edge = g.edge(EdgeId(static_cast<EdgeId::value_type>(e)));
+    os << "edge " << edge.from.value() << ' ' << edge.to.value() << '\n';
+  }
+}
+
+std::string to_string(const ProcessingGraph& g) {
+  std::ostringstream oss;
+  write_topology(g, oss);
+  return oss.str();
+}
+
+ProcessingGraph read_topology(std::istream& is) {
+  ProcessingGraph g;
+  std::string header;
+  int version = 0;
+  is >> header >> version;
+  ACES_CHECK_MSG(header == "aces-topology" && version == 1,
+                 "not an aces-topology v1 document");
+  std::string tag;
+  while (is >> tag) {
+    if (tag == "node") {
+      NodeDescriptor d;
+      is >> d.cpu_capacity >> d.name;
+      ACES_CHECK_MSG(is.good() || is.eof(), "malformed node line");
+      if (d.name == "-") d.name.clear();
+      g.add_node(d);
+    } else if (tag == "stream") {
+      StreamDescriptor d;
+      is >> d.mean_rate >> d.burstiness >> d.name;
+      ACES_CHECK_MSG(is.good() || is.eof(), "malformed stream line");
+      if (d.name == "-") d.name.clear();
+      g.add_stream(d);
+    } else if (tag == "pe") {
+      PeDescriptor d;
+      std::string kind;
+      NodeId::value_type node = 0;
+      std::string stream;
+      is >> kind >> node >> d.service_time[0] >> d.service_time[1] >>
+          d.sojourn_mean[0] >> d.sojourn_mean[1] >> d.selectivity >>
+          d.bytes_per_sdo >> d.weight >> d.buffer_capacity >>
+          d.cpu_overhead >> stream;
+      ACES_CHECK_MSG(is.good() || is.eof(), "malformed pe line");
+      d.kind = parse_kind(kind);
+      d.node = NodeId(node);
+      if (stream != "-") {
+        d.input_stream = StreamId(static_cast<StreamId::value_type>(
+            std::stoul(stream)));
+      }
+      g.add_pe(d);
+    } else if (tag == "edge") {
+      PeId::value_type from = 0;
+      PeId::value_type to = 0;
+      is >> from >> to;
+      ACES_CHECK_MSG(is.good() || is.eof(), "malformed edge line");
+      g.add_edge(PeId(from), PeId(to));
+    } else {
+      ACES_CHECK_MSG(false, "unknown record '" << tag << "'");
+    }
+  }
+  return g;
+}
+
+ProcessingGraph topology_from_string(const std::string& text) {
+  std::istringstream iss(text);
+  return read_topology(iss);
+}
+
+}  // namespace aces::graph

@@ -1,0 +1,33 @@
+// Plain-text serialization of processing graphs.
+//
+// A simple line-oriented format so experiments are reproducible across runs
+// and machines: topologies generated once can be archived next to their
+// results, reloaded by examples, and diffed by humans.
+//
+//   aces-topology 1
+//   node <capacity> <name>
+//   stream <mean_rate> <burstiness> <name>
+//   pe <kind> <node> <t0> <t1> <sojourn0> <sojourn1> <selectivity>
+//      <bytes> <weight> <buffer> <overhead> <stream|->        (one line)
+//   edge <from> <to>
+//
+// Names may not contain spaces (writer rejects them); ids are the dense
+// creation indices, so a round-trip reproduces identical ids.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/processing_graph.h"
+
+namespace aces::graph {
+
+/// Writes `g` in the text format above.
+void write_topology(const ProcessingGraph& g, std::ostream& os);
+std::string to_string(const ProcessingGraph& g);
+
+/// Parses a topology; throws CheckFailure on malformed input.
+ProcessingGraph read_topology(std::istream& is);
+ProcessingGraph topology_from_string(const std::string& text);
+
+}  // namespace aces::graph

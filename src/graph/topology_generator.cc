@@ -1,0 +1,296 @@
+#include "graph/topology_generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "common/log.h"
+#include "common/rng.h"
+
+namespace aces::graph {
+
+namespace {
+
+/// Fisher-Yates shuffle driven by our deterministic Rng (std::shuffle's
+/// output is implementation-defined, which would break cross-platform
+/// reproducibility of topologies).
+template <typename T>
+void shuffle(std::vector<T>& items, Rng& rng) {
+  for (std::size_t i = items.size(); i > 1; --i) {
+    const auto j = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(i) - 1));
+    std::swap(items[i - 1], items[j]);
+  }
+}
+
+}  // namespace
+
+ProcessingGraph generate_topology(const TopologyParams& params,
+                                  std::uint64_t seed) {
+  ACES_CHECK_MSG(params.num_nodes > 0, "need at least one node");
+  ACES_CHECK_MSG(params.num_ingress > 0, "need at least one ingress PE");
+  ACES_CHECK_MSG(params.num_egress > 0, "need at least one egress PE");
+  ACES_CHECK_MSG(params.num_intermediate >= 0, "negative intermediate count");
+  ACES_CHECK_MSG(params.max_fan_in >= 1 && params.max_fan_out >= 1,
+                 "degree caps must be at least 1");
+  ACES_CHECK_MSG(params.multi_degree_fraction >= 0.0 &&
+                     params.multi_degree_fraction <= 1.0,
+                 "multi_degree_fraction out of [0,1]");
+  ACES_CHECK_MSG(params.load_factor > 0.0, "load factor must be positive");
+  ACES_CHECK_MSG(params.depth >= 0, "depth must be non-negative");
+
+  Rng rng(seed);
+  ProcessingGraph g;
+
+  for (int i = 0; i < params.num_nodes; ++i) {
+    g.add_node(NodeDescriptor{1.0, "node" + std::to_string(i)});
+  }
+
+  const int total = params.total_pes();
+
+  // Balanced placement: deal PEs onto a shuffled node sequence so each node
+  // hosts total/num_nodes PEs (±1) and the kind mix per node is random.
+  std::vector<NodeId> placement;
+  placement.reserve(static_cast<std::size_t>(total));
+  for (int i = 0; i < total; ++i) {
+    placement.emplace_back(
+        static_cast<NodeId::value_type>(i % params.num_nodes));
+  }
+  shuffle(placement, rng);
+
+  // PEs are created in "layer" order (ingress, intermediates, egress); edges
+  // only go from earlier to later positions, which guarantees acyclicity.
+  auto base_descriptor = [&](PeKind kind, int position) {
+    PeDescriptor d;
+    d.kind = kind;
+    d.node = placement[static_cast<std::size_t>(position)];
+    d.service_time[0] = params.service_time_fast;
+    d.service_time[1] = params.service_time_slow;
+    d.sojourn_mean[0] = params.sojourn_fast;
+    d.sojourn_mean[1] = params.sojourn_slow;
+    d.selectivity = rng.uniform(params.selectivity_min, params.selectivity_max);
+    d.bytes_per_sdo = params.bytes_per_sdo;
+    d.buffer_capacity = params.buffer_capacity;
+    d.weight = 1.0;
+    return d;
+  };
+
+  // Layer assignment: ingress = layer 0, intermediates spread over layers
+  // 1..depth (each layer non-empty when counts allow), egress = depth + 1.
+  // Intermediates need at least one layer of their own even when depth = 0.
+  const int depth =
+      params.num_intermediate > 0 ? std::max(params.depth, 1) : 0;
+  const int last_layer = depth + 1;
+  std::vector<std::vector<PeId>> layers(
+      static_cast<std::size_t>(last_layer) + 1);
+  int position = 0;
+  for (int i = 0; i < params.num_ingress; ++i, ++position) {
+    StreamDescriptor sd;
+    sd.name = "stream" + std::to_string(i);
+    sd.burstiness = params.source_burstiness;
+    const StreamId stream = g.add_stream(sd);
+    PeDescriptor d = base_descriptor(PeKind::kIngress, position);
+    d.input_stream = stream;
+    layers[0].push_back(g.add_pe(d));
+  }
+  for (int i = 0; i < params.num_intermediate; ++i, ++position) {
+    const auto layer = static_cast<std::size_t>(
+        1 + (i < depth ? i  // guarantee non-empty layers first
+                       : static_cast<int>(rng.uniform_int(0, depth - 1))));
+    layers[std::min<std::size_t>(layer, static_cast<std::size_t>(depth))]
+        .push_back(g.add_pe(base_descriptor(PeKind::kIntermediate, position)));
+  }
+  for (int i = 0; i < params.num_egress; ++i, ++position) {
+    PeDescriptor d = base_descriptor(PeKind::kEgress, position);
+    d.weight = static_cast<double>(rng.uniform_int(1, params.max_weight));
+    layers[static_cast<std::size_t>(last_layer)].push_back(g.add_pe(d));
+  }
+  // Collapse empty intermediate layers (possible when num_intermediate <
+  // depth) so "previous layer" is always meaningful.
+  std::erase_if(layers, [](const auto& l) { return l.empty(); });
+
+  /// PEs in layers strictly before `layer` with spare fan-out, nearest layer
+  /// first.
+  auto producer_candidates = [&](std::size_t layer) {
+    std::vector<PeId> candidates;
+    for (std::size_t l = layer; l-- > 0;) {
+      std::vector<PeId> tier;
+      for (PeId id : layers[l]) {
+        if (g.downstream(id).size() <
+            static_cast<std::size_t>(params.max_fan_out))
+          tier.push_back(id);
+      }
+      shuffle(tier, rng);
+      // Producers still lacking a consumer go first within their tier.
+      std::stable_partition(tier.begin(), tier.end(), [&](PeId id) {
+        return g.downstream(id).empty();
+      });
+      candidates.insert(candidates.end(), tier.begin(), tier.end());
+    }
+    return candidates;
+  };
+
+  // Wire every non-ingress PE to producers in earlier layers (nearest layer
+  // preferred, so path lengths track `depth`).
+  for (std::size_t layer = 1; layer < layers.size(); ++layer) {
+    for (PeId consumer : layers[layer]) {
+      int fan_in = 1;
+      if (params.max_fan_in > 1 &&
+          rng.bernoulli(params.multi_degree_fraction)) {
+        fan_in = static_cast<int>(rng.uniform_int(2, params.max_fan_in));
+      }
+      std::vector<PeId> candidates = producer_candidates(layer);
+      if (candidates.empty()) {
+        // Every earlier PE is at its fan-out cap (possible when one thin
+        // layer feeds a much wider one). Degree caps are generation
+        // targets; connectivity is an invariant — take the least-loaded
+        // earlier producer as a last resort.
+        PeId fallback;
+        std::size_t fallback_degree = std::numeric_limits<std::size_t>::max();
+        for (std::size_t l = 0; l < layer; ++l) {
+          for (PeId producer : layers[l]) {
+            if (g.downstream(producer).size() < fallback_degree) {
+              fallback = producer;
+              fallback_degree = g.downstream(producer).size();
+            }
+          }
+        }
+        ACES_CHECK_MSG(fallback.valid(),
+                       "no earlier PE exists for " << consumer);
+        ACES_LOG(LogLevel::kWarn,
+                 "topology wiring exceeds max_fan_out at " << fallback);
+        candidates.push_back(fallback);
+      }
+      const int links =
+          std::min<int>(fan_in, static_cast<int>(candidates.size()));
+      for (int k = 0; k < links; ++k)
+        g.add_edge(candidates[static_cast<std::size_t>(k)], consumer);
+    }
+  }
+
+  // Fix-up: every non-egress PE needs a consumer (validate() requires it).
+  // Runs BEFORE the multi-output promotion so promotions cannot consume the
+  // fan-in budget this pass depends on. If the caps genuinely cannot
+  // accommodate a producer (extreme layer-size ratios), the edge is placed
+  // on the later PE with the smallest fan-in as a last resort — degree caps
+  // are generation targets, acyclicity and connectivity are invariants.
+  for (std::size_t layer = 0; layer + 1 < layers.size(); ++layer) {
+    for (PeId producer : layers[layer]) {
+      if (!g.downstream(producer).empty()) continue;
+      PeId best;
+      PeId fallback;
+      std::size_t fallback_fan_in = std::numeric_limits<std::size_t>::max();
+      for (std::size_t l = layer + 1; l < layers.size() && !best.valid();
+           ++l) {
+        for (PeId consumer : layers[l]) {
+          const std::size_t fan_in = g.upstream(consumer).size();
+          if (fan_in < static_cast<std::size_t>(params.max_fan_in)) {
+            best = consumer;
+            break;
+          }
+          if (fan_in < fallback_fan_in) {
+            fallback = consumer;
+            fallback_fan_in = fan_in;
+          }
+        }
+      }
+      if (!best.valid()) {
+        ACES_CHECK_MSG(fallback.valid(),
+                       "no later PE exists for " << producer);
+        ACES_LOG(LogLevel::kWarn,
+                 "topology fix-up exceeds max_fan_in at " << fallback);
+        best = fallback;
+      }
+      g.add_edge(producer, best);
+    }
+  }
+
+  // Multi-output pass: promote a random subset of single-consumer producers
+  // to multiple consumers (paper: 20% of PEs have multiple inputs/outputs).
+  {
+    std::vector<std::pair<std::size_t, PeId>> single_out;  // (layer, pe)
+    for (std::size_t layer = 0; layer + 1 < layers.size(); ++layer) {
+      for (PeId id : layers[layer])
+        if (g.downstream(id).size() == 1) single_out.emplace_back(layer, id);
+    }
+    shuffle(single_out, rng);
+    const auto promote = static_cast<std::size_t>(
+        params.multi_degree_fraction * static_cast<double>(single_out.size()));
+    for (std::size_t i = 0; i < promote; ++i) {
+      const auto [layer, producer] = single_out[i];
+      const int extra = static_cast<int>(rng.uniform_int(
+          1, std::max<std::int64_t>(1, params.max_fan_out - 1)));
+      std::vector<PeId> later;
+      for (std::size_t l = layer + 1; l < layers.size(); ++l)
+        later.insert(later.end(), layers[l].begin(), layers[l].end());
+      shuffle(later, rng);
+      int added = 0;
+      for (PeId consumer : later) {
+        if (added >= extra) break;
+        if (g.upstream(consumer).size() >=
+            static_cast<std::size_t>(params.max_fan_in))
+          continue;
+        const auto& downs = g.downstream(producer);
+        if (std::find(downs.begin(), downs.end(), consumer) != downs.end())
+          continue;
+        g.add_edge(producer, consumer);
+        ++added;
+      }
+    }
+  }
+
+  // Source-rate calibration. With fan-in merging sums, fan-out copying, and
+  // selectivity scaling, the offered flow at every PE is linear in the
+  // source rates; the CPU a node needs to process everything is affine,
+  //   node_cpu(s) = s · L_n + O_n,
+  // where L_n is the flow-proportional part at a reference rate and O_n the
+  // fixed per-PE overheads of the rate map h(c) = a·c − b. Solving
+  // s·L_n + O_n = load_factor · capacity_n per node and taking the minimum
+  // realizes the paper's ρ exactly: the busiest node would spend exactly ρ
+  // of its CPU to process the full offered load. Averages are then feasible
+  // while the two-state service bursts still overload nodes transiently.
+  {
+    constexpr double kReferenceRate = 100.0;  // SDOs/sec per stream
+    std::vector<double> flow(g.pe_count(), 0.0);  // offered input, SDO/s
+    std::vector<double> node_load(g.node_count(), 0.0);      // L_n
+    std::vector<double> node_overhead(g.node_count(), 0.0);  // O_n
+    for (PeId id : g.topological_order()) {
+      const PeDescriptor& d = g.pe(id);
+      double offered = 0.0;
+      if (d.kind == PeKind::kIngress) {
+        offered = kReferenceRate;
+      } else {
+        for (PeId up : g.upstream(id))
+          offered += g.pe(up).selectivity * flow[up.value()];
+      }
+      flow[id.value()] = offered;
+      node_load[d.node.value()] +=
+          offered * d.bytes_per_sdo / d.rate_map_slope();
+      node_overhead[d.node.value()] += d.cpu_overhead;
+    }
+    double scale = std::numeric_limits<double>::infinity();
+    for (NodeId n : g.all_nodes()) {
+      const double budget =
+          params.load_factor * g.node(n).cpu_capacity -
+          node_overhead[n.value()];
+      ACES_CHECK_MSG(budget > 0.0, "load factor below fixed PE overheads on "
+                                       << n);
+      if (node_load[n.value()] > 0.0)
+        scale = std::min(scale, budget / node_load[n.value()]);
+    }
+    ACES_CHECK_MSG(std::isfinite(scale) && scale > 0.0,
+                   "degenerate topology: no load anywhere");
+    for (std::size_t s = 0; s < g.stream_count(); ++s)
+      g.stream(StreamId(static_cast<StreamId::value_type>(s))).mean_rate =
+          kReferenceRate * scale;
+  }
+
+  g.validate();
+  return g;
+}
+
+}  // namespace aces::graph

@@ -1,0 +1,73 @@
+// Random topology generation (paper §VI-A).
+//
+// "The topologies for the simulation were generated through a topology
+//  generation tool that takes as input the number of CPUs in the system, the
+//  number of ingress, egress and intermediate PEs in the system, and the
+//  average degree of interconnectivity between the PEs. The output of the
+//  generator is a PE graph, the assignment of the PEs to the CPUs, the
+//  time-averaged CPU allocations of the PEs and the parameters for each PE."
+//
+// CPU allocation targets are produced separately by opt::GlobalOptimizer; the
+// generator emits the graph, the placement, and per-PE parameters.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/processing_graph.h"
+
+namespace aces::graph {
+
+/// Parameters of the random topology generator. Defaults reproduce the
+/// paper's §VI-C configuration.
+struct TopologyParams {
+  int num_nodes = 10;
+  int num_ingress = 10;
+  int num_intermediate = 40;
+  int num_egress = 10;
+  /// Degree caps (paper: max fan-out 4, max fan-in 3).
+  int max_fan_in = 3;
+  int max_fan_out = 4;
+  /// Number of intermediate layers. PEs are organized ingress → `depth`
+  /// layers of intermediates → egress, and edges connect adjacent (or
+  /// occasionally earlier) layers, which bounds path length — stream
+  /// applications are shallow pipelines, not 40-stage chains.
+  int depth = 4;
+  /// Fraction of PEs with multiple inputs or multiple outputs (paper: 20%).
+  double multi_degree_fraction = 0.2;
+  /// Per-SDO CPU time in the fast / slow PE state (paper: T0=2ms, T1=20ms).
+  double service_time_fast = 0.002;
+  double service_time_slow = 0.020;
+  /// Mean sojourn in the fast / slow state, seconds (paper: λ_S=10, λ_m=1;
+  /// see DESIGN.md §5 for our reading).
+  double sojourn_fast = 10.0;
+  double sojourn_slow = 1.0;
+  /// Selectivity is drawn uniformly from this range.
+  double selectivity_min = 0.8;
+  double selectivity_max = 1.2;
+  /// Egress weights are drawn uniformly from integer range [1, max].
+  int max_weight = 10;
+  double bytes_per_sdo = 1024.0;
+  int buffer_capacity = 50;
+  /// Offered-load factor ρ (paper §VI-C): source rates are scaled so that
+  /// processing the entire offered load would consume exactly ρ of the
+  /// busiest node's CPU. Long-run load is therefore feasible; the two-state
+  /// service bursts still overload nodes transiently.
+  double load_factor = 0.5;
+  /// Arrival burstiness handed to every stream descriptor.
+  double source_burstiness = 0.5;
+
+  /// Convenience: total PE count.
+  [[nodiscard]] int total_pes() const {
+    return num_ingress + num_intermediate + num_egress;
+  }
+};
+
+/// Generates a random connected-enough layered DAG honouring the degree caps,
+/// places PEs on nodes with balanced counts, sizes source rates from
+/// `load_factor`, and assigns random weights/selectivities.
+///
+/// Deterministic for a given (params, seed).
+ProcessingGraph generate_topology(const TopologyParams& params,
+                                  std::uint64_t seed);
+
+}  // namespace aces::graph

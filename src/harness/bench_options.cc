@@ -1,0 +1,66 @@
+#include "harness/bench_options.h"
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+namespace aces::harness {
+
+std::vector<std::uint64_t> BenchOptions::seeds() const {
+  std::vector<std::uint64_t> out;
+  for (int i = 1; i <= seed_count; ++i)
+    out.push_back(static_cast<std::uint64_t>(i));
+  return out;
+}
+
+void BenchOptions::apply(double& duration, double& warmup,
+                         std::vector<std::uint64_t>& seed_list) const {
+  duration *= duration_scale;
+  warmup *= duration_scale;
+  if (seed_count > 0) seed_list = seeds();
+}
+
+namespace {
+[[noreturn]] void usage(const char* program, int exit_code) {
+  (exit_code == 0 ? std::cout : std::cerr)
+      << "usage: " << program << " [--scale=X] [--seeds=N] [--csv]\n"
+      << "  --scale=X   multiply simulated duration and warm-up by X\n"
+      << "  --seeds=N   average over seeds 1..N\n"
+      << "  --csv       emit result tables as CSV\n";
+  std::exit(exit_code);
+}
+}  // namespace
+
+BenchOptions parse_bench_options(int argc, char** argv) {
+  BenchOptions options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") usage(argv[0], 0);
+    if (arg == "--csv") {
+      options.csv = true;
+      continue;
+    }
+    const auto eq = arg.find('=');
+    const std::string key = arg.substr(0, eq);
+    const std::string value =
+        eq == std::string::npos ? "" : arg.substr(eq + 1);
+    try {
+      if (key == "--scale") {
+        options.duration_scale = std::stod(value);
+        if (options.duration_scale <= 0.0) usage(argv[0], 2);
+      } else if (key == "--seeds") {
+        options.seed_count = std::stoi(value);
+        if (options.seed_count <= 0) usage(argv[0], 2);
+      } else {
+        std::cerr << "unknown flag: " << arg << '\n';
+        usage(argv[0], 2);
+      }
+    } catch (const std::exception&) {
+      std::cerr << "malformed value in: " << arg << '\n';
+      usage(argv[0], 2);
+    }
+  }
+  return options;
+}
+
+}  // namespace aces::harness

@@ -1,0 +1,37 @@
+// Command-line scaling for the figure benches.
+//
+// Benches run with defaults sized for a laptop (`for b in build/bench/*; do
+// $b; done` completes in minutes); users reproducing at paper fidelity can
+// scale them up without editing code:
+//
+//   ./bench/fig5_burstiness --scale=4 --seeds=10
+//
+// --scale=X   multiplies simulated duration and warm-up by X
+// --seeds=N   averages over seeds 1..N instead of the bench default
+// --csv       emits result tables as CSV (for plotting pipelines)
+// --help      prints usage and exits
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace aces::harness {
+
+struct BenchOptions {
+  double duration_scale = 1.0;
+  int seed_count = 0;  ///< 0: keep the bench's default seed list
+  bool csv = false;    ///< emit tables as CSV instead of aligned text
+
+  /// Seeds 1..seed_count (call only when seed_count > 0).
+  [[nodiscard]] std::vector<std::uint64_t> seeds() const;
+
+  /// Applies overrides to a (duration, warmup, seeds) triple in place.
+  void apply(double& duration, double& warmup,
+             std::vector<std::uint64_t>& seed_list) const;
+};
+
+/// Parses argv; on --help (or a malformed flag) prints usage to stdout /
+/// stderr and exits the process.
+BenchOptions parse_bench_options(int argc, char** argv);
+
+}  // namespace aces::harness

@@ -1,0 +1,67 @@
+// The paper's default experimental configuration (§VI-C), in one place.
+//
+// "Experiments were run on topologies consisting of 60 PEs running on 10
+//  nodes in the SPC and the C-SIM simulator. ... Subsequently, experiments
+//  were run on the simulator on topologies of 200 PEs running on 80 nodes.
+//  ... the buffer size of each PE was set to B = 50 SDOs, the parameter b0
+//  was set to B/2 SDOs, the maximum allowable fan-out degree was set to 4,
+//  the maximum allowable fan-in degree was set to 3, the fraction of PEs
+//  that had multiple inputs or multiple outputs was set to 20% and the
+//  parameters of the PEs were set to λ_S = 10, λ_m = 1, ρ = 0.5, T0 = 2 ms
+//  and T1 = 20 ms."
+#pragma once
+
+#include "graph/topology_generator.h"
+#include "sim/stream_simulation.h"
+
+namespace aces::harness {
+
+/// 60 PEs / 10 nodes: the SPC-scale calibration configuration.
+inline graph::TopologyParams calibration_topology() {
+  graph::TopologyParams p;
+  p.num_nodes = 10;
+  p.num_ingress = 10;
+  p.num_intermediate = 40;
+  p.num_egress = 10;
+  return p;  // remaining defaults already match §VI-C
+}
+
+/// 200 PEs / 80 nodes: the scaled simulator configuration.
+inline graph::TopologyParams scaled_topology() {
+  graph::TopologyParams p;
+  p.num_nodes = 80;
+  p.num_ingress = 34;
+  p.num_intermediate = 132;
+  p.num_egress = 34;
+  return p;
+}
+
+/// Simulation window used by the figure benches: long enough for steady
+/// state, short enough that a sweep of many cells completes in minutes.
+inline sim::SimOptions default_sim_options() {
+  sim::SimOptions o;
+  o.dt = 0.1;
+  o.duration = 60.0;
+  o.warmup = 15.0;
+  return o;
+}
+
+/// Scales the burstiness of every PE in `params` by `factor`: sojourn times
+/// stretch (states persist longer → longer congested episodes) while the
+/// stationary state mix — and hence the mean service time and the tier-1
+/// plan — stays fixed. This is the paper's Fig. 5 x-axis (λ_s sweep).
+inline graph::TopologyParams with_burstiness(graph::TopologyParams params,
+                                             double factor) {
+  params.sojourn_fast *= factor;
+  params.sojourn_slow *= factor;
+  return params;
+}
+
+/// Overrides every PE's buffer capacity (Fig. 3/4 x-axis).
+inline graph::TopologyParams with_buffer_size(graph::TopologyParams params,
+                                              int buffer_sdos) {
+  params.buffer_capacity = buffer_sdos;
+  return params;
+}
+
+}  // namespace aces::harness

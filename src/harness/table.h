@@ -1,0 +1,40 @@
+// Fixed-width table printing for bench output.
+//
+// Benches print the same rows/series the paper's figures plot; a tiny table
+// formatter keeps those outputs legible and diffable.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace aces::harness {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Adds a row; cells are printed right-aligned, numbers pre-formatted by
+  /// the caller (use cell() helpers).
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders with a header rule and column padding.
+  void print(std::ostream& os) const;
+
+  /// Renders as CSV (header row + data rows) for downstream plotting.
+  /// Cells containing commas or quotes are quoted per RFC 4180.
+  void print_csv(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `precision` digits after the point.
+std::string cell(double value, int precision = 2);
+std::string cell(std::uint64_t value);
+
+/// Prints `table` as CSV when `csv` is set, aligned text otherwise.
+void print_table(const Table& table, bool csv, std::ostream& os);
+
+}  // namespace aces::harness

@@ -1,0 +1,64 @@
+#include "metrics/collector.h"
+
+#include "common/check.h"
+
+namespace aces::metrics {
+
+Collector::Collector(Seconds measure_from, std::size_t egress_count)
+    : measure_from_(measure_from), egress_outputs_(egress_count, 0) {
+  ACES_CHECK_MSG(measure_from >= 0.0, "negative warm-up cutoff");
+}
+
+void Collector::on_egress_output(Seconds now, std::size_t egress_index,
+                                 double weight, Seconds latency) {
+  if (!in_window(now)) return;
+  ACES_CHECK(egress_index < egress_outputs_.size());
+  weighted_output_ += weight;
+  ++output_count_;
+  latency_.add(latency);
+  latency_histogram_.add(latency);
+  ++egress_outputs_[egress_index];
+}
+
+void Collector::on_internal_drop(Seconds now) {
+  if (in_window(now)) ++internal_drops_;
+}
+
+void Collector::on_ingress_drop(Seconds now) {
+  if (in_window(now)) ++ingress_drops_;
+}
+
+void Collector::on_processed(Seconds now, std::uint64_t count) {
+  if (in_window(now)) processed_ += count;
+}
+
+void Collector::on_cpu_used(Seconds now, double cpu_seconds) {
+  if (in_window(now)) cpu_seconds_ += cpu_seconds;
+}
+
+void Collector::on_buffer_sample(Seconds now, double fill_fraction) {
+  if (in_window(now)) buffer_fill_.add(fill_fraction);
+}
+
+RunReport Collector::finalize(Seconds end, double total_capacity) const {
+  ACES_CHECK_MSG(end > measure_from_, "measurement window is empty");
+  RunReport report;
+  report.measured_seconds = end - measure_from_;
+  report.weighted_throughput = weighted_output_ / report.measured_seconds;
+  report.output_rate =
+      static_cast<double>(output_count_) / report.measured_seconds;
+  report.latency = latency_;
+  report.latency_histogram = latency_histogram_;
+  report.internal_drops = internal_drops_;
+  report.ingress_drops = ingress_drops_;
+  report.sdos_processed = processed_;
+  report.cpu_utilization =
+      total_capacity > 0.0
+          ? cpu_seconds_ / (total_capacity * report.measured_seconds)
+          : 0.0;
+  report.buffer_fill = buffer_fill_;
+  report.egress_outputs = egress_outputs_;
+  return report;
+}
+
+}  // namespace aces::metrics

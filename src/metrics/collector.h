@@ -1,0 +1,58 @@
+// Event-driven metrics collection with a warm-up window.
+//
+// Both substrates report raw events (egress emissions, drops, completions,
+// CPU consumption, occupancy samples); the collector filters out everything
+// before `measure_from` so transients do not pollute steady-state results,
+// then finalizes into a RunReport.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "metrics/run_report.h"
+
+namespace aces::metrics {
+
+class Collector {
+ public:
+  /// `measure_from`: warm-up cutoff. `egress_count`: number of egress PEs
+  /// (for the per-egress output vector).
+  Collector(Seconds measure_from, std::size_t egress_count);
+
+  /// An egress PE emitted an output SDO. `egress_index` is positional over
+  /// egress PEs, `weight` the PE's w_j, `latency` source-to-output seconds.
+  void on_egress_output(Seconds now, std::size_t egress_index, double weight,
+                        Seconds latency);
+  void on_internal_drop(Seconds now);
+  void on_ingress_drop(Seconds now);
+  void on_processed(Seconds now, std::uint64_t count = 1);
+  void on_cpu_used(Seconds now, double cpu_seconds);
+  /// Occupancy sample in [0,1] (fraction of buffer capacity).
+  void on_buffer_sample(Seconds now, double fill_fraction);
+
+  /// Builds the report for the window [measure_from, end]. `total_capacity`
+  /// is Σ node CPU capacities (for the utilization figure).
+  [[nodiscard]] RunReport finalize(Seconds end, double total_capacity) const;
+
+  [[nodiscard]] Seconds measure_from() const { return measure_from_; }
+
+ private:
+  [[nodiscard]] bool in_window(Seconds now) const {
+    return now >= measure_from_;
+  }
+
+  Seconds measure_from_;
+  double weighted_output_ = 0.0;
+  std::uint64_t output_count_ = 0;
+  OnlineStats latency_;
+  LogHistogram latency_histogram_;
+  std::uint64_t internal_drops_ = 0;
+  std::uint64_t ingress_drops_ = 0;
+  std::uint64_t processed_ = 0;
+  double cpu_seconds_ = 0.0;
+  OnlineStats buffer_fill_;
+  std::vector<std::uint64_t> egress_outputs_;
+};
+
+}  // namespace aces::metrics

@@ -1,0 +1,54 @@
+// Experiment outputs: the measures of effectiveness from paper §III-A / §IV.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/histogram.h"
+#include "common/stats.h"
+#include "common/types.h"
+
+namespace aces::metrics {
+
+/// Lifetime accounting for one PE, reported by both substrates.
+struct PeAccounting {
+  std::uint64_t arrived = 0;        ///< SDOs accepted into the input buffer
+  std::uint64_t processed = 0;      ///< SDOs fully processed
+  std::uint64_t emitted = 0;        ///< copies sent downstream / system
+                                    ///< outputs for egress PEs
+  std::uint64_t dropped_input = 0;  ///< SDOs lost at this PE's full buffer
+  double cpu_seconds = 0.0;
+};
+
+/// Aggregated results of one run (simulated or threaded), measured over the
+/// post-warmup window.
+struct RunReport {
+  /// Length of the measurement window in seconds.
+  Seconds measured_seconds = 0.0;
+  /// Σ over egress PEs of weight × output SDOs/sec — the paper's measure of
+  /// effectiveness (§III-A).
+  double weighted_throughput = 0.0;
+  /// Unweighted system output rate, SDOs/sec.
+  double output_rate = 0.0;
+  /// End-to-end latency (source arrival → egress emission) of output SDOs.
+  OnlineStats latency;
+  LogHistogram latency_histogram;
+  /// SDOs dropped at full internal buffers (wasted upstream processing).
+  std::uint64_t internal_drops = 0;
+  /// Source SDOs rejected because an ingress buffer was full.
+  std::uint64_t ingress_drops = 0;
+  /// SDO processing completions across all PEs.
+  std::uint64_t sdos_processed = 0;
+  /// Fraction of total node CPU capacity consumed.
+  double cpu_utilization = 0.0;
+  /// Mean buffer occupancy as a fraction of capacity, sampled at ticks.
+  OnlineStats buffer_fill;
+  /// Output SDO count per egress PE (indexed positionally by egress order),
+  /// for per-stream assertions in tests.
+  std::vector<std::uint64_t> egress_outputs;
+  /// Per-PE lifetime accounting (indexed by PeId); filled by the substrate
+  /// after the aggregate metrics.
+  std::vector<PeAccounting> per_pe;
+};
+
+}  // namespace aces::metrics

@@ -1,0 +1,65 @@
+#include "metrics/timeseries.h"
+
+#include <cmath>
+#include <limits>
+#include <ostream>
+
+#include "common/check.h"
+
+namespace aces::metrics {
+
+void TimeSeries::append(Seconds t, double value) {
+  ACES_CHECK_MSG(times_.empty() || t >= times_.back(),
+                 "time series must be appended in time order");
+  times_.push_back(t);
+  values_.push_back(value);
+}
+
+OnlineStats TimeSeries::stats_after(Seconds from) const {
+  OnlineStats stats;
+  for (std::size_t i = 0; i < times_.size(); ++i) {
+    if (times_[i] >= from) stats.add(values_[i]);
+  }
+  return stats;
+}
+
+Seconds TimeSeries::settling_time(double target, double tolerance) const {
+  ACES_CHECK_MSG(tolerance >= 0.0, "negative tolerance");
+  // Scan backwards for the last sample outside the band; the series has
+  // settled just after it.
+  for (std::size_t i = times_.size(); i-- > 0;) {
+    if (std::abs(values_[i] - target) > tolerance) {
+      return i + 1 < times_.size()
+                 ? times_[i + 1]
+                 : std::numeric_limits<double>::infinity();
+    }
+  }
+  return times_.empty() ? std::numeric_limits<double>::infinity() : times_[0];
+}
+
+TimeSeries& TimeSeriesSet::series(const std::string& name) {
+  return series_[name];
+}
+
+const TimeSeries* TimeSeriesSet::find(const std::string& name) const {
+  const auto it = series_.find(name);
+  return it == series_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string> TimeSeriesSet::names() const {
+  std::vector<std::string> out;
+  out.reserve(series_.size());
+  for (const auto& [name, unused] : series_) out.push_back(name);
+  return out;
+}
+
+void TimeSeriesSet::write_csv(std::ostream& os) const {
+  os << "series,time,value\n";
+  for (const auto& [name, ts] : series_) {
+    for (std::size_t i = 0; i < ts.size(); ++i) {
+      os << name << ',' << ts.times()[i] << ',' << ts.values()[i] << '\n';
+    }
+  }
+}
+
+}  // namespace aces::metrics

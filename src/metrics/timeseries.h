@@ -1,0 +1,59 @@
+// Time-series recording for stability analysis.
+//
+// The paper's §IV objective is *stable operation* — buffer occupancies and
+// rates that settle rather than oscillate. RunReport aggregates away the
+// trajectory; TimeSeries keeps it, so benches and tests can measure
+// convergence ("each PE reaches steady-state behavior from an arbitrary
+// starting point", §I) and oscillation amplitude directly.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/types.h"
+
+namespace aces::metrics {
+
+/// An append-only (time, value) series.
+class TimeSeries {
+ public:
+  void append(Seconds t, double value);
+
+  [[nodiscard]] std::size_t size() const { return times_.size(); }
+  [[nodiscard]] bool empty() const { return times_.empty(); }
+  [[nodiscard]] const std::vector<Seconds>& times() const { return times_; }
+  [[nodiscard]] const std::vector<double>& values() const { return values_; }
+
+  /// Statistics over samples with t >= from.
+  [[nodiscard]] OnlineStats stats_after(Seconds from) const;
+
+  /// First time after which every subsequent sample stays within
+  /// `tolerance` of `target`; +infinity if the series never settles.
+  /// The paper's convergence measure: settling time of b(n) toward b0.
+  [[nodiscard]] Seconds settling_time(double target, double tolerance) const;
+
+ private:
+  std::vector<Seconds> times_;
+  std::vector<double> values_;
+};
+
+/// A named bundle of series with CSV export (columns: time, one per series;
+/// rows are the union of sample times, blank where a series has no sample).
+class TimeSeriesSet {
+ public:
+  /// Returns (creating on first use) the series called `name`.
+  TimeSeries& series(const std::string& name);
+  [[nodiscard]] const TimeSeries* find(const std::string& name) const;
+  [[nodiscard]] std::vector<std::string> names() const;
+  [[nodiscard]] bool empty() const { return series_.empty(); }
+
+  /// Long-format CSV: series,time,value — one row per sample.
+  void write_csv(std::ostream& os) const;
+
+ private:
+  std::map<std::string, TimeSeries> series_;
+};
+
+}  // namespace aces::metrics

@@ -1,0 +1,125 @@
+#include "opt/dual_optimizer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "opt/fluid_model.h"
+
+namespace aces::opt {
+
+DualSolution optimize_dual(const graph::ProcessingGraph& g,
+                           const DualOptimizerConfig& config) {
+  ACES_CHECK_MSG(config.outer_iterations > 0, "outer iterations > 0 required");
+  ACES_CHECK_MSG(config.inner_iterations > 0, "inner iterations > 0 required");
+  ACES_CHECK_MSG(config.price_step > 0.0, "price step must be positive");
+  g.validate();
+  const Utility u(config.base.utility, config.base.utility_scale);
+  const bool egress_only = config.base.egress_only_objective;
+
+  // Start from an equal split; seed prices with the mean marginal utility
+  // of CPU on each node so the first inner solve is already in scale.
+  std::vector<double> cpu(g.pe_count(), 0.0);
+  for (NodeId node : g.all_nodes()) {
+    const auto& pes = g.pes_on_node(node);
+    for (PeId id : pes)
+      cpu[id.value()] =
+          g.node(node).cpu_capacity / static_cast<double>(pes.size());
+  }
+  std::vector<double> prices(g.node_count(), 0.0);
+  {
+    const FlowState fs = fluid_forward(g, cpu, u, egress_only);
+    const auto grad = fluid_supergradient(g, fs, u, egress_only);
+    for (NodeId node : g.all_nodes()) {
+      const auto& pes = g.pes_on_node(node);
+      double sum = 0.0;
+      for (PeId id : pes) sum += grad[id.value()];
+      prices[node.value()] =
+          std::max(sum / std::max<double>(pes.size(), 1), 1e-9);
+    }
+  }
+
+  // Ergodic averaging of the primal iterates: with piecewise-linear flows
+  // the inner argmax jumps as prices cross marginal-utility thresholds, so
+  // the raw iterates oscillate; their average converges (standard remedy
+  // for dual decomposition on non-strictly-concave problems).
+  std::vector<double> avg_cpu(g.pe_count(), 0.0);
+  int averaged_rounds = 0;
+  double worst_violation = 0.0;
+  for (int outer = 0; outer < config.outer_iterations; ++outer) {
+    // Inner: maximize the Lagrangian over c >= 0 (prices replace the
+    // simplex projection of the primal solver).
+    for (int inner = 0; inner < config.inner_iterations; ++inner) {
+      const FlowState fs = fluid_forward(g, cpu, u, egress_only);
+      auto grad = fluid_supergradient(g, fs, u, egress_only);
+      double gmax = 0.0;
+      for (std::size_t i = 0; i < grad.size(); ++i) {
+        grad[i] -= prices[g.pe(PeId(static_cast<PeId::value_type>(i)))
+                              .node.value()];
+        gmax = std::max(gmax, std::abs(grad[i]));
+      }
+      if (gmax < 1e-15) break;
+      const double step = config.base.step /
+                          std::sqrt(1.0 + static_cast<double>(inner));
+      for (std::size_t i = 0; i < cpu.size(); ++i) {
+        const double cap =
+            g.node(g.pe(PeId(static_cast<PeId::value_type>(i))).node)
+                .cpu_capacity;
+        cpu[i] = std::clamp(cpu[i] + step * grad[i] / gmax, 0.0, cap);
+      }
+    }
+
+    // Average the iterates from the second half of the rounds (prices have
+    // roughly converged by then; earlier iterates would bias the mean).
+    if (outer >= config.outer_iterations / 2) {
+      ++averaged_rounds;
+      for (std::size_t i = 0; i < cpu.size(); ++i) {
+        avg_cpu[i] += (cpu[i] - avg_cpu[i]) / averaged_rounds;
+      }
+    }
+
+    // Outer: multiplicative price update toward usage == capacity.
+    worst_violation = 0.0;
+    const double eta =
+        config.price_step / std::sqrt(1.0 + static_cast<double>(outer));
+    for (NodeId node : g.all_nodes()) {
+      double usage = 0.0;
+      for (PeId id : g.pes_on_node(node)) usage += cpu[id.value()];
+      const double relative = usage / g.node(node).cpu_capacity;
+      worst_violation = std::max(worst_violation, relative);
+      prices[node.value()] = std::max(
+          prices[node.value()] * std::exp(eta * (relative - 1.0)), 1e-12);
+    }
+  }
+
+  // Restore exact feasibility for both candidates (the last iterate and the
+  // ergodic average), then keep whichever scores higher.
+  const auto project_all = [&](std::vector<double> values) {
+    std::vector<double> node_values;
+    for (NodeId node : g.all_nodes()) {
+      const auto& pes = g.pes_on_node(node);
+      if (pes.empty()) continue;
+      node_values.clear();
+      for (PeId id : pes) node_values.push_back(values[id.value()]);
+      project_to_capacity(node_values, g.node(node).cpu_capacity);
+      for (std::size_t k = 0; k < pes.size(); ++k)
+        values[pes[k].value()] = node_values[k];
+    }
+    return values;
+  };
+  const std::vector<double> last = project_all(cpu);
+  const std::vector<double> averaged = project_all(avg_cpu);
+  const double last_utility =
+      fluid_forward(g, last, u, egress_only).utility;
+  const double averaged_utility =
+      fluid_forward(g, averaged, u, egress_only).utility;
+
+  DualSolution solution;
+  solution.plan = finalize_plan(
+      g, averaged_utility >= last_utility ? averaged : last, config.base);
+  solution.prices = std::move(prices);
+  solution.worst_violation = worst_violation;
+  return solution;
+}
+
+}  // namespace aces::opt

@@ -1,0 +1,50 @@
+// Lagrangian dual-decomposition solver for the tier-1 problem.
+//
+// The paper states "We use Lagrange multipliers to maximize Equation 3"; this
+// solver follows that route directly. The per-node CPU capacity constraints
+// (Eq. 4) are dualized with prices ν_n ≥ 0:
+//
+//   L(c, ν) = Σ_j w_j U(x_out,j(c)) − Σ_n ν_n (Σ_{j on n} c_j − capacity_n)
+//
+// For fixed prices the inner problem is concave and unconstrained up to
+// c ≥ 0, so a few supergradient steps solve it; the outer loop adjusts the
+// prices multiplicatively toward complementary slackness (usage ≈ capacity
+// on binding nodes). A final projection restores exact feasibility before
+// the shared finalize_plan emits targets.
+//
+// Deliberately kept as an *independent second solver*: tests cross-validate
+// it against the projected-gradient solver, which guards both against
+// implementation bugs in either.
+#pragma once
+
+#include "opt/global_optimizer.h"
+
+namespace aces::opt {
+
+struct DualOptimizerConfig {
+  OptimizerConfig base;
+  /// Outer price-update rounds.
+  int outer_iterations = 40;
+  /// Inner supergradient steps per round.
+  int inner_iterations = 50;
+  /// Multiplicative price aggressiveness (log-step per unit of relative
+  /// capacity violation); decays as 1/sqrt(round). Needs to be large enough
+  /// that prices can climb from the marginal-utility seed to the dual
+  /// optimum within the configured rounds.
+  double price_step = 6.0;
+};
+
+/// Diagnostics alongside the plan (tests assert convergence quality).
+struct DualSolution {
+  AllocationPlan plan;
+  /// Final prices per node (index NodeId).
+  std::vector<double> prices;
+  /// Max over nodes of usage/capacity *before* the final projection; values
+  /// near 1 indicate the prices converged.
+  double worst_violation = 0.0;
+};
+
+DualSolution optimize_dual(const graph::ProcessingGraph& g,
+                           const DualOptimizerConfig& config = {});
+
+}  // namespace aces::opt

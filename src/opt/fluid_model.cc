@@ -1,0 +1,65 @@
+#include "opt/fluid_model.h"
+
+#include <algorithm>
+
+namespace aces::opt {
+
+FlowState fluid_forward(const graph::ProcessingGraph& g,
+                        const std::vector<double>& cpu, const Utility& u,
+                        bool egress_only) {
+  const auto order = g.topological_order();
+  FlowState fs;
+  fs.xin.assign(g.pe_count(), 0.0);
+  fs.xout.assign(g.pe_count(), 0.0);
+  fs.cpu_bound.assign(g.pe_count(), false);
+  for (PeId id : order) {
+    const auto& d = g.pe(id);
+    const std::size_t i = id.value();
+    double offered;
+    if (d.kind == graph::PeKind::kIngress) {
+      offered = g.stream(d.input_stream).mean_rate;
+    } else {
+      offered = 0.0;
+      for (PeId up : g.upstream(id)) offered += fs.xout[up.value()];
+    }
+    const double cpu_cap =
+        d.input_rate_at_cpu(cpu[i]) / d.bytes_per_sdo;  // SDO/s
+    fs.cpu_bound[i] = cpu_cap < offered;
+    fs.xin[i] = std::min(cpu_cap, offered);
+    fs.xout[i] = d.selectivity * fs.xin[i];
+    const bool counts = !egress_only || d.kind == graph::PeKind::kEgress;
+    if (counts) fs.utility += d.weight * u.value(fs.xout[i]);
+    if (d.kind == graph::PeKind::kEgress)
+      fs.weighted_throughput += d.weight * fs.xout[i];
+  }
+  return fs;
+}
+
+std::vector<double> fluid_supergradient(
+    const graph::ProcessingGraph& g, const FlowState& fs, const Utility& u,
+    bool egress_only, const std::vector<double>* extra_output_marginal) {
+  const auto order = g.topological_order();
+  std::vector<double> du(g.pe_count(), 0.0);
+  std::vector<double> grad(g.pe_count(), 0.0);
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const PeId id = *it;
+    const std::size_t i = id.value();
+    const auto& d = g.pe(id);
+    const bool counts = !egress_only || d.kind == graph::PeKind::kEgress;
+    double marginal = counts ? d.weight * u.derivative(fs.xout[i]) : 0.0;
+    if (extra_output_marginal != nullptr) {
+      marginal += (*extra_output_marginal)[i];
+    }
+    for (PeId down : g.downstream(id)) {
+      if (!fs.cpu_bound[down.value()]) marginal += du[down.value()];
+    }
+    du[i] = d.selectivity * marginal;
+    if (fs.cpu_bound[i]) {
+      // dx_in/dc = h'(c)/bytes = 1/T_eff.
+      grad[i] = du[i] / d.effective_service_time();
+    }
+  }
+  return grad;
+}
+
+}  // namespace aces::opt

@@ -1,0 +1,46 @@
+// The fluid-flow model both tier-1 solvers evaluate (paper §V-B).
+//
+// Fan-out uses copy semantics (every consumer is offered the full output
+// stream, Fig. 2); fan-in merges offered flows into one buffer, the
+// aggregate reading of Eq. 5's per-edge conservation. Flows are linear in
+// CPU until the offered load binds, so the utility of a CPU vector is
+// concave and a supergradient exists everywhere.
+#pragma once
+
+#include <vector>
+
+#include "graph/processing_graph.h"
+#include "opt/utility.h"
+
+namespace aces::opt {
+
+/// Result of one fluid forward sweep for a fixed CPU vector.
+struct FlowState {
+  std::vector<double> xin;      ///< consumed input rate, SDO/s, by PeId
+  std::vector<double> xout;     ///< produced output rate, SDO/s, by PeId
+  std::vector<bool> cpu_bound;  ///< true if CPU (not offered load) binds x_in
+  double utility = 0.0;         ///< Σ w_j U(x_out,j) over counted PEs
+  double weighted_throughput = 0.0;  ///< Σ over egress of w_j · x_out,j
+};
+
+/// Propagates flows down the DAG for CPU vector `cpu` (indexed by PeId).
+FlowState fluid_forward(const graph::ProcessingGraph& g,
+                        const std::vector<double>& cpu, const Utility& u,
+                        bool egress_only);
+
+/// Supergradient of the utility w.r.t. each CPU target at `fs`.
+/// Convention: below the rate map's overhead knee (where h(c) clamps to 0)
+/// the affine extension's slope is used — an ascent-friendly choice that
+/// lets the solver climb out of the dead zone; the exact supergradient
+/// property therefore holds on the smooth region c > overhead.
+/// Marginal utility flows backward only through PEs whose input is
+/// offered-load-bound (a CPU-bound PE would drop extra input).
+/// `extra_output_marginal`, when non-null (indexed by PeId), adds to each
+/// PE's own marginal utility per unit of output rate — the hook through
+/// which policy constraints (e.g. SLA rate floors) enter the objective.
+std::vector<double> fluid_supergradient(
+    const graph::ProcessingGraph& g, const FlowState& fs, const Utility& u,
+    bool egress_only,
+    const std::vector<double>* extra_output_marginal = nullptr);
+
+}  // namespace aces::opt

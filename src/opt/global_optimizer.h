@@ -1,0 +1,110 @@
+// Tier-1 global optimization (paper §V-B).
+//
+// Maximizes the aggregate utility  Σ_j w_j U(r̄_out,j)  over long-term CPU
+// targets c̄_j, subject to
+//   (Eq. 4)  Σ_{j on node i} c̄_j ≤ capacity_i
+//   (Eq. 5)  r̄_in,j ≤ r̄_out,i          for every upstream i of j
+//   (Eq. 6)  r̄_in,j ≤ h_j(c̄_j)         (rate map; binding at the optimum)
+// plus the offered-load cap at ingress PEs (r̄_in ≤ stream rate).
+//
+// The achieved flow x(c) is concave piecewise-linear in c and the utility is
+// concave nondecreasing, so the composite objective is concave; we solve it
+// with projected supergradient ascent. The supergradient is computed by a
+// backward sweep that routes each PE's marginal utility to the binding
+// bottleneck (CPU or upstream flow), and iterates are projected onto the
+// per-node capacity simplex.
+#pragma once
+
+#include <vector>
+
+#include "graph/processing_graph.h"
+#include "opt/utility.h"
+
+namespace aces::opt {
+
+/// A policy constraint: PE `pe`'s output rate should not fall below
+/// `min_rout_sdo` SDOs/sec (an SLA floor). Enforced as a penalty, so an
+/// infeasible floor degrades gracefully instead of failing the solve.
+struct RateFloor {
+  PeId pe;
+  double min_rout_sdo = 0.0;
+};
+
+struct OptimizerConfig {
+  UtilityKind utility = UtilityKind::kLog;
+  /// Rate (SDOs/sec) at the knee of the saturating utilities.
+  double utility_scale = 50.0;
+  /// Supergradient iterations.
+  int iterations = 600;
+  /// Initial step size in CPU-fraction units; decays as 1/sqrt(iter).
+  double step = 0.05;
+  /// If true, only egress PEs contribute to the objective (pure weighted
+  /// throughput); otherwise all PEs do, per Eq. 3 of the paper.
+  bool egress_only_objective = false;
+  /// Multiplier applied to the CPU actually needed by the optimal flow when
+  /// emitting targets. Must exceed 1: after a slow-state burst a PE can only
+  /// clear its backlog if its long-term target (the token accrual rate)
+  /// exceeds its average demand. Headroom is granted from each node's slack
+  /// and degrades proportionally on oversubscribed nodes.
+  double headroom = 2.0;
+  /// Policy constraints (paper §V: tier 1 "can take into account
+  /// arbitrarily complex policy constraints"): minimum output rates,
+  /// enforced via penalty in the objective.
+  std::vector<RateFloor> rate_floors;
+  /// Penalty per SDO/sec of floor shortfall, in units of the marginal
+  /// utility at rate 0 (i.e. multiplied by U'(0)); large values make floors
+  /// effectively hard when feasible.
+  double floor_penalty = 25.0;
+};
+
+/// Long-term targets for one PE, in the units the controller consumes.
+struct PeAllocation {
+  /// CPU target c̄_j (fraction of the node).
+  double cpu = 0.0;
+  /// Sustainable input rate at the optimum, SDOs per second.
+  double rin_sdo = 0.0;
+  /// Output rate at the optimum, SDOs per second.
+  double rout_sdo = 0.0;
+};
+
+/// The tier-1 output: per-PE targets plus plan-level diagnostics.
+struct AllocationPlan {
+  std::vector<PeAllocation> pe;  ///< indexed by PeId::value()
+  std::vector<double> node_usage;  ///< Σ cpu per node, indexed by NodeId
+  double aggregate_utility = 0.0;  ///< Eq. 3 at the optimum
+  /// Σ over egress PEs of weight × rout_sdo — the paper's measure of
+  /// effectiveness, evaluated on the fluid model.
+  double weighted_throughput = 0.0;
+  /// Σ over configured rate floors of max(0, floor − rout): 0 when every
+  /// policy constraint is met.
+  double floor_shortfall = 0.0;
+
+  [[nodiscard]] const PeAllocation& at(PeId id) const {
+    return pe[id.value()];
+  }
+};
+
+/// Runs the tier-1 optimization on a validated graph.
+AllocationPlan optimize(const graph::ProcessingGraph& g,
+                        const OptimizerConfig& config = {});
+
+/// Evaluates the fluid-model flow and utilities for a *given* vector of CPU
+/// targets (indexed by PeId). Used by tests (perturbation optimality checks)
+/// and by the allocation-error ablation bench.
+AllocationPlan evaluate_allocation(const graph::ProcessingGraph& g,
+                                   const std::vector<double>& cpu,
+                                   const OptimizerConfig& config = {});
+
+/// Projects `values` onto {v : v ≥ 0, Σ v ≤ capacity} in Euclidean norm
+/// (Duchi et al. simplex projection; exposed for unit testing).
+void project_to_capacity(std::vector<double>& values, double capacity);
+
+/// Turns a feasible CPU vector into an AllocationPlan: computes the fluid
+/// flows it sustains, trims each PE to the CPU those flows need, then grants
+/// burst headroom from node slack (see OptimizerConfig::headroom). Shared by
+/// the projected-gradient and dual solvers.
+AllocationPlan finalize_plan(const graph::ProcessingGraph& g,
+                             const std::vector<double>& cpu,
+                             const OptimizerConfig& config);
+
+}  // namespace aces::opt

@@ -1,0 +1,42 @@
+#include "opt/utility.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace aces::opt {
+
+const char* to_string(UtilityKind kind) {
+  switch (kind) {
+    case UtilityKind::kLinear: return "linear";
+    case UtilityKind::kLog: return "log";
+    case UtilityKind::kExpSaturating: return "exp";
+  }
+  return "?";
+}
+
+Utility::Utility(UtilityKind kind, double scale) : kind_(kind), scale_(scale) {
+  ACES_CHECK_MSG(scale > 0.0, "utility scale must be positive");
+}
+
+double Utility::value(double x) const {
+  const double z = x / scale_;
+  switch (kind_) {
+    case UtilityKind::kLinear: return z;
+    case UtilityKind::kLog: return std::log1p(z);
+    case UtilityKind::kExpSaturating: return -std::expm1(-z);
+  }
+  return 0.0;
+}
+
+double Utility::derivative(double x) const {
+  const double z = x / scale_;
+  switch (kind_) {
+    case UtilityKind::kLinear: return 1.0 / scale_;
+    case UtilityKind::kLog: return 1.0 / (scale_ * (1.0 + z));
+    case UtilityKind::kExpSaturating: return std::exp(-z) / scale_;
+  }
+  return 0.0;
+}
+
+}  // namespace aces::opt

@@ -1,0 +1,40 @@
+// Utility functions for the tier-1 objective (paper §V-B).
+//
+// "We parameterize the utility function of the various PEs as
+//  U_j(r̄_out,j) = w_j · U(r̄_out,j) ... For example, we could set
+//  U(x) = 1 − e^{−x}; U(x) = log(x+1); U(x) = x."
+//
+// All three are strictly increasing and concave; the scale parameter maps
+// raw rates into the regime where the curvature of the saturating utilities
+// is meaningful (a rate equal to `scale` sits at the knee).
+#pragma once
+
+#include "common/types.h"
+
+namespace aces::opt {
+
+enum class UtilityKind {
+  kLinear,         ///< U(x) = x / s
+  kLog,            ///< U(x) = log(1 + x / s)
+  kExpSaturating,  ///< U(x) = 1 − e^{−x / s}
+};
+
+const char* to_string(UtilityKind kind);
+
+/// A concave, strictly increasing, differentiable utility U(x; scale).
+class Utility {
+ public:
+  explicit Utility(UtilityKind kind, double scale = 1.0);
+
+  [[nodiscard]] double value(double x) const;
+  /// dU/dx; strictly positive for x >= 0.
+  [[nodiscard]] double derivative(double x) const;
+  [[nodiscard]] UtilityKind kind() const { return kind_; }
+  [[nodiscard]] double scale() const { return scale_; }
+
+ private:
+  UtilityKind kind_;
+  double scale_;
+};
+
+}  // namespace aces::opt

@@ -1,0 +1,117 @@
+// Bounded blocking channel — the data-plane messaging primitive of the
+// threaded runtime (the stand-in for the paper's SPC transport).
+//
+// Multi-producer / multi-consumer, mutex + condition variables. The two
+// full-buffer behaviours the evaluated policies need map onto the API:
+//   * try_push  — fail immediately when full (ACES / UDP drop semantics)
+//   * push_wait — block until space or timeout (Lock-Step min-flow)
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+#include "common/check.h"
+
+namespace aces::runtime {
+
+template <typename T>
+class Channel {
+ public:
+  explicit Channel(std::size_t capacity) : capacity_(capacity) {
+    ACES_CHECK_MSG(capacity > 0, "channel capacity must be positive");
+  }
+
+  /// Non-blocking send; false when the channel is full or closed.
+  bool try_push(T value) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (closed_ || items_.size() >= capacity_) return false;
+      items_.push_back(std::move(value));
+    }
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocking send with timeout; false on timeout or close.
+  bool push_wait(T value, std::chrono::nanoseconds timeout) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (!not_full_.wait_for(lock, timeout, [&] {
+          return closed_ || items_.size() < capacity_;
+        })) {
+      return false;
+    }
+    if (closed_) return false;
+    items_.push_back(std::move(value));
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Non-blocking receive.
+  std::optional<T> try_pop() {
+    std::optional<T> out;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (items_.empty()) return std::nullopt;
+      out = std::move(items_.front());
+      items_.pop_front();
+    }
+    not_full_.notify_one();
+    return out;
+  }
+
+  /// Blocking receive with timeout; nullopt on timeout, or when the channel
+  /// is closed and drained.
+  std::optional<T> pop_wait(std::chrono::nanoseconds timeout) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (!not_empty_.wait_for(lock, timeout,
+                             [&] { return closed_ || !items_.empty(); })) {
+      return std::nullopt;
+    }
+    if (items_.empty()) return std::nullopt;  // closed and drained
+    std::optional<T> out = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return out;
+  }
+
+  /// Unblocks all waiters; subsequent pushes fail, pops drain the backlog.
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return items_.size();
+  }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] bool closed() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return closed_;
+  }
+  /// Free slots right now (racy by nature; used for occupancy sampling and
+  /// Lock-Step's conservative space probe).
+  [[nodiscard]] std::size_t free_slots() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return capacity_ - items_.size();
+  }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace aces::runtime

@@ -1,0 +1,91 @@
+#include "runtime/message_bus.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/check.h"
+
+namespace aces::runtime {
+
+MessageBus::MessageBus(std::function<Seconds()> clock, double time_scale)
+    : clock_(std::move(clock)), time_scale_(time_scale) {
+  ACES_CHECK_MSG(clock_ != nullptr, "message bus needs a clock");
+  ACES_CHECK_MSG(time_scale > 0.0, "time scale must be positive");
+}
+
+MessageBus::~MessageBus() { stop(); }
+
+void MessageBus::start() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ACES_CHECK_MSG(!running_, "message bus already running");
+  running_ = true;
+  stop_requested_ = false;
+  thread_ = std::thread([this] { dispatch_loop(); });
+}
+
+void MessageBus::stop() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!running_) return;
+    stop_requested_ = true;
+  }
+  wake_.notify_all();
+  thread_.join();
+  std::lock_guard<std::mutex> lock(mutex_);
+  running_ = false;
+  discarded_ += queue_.size();
+  while (!queue_.empty()) queue_.pop();
+}
+
+void MessageBus::post(Seconds deliver_at, std::function<void()> deliver) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ACES_CHECK_MSG(running_ && !stop_requested_,
+                   "post() on a stopped message bus");
+    queue_.push(Message{deliver_at, next_seq_++, std::move(deliver)});
+  }
+  wake_.notify_one();
+}
+
+std::size_t MessageBus::in_flight() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
+std::uint64_t MessageBus::delivered() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return delivered_;
+}
+
+std::uint64_t MessageBus::discarded() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return discarded_;
+}
+
+void MessageBus::dispatch_loop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (!stop_requested_) {
+    if (queue_.empty()) {
+      wake_.wait(lock, [this] { return stop_requested_ || !queue_.empty(); });
+      continue;
+    }
+    const Seconds due = queue_.top().due;
+    const Seconds now = clock_();
+    if (now < due) {
+      // Sleep at most 5 ms wall so stop() stays responsive.
+      const double wall_seconds =
+          std::min((due - now) / time_scale_, 0.005);
+      wake_.wait_for(lock, std::chrono::duration<double>(wall_seconds));
+      continue;
+    }
+    // Move the message out before unlocking; the callback may post().
+    Message message = std::move(const_cast<Message&>(queue_.top()));
+    queue_.pop();
+    ++delivered_;
+    lock.unlock();
+    message.deliver();
+    lock.lock();
+  }
+}
+
+}  // namespace aces::runtime

@@ -1,0 +1,73 @@
+// Delay-injecting message dispatcher for the threaded runtime.
+//
+// Cross-node SDO transport in the real SPC crosses a network; the runtime
+// reproduces that with a dispatcher thread that holds each message until its
+// virtual delivery time and then runs its delivery callback. Senders never
+// block; delivery callbacks run on the bus thread and must be cheap and
+// thread-safe (the engine's are: a channel try_push plus a drop counter).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+#include "common/types.h"
+
+namespace aces::runtime {
+
+class MessageBus {
+ public:
+  /// `clock` returns the current virtual time; `time_scale` converts virtual
+  /// durations into wall sleeps (virtual seconds per wall second).
+  MessageBus(std::function<Seconds()> clock, double time_scale);
+  ~MessageBus();
+  MessageBus(const MessageBus&) = delete;
+  MessageBus& operator=(const MessageBus&) = delete;
+
+  /// Starts the dispatcher thread. Must be called before post().
+  void start();
+  /// Stops the dispatcher; messages not yet due are discarded (their count
+  /// is reported by discarded()).
+  void stop();
+
+  /// Schedules `deliver` to run on the bus thread at virtual time
+  /// `deliver_at` (immediately if that time has passed).
+  void post(Seconds deliver_at, std::function<void()> deliver);
+
+  [[nodiscard]] std::size_t in_flight() const;
+  [[nodiscard]] std::uint64_t delivered() const;
+  [[nodiscard]] std::uint64_t discarded() const;
+
+ private:
+  struct Message {
+    Seconds due;
+    std::uint64_t seq;  // FIFO among equal due times
+    std::function<void()> deliver;
+  };
+  struct Later {
+    bool operator()(const Message& a, const Message& b) const {
+      if (a.due != b.due) return a.due > b.due;
+      return a.seq > b.seq;
+    }
+  };
+
+  void dispatch_loop();
+
+  std::function<Seconds()> clock_;
+  double time_scale_;
+  mutable std::mutex mutex_;
+  std::condition_variable wake_;
+  std::priority_queue<Message, std::vector<Message>, Later> queue_;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t delivered_ = 0;
+  std::uint64_t discarded_ = 0;
+  bool running_ = false;
+  bool stop_requested_ = false;
+  std::thread thread_;
+};
+
+}  // namespace aces::runtime

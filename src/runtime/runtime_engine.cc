@@ -1,0 +1,458 @@
+#include "runtime/runtime_engine.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <deque>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "control/node_controller.h"
+#include "metrics/collector.h"
+#include "runtime/channel.h"
+#include "runtime/message_bus.h"
+#include "workload/arrivals.h"
+#include "workload/markov_modulator.h"
+
+namespace aces::runtime {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+struct Sdo {
+  Seconds birth;  // virtual time of system entry
+};
+
+/// Thread-safe metrics front end (the node and source threads all report).
+class SharedCollector {
+ public:
+  SharedCollector(Seconds measure_from, std::size_t egress_count)
+      : collector_(measure_from, egress_count) {}
+
+  void egress_output(Seconds now, std::size_t index, double weight,
+                     Seconds latency) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    collector_.on_egress_output(now, index, weight, latency);
+  }
+  void internal_drop(Seconds now) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    collector_.on_internal_drop(now);
+  }
+  void ingress_drop(Seconds now) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    collector_.on_ingress_drop(now);
+  }
+  void processed(Seconds now, std::uint64_t count) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    collector_.on_processed(now, count);
+  }
+  void cpu_used(Seconds now, double cpu_seconds) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    collector_.on_cpu_used(now, cpu_seconds);
+  }
+  void buffer_sample(Seconds now, double fill) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    collector_.on_buffer_sample(now, fill);
+  }
+  metrics::RunReport finalize(Seconds end, double capacity) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return collector_.finalize(end, capacity);
+  }
+
+ private:
+  std::mutex mutex_;
+  metrics::Collector collector_;
+};
+
+/// Everything the worker threads share about one PE.
+struct PeRt {
+  explicit PeRt(std::size_t capacity, workload::ServiceModel service)
+      : input(capacity), service(std::move(service)) {}
+
+  Channel<Sdo> input;
+  /// Total accepted pushes; the node thread diffs this per tick to report
+  /// arrivals to the controller.
+  std::atomic<std::uint64_t> pushed{0};
+  /// This PE's latest advertised r_max (its input, SDO/s). Written by its
+  /// node's tick; read by upstream nodes — the control-plane mailbox.
+  std::atomic<double> advert{kInf};
+
+  workload::ServiceModel service;
+  std::size_t egress_index = static_cast<std::size_t>(-1);
+
+  // ---- state owned exclusively by the hosting node thread ----
+  double share = 0.0;
+  bool busy = false;
+  Sdo current{};
+  double work_remaining = 0.0;
+  double used_this_tick = 0.0;
+  double processed_this_tick = 0.0;
+  std::uint64_t pushed_at_last_tick = 0;
+  double selectivity_credit = 0.0;
+  bool blocked = false;
+  std::deque<std::pair<std::size_t, Sdo>> pending;  // (downstream slot, sdo)
+
+  // Lifetime accounting. `dropped` is touched by node, bus, and source
+  // threads; the rest belong to the hosting node thread and are read only
+  // after the worker threads join.
+  std::atomic<std::uint64_t> dropped{0};
+  std::uint64_t lifetime_processed = 0;
+  std::uint64_t lifetime_emitted = 0;
+  double lifetime_cpu = 0.0;
+};
+
+class Engine {
+ public:
+  Engine(const graph::ProcessingGraph& g, const opt::AllocationPlan& plan,
+         const RuntimeOptions& options)
+      : graph_(g),
+        options_(options),
+        policy_(options.controller.policy),
+        collector_(options.warmup, count_egress(g)) {
+    ACES_CHECK_MSG(options.duration > options.warmup,
+                   "duration must exceed warmup");
+    ACES_CHECK_MSG(options.dt > 0.0, "dt must be positive");
+    ACES_CHECK_MSG(options.time_scale > 0.0, "time scale must be positive");
+    ACES_CHECK_MSG(options.network_latency >= 0.0,
+                   "negative network latency");
+    g.validate();
+    Rng master(options.seed);
+
+    total_capacity_ = 0.0;
+    for (NodeId n : g.all_nodes()) total_capacity_ += g.node(n).cpu_capacity;
+
+    pes_.reserve(g.pe_count());
+    std::size_t egress_counter = 0;
+    for (PeId id : g.all_pes()) {
+      const auto& d = g.pe(id);
+      auto pe = std::make_unique<PeRt>(
+          static_cast<std::size_t>(d.buffer_capacity),
+          workload::ServiceModel(d.service_time[0], d.service_time[1],
+                                 d.sojourn_mean[0], d.sojourn_mean[1],
+                                 master.fork(0x5E41 + id.value())));
+      pe->share = plan.at(id).cpu;
+      if (d.kind == graph::PeKind::kEgress)
+        pe->egress_index = egress_counter++;
+      pes_.push_back(std::move(pe));
+    }
+
+    controllers_.reserve(g.node_count());
+    for (NodeId n : g.all_nodes())
+      controllers_.emplace_back(g, n, plan, options.controller);
+
+    for (PeId id : g.all_pes()) {
+      const auto& d = g.pe(id);
+      if (d.kind != graph::PeKind::kIngress) continue;
+      Rng stream_rng = master.fork(0xA11 + id.value());
+      auto process =
+          options.arrival_factory
+              ? options.arrival_factory(d.input_stream,
+                                        g.stream(d.input_stream),
+                                        std::move(stream_rng))
+              : workload::make_arrival_process(g.stream(d.input_stream),
+                                               std::move(stream_rng));
+      ACES_CHECK_MSG(process != nullptr,
+                     "arrival factory returned null for stream "
+                         << d.input_stream);
+      sources_.push_back(Source{id.value(), std::move(process), 0.0});
+    }
+  }
+
+  metrics::RunReport run() {
+    start_ = std::chrono::steady_clock::now();
+    if (options_.network_latency > 0.0 &&
+        policy_ != control::FlowPolicy::kLockStep) {
+      bus_ = std::make_unique<MessageBus>([this] { return virtual_now(); },
+                                          options_.time_scale);
+      bus_->start();
+    }
+    std::vector<std::thread> threads;
+    threads.reserve(controllers_.size() + 1);
+    for (std::size_t n = 0; n < controllers_.size(); ++n) {
+      threads.emplace_back([this, n] { node_main(n); });
+    }
+    threads.emplace_back([this] { source_main(); });
+    // Wait out the experiment in wall time.
+    const auto wall = std::chrono::duration<double>(
+        options_.duration / options_.time_scale);
+    std::this_thread::sleep_for(wall);
+    stop_.store(true);
+    if (bus_ != nullptr) bus_->stop();
+    for (auto& pe : pes_) pe->input.close();
+    for (auto& t : threads) t.join();
+    metrics::RunReport report =
+        collector_.finalize(options_.duration, total_capacity_);
+    report.per_pe.reserve(pes_.size());
+    for (const auto& pe : pes_) {
+      metrics::PeAccounting acc;
+      acc.arrived = pe->pushed.load(std::memory_order_relaxed);
+      acc.processed = pe->lifetime_processed;
+      acc.emitted = pe->lifetime_emitted;
+      acc.dropped_input = pe->dropped.load(std::memory_order_relaxed);
+      acc.cpu_seconds = pe->lifetime_cpu;
+      report.per_pe.push_back(acc);
+    }
+    return report;
+  }
+
+ private:
+  struct Source {
+    std::size_t pe_index;
+    std::unique_ptr<workload::ArrivalProcess> process;
+    Seconds next_arrival;
+  };
+
+  static std::size_t count_egress(const graph::ProcessingGraph& g) {
+    std::size_t count = 0;
+    for (PeId id : g.all_pes())
+      count += g.pe(id).kind == graph::PeKind::kEgress;
+    return count;
+  }
+
+  [[nodiscard]] Seconds virtual_now() const {
+    const std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - start_;
+    return elapsed.count() * options_.time_scale;
+  }
+
+  void sleep_virtual(Seconds virtual_seconds) const {
+    std::this_thread::sleep_for(std::chrono::duration<double>(
+        std::clamp(virtual_seconds / options_.time_scale, 0.0, 0.01)));
+  }
+
+  /// Delivery leg shared by direct and bus-delayed sends: push or drop.
+  void deliver(std::size_t target, Sdo sdo, Seconds when) {
+    PeRt& t = *pes_[target];
+    if (t.input.try_push(sdo)) {
+      t.pushed.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      t.dropped.fetch_add(1, std::memory_order_relaxed);
+      collector_.internal_drop(when);
+    }
+  }
+
+  /// Emits one SDO on `slot`; returns false when the PE must block
+  /// (Lock-Step with a full downstream buffer).
+  bool send(PeRt& pe, PeId pe_id, std::size_t slot, Sdo sdo, Seconds vnow) {
+    ++pe.lifetime_emitted;
+    const std::size_t target = graph_.downstream(pe_id)[slot].value();
+    if (policy_ == control::FlowPolicy::kLockStep) {
+      PeRt& t = *pes_[target];
+      if (t.input.try_push(sdo)) {
+        t.pushed.fetch_add(1, std::memory_order_relaxed);
+        return true;
+      }
+      pe.pending.emplace_back(slot, sdo);
+      pe.blocked = true;
+      return false;
+    }
+    // Drop policies: cross-node SDOs optionally travel through the message
+    // bus with injected latency.
+    const bool cross_node =
+        graph_.pe(pe_id).node != graph_.pe(graph_.downstream(pe_id)[slot]).node;
+    if (bus_ != nullptr && cross_node) {
+      bus_->post(vnow + options_.network_latency, [this, target, sdo] {
+        deliver(target, sdo, virtual_now());
+      });
+      return true;
+    }
+    deliver(target, sdo, vnow);
+    return true;
+  }
+
+  /// Finish the SDO the PE just paid for: realize selectivity, emit copies.
+  void complete(PeRt& pe, PeId pe_id, Seconds vnow) {
+    pe.busy = false;
+    pe.processed_this_tick += 1.0;
+    ++pe.lifetime_processed;
+    collector_.processed(vnow, 1);
+    const auto& d = graph_.pe(pe_id);
+    pe.selectivity_credit += d.selectivity;
+    const int outputs = static_cast<int>(std::floor(pe.selectivity_credit));
+    pe.selectivity_credit -= outputs;
+    if (d.kind == graph::PeKind::kEgress) {
+      pe.lifetime_emitted += static_cast<std::uint64_t>(outputs);
+      for (int k = 0; k < outputs; ++k) {
+        collector_.egress_output(vnow, pe.egress_index, d.weight,
+                                 vnow - pe.current.birth);
+      }
+      return;
+    }
+    const auto& downs = graph_.downstream(pe_id);
+    for (std::size_t slot = 0; slot < downs.size(); ++slot) {
+      for (int k = 0; k < outputs; ++k) {
+        send(pe, pe_id, slot, Sdo{pe.current.birth}, vnow);
+      }
+    }
+  }
+
+  void try_flush(PeRt& pe, PeId pe_id) {
+    while (!pe.pending.empty()) {
+      const auto [slot, sdo] = pe.pending.front();
+      const std::size_t target = graph_.downstream(pe_id)[slot].value();
+      PeRt& t = *pes_[target];
+      if (!t.input.try_push(sdo)) return;
+      t.pushed.fetch_add(1, std::memory_order_relaxed);
+      pe.pending.pop_front();
+    }
+    pe.blocked = false;
+  }
+
+  void node_tick(std::size_t node_index, Seconds vnow) {
+    control::NodeController& controller = controllers_[node_index];
+    const auto& local = controller.local_pes();
+    std::vector<control::PeTickInput> inputs(local.size());
+    for (std::size_t i = 0; i < local.size(); ++i) {
+      PeRt& pe = *pes_[local[i].value()];
+      control::PeTickInput& in = inputs[i];
+      in.buffer_occupancy = static_cast<double>(pe.input.size());
+      in.processed_sdos = pe.processed_this_tick;
+      in.cpu_seconds_used = pe.used_this_tick;
+      const std::uint64_t pushed =
+          pe.pushed.load(std::memory_order_relaxed);
+      in.arrived_sdos =
+          static_cast<double>(pushed - pe.pushed_at_last_tick);
+      pe.pushed_at_last_tick = pushed;
+      in.output_blocked = pe.blocked;
+      const auto& downs = graph_.downstream(local[i]);
+      if (downs.empty()) {
+        in.downstream_rmax = kInf;
+      } else {
+        in.downstream_rmax = -kInf;
+        for (PeId down : downs) {
+          in.downstream_rmax =
+              std::max(in.downstream_rmax,
+                       pes_[down.value()]->advert.load(
+                           std::memory_order_relaxed));
+        }
+      }
+    }
+    const auto outputs = controller.tick(options_.dt, inputs);
+    for (std::size_t i = 0; i < local.size(); ++i) {
+      PeRt& pe = *pes_[local[i].value()];
+      const auto& d = graph_.pe(local[i]);
+      collector_.cpu_used(vnow, pe.used_this_tick);
+      collector_.buffer_sample(
+          vnow, static_cast<double>(pe.input.size()) /
+                    static_cast<double>(d.buffer_capacity));
+      pe.used_this_tick = 0.0;
+      pe.processed_this_tick = 0.0;
+      pe.share = outputs[i].cpu_share;
+      pe.advert.store(outputs[i].advertised_rmax, std::memory_order_relaxed);
+    }
+  }
+
+  void node_main(std::size_t node_index) {
+    control::NodeController& controller = controllers_[node_index];
+    const auto& local = controller.local_pes();
+    Rng phase_rng(options_.seed * 977 + node_index);
+    Seconds tick_start = phase_rng.uniform(0.0, options_.dt);
+    while (virtual_now() < tick_start && !stop_.load()) {
+      sleep_virtual(tick_start - virtual_now());
+    }
+
+    while (!stop_.load()) {
+      Seconds vnow = virtual_now();
+      if (vnow >= tick_start + options_.dt) {
+        node_tick(node_index, vnow);
+        tick_start += options_.dt;
+        // If the thread was starved across several intervals, re-home the
+        // tick grid instead of firing a burst of stale ticks.
+        if (vnow >= tick_start + options_.dt) tick_start = vnow;
+        vnow = virtual_now();
+      }
+
+      // Processing phase: each PE may spend share × (elapsed-in-tick)
+      // virtual CPU seconds, paced by the wall clock.
+      bool any_progress = false;
+      for (std::size_t i = 0; i < local.size(); ++i) {
+        PeRt& pe = *pes_[local[i].value()];
+        if (pe.blocked) {
+          try_flush(pe, local[i]);
+          if (pe.blocked) continue;
+        }
+        if (pe.share <= 0.0) continue;
+        const Seconds horizon = std::min(vnow, tick_start + options_.dt);
+        double allowed = pe.share * (horizon - tick_start) - pe.used_this_tick;
+        while (allowed > 0.0 && !pe.blocked) {
+          if (!pe.busy) {
+            auto sdo = pe.input.try_pop();
+            if (!sdo) break;
+            pe.current = *sdo;
+            pe.busy = true;
+            pe.work_remaining = pe.service.cost_at(vnow);
+          }
+          const double spend = std::min(allowed, pe.work_remaining);
+          pe.work_remaining -= spend;
+          pe.used_this_tick += spend;
+          pe.lifetime_cpu += spend;
+          allowed -= spend;
+          if (pe.work_remaining <= 1e-12) {
+            complete(pe, local[i], vnow);
+            any_progress = true;
+          }
+        }
+      }
+      if (!any_progress) sleep_virtual(options_.dt / 20.0);
+    }
+  }
+
+  void source_main() {
+    for (auto& source : sources_) {
+      source.next_arrival = source.process->next_interarrival();
+    }
+    while (!stop_.load()) {
+      // Earliest pending arrival.
+      Source* next = nullptr;
+      for (auto& source : sources_) {
+        if (next == nullptr || source.next_arrival < next->next_arrival)
+          next = &source;
+      }
+      if (next == nullptr) return;  // no sources at all
+      const Seconds vnow = virtual_now();
+      if (next->next_arrival > vnow) {
+        sleep_virtual(next->next_arrival - vnow);
+        continue;
+      }
+      PeRt& pe = *pes_[next->pe_index];
+      if (pe.input.try_push(Sdo{next->next_arrival})) {
+        pe.pushed.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        pe.dropped.fetch_add(1, std::memory_order_relaxed);
+        collector_.ingress_drop(next->next_arrival);
+      }
+      next->next_arrival += next->process->next_interarrival();
+    }
+  }
+
+  const graph::ProcessingGraph& graph_;
+  RuntimeOptions options_;
+  control::FlowPolicy policy_;
+  SharedCollector collector_;
+  std::vector<std::unique_ptr<PeRt>> pes_;
+  std::vector<control::NodeController> controllers_;
+  std::vector<Source> sources_;
+  double total_capacity_ = 0.0;
+  std::chrono::steady_clock::time_point start_;
+  std::atomic<bool> stop_{false};
+  std::unique_ptr<MessageBus> bus_;
+};
+
+}  // namespace
+
+metrics::RunReport run_runtime(const graph::ProcessingGraph& graph,
+                               const opt::AllocationPlan& plan,
+                               const RuntimeOptions& options) {
+  Engine engine(graph, plan, options);
+  return engine.run();
+}
+
+}  // namespace aces::runtime

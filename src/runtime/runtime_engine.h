@@ -1,0 +1,62 @@
+// Threaded dataflow runtime — the repo's stand-in for the paper's SPC
+// (Stream Processing Core), used for the calibration experiments.
+//
+// Real concurrency, hand-built messaging:
+//  * one worker thread per processing node, hosting that node's PEs,
+//  * bounded channels (runtime/channel.h) as the data plane,
+//  * a source thread injecting SDOs per the stream arrival processes,
+//  * advertisement mailboxes (atomics) as the control plane,
+//  * the *same* control::NodeController as the simulator — tier 2 is
+//    byte-identical across substrates, which is what calibration compares.
+//
+// Time: the runtime executes in *virtual seconds* paced by the wall clock
+// through `time_scale` (virtual seconds per wall second). Processing charges
+// virtual CPU against the share granted at the last control tick, so a node
+// behaves like a processor-sharing CPU without burning host cycles; arrival
+// gaps and control intervals are paced accordingly. time_scale = 5 runs a
+// 30-virtual-second experiment in 6 wall seconds.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "common/rng.h"
+#include "control/config.h"
+#include "graph/processing_graph.h"
+#include "metrics/run_report.h"
+#include "opt/global_optimizer.h"
+#include "workload/arrivals.h"
+
+namespace aces::runtime {
+
+struct RuntimeOptions {
+  /// Virtual seconds to run.
+  Seconds duration = 30.0;
+  /// Virtual seconds of warm-up excluded from measurement.
+  Seconds warmup = 6.0;
+  /// Control interval in virtual seconds.
+  Seconds dt = 0.1;
+  /// Virtual seconds per wall-clock second (>= 1 accelerates experiments).
+  double time_scale = 5.0;
+  /// One-way delivery latency (virtual seconds) injected by the message bus
+  /// for SDOs crossing nodes. 0 delivers directly. Applies to the
+  /// drop-on-full policies; Lock-Step's reservation handshake is always
+  /// direct (a blocking send has no fire-and-forget leg to delay).
+  Seconds network_latency = 0.0;
+  control::ControllerConfig controller;
+  std::uint64_t seed = 1;
+  /// Optional workload hook (same contract as sim::SimOptions): builds the
+  /// arrival process for each stream; null uses make_arrival_process.
+  std::function<std::unique_ptr<workload::ArrivalProcess>(
+      StreamId, const graph::StreamDescriptor&, Rng)>
+      arrival_factory;
+};
+
+/// Runs the graph on the threaded runtime and reports the same metrics the
+/// simulator produces. Blocks for duration / time_scale wall seconds.
+metrics::RunReport run_runtime(const graph::ProcessingGraph& graph,
+                               const opt::AllocationPlan& plan,
+                               const RuntimeOptions& options);
+
+}  // namespace aces::runtime

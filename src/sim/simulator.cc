@@ -1,0 +1,43 @@
+#include "sim/simulator.h"
+
+#include <utility>
+
+#include "common/check.h"
+
+namespace aces::sim {
+
+void Simulator::schedule_in(Seconds delay, Handler fn) {
+  ACES_CHECK_MSG(delay >= 0.0, "cannot schedule into the past");
+  schedule_at(now_ + delay, std::move(fn));
+}
+
+void Simulator::schedule_at(Seconds t, Handler fn) {
+  ACES_CHECK_MSG(t >= now_, "cannot schedule into the past");
+  queue_.push(Event{t, next_seq_++, std::move(fn)});
+}
+
+void Simulator::run_until(Seconds end) {
+  ACES_CHECK_MSG(end >= now_, "cannot run backwards");
+  while (!queue_.empty() && queue_.top().time <= end) {
+    // Move the handler out before popping: the handler may push new events,
+    // which would invalidate a reference into the heap.
+    Event event = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    now_ = event.time;
+    ++executed_;
+    event.fn();
+  }
+  now_ = end;
+}
+
+void Simulator::run_all() {
+  while (!queue_.empty()) {
+    Event event = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    now_ = event.time;
+    ++executed_;
+    event.fn();
+  }
+}
+
+}  // namespace aces::sim

@@ -1,0 +1,56 @@
+// Discrete-event simulation engine.
+//
+// A from-scratch replacement for the C-SIM library the paper used: a
+// monotone virtual clock and a time-ordered event queue of callbacks.
+// Deterministic: ties in time break by insertion order.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/types.h"
+
+namespace aces::sim {
+
+/// The simulation kernel. Handlers scheduled with schedule_in/schedule_at
+/// run in nondecreasing time order; a handler may schedule further events.
+class Simulator {
+ public:
+  using Handler = std::function<void()>;
+
+  [[nodiscard]] Seconds now() const { return now_; }
+  [[nodiscard]] std::size_t pending() const { return queue_.size(); }
+  [[nodiscard]] std::uint64_t executed() const { return executed_; }
+
+  /// Schedules `fn` `delay` seconds from now (delay >= 0).
+  void schedule_in(Seconds delay, Handler fn);
+  /// Schedules `fn` at absolute time `t` (t >= now()).
+  void schedule_at(Seconds t, Handler fn);
+
+  /// Runs events with time <= `end`, then advances the clock to `end`.
+  void run_until(Seconds end);
+  /// Runs until the queue drains.
+  void run_all();
+
+ private:
+  struct Event {
+    Seconds time;
+    std::uint64_t seq;
+    Handler fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  Seconds now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+}  // namespace aces::sim

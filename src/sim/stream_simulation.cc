@@ -1,0 +1,620 @@
+#include "sim/stream_simulation.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <limits>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "control/node_controller.h"
+#include "metrics/collector.h"
+#include "sim/simulator.h"
+#include "workload/arrivals.h"
+#include "workload/markov_modulator.h"
+
+namespace aces::sim {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+constexpr double kWorkEps = 1e-12;
+}  // namespace
+
+struct StreamSimulation::Impl {
+  struct Sdo {
+    Seconds birth;
+  };
+
+  /// Runtime state of one PE.
+  struct PeRt {
+    PeId id;
+    std::size_t index;             // == id.value()
+    std::size_t node_local_index;  // position within pes_on_node()
+    std::size_t egress_index;      // position among egress PEs, or npos
+    std::deque<Sdo> buffer;
+    int reserved = 0;  // Lock-Step in-flight slot reservations
+    bool busy = false;
+    bool blocked = false;  // Lock-Step: sleeping on a full downstream buffer
+    bool disabled = false;  // failure injection (PeOutage)
+    Sdo current{};
+    double work_remaining = 0.0;  // CPU-seconds left on `current`
+    Seconds last_progress = 0.0;
+    double share = 0.0;  // CPU fraction granted at the last tick
+    std::uint64_t epoch = 0;
+    std::deque<std::pair<std::size_t, Sdo>> pending;  // (downstream slot, sdo)
+    double selectivity_credit = 0.0;
+    workload::ServiceModel service;
+    // Interval counters, reset at each node tick.
+    double processed = 0.0;
+    double cpu_used = 0.0;
+    double arrived = 0.0;
+    // Lifetime accounting (never reset).
+    std::uint64_t lifetime_arrived = 0;
+    std::uint64_t lifetime_processed = 0;
+    std::uint64_t lifetime_emitted = 0;
+    std::uint64_t lifetime_dropped = 0;
+    double lifetime_cpu = 0.0;
+    // Trajectory recording; non-null only when record_timeseries is set.
+    metrics::TimeSeries* buffer_series = nullptr;
+    metrics::TimeSeries* share_series = nullptr;
+    /// Latest advertisement received from each downstream PE, aligned with
+    /// graph.downstream(id); +inf until the first advertisement lands.
+    std::vector<double> downstream_advert;
+    /// For propagating this PE's advertisement: (upstream PE index, slot in
+    /// that PE's downstream_advert).
+    std::vector<std::pair<std::size_t, std::size_t>> upstream_slots;
+
+    PeRt(PeId pe_id, workload::ServiceModel svc)
+        : id(pe_id),
+          index(pe_id.value()),
+          node_local_index(0),
+          egress_index(static_cast<std::size_t>(-1)),
+          service(std::move(svc)) {}
+  };
+
+  Impl(const graph::ProcessingGraph& g, const opt::AllocationPlan& plan,
+       const SimOptions& opt)
+      : graph(g),  // private copy: workload/capacity changes mutate it
+        options(opt),
+        policy(opt.controller.policy),
+        collector(opt.warmup, count_egress(g)) {
+    ACES_CHECK_MSG(opt.dt > 0.0, "dt must be positive");
+    ACES_CHECK_MSG(opt.duration > opt.warmup, "duration must exceed warmup");
+    ACES_CHECK_MSG(opt.prefill_fraction >= 0.0 && opt.prefill_fraction <= 1.0,
+                   "prefill fraction out of [0,1]");
+    ACES_CHECK_MSG(opt.reoptimize_interval >= 0.0,
+                   "negative re-optimization interval");
+    graph.validate();
+    Rng master(opt.seed);
+
+    total_capacity = 0.0;
+    for (NodeId n : graph.all_nodes()) total_capacity += graph.node(n).cpu_capacity;
+
+    // PE runtime state.
+    pes.reserve(graph.pe_count());
+    std::size_t egress_counter = 0;
+    for (PeId id : graph.all_pes()) {
+      const auto& d = graph.pe(id);
+      workload::ServiceModel service(d.service_time[0], d.service_time[1],
+                                     d.sojourn_mean[0], d.sojourn_mean[1],
+                                     master.fork(0x5E41 + id.value()));
+      PeRt rt(id, std::move(service));
+      rt.share = plan.at(id).cpu;
+      rt.downstream_advert.assign(graph.downstream(id).size(), kInf);
+      if (d.kind == graph::PeKind::kEgress) rt.egress_index = egress_counter++;
+      pes.push_back(std::move(rt));
+    }
+    // Local index within the node + upstream advertisement slots.
+    for (NodeId n : graph.all_nodes()) {
+      const auto& local = graph.pes_on_node(n);
+      for (std::size_t i = 0; i < local.size(); ++i)
+        pes[local[i].value()].node_local_index = i;
+    }
+    for (PeId id : graph.all_pes()) {
+      const auto& downs = graph.downstream(id);
+      for (std::size_t slot = 0; slot < downs.size(); ++slot) {
+        pes[downs[slot].value()].upstream_slots.emplace_back(id.value(), slot);
+      }
+    }
+
+    // Node controllers (bound to the private graph copy).
+    controllers.reserve(graph.node_count());
+    for (NodeId n : graph.all_nodes())
+      controllers.emplace_back(graph, n, plan, opt.controller);
+
+    // Sources (optionally through the user-supplied arrival factory).
+    for (PeId id : graph.all_pes()) {
+      const auto& d = graph.pe(id);
+      if (d.kind != graph::PeKind::kIngress) continue;
+      Rng stream_rng = master.fork(0xA11 + id.value());
+      auto process =
+          opt.arrival_factory
+              ? opt.arrival_factory(d.input_stream,
+                                    graph.stream(d.input_stream),
+                                    std::move(stream_rng))
+              : workload::make_arrival_process(graph.stream(d.input_stream),
+                                               std::move(stream_rng));
+      ACES_CHECK_MSG(process != nullptr,
+                     "arrival factory returned null for stream "
+                         << d.input_stream);
+      sources.push_back(Source{id.value(), std::move(process)});
+    }
+
+    // Trajectory recording.
+    if (opt.record_timeseries) {
+      for (PeRt& pe : pes) {
+        const std::string prefix = "pe" + std::to_string(pe.index);
+        pe.buffer_series = &trajectories.series(prefix + ".buffer");
+        pe.share_series = &trajectories.series(prefix + ".share");
+      }
+    }
+
+    // Pre-filled buffers: the "arbitrary starting point" of the stability
+    // analysis. Processing begins at time zero.
+    if (opt.prefill_fraction > 0.0) {
+      for (PeRt& pe : pes) {
+        const auto fill = static_cast<std::size_t>(
+            opt.prefill_fraction * graph.pe(pe.id).buffer_capacity);
+        for (std::size_t k = 0; k < fill; ++k) pe.buffer.push_back(Sdo{0.0});
+        pe.lifetime_arrived += fill;
+        const std::size_t index = pe.index;
+        simulator.schedule_at(0.0, [this, index] { maybe_start(pes[index]); });
+      }
+    }
+
+    // Prime the event loop: ticks (staggered phases) and first arrivals.
+    for (std::size_t n = 0; n < controllers.size(); ++n) {
+      const Seconds phase =
+          opt.randomize_tick_phase ? master.uniform(0.0, opt.dt) : opt.dt;
+      simulator.schedule_in(phase, [this, n] { node_tick(n); });
+    }
+    for (std::size_t s = 0; s < sources.size(); ++s) {
+      simulator.schedule_in(sources[s].process->next_interarrival(),
+                            [this, s] { source_arrival(s); });
+    }
+
+    // Scheduled workload and capacity shifts.
+    change_rng = master.fork(0xC4A);
+    for (const RateChange& change : opt.rate_changes) {
+      simulator.schedule_at(change.at, [this, change] {
+        apply_rate_change(change);
+      });
+    }
+    for (const CapacityChange& change : opt.capacity_changes) {
+      simulator.schedule_at(change.at, [this, change] {
+        apply_capacity_change(change);
+      });
+    }
+
+    // Priority shifts.
+    for (const WeightChange& change : opt.weight_changes) {
+      ACES_CHECK_MSG(change.pe.valid() && change.pe.value() < pes.size(),
+                     "weight change references unknown PE");
+      ACES_CHECK_MSG(change.new_weight >= 0.0, "negative weight");
+      simulator.schedule_at(change.at, [this, change] {
+        graph.pe(change.pe).weight = change.new_weight;
+      });
+    }
+
+    // Failure injection.
+    for (const PeOutage& outage : opt.outages) {
+      ACES_CHECK_MSG(outage.pe.valid() && outage.pe.value() < pes.size(),
+                     "outage references unknown PE");
+      ACES_CHECK_MSG(outage.until > outage.from, "outage must end after start");
+      simulator.schedule_at(outage.from, [this, outage] {
+        PeRt& pe = pes[outage.pe.value()];
+        progress(pe);
+        pe.disabled = true;
+        pe.share = 0.0;  // halts the in-flight SDO; work resumes on recovery
+        ++pe.epoch;
+      });
+      simulator.schedule_at(outage.until, [this, outage] {
+        PeRt& pe = pes[outage.pe.value()];
+        pe.disabled = false;
+        // Shares return at the node's next tick; restart service then.
+      });
+    }
+
+    // Periodic tier-1 re-optimization (paper §V: the first tier runs
+    // "periodically, to support changing workload and resource
+    // availability").
+    if (opt.reoptimize_interval > 0.0) {
+      simulator.schedule_in(opt.reoptimize_interval, [this] { reoptimize(); });
+    }
+  }
+
+  void apply_rate_change(const RateChange& change) {
+    graph.stream(change.stream).mean_rate = change.new_rate;
+    // Rebuild the arrival process of every source fed by this stream; the
+    // next already-scheduled arrival still fires and then draws gaps from
+    // the new process.
+    for (Source& source : sources) {
+      const auto& d = graph.pe(PeId(static_cast<PeId::value_type>(
+          source.pe_index)));
+      if (d.input_stream != change.stream) continue;
+      Rng stream_rng = change_rng.fork(source.pe_index);
+      source.process =
+          options.arrival_factory
+              ? options.arrival_factory(change.stream,
+                                        graph.stream(change.stream),
+                                        std::move(stream_rng))
+              : workload::make_arrival_process(graph.stream(change.stream),
+                                               std::move(stream_rng));
+    }
+  }
+
+  void apply_capacity_change(const CapacityChange& change) {
+    graph.node(change.node).cpu_capacity = change.new_capacity;
+    controllers[change.node.value()].set_capacity(change.new_capacity);
+    // total_capacity feeds the utilization metric; keep it current from
+    // this point on (utilization becomes an approximation across a change,
+    // which the reports tolerate).
+    total_capacity = 0.0;
+    for (NodeId n : graph.all_nodes())
+      total_capacity += graph.node(n).cpu_capacity;
+  }
+
+  void reoptimize() {
+    const opt::AllocationPlan plan = opt::optimize(graph, options.optimizer);
+    for (auto& controller : controllers) controller.set_plan(plan);
+    ++reoptimization_count;
+    simulator.schedule_in(options.reoptimize_interval,
+                          [this] { reoptimize(); });
+  }
+
+  static std::size_t count_egress(const graph::ProcessingGraph& g) {
+    std::size_t count = 0;
+    for (PeId id : g.all_pes())
+      if (g.pe(id).kind == graph::PeKind::kEgress) ++count;
+    return count;
+  }
+
+  [[nodiscard]] Seconds transport_latency(std::size_t from,
+                                          std::size_t to) const {
+    const bool same_node =
+        graph.pe(PeId(static_cast<PeId::value_type>(from))).node ==
+        graph.pe(PeId(static_cast<PeId::value_type>(to))).node;
+    return same_node ? options.local_latency : options.network_latency;
+  }
+
+  /// Accrues CPU progress on the in-flight SDO up to the current instant.
+  void progress(PeRt& pe) {
+    const Seconds now = simulator.now();
+    if (pe.busy && pe.share > 0.0) {
+      double done = (now - pe.last_progress) * pe.share;
+      done = std::min(done, pe.work_remaining);
+      pe.work_remaining -= done;
+      pe.cpu_used += done;
+      pe.lifetime_cpu += done;
+    }
+    pe.last_progress = now;
+  }
+
+  void schedule_completion(PeRt& pe) {
+    ACES_CHECK(pe.busy && pe.share > 0.0);
+    const std::uint64_t epoch = pe.epoch;
+    const std::size_t index = pe.index;
+    simulator.schedule_in(pe.work_remaining / pe.share,
+                          [this, index, epoch] { on_completion(index, epoch); });
+  }
+
+  /// Free slots in a PE's buffer from a Lock-Step sender's point of view.
+  [[nodiscard]] bool has_space_for_send(const PeRt& pe) const {
+    return static_cast<int>(pe.buffer.size()) + pe.reserved <
+           graph.pe(pe.id).buffer_capacity;
+  }
+
+  void maybe_start(PeRt& pe) {
+    if (pe.busy || pe.blocked || pe.disabled || pe.buffer.empty() ||
+        pe.share <= 0.0)
+      return;
+    pe.current = pe.buffer.front();
+    pe.buffer.pop_front();
+    pe.busy = true;
+    pe.work_remaining = pe.service.cost_at(simulator.now());
+    pe.last_progress = simulator.now();
+    ++pe.epoch;
+    schedule_completion(pe);
+    if (policy == control::FlowPolicy::kLockStep) wake_upstream(pe);
+  }
+
+  void on_completion(std::size_t index, std::uint64_t epoch) {
+    PeRt& pe = pes[index];
+    if (epoch != pe.epoch || !pe.busy) return;  // superseded by a tick
+    progress(pe);
+    if (pe.work_remaining > kWorkEps) {  // numeric drift: finish the residue
+      schedule_completion(pe);
+      return;
+    }
+    finish_current(pe);
+  }
+
+  void finish_current(PeRt& pe) {
+    const Seconds now = simulator.now();
+    pe.busy = false;
+    pe.processed += 1.0;
+    ++pe.lifetime_processed;
+    collector.on_processed(now);
+
+    // Credit-conserving realization of the fractional selectivity.
+    const auto& d = graph.pe(pe.id);
+    pe.selectivity_credit += d.selectivity;
+    const int outputs = static_cast<int>(std::floor(pe.selectivity_credit));
+    pe.selectivity_credit -= outputs;
+
+    if (d.kind == graph::PeKind::kEgress) {
+      pe.lifetime_emitted += static_cast<std::uint64_t>(outputs);
+      for (int k = 0; k < outputs; ++k) {
+        collector.on_egress_output(now, pe.egress_index, d.weight,
+                                   now - pe.current.birth);
+      }
+    } else if (outputs > 0) {
+      const auto& downs = graph.downstream(pe.id);
+      for (std::size_t slot = 0; slot < downs.size(); ++slot) {
+        for (int k = 0; k < outputs; ++k) {
+          send(pe, slot, Sdo{pe.current.birth});
+        }
+      }
+    }
+    if (!pe.blocked) maybe_start(pe);
+  }
+
+  /// Emits one SDO on downstream slot `slot` of `pe`, honouring the policy's
+  /// full-buffer semantics.
+  void send(PeRt& pe, std::size_t slot, Sdo sdo) {
+    ++pe.lifetime_emitted;
+    const std::size_t target = graph.downstream(pe.id)[slot].value();
+    if (policy == control::FlowPolicy::kLockStep) {
+      PeRt& t = pes[target];
+      if (has_space_for_send(t)) {
+        ++t.reserved;
+        const Seconds latency = transport_latency(pe.index, target);
+        simulator.schedule_in(latency, [this, target, sdo] {
+          deliver_reserved(target, sdo);
+        });
+      } else {
+        pe.pending.emplace_back(slot, sdo);
+        pe.blocked = true;  // min-flow: sleep until space frees
+      }
+      return;
+    }
+    // ACES / UDP: fire and (maybe) forget — drop resolves at delivery time.
+    const Seconds latency = transport_latency(pe.index, target);
+    simulator.schedule_in(latency,
+                          [this, target, sdo] { deliver(target, sdo); });
+  }
+
+  void deliver(std::size_t target, Sdo sdo) {
+    PeRt& pe = pes[target];
+    if (static_cast<int>(pe.buffer.size()) >=
+        graph.pe(pe.id).buffer_capacity) {
+      ++pe.lifetime_dropped;
+      collector.on_internal_drop(simulator.now());
+      return;
+    }
+    pe.buffer.push_back(sdo);
+    pe.arrived += 1.0;
+    ++pe.lifetime_arrived;
+    maybe_start(pe);
+  }
+
+  void deliver_reserved(std::size_t target, Sdo sdo) {
+    PeRt& pe = pes[target];
+    --pe.reserved;
+    ACES_CHECK_MSG(pe.reserved >= 0, "reservation accounting underflow");
+    pe.buffer.push_back(sdo);
+    pe.arrived += 1.0;
+    ++pe.lifetime_arrived;
+    maybe_start(pe);
+  }
+
+  /// Lock-Step: a slot freed at `pe` — let blocked upstream senders flush.
+  void wake_upstream(PeRt& pe) {
+    for (PeId up : graph.upstream(pe.id)) {
+      PeRt& u = pes[up.value()];
+      if (u.blocked) try_flush(u);
+    }
+  }
+
+  void try_flush(PeRt& pe) {
+    while (!pe.pending.empty()) {
+      const auto [slot, sdo] = pe.pending.front();
+      const std::size_t target = graph.downstream(pe.id)[slot].value();
+      PeRt& t = pes[target];
+      if (!has_space_for_send(t)) return;  // still blocked
+      ++t.reserved;
+      const Seconds latency = transport_latency(pe.index, target);
+      simulator.schedule_in(latency, [this, target, sdo] {
+        deliver_reserved(target, sdo);
+      });
+      pe.pending.pop_front();
+    }
+    pe.blocked = false;
+    maybe_start(pe);
+  }
+
+  void source_arrival(std::size_t source_index) {
+    Source& src = sources[source_index];
+    PeRt& pe = pes[src.pe_index];
+    const bool full =
+        policy == control::FlowPolicy::kLockStep
+            ? !has_space_for_send(pe)
+            : static_cast<int>(pe.buffer.size()) >=
+                  graph.pe(pe.id).buffer_capacity;
+    if (full) {
+      ++pe.lifetime_dropped;
+      collector.on_ingress_drop(simulator.now());
+    } else {
+      pe.buffer.push_back(Sdo{simulator.now()});
+      pe.arrived += 1.0;
+      ++pe.lifetime_arrived;
+      maybe_start(pe);
+    }
+    simulator.schedule_in(src.process->next_interarrival(),
+                          [this, source_index] { source_arrival(source_index); });
+  }
+
+  void node_tick(std::size_t node_index) {
+    const Seconds now = simulator.now();
+    control::NodeController& controller = controllers[node_index];
+    const auto& local = controller.local_pes();
+
+    std::vector<control::PeTickInput> inputs(local.size());
+    for (std::size_t i = 0; i < local.size(); ++i) {
+      PeRt& pe = pes[local[i].value()];
+      progress(pe);
+      control::PeTickInput& in = inputs[i];
+      in.buffer_occupancy = static_cast<double>(pe.buffer.size());
+      in.processed_sdos = pe.processed;
+      in.cpu_seconds_used = pe.cpu_used;
+      in.arrived_sdos = pe.arrived;
+      in.output_blocked = pe.blocked;
+      in.downstream_rmax = -kInf;
+      if (pe.downstream_advert.empty()) {
+        in.downstream_rmax = kInf;  // egress: unconstrained (Eq. 8 vacuous)
+      } else {
+        for (double advert : pe.downstream_advert)
+          in.downstream_rmax = std::max(in.downstream_rmax, advert);
+      }
+    }
+
+    const auto outputs = controller.tick(options.dt, inputs);
+
+    for (std::size_t i = 0; i < local.size(); ++i) {
+      PeRt& pe = pes[local[i].value()];
+      const auto& d = graph.pe(pe.id);
+      collector.on_cpu_used(now, pe.cpu_used);
+      collector.on_buffer_sample(now,
+                                 static_cast<double>(pe.buffer.size()) /
+                                     static_cast<double>(d.buffer_capacity));
+      if (pe.buffer_series != nullptr) {
+        pe.buffer_series->append(now, static_cast<double>(pe.buffer.size()));
+        pe.share_series->append(now, outputs[i].cpu_share);
+      }
+      pe.processed = pe.cpu_used = pe.arrived = 0.0;
+
+      const double granted = pe.disabled ? 0.0 : outputs[i].cpu_share;
+      if (granted != pe.share) {
+        pe.share = granted;
+        ++pe.epoch;
+        if (pe.busy && pe.share > 0.0) schedule_completion(pe);
+      }
+      if (!pe.busy) maybe_start(pe);
+
+      // Propagate advertisements upstream with transport latency (ACES and
+      // Threshold; an XON advertisement of +inf must travel too, or a gated
+      // upstream would never resume).
+      if (control::uses_flow_control(policy)) {
+        const double rmax = outputs[i].advertised_rmax;
+        for (const auto& [up_index, slot] : pe.upstream_slots) {
+          const Seconds latency = transport_latency(pe.index, up_index);
+          simulator.schedule_in(latency, [this, up_index, slot, rmax] {
+            pes[up_index].downstream_advert[slot] = rmax;
+          });
+        }
+      }
+    }
+    simulator.schedule_in(options.dt, [this, node_index] { node_tick(node_index); });
+  }
+
+  struct Source {
+    std::size_t pe_index;
+    std::unique_ptr<workload::ArrivalProcess> process;
+  };
+
+  graph::ProcessingGraph graph;  // private copy; dynamic events mutate it
+  SimOptions options;
+  control::FlowPolicy policy;
+  metrics::Collector collector;
+  Simulator simulator;
+  std::vector<PeRt> pes;
+  std::vector<control::NodeController> controllers;
+  std::vector<Source> sources;
+  double total_capacity = 0.0;
+  metrics::TimeSeriesSet trajectories;
+  Rng change_rng;
+  int reoptimization_count = 0;
+};
+
+StreamSimulation::StreamSimulation(const graph::ProcessingGraph& graph,
+                                   const opt::AllocationPlan& plan,
+                                   const SimOptions& options)
+    : impl_(std::make_unique<Impl>(graph, plan, options)) {}
+
+StreamSimulation::~StreamSimulation() = default;
+
+void StreamSimulation::run() { run_until(impl_->options.duration); }
+
+void StreamSimulation::run_until(Seconds t) { impl_->simulator.run_until(t); }
+
+metrics::RunReport StreamSimulation::report() const {
+  metrics::RunReport report = impl_->collector.finalize(
+      impl_->simulator.now(), impl_->total_capacity);
+  report.per_pe.reserve(impl_->pes.size());
+  for (const auto& pe : impl_->pes) {
+    metrics::PeAccounting acc;
+    acc.arrived = pe.lifetime_arrived;
+    acc.processed = pe.lifetime_processed;
+    acc.emitted = pe.lifetime_emitted;
+    acc.dropped_input = pe.lifetime_dropped;
+    acc.cpu_seconds = pe.lifetime_cpu;
+    report.per_pe.push_back(acc);
+  }
+  return report;
+}
+
+Seconds StreamSimulation::now() const { return impl_->simulator.now(); }
+
+std::size_t StreamSimulation::buffer_size(PeId id) const {
+  return impl_->pes.at(id.value()).buffer.size();
+}
+
+double StreamSimulation::cpu_share(PeId id) const {
+  return impl_->pes.at(id.value()).share;
+}
+
+double StreamSimulation::last_advertisement(PeId id) const {
+  // The freshest advertisement this PE computed is tracked by its upstream
+  // peers; report the value stored in any upstream slot, or +inf if none.
+  const auto& pe = impl_->pes.at(id.value());
+  if (pe.upstream_slots.empty()) return std::numeric_limits<double>::infinity();
+  const auto& [up_index, slot] = pe.upstream_slots.front();
+  return impl_->pes.at(up_index).downstream_advert.at(slot);
+}
+
+std::uint64_t StreamSimulation::events_executed() const {
+  return impl_->simulator.executed();
+}
+
+PeStats StreamSimulation::pe_stats(PeId id) const {
+  const auto& pe = impl_->pes.at(id.value());
+  PeStats stats;
+  stats.arrived = pe.lifetime_arrived;
+  stats.processed = pe.lifetime_processed;
+  stats.emitted = pe.lifetime_emitted;
+  stats.dropped_input = pe.lifetime_dropped;
+  stats.cpu_seconds = pe.lifetime_cpu;
+  stats.in_buffer = pe.buffer.size();
+  stats.busy = pe.busy;
+  return stats;
+}
+
+const metrics::TimeSeriesSet& StreamSimulation::timeseries() const {
+  return impl_->trajectories;
+}
+
+int StreamSimulation::reoptimizations() const {
+  return impl_->reoptimization_count;
+}
+
+metrics::RunReport simulate(const graph::ProcessingGraph& graph,
+                            const opt::AllocationPlan& plan,
+                            const SimOptions& options) {
+  StreamSimulation sim(graph, plan, options);
+  sim.run();
+  return sim.report();
+}
+
+}  // namespace aces::sim

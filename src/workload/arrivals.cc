@@ -1,0 +1,74 @@
+#include "workload/arrivals.h"
+
+#include "common/check.h"
+
+namespace aces::workload {
+
+CbrArrivals::CbrArrivals(double rate) : gap_(1.0 / rate) {
+  ACES_CHECK_MSG(rate > 0.0, "CBR rate must be positive");
+}
+
+PoissonArrivals::PoissonArrivals(double rate, Rng rng)
+    : rate_(rate), rng_(rng) {
+  ACES_CHECK_MSG(rate > 0.0, "Poisson rate must be positive");
+}
+
+Seconds PoissonArrivals::next_interarrival() {
+  return rng_.exponential(1.0 / rate_);
+}
+
+OnOffArrivals::OnOffArrivals(double mean_rate, double on_fraction,
+                             double cycle_mean, Rng rng)
+    : mean_rate_(mean_rate),
+      peak_rate_(mean_rate / on_fraction),
+      phase_mean_{cycle_mean * (1.0 - on_fraction), cycle_mean * on_fraction},
+      rng_(rng) {
+  ACES_CHECK_MSG(mean_rate > 0.0, "mean rate must be positive");
+  ACES_CHECK_MSG(on_fraction > 0.0 && on_fraction < 1.0,
+                 "on_fraction must be in (0,1)");
+  ACES_CHECK_MSG(cycle_mean > 0.0, "cycle mean must be positive");
+  phase_ = rng_.bernoulli(on_fraction) ? 1 : 0;
+  switch_time_ = rng_.exponential(phase_mean_[phase_]);
+}
+
+void OnOffArrivals::toggle() {
+  now_ = switch_time_;
+  phase_ = 1 - phase_;
+  switch_time_ = now_ + rng_.exponential(phase_mean_[phase_]);
+}
+
+Seconds OnOffArrivals::next_interarrival() {
+  Seconds elapsed = 0.0;
+  for (;;) {
+    if (phase_ == 1) {
+      const Seconds gap = rng_.exponential(1.0 / peak_rate_);
+      if (now_ + gap < switch_time_) {
+        now_ += gap;
+        return elapsed + gap;
+      }
+      elapsed += switch_time_ - now_;
+      toggle();
+    } else {
+      elapsed += switch_time_ - now_;
+      toggle();
+    }
+  }
+}
+
+std::unique_ptr<ArrivalProcess> make_arrival_process(
+    const graph::StreamDescriptor& stream, Rng rng) {
+  ACES_CHECK_MSG(stream.burstiness >= 0.0 && stream.burstiness <= 1.0,
+                 "stream burstiness out of [0,1]");
+  if (stream.mean_rate <= 0.0) {
+    // A silent stream: model as CBR with an enormous gap.
+    return std::make_unique<CbrArrivals>(1e-9);
+  }
+  if (stream.burstiness == 0.0) {
+    return std::make_unique<CbrArrivals>(stream.mean_rate);
+  }
+  const double on_fraction = 1.0 - 0.75 * stream.burstiness;
+  return std::make_unique<OnOffArrivals>(stream.mean_rate, on_fraction,
+                                         /*cycle_mean=*/1.0, rng);
+}
+
+}  // namespace aces::workload

@@ -1,0 +1,44 @@
+#include "workload/markov_modulator.h"
+
+#include "common/check.h"
+
+namespace aces::workload {
+
+TwoStateModulator::TwoStateModulator(double mean0, double mean1, Rng rng)
+    : mean_{mean0, mean1}, rng_(rng) {
+  ACES_CHECK_MSG(mean0 > 0.0 && mean1 > 0.0, "sojourn means must be positive");
+  state_ = rng_.bernoulli(stationary_p1()) ? 1 : 0;
+  draw_sojourn();
+}
+
+void TwoStateModulator::draw_sojourn() {
+  switch_time_ = now_ + rng_.exponential(mean_[state_]);
+}
+
+void TwoStateModulator::advance_to(Seconds t) {
+  ACES_CHECK_MSG(t >= now_, "modulator clock must be monotone");
+  while (switch_time_ <= t) {
+    now_ = switch_time_;
+    state_ = 1 - state_;
+    draw_sojourn();
+  }
+  now_ = t;
+}
+
+ServiceModel::ServiceModel(double cost0, double cost1, double sojourn0,
+                           double sojourn1, Rng rng)
+    : cost_{cost0, cost1}, modulator_(sojourn0, sojourn1, rng) {
+  ACES_CHECK_MSG(cost0 > 0.0 && cost1 > 0.0, "service costs must be positive");
+}
+
+double ServiceModel::cost_at(Seconds t) {
+  modulator_.advance_to(t);
+  return cost_[modulator_.state()];
+}
+
+double ServiceModel::mean_cost() const {
+  const double p1 = modulator_.stationary_p1();
+  return (1.0 - p1) * cost_[0] + p1 * cost_[1];
+}
+
+}  // namespace aces::workload

@@ -1,0 +1,66 @@
+// Two-state continuous-time Markov modulator (paper §VI-B).
+//
+// "The PE operates in two states, S ∈ {0, 1}. The processing time of a packet
+//  differs in the two states, and this leads to burstiness in processing. The
+//  duration that a PE spends in state S is chosen from a continuous-time
+//  exponential distribution with parameter λ_S."
+#pragma once
+
+#include "common/rng.h"
+#include "common/types.h"
+
+namespace aces::workload {
+
+/// Alternates between state 0 and state 1 with exponentially-distributed
+/// sojourn times. Time is caller-driven and monotone.
+class TwoStateModulator {
+ public:
+  /// `mean0`/`mean1`: mean sojourn seconds in each state. The initial state
+  /// is drawn from the stationary distribution.
+  TwoStateModulator(double mean0, double mean1, Rng rng);
+
+  [[nodiscard]] int state() const { return state_; }
+  /// Absolute time at which the current sojourn ends.
+  [[nodiscard]] Seconds next_switch_time() const { return switch_time_; }
+  [[nodiscard]] Seconds now() const { return now_; }
+
+  /// Advances the modulator clock to `t` (>= now()), performing every state
+  /// switch whose time is <= t.
+  void advance_to(Seconds t);
+
+  /// Stationary probability of state 1.
+  [[nodiscard]] double stationary_p1() const {
+    return mean_[1] / (mean_[0] + mean_[1]);
+  }
+
+ private:
+  void draw_sojourn();
+
+  double mean_[2];
+  Rng rng_;
+  int state_ = 0;
+  Seconds now_ = 0.0;
+  Seconds switch_time_ = 0.0;
+};
+
+/// Couples a TwoStateModulator with per-state service costs: answers "how
+/// much CPU time does an SDO started at time t cost?".
+class ServiceModel {
+ public:
+  /// `cost0`/`cost1`: CPU seconds per SDO in each state.
+  ServiceModel(double cost0, double cost1, double sojourn0, double sojourn1,
+               Rng rng);
+
+  /// Advances to `t` and returns the per-SDO CPU cost of the current state.
+  double cost_at(Seconds t);
+
+  [[nodiscard]] int state() const { return modulator_.state(); }
+  /// Stationary mean per-SDO cost.
+  [[nodiscard]] double mean_cost() const;
+
+ private:
+  double cost_[2];
+  TwoStateModulator modulator_;
+};
+
+}  // namespace aces::workload

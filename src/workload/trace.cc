@@ -1,0 +1,46 @@
+#include "workload/trace.h"
+
+#include <numeric>
+
+#include "common/check.h"
+
+namespace aces::workload {
+
+RecordingArrivals::RecordingArrivals(std::unique_ptr<ArrivalProcess> inner)
+    : inner_(std::move(inner)) {
+  ACES_CHECK_MSG(inner_ != nullptr, "null inner arrival process");
+}
+
+Seconds RecordingArrivals::next_interarrival() {
+  const Seconds gap = inner_->next_interarrival();
+  trace_.push_back(gap);
+  return gap;
+}
+
+TraceArrivals::TraceArrivals(std::vector<Seconds> gaps)
+    : gaps_(std::move(gaps)) {
+  ACES_CHECK_MSG(!gaps_.empty(), "empty arrival trace");
+  double total = 0.0;
+  for (const Seconds gap : gaps_) {
+    ACES_CHECK_MSG(gap > 0.0, "trace gaps must be strictly positive");
+    total += gap;
+  }
+  mean_rate_ = static_cast<double>(gaps_.size()) / total;
+}
+
+Seconds TraceArrivals::next_interarrival() {
+  const Seconds gap = gaps_[cursor_];
+  cursor_ = (cursor_ + 1) % gaps_.size();
+  return gap;
+}
+
+std::vector<Seconds> record_trace(ArrivalProcess& source, std::size_t count) {
+  ACES_CHECK_MSG(count > 0, "cannot record an empty trace");
+  std::vector<Seconds> gaps;
+  gaps.reserve(count);
+  for (std::size_t i = 0; i < count; ++i)
+    gaps.push_back(source.next_interarrival());
+  return gaps;
+}
+
+}  // namespace aces::workload

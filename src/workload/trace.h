@@ -1,0 +1,52 @@
+// Trace-driven arrivals: record the inter-arrival gaps one process produces
+// and replay them exactly later.
+//
+// Two uses: (1) replaying a recorded production trace as the paper replays
+// "workloads developed to model real-world conditions", and (2) driving the
+// simulator and the threaded runtime with the *identical* arrival sequence
+// so calibration differences cannot hide in source randomness.
+#pragma once
+
+#include <vector>
+
+#include "workload/arrivals.h"
+
+namespace aces::workload {
+
+/// Wraps any ArrivalProcess and records every gap it hands out.
+class RecordingArrivals final : public ArrivalProcess {
+ public:
+  explicit RecordingArrivals(std::unique_ptr<ArrivalProcess> inner);
+
+  Seconds next_interarrival() override;
+  [[nodiscard]] double mean_rate() const override {
+    return inner_->mean_rate();
+  }
+  [[nodiscard]] const std::vector<Seconds>& trace() const { return trace_; }
+
+ private:
+  std::unique_ptr<ArrivalProcess> inner_;
+  std::vector<Seconds> trace_;
+};
+
+/// Replays a fixed gap sequence, cycling when it runs out.
+class TraceArrivals final : public ArrivalProcess {
+ public:
+  /// `gaps` must be non-empty and strictly positive.
+  explicit TraceArrivals(std::vector<Seconds> gaps);
+
+  Seconds next_interarrival() override;
+  /// Mean rate implied by one full cycle of the trace.
+  [[nodiscard]] double mean_rate() const override { return mean_rate_; }
+  [[nodiscard]] std::size_t length() const { return gaps_.size(); }
+
+ private:
+  std::vector<Seconds> gaps_;
+  double mean_rate_;
+  std::size_t cursor_ = 0;
+};
+
+/// Pre-generates `count` gaps from `source` and returns a replayable trace.
+std::vector<Seconds> record_trace(ArrivalProcess& source, std::size_t count);
+
+}  // namespace aces::workload

@@ -1,0 +1,42 @@
+#include "common/check.h"
+
+#include <gtest/gtest.h>
+
+namespace aces {
+namespace {
+
+TEST(CheckTest, PassingCheckDoesNothing) {
+  EXPECT_NO_THROW(ACES_CHECK(1 + 1 == 2));
+}
+
+TEST(CheckTest, FailingCheckThrowsCheckFailure) {
+  EXPECT_THROW(ACES_CHECK(false), CheckFailure);
+}
+
+TEST(CheckTest, MessageIncludesExpressionAndLocation) {
+  try {
+    ACES_CHECK(2 < 1);
+    FAIL() << "expected CheckFailure";
+  } catch (const CheckFailure& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("2 < 1"), std::string::npos);
+    EXPECT_NE(what.find("check_test.cc"), std::string::npos);
+  }
+}
+
+TEST(CheckTest, CheckMsgStreamsContext) {
+  try {
+    const int value = 42;
+    ACES_CHECK_MSG(value == 0, "value was " << value);
+    FAIL() << "expected CheckFailure";
+  } catch (const CheckFailure& e) {
+    EXPECT_NE(std::string(e.what()).find("value was 42"), std::string::npos);
+  }
+}
+
+TEST(CheckTest, CheckFailureIsALogicError) {
+  EXPECT_THROW(ACES_CHECK(false), std::logic_error);
+}
+
+}  // namespace
+}  // namespace aces

@@ -1,0 +1,118 @@
+#include "common/histogram.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace aces {
+namespace {
+
+TEST(LogHistogramTest, EmptyQuantileIsZero) {
+  LogHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.median(), 0.0);
+}
+
+TEST(LogHistogramTest, SinglePointQuantiles) {
+  LogHistogram h;
+  h.add(0.25);
+  // Bucket resolution: 20 buckets/decade -> ~12% relative width.
+  EXPECT_NEAR(h.median(), 0.25, 0.25 * 0.13);
+  EXPECT_NEAR(h.quantile(0.0), 0.25, 0.25 * 0.13);
+  EXPECT_NEAR(h.quantile(1.0), 0.25, 0.25 * 0.13);
+}
+
+TEST(LogHistogramTest, QuantilesOfUniformSample) {
+  LogHistogram h(1e-3, 1e3, 40);
+  Rng rng(3);
+  for (int i = 0; i < 200000; ++i) h.add(rng.uniform(1.0, 101.0));
+  EXPECT_NEAR(h.median(), 51.0, 51.0 * 0.06);
+  EXPECT_NEAR(h.quantile(0.25), 26.0, 26.0 * 0.08);
+  EXPECT_NEAR(h.p99(), 100.0, 100.0 * 0.08);
+}
+
+TEST(LogHistogramTest, BoundedRelativeErrorAcrossMagnitudes) {
+  LogHistogram h(1e-6, 1e4, 20);
+  for (double value : {1e-5, 1e-3, 0.1, 10.0, 1000.0}) {
+    LogHistogram single(1e-6, 1e4, 20);
+    single.add(value);
+    EXPECT_NEAR(single.median(), value, value * 0.13)
+        << "value " << value;
+  }
+  (void)h;
+}
+
+TEST(LogHistogramTest, UnderflowAndOverflowBuckets) {
+  LogHistogram h(1e-3, 1e3, 10);
+  h.add(1e-9);
+  h.add(0.0);
+  h.add(-5.0);
+  h.add(1e9);
+  EXPECT_EQ(h.underflow(), 3u);
+  EXPECT_EQ(h.overflow(), 1u);
+  EXPECT_EQ(h.count(), 4u);
+}
+
+TEST(LogHistogramTest, NanLandsInUnderflowNotUb) {
+  LogHistogram h;
+  h.add(std::nan(""));
+  EXPECT_EQ(h.underflow(), 1u);
+}
+
+TEST(LogHistogramTest, WeightedAdd) {
+  LogHistogram h;
+  h.add(1.0, 10);
+  h.add(100.0, 1);
+  EXPECT_EQ(h.count(), 11u);
+  EXPECT_NEAR(h.median(), 1.0, 0.15);
+}
+
+TEST(LogHistogramTest, MergeCombinesCounts) {
+  LogHistogram a(1e-3, 1e3, 10);
+  LogHistogram b(1e-3, 1e3, 10);
+  a.add(1.0);
+  b.add(100.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_GT(a.quantile(0.9), 50.0);
+}
+
+TEST(LogHistogramTest, MergeRejectsMismatchedGeometry) {
+  LogHistogram a(1e-3, 1e3, 10);
+  LogHistogram b(1e-3, 1e3, 20);
+  EXPECT_THROW(a.merge(b), CheckFailure);
+}
+
+TEST(LogHistogramTest, ResetClearsCounts) {
+  LogHistogram h;
+  h.add(1.0);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.median(), 0.0);
+}
+
+TEST(LogHistogramTest, QuantileRejectsOutOfRange) {
+  LogHistogram h;
+  h.add(1.0);
+  EXPECT_THROW((void)h.quantile(-0.1), CheckFailure);
+  EXPECT_THROW((void)h.quantile(1.1), CheckFailure);
+}
+
+TEST(LogHistogramTest, BucketLowerIsGeometric) {
+  LogHistogram h(1.0, 100.0, 10);
+  EXPECT_NEAR(h.bucket_lower(0), 1.0, 1e-12);
+  EXPECT_NEAR(h.bucket_lower(10), 10.0, 1e-9);
+  EXPECT_NEAR(h.bucket_lower(20), 100.0, 1e-9);
+}
+
+TEST(LogHistogramTest, RejectsBadGeometry) {
+  EXPECT_THROW(LogHistogram(0.0, 10.0, 10), CheckFailure);
+  EXPECT_THROW(LogHistogram(10.0, 1.0, 10), CheckFailure);
+  EXPECT_THROW(LogHistogram(1.0, 10.0, 0), CheckFailure);
+}
+
+}  // namespace
+}  // namespace aces

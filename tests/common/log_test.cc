@@ -1,0 +1,48 @@
+#include "common/log.h"
+
+#include <gtest/gtest.h>
+
+namespace aces {
+namespace {
+
+class LogTest : public ::testing::Test {
+ protected:
+  void TearDown() override { set_log_level(LogLevel::kWarn); }  // default
+};
+
+TEST_F(LogTest, LevelRoundTrip) {
+  set_log_level(LogLevel::kDebug);
+  EXPECT_EQ(log_level(), LogLevel::kDebug);
+  set_log_level(LogLevel::kError);
+  EXPECT_EQ(log_level(), LogLevel::kError);
+}
+
+TEST_F(LogTest, MacroBelowThresholdDoesNotEvaluateStream) {
+  set_log_level(LogLevel::kOff);
+  int evaluations = 0;
+  const auto count = [&evaluations] {
+    ++evaluations;
+    return 42;
+  };
+  ACES_DEBUG("value " << count());
+  ACES_ERROR("value " << count());
+  EXPECT_EQ(evaluations, 0);  // both suppressed, stream never built
+}
+
+TEST_F(LogTest, MacroAtThresholdEvaluates) {
+  set_log_level(LogLevel::kError);
+  testing::internal::CaptureStderr();
+  ACES_ERROR("boom " << 7);
+  const std::string out = testing::internal::GetCapturedStderr();
+  EXPECT_NE(out.find("boom 7"), std::string::npos);
+  EXPECT_NE(out.find("ERROR"), std::string::npos);
+}
+
+TEST_F(LogTest, DefaultLevelSuppressesInfo) {
+  testing::internal::CaptureStderr();
+  ACES_INFO("quiet");
+  EXPECT_EQ(testing::internal::GetCapturedStderr(), "");
+}
+
+}  // namespace
+}  // namespace aces

@@ -1,0 +1,155 @@
+#include "common/matrix.h"
+
+#include <cmath>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+
+namespace aces {
+namespace {
+
+TEST(MatrixTest, ConstructionAndIndexing) {
+  Matrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_EQ(m(1, 2), 1.5);
+  m(0, 0) = 4.0;
+  EXPECT_EQ(m(0, 0), 4.0);
+}
+
+TEST(MatrixTest, InitializerListLayout) {
+  Matrix m{{1.0, 2.0}, {3.0, 4.0}};
+  EXPECT_EQ(m(0, 1), 2.0);
+  EXPECT_EQ(m(1, 0), 3.0);
+}
+
+TEST(MatrixTest, RaggedInitializerRejected) {
+  EXPECT_THROW((Matrix{{1.0, 2.0}, {3.0}}), CheckFailure);
+}
+
+TEST(MatrixTest, OutOfBoundsAccessThrows) {
+  Matrix m(2, 2);
+  EXPECT_THROW(m(2, 0), CheckFailure);
+  EXPECT_THROW(m(0, 2), CheckFailure);
+}
+
+TEST(MatrixTest, IdentityProduct) {
+  const Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  const Matrix i = Matrix::identity(2);
+  EXPECT_EQ((a * i).max_abs_diff(a), 0.0);
+  EXPECT_EQ((i * a).max_abs_diff(a), 0.0);
+}
+
+TEST(MatrixTest, KnownProduct) {
+  const Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  const Matrix b{{5.0, 6.0}, {7.0, 8.0}};
+  const Matrix expected{{19.0, 22.0}, {43.0, 50.0}};
+  EXPECT_LT((a * b).max_abs_diff(expected), 1e-12);
+}
+
+TEST(MatrixTest, ShapeMismatchProductThrows) {
+  const Matrix a(2, 3);
+  const Matrix b(2, 3);
+  EXPECT_THROW(a * b, CheckFailure);
+}
+
+TEST(MatrixTest, TransposeRoundTrip) {
+  const Matrix a{{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}};
+  const Matrix t = a.transpose();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t(0, 1), 4.0);
+  EXPECT_EQ(t.transpose().max_abs_diff(a), 0.0);
+}
+
+TEST(MatrixTest, AdditionSubtractionScaling) {
+  Matrix a{{1.0, 2.0}};
+  const Matrix b{{3.0, 5.0}};
+  EXPECT_EQ((a + b)(0, 1), 7.0);
+  EXPECT_EQ((b - a)(0, 0), 2.0);
+  EXPECT_EQ((a * 2.0)(0, 1), 4.0);
+  EXPECT_EQ((2.0 * a)(0, 0), 2.0);
+}
+
+TEST(MatrixTest, SolveKnownSystem) {
+  const Matrix a{{2.0, 1.0}, {1.0, 3.0}};
+  const Matrix b{{5.0}, {10.0}};
+  const Matrix x = solve(a, b);
+  EXPECT_NEAR(x(0, 0), 1.0, 1e-12);
+  EXPECT_NEAR(x(1, 0), 3.0, 1e-12);
+}
+
+TEST(MatrixTest, SolveMultipleRhsColumns) {
+  const Matrix a{{4.0, 0.0}, {0.0, 2.0}};
+  const Matrix b{{4.0, 8.0}, {2.0, 6.0}};
+  const Matrix x = solve(a, b);
+  EXPECT_NEAR(x(0, 0), 1.0, 1e-12);
+  EXPECT_NEAR(x(0, 1), 2.0, 1e-12);
+  EXPECT_NEAR(x(1, 1), 3.0, 1e-12);
+}
+
+TEST(MatrixTest, SolveRequiresPivoting) {
+  // Zero on the initial pivot: succeeds only with row exchange.
+  const Matrix a{{0.0, 1.0}, {1.0, 0.0}};
+  const Matrix b{{2.0}, {3.0}};
+  const Matrix x = solve(a, b);
+  EXPECT_NEAR(x(0, 0), 3.0, 1e-12);
+  EXPECT_NEAR(x(1, 0), 2.0, 1e-12);
+}
+
+TEST(MatrixTest, SolveSingularThrows) {
+  const Matrix a{{1.0, 2.0}, {2.0, 4.0}};
+  const Matrix b{{1.0}, {2.0}};
+  EXPECT_THROW(solve(a, b), CheckFailure);
+}
+
+TEST(MatrixTest, SolveResidualIsTiny) {
+  Matrix a(4, 4);
+  // A diagonally dominant random-ish matrix.
+  const double vals[4][4] = {{10, 2, -1, 3},
+                             {1, 8, 2, -2},
+                             {-2, 1, 12, 1},
+                             {3, -1, 2, 9}};
+  for (std::size_t r = 0; r < 4; ++r)
+    for (std::size_t c = 0; c < 4; ++c) a(r, c) = vals[r][c];
+  Matrix b(4, 1);
+  for (std::size_t r = 0; r < 4; ++r) b(r, 0) = static_cast<double>(r) + 1.0;
+  const Matrix x = solve(a, b);
+  EXPECT_LT((a * x).max_abs_diff(b), 1e-10);
+}
+
+TEST(SpectralRadiusTest, DiagonalMatrix) {
+  const Matrix a{{0.5, 0.0}, {0.0, -0.9}};
+  EXPECT_NEAR(spectral_radius(a), 0.9, 1e-3);
+}
+
+TEST(SpectralRadiusTest, RotationHasComplexPair) {
+  // Rotation scaled by 0.8: eigenvalues 0.8·e^{±iθ}; plain power iteration
+  // oscillates on this, Gelfand's formula must not.
+  const double c = 0.8 * std::cos(0.7);
+  const double s = 0.8 * std::sin(0.7);
+  const Matrix a{{c, -s}, {s, c}};
+  EXPECT_NEAR(spectral_radius(a), 0.8, 1e-3);
+}
+
+TEST(SpectralRadiusTest, NilpotentIsZero) {
+  const Matrix a{{0.0, 1.0}, {0.0, 0.0}};
+  EXPECT_NEAR(spectral_radius(a), 0.0, 1e-6);
+}
+
+TEST(SpectralRadiusTest, UnstableMatrixExceedsOne) {
+  const Matrix a{{1.2, 0.0}, {0.3, 0.4}};
+  EXPECT_NEAR(spectral_radius(a), 1.2, 1e-3);
+}
+
+TEST(MatrixTest, PrintingIsReadable) {
+  const Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  std::ostringstream oss;
+  oss << a;
+  EXPECT_NE(oss.str().find("1"), std::string::npos);
+  EXPECT_NE(oss.str().find("4"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace aces

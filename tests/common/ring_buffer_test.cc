@@ -1,0 +1,74 @@
+#include "common/ring_buffer.h"
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+
+namespace aces {
+namespace {
+
+TEST(HistoryRingTest, NewestFirstLagIndexing) {
+  HistoryRing<int> ring(3);
+  ring.push(1);
+  ring.push(2);
+  ring.push(3);
+  EXPECT_EQ(ring.at_lag(0), 3);
+  EXPECT_EQ(ring.at_lag(1), 2);
+  EXPECT_EQ(ring.at_lag(2), 1);
+}
+
+TEST(HistoryRingTest, WrapsAroundDroppingOldest) {
+  HistoryRing<int> ring(3);
+  for (int i = 1; i <= 5; ++i) ring.push(i);
+  EXPECT_EQ(ring.at_lag(0), 5);
+  EXPECT_EQ(ring.at_lag(1), 4);
+  EXPECT_EQ(ring.at_lag(2), 3);
+}
+
+TEST(HistoryRingTest, UnpushedLagsReturnFillValue) {
+  HistoryRing<double> ring(4, -1.5);
+  ring.push(3.0);
+  EXPECT_EQ(ring.at_lag(0), 3.0);
+  EXPECT_EQ(ring.at_lag(1), -1.5);
+  EXPECT_EQ(ring.at_lag(3), -1.5);
+}
+
+TEST(HistoryRingTest, SizeSaturatesAtCapacity) {
+  HistoryRing<int> ring(2);
+  EXPECT_EQ(ring.size(), 0u);
+  ring.push(1);
+  EXPECT_EQ(ring.size(), 1u);
+  ring.push(2);
+  ring.push(3);
+  EXPECT_EQ(ring.size(), 2u);
+  EXPECT_EQ(ring.capacity(), 2u);
+}
+
+TEST(HistoryRingTest, FillOverwritesEverySlot) {
+  HistoryRing<int> ring(3);
+  ring.push(1);
+  ring.fill(7);
+  EXPECT_EQ(ring.at_lag(0), 7);
+  EXPECT_EQ(ring.at_lag(2), 7);
+  EXPECT_EQ(ring.size(), 3u);
+}
+
+TEST(HistoryRingTest, LagBeyondCapacityThrows) {
+  HistoryRing<int> ring(2);
+  ring.push(1);
+  EXPECT_THROW((void)ring.at_lag(2), CheckFailure);
+}
+
+TEST(HistoryRingTest, ZeroCapacityRejected) {
+  EXPECT_THROW(HistoryRing<int>(0), CheckFailure);
+}
+
+TEST(HistoryRingTest, CapacityOneAlwaysNewest) {
+  HistoryRing<int> ring(1);
+  ring.push(1);
+  ring.push(9);
+  EXPECT_EQ(ring.at_lag(0), 9);
+}
+
+}  // namespace
+}  // namespace aces

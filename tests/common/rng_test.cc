@@ -1,0 +1,165 @@
+#include "common/rng.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "common/stats.h"
+
+namespace aces {
+namespace {
+
+TEST(RngTest, SameSeedSameSequence) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(RngTest, DifferentSeedsDifferentSequences) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += (a() == b());
+  EXPECT_LT(equal, 2);
+}
+
+TEST(RngTest, ForkIsIndependentOfParentContinuation) {
+  Rng parent1(7);
+  Rng parent2(7);
+  Rng child1 = parent1.fork(11);
+  Rng child2 = parent2.fork(11);
+  // Same parent state + salt -> same child.
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(child1(), child2());
+}
+
+TEST(RngTest, ForkSaltsProduceDistinctChildren) {
+  Rng parent(7);
+  Rng a = parent.fork(1);
+  Rng b = parent.fork(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += (a() == b());
+  EXPECT_LT(equal, 2);
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformMeanAndVariance) {
+  Rng rng(5);
+  OnlineStats stats;
+  for (int i = 0; i < 100000; ++i) stats.add(rng.uniform());
+  EXPECT_NEAR(stats.mean(), 0.5, 0.01);
+  EXPECT_NEAR(stats.variance(), 1.0 / 12.0, 0.005);
+}
+
+TEST(RngTest, UniformRangeRespectsBounds) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.0, 2.5);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 2.5);
+  }
+}
+
+TEST(RngTest, UniformIntCoversFullRangeInclusive) {
+  Rng rng(9);
+  std::vector<int> counts(6, 0);
+  for (int i = 0; i < 60000; ++i) {
+    const auto v = rng.uniform_int(1, 6);
+    ASSERT_GE(v, 1);
+    ASSERT_LE(v, 6);
+    ++counts[static_cast<std::size_t>(v - 1)];
+  }
+  for (int c : counts) EXPECT_NEAR(c, 10000, 600);
+}
+
+TEST(RngTest, UniformIntSinglePoint) {
+  Rng rng(9);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.uniform_int(4, 4), 4);
+}
+
+TEST(RngTest, UniformIntRejectsInvertedRange) {
+  Rng rng(9);
+  EXPECT_THROW(rng.uniform_int(3, 2), CheckFailure);
+}
+
+TEST(RngTest, ExponentialMeanMatches) {
+  Rng rng(17);
+  OnlineStats stats;
+  for (int i = 0; i < 100000; ++i) stats.add(rng.exponential(2.5));
+  EXPECT_NEAR(stats.mean(), 2.5, 0.05);
+  // Exponential: stddev == mean.
+  EXPECT_NEAR(stats.stddev(), 2.5, 0.08);
+  EXPECT_GT(stats.min(), 0.0);
+}
+
+TEST(RngTest, ExponentialRejectsNonPositiveMean) {
+  Rng rng(17);
+  EXPECT_THROW(rng.exponential(0.0), CheckFailure);
+  EXPECT_THROW(rng.exponential(-1.0), CheckFailure);
+}
+
+TEST(RngTest, NormalMoments) {
+  Rng rng(23);
+  OnlineStats stats;
+  for (int i = 0; i < 100000; ++i) stats.add(rng.normal(10.0, 3.0));
+  EXPECT_NEAR(stats.mean(), 10.0, 0.05);
+  EXPECT_NEAR(stats.stddev(), 3.0, 0.05);
+}
+
+TEST(RngTest, PoissonSmallMean) {
+  Rng rng(31);
+  OnlineStats stats;
+  for (int i = 0; i < 100000; ++i)
+    stats.add(static_cast<double>(rng.poisson(3.0)));
+  EXPECT_NEAR(stats.mean(), 3.0, 0.05);
+  EXPECT_NEAR(stats.variance(), 3.0, 0.1);
+}
+
+TEST(RngTest, PoissonLargeMeanUsesNormalApproximation) {
+  Rng rng(31);
+  OnlineStats stats;
+  for (int i = 0; i < 50000; ++i)
+    stats.add(static_cast<double>(rng.poisson(200.0)));
+  EXPECT_NEAR(stats.mean(), 200.0, 1.0);
+  EXPECT_NEAR(stats.variance(), 200.0, 8.0);
+}
+
+TEST(RngTest, PoissonZeroMeanIsZero) {
+  Rng rng(31);
+  EXPECT_EQ(rng.poisson(0.0), 0);
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(37);
+  int hits = 0;
+  for (int i = 0; i < 100000; ++i) hits += rng.bernoulli(0.3);
+  EXPECT_NEAR(hits / 100000.0, 0.3, 0.01);
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(37);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(RngTest, SplitMix64KnownVector) {
+  // Reference values for splitmix64 seeded with 0 (published test vector).
+  std::uint64_t state = 0;
+  EXPECT_EQ(splitmix64(state), 0xE220A8397B1DCDAFULL);
+  EXPECT_EQ(splitmix64(state), 0x6E789E6AA1B965F4ULL);
+  EXPECT_EQ(splitmix64(state), 0x06C45D188009454FULL);
+}
+
+}  // namespace
+}  // namespace aces

@@ -1,0 +1,184 @@
+#include "common/stats.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace aces {
+namespace {
+
+TEST(OnlineStatsTest, EmptyIsZeroedAndSentinelled) {
+  OnlineStats s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_TRUE(std::isinf(s.min()));
+  EXPECT_TRUE(std::isinf(s.max()));
+}
+
+TEST(OnlineStatsTest, KnownSmallSample) {
+  OnlineStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 4.0);  // classic textbook sample
+  EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(OnlineStatsTest, SampleVarianceUsesBesselCorrection) {
+  OnlineStats s;
+  for (double x : {1.0, 2.0, 3.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.sample_variance(), 1.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 2.0 / 3.0);
+}
+
+TEST(OnlineStatsTest, SingleSampleHasZeroVariance) {
+  OnlineStats s;
+  s.add(42.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.sample_variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 42.0);
+}
+
+TEST(OnlineStatsTest, MergeMatchesSequential) {
+  Rng rng(5);
+  OnlineStats whole;
+  OnlineStats a;
+  OnlineStats b;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.normal(3.0, 2.0);
+    whole.add(x);
+    (i % 3 == 0 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), whole.count());
+  EXPECT_NEAR(a.mean(), whole.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), whole.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), whole.min());
+  EXPECT_DOUBLE_EQ(a.max(), whole.max());
+}
+
+TEST(OnlineStatsTest, MergeWithEmptySidesIsIdentity) {
+  OnlineStats s;
+  s.add(1.0);
+  s.add(3.0);
+  OnlineStats empty;
+  s.merge(empty);
+  EXPECT_EQ(s.count(), 2u);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.0);
+  empty.merge(s);
+  EXPECT_EQ(empty.count(), 2u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 2.0);
+}
+
+TEST(OnlineStatsTest, ResetClears) {
+  OnlineStats s;
+  s.add(5.0);
+  s.reset();
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.mean(), 0.0);
+}
+
+TEST(OnlineStatsTest, NumericallyStableAroundLargeOffsets) {
+  // Naive sum-of-squares would catastrophically cancel here.
+  OnlineStats s;
+  const double offset = 1e9;
+  for (double x : {offset + 4.0, offset + 7.0, offset + 13.0, offset + 16.0})
+    s.add(x);
+  EXPECT_NEAR(s.mean(), offset + 10.0, 1e-3);
+  EXPECT_NEAR(s.variance(), 22.5, 1e-3);
+}
+
+TEST(EwmaTest, FirstSampleInitializes) {
+  Ewma e(0.5);
+  EXPECT_FALSE(e.initialized());
+  EXPECT_EQ(e.value(), 0.0);
+  e.add(10.0);
+  EXPECT_TRUE(e.initialized());
+  EXPECT_DOUBLE_EQ(e.value(), 10.0);
+}
+
+TEST(EwmaTest, ConvergesGeometrically) {
+  Ewma e(0.5);
+  e.add(0.0);
+  e.add(16.0);  // 8
+  EXPECT_DOUBLE_EQ(e.value(), 8.0);
+  e.add(16.0);  // 12
+  EXPECT_DOUBLE_EQ(e.value(), 12.0);
+  e.add(16.0);  // 14
+  EXPECT_DOUBLE_EQ(e.value(), 14.0);
+}
+
+TEST(EwmaTest, AlphaOneTracksExactly) {
+  Ewma e(1.0);
+  e.add(3.0);
+  e.add(7.0);
+  EXPECT_DOUBLE_EQ(e.value(), 7.0);
+}
+
+TEST(EwmaTest, RejectsBadAlpha) {
+  EXPECT_THROW(Ewma(0.0), CheckFailure);
+  EXPECT_THROW(Ewma(1.5), CheckFailure);
+}
+
+TEST(EwmaTest, ResetForgetsState) {
+  Ewma e(0.3);
+  e.add(9.0);
+  e.reset();
+  EXPECT_FALSE(e.initialized());
+  e.add(1.0);
+  EXPECT_DOUBLE_EQ(e.value(), 1.0);
+}
+
+TEST(RateTrackerTest, SingleWindowRate) {
+  RateTracker t(1.0);  // alpha 1: no smoothing
+  t.record(50.0);
+  t.roll(0.5);
+  EXPECT_DOUBLE_EQ(t.rate(), 100.0);
+}
+
+TEST(RateTrackerTest, SmoothingBlendsWindows) {
+  RateTracker t(0.5);
+  t.record(100.0);
+  t.roll(1.0);  // rate 100
+  t.record(0.0);
+  t.roll(1.0);  // blended: 50
+  EXPECT_DOUBLE_EQ(t.rate(), 50.0);
+}
+
+TEST(RateTrackerTest, TotalAccumulatesAcrossWindows) {
+  RateTracker t;
+  t.record(10.0);
+  t.roll(1.0);
+  t.record(5.0);
+  EXPECT_DOUBLE_EQ(t.total(), 10.0);  // open window not yet rolled
+  EXPECT_DOUBLE_EQ(t.pending(), 5.0);
+  t.roll(1.0);
+  EXPECT_DOUBLE_EQ(t.total(), 15.0);
+}
+
+TEST(RateTrackerTest, RollRejectsNonPositiveWindow) {
+  RateTracker t;
+  EXPECT_THROW(t.roll(0.0), CheckFailure);
+}
+
+TEST(RateTrackerTest, ResetClearsEverything) {
+  RateTracker t;
+  t.record(10.0);
+  t.roll(1.0);
+  t.reset();
+  EXPECT_DOUBLE_EQ(t.rate(), 0.0);
+  EXPECT_DOUBLE_EQ(t.total(), 0.0);
+  EXPECT_DOUBLE_EQ(t.pending(), 0.0);
+}
+
+}  // namespace
+}  // namespace aces

@@ -1,0 +1,61 @@
+#include "common/types.h"
+
+#include <sstream>
+#include <unordered_set>
+
+#include <gtest/gtest.h>
+
+namespace aces {
+namespace {
+
+TEST(IdTest, DefaultConstructedIsInvalid) {
+  PeId id;
+  EXPECT_FALSE(id.valid());
+  EXPECT_EQ(id.value(), PeId::kInvalid);
+}
+
+TEST(IdTest, ExplicitConstructionIsValid) {
+  PeId id(7);
+  EXPECT_TRUE(id.valid());
+  EXPECT_EQ(id.value(), 7u);
+}
+
+TEST(IdTest, ComparisonIsByValue) {
+  EXPECT_EQ(PeId(3), PeId(3));
+  EXPECT_NE(PeId(3), PeId(4));
+  EXPECT_LT(PeId(3), PeId(4));
+  EXPECT_GT(PeId(9), PeId(4));
+}
+
+TEST(IdTest, DistinctTagTypesDoNotMix) {
+  // Compile-time property: PeId and NodeId are different types. This test
+  // documents it; assigning one to the other would not compile.
+  static_assert(!std::is_convertible_v<PeId, NodeId>);
+  static_assert(!std::is_convertible_v<NodeId, PeId>);
+  SUCCEED();
+}
+
+TEST(IdTest, HashableInUnorderedContainers) {
+  std::unordered_set<PeId> set;
+  set.insert(PeId(1));
+  set.insert(PeId(2));
+  set.insert(PeId(1));
+  EXPECT_EQ(set.size(), 2u);
+  EXPECT_TRUE(set.contains(PeId(2)));
+  EXPECT_FALSE(set.contains(PeId(3)));
+}
+
+TEST(IdTest, StreamPrintingUsesPrefixes) {
+  std::ostringstream oss;
+  oss << PeId(5) << ' ' << NodeId(2) << ' ' << StreamId(0) << ' ' << EdgeId(9);
+  EXPECT_EQ(oss.str(), "pe5 pn2 s0 e9");
+}
+
+TEST(IdTest, InvalidIdPrintsAsInvalid) {
+  std::ostringstream oss;
+  oss << PeId();
+  EXPECT_EQ(oss.str(), "pe<invalid>");
+}
+
+}  // namespace
+}  // namespace aces

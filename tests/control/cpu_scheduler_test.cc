@@ -1,0 +1,116 @@
+#include "control/cpu_scheduler.h"
+
+#include <limits>
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace aces::control {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+TEST(PartitionCpuTest, ProportionalWhenUncapped) {
+  const auto alloc =
+      partition_cpu(1.0, {{1.0, kInf}, {3.0, kInf}});
+  EXPECT_NEAR(alloc[0], 0.25, 1e-12);
+  EXPECT_NEAR(alloc[1], 0.75, 1e-12);
+}
+
+TEST(PartitionCpuTest, CapsRespectedAndResidualRedistributed) {
+  // PE0 capped at 0.1; its unmet proportional share flows to PE1.
+  const auto alloc = partition_cpu(1.0, {{1.0, 0.1}, {1.0, kInf}});
+  EXPECT_NEAR(alloc[0], 0.1, 1e-12);
+  EXPECT_NEAR(alloc[1], 0.9, 1e-12);
+}
+
+TEST(PartitionCpuTest, AllCappedLeavesCapacityIdle) {
+  const auto alloc = partition_cpu(1.0, {{1.0, 0.2}, {1.0, 0.3}});
+  EXPECT_NEAR(alloc[0], 0.2, 1e-12);
+  EXPECT_NEAR(alloc[1], 0.3, 1e-12);
+}
+
+TEST(PartitionCpuTest, ZeroWeightGetsNothing) {
+  const auto alloc = partition_cpu(1.0, {{0.0, kInf}, {2.0, kInf}});
+  EXPECT_DOUBLE_EQ(alloc[0], 0.0);
+  EXPECT_NEAR(alloc[1], 1.0, 1e-12);
+}
+
+TEST(PartitionCpuTest, EmptyDemandsEmptyResult) {
+  EXPECT_TRUE(partition_cpu(1.0, {}).empty());
+}
+
+TEST(PartitionCpuTest, ZeroCapacityAllocatesNothing) {
+  const auto alloc = partition_cpu(0.0, {{1.0, kInf}});
+  EXPECT_DOUBLE_EQ(alloc[0], 0.0);
+}
+
+TEST(PartitionCpuTest, CascadingCapsMultipleRounds) {
+  // Tight cap on PE0, then PE1, forcing several water-filling rounds.
+  const auto alloc =
+      partition_cpu(1.0, {{10.0, 0.05}, {10.0, 0.15}, {1.0, kInf}});
+  EXPECT_NEAR(alloc[0], 0.05, 1e-12);
+  EXPECT_NEAR(alloc[1], 0.15, 1e-12);
+  EXPECT_NEAR(alloc[2], 0.8, 1e-12);
+}
+
+TEST(PartitionCpuTest, SingleDemandTakesMinOfCapAndCapacity) {
+  EXPECT_NEAR(partition_cpu(1.0, {{5.0, 0.4}})[0], 0.4, 1e-12);
+  EXPECT_NEAR(partition_cpu(0.3, {{5.0, 0.4}})[0], 0.3, 1e-12);
+}
+
+TEST(PartitionCpuTest, NegativeWeightRejected) {
+  EXPECT_THROW(partition_cpu(1.0, {{-1.0, kInf}}), CheckFailure);
+  EXPECT_THROW(partition_cpu(-1.0, {{1.0, kInf}}), CheckFailure);
+}
+
+/// Invariants over random instances: Σ ≤ capacity, per-PE ≤ cap, work
+/// conservation (capacity exhausted OR every positive-weight PE at its cap).
+class PartitionCpuProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PartitionCpuProperty, InvariantsHold) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto n = static_cast<std::size_t>(rng.uniform_int(1, 10));
+    std::vector<CpuDemand> demands(n);
+    for (auto& d : demands) {
+      d.weight = rng.bernoulli(0.2) ? 0.0 : rng.uniform(0.0, 5.0);
+      d.cap = rng.bernoulli(0.3) ? kInf : rng.uniform(0.0, 0.6);
+    }
+    const double capacity = rng.uniform(0.0, 2.0);
+    const auto alloc = partition_cpu(capacity, demands);
+    ASSERT_EQ(alloc.size(), n);
+    double total = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_GE(alloc[i], 0.0);
+      EXPECT_LE(alloc[i], demands[i].cap + 1e-9);
+      if (demands[i].weight == 0.0) {
+        EXPECT_DOUBLE_EQ(alloc[i], 0.0);
+      }
+      total += alloc[i];
+    }
+    EXPECT_LE(total, capacity + 1e-9);
+    // Work conservation: leftover capacity implies every positive-weight
+    // demand is at its cap.
+    if (total < capacity - 1e-6) {
+      for (const auto& [i, d] : [&] {
+             std::vector<std::pair<std::size_t, CpuDemand>> v;
+             for (std::size_t i = 0; i < n; ++i) v.emplace_back(i, demands[i]);
+             return v;
+           }()) {
+        if (d.weight > 0.0) {
+          EXPECT_GE(alloc[i], d.cap - 1e-6);
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PartitionCpuProperty,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace aces::control

@@ -1,0 +1,116 @@
+#include "control/flow_controller.h"
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+
+namespace aces::control {
+namespace {
+
+TEST(FlowControllerTest, EquationSevenArithmetic) {
+  // λ0 = 0.2, μ1 = 0.1, b0 = 10:
+  // r_max = ρ − 0.2(b − 10) − 0.1·(previous mismatch).
+  FlowController fc(FlowGains{{0.2}, {0.1}}, 10.0);
+  // First update: mismatch history is zero-filled.
+  const double r1 = fc.update(20.0, 100.0);
+  EXPECT_DOUBLE_EQ(r1, 100.0 - 0.2 * 10.0);  // 98
+  // Second update: mismatch(n−1) = 98 − 100 = −2.
+  const double r2 = fc.update(15.0, 100.0);
+  EXPECT_DOUBLE_EQ(r2, 100.0 - 0.2 * 5.0 - 0.1 * (-2.0));  // 99.2
+}
+
+TEST(FlowControllerTest, MultipleBufferLags) {
+  FlowGains gains;
+  gains.lambda = {0.3, 0.1};  // uses b(n) and b(n−1)
+  FlowController fc(gains, 5.0);
+  fc.update(8.0, 50.0);  // b−b0 history: [3]
+  const double r = fc.update(6.0, 50.0);
+  EXPECT_DOUBLE_EQ(r, 50.0 - 0.3 * 1.0 - 0.1 * 3.0);
+}
+
+TEST(FlowControllerTest, NonNegativityProjection) {
+  FlowController fc(FlowGains{{1.0}, {}}, 0.0);
+  // ρ=1, b=100 → raw r_max = 1 − 100 < 0 → clamped to 0 (Eq. 7's [·]⁺).
+  EXPECT_DOUBLE_EQ(fc.update(100.0, 1.0), 0.0);
+}
+
+TEST(FlowControllerTest, HardCapClamps) {
+  FlowController fc(FlowGains{{0.1}, {}}, 50.0);
+  // b ≪ b0 would drive r_max far above ρ; the hard cap bounds it.
+  const double r = fc.update(0.0, 10.0, /*hard_cap=*/12.0);
+  EXPECT_DOUBLE_EQ(r, 12.0);
+}
+
+TEST(FlowControllerTest, RateFloorPreventsLatchUp) {
+  FlowController fc(FlowGains{{0.5}, {}}, 10.0, /*rate_floor=*/2.0);
+  EXPECT_DOUBLE_EQ(fc.update(100.0, 0.0), 2.0);
+}
+
+TEST(FlowControllerTest, ClampedMismatchEntersHistory) {
+  FlowController fc(FlowGains{{0.5}, {1.0}}, 0.0);
+  fc.update(1000.0, 1.0);  // clamps to 0; recorded mismatch = 0 − 1 = −1
+  // Next step: r = ρ − 0.5·b − 1.0·(−1).
+  const double r = fc.update(0.0, 1.0);
+  EXPECT_DOUBLE_EQ(r, 1.0 - 0.0 + 1.0);
+}
+
+TEST(FlowControllerTest, LastAdvertisementRemembered) {
+  FlowController fc(FlowGains{{0.2}, {}}, 10.0);
+  const double r = fc.update(10.0, 42.0);
+  EXPECT_DOUBLE_EQ(fc.last_advertisement(), r);
+}
+
+TEST(FlowControllerTest, ConvergesOnNominalBufferPlant) {
+  // Closed loop with the true plant b(n+1) = b(n) + r_max(n) − ρ: from any
+  // start, buffer → b0 and r_max → ρ (the paper's steady-state property).
+  const FlowGains gains = design_flow_gains(0, LqrWeights{1.0, 4.0});
+  for (double b_start : {0.0, 25.0, 200.0}) {
+    FlowController fc(gains, 25.0);
+    const double rho = 80.0;
+    double b = b_start;
+    double r = 0.0;
+    for (int n = 0; n < 300; ++n) {
+      r = fc.update(b, rho);
+      b = std::max(b + (r - rho) * 1.0, 0.0);
+    }
+    EXPECT_NEAR(b, 25.0, 0.1) << "b_start=" << b_start;
+    EXPECT_NEAR(r, rho, 0.1) << "b_start=" << b_start;
+  }
+}
+
+TEST(FlowControllerTest, ConvergesWithFeedbackDelayPlant) {
+  const int delay = 2;
+  const FlowGains gains = design_flow_gains(delay, LqrWeights{1.0, 4.0});
+  FlowController fc(gains, 25.0);
+  const double rho = 60.0;
+  double b = 150.0;
+  std::vector<double> pipe(static_cast<std::size_t>(delay), rho);
+  double r = 0.0;
+  for (int n = 0; n < 500; ++n) {
+    r = fc.update(b, rho);
+    const double applied = pipe.back();
+    for (std::size_t k = pipe.size(); k-- > 1;) pipe[k] = pipe[k - 1];
+    pipe[0] = r;
+    b = std::max(b + (applied - rho) * 1.0, 0.0);
+  }
+  EXPECT_NEAR(b, 25.0, 0.5);
+  EXPECT_NEAR(r, rho, 0.5);
+}
+
+TEST(FlowControllerTest, SetB0Rehomes) {
+  FlowController fc(FlowGains{{0.5}, {}}, 10.0);
+  fc.set_b0(20.0);
+  EXPECT_DOUBLE_EQ(fc.b0(), 20.0);
+  EXPECT_DOUBLE_EQ(fc.update(20.0, 30.0), 30.0);  // b == new b0 → r = ρ
+}
+
+TEST(FlowControllerTest, InputValidation) {
+  EXPECT_THROW(FlowController(FlowGains{{}, {}}, 1.0), CheckFailure);
+  EXPECT_THROW(FlowController(FlowGains{{0.1}, {}}, -1.0), CheckFailure);
+  FlowController fc(FlowGains{{0.1}, {}}, 1.0);
+  EXPECT_THROW(fc.update(-1.0, 1.0), CheckFailure);
+  EXPECT_THROW(fc.update(1.0, -1.0), CheckFailure);
+}
+
+}  // namespace
+}  // namespace aces::control

@@ -1,0 +1,142 @@
+#include "control/lqr.h"
+
+#include <cmath>
+#include <deque>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+
+namespace aces::control {
+namespace {
+
+TEST(DareTest, ScalarClosedForm) {
+  // For x⁺ = x + u with cost q·x² + r·u², the DARE fixed point is
+  // P = (q + sqrt(q² + 4qr)) / 2 and K = P / (P + r).
+  const double q = 1.0;
+  const double r = 4.0;
+  const Matrix p = solve_dare(Matrix{{1.0}}, Matrix{{1.0}}, Matrix{{q}},
+                              Matrix{{r}});
+  const double expected_p = (q + std::sqrt(q * q + 4 * q * r)) / 2.0;
+  EXPECT_NEAR(p(0, 0), expected_p, 1e-9);
+  const Matrix k = lqr_gain(Matrix{{1.0}}, Matrix{{1.0}}, p, Matrix{{r}});
+  EXPECT_NEAR(k(0, 0), expected_p / (expected_p + r), 1e-9);
+}
+
+TEST(DareTest, SolutionSatisfiesRiccatiEquation) {
+  const Matrix a{{1.0, 0.1}, {0.0, 0.9}};
+  const Matrix b{{0.0}, {1.0}};
+  const Matrix q{{1.0, 0.0}, {0.0, 0.5}};
+  const Matrix r{{2.0}};
+  const Matrix p = solve_dare(a, b, q, r);
+  const Matrix at = a.transpose();
+  const Matrix bt = b.transpose();
+  const Matrix gain = solve(r + bt * p * b, bt * p * a);
+  const Matrix residual = at * p * a - at * p * b * gain + q - p;
+  EXPECT_LT(residual.max_abs(), 1e-8);
+}
+
+TEST(DareTest, SolutionIsSymmetricPositive) {
+  const Matrix p = solve_dare(Matrix{{1.0, 1.0}, {0.0, 1.0}},
+                              Matrix{{0.0}, {1.0}},
+                              Matrix{{1.0, 0.0}, {0.0, 0.0}}, Matrix{{1.0}});
+  EXPECT_NEAR(p(0, 1), p(1, 0), 1e-9);
+  EXPECT_GT(p(0, 0), 0.0);
+}
+
+TEST(DareTest, ShapeMismatchThrows) {
+  EXPECT_THROW(
+      solve_dare(Matrix{{1.0, 0.0}, {0.0, 1.0}}, Matrix{{1.0}},
+                 Matrix{{1.0}}, Matrix{{1.0}}),
+      CheckFailure);
+}
+
+TEST(DesignFlowGainsTest, ZeroDelayHasNoMuTerms) {
+  const FlowGains gains = design_flow_gains(0, LqrWeights{1.0, 4.0});
+  EXPECT_EQ(gains.lambda.size(), 1u);
+  EXPECT_TRUE(gains.mu.empty());
+  EXPECT_GT(gains.lambda[0], 0.0);
+  EXPECT_LT(gains.lambda[0], 1.0);
+}
+
+TEST(DesignFlowGainsTest, DelayAddsOneMuPerTick) {
+  for (int delay = 1; delay <= 5; ++delay) {
+    const FlowGains gains = design_flow_gains(delay, LqrWeights{});
+    EXPECT_EQ(gains.mu.size(), static_cast<std::size_t>(delay));
+  }
+}
+
+TEST(DesignFlowGainsTest, MoreStateCostTracksBufferHarder) {
+  // Paper §V-C: large {λ_k} relative to {μ_l} makes the PE chase b0; large
+  // {μ_l} equalizes rates. The q/r ratio is the design knob.
+  const FlowGains timid = design_flow_gains(0, LqrWeights{0.1, 10.0});
+  const FlowGains eager = design_flow_gains(0, LqrWeights{10.0, 0.1});
+  EXPECT_GT(eager.lambda[0], timid.lambda[0]);
+}
+
+TEST(DesignFlowGainsTest, RejectsBadArguments) {
+  EXPECT_THROW(design_flow_gains(-1, LqrWeights{}), CheckFailure);
+  EXPECT_THROW(design_flow_gains(0, LqrWeights{0.0, 1.0}), CheckFailure);
+  EXPECT_THROW(design_flow_gains(0, LqrWeights{1.0, -1.0}), CheckFailure);
+}
+
+/// Stability certification across the (delay, weights) grid the controller
+/// might be configured with — the paper's "guarantees asymptotic stability".
+class LqrStability
+    : public ::testing::TestWithParam<std::tuple<int, double, double>> {};
+
+TEST_P(LqrStability, ClosedLoopSpectralRadiusBelowOne) {
+  const auto [delay, q, r] = GetParam();
+  const FlowGains gains = design_flow_gains(delay, LqrWeights{q, r});
+  const Matrix cl = closed_loop_matrix(delay, gains);
+  EXPECT_LT(spectral_radius(cl), 1.0 - 1e-6)
+      << "delay=" << delay << " q=" << q << " r=" << r;
+}
+
+TEST_P(LqrStability, LinearPlantConvergesToSetPointFromAnywhere) {
+  // Simulate the nominal closed loop (paper's steady-state claim: the buffer
+  // reaches b0 and the input rate equals the processing rate from an
+  // arbitrary starting point).
+  const auto [delay, q, r] = GetParam();
+  const FlowGains gains = design_flow_gains(delay, LqrWeights{q, r});
+  for (double x0 : {-40.0, 25.0, 300.0}) {
+    double x = x0;  // b − b0
+    // past_u[l-1] holds u(n−l).
+    std::deque<double> past_u(static_cast<std::size_t>(delay), 0.0);
+    double last_u = 0.0;
+    for (int n = 0; n < 400; ++n) {
+      double u = -gains.lambda[0] * x;
+      for (std::size_t l = 0; l < gains.mu.size(); ++l)
+        u -= gains.mu[l] * past_u[l];
+      const double applied = delay == 0 ? u : past_u.back();  // u(n−d)
+      x += applied;
+      if (delay > 0) {
+        past_u.push_front(u);
+        past_u.pop_back();
+      }
+      last_u = u;
+    }
+    EXPECT_NEAR(x, 0.0, 1e-3) << "x0=" << x0;       // buffer at b0
+    EXPECT_NEAR(last_u, 0.0, 1e-3) << "x0=" << x0;  // r_max == ρ
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, LqrStability,
+    ::testing::Combine(::testing::Values(0, 1, 2, 4, 6),
+                       ::testing::Values(0.1, 1.0, 10.0),
+                       ::testing::Values(0.5, 4.0, 20.0)));
+
+TEST(ClosedLoopMatrixTest, MatchesManualConstructionForDelayOne) {
+  const FlowGains gains = design_flow_gains(1, LqrWeights{1.0, 1.0});
+  const Matrix cl = closed_loop_matrix(1, gains);
+  // A = [[1,1],[0,0]], B = [0,1]ᵀ, K = [λ0, μ1].
+  EXPECT_NEAR(cl(0, 0), 1.0, 1e-12);
+  EXPECT_NEAR(cl(0, 1), 1.0, 1e-12);
+  EXPECT_NEAR(cl(1, 0), -gains.lambda[0], 1e-12);
+  EXPECT_NEAR(cl(1, 1), -gains.mu[0], 1e-12);
+}
+
+}  // namespace
+}  // namespace aces::control

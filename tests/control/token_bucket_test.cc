@@ -1,0 +1,89 @@
+#include "control/token_bucket.h"
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+
+namespace aces::control {
+namespace {
+
+TEST(TokenBucketTest, StartsFull) {
+  TokenBucket b(0.5, 2.0);
+  EXPECT_DOUBLE_EQ(b.capacity(), 1.0);
+  EXPECT_DOUBLE_EQ(b.available(), 1.0);
+}
+
+TEST(TokenBucketTest, AccrualIsRateTimesTime) {
+  TokenBucket b(0.5, 2.0);
+  b.charge(1.0);  // empty it
+  EXPECT_DOUBLE_EQ(b.available(), 0.0);
+  b.accrue(0.5);
+  EXPECT_DOUBLE_EQ(b.available(), 0.25);
+}
+
+TEST(TokenBucketTest, AccrualClampsAtCapacity) {
+  TokenBucket b(0.5, 2.0);
+  b.accrue(100.0);
+  EXPECT_DOUBLE_EQ(b.available(), 1.0);
+}
+
+TEST(TokenBucketTest, DrawReturnsWhatWasTaken) {
+  TokenBucket b(1.0, 1.0);
+  EXPECT_DOUBLE_EQ(b.draw(0.3), 0.3);
+  EXPECT_DOUBLE_EQ(b.available(), 0.7);
+  EXPECT_DOUBLE_EQ(b.draw(5.0), 0.7);  // only what's left
+  EXPECT_DOUBLE_EQ(b.available(), 0.0);
+  EXPECT_DOUBLE_EQ(b.draw(1.0), 0.0);
+}
+
+TEST(TokenBucketTest, ChargeMayGoNegativeAndAccrualRepays) {
+  TokenBucket b(1.0, 1.0);
+  b.charge(1.5);
+  EXPECT_DOUBLE_EQ(b.available(), -0.5);
+  EXPECT_DOUBLE_EQ(b.draw(1.0), 0.0);  // in debt: nothing to draw
+  b.accrue(0.75);
+  EXPECT_DOUBLE_EQ(b.available(), 0.25);
+}
+
+TEST(TokenBucketTest, LongRunUsageConvergesToRate) {
+  // Paper §V-D: the long-term CPU allocation equals the accrual rate. Spend
+  // greedily every interval; total spent over T seconds ≈ rate·T + initial.
+  TokenBucket b(0.3, 2.0);
+  double spent = 0.0;
+  const double dt = 0.1;
+  const int steps = 10000;
+  for (int i = 0; i < steps; ++i) {
+    b.accrue(dt);
+    spent += b.draw(1.0);  // try to use a full CPU
+  }
+  const double horizon = steps * dt;
+  EXPECT_NEAR(spent / horizon, 0.3, 0.01);
+}
+
+TEST(TokenBucketTest, SetRateRescalesCapacity) {
+  TokenBucket b(0.5, 2.0);
+  b.set_rate(0.1);
+  EXPECT_DOUBLE_EQ(b.rate(), 0.1);
+  EXPECT_DOUBLE_EQ(b.capacity(), 0.2);
+  EXPECT_DOUBLE_EQ(b.available(), 0.2);  // level clamped to new capacity
+}
+
+TEST(TokenBucketTest, ZeroRateNeverAccrues) {
+  TokenBucket b(0.0, 2.0);
+  EXPECT_DOUBLE_EQ(b.available(), 0.0);
+  b.accrue(10.0);
+  EXPECT_DOUBLE_EQ(b.available(), 0.0);
+}
+
+TEST(TokenBucketTest, InputValidation) {
+  EXPECT_THROW(TokenBucket(-1.0, 1.0), CheckFailure);
+  EXPECT_THROW(TokenBucket(1.0, 0.0), CheckFailure);
+  TokenBucket b(1.0, 1.0);
+  EXPECT_THROW(b.accrue(-0.1), CheckFailure);
+  EXPECT_THROW(b.draw(-0.1), CheckFailure);
+  EXPECT_THROW(b.charge(-0.1), CheckFailure);
+  EXPECT_THROW(b.set_rate(-1.0), CheckFailure);
+}
+
+}  // namespace
+}  // namespace aces::control

@@ -1,0 +1,51 @@
+#include "graph/dot_export.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/topology_generator.h"
+
+namespace aces::graph {
+namespace {
+
+TEST(DotExportTest, ContainsClustersPesAndEdges) {
+  TopologyParams params;
+  params.num_nodes = 2;
+  params.num_ingress = 1;
+  params.num_intermediate = 2;
+  params.num_egress = 1;
+  const ProcessingGraph g = generate_topology(params, 1);
+  const std::string dot = to_dot(g);
+  EXPECT_NE(dot.find("digraph aces"), std::string::npos);
+  EXPECT_NE(dot.find("subgraph cluster_0"), std::string::npos);
+  EXPECT_NE(dot.find("subgraph cluster_1"), std::string::npos);
+  for (PeId id : g.all_pes()) {
+    EXPECT_NE(dot.find("pe" + std::to_string(id.value())), std::string::npos);
+  }
+  EXPECT_NE(dot.find("->"), std::string::npos);
+  EXPECT_NE(dot.find("shape=triangle"), std::string::npos);      // ingress
+  EXPECT_NE(dot.find("shape=doublecircle"), std::string::npos);  // egress
+}
+
+TEST(DotExportTest, EdgeCountMatches) {
+  const ProcessingGraph g = generate_topology(TopologyParams{}, 2);
+  const std::string dot = to_dot(g);
+  std::size_t arrows = 0;
+  for (std::size_t pos = dot.find("->"); pos != std::string::npos;
+       pos = dot.find("->", pos + 2)) {
+    ++arrows;
+  }
+  EXPECT_EQ(arrows, g.edge_count());
+}
+
+TEST(DotExportTest, EgressWeightAnnotated) {
+  TopologyParams params;
+  params.num_nodes = 1;
+  params.num_ingress = 1;
+  params.num_intermediate = 0;
+  params.num_egress = 1;
+  const ProcessingGraph g = generate_topology(params, 1);
+  EXPECT_NE(to_dot(g).find("w="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace aces::graph

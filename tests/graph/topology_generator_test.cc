@@ -1,0 +1,217 @@
+#include "graph/topology_generator.h"
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "graph/dot_export.h"
+
+namespace aces::graph {
+namespace {
+
+/// Property suite run over several seeds (the generator is stochastic; the
+/// paper averages over "multiple randomly generated topologies").
+class TopologyGeneratorSeeds : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  TopologyParams params_;  // paper defaults: 60 PEs / 10 nodes
+};
+
+TEST_P(TopologyGeneratorSeeds, ValidatesAndHasRequestedCounts) {
+  const ProcessingGraph g = generate_topology(params_, GetParam());
+  EXPECT_NO_THROW(g.validate());
+  EXPECT_EQ(g.pe_count(), static_cast<std::size_t>(params_.total_pes()));
+  EXPECT_EQ(g.node_count(), static_cast<std::size_t>(params_.num_nodes));
+  EXPECT_EQ(g.stream_count(), static_cast<std::size_t>(params_.num_ingress));
+  int ingress = 0;
+  int egress = 0;
+  for (PeId id : g.all_pes()) {
+    ingress += g.pe(id).kind == PeKind::kIngress;
+    egress += g.pe(id).kind == PeKind::kEgress;
+  }
+  EXPECT_EQ(ingress, params_.num_ingress);
+  EXPECT_EQ(egress, params_.num_egress);
+}
+
+TEST_P(TopologyGeneratorSeeds, HonoursDegreeCaps) {
+  const ProcessingGraph g = generate_topology(params_, GetParam());
+  EXPECT_LE(g.max_fan_in(), static_cast<std::size_t>(params_.max_fan_in));
+  EXPECT_LE(g.max_fan_out(), static_cast<std::size_t>(params_.max_fan_out));
+}
+
+TEST_P(TopologyGeneratorSeeds, PlacementIsBalanced) {
+  const ProcessingGraph g = generate_topology(params_, GetParam());
+  const std::size_t expected =
+      g.pe_count() / static_cast<std::size_t>(params_.num_nodes);
+  for (NodeId n : g.all_nodes()) {
+    EXPECT_GE(g.pes_on_node(n).size(), expected);
+    EXPECT_LE(g.pes_on_node(n).size(), expected + 1);
+  }
+}
+
+TEST_P(TopologyGeneratorSeeds, PathDepthIsBounded) {
+  const ProcessingGraph g = generate_topology(params_, GetParam());
+  // Longest path (in edges) must not exceed layer count − 1.
+  std::vector<int> depth(g.pe_count(), 0);
+  int longest = 0;
+  for (PeId id : g.topological_order()) {
+    for (PeId down : g.downstream(id)) {
+      depth[down.value()] = std::max(depth[down.value()], depth[id.value()] + 1);
+      longest = std::max(longest, depth[down.value()]);
+    }
+  }
+  EXPECT_LE(longest, params_.depth + 1);
+}
+
+TEST_P(TopologyGeneratorSeeds, SourceRatesRealizeLoadFactor) {
+  const ProcessingGraph g = generate_topology(params_, GetParam());
+  // Recompute the fluid forward pass: the busiest node's CPU requirement for
+  // processing the full offered load must equal load_factor.
+  std::vector<double> flow(g.pe_count(), 0.0);
+  std::vector<double> node_cpu(g.node_count(), 0.0);
+  for (PeId id : g.topological_order()) {
+    const PeDescriptor& d = g.pe(id);
+    double offered = 0.0;
+    if (d.kind == PeKind::kIngress) {
+      offered = g.stream(d.input_stream).mean_rate;
+    } else {
+      for (PeId up : g.upstream(id))
+        offered += g.pe(up).selectivity * flow[up.value()];
+    }
+    flow[id.value()] = offered;
+    node_cpu[d.node.value()] += d.cpu_for_input_rate(offered * d.bytes_per_sdo);
+  }
+  double worst = 0.0;
+  for (NodeId n : g.all_nodes())
+    worst = std::max(worst, node_cpu[n.value()] / g.node(n).cpu_capacity);
+  EXPECT_NEAR(worst, params_.load_factor, 1e-9);
+}
+
+TEST_P(TopologyGeneratorSeeds, EgressWeightsWithinRange) {
+  const ProcessingGraph g = generate_topology(params_, GetParam());
+  for (PeId id : g.all_pes()) {
+    const PeDescriptor& d = g.pe(id);
+    if (d.kind == PeKind::kEgress) {
+      EXPECT_GE(d.weight, 1.0);
+      EXPECT_LE(d.weight, static_cast<double>(params_.max_weight));
+    } else {
+      EXPECT_EQ(d.weight, 1.0);
+    }
+  }
+}
+
+TEST_P(TopologyGeneratorSeeds, SelectivityWithinConfiguredRange) {
+  const ProcessingGraph g = generate_topology(params_, GetParam());
+  for (PeId id : g.all_pes()) {
+    EXPECT_GE(g.pe(id).selectivity, params_.selectivity_min);
+    EXPECT_LE(g.pe(id).selectivity, params_.selectivity_max);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TopologyGeneratorSeeds,
+                         ::testing::Values(1, 2, 3, 17, 42, 99, 12345));
+
+TEST(TopologyGeneratorTest, DeterministicForSameSeed) {
+  const TopologyParams params;
+  const ProcessingGraph a = generate_topology(params, 7);
+  const ProcessingGraph b = generate_topology(params, 7);
+  ASSERT_EQ(a.pe_count(), b.pe_count());
+  ASSERT_EQ(a.edge_count(), b.edge_count());
+  for (std::size_t e = 0; e < a.edge_count(); ++e) {
+    const EdgeId id(static_cast<EdgeId::value_type>(e));
+    EXPECT_EQ(a.edge(id).from, b.edge(id).from);
+    EXPECT_EQ(a.edge(id).to, b.edge(id).to);
+  }
+  for (PeId id : a.all_pes()) {
+    EXPECT_EQ(a.pe(id).node, b.pe(id).node);
+    EXPECT_DOUBLE_EQ(a.pe(id).selectivity, b.pe(id).selectivity);
+    EXPECT_DOUBLE_EQ(a.pe(id).weight, b.pe(id).weight);
+  }
+  // Identical generated DOT is a strong whole-structure equality check.
+  EXPECT_EQ(to_dot(a), to_dot(b));
+}
+
+TEST(TopologyGeneratorTest, DifferentSeedsDiffer) {
+  const TopologyParams params;
+  const ProcessingGraph a = generate_topology(params, 1);
+  const ProcessingGraph b = generate_topology(params, 2);
+  EXPECT_NE(to_dot(a), to_dot(b));
+}
+
+TEST(TopologyGeneratorTest, ScalesToPaperLargeConfiguration) {
+  TopologyParams params;
+  params.num_nodes = 80;
+  params.num_ingress = 34;
+  params.num_intermediate = 132;
+  params.num_egress = 34;
+  const ProcessingGraph g = generate_topology(params, 5);
+  EXPECT_EQ(g.pe_count(), 200u);
+  EXPECT_NO_THROW(g.validate());
+}
+
+TEST(TopologyGeneratorTest, MinimalConfiguration) {
+  TopologyParams params;
+  params.num_nodes = 1;
+  params.num_ingress = 1;
+  params.num_intermediate = 0;
+  params.num_egress = 1;
+  const ProcessingGraph g = generate_topology(params, 1);
+  EXPECT_EQ(g.pe_count(), 2u);
+  EXPECT_NO_THROW(g.validate());
+}
+
+TEST(TopologyGeneratorTest, ZeroMultiDegreeFractionKeepsFanInLow) {
+  // Without multi-degree promotions, extra fan-in can come only from the
+  // every-producer-needs-a-consumer fix-up; the bulk of PEs must be
+  // single-input and the average fan-in close to 1.
+  TopologyParams params;
+  params.multi_degree_fraction = 0.0;
+  const ProcessingGraph g = generate_topology(params, 3);
+  std::size_t non_ingress = 0;
+  std::size_t single_input = 0;
+  std::size_t total_fan_in = 0;
+  for (PeId id : g.all_pes()) {
+    if (g.pe(id).kind == PeKind::kIngress) continue;
+    ++non_ingress;
+    single_input += g.upstream(id).size() == 1;
+    total_fan_in += g.upstream(id).size();
+  }
+  EXPECT_GE(static_cast<double>(single_input) / non_ingress, 0.65);
+  EXPECT_LE(static_cast<double>(total_fan_in) / non_ingress, 1.5);
+}
+
+TEST(TopologyGeneratorTest, RejectsInvalidParams) {
+  TopologyParams params;
+  params.num_nodes = 0;
+  EXPECT_THROW(generate_topology(params, 1), CheckFailure);
+  params = {};
+  params.num_ingress = 0;
+  EXPECT_THROW(generate_topology(params, 1), CheckFailure);
+  params = {};
+  params.num_egress = 0;
+  EXPECT_THROW(generate_topology(params, 1), CheckFailure);
+  params = {};
+  params.load_factor = 0.0;
+  EXPECT_THROW(generate_topology(params, 1), CheckFailure);
+  params = {};
+  params.depth = -1;
+  EXPECT_THROW(generate_topology(params, 1), CheckFailure);
+  params = {};
+  params.multi_degree_fraction = 1.5;
+  EXPECT_THROW(generate_topology(params, 1), CheckFailure);
+}
+
+TEST(TopologyGeneratorTest, BurstinessPropagatesToStreams) {
+  TopologyParams params;
+  params.source_burstiness = 0.8;
+  const ProcessingGraph g = generate_topology(params, 1);
+  for (std::size_t s = 0; s < g.stream_count(); ++s) {
+    EXPECT_DOUBLE_EQ(
+        g.stream(StreamId(static_cast<StreamId::value_type>(s))).burstiness,
+        0.8);
+  }
+}
+
+}  // namespace
+}  // namespace aces::graph

@@ -1,0 +1,74 @@
+#include "harness/bench_options.h"
+
+#include <gtest/gtest.h>
+
+namespace aces::harness {
+namespace {
+
+char** make_argv(std::vector<std::string>& storage) {
+  static std::vector<char*> pointers;
+  pointers.clear();
+  for (auto& s : storage) pointers.push_back(s.data());
+  return pointers.data();
+}
+
+TEST(BenchOptionsTest, DefaultsWhenNoFlags) {
+  std::vector<std::string> args{"bench"};
+  const BenchOptions o = parse_bench_options(1, make_argv(args));
+  EXPECT_DOUBLE_EQ(o.duration_scale, 1.0);
+  EXPECT_EQ(o.seed_count, 0);
+}
+
+TEST(BenchOptionsTest, ParsesScaleAndSeeds) {
+  std::vector<std::string> args{"bench", "--scale=2.5", "--seeds=7"};
+  const BenchOptions o = parse_bench_options(3, make_argv(args));
+  EXPECT_DOUBLE_EQ(o.duration_scale, 2.5);
+  EXPECT_EQ(o.seed_count, 7);
+}
+
+TEST(BenchOptionsTest, SeedsEnumeratesFromOne) {
+  BenchOptions o;
+  o.seed_count = 3;
+  EXPECT_EQ(o.seeds(), (std::vector<std::uint64_t>{1, 2, 3}));
+}
+
+TEST(BenchOptionsTest, ApplyScalesDurationsAndReplacesSeeds) {
+  BenchOptions o;
+  o.duration_scale = 2.0;
+  o.seed_count = 2;
+  double duration = 60.0;
+  double warmup = 15.0;
+  std::vector<std::uint64_t> seeds{9, 9, 9};
+  o.apply(duration, warmup, seeds);
+  EXPECT_DOUBLE_EQ(duration, 120.0);
+  EXPECT_DOUBLE_EQ(warmup, 30.0);
+  EXPECT_EQ(seeds, (std::vector<std::uint64_t>{1, 2}));
+}
+
+TEST(BenchOptionsTest, ApplyKeepsDefaultSeedsWhenUnset) {
+  BenchOptions o;  // seed_count = 0
+  double duration = 60.0;
+  double warmup = 15.0;
+  std::vector<std::uint64_t> seeds{4, 5};
+  o.apply(duration, warmup, seeds);
+  EXPECT_EQ(seeds, (std::vector<std::uint64_t>{4, 5}));
+}
+
+void parse_one_flag(const std::string& flag) {
+  std::vector<std::string> args{"bench", flag};
+  parse_bench_options(2, make_argv(args));
+}
+
+TEST(BenchOptionsTest, BadFlagsExitNonZero) {
+  EXPECT_EXIT(parse_one_flag("--bogus=1"), ::testing::ExitedWithCode(2), "");
+  EXPECT_EXIT(parse_one_flag("--scale=-1"), ::testing::ExitedWithCode(2), "");
+  EXPECT_EXIT(parse_one_flag("--seeds=abc"), ::testing::ExitedWithCode(2),
+              "");
+}
+
+TEST(BenchOptionsTest, HelpExitsZero) {
+  EXPECT_EXIT(parse_one_flag("--help"), ::testing::ExitedWithCode(0), "");
+}
+
+}  // namespace
+}  // namespace aces::harness

@@ -1,0 +1,161 @@
+#include "harness/experiment.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "harness/defaults.h"
+#include "harness/table.h"
+
+namespace aces::harness {
+namespace {
+
+metrics::RunReport fake_report() {
+  metrics::RunReport r;
+  r.measured_seconds = 10.0;
+  r.weighted_throughput = 100.0;
+  r.output_rate = 40.0;
+  r.latency.add(0.1);
+  r.latency.add(0.3);
+  r.latency_histogram.add(0.1);
+  r.latency_histogram.add(0.3);
+  r.internal_drops = 20;
+  r.ingress_drops = 10;
+  r.cpu_utilization = 0.5;
+  r.buffer_fill.add(0.4);
+  return r;
+}
+
+TEST(SummarizeTest, MapsReportFields) {
+  const RunSummary s = summarize(fake_report(), 200.0);
+  EXPECT_DOUBLE_EQ(s.weighted_throughput, 100.0);
+  EXPECT_DOUBLE_EQ(s.fluid_bound, 200.0);
+  EXPECT_DOUBLE_EQ(s.normalized_throughput(), 0.5);
+  EXPECT_DOUBLE_EQ(s.latency_mean, 0.2);
+  EXPECT_DOUBLE_EQ(s.internal_drops_per_sec, 2.0);
+  EXPECT_DOUBLE_EQ(s.ingress_drops_per_sec, 1.0);
+  EXPECT_DOUBLE_EQ(s.cpu_utilization, 0.5);
+  EXPECT_DOUBLE_EQ(s.buffer_fill_mean, 0.4);
+  EXPECT_DOUBLE_EQ(s.output_rate, 40.0);
+}
+
+TEST(SummarizeTest, ZeroFluidBoundGivesZeroNormalized) {
+  const RunSummary s = summarize(fake_report(), 0.0);
+  EXPECT_DOUBLE_EQ(s.normalized_throughput(), 0.0);
+}
+
+TEST(AverageTest, FieldWiseMean) {
+  RunSummary a;
+  a.weighted_throughput = 10.0;
+  a.latency_mean = 0.2;
+  RunSummary b;
+  b.weighted_throughput = 30.0;
+  b.latency_mean = 0.4;
+  const RunSummary mean = average({a, b});
+  EXPECT_DOUBLE_EQ(mean.weighted_throughput, 20.0);
+  EXPECT_NEAR(mean.latency_mean, 0.3, 1e-12);
+}
+
+TEST(AverageTest, EmptyRejected) {
+  EXPECT_THROW(average({}), CheckFailure);
+}
+
+TEST(RunExperimentTest, OneRunPerSeed) {
+  ExperimentSpec spec;
+  spec.topology.num_nodes = 2;
+  spec.topology.num_ingress = 2;
+  spec.topology.num_intermediate = 2;
+  spec.topology.num_egress = 2;
+  spec.sim.duration = 10.0;
+  spec.sim.warmup = 3.0;
+  spec.seeds = {1, 2};
+  const ExperimentResult result =
+      run_experiment(spec, control::FlowPolicy::kAces);
+  ASSERT_EQ(result.runs.size(), 2u);
+  EXPECT_GT(result.runs[0].weighted_throughput, 0.0);
+  EXPECT_GT(result.runs[1].weighted_throughput, 0.0);
+  // Different topologies → different results.
+  EXPECT_NE(result.runs[0].weighted_throughput,
+            result.runs[1].weighted_throughput);
+  EXPECT_NEAR(result.mean.weighted_throughput,
+              (result.runs[0].weighted_throughput +
+               result.runs[1].weighted_throughput) / 2.0,
+              1e-9);
+}
+
+TEST(RunExperimentTest, NoSeedsRejected) {
+  ExperimentSpec spec;
+  spec.seeds.clear();
+  EXPECT_THROW(run_experiment(spec, control::FlowPolicy::kAces),
+               CheckFailure);
+}
+
+TEST(DefaultsTest, PaperConfigurations) {
+  EXPECT_EQ(calibration_topology().total_pes(), 60);
+  EXPECT_EQ(calibration_topology().num_nodes, 10);
+  EXPECT_EQ(scaled_topology().total_pes(), 200);
+  EXPECT_EQ(scaled_topology().num_nodes, 80);
+  EXPECT_EQ(calibration_topology().buffer_capacity, 50);
+  EXPECT_EQ(calibration_topology().max_fan_in, 3);
+  EXPECT_EQ(calibration_topology().max_fan_out, 4);
+  EXPECT_DOUBLE_EQ(calibration_topology().multi_degree_fraction, 0.2);
+  EXPECT_DOUBLE_EQ(calibration_topology().load_factor, 0.5);
+}
+
+TEST(DefaultsTest, ModifiersAdjustTheRightKnobs) {
+  const auto base = calibration_topology();
+  const auto bursty = with_burstiness(base, 3.0);
+  EXPECT_DOUBLE_EQ(bursty.sojourn_fast, base.sojourn_fast * 3.0);
+  EXPECT_DOUBLE_EQ(bursty.sojourn_slow, base.sojourn_slow * 3.0);
+  // Stationary mix unchanged → identical mean service time.
+  graph::PeDescriptor a;
+  a.sojourn_mean[0] = base.sojourn_fast;
+  a.sojourn_mean[1] = base.sojourn_slow;
+  graph::PeDescriptor b;
+  b.sojourn_mean[0] = bursty.sojourn_fast;
+  b.sojourn_mean[1] = bursty.sojourn_slow;
+  EXPECT_DOUBLE_EQ(a.mean_service_time(), b.mean_service_time());
+
+  const auto buffered = with_buffer_size(base, 7);
+  EXPECT_EQ(buffered.buffer_capacity, 7);
+}
+
+TEST(TableTest, FormatsAlignedColumns) {
+  Table t({"name", "value"});
+  t.add_row({"alpha", "1.00"});
+  t.add_row({"b", "12.34"});
+  std::ostringstream oss;
+  t.print(oss);
+  const std::string out = oss.str();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("12.34"), std::string::npos);
+  EXPECT_NE(out.find("-----"), std::string::npos);
+}
+
+TEST(TableTest, RowWidthEnforced) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), CheckFailure);
+}
+
+TEST(TableTest, CsvExportQuotesSpecials) {
+  Table t({"name", "value"});
+  t.add_row({"plain", "1.5"});
+  t.add_row({"with,comma", "say \"hi\""});
+  std::ostringstream oss;
+  t.print_csv(oss);
+  EXPECT_EQ(oss.str(),
+            "name,value\n"
+            "plain,1.5\n"
+            "\"with,comma\",\"say \"\"hi\"\"\"\n");
+}
+
+TEST(TableTest, CellFormatting) {
+  EXPECT_EQ(cell(3.14159, 2), "3.14");
+  EXPECT_EQ(cell(3.14159, 4), "3.1416");
+  EXPECT_EQ(cell(static_cast<std::uint64_t>(42)), "42");
+}
+
+}  // namespace
+}  // namespace aces::harness

@@ -1,0 +1,130 @@
+// Whole-system invariant sweeps: random topologies × policies × short runs.
+// These are the "does anything at all break" net under the specific
+// behavioural tests — every run must preserve conservation and physical
+// bounds, regardless of configuration.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "graph/topology_generator.h"
+#include "opt/global_optimizer.h"
+#include "sim/stream_simulation.h"
+
+namespace aces::sim {
+namespace {
+
+using control::FlowPolicy;
+
+struct Scenario {
+  std::uint64_t seed;
+  FlowPolicy policy;
+};
+
+class RandomScenario : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomScenario, AllInvariantsHold) {
+  Rng rng(GetParam());
+  // Randomized configuration within sane bounds.
+  graph::TopologyParams params;
+  params.num_nodes = static_cast<int>(rng.uniform_int(2, 6));
+  params.num_ingress = static_cast<int>(rng.uniform_int(1, 4));
+  params.num_intermediate = static_cast<int>(rng.uniform_int(0, 10));
+  params.num_egress = static_cast<int>(rng.uniform_int(1, 4));
+  params.depth = static_cast<int>(rng.uniform_int(0, 4));
+  params.buffer_capacity = static_cast<int>(rng.uniform_int(3, 80));
+  params.load_factor = rng.uniform(0.2, 1.5);  // include overload
+  params.source_burstiness = rng.uniform(0.0, 1.0);
+  const auto g = generate_topology(params, GetParam() * 13 + 1);
+  const auto plan = opt::optimize(g);
+
+  const FlowPolicy policy = static_cast<FlowPolicy>(rng.uniform_int(0, 3));
+  SimOptions o;
+  o.duration = 12.0;
+  o.warmup = 3.0;
+  o.seed = GetParam() * 7 + 3;
+  o.controller.policy = policy;
+  o.controller.feedback_delay_ticks = static_cast<int>(rng.uniform_int(0, 3));
+  o.dt = rng.uniform(0.05, 0.2);
+  o.prefill_fraction = rng.bernoulli(0.3) ? rng.uniform(0.0, 1.0) : 0.0;
+
+  StreamSimulation sim(g, plan, o);
+  sim.run();
+  const auto report = sim.report();
+
+  // Physical bounds.
+  EXPECT_GE(report.weighted_throughput, 0.0);
+  EXPECT_LE(report.cpu_utilization, 1.0 + 1e-9);
+  EXPECT_GE(report.latency.min(), 0.0);
+
+  for (PeId id : g.all_pes()) {
+    const PeStats stats = sim.pe_stats(id);
+    // Conservation: accepted = processed + queued + in service.
+    EXPECT_EQ(stats.arrived,
+              stats.processed + stats.in_buffer + (stats.busy ? 1 : 0))
+        << id << " policy " << control::to_string(policy) << " seed "
+        << GetParam();
+    // Buffers within capacity.
+    EXPECT_LE(sim.buffer_size(id),
+              static_cast<std::size_t>(g.pe(id).buffer_capacity));
+    // CPU cannot exceed one core for the whole run.
+    EXPECT_LE(stats.cpu_seconds, o.duration + 1e-6);
+  }
+  // Lock-Step never drops internally.
+  if (policy == FlowPolicy::kLockStep) {
+    EXPECT_EQ(report.internal_drops, 0u);
+  }
+  // Node capacity respected at the end of the run.
+  for (NodeId n : g.all_nodes()) {
+    double total = 0.0;
+    for (PeId id : g.pes_on_node(n)) total += sim.cpu_share(id);
+    EXPECT_LE(total, g.node(n).cpu_capacity + 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, RandomScenario,
+                         ::testing::Range<std::uint64_t>(1, 25));
+
+TEST(FluidModelCrossCheck, CbrChainMatchesFluidPrediction) {
+  // Deterministic sources, no burstiness (equal state costs): the simulator
+  // must reproduce the fluid model's flows almost exactly.
+  graph::ProcessingGraph g;
+  const NodeId n0 = g.add_node();
+  const NodeId n1 = g.add_node();
+  const StreamId s = g.add_stream({80.0, 0.0, "cbr"});
+  graph::PeDescriptor d;
+  d.kind = graph::PeKind::kIngress;
+  d.node = n0;
+  d.input_stream = s;
+  d.service_time[0] = d.service_time[1] = 0.004;  // no state dependence
+  d.selectivity = 1.0;
+  const PeId a = g.add_pe(d);
+  d = {};
+  d.kind = graph::PeKind::kEgress;
+  d.node = n1;
+  d.service_time[0] = d.service_time[1] = 0.004;
+  d.selectivity = 1.0;
+  d.weight = 2.0;
+  const PeId b = g.add_pe(d);
+  g.add_edge(a, b);
+
+  const auto plan = opt::optimize(g);
+  EXPECT_NEAR(plan.weighted_throughput, 2.0 * 80.0, 1e-6);
+
+  SimOptions o;
+  o.duration = 40.0;
+  o.warmup = 10.0;
+  o.seed = 1;
+  o.controller.policy = control::FlowPolicy::kAces;
+  const auto report = simulate(g, plan, o);
+  EXPECT_NEAR(report.weighted_throughput, plan.weighted_throughput,
+              plan.weighted_throughput * 0.02);
+  // Uncongested chain: latency ≈ two service times plus transport and a
+  // little queueing — well under 100 ms.
+  EXPECT_LT(report.latency.mean(), 0.1);
+  EXPECT_EQ(report.internal_drops, 0u);
+  EXPECT_EQ(report.ingress_drops, 0u);
+}
+
+}  // namespace
+}  // namespace aces::sim

@@ -1,0 +1,131 @@
+// Integration tests asserting the paper's qualitative results on small but
+// realistic configurations. Everything here is deterministic (fixed seeds),
+// so the assertions are stable; margins are still kept loose because they
+// encode *orderings*, not absolute numbers.
+#include <gtest/gtest.h>
+
+#include "harness/defaults.h"
+#include "harness/experiment.h"
+
+namespace aces::harness {
+namespace {
+
+using control::FlowPolicy;
+
+ExperimentSpec base_spec() {
+  ExperimentSpec spec;
+  spec.topology = calibration_topology();  // 60 PEs / 10 nodes
+  spec.sim = default_sim_options();
+  spec.sim.duration = 40.0;
+  spec.sim.warmup = 10.0;
+  spec.seeds = {1, 2, 3};
+  return spec;
+}
+
+TEST(PolicyComparison, AcesBeatsUdpUnderHighBurstiness) {
+  // Fig. 5's headline: with long state sojourns, static CPU shares (UDP)
+  // lose noticeably more throughput than ACES.
+  ExperimentSpec spec = base_spec();
+  spec.topology = with_burstiness(spec.topology, 4.0);
+  const double aces =
+      run_experiment(spec, FlowPolicy::kAces).mean.weighted_throughput;
+  const double udp =
+      run_experiment(spec, FlowPolicy::kUdp).mean.weighted_throughput;
+  EXPECT_GT(aces, udp * 1.01);
+}
+
+TEST(PolicyComparison, AcesBeatsLockStepAtSmallBuffers) {
+  // §VI / abstract: ">20% in the limit of small buffers".
+  ExperimentSpec spec = base_spec();
+  spec.topology = with_buffer_size(with_burstiness(spec.topology, 2.0), 5);
+  const double aces =
+      run_experiment(spec, FlowPolicy::kAces).mean.weighted_throughput;
+  const double lockstep =
+      run_experiment(spec, FlowPolicy::kLockStep).mean.weighted_throughput;
+  EXPECT_GT(aces, lockstep * 1.15);
+}
+
+TEST(PolicyComparison, AcesLatencyWellBelowLockStep) {
+  ExperimentSpec spec = base_spec();
+  spec.topology = with_burstiness(spec.topology, 2.0);
+  const auto aces = run_experiment(spec, FlowPolicy::kAces).mean;
+  const auto lockstep = run_experiment(spec, FlowPolicy::kLockStep).mean;
+  EXPECT_LT(aces.latency_mean, lockstep.latency_mean * 0.8);
+}
+
+TEST(PolicyComparison, ThroughputDeclinesWithBurstiness) {
+  // Fig. 5 x-axis: increasing λ_s lowers weighted throughput for every
+  // policy.
+  ExperimentSpec spec = base_spec();
+  spec.seeds = {1, 2};
+  for (FlowPolicy policy :
+       {FlowPolicy::kAces, FlowPolicy::kUdp, FlowPolicy::kLockStep}) {
+    ExperimentSpec calm = spec;
+    calm.topology = with_burstiness(spec.topology, 0.5);
+    ExperimentSpec wild = spec;
+    wild.topology = with_burstiness(spec.topology, 6.0);
+    const double calm_norm =
+        run_experiment(calm, policy).mean.normalized_throughput();
+    const double wild_norm =
+        run_experiment(wild, policy).mean.normalized_throughput();
+    EXPECT_GT(calm_norm, wild_norm) << control::to_string(policy);
+  }
+}
+
+TEST(PolicyComparison, AcesDegradesLessThanBaselinesAsBurstinessGrows) {
+  ExperimentSpec calm = base_spec();
+  calm.topology = with_burstiness(calm.topology, 0.5);
+  ExperimentSpec wild = base_spec();
+  wild.topology = with_burstiness(wild.topology, 6.0);
+  auto loss = [&](FlowPolicy policy) {
+    const double c =
+        run_experiment(calm, policy).mean.normalized_throughput();
+    const double w =
+        run_experiment(wild, policy).mean.normalized_throughput();
+    return (c - w) / c;
+  };
+  const double aces_loss = loss(FlowPolicy::kAces);
+  const double udp_loss = loss(FlowPolicy::kUdp);
+  EXPECT_LT(aces_loss, udp_loss);
+}
+
+TEST(PolicyComparison, LargerBuffersRaiseThroughputAndLatency) {
+  // Fig. 4's parametric dimension.
+  ExperimentSpec small = base_spec();
+  small.seeds = {1, 2};
+  small.topology = with_buffer_size(small.topology, 5);
+  ExperimentSpec large = small;
+  large.topology = with_buffer_size(large.topology, 100);
+  const auto small_run = run_experiment(small, FlowPolicy::kAces).mean;
+  const auto large_run = run_experiment(large, FlowPolicy::kAces).mean;
+  EXPECT_GT(large_run.weighted_throughput, small_run.weighted_throughput);
+  EXPECT_GT(large_run.latency_mean, small_run.latency_mean);
+}
+
+TEST(PolicyComparison, AcesBuffersNeitherPinnedFullNorDead) {
+  // §IV: ACES regulates occupancy toward b0 at congested PEs; uncongested
+  // PEs (the majority at ρ = 0.5) sit near empty. System-wide mean fill
+  // must be strictly positive but far below saturation; Lock-Step under the
+  // same load runs its buffers fuller.
+  ExperimentSpec spec = base_spec();
+  spec.seeds = {1};
+  const auto aces = run_experiment(spec, FlowPolicy::kAces).mean;
+  EXPECT_GT(aces.buffer_fill_mean, 0.002);
+  EXPECT_LT(aces.buffer_fill_mean, 0.7);
+  const auto lockstep = run_experiment(spec, FlowPolicy::kLockStep).mean;
+  EXPECT_GT(lockstep.buffer_fill_mean, aces.buffer_fill_mean);
+}
+
+TEST(PolicyComparison, UtilizationStaysPhysical) {
+  ExperimentSpec spec = base_spec();
+  spec.seeds = {1};
+  for (FlowPolicy policy :
+       {FlowPolicy::kAces, FlowPolicy::kUdp, FlowPolicy::kLockStep}) {
+    const auto mean = run_experiment(spec, policy).mean;
+    EXPECT_GT(mean.cpu_utilization, 0.0) << control::to_string(policy);
+    EXPECT_LE(mean.cpu_utilization, 1.0) << control::to_string(policy);
+  }
+}
+
+}  // namespace
+}  // namespace aces::harness

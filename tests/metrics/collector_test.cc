@@ -1,0 +1,95 @@
+#include "metrics/collector.h"
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+
+namespace aces::metrics {
+namespace {
+
+TEST(CollectorTest, WarmupEventsIgnored) {
+  Collector c(/*measure_from=*/10.0, /*egress_count=*/1);
+  c.on_egress_output(5.0, 0, 2.0, 0.1);   // before warm-up
+  c.on_egress_output(15.0, 0, 2.0, 0.1);  // counted
+  c.on_internal_drop(5.0);
+  c.on_ingress_drop(5.0);
+  c.on_processed(5.0, 10);
+  const RunReport r = c.finalize(20.0, 1.0);
+  EXPECT_DOUBLE_EQ(r.measured_seconds, 10.0);
+  EXPECT_DOUBLE_EQ(r.weighted_throughput, 2.0 / 10.0);
+  EXPECT_EQ(r.internal_drops, 0u);
+  EXPECT_EQ(r.ingress_drops, 0u);
+  EXPECT_EQ(r.sdos_processed, 0u);
+  EXPECT_EQ(r.egress_outputs[0], 1u);
+}
+
+TEST(CollectorTest, WeightedThroughputSumsWeights) {
+  Collector c(0.0, 2);
+  c.on_egress_output(1.0, 0, 3.0, 0.1);
+  c.on_egress_output(2.0, 1, 5.0, 0.2);
+  c.on_egress_output(3.0, 1, 5.0, 0.2);
+  const RunReport r = c.finalize(10.0, 1.0);
+  EXPECT_DOUBLE_EQ(r.weighted_throughput, (3.0 + 5.0 + 5.0) / 10.0);
+  EXPECT_DOUBLE_EQ(r.output_rate, 3.0 / 10.0);
+  EXPECT_EQ(r.egress_outputs[0], 1u);
+  EXPECT_EQ(r.egress_outputs[1], 2u);
+}
+
+TEST(CollectorTest, LatencyStatsAggregates) {
+  Collector c(0.0, 1);
+  c.on_egress_output(1.0, 0, 1.0, 0.1);
+  c.on_egress_output(2.0, 0, 1.0, 0.3);
+  const RunReport r = c.finalize(10.0, 1.0);
+  EXPECT_DOUBLE_EQ(r.latency.mean(), 0.2);
+  EXPECT_EQ(r.latency.count(), 2u);
+  EXPECT_NEAR(r.latency_histogram.median(), 0.2, 0.1);
+}
+
+TEST(CollectorTest, CpuUtilizationNormalizesByCapacityAndWindow) {
+  Collector c(0.0, 1);
+  c.on_cpu_used(1.0, 2.0);
+  c.on_cpu_used(2.0, 3.0);
+  // 5 CPU-seconds over a 10-second window with capacity 2 → 0.25.
+  const RunReport r = c.finalize(10.0, 2.0);
+  EXPECT_DOUBLE_EQ(r.cpu_utilization, 0.25);
+}
+
+TEST(CollectorTest, BufferSamplesAveraged) {
+  Collector c(0.0, 1);
+  c.on_buffer_sample(1.0, 0.2);
+  c.on_buffer_sample(2.0, 0.6);
+  const RunReport r = c.finalize(10.0, 1.0);
+  EXPECT_DOUBLE_EQ(r.buffer_fill.mean(), 0.4);
+}
+
+TEST(CollectorTest, DropAndProcessedCounting) {
+  Collector c(0.0, 1);
+  c.on_internal_drop(1.0);
+  c.on_internal_drop(2.0);
+  c.on_ingress_drop(3.0);
+  c.on_processed(4.0, 7);
+  const RunReport r = c.finalize(10.0, 1.0);
+  EXPECT_EQ(r.internal_drops, 2u);
+  EXPECT_EQ(r.ingress_drops, 1u);
+  EXPECT_EQ(r.sdos_processed, 7u);
+}
+
+TEST(CollectorTest, FinalizeRequiresNonEmptyWindow) {
+  Collector c(10.0, 1);
+  EXPECT_THROW(c.finalize(10.0, 1.0), CheckFailure);
+  EXPECT_THROW(c.finalize(5.0, 1.0), CheckFailure);
+}
+
+TEST(CollectorTest, EgressIndexBoundsChecked) {
+  Collector c(0.0, 2);
+  EXPECT_THROW(c.on_egress_output(1.0, 2, 1.0, 0.1), CheckFailure);
+}
+
+TEST(CollectorTest, ZeroCapacityYieldsZeroUtilization) {
+  Collector c(0.0, 1);
+  c.on_cpu_used(1.0, 5.0);
+  EXPECT_DOUBLE_EQ(c.finalize(10.0, 0.0).cpu_utilization, 0.0);
+}
+
+}  // namespace
+}  // namespace aces::metrics

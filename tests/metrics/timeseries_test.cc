@@ -1,0 +1,88 @@
+#include "metrics/timeseries.h"
+
+#include <cmath>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+
+namespace aces::metrics {
+namespace {
+
+TEST(TimeSeriesTest, AppendsInOrder) {
+  TimeSeries ts;
+  ts.append(0.0, 1.0);
+  ts.append(1.0, 2.0);
+  ts.append(1.0, 3.0);  // equal times allowed
+  EXPECT_EQ(ts.size(), 3u);
+  EXPECT_DOUBLE_EQ(ts.values()[2], 3.0);
+  EXPECT_THROW(ts.append(0.5, 4.0), CheckFailure);  // going backwards
+}
+
+TEST(TimeSeriesTest, StatsAfterFiltersByTime) {
+  TimeSeries ts;
+  ts.append(0.0, 100.0);
+  ts.append(5.0, 10.0);
+  ts.append(10.0, 20.0);
+  const OnlineStats stats = ts.stats_after(5.0);
+  EXPECT_EQ(stats.count(), 2u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 15.0);
+}
+
+TEST(TimeSeriesTest, SettlingTimeFindsLastExcursion) {
+  TimeSeries ts;
+  ts.append(0.0, 50.0);  // far from target
+  ts.append(1.0, 30.0);
+  ts.append(2.0, 26.0);  // inside band
+  ts.append(3.0, 31.0);  // excursion!
+  ts.append(4.0, 25.5);
+  ts.append(5.0, 24.8);
+  EXPECT_DOUBLE_EQ(ts.settling_time(25.0, 2.0), 4.0);
+}
+
+TEST(TimeSeriesTest, SettlingTimeImmediateWhenAlwaysInBand) {
+  TimeSeries ts;
+  ts.append(1.0, 10.1);
+  ts.append(2.0, 9.9);
+  EXPECT_DOUBLE_EQ(ts.settling_time(10.0, 0.5), 1.0);
+}
+
+TEST(TimeSeriesTest, SettlingTimeInfiniteWhenNeverSettles) {
+  TimeSeries ts;
+  ts.append(0.0, 0.0);
+  ts.append(1.0, 100.0);
+  EXPECT_TRUE(std::isinf(ts.settling_time(50.0, 1.0)));
+  TimeSeries empty;
+  EXPECT_TRUE(std::isinf(empty.settling_time(0.0, 1.0)));
+}
+
+TEST(TimeSeriesSetTest, SeriesCreatedOnDemandAndStable) {
+  TimeSeriesSet set;
+  TimeSeries& a = set.series("a");
+  a.append(0.0, 1.0);
+  TimeSeries& b = set.series("b");
+  b.append(0.0, 2.0);
+  // References remain valid after creating more series.
+  EXPECT_EQ(set.series("a").size(), 1u);
+  EXPECT_EQ(set.find("a"), &set.series("a"));
+  EXPECT_EQ(set.find("missing"), nullptr);
+  EXPECT_EQ(set.names(), (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(TimeSeriesSetTest, CsvExportLongFormat) {
+  TimeSeriesSet set;
+  set.series("x").append(1.0, 2.5);
+  set.series("x").append(2.0, 3.5);
+  set.series("y").append(1.5, 9.0);
+  std::ostringstream oss;
+  set.write_csv(oss);
+  EXPECT_EQ(oss.str(),
+            "series,time,value\n"
+            "x,1,2.5\n"
+            "x,2,3.5\n"
+            "y,1.5,9\n");
+}
+
+}  // namespace
+}  // namespace aces::metrics

@@ -1,0 +1,116 @@
+#include "opt/dual_optimizer.h"
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "graph/topology_generator.h"
+
+namespace aces::opt {
+namespace {
+
+class DualVsPrimal : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DualVsPrimal, UtilityWithinFivePercentOfPrimal) {
+  const auto g = generate_topology(graph::TopologyParams{}, GetParam());
+  const AllocationPlan primal = optimize(g);
+  const DualSolution dual = optimize_dual(g);
+  EXPECT_GE(dual.plan.aggregate_utility, primal.aggregate_utility * 0.93)
+      << "seed " << GetParam();
+  // And the dual must not "win" by violating constraints: after projection
+  // it is feasible, so it cannot exceed the optimum by more than solver
+  // noise on the primal side.
+  EXPECT_LE(dual.plan.aggregate_utility, primal.aggregate_utility * 1.07);
+}
+
+TEST_P(DualVsPrimal, PlanIsFeasible) {
+  const auto g = generate_topology(graph::TopologyParams{}, GetParam());
+  const DualSolution dual = optimize_dual(g);
+  for (NodeId n : g.all_nodes()) {
+    EXPECT_LE(dual.plan.node_usage[n.value()],
+              g.node(n).cpu_capacity + 1e-9);
+  }
+  for (const auto& pe : dual.plan.pe) EXPECT_GE(pe.cpu, 0.0);
+}
+
+TEST_P(DualVsPrimal, PricesConverge) {
+  const auto g = generate_topology(graph::TopologyParams{}, GetParam());
+  const DualSolution dual = optimize_dual(g);
+  // Complementary slackness: the pre-projection usage of the busiest node
+  // must approach (not wildly overshoot) its capacity.
+  // At the paper's rho = 0.5 the capacity constraints are often slack, so
+  // the busiest node's pre-projection usage can sit well below capacity;
+  // what must NOT happen is a wild overshoot.
+  EXPECT_LE(dual.worst_violation, 1.15);
+  EXPECT_GE(dual.worst_violation, 0.3);
+  for (double price : dual.prices) EXPECT_GT(price, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DualVsPrimal,
+                         ::testing::Values(1, 2, 3, 4, 5, 11));
+
+TEST(DualOptimizerTest, SinglePeChainMatchesClosedForm) {
+  // One ingress on its own node feeding one egress on its own node, with an
+  // effectively unlimited source: the optimum saturates both nodes and is
+  // identical for both solvers.
+  graph::ProcessingGraph g;
+  const NodeId n0 = g.add_node();
+  const NodeId n1 = g.add_node();
+  const StreamId s = g.add_stream({1e9, 0.0, "s"});
+  graph::PeDescriptor ing;
+  ing.kind = graph::PeKind::kIngress;
+  ing.node = n0;
+  ing.input_stream = s;
+  graph::PeDescriptor egr;
+  egr.kind = graph::PeKind::kEgress;
+  egr.node = n1;
+  const PeId a = g.add_pe(ing);
+  const PeId b = g.add_pe(egr);
+  g.add_edge(a, b);
+  const DualSolution dual = optimize_dual(g);
+  const AllocationPlan primal = optimize(g);
+  EXPECT_NEAR(dual.plan.weighted_throughput, primal.weighted_throughput,
+              primal.weighted_throughput * 0.05);
+}
+
+TEST(DualOptimizerTest, ConfigValidation) {
+  const auto g = generate_topology(graph::TopologyParams{}, 1);
+  DualOptimizerConfig config;
+  config.outer_iterations = 0;
+  EXPECT_THROW(optimize_dual(g, config), CheckFailure);
+  config = {};
+  config.inner_iterations = 0;
+  EXPECT_THROW(optimize_dual(g, config), CheckFailure);
+  config = {};
+  config.price_step = 0.0;
+  EXPECT_THROW(optimize_dual(g, config), CheckFailure);
+}
+
+TEST(FinalizePlanTest, GrantsHeadroomWithoutOversubscription) {
+  const auto g = generate_topology(graph::TopologyParams{}, 3);
+  std::vector<double> cpu(g.pe_count(), 0.0);
+  for (NodeId n : g.all_nodes()) {
+    const auto& pes = g.pes_on_node(n);
+    for (PeId id : pes)
+      cpu[id.value()] =
+          g.node(n).cpu_capacity / static_cast<double>(pes.size());
+  }
+  OptimizerConfig config;
+  config.headroom = 3.0;
+  const AllocationPlan plan = finalize_plan(g, cpu, config);
+  for (NodeId n : g.all_nodes()) {
+    EXPECT_LE(plan.node_usage[n.value()], g.node(n).cpu_capacity + 1e-9);
+  }
+  // Targets at least cover the flows they must sustain.
+  for (std::size_t i = 0; i < g.pe_count(); ++i) {
+    const PeId id(static_cast<PeId::value_type>(i));
+    if (plan.pe[i].rin_sdo > 1e-9) {
+      EXPECT_GE(plan.pe[i].cpu,
+                g.pe(id).cpu_for_input_rate(plan.pe[i].rin_sdo *
+                                            g.pe(id).bytes_per_sdo) -
+                    1e-6);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace aces::opt

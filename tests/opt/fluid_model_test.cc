@@ -1,0 +1,125 @@
+// Mathematical property tests of the fluid-flow model: monotonicity,
+// concavity, and the supergradient inequality — the foundations both tier-1
+// solvers stand on (docs/THEORY.md §5).
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "graph/topology_generator.h"
+#include "opt/fluid_model.h"
+
+namespace aces::opt {
+namespace {
+
+std::vector<double> random_cpu(const graph::ProcessingGraph& g, Rng& rng) {
+  std::vector<double> cpu(g.pe_count());
+  // Stay above the rate map's overhead knee (h(c) = max(a·c − b, 0) clamps
+  // below c ≈ cpu_overhead): in the dead zone the model's supergradient uses
+  // the affine extension's slope — the ascent-friendly convention — so the
+  // exact calculus properties hold only on the smooth region.
+  for (auto& c : cpu) c = rng.uniform(0.01, 0.4);
+  return cpu;
+}
+
+class FluidModelProperty : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  graph::ProcessingGraph graph_ =
+      generate_topology(graph::TopologyParams{}, GetParam());
+  Utility utility_{UtilityKind::kLog, 50.0};
+};
+
+TEST_P(FluidModelProperty, FlowsMonotoneInCpu) {
+  Rng rng(GetParam() * 3 + 1);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<double> cpu = random_cpu(graph_, rng);
+    const FlowState before = fluid_forward(graph_, cpu, utility_, false);
+    // Raise one coordinate; no flow anywhere may decrease.
+    const auto j = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(cpu.size()) - 1));
+    cpu[j] += rng.uniform(0.0, 0.3);
+    const FlowState after = fluid_forward(graph_, cpu, utility_, false);
+    for (std::size_t i = 0; i < cpu.size(); ++i) {
+      EXPECT_GE(after.xin[i], before.xin[i] - 1e-12) << "pe " << i;
+    }
+    EXPECT_GE(after.utility, before.utility - 1e-12);
+  }
+}
+
+TEST_P(FluidModelProperty, UtilityIsConcaveAlongSegments) {
+  Rng rng(GetParam() * 7 + 2);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::vector<double> x = random_cpu(graph_, rng);
+    const std::vector<double> y = random_cpu(graph_, rng);
+    std::vector<double> mid(x.size());
+    for (std::size_t i = 0; i < x.size(); ++i) mid[i] = 0.5 * (x[i] + y[i]);
+    const double ux = fluid_forward(graph_, x, utility_, false).utility;
+    const double uy = fluid_forward(graph_, y, utility_, false).utility;
+    const double umid = fluid_forward(graph_, mid, utility_, false).utility;
+    EXPECT_GE(umid, 0.5 * (ux + uy) - 1e-9);
+  }
+}
+
+TEST_P(FluidModelProperty, SupergradientInequalityHolds) {
+  // g is a supergradient of concave U at x iff
+  //   U(y) <= U(x) + g(x)·(y − x)  for all y.
+  Rng rng(GetParam() * 11 + 3);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::vector<double> x = random_cpu(graph_, rng);
+    const FlowState fx = fluid_forward(graph_, x, utility_, false);
+    const auto g = fluid_supergradient(graph_, fx, utility_, false);
+    for (int probe = 0; probe < 5; ++probe) {
+      const std::vector<double> y = random_cpu(graph_, rng);
+      const double uy = fluid_forward(graph_, y, utility_, false).utility;
+      double linearized = fx.utility;
+      for (std::size_t i = 0; i < x.size(); ++i)
+        linearized += g[i] * (y[i] - x[i]);
+      EXPECT_LE(uy, linearized + 1e-6)
+          << "trial " << trial << " probe " << probe;
+    }
+  }
+}
+
+TEST_P(FluidModelProperty, SupergradientMatchesFiniteDifferenceWhenSmooth) {
+  // Away from the min() kinks the supergradient is the gradient; check it
+  // against central differences for coordinates that stay on one side of
+  // the kink across the probe.
+  Rng rng(GetParam() * 13 + 5);
+  const std::vector<double> x = random_cpu(graph_, rng);
+  const FlowState fx = fluid_forward(graph_, x, utility_, false);
+  const auto g = fluid_supergradient(graph_, fx, utility_, false);
+  const double h = 1e-7;
+  int checked = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    std::vector<double> up = x;
+    std::vector<double> down = x;
+    up[i] += h;
+    down[i] = std::max(down[i] - h, 0.0);
+    const FlowState fu = fluid_forward(graph_, up, utility_, false);
+    const FlowState fd = fluid_forward(graph_, down, utility_, false);
+    // Smoothness proxy: the binding pattern is identical at both probes.
+    if (fu.cpu_bound != fd.cpu_bound) continue;
+    const double numeric = (fu.utility - fd.utility) / (up[i] - down[i]);
+    EXPECT_NEAR(g[i], numeric, std::max(1e-4, std::abs(numeric) * 1e-3))
+        << "pe " << i;
+    ++checked;
+  }
+  EXPECT_GT(checked, 0);
+}
+
+TEST_P(FluidModelProperty, ZeroCpuMeansZeroFlow) {
+  const std::vector<double> zeros(graph_.pe_count(), 0.0);
+  const FlowState fs = fluid_forward(graph_, zeros, utility_, false);
+  for (std::size_t i = 0; i < zeros.size(); ++i) {
+    EXPECT_DOUBLE_EQ(fs.xin[i], 0.0);
+    EXPECT_DOUBLE_EQ(fs.xout[i], 0.0);
+  }
+  EXPECT_DOUBLE_EQ(fs.utility, 0.0);
+  EXPECT_DOUBLE_EQ(fs.weighted_throughput, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FluidModelProperty,
+                         ::testing::Values(1, 2, 3, 5, 8));
+
+}  // namespace
+}  // namespace aces::opt

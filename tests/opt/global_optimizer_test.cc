@@ -1,0 +1,280 @@
+#include "opt/global_optimizer.h"
+
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "graph/topology_generator.h"
+
+namespace aces::opt {
+namespace {
+
+using graph::PeDescriptor;
+using graph::PeKind;
+using graph::ProcessingGraph;
+using graph::StreamDescriptor;
+
+/// ingress → egress chain on one node, stream rate `rate`.
+ProcessingGraph two_pe_chain(double rate) {
+  ProcessingGraph g;
+  const NodeId n = g.add_node();
+  const StreamId s = g.add_stream(StreamDescriptor{rate, 0.0, "s"});
+  PeDescriptor ingress;
+  ingress.kind = PeKind::kIngress;
+  ingress.node = n;
+  ingress.input_stream = s;
+  PeDescriptor egress;
+  egress.kind = PeKind::kEgress;
+  egress.node = n;
+  egress.weight = 5.0;
+  const PeId a = g.add_pe(ingress);
+  const PeId b = g.add_pe(egress);
+  g.add_edge(a, b);
+  return g;
+}
+
+TEST(ProjectToCapacityTest, FeasibleVectorUnchanged) {
+  std::vector<double> v{0.2, 0.3};
+  project_to_capacity(v, 1.0);
+  EXPECT_DOUBLE_EQ(v[0], 0.2);
+  EXPECT_DOUBLE_EQ(v[1], 0.3);
+}
+
+TEST(ProjectToCapacityTest, NegativesClampToZero) {
+  std::vector<double> v{-0.5, 0.3};
+  project_to_capacity(v, 1.0);
+  EXPECT_DOUBLE_EQ(v[0], 0.0);
+  EXPECT_DOUBLE_EQ(v[1], 0.3);
+}
+
+TEST(ProjectToCapacityTest, OversubscribedProjectsOntoSimplex) {
+  std::vector<double> v{0.8, 0.8};
+  project_to_capacity(v, 1.0);
+  EXPECT_NEAR(v[0] + v[1], 1.0, 1e-12);
+  EXPECT_NEAR(v[0], 0.5, 1e-12);  // symmetric input → symmetric output
+}
+
+TEST(ProjectToCapacityTest, PreservesOrderingAndShiftsUniformly) {
+  std::vector<double> v{1.0, 0.5, 0.1};
+  project_to_capacity(v, 1.0);
+  EXPECT_NEAR(std::accumulate(v.begin(), v.end(), 0.0), 1.0, 1e-12);
+  EXPECT_GT(v[0], v[1]);
+  EXPECT_GE(v[1], v[2]);
+  EXPECT_GE(v[2], 0.0);
+}
+
+TEST(ProjectToCapacityTest, PropertySumAndNonNegativity) {
+  Rng rng(17);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<double> v(static_cast<std::size_t>(rng.uniform_int(1, 8)));
+    for (auto& x : v) x = rng.uniform(-1.0, 2.0);
+    const double cap = rng.uniform(0.1, 2.0);
+    project_to_capacity(v, cap);
+    double sum = 0.0;
+    for (double x : v) {
+      EXPECT_GE(x, 0.0);
+      sum += x;
+    }
+    EXPECT_LE(sum, cap + 1e-9);
+  }
+}
+
+TEST(EvaluateAllocationTest, ChainFlowsFollowRateMap) {
+  const ProcessingGraph g = two_pe_chain(1e9);  // effectively unlimited source
+  std::vector<double> cpu{0.4, 0.4};
+  const AllocationPlan plan = evaluate_allocation(g, cpu);
+  const auto& ingress = g.pe(PeId(0));
+  const double expected_in =
+      ingress.input_rate_at_cpu(0.4) / ingress.bytes_per_sdo;
+  EXPECT_NEAR(plan.at(PeId(0)).rin_sdo, expected_in, 1e-9);
+  EXPECT_NEAR(plan.at(PeId(0)).rout_sdo,
+              ingress.selectivity * expected_in, 1e-9);
+}
+
+TEST(EvaluateAllocationTest, DownstreamLimitedByUpstreamOutput) {
+  const ProcessingGraph g = two_pe_chain(1e9);
+  std::vector<double> cpu{0.1, 0.9};  // egress has far more CPU than needed
+  const AllocationPlan plan = evaluate_allocation(g, cpu);
+  EXPECT_NEAR(plan.at(PeId(1)).rin_sdo, plan.at(PeId(0)).rout_sdo, 1e-9);
+}
+
+TEST(EvaluateAllocationTest, SourceRateCapsIngress) {
+  const ProcessingGraph g = two_pe_chain(10.0);
+  std::vector<double> cpu{0.9, 0.9};
+  const AllocationPlan plan = evaluate_allocation(g, cpu);
+  EXPECT_NEAR(plan.at(PeId(0)).rin_sdo, 10.0, 1e-9);
+}
+
+TEST(EvaluateAllocationTest, WeightedThroughputUsesEgressWeights) {
+  const ProcessingGraph g = two_pe_chain(10.0);
+  std::vector<double> cpu{0.9, 0.9};
+  const AllocationPlan plan = evaluate_allocation(g, cpu);
+  EXPECT_NEAR(plan.weighted_throughput,
+              5.0 * plan.at(PeId(1)).rout_sdo, 1e-9);
+}
+
+TEST(EvaluateAllocationTest, RejectsWrongSizeVector) {
+  const ProcessingGraph g = two_pe_chain(10.0);
+  std::vector<double> cpu{0.5};
+  EXPECT_THROW(evaluate_allocation(g, cpu), CheckFailure);
+}
+
+TEST(OptimizeTest, RespectsNodeCapacities) {
+  const graph::TopologyParams params;
+  for (std::uint64_t seed : {1, 2, 3}) {
+    const ProcessingGraph g = generate_topology(params, seed);
+    const AllocationPlan plan = optimize(g);
+    for (NodeId n : g.all_nodes()) {
+      EXPECT_LE(plan.node_usage[n.value()],
+                g.node(n).cpu_capacity + 1e-9)
+          << "node " << n << " seed " << seed;
+    }
+  }
+}
+
+TEST(OptimizeTest, BeatsOrMatchesEqualShare) {
+  const graph::TopologyParams params;
+  OptimizerConfig config;
+  for (std::uint64_t seed : {1, 5, 9}) {
+    const ProcessingGraph g = generate_topology(params, seed);
+    std::vector<double> equal(g.pe_count(), 0.0);
+    for (NodeId n : g.all_nodes()) {
+      const auto& pes = g.pes_on_node(n);
+      for (PeId id : pes)
+        equal[id.value()] =
+            g.node(n).cpu_capacity / static_cast<double>(pes.size());
+    }
+    const double equal_utility =
+        evaluate_allocation(g, equal, config).aggregate_utility;
+    const AllocationPlan plan = optimize(g, config);
+    EXPECT_GE(plan.aggregate_utility, equal_utility - 1e-6) << "seed " << seed;
+  }
+}
+
+TEST(OptimizeTest, RandomFeasiblePerturbationsDoNotImprove) {
+  // First-order optimality, probed stochastically: no random reallocation of
+  // CPU within nodes should beat the optimizer by more than a tolerance.
+  const graph::TopologyParams params;
+  const ProcessingGraph g = generate_topology(params, 4);
+  OptimizerConfig config;
+  config.iterations = 2000;
+  const AllocationPlan plan = optimize(g, config);
+  std::vector<double> base(g.pe_count());
+  for (std::size_t i = 0; i < g.pe_count(); ++i) base[i] = plan.pe[i].cpu;
+  const double base_utility = plan.aggregate_utility;
+
+  Rng rng(123);
+  for (int trial = 0; trial < 100; ++trial) {
+    std::vector<double> perturbed = base;
+    for (NodeId n : g.all_nodes()) {
+      std::vector<double> node_vals;
+      const auto& pes = g.pes_on_node(n);
+      for (PeId id : pes)
+        node_vals.push_back(perturbed[id.value()] + rng.uniform(-0.05, 0.05));
+      project_to_capacity(node_vals, g.node(n).cpu_capacity);
+      for (std::size_t k = 0; k < pes.size(); ++k)
+        perturbed[pes[k].value()] = node_vals[k];
+    }
+    const double utility =
+        evaluate_allocation(g, perturbed, config).aggregate_utility;
+    EXPECT_LE(utility, base_utility * 1.02 + 1e-9) << "trial " << trial;
+  }
+}
+
+TEST(OptimizeTest, HigherWeightBranchGetsMoreCpuWhenContended) {
+  // Two parallel chains share one node; the heavy chain should win CPU.
+  ProcessingGraph g;
+  const NodeId n = g.add_node();
+  const StreamId s1 = g.add_stream(StreamDescriptor{1e9, 0.0, "a"});
+  const StreamId s2 = g.add_stream(StreamDescriptor{1e9, 0.0, "b"});
+  PeDescriptor ing;
+  ing.kind = PeKind::kIngress;
+  ing.node = n;
+  ing.input_stream = s1;
+  PeDescriptor heavy;
+  heavy.kind = PeKind::kEgress;
+  heavy.node = n;
+  heavy.weight = 10.0;
+  PeDescriptor light = heavy;
+  light.weight = 1.0;
+  const PeId a = g.add_pe(ing);
+  ing.input_stream = s2;
+  const PeId b = g.add_pe(ing);
+  const PeId heavy_pe = g.add_pe(heavy);
+  const PeId light_pe = g.add_pe(light);
+  g.add_edge(a, heavy_pe);
+  g.add_edge(b, light_pe);
+  const AllocationPlan plan = optimize(g);
+  EXPECT_GT(plan.at(heavy_pe).rout_sdo, plan.at(light_pe).rout_sdo);
+  EXPECT_GT(plan.at(heavy_pe).cpu, plan.at(light_pe).cpu);
+}
+
+TEST(OptimizeTest, HeadroomNeverOversubscribesNodes) {
+  OptimizerConfig config;
+  config.headroom = 4.0;  // aggressive
+  const ProcessingGraph g = generate_topology(graph::TopologyParams{}, 8);
+  const AllocationPlan plan = optimize(g, config);
+  for (NodeId n : g.all_nodes()) {
+    EXPECT_LE(plan.node_usage[n.value()], g.node(n).cpu_capacity + 1e-9);
+  }
+}
+
+TEST(OptimizeTest, HeadroomGrantsAtLeastNeededCpu) {
+  const ProcessingGraph g = generate_topology(graph::TopologyParams{}, 8);
+  const AllocationPlan plan = optimize(g);
+  for (PeId id : g.all_pes()) {
+    const auto& d = g.pe(id);
+    if (plan.at(id).rin_sdo > 1e-9) {
+      const double needed =
+          d.cpu_for_input_rate(plan.at(id).rin_sdo * d.bytes_per_sdo);
+      EXPECT_GE(plan.at(id).cpu, needed - 1e-6) << id;
+    }
+  }
+}
+
+TEST(OptimizeTest, EgressOnlyObjectiveStillServesEgress) {
+  OptimizerConfig config;
+  config.egress_only_objective = true;
+  const ProcessingGraph g = generate_topology(graph::TopologyParams{}, 2);
+  const AllocationPlan plan = optimize(g, config);
+  EXPECT_GT(plan.weighted_throughput, 0.0);
+}
+
+TEST(OptimizeTest, LinearUtilityMaximizesWeightedThroughputHarder) {
+  // With linear utility the optimizer should achieve at least the log
+  // utility's weighted throughput (it optimizes throughput directly).
+  const ProcessingGraph g = generate_topology(graph::TopologyParams{}, 6);
+  OptimizerConfig log_config;
+  log_config.utility = UtilityKind::kLog;
+  OptimizerConfig lin_config;
+  lin_config.utility = UtilityKind::kLinear;
+  const double log_wt = optimize(g, log_config).weighted_throughput;
+  const double lin_wt = optimize(g, lin_config).weighted_throughput;
+  EXPECT_GE(lin_wt, log_wt * 0.98);
+}
+
+TEST(OptimizeTest, DeterministicForSameInput) {
+  const ProcessingGraph g = generate_topology(graph::TopologyParams{}, 11);
+  const AllocationPlan a = optimize(g);
+  const AllocationPlan b = optimize(g);
+  for (std::size_t i = 0; i < g.pe_count(); ++i)
+    EXPECT_DOUBLE_EQ(a.pe[i].cpu, b.pe[i].cpu);
+}
+
+TEST(OptimizeTest, ValidatesConfig) {
+  const ProcessingGraph g = two_pe_chain(10.0);
+  OptimizerConfig config;
+  config.iterations = 0;
+  EXPECT_THROW(optimize(g, config), CheckFailure);
+  config = {};
+  config.headroom = 0.5;
+  EXPECT_THROW(optimize(g, config), CheckFailure);
+  config = {};
+  config.step = 0.0;
+  EXPECT_THROW(optimize(g, config), CheckFailure);
+}
+
+}  // namespace
+}  // namespace aces::opt

@@ -1,0 +1,129 @@
+// Tier-1 policy constraints: minimum output-rate floors (paper §V: the
+// first tier "can take into account arbitrarily complex policy
+// constraints").
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "graph/processing_graph.h"
+#include "graph/topology_generator.h"
+#include "opt/global_optimizer.h"
+
+namespace aces::opt {
+namespace {
+
+using graph::PeDescriptor;
+using graph::PeKind;
+using graph::ProcessingGraph;
+using graph::StreamDescriptor;
+
+/// Two independent chains contending on one shared node; without floors the
+/// heavy chain starves the light one.
+struct TwoChains {
+  ProcessingGraph g;
+  PeId light_egress, heavy_egress;
+
+  TwoChains() {
+    const NodeId shared = g.add_node();
+    const NodeId io = g.add_node();
+    const StreamId s1 = g.add_stream(StreamDescriptor{1e9, 0.0, "light"});
+    const StreamId s2 = g.add_stream(StreamDescriptor{1e9, 0.0, "heavy"});
+    PeDescriptor ing;
+    ing.kind = PeKind::kIngress;
+    ing.node = io;
+    ing.input_stream = s1;
+    const PeId a = g.add_pe(ing);
+    ing.input_stream = s2;
+    const PeId b = g.add_pe(ing);
+    PeDescriptor egr;
+    egr.kind = PeKind::kEgress;
+    egr.node = shared;
+    egr.weight = 1.0;
+    light_egress = g.add_pe(egr);
+    egr.weight = 20.0;
+    heavy_egress = g.add_pe(egr);
+    g.add_edge(a, light_egress);
+    g.add_edge(b, heavy_egress);
+  }
+};
+
+TEST(RateFloorTest, FloorLiftsStarvedBranch) {
+  TwoChains fixture;
+  OptimizerConfig config;
+  config.utility = UtilityKind::kLinear;  // maximal starvation pressure
+  const AllocationPlan without = optimize(fixture.g, config);
+  // Linear utility with 20x weight: the light branch gets ~nothing.
+  EXPECT_LT(without.at(fixture.light_egress).rout_sdo, 10.0);
+
+  config.rate_floors.push_back(RateFloor{fixture.light_egress, 50.0});
+  const AllocationPlan with_floor = optimize(fixture.g, config);
+  EXPECT_GE(with_floor.at(fixture.light_egress).rout_sdo, 45.0);
+  EXPECT_LT(with_floor.floor_shortfall, 5.0);
+  // The heavy branch pays for it.
+  EXPECT_LT(with_floor.at(fixture.heavy_egress).rout_sdo,
+            without.at(fixture.heavy_egress).rout_sdo);
+}
+
+TEST(RateFloorTest, SatisfiedFloorIsFree) {
+  TwoChains fixture;
+  OptimizerConfig config;
+  const AllocationPlan without = optimize(fixture.g, config);
+  OptimizerConfig with_config = config;
+  // Floor below what the unconstrained optimum already delivers.
+  with_config.rate_floors.push_back(RateFloor{
+      fixture.heavy_egress, without.at(fixture.heavy_egress).rout_sdo / 2.0});
+  const AllocationPlan with_floor = optimize(fixture.g, with_config);
+  EXPECT_NEAR(with_floor.aggregate_utility, without.aggregate_utility,
+              without.aggregate_utility * 0.01);
+  EXPECT_DOUBLE_EQ(with_floor.floor_shortfall, 0.0);
+}
+
+TEST(RateFloorTest, InfeasibleFloorDegradesGracefully) {
+  TwoChains fixture;
+  OptimizerConfig config;
+  config.rate_floors.push_back(RateFloor{fixture.light_egress, 1e9});
+  const AllocationPlan plan = optimize(fixture.g, config);
+  // Cannot be met; the solve still completes, reports the shortfall, and
+  // keeps the plan feasible.
+  EXPECT_GT(plan.floor_shortfall, 0.0);
+  for (NodeId n : fixture.g.all_nodes()) {
+    EXPECT_LE(plan.node_usage[n.value()],
+              fixture.g.node(n).cpu_capacity + 1e-9);
+  }
+}
+
+TEST(RateFloorTest, ShortfallReportedByEvaluateAllocation) {
+  TwoChains fixture;
+  OptimizerConfig config;
+  config.rate_floors.push_back(RateFloor{fixture.light_egress, 100.0});
+  const AllocationPlan starved =
+      evaluate_allocation(fixture.g, {0.0, 0.9, 0.0, 0.9}, config);
+  EXPECT_DOUBLE_EQ(starved.floor_shortfall, 100.0);
+}
+
+TEST(RateFloorTest, BadFloorRejected) {
+  TwoChains fixture;
+  OptimizerConfig config;
+  config.rate_floors.push_back(RateFloor{PeId(99), 10.0});
+  EXPECT_THROW(optimize(fixture.g, config), CheckFailure);
+  config.rate_floors.clear();
+  config.rate_floors.push_back(RateFloor{fixture.light_egress, -5.0});
+  EXPECT_THROW(optimize(fixture.g, config), CheckFailure);
+}
+
+TEST(RateFloorTest, WorksOnGeneratedTopologies) {
+  const auto g = generate_topology(graph::TopologyParams{}, 6);
+  // Floor every egress at half its unconstrained optimum: all satisfiable.
+  OptimizerConfig config;
+  const AllocationPlan base = optimize(g, config);
+  for (PeId id : g.all_pes()) {
+    if (g.pe(id).kind == graph::PeKind::kEgress) {
+      config.rate_floors.push_back(RateFloor{id, base.at(id).rout_sdo / 2.0});
+    }
+  }
+  const AllocationPlan plan = optimize(g, config);
+  EXPECT_LT(plan.floor_shortfall, 1.0);
+  EXPECT_GE(plan.aggregate_utility, base.aggregate_utility * 0.95);
+}
+
+}  // namespace
+}  // namespace aces::opt

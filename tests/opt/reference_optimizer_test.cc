@@ -1,0 +1,143 @@
+// Ground-truth validation of the tier-1 solvers on graphs small enough for
+// exhaustive grid search over CPU vectors.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "graph/processing_graph.h"
+#include "opt/dual_optimizer.h"
+#include "opt/fluid_model.h"
+#include "opt/global_optimizer.h"
+
+namespace aces::opt {
+namespace {
+
+using graph::PeDescriptor;
+using graph::PeKind;
+using graph::ProcessingGraph;
+using graph::StreamDescriptor;
+
+/// Exhaustive grid search over feasible CPU vectors (≤ 3 PEs on shared
+/// nodes); the brute-force optimum every solver must approach.
+double brute_force_utility(const ProcessingGraph& g,
+                           const OptimizerConfig& config, int steps = 60) {
+  const Utility u(config.utility, config.utility_scale);
+  const std::size_t n = g.pe_count();
+  std::vector<double> cpu(n, 0.0);
+  double best = -1.0;
+  // Nested loop over a grid; n <= 3 keeps this ~steps^3.
+  std::vector<int> idx(n, 0);
+  const auto feasible = [&] {
+    for (NodeId node : g.all_nodes()) {
+      double sum = 0.0;
+      for (PeId id : g.pes_on_node(node)) sum += cpu[id.value()];
+      if (sum > g.node(node).cpu_capacity + 1e-12) return false;
+    }
+    return true;
+  };
+  const double step = 1.0 / steps;
+  std::size_t cursor = 0;
+  while (true) {
+    for (std::size_t i = 0; i < n; ++i) cpu[i] = idx[i] * step;
+    if (feasible()) {
+      const double utility =
+          fluid_forward(g, cpu, u, config.egress_only_objective).utility;
+      best = std::max(best, utility);
+    }
+    // Odometer increment.
+    cursor = 0;
+    while (cursor < n && ++idx[cursor] > steps) {
+      idx[cursor] = 0;
+      ++cursor;
+    }
+    if (cursor == n) break;
+  }
+  return best;
+}
+
+/// Two PEs contending on one node with different weights.
+ProcessingGraph contended_pair(double w1, double w2) {
+  ProcessingGraph g;
+  const NodeId shared = g.add_node();
+  const NodeId io = g.add_node();
+  const StreamId s1 = g.add_stream(StreamDescriptor{1e9, 0.0, "a"});
+  const StreamId s2 = g.add_stream(StreamDescriptor{1e9, 0.0, "b"});
+  PeDescriptor ing;
+  ing.kind = PeKind::kIngress;
+  ing.node = io;
+  ing.input_stream = s1;
+  const PeId a = g.add_pe(ing);
+  ing.input_stream = s2;
+  const PeId b = g.add_pe(ing);
+  PeDescriptor egr;
+  egr.kind = PeKind::kEgress;
+  egr.node = shared;
+  egr.weight = w1;
+  const PeId e1 = g.add_pe(egr);
+  egr.weight = w2;
+  const PeId e2 = g.add_pe(egr);
+  g.add_edge(a, e1);
+  g.add_edge(b, e2);
+  return g;
+}
+
+TEST(ReferenceOptimizerTest, PrimalMatchesBruteForceOnContendedPair) {
+  for (const auto& [w1, w2] : std::vector<std::pair<double, double>>{
+           {1.0, 1.0}, {1.0, 5.0}, {2.0, 9.0}}) {
+    const ProcessingGraph g = contended_pair(w1, w2);
+    OptimizerConfig config;
+    config.iterations = 3000;
+    const double reference = brute_force_utility(g, config);
+    const AllocationPlan plan = optimize(g, config);
+    EXPECT_GE(plan.aggregate_utility, reference * 0.995)
+        << "w1=" << w1 << " w2=" << w2;
+    EXPECT_LE(plan.aggregate_utility, reference * 1.005)
+        << "w1=" << w1 << " w2=" << w2;
+  }
+}
+
+TEST(ReferenceOptimizerTest, DualMatchesBruteForceOnContendedPair) {
+  const ProcessingGraph g = contended_pair(1.0, 5.0);
+  OptimizerConfig config;
+  const double reference = brute_force_utility(g, config);
+  DualOptimizerConfig dual_config;
+  dual_config.base = config;
+  const DualSolution dual = optimize_dual(g, dual_config);
+  EXPECT_GE(dual.plan.aggregate_utility, reference * 0.97);
+}
+
+TEST(ReferenceOptimizerTest, SourceCappedChainIsExactlySolvable) {
+  // Ingress capped at 10 SDO/s, everything else over-provisioned: the
+  // optimum is trivially "serve the 10/s", which both solvers and brute
+  // force must agree on.
+  ProcessingGraph g;
+  const NodeId n0 = g.add_node();
+  const NodeId n1 = g.add_node();
+  const StreamId s = g.add_stream(StreamDescriptor{10.0, 0.0, "slow"});
+  PeDescriptor ing;
+  ing.kind = PeKind::kIngress;
+  ing.node = n0;
+  ing.input_stream = s;
+  PeDescriptor egr;
+  egr.kind = PeKind::kEgress;
+  egr.node = n1;
+  egr.weight = 3.0;
+  const PeId a = g.add_pe(ing);
+  const PeId b = g.add_pe(egr);
+  g.add_edge(a, b);
+
+  OptimizerConfig config;
+  const Utility u(config.utility, config.utility_scale);
+  const double sel = g.pe(a).selectivity * g.pe(b).selectivity;
+  const double expected =
+      /*ingress*/ 1.0 * u.value(g.pe(a).selectivity * 10.0) +
+      /*egress*/ 3.0 * u.value(sel * 10.0);
+  const AllocationPlan plan = optimize(g, config);
+  EXPECT_NEAR(plan.aggregate_utility, expected, expected * 1e-6);
+  EXPECT_NEAR(plan.weighted_throughput, 3.0 * sel * 10.0, 1e-6);
+  const double reference = brute_force_utility(g, config);
+  EXPECT_NEAR(reference, expected, expected * 0.01);
+}
+
+}  // namespace
+}  // namespace aces::opt

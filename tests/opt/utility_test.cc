@@ -1,0 +1,100 @@
+#include "opt/utility.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+
+namespace aces::opt {
+namespace {
+
+class UtilityKinds : public ::testing::TestWithParam<UtilityKind> {};
+
+TEST_P(UtilityKinds, StrictlyIncreasing) {
+  const Utility u(GetParam(), 10.0);
+  double prev = u.value(0.0);
+  for (double x = 0.5; x <= 100.0; x += 0.5) {
+    const double v = u.value(x);
+    EXPECT_GT(v, prev) << "at x=" << x;
+    prev = v;
+  }
+}
+
+TEST_P(UtilityKinds, DerivativePositive) {
+  const Utility u(GetParam(), 10.0);
+  for (double x = 0.0; x <= 100.0; x += 1.0) {
+    EXPECT_GT(u.derivative(x), 0.0) << "at x=" << x;
+  }
+}
+
+TEST_P(UtilityKinds, DerivativeMatchesFiniteDifference) {
+  const Utility u(GetParam(), 5.0);
+  for (double x : {0.0, 0.5, 2.0, 10.0, 50.0}) {
+    const double h = 1e-6;
+    const double numeric = (u.value(x + h) - u.value(std::max(x - h, 0.0))) /
+                           (x >= h ? 2 * h : h);
+    EXPECT_NEAR(u.derivative(x), numeric, 1e-5) << "at x=" << x;
+  }
+}
+
+TEST_P(UtilityKinds, ConcaveDerivativeNonIncreasing) {
+  const Utility u(GetParam(), 10.0);
+  double prev = u.derivative(0.0);
+  for (double x = 1.0; x <= 100.0; x += 1.0) {
+    const double d = u.derivative(x);
+    EXPECT_LE(d, prev + 1e-12) << "at x=" << x;
+    prev = d;
+  }
+}
+
+TEST_P(UtilityKinds, ZeroAtZero) {
+  const Utility u(GetParam(), 3.0);
+  EXPECT_DOUBLE_EQ(u.value(0.0), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, UtilityKinds,
+                         ::testing::Values(UtilityKind::kLinear,
+                                           UtilityKind::kLog,
+                                           UtilityKind::kExpSaturating),
+                         [](const auto& info) {
+                           return to_string(info.param);
+                         });
+
+TEST(UtilityTest, LinearIsExactlyScaled) {
+  const Utility u(UtilityKind::kLinear, 4.0);
+  EXPECT_DOUBLE_EQ(u.value(8.0), 2.0);
+  EXPECT_DOUBLE_EQ(u.derivative(8.0), 0.25);
+}
+
+TEST(UtilityTest, LogMatchesClosedForm) {
+  const Utility u(UtilityKind::kLog, 2.0);
+  EXPECT_NEAR(u.value(2.0), std::log(2.0), 1e-12);
+  EXPECT_NEAR(u.derivative(2.0), 1.0 / 4.0, 1e-12);
+}
+
+TEST(UtilityTest, ExpSaturatesAtOne) {
+  const Utility u(UtilityKind::kExpSaturating, 1.0);
+  EXPECT_NEAR(u.value(50.0), 1.0, 1e-12);
+  EXPECT_LT(u.value(1e9), 1.0 + 1e-12);
+}
+
+TEST(UtilityTest, ScaleMovesTheKnee) {
+  const Utility narrow(UtilityKind::kExpSaturating, 1.0);
+  const Utility wide(UtilityKind::kExpSaturating, 100.0);
+  EXPECT_GT(narrow.value(1.0), wide.value(1.0));
+}
+
+TEST(UtilityTest, RejectsNonPositiveScale) {
+  EXPECT_THROW(Utility(UtilityKind::kLog, 0.0), CheckFailure);
+  EXPECT_THROW(Utility(UtilityKind::kLog, -1.0), CheckFailure);
+}
+
+TEST(UtilityTest, ToStringNames) {
+  EXPECT_STREQ(to_string(UtilityKind::kLinear), "linear");
+  EXPECT_STREQ(to_string(UtilityKind::kLog), "log");
+  EXPECT_STREQ(to_string(UtilityKind::kExpSaturating), "exp");
+}
+
+}  // namespace
+}  // namespace aces::opt

@@ -1,0 +1,132 @@
+#include "runtime/channel.h"
+
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace aces::runtime {
+namespace {
+
+using namespace std::chrono_literals;
+
+TEST(ChannelTest, PushPopRoundTrip) {
+  Channel<int> ch(4);
+  EXPECT_TRUE(ch.try_push(1));
+  EXPECT_TRUE(ch.try_push(2));
+  EXPECT_EQ(ch.size(), 2u);
+  EXPECT_EQ(ch.try_pop().value(), 1);  // FIFO
+  EXPECT_EQ(ch.try_pop().value(), 2);
+  EXPECT_FALSE(ch.try_pop().has_value());
+}
+
+TEST(ChannelTest, TryPushFailsWhenFull) {
+  Channel<int> ch(2);
+  EXPECT_TRUE(ch.try_push(1));
+  EXPECT_TRUE(ch.try_push(2));
+  EXPECT_FALSE(ch.try_push(3));
+  EXPECT_EQ(ch.size(), 2u);
+  EXPECT_EQ(ch.free_slots(), 0u);
+}
+
+TEST(ChannelTest, PushWaitTimesOutWhenFull) {
+  Channel<int> ch(1);
+  ch.try_push(1);
+  EXPECT_FALSE(ch.push_wait(2, 5ms));
+}
+
+TEST(ChannelTest, PushWaitSucceedsWhenConsumerDrains) {
+  Channel<int> ch(1);
+  ch.try_push(1);
+  std::thread consumer([&] {
+    std::this_thread::sleep_for(10ms);
+    ch.try_pop();
+  });
+  EXPECT_TRUE(ch.push_wait(2, 2s));
+  consumer.join();
+  EXPECT_EQ(ch.try_pop().value(), 2);
+}
+
+TEST(ChannelTest, PopWaitTimesOutWhenEmpty) {
+  Channel<int> ch(1);
+  EXPECT_FALSE(ch.pop_wait(5ms).has_value());
+}
+
+TEST(ChannelTest, PopWaitWakesOnPush) {
+  Channel<int> ch(1);
+  std::thread producer([&] {
+    std::this_thread::sleep_for(10ms);
+    ch.try_push(42);
+  });
+  EXPECT_EQ(ch.pop_wait(2s).value(), 42);
+  producer.join();
+}
+
+TEST(ChannelTest, CloseUnblocksWaitersAndRejectsPushes) {
+  Channel<int> ch(1);
+  std::thread waiter([&] { EXPECT_FALSE(ch.pop_wait(5s).has_value()); });
+  std::this_thread::sleep_for(10ms);
+  ch.close();
+  waiter.join();
+  EXPECT_FALSE(ch.try_push(1));
+  EXPECT_TRUE(ch.closed());
+}
+
+TEST(ChannelTest, CloseStillDrainsBacklog) {
+  Channel<int> ch(4);
+  ch.try_push(1);
+  ch.try_push(2);
+  ch.close();
+  EXPECT_EQ(ch.try_pop().value(), 1);
+  EXPECT_EQ(ch.pop_wait(1ms).value(), 2);
+  EXPECT_FALSE(ch.try_pop().has_value());
+}
+
+TEST(ChannelTest, ZeroCapacityRejected) {
+  EXPECT_THROW(Channel<int>(0), CheckFailure);
+}
+
+TEST(ChannelTest, ConcurrentProducersConsumersLoseNothing) {
+  Channel<int> ch(16);
+  constexpr int kPerProducer = 2000;
+  constexpr int kProducers = 3;
+  std::atomic<long> sum{0};
+  std::atomic<int> received{0};
+  std::vector<std::thread> threads;
+  for (int p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&ch, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        while (!ch.push_wait(p * kPerProducer + i, std::chrono::seconds(5))) {
+        }
+      }
+    });
+  }
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < 2; ++c) {
+    consumers.emplace_back([&] {
+      while (received.load() < kProducers * kPerProducer) {
+        auto v = ch.pop_wait(std::chrono::milliseconds(50));
+        if (v) {
+          sum += *v;
+          received.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (auto& t : consumers) t.join();
+  const long n = kProducers * kPerProducer;
+  EXPECT_EQ(received.load(), n);
+  EXPECT_EQ(sum.load(), n * (n - 1) / 2);
+}
+
+TEST(ChannelTest, MoveOnlyPayloadsSupported) {
+  Channel<std::unique_ptr<int>> ch(2);
+  EXPECT_TRUE(ch.try_push(std::make_unique<int>(7)));
+  auto out = ch.try_pop();
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(**out, 7);
+}
+
+}  // namespace
+}  // namespace aces::runtime

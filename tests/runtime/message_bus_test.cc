@@ -1,0 +1,125 @@
+#include "runtime/message_bus.h"
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+
+namespace aces::runtime {
+namespace {
+
+using namespace std::chrono_literals;
+
+/// A controllable virtual clock for bus tests.
+struct TestClock {
+  std::atomic<double> now{0.0};
+  std::function<Seconds()> fn() {
+    return [this] { return now.load(); };
+  }
+};
+
+void wait_until(const std::function<bool()>& predicate,
+                std::chrono::milliseconds budget = 2000ms) {
+  const auto deadline = std::chrono::steady_clock::now() + budget;
+  while (!predicate() && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(1ms);
+  }
+}
+
+TEST(MessageBusTest, DeliversWhenDue) {
+  TestClock clock;
+  MessageBus bus(clock.fn(), /*time_scale=*/1.0);
+  bus.start();
+  std::atomic<int> fired{0};
+  bus.post(1.0, [&] { ++fired; });
+  std::this_thread::sleep_for(20ms);
+  EXPECT_EQ(fired.load(), 0);  // virtual clock still at 0
+  clock.now = 2.0;
+  wait_until([&] { return fired.load() == 1; });
+  EXPECT_EQ(fired.load(), 1);
+  EXPECT_EQ(bus.delivered(), 1u);
+  bus.stop();
+}
+
+TEST(MessageBusTest, PastDueDeliversImmediately) {
+  TestClock clock;
+  clock.now = 10.0;
+  MessageBus bus(clock.fn(), 1.0);
+  bus.start();
+  std::atomic<bool> fired{false};
+  bus.post(1.0, [&] { fired = true; });
+  wait_until([&] { return fired.load(); });
+  EXPECT_TRUE(fired.load());
+  bus.stop();
+}
+
+TEST(MessageBusTest, DeliversInDueOrder) {
+  TestClock clock;
+  MessageBus bus(clock.fn(), 1.0);
+  bus.start();
+  std::mutex mutex;
+  std::vector<int> order;
+  bus.post(3.0, [&] { std::lock_guard<std::mutex> l(mutex); order.push_back(3); });
+  bus.post(1.0, [&] { std::lock_guard<std::mutex> l(mutex); order.push_back(1); });
+  bus.post(2.0, [&] { std::lock_guard<std::mutex> l(mutex); order.push_back(2); });
+  clock.now = 5.0;
+  wait_until([&] {
+    std::lock_guard<std::mutex> l(mutex);
+    return order.size() == 3;
+  });
+  std::lock_guard<std::mutex> l(mutex);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  bus.stop();
+}
+
+TEST(MessageBusTest, StopDiscardsUndelivered) {
+  TestClock clock;
+  MessageBus bus(clock.fn(), 1.0);
+  bus.start();
+  std::atomic<int> fired{0};
+  bus.post(100.0, [&] { ++fired; });
+  bus.post(200.0, [&] { ++fired; });
+  EXPECT_EQ(bus.in_flight(), 2u);
+  bus.stop();
+  EXPECT_EQ(fired.load(), 0);
+  EXPECT_EQ(bus.discarded(), 2u);
+}
+
+TEST(MessageBusTest, PostAfterStopThrows) {
+  TestClock clock;
+  MessageBus bus(clock.fn(), 1.0);
+  bus.start();
+  bus.stop();
+  EXPECT_THROW(bus.post(1.0, [] {}), CheckFailure);
+}
+
+TEST(MessageBusTest, ManyConcurrentPosters) {
+  TestClock clock;
+  clock.now = 1e9;  // everything is immediately due
+  MessageBus bus(clock.fn(), 1.0);
+  bus.start();
+  std::atomic<int> fired{0};
+  std::vector<std::thread> posters;
+  for (int p = 0; p < 4; ++p) {
+    posters.emplace_back([&] {
+      for (int i = 0; i < 500; ++i) bus.post(0.0, [&] { ++fired; });
+    });
+  }
+  for (auto& t : posters) t.join();
+  wait_until([&] { return fired.load() == 2000; });
+  EXPECT_EQ(fired.load(), 2000);
+  bus.stop();
+}
+
+TEST(MessageBusTest, ConstructorValidation) {
+  TestClock clock;
+  EXPECT_THROW(MessageBus(nullptr, 1.0), CheckFailure);
+  EXPECT_THROW(MessageBus(clock.fn(), 0.0), CheckFailure);
+}
+
+}  // namespace
+}  // namespace aces::runtime

@@ -1,0 +1,299 @@
+// Tests for the dynamic-behaviour features of the simulation: conservation
+// accounting, pre-filled buffers (stability from an arbitrary starting
+// point, paper §V-E), workload and capacity shifts, and periodic tier-1
+// re-optimization.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "graph/topology_generator.h"
+#include "opt/global_optimizer.h"
+#include "sim/stream_simulation.h"
+
+namespace aces::sim {
+namespace {
+
+using control::FlowPolicy;
+
+graph::ProcessingGraph small_topology(std::uint64_t seed) {
+  graph::TopologyParams params;
+  params.num_nodes = 3;
+  params.num_ingress = 3;
+  params.num_intermediate = 6;
+  params.num_egress = 3;
+  return generate_topology(params, seed);
+}
+
+SimOptions short_run(FlowPolicy policy) {
+  SimOptions o;
+  o.duration = 20.0;
+  o.warmup = 5.0;
+  o.seed = 7;
+  o.controller.policy = policy;
+  return o;
+}
+
+/// Every SDO accepted into a buffer is either processed, still queued, or in
+/// service — an exact invariant for every PE under every policy.
+class ConservationByPolicy : public ::testing::TestWithParam<FlowPolicy> {};
+
+TEST_P(ConservationByPolicy, ArrivalsEqualProcessedPlusQueued) {
+  const auto g = small_topology(3);
+  const auto plan = opt::optimize(g);
+  StreamSimulation sim(g, plan, short_run(GetParam()));
+  sim.run();
+  for (PeId id : g.all_pes()) {
+    const PeStats stats = sim.pe_stats(id);
+    EXPECT_EQ(stats.arrived,
+              stats.processed + stats.in_buffer + (stats.busy ? 1 : 0))
+        << id << " under " << control::to_string(GetParam());
+  }
+}
+
+TEST_P(ConservationByPolicy, EmissionsTrackSelectivityTimesFanOut) {
+  const auto g = small_topology(4);
+  const auto plan = opt::optimize(g);
+  StreamSimulation sim(g, plan, short_run(GetParam()));
+  sim.run();
+  for (PeId id : g.all_pes()) {
+    const PeStats stats = sim.pe_stats(id);
+    const auto& d = g.pe(id);
+    const double fan_out = d.kind == graph::PeKind::kEgress
+                               ? 1.0
+                               : static_cast<double>(g.downstream(id).size());
+    const double expected =
+        static_cast<double>(stats.processed) * d.selectivity * fan_out;
+    // Credit rounding holds at most one SDO per edge.
+    EXPECT_NEAR(static_cast<double>(stats.emitted), expected, fan_out + 1.0)
+        << id;
+  }
+}
+
+TEST_P(ConservationByPolicy, CpuAccountingIsPositiveForActivePes) {
+  const auto g = small_topology(5);
+  const auto plan = opt::optimize(g);
+  StreamSimulation sim(g, plan, short_run(GetParam()));
+  sim.run();
+  for (PeId id : g.all_pes()) {
+    const PeStats stats = sim.pe_stats(id);
+    if (stats.processed > 0) {
+      EXPECT_GT(stats.cpu_seconds, 0.0) << id;
+      // A PE cannot burn more CPU than one full core for the whole run.
+      EXPECT_LT(stats.cpu_seconds, 20.0) << id;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Policies, ConservationByPolicy,
+                         ::testing::Values(FlowPolicy::kAces,
+                                           FlowPolicy::kUdp,
+                                           FlowPolicy::kLockStep),
+                         [](const auto& info) {
+                           return info.param == FlowPolicy::kAces  ? "Aces"
+                                  : info.param == FlowPolicy::kUdp ? "Udp"
+                                                                   : "LockStep";
+                         });
+
+TEST(PrefillTest, FullBuffersDrainBackToSteadyState) {
+  // Paper §V-E: "asymptotic convergence to the desired state ... from an
+  // arbitrary starting point". Start with every buffer 100% full; under
+  // ACES the mean fill must come back down near the uncongested level.
+  const auto g = small_topology(6);
+  const auto plan = opt::optimize(g);
+  SimOptions o = short_run(FlowPolicy::kAces);
+  o.prefill_fraction = 1.0;
+  o.record_timeseries = true;
+  o.duration = 30.0;
+  o.warmup = 20.0;  // measure the tail only
+  StreamSimulation prefilled(g, plan, o);
+  prefilled.run();
+
+  SimOptions cold = short_run(FlowPolicy::kAces);
+  cold.duration = 30.0;
+  cold.warmup = 20.0;
+  StreamSimulation baseline(g, plan, cold);
+  baseline.run();
+
+  const double prefilled_fill = prefilled.report().buffer_fill.mean();
+  const double baseline_fill = baseline.report().buffer_fill.mean();
+  EXPECT_LT(prefilled_fill, baseline_fill + 0.1);
+}
+
+TEST(PrefillTest, PrefilledSdosAreAccountedAsArrivals) {
+  const auto g = small_topology(6);
+  const auto plan = opt::optimize(g);
+  SimOptions o = short_run(FlowPolicy::kAces);
+  o.prefill_fraction = 0.5;
+  StreamSimulation sim(g, plan, o);
+  for (PeId id : g.all_pes()) {
+    EXPECT_EQ(sim.buffer_size(id),
+              static_cast<std::size_t>(0.5 * g.pe(id).buffer_capacity));
+  }
+  sim.run();
+}
+
+TEST(TimeSeriesRecordingTest, TrajectoriesRecordedPerPe) {
+  const auto g = small_topology(7);
+  const auto plan = opt::optimize(g);
+  SimOptions o = short_run(FlowPolicy::kAces);
+  o.record_timeseries = true;
+  StreamSimulation sim(g, plan, o);
+  sim.run();
+  const auto& ts = sim.timeseries();
+  EXPECT_EQ(ts.names().size(), 2 * g.pe_count());
+  const auto* buffer0 = ts.find("pe0.buffer");
+  ASSERT_NE(buffer0, nullptr);
+  // One sample per control tick: duration / dt, give or take phase.
+  EXPECT_GT(buffer0->size(), 150u);
+  EXPECT_LT(buffer0->size(), 250u);
+}
+
+TEST(TimeSeriesRecordingTest, DisabledByDefault) {
+  const auto g = small_topology(7);
+  const auto plan = opt::optimize(g);
+  StreamSimulation sim(g, plan, short_run(FlowPolicy::kAces));
+  sim.run();
+  EXPECT_TRUE(sim.timeseries().empty());
+}
+
+TEST(RateChangeTest, ThroughputFollowsWorkloadShift) {
+  const auto g = small_topology(8);
+  const auto plan = opt::optimize(g);
+
+  // Baseline.
+  SimOptions o = short_run(FlowPolicy::kAces);
+  o.duration = 30.0;
+  o.warmup = 15.0;
+  const auto base = simulate(g, plan, o);
+
+  // Same run, but every stream is silenced at t = 10 s (< warm-up end), so
+  // the measured window sees almost nothing.
+  SimOptions muted = o;
+  for (std::size_t s = 0; s < g.stream_count(); ++s) {
+    muted.rate_changes.push_back(
+        RateChange{10.0, StreamId(static_cast<StreamId::value_type>(s)),
+                   1e-6});
+  }
+  const auto quiet = simulate(g, plan, muted);
+  EXPECT_LT(quiet.weighted_throughput, base.weighted_throughput * 0.2);
+}
+
+TEST(RateChangeTest, RateIncreaseRaisesThroughput) {
+  const auto g = small_topology(9);
+  const auto plan = opt::optimize(g);
+  SimOptions o = short_run(FlowPolicy::kAces);
+  o.duration = 30.0;
+  o.warmup = 15.0;
+  const auto base = simulate(g, plan, o);
+
+  SimOptions doubled = o;
+  for (std::size_t s = 0; s < g.stream_count(); ++s) {
+    const StreamId id(static_cast<StreamId::value_type>(s));
+    doubled.rate_changes.push_back(
+        RateChange{5.0, id, g.stream(id).mean_rate * 2.0});
+  }
+  const auto boosted = simulate(g, plan, doubled);
+  EXPECT_GT(boosted.weighted_throughput, base.weighted_throughput * 1.2);
+}
+
+TEST(CapacityChangeTest, CapacityLossDegradesThroughput) {
+  const auto g = small_topology(10);
+  const auto plan = opt::optimize(g);
+  SimOptions o = short_run(FlowPolicy::kAces);
+  o.duration = 30.0;
+  o.warmup = 15.0;
+  const auto base = simulate(g, plan, o);
+
+  SimOptions degraded = o;
+  for (NodeId n : g.all_nodes()) {
+    degraded.capacity_changes.push_back(CapacityChange{5.0, n, 0.25});
+  }
+  const auto crippled = simulate(g, plan, degraded);
+  EXPECT_LT(crippled.weighted_throughput, base.weighted_throughput * 0.95);
+}
+
+TEST(WeightChangeTest, RePrioritizationMovesWeightedThroughput) {
+  // Raise one egress PE's weight tenfold mid-run: each of its output SDOs
+  // immediately counts 10x in the weighted-throughput metric.
+  const auto g = small_topology(15);
+  const auto plan = opt::optimize(g);
+  PeId egress;
+  for (PeId id : g.all_pes()) {
+    if (g.pe(id).kind == graph::PeKind::kEgress) {
+      egress = id;
+      break;
+    }
+  }
+  SimOptions o = short_run(FlowPolicy::kAces);
+  o.duration = 30.0;
+  o.warmup = 15.0;
+  const auto base = simulate(g, plan, o);
+  SimOptions boosted = o;
+  boosted.weight_changes.push_back(
+      WeightChange{5.0, egress, g.pe(egress).weight * 10.0});
+  const auto shifted = simulate(g, plan, boosted);
+  EXPECT_GT(shifted.weighted_throughput, base.weighted_throughput * 1.1);
+}
+
+TEST(WeightChangeTest, Validation) {
+  const auto g = small_topology(15);
+  const auto plan = opt::optimize(g);
+  SimOptions o = short_run(FlowPolicy::kAces);
+  o.weight_changes.push_back(WeightChange{1.0, PeId(99), 2.0});
+  EXPECT_THROW(StreamSimulation(g, plan, o), CheckFailure);
+  o = short_run(FlowPolicy::kAces);
+  o.weight_changes.push_back(WeightChange{1.0, PeId(0), -1.0});
+  EXPECT_THROW(StreamSimulation(g, plan, o), CheckFailure);
+}
+
+TEST(ReoptimizeTest, RunsAtTheConfiguredCadence) {
+  const auto g = small_topology(11);
+  const auto plan = opt::optimize(g);
+  SimOptions o = short_run(FlowPolicy::kAces);
+  o.duration = 20.0;
+  o.reoptimize_interval = 5.0;
+  StreamSimulation sim(g, plan, o);
+  sim.run();
+  EXPECT_EQ(sim.reoptimizations(), 4);  // t = 5, 10, 15, 20
+}
+
+TEST(ReoptimizeTest, RecoversThroughputAfterWorkloadShift) {
+  // Double one stream's rate mid-run: with periodic tier-1 the plan adapts
+  // and weighted throughput must be at least as good as the stale plan.
+  const auto g = small_topology(12);
+  const auto plan = opt::optimize(g);
+  SimOptions o = short_run(FlowPolicy::kAces);
+  o.duration = 60.0;
+  o.warmup = 30.0;
+  o.rate_changes.push_back(
+      RateChange{5.0, StreamId(0), g.stream(StreamId(0)).mean_rate * 3.0});
+
+  const auto stale = simulate(g, plan, o);
+  SimOptions adaptive = o;
+  adaptive.reoptimize_interval = 5.0;
+  const auto adapted = simulate(g, plan, adaptive);
+  EXPECT_GE(adapted.weighted_throughput, stale.weighted_throughput * 0.98);
+}
+
+TEST(ReoptimizeTest, DisabledByDefault) {
+  const auto g = small_topology(13);
+  const auto plan = opt::optimize(g);
+  StreamSimulation sim(g, plan, short_run(FlowPolicy::kAces));
+  sim.run();
+  EXPECT_EQ(sim.reoptimizations(), 0);
+}
+
+TEST(DynamicsValidationTest, BadOptionsRejected) {
+  const auto g = small_topology(14);
+  const auto plan = opt::optimize(g);
+  SimOptions o = short_run(FlowPolicy::kAces);
+  o.prefill_fraction = 1.5;
+  EXPECT_THROW(StreamSimulation(g, plan, o), CheckFailure);
+  o = short_run(FlowPolicy::kAces);
+  o.reoptimize_interval = -1.0;
+  EXPECT_THROW(StreamSimulation(g, plan, o), CheckFailure);
+}
+
+}  // namespace
+}  // namespace aces::sim

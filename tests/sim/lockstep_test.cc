@@ -1,0 +1,166 @@
+// Focused tests of the Lock-Step (min-flow) transport semantics: blocking
+// senders, reservation accounting, wake chains, and fan-out gating — the
+// mechanisms behind the paper's System 3 baseline.
+#include <gtest/gtest.h>
+
+#include "graph/processing_graph.h"
+#include "opt/global_optimizer.h"
+#include "sim/stream_simulation.h"
+
+namespace aces::sim {
+namespace {
+
+using control::FlowPolicy;
+using graph::PeDescriptor;
+using graph::PeKind;
+using graph::ProcessingGraph;
+
+/// Deterministic service (no state dependence) so rates are exact.
+PeDescriptor uniform_pe(NodeId node, double service_seconds) {
+  PeDescriptor d;
+  d.kind = PeKind::kIntermediate;
+  d.node = node;
+  d.service_time[0] = d.service_time[1] = service_seconds;
+  d.selectivity = 1.0;
+  d.buffer_capacity = 10;
+  return d;
+}
+
+/// fast source → fast relay → SLOW sink: the relay must block on the sink.
+struct ThrottledChain {
+  ProcessingGraph g;
+  PeId ingress, relay, sink;
+  opt::AllocationPlan plan;
+
+  ThrottledChain() {
+    const NodeId n0 = g.add_node();
+    const NodeId n1 = g.add_node();
+    const NodeId n2 = g.add_node();
+    const StreamId s = g.add_stream({100.0, 0.0, "feed"});
+    PeDescriptor d = uniform_pe(n0, 0.002);
+    d.kind = PeKind::kIngress;
+    d.input_stream = s;
+    ingress = g.add_pe(d);
+    relay = g.add_pe(uniform_pe(n1, 0.002));
+    PeDescriptor sink_desc = uniform_pe(n2, 0.002);
+    sink_desc.kind = PeKind::kEgress;
+    sink = g.add_pe(sink_desc);
+    g.add_edge(ingress, relay);
+    g.add_edge(relay, sink);
+    // CPU: ingress/relay provisioned for 100/s, sink for only 25/s.
+    plan = opt::evaluate_allocation(
+        g, {g.pe(ingress).cpu_for_input_rate(100.0 * 1024.0),
+            g.pe(relay).cpu_for_input_rate(100.0 * 1024.0),
+            g.pe(sink).cpu_for_input_rate(25.0 * 1024.0)});
+  }
+};
+
+SimOptions lockstep_run(Seconds duration = 40.0) {
+  SimOptions o;
+  o.duration = duration;
+  o.warmup = 10.0;
+  o.seed = 2;
+  o.controller.policy = FlowPolicy::kLockStep;
+  return o;
+}
+
+TEST(LockStepTest, ChainGatedAtSlowestStage) {
+  ThrottledChain chain;
+  const auto report = simulate(chain.g, chain.plan, lockstep_run());
+  // System output ≈ the sink's 25/s capacity, not the sources' 100/s.
+  EXPECT_NEAR(report.output_rate, 25.0, 4.0);
+  EXPECT_EQ(report.internal_drops, 0u);
+  // The excess offered load is rejected at the system input.
+  EXPECT_NEAR(static_cast<double>(report.ingress_drops) /
+                  report.measured_seconds,
+              75.0, 10.0);
+}
+
+TEST(LockStepTest, UpstreamProcessingMatchesDownstreamConsumption) {
+  // Min-flow: the relay cannot run ahead of the sink by more than the
+  // buffered/pending window, even though it has 4x the CPU.
+  ThrottledChain chain;
+  StreamSimulation sim(chain.g, chain.plan, lockstep_run());
+  sim.run();
+  const auto relay_stats = sim.pe_stats(chain.relay);
+  const auto sink_stats = sim.pe_stats(chain.sink);
+  const auto window = static_cast<std::uint64_t>(
+      chain.g.pe(chain.sink).buffer_capacity + 8);
+  EXPECT_LE(relay_stats.processed, sink_stats.processed + window);
+}
+
+TEST(LockStepTest, ConservationThroughBlockingChain) {
+  ThrottledChain chain;
+  StreamSimulation sim(chain.g, chain.plan, lockstep_run(20.0));
+  sim.run();
+  for (const PeId id : {chain.ingress, chain.relay, chain.sink}) {
+    const auto stats = sim.pe_stats(id);
+    EXPECT_EQ(stats.arrived,
+              stats.processed + stats.in_buffer + (stats.busy ? 1 : 0))
+        << id;
+  }
+}
+
+TEST(LockStepTest, FanOutGatedByTheSlowestConsumer) {
+  // One producer, one fast and one slow consumer: min-flow slows BOTH
+  // consumers to the slow one's pace (the paper's Fig. 2 pathology).
+  ProcessingGraph g;
+  const NodeId n0 = g.add_node();
+  const NodeId n1 = g.add_node();
+  const NodeId n2 = g.add_node();
+  const NodeId n3 = g.add_node();
+  const StreamId s = g.add_stream({60.0, 0.0, "feed"});
+  PeDescriptor d = uniform_pe(n0, 0.002);
+  d.kind = PeKind::kIngress;
+  d.input_stream = s;
+  const PeId producer = g.add_pe(d);
+  PeDescriptor fast = uniform_pe(n1, 0.002);
+  fast.kind = PeKind::kEgress;
+  const PeId fast_consumer = g.add_pe(fast);
+  PeDescriptor slow = uniform_pe(n2, 0.002);
+  slow.kind = PeKind::kEgress;
+  const PeId slow_consumer = g.add_pe(slow);
+  (void)n3;
+  g.add_edge(producer, fast_consumer);
+  g.add_edge(producer, slow_consumer);
+  const auto plan = opt::evaluate_allocation(
+      g, {g.pe(producer).cpu_for_input_rate(60.0 * 1024.0),
+          g.pe(fast_consumer).cpu_for_input_rate(60.0 * 1024.0),
+          g.pe(slow_consumer).cpu_for_input_rate(10.0 * 1024.0)});
+
+  const auto lockstep = simulate(g, plan, lockstep_run());
+  // Both consumers pinned near the slow one's 10/s.
+  const double fast_rate =
+      lockstep.egress_outputs[0] / lockstep.measured_seconds;
+  EXPECT_LT(fast_rate, 16.0);
+
+  // Max-flow (ACES) frees the fast consumer.
+  SimOptions aces = lockstep_run();
+  aces.controller.policy = FlowPolicy::kAces;
+  const auto maxflow = simulate(g, plan, aces);
+  const double aces_fast_rate =
+      maxflow.egress_outputs[0] / maxflow.measured_seconds;
+  EXPECT_GT(aces_fast_rate, 3.0 * fast_rate);
+}
+
+TEST(LockStepTest, RecoversWhenSlowConsumerSpeedsUp) {
+  // Give the sink its full CPU back mid-run via a capacity-equivalent plan
+  // change is not exposed; instead end the congestion by silencing the
+  // source: blocked PEs must drain and the system must go idle (no
+  // deadlock in the wake chain).
+  ThrottledChain chain;
+  SimOptions o = lockstep_run(60.0);
+  o.warmup = 5.0;
+  o.rate_changes.push_back(RateChange{20.0, StreamId(0), 1e-6});
+  StreamSimulation sim(chain.g, chain.plan, o);
+  sim.run();
+  // Everything admitted before the silence eventually drains through.
+  EXPECT_EQ(sim.buffer_size(chain.ingress), 0u);
+  EXPECT_EQ(sim.buffer_size(chain.relay), 0u);
+  EXPECT_EQ(sim.buffer_size(chain.sink), 0u);
+  const auto relay_stats = sim.pe_stats(chain.relay);
+  EXPECT_EQ(relay_stats.arrived, relay_stats.processed);
+}
+
+}  // namespace
+}  // namespace aces::sim

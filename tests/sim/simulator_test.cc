@@ -1,0 +1,120 @@
+#include "sim/simulator.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+
+namespace aces::sim {
+namespace {
+
+TEST(SimulatorTest, StartsAtTimeZero) {
+  Simulator sim;
+  EXPECT_DOUBLE_EQ(sim.now(), 0.0);
+  EXPECT_EQ(sim.pending(), 0u);
+  EXPECT_EQ(sim.executed(), 0u);
+}
+
+TEST(SimulatorTest, EventsRunInTimeOrder) {
+  Simulator sim;
+  std::vector<int> trace;
+  sim.schedule_in(3.0, [&] { trace.push_back(3); });
+  sim.schedule_in(1.0, [&] { trace.push_back(1); });
+  sim.schedule_in(2.0, [&] { trace.push_back(2); });
+  sim.run_until(10.0);
+  EXPECT_EQ(trace, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.executed(), 3u);
+}
+
+TEST(SimulatorTest, TiesBreakInScheduleOrder) {
+  Simulator sim;
+  std::vector<int> trace;
+  for (int i = 0; i < 5; ++i)
+    sim.schedule_at(1.0, [&trace, i] { trace.push_back(i); });
+  sim.run_until(1.0);
+  EXPECT_EQ(trace, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(SimulatorTest, ClockReadsEventTimeDuringHandler) {
+  Simulator sim;
+  double seen = -1.0;
+  sim.schedule_in(2.5, [&] { seen = sim.now(); });
+  sim.run_until(5.0);
+  EXPECT_DOUBLE_EQ(seen, 2.5);
+  EXPECT_DOUBLE_EQ(sim.now(), 5.0);  // advances to the horizon
+}
+
+TEST(SimulatorTest, RunUntilLeavesFutureEventsPending) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_in(1.0, [&] { ++fired; });
+  sim.schedule_in(9.0, [&] { ++fired; });
+  sim.run_until(5.0);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.pending(), 1u);
+  sim.run_until(9.0);  // boundary events (time == end) run
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(SimulatorTest, HandlersCanScheduleMoreEvents) {
+  Simulator sim;
+  std::vector<double> times;
+  // A self-rescheduling ticker.
+  std::function<void()> tick = [&] {
+    times.push_back(sim.now());
+    if (times.size() < 4) sim.schedule_in(1.0, tick);
+  };
+  sim.schedule_in(1.0, tick);
+  sim.run_until(10.0);
+  EXPECT_EQ(times, (std::vector<double>{1.0, 2.0, 3.0, 4.0}));
+}
+
+TEST(SimulatorTest, SchedulingIntoThePastThrows) {
+  Simulator sim;
+  sim.run_until(5.0);
+  EXPECT_THROW(sim.schedule_at(4.0, [] {}), CheckFailure);
+  EXPECT_THROW(sim.schedule_in(-1.0, [] {}), CheckFailure);
+  EXPECT_THROW(sim.run_until(4.0), CheckFailure);
+}
+
+TEST(SimulatorTest, ZeroDelayRunsAtCurrentTime) {
+  Simulator sim;
+  sim.run_until(2.0);
+  bool fired = false;
+  sim.schedule_in(0.0, [&] { fired = true; });
+  sim.run_until(2.0);
+  EXPECT_TRUE(fired);
+}
+
+TEST(SimulatorTest, RunAllDrainsEverything) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_in(1.0, [&] {
+    ++fired;
+    sim.schedule_in(100.0, [&] { ++fired; });
+  });
+  sim.run_all();
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(sim.pending(), 0u);
+  EXPECT_DOUBLE_EQ(sim.now(), 101.0);
+}
+
+TEST(SimulatorTest, ManyEventsStressOrdering) {
+  Simulator sim;
+  double last = -1.0;
+  bool monotone = true;
+  for (int i = 0; i < 10000; ++i) {
+    const double t = (i * 7919) % 1000 / 10.0;
+    sim.schedule_at(t, [&, t] {
+      if (t < last) monotone = false;
+      last = t;
+    });
+  }
+  sim.run_all();
+  EXPECT_TRUE(monotone);
+  EXPECT_EQ(sim.executed(), 10000u);
+}
+
+}  // namespace
+}  // namespace aces::sim

@@ -1,0 +1,231 @@
+#include "sim/stream_simulation.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "graph/topology_generator.h"
+#include "opt/global_optimizer.h"
+
+namespace aces::sim {
+namespace {
+
+using control::FlowPolicy;
+
+graph::ProcessingGraph small_topology(std::uint64_t seed, int buffer = 50) {
+  graph::TopologyParams params;
+  params.num_nodes = 3;
+  params.num_ingress = 3;
+  params.num_intermediate = 6;
+  params.num_egress = 3;
+  params.buffer_capacity = buffer;
+  return generate_topology(params, seed);
+}
+
+SimOptions short_run(FlowPolicy policy, std::uint64_t seed = 7) {
+  SimOptions o;
+  o.duration = 20.0;
+  o.warmup = 5.0;
+  o.seed = seed;
+  o.controller.policy = policy;
+  return o;
+}
+
+TEST(StreamSimulationTest, ProducesOutputUnderEveryPolicy) {
+  const auto g = small_topology(1);
+  const auto plan = opt::optimize(g);
+  for (FlowPolicy policy :
+       {FlowPolicy::kAces, FlowPolicy::kUdp, FlowPolicy::kLockStep}) {
+    const auto report = simulate(g, plan, short_run(policy));
+    EXPECT_GT(report.weighted_throughput, 0.0)
+        << control::to_string(policy);
+    EXPECT_GT(report.sdos_processed, 0u);
+    EXPECT_GT(report.latency.count(), 0u);
+  }
+}
+
+TEST(StreamSimulationTest, DeterministicForSameSeed) {
+  const auto g = small_topology(2);
+  const auto plan = opt::optimize(g);
+  const auto a = simulate(g, plan, short_run(FlowPolicy::kAces, 11));
+  const auto b = simulate(g, plan, short_run(FlowPolicy::kAces, 11));
+  EXPECT_DOUBLE_EQ(a.weighted_throughput, b.weighted_throughput);
+  EXPECT_DOUBLE_EQ(a.latency.mean(), b.latency.mean());
+  EXPECT_EQ(a.internal_drops, b.internal_drops);
+  EXPECT_EQ(a.ingress_drops, b.ingress_drops);
+  EXPECT_EQ(a.egress_outputs, b.egress_outputs);
+}
+
+TEST(StreamSimulationTest, DifferentSeedsDiffer) {
+  const auto g = small_topology(2);
+  const auto plan = opt::optimize(g);
+  const auto a = simulate(g, plan, short_run(FlowPolicy::kAces, 11));
+  const auto b = simulate(g, plan, short_run(FlowPolicy::kAces, 12));
+  EXPECT_NE(a.weighted_throughput, b.weighted_throughput);
+}
+
+TEST(StreamSimulationTest, LockStepNeverDropsInternally) {
+  // The defining property of the min-flow baseline: reservations make
+  // internal buffer overflow impossible; loss moves to the system input.
+  for (std::uint64_t seed : {1, 2, 3, 4}) {
+    const auto g = small_topology(seed, /*buffer=*/5);
+    const auto plan = opt::optimize(g);
+    const auto report =
+        simulate(g, plan, short_run(FlowPolicy::kLockStep, seed));
+    EXPECT_EQ(report.internal_drops, 0u) << "seed " << seed;
+  }
+}
+
+TEST(StreamSimulationTest, TinyBuffersForceUdpDrops) {
+  const auto g = small_topology(3, /*buffer=*/3);
+  const auto plan = opt::optimize(g);
+  const auto report = simulate(g, plan, short_run(FlowPolicy::kUdp));
+  EXPECT_GT(report.internal_drops, 0u);
+}
+
+TEST(StreamSimulationTest, ConservationOfSdos) {
+  // Weighted throughput cannot exceed what the sources offered times the
+  // path-selectivity bound; checked loosely via the fluid plan.
+  const auto g = small_topology(4);
+  const auto plan = opt::optimize(g);
+  const auto report = simulate(g, plan, short_run(FlowPolicy::kAces));
+  EXPECT_LE(report.weighted_throughput, plan.weighted_throughput * 1.3);
+}
+
+TEST(StreamSimulationTest, BuffersNeverExceedCapacity) {
+  const auto g = small_topology(5, /*buffer=*/10);
+  const auto plan = opt::optimize(g);
+  for (FlowPolicy policy :
+       {FlowPolicy::kAces, FlowPolicy::kUdp, FlowPolicy::kLockStep}) {
+    StreamSimulation sim(g, plan, short_run(policy));
+    for (double t = 1.0; t <= 20.0; t += 1.0) {
+      sim.run_until(t);
+      for (PeId id : g.all_pes()) {
+        EXPECT_LE(sim.buffer_size(id),
+                  static_cast<std::size_t>(g.pe(id).buffer_capacity))
+            << id << " at t=" << t << " under " << control::to_string(policy);
+      }
+    }
+  }
+}
+
+TEST(StreamSimulationTest, CpuSharesStayWithinNodeCapacity) {
+  const auto g = small_topology(6);
+  const auto plan = opt::optimize(g);
+  StreamSimulation sim(g, plan, short_run(FlowPolicy::kAces));
+  for (double t = 1.0; t <= 20.0; t += 2.0) {
+    sim.run_until(t);
+    for (NodeId n : g.all_nodes()) {
+      double total = 0.0;
+      for (PeId id : g.pes_on_node(n)) total += sim.cpu_share(id);
+      EXPECT_LE(total, g.node(n).cpu_capacity + 1e-9) << "t=" << t;
+    }
+  }
+}
+
+TEST(StreamSimulationTest, LatencyIsAtLeastOneServiceTime) {
+  const auto g = small_topology(7);
+  const auto plan = opt::optimize(g);
+  const auto report = simulate(g, plan, short_run(FlowPolicy::kAces));
+  // Every output crossed ≥ 2 PEs, each costing ≥ T0 of service.
+  EXPECT_GE(report.latency.min(), 2 * 0.002);
+}
+
+TEST(StreamSimulationTest, WarmupExcludedFromMeasurement) {
+  const auto g = small_topology(8);
+  const auto plan = opt::optimize(g);
+  SimOptions o = short_run(FlowPolicy::kAces);
+  o.warmup = 15.0;
+  o.duration = 20.0;
+  const auto report = simulate(g, plan, o);
+  EXPECT_NEAR(report.measured_seconds, 5.0, 1e-9);
+}
+
+TEST(StreamSimulationTest, AdvertisementsReachUpstream) {
+  const auto g = small_topology(9);
+  const auto plan = opt::optimize(g);
+  StreamSimulation sim(g, plan, short_run(FlowPolicy::kAces));
+  sim.run_until(5.0);
+  // After several control intervals every non-ingress PE must have
+  // advertised a finite r_max to its upstream peers.
+  for (PeId id : g.all_pes()) {
+    if (!g.upstream(id).empty()) {
+      EXPECT_TRUE(std::isfinite(sim.last_advertisement(id))) << id;
+    }
+  }
+}
+
+TEST(StreamSimulationTest, EgressOutputVectorMatchesEgressCount) {
+  const auto g = small_topology(10);
+  const auto plan = opt::optimize(g);
+  const auto report = simulate(g, plan, short_run(FlowPolicy::kAces));
+  std::size_t egress = 0;
+  for (PeId id : g.all_pes())
+    egress += g.pe(id).kind == graph::PeKind::kEgress;
+  EXPECT_EQ(report.egress_outputs.size(), egress);
+}
+
+TEST(StreamSimulationTest, UtilizationBoundedByOne) {
+  const auto g = small_topology(11);
+  const auto plan = opt::optimize(g);
+  for (FlowPolicy policy :
+       {FlowPolicy::kAces, FlowPolicy::kUdp, FlowPolicy::kLockStep}) {
+    const auto report = simulate(g, plan, short_run(policy));
+    EXPECT_GT(report.cpu_utilization, 0.0);
+    EXPECT_LE(report.cpu_utilization, 1.0 + 1e-9);
+  }
+}
+
+TEST(StreamSimulationTest, RejectsBadOptions) {
+  const auto g = small_topology(12);
+  const auto plan = opt::optimize(g);
+  SimOptions o = short_run(FlowPolicy::kAces);
+  o.dt = 0.0;
+  EXPECT_THROW(StreamSimulation(g, plan, o), CheckFailure);
+  o = short_run(FlowPolicy::kAces);
+  o.warmup = o.duration;
+  EXPECT_THROW(StreamSimulation(g, plan, o), CheckFailure);
+}
+
+TEST(StreamSimulationTest, RunUntilIsIncremental) {
+  const auto g = small_topology(13);
+  const auto plan = opt::optimize(g);
+  StreamSimulation sim(g, plan, short_run(FlowPolicy::kAces));
+  sim.run_until(3.0);
+  EXPECT_DOUBLE_EQ(sim.now(), 3.0);
+  const auto events_so_far = sim.events_executed();
+  EXPECT_GT(events_so_far, 0u);
+  sim.run_until(6.0);
+  EXPECT_GT(sim.events_executed(), events_so_far);
+}
+
+TEST(StreamSimulationTest, PerPeAccountingMatchesPeStats) {
+  const auto g = small_topology(15);
+  const auto plan = opt::optimize(g);
+  StreamSimulation sim(g, plan, short_run(FlowPolicy::kAces));
+  sim.run();
+  const auto report = sim.report();
+  ASSERT_EQ(report.per_pe.size(), g.pe_count());
+  for (PeId id : g.all_pes()) {
+    const PeStats stats = sim.pe_stats(id);
+    const auto& acc = report.per_pe[id.value()];
+    EXPECT_EQ(acc.arrived, stats.arrived) << id;
+    EXPECT_EQ(acc.processed, stats.processed) << id;
+    EXPECT_EQ(acc.emitted, stats.emitted) << id;
+    EXPECT_EQ(acc.dropped_input, stats.dropped_input) << id;
+    EXPECT_DOUBLE_EQ(acc.cpu_seconds, stats.cpu_seconds) << id;
+  }
+}
+
+TEST(StreamSimulationTest, FixedTickPhaseIsSupported) {
+  const auto g = small_topology(14);
+  const auto plan = opt::optimize(g);
+  SimOptions o = short_run(FlowPolicy::kAces);
+  o.randomize_tick_phase = false;
+  const auto report = simulate(g, plan, o);
+  EXPECT_GT(report.weighted_throughput, 0.0);
+}
+
+}  // namespace
+}  // namespace aces::sim

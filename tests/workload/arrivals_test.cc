@@ -1,0 +1,136 @@
+#include "workload/arrivals.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "common/stats.h"
+
+namespace aces::workload {
+namespace {
+
+/// Simulates the process for `horizon` seconds; returns per-second arrival
+/// counts for rate / burstiness analysis.
+std::vector<int> arrivals_per_second(ArrivalProcess& process, double horizon) {
+  std::vector<int> counts(static_cast<std::size_t>(horizon), 0);
+  double t = process.next_interarrival();
+  while (t < horizon) {
+    ++counts[static_cast<std::size_t>(t)];
+    t += process.next_interarrival();
+  }
+  return counts;
+}
+
+double mean_of(const std::vector<int>& counts) {
+  OnlineStats s;
+  for (int c : counts) s.add(c);
+  return s.mean();
+}
+
+double cv2_of(const std::vector<int>& counts) {
+  OnlineStats s;
+  for (int c : counts) s.add(c);
+  return s.variance() / (s.mean() * s.mean());
+}
+
+TEST(CbrArrivalsTest, ExactSpacing) {
+  CbrArrivals cbr(50.0);
+  for (int i = 0; i < 10; ++i)
+    EXPECT_DOUBLE_EQ(cbr.next_interarrival(), 0.02);
+  EXPECT_DOUBLE_EQ(cbr.mean_rate(), 50.0);
+}
+
+TEST(CbrArrivalsTest, RejectsNonPositiveRate) {
+  EXPECT_THROW(CbrArrivals(0.0), CheckFailure);
+}
+
+TEST(PoissonArrivalsTest, MeanRateRealized) {
+  PoissonArrivals p(80.0, Rng(5));
+  const auto counts = arrivals_per_second(p, 500.0);
+  EXPECT_NEAR(mean_of(counts), 80.0, 2.0);
+}
+
+TEST(PoissonArrivalsTest, CountVarianceEqualsMean) {
+  PoissonArrivals p(40.0, Rng(7));
+  const auto counts = arrivals_per_second(p, 1000.0);
+  OnlineStats s;
+  for (int c : counts) s.add(c);
+  EXPECT_NEAR(s.variance() / s.mean(), 1.0, 0.15);  // Poisson index ≈ 1
+}
+
+TEST(OnOffArrivalsTest, LongRunMeanRatePreserved) {
+  OnOffArrivals p(100.0, 0.25, 1.0, Rng(11));
+  const auto counts = arrivals_per_second(p, 2000.0);
+  EXPECT_NEAR(mean_of(counts), 100.0, 4.0);
+}
+
+TEST(OnOffArrivalsTest, PeakRateIsMeanOverOnFraction) {
+  OnOffArrivals p(100.0, 0.25, 1.0, Rng(11));
+  EXPECT_DOUBLE_EQ(p.peak_rate(), 400.0);
+  EXPECT_DOUBLE_EQ(p.mean_rate(), 100.0);
+}
+
+TEST(OnOffArrivalsTest, BurstierThanPoissonAtSameRate) {
+  PoissonArrivals poisson(100.0, Rng(3));
+  OnOffArrivals onoff(100.0, 0.25, 1.0, Rng(3));
+  const double poisson_cv2 = cv2_of(arrivals_per_second(poisson, 1000.0));
+  const double onoff_cv2 = cv2_of(arrivals_per_second(onoff, 1000.0));
+  EXPECT_GT(onoff_cv2, 2.0 * poisson_cv2);
+}
+
+TEST(OnOffArrivalsTest, GapsArePositive) {
+  OnOffArrivals p(10.0, 0.5, 1.0, Rng(1));
+  for (int i = 0; i < 1000; ++i) EXPECT_GT(p.next_interarrival(), 0.0);
+}
+
+TEST(OnOffArrivalsTest, ParameterValidation) {
+  EXPECT_THROW(OnOffArrivals(0.0, 0.5, 1.0, Rng(1)), CheckFailure);
+  EXPECT_THROW(OnOffArrivals(10.0, 0.0, 1.0, Rng(1)), CheckFailure);
+  EXPECT_THROW(OnOffArrivals(10.0, 1.0, 1.0, Rng(1)), CheckFailure);
+  EXPECT_THROW(OnOffArrivals(10.0, 0.5, 0.0, Rng(1)), CheckFailure);
+}
+
+TEST(MakeArrivalProcessTest, ZeroBurstinessIsCbr) {
+  graph::StreamDescriptor sd;
+  sd.mean_rate = 25.0;
+  sd.burstiness = 0.0;
+  auto p = make_arrival_process(sd, Rng(1));
+  EXPECT_DOUBLE_EQ(p->next_interarrival(), 0.04);
+  EXPECT_DOUBLE_EQ(p->next_interarrival(), 0.04);
+}
+
+TEST(MakeArrivalProcessTest, PositiveBurstinessIsOnOff) {
+  graph::StreamDescriptor sd;
+  sd.mean_rate = 100.0;
+  sd.burstiness = 0.5;
+  auto p = make_arrival_process(sd, Rng(2));
+  EXPECT_NE(dynamic_cast<OnOffArrivals*>(p.get()), nullptr);
+  EXPECT_NEAR(p->mean_rate(), 100.0, 1e-12);
+}
+
+TEST(MakeArrivalProcessTest, SilentStreamIsEffectivelyMute) {
+  graph::StreamDescriptor sd;
+  sd.mean_rate = 0.0;
+  auto p = make_arrival_process(sd, Rng(3));
+  EXPECT_GT(p->next_interarrival(), 1e6);  // effectively never
+}
+
+TEST(MakeArrivalProcessTest, RejectsBadBurstiness) {
+  graph::StreamDescriptor sd;
+  sd.burstiness = 1.5;
+  EXPECT_THROW(make_arrival_process(sd, Rng(1)), CheckFailure);
+}
+
+TEST(MakeArrivalProcessTest, DeterministicForSameRng) {
+  graph::StreamDescriptor sd;
+  sd.mean_rate = 100.0;
+  sd.burstiness = 0.7;
+  auto a = make_arrival_process(sd, Rng(9));
+  auto b = make_arrival_process(sd, Rng(9));
+  for (int i = 0; i < 100; ++i)
+    EXPECT_DOUBLE_EQ(a->next_interarrival(), b->next_interarrival());
+}
+
+}  // namespace
+}  // namespace aces::workload

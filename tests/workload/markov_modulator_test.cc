@@ -1,0 +1,110 @@
+#include "workload/markov_modulator.h"
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "common/stats.h"
+
+namespace aces::workload {
+namespace {
+
+TEST(TwoStateModulatorTest, StartsFromStationaryDistribution) {
+  int state1_count = 0;
+  for (std::uint64_t seed = 0; seed < 2000; ++seed) {
+    TwoStateModulator m(10.0, 1.0, Rng(seed));
+    state1_count += m.state();
+  }
+  // Stationary p1 = 1/11 ≈ 0.0909.
+  EXPECT_NEAR(state1_count / 2000.0, 1.0 / 11.0, 0.02);
+}
+
+TEST(TwoStateModulatorTest, TimeFractionMatchesStationary) {
+  TwoStateModulator m(10.0, 1.0, Rng(7));
+  double in_state1 = 0.0;
+  const double step = 0.05;
+  const double horizon = 20000.0;
+  for (double t = 0.0; t < horizon; t += step) {
+    m.advance_to(t);
+    if (m.state() == 1) in_state1 += step;
+  }
+  EXPECT_NEAR(in_state1 / horizon, 1.0 / 11.0, 0.01);
+}
+
+TEST(TwoStateModulatorTest, SojournMeansMatchParameters) {
+  TwoStateModulator m(4.0, 2.0, Rng(3));
+  OnlineStats sojourn0;
+  OnlineStats sojourn1;
+  double last_switch = 0.0;
+  int last_state = m.state();
+  // Walk switch-to-switch using next_switch_time().
+  for (int i = 0; i < 20000; ++i) {
+    const double at = m.next_switch_time();
+    m.advance_to(at);
+    (last_state == 0 ? sojourn0 : sojourn1).add(at - last_switch);
+    last_switch = at;
+    last_state = m.state();
+  }
+  EXPECT_NEAR(sojourn0.mean(), 4.0, 0.15);
+  EXPECT_NEAR(sojourn1.mean(), 2.0, 0.08);
+}
+
+TEST(TwoStateModulatorTest, AdvanceIsMonotoneOnly) {
+  TwoStateModulator m(1.0, 1.0, Rng(1));
+  m.advance_to(5.0);
+  EXPECT_THROW(m.advance_to(4.0), CheckFailure);
+}
+
+TEST(TwoStateModulatorTest, AdvancingToSameTimeIsNoop) {
+  TwoStateModulator m(1.0, 1.0, Rng(1));
+  m.advance_to(2.0);
+  const int state = m.state();
+  m.advance_to(2.0);
+  EXPECT_EQ(m.state(), state);
+}
+
+TEST(TwoStateModulatorTest, RejectsNonPositiveMeans) {
+  EXPECT_THROW(TwoStateModulator(0.0, 1.0, Rng(1)), CheckFailure);
+  EXPECT_THROW(TwoStateModulator(1.0, -2.0, Rng(1)), CheckFailure);
+}
+
+TEST(TwoStateModulatorTest, DeterministicForSameRng) {
+  TwoStateModulator a(3.0, 1.0, Rng(9));
+  TwoStateModulator b(3.0, 1.0, Rng(9));
+  for (double t = 0.0; t < 100.0; t += 0.7) {
+    a.advance_to(t);
+    b.advance_to(t);
+    EXPECT_EQ(a.state(), b.state());
+  }
+}
+
+TEST(ServiceModelTest, CostMatchesCurrentState) {
+  ServiceModel m(0.002, 0.020, 5.0, 5.0, Rng(11));
+  for (double t = 0.0; t < 200.0; t += 0.5) {
+    const double cost = m.cost_at(t);
+    if (m.state() == 0) {
+      EXPECT_DOUBLE_EQ(cost, 0.002);
+    } else {
+      EXPECT_DOUBLE_EQ(cost, 0.020);
+    }
+  }
+}
+
+TEST(ServiceModelTest, TimeAveragedCostApproachesStationaryMean) {
+  ServiceModel m(0.002, 0.020, 10.0, 1.0, Rng(13));
+  OnlineStats costs;
+  for (double t = 0.0; t < 50000.0; t += 0.25) costs.add(m.cost_at(t));
+  EXPECT_NEAR(costs.mean(), m.mean_cost(), 0.0005);
+}
+
+TEST(ServiceModelTest, MeanCostFormula) {
+  ServiceModel m(0.002, 0.020, 10.0, 1.0, Rng(1));
+  const double p1 = 1.0 / 11.0;
+  EXPECT_NEAR(m.mean_cost(), (1 - p1) * 0.002 + p1 * 0.020, 1e-12);
+}
+
+TEST(ServiceModelTest, RejectsNonPositiveCosts) {
+  EXPECT_THROW(ServiceModel(0.0, 0.02, 1.0, 1.0, Rng(1)), CheckFailure);
+}
+
+}  // namespace
+}  // namespace aces::workload

@@ -1,0 +1,61 @@
+#include "workload/trace.h"
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+
+namespace aces::workload {
+namespace {
+
+TEST(RecordingArrivalsTest, RecordsEveryGapItServes) {
+  auto recorder =
+      RecordingArrivals(std::make_unique<PoissonArrivals>(50.0, Rng(3)));
+  std::vector<Seconds> served;
+  for (int i = 0; i < 100; ++i) served.push_back(recorder.next_interarrival());
+  EXPECT_EQ(recorder.trace(), served);
+  EXPECT_DOUBLE_EQ(recorder.mean_rate(), 50.0);
+}
+
+TEST(RecordingArrivalsTest, NullInnerRejected) {
+  EXPECT_THROW(RecordingArrivals(nullptr), CheckFailure);
+}
+
+TEST(TraceArrivalsTest, ReplaysExactlyThenCycles) {
+  TraceArrivals trace({0.1, 0.2, 0.3});
+  EXPECT_DOUBLE_EQ(trace.next_interarrival(), 0.1);
+  EXPECT_DOUBLE_EQ(trace.next_interarrival(), 0.2);
+  EXPECT_DOUBLE_EQ(trace.next_interarrival(), 0.3);
+  EXPECT_DOUBLE_EQ(trace.next_interarrival(), 0.1);  // cycle
+  EXPECT_EQ(trace.length(), 3u);
+}
+
+TEST(TraceArrivalsTest, MeanRateFromCycle) {
+  TraceArrivals trace({0.5, 1.5});  // 2 arrivals per 2 seconds
+  EXPECT_DOUBLE_EQ(trace.mean_rate(), 1.0);
+}
+
+TEST(TraceArrivalsTest, Validation) {
+  EXPECT_THROW(TraceArrivals({}), CheckFailure);
+  EXPECT_THROW(TraceArrivals({0.1, 0.0}), CheckFailure);
+  EXPECT_THROW(TraceArrivals({-0.1}), CheckFailure);
+}
+
+TEST(RecordTraceTest, RoundTripReproducesTheSource) {
+  PoissonArrivals original(80.0, Rng(7));
+  const auto gaps = record_trace(original, 500);
+  ASSERT_EQ(gaps.size(), 500u);
+
+  PoissonArrivals fresh(80.0, Rng(7));  // same seed → same sequence
+  TraceArrivals replay(gaps);
+  for (int i = 0; i < 500; ++i) {
+    EXPECT_DOUBLE_EQ(replay.next_interarrival(), fresh.next_interarrival());
+  }
+}
+
+TEST(RecordTraceTest, ZeroCountRejected) {
+  PoissonArrivals p(10.0, Rng(1));
+  EXPECT_THROW(record_trace(p, 0), CheckFailure);
+}
+
+}  // namespace
+}  // namespace aces::workload

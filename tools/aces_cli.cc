@@ -1,0 +1,310 @@
+// aces — command-line front end to the library.
+//
+//   aces generate --seed=1 --nodes=10 --ingress=10 --intermediate=40
+//                 --egress=10 --out=topo.txt [--dot=topo.dot]
+//   aces optimize --topology=topo.txt [--solver=primal|dual]
+//   aces simulate --topology=topo.txt --policy=aces [--duration=60]
+//                 [--warmup=10] [--seed=1] [--csv] [--timeseries=ts.csv]
+//   aces compare  --topology=topo.txt [--duration=60] [--seed=1] [--csv]
+//
+// The CLI is a thin shell over the public API: generate_topology /
+// write_topology, opt::optimize / optimize_dual, sim::simulate. Everything
+// it does is reachable programmatically; it exists so a downstream user can
+// reproduce an experiment without writing C++.
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+
+#include "graph/dot_export.h"
+#include "graph/serialization.h"
+#include "graph/topology_generator.h"
+#include "harness/experiment.h"
+#include "harness/table.h"
+#include "opt/dual_optimizer.h"
+#include "sim/stream_simulation.h"
+
+namespace {
+
+using namespace aces;
+
+/// Minimal --key=value parser; positional tokens are rejected.
+class Flags {
+ public:
+  Flags(int argc, char** argv, int first) {
+    for (int i = first; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg.rfind("--", 0) != 0) {
+        throw std::runtime_error("unexpected argument: " + arg);
+      }
+      const auto eq = arg.find('=');
+      if (eq == std::string::npos) {
+        values_[arg.substr(2)] = "true";
+      } else {
+        values_[arg.substr(2, eq - 2)] = arg.substr(eq + 1);
+      }
+    }
+  }
+
+  [[nodiscard]] std::string get(const std::string& key,
+                                const std::string& fallback) {
+    consumed_.insert(key);
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+  [[nodiscard]] double get(const std::string& key, double fallback) {
+    const std::string raw = get(key, std::string());
+    return raw.empty() ? fallback : std::stod(raw);
+  }
+  [[nodiscard]] int get(const std::string& key, int fallback) {
+    const std::string raw = get(key, std::string());
+    return raw.empty() ? fallback : std::stoi(raw);
+  }
+  [[nodiscard]] bool has(const std::string& key) {
+    consumed_.insert(key);
+    return values_.contains(key);
+  }
+
+  /// Throws if any flag was provided that no command consumed (typo guard).
+  void check_all_consumed() const {
+    for (const auto& [key, value] : values_) {
+      if (!consumed_.contains(key)) {
+        throw std::runtime_error("unknown flag: --" + key);
+      }
+    }
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::set<std::string> consumed_;
+};
+
+graph::ProcessingGraph load_topology(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) throw std::runtime_error("cannot open topology file: " + path);
+  return graph::read_topology(file);
+}
+
+control::FlowPolicy parse_policy(const std::string& name) {
+  if (name == "aces") return control::FlowPolicy::kAces;
+  if (name == "udp") return control::FlowPolicy::kUdp;
+  if (name == "lockstep") return control::FlowPolicy::kLockStep;
+  if (name == "threshold") return control::FlowPolicy::kThreshold;
+  throw std::runtime_error("unknown policy: " + name +
+                           " (aces|udp|lockstep|threshold)");
+}
+
+int cmd_generate(Flags& flags) {
+  graph::TopologyParams params;
+  params.num_nodes = flags.get("nodes", params.num_nodes);
+  params.num_ingress = flags.get("ingress", params.num_ingress);
+  params.num_intermediate = flags.get("intermediate", params.num_intermediate);
+  params.num_egress = flags.get("egress", params.num_egress);
+  params.depth = flags.get("depth", params.depth);
+  params.buffer_capacity = flags.get("buffer", params.buffer_capacity);
+  params.load_factor = flags.get("load", params.load_factor);
+  params.source_burstiness = flags.get("burstiness", params.source_burstiness);
+  const int seed = flags.get("seed", 1);
+  const std::string out = flags.get("out", std::string());
+  const std::string dot = flags.get("dot", std::string());
+  flags.check_all_consumed();
+  if (out.empty()) throw std::runtime_error("--out=FILE is required");
+
+  const graph::ProcessingGraph g =
+      generate_topology(params, static_cast<std::uint64_t>(seed));
+  {
+    std::ofstream file(out);
+    graph::write_topology(g, file);
+  }
+  std::cout << "wrote " << out << ": " << g.pe_count() << " PEs on "
+            << g.node_count() << " nodes, " << g.edge_count() << " edges\n";
+  if (!dot.empty()) {
+    std::ofstream file(dot);
+    file << graph::to_dot(g);
+    std::cout << "wrote " << dot << '\n';
+  }
+  return 0;
+}
+
+int cmd_optimize(Flags& flags) {
+  const graph::ProcessingGraph g =
+      load_topology(flags.get("topology", std::string()));
+  const std::string solver = flags.get("solver", std::string("primal"));
+  const bool csv = flags.has("csv");
+  flags.check_all_consumed();
+
+  opt::AllocationPlan plan;
+  if (solver == "primal") {
+    plan = opt::optimize(g);
+  } else if (solver == "dual") {
+    plan = opt::optimize_dual(g).plan;
+  } else {
+    throw std::runtime_error("unknown solver: " + solver + " (primal|dual)");
+  }
+
+  harness::Table table({"pe", "kind", "node", "weight", "cpu target",
+                        "rin SDO/s", "rout SDO/s"});
+  for (PeId id : g.all_pes()) {
+    const auto& d = g.pe(id);
+    table.add_row({"pe" + std::to_string(id.value()),
+                   graph::to_string(d.kind),
+                   "pn" + std::to_string(d.node.value()),
+                   harness::cell(d.weight, 0),
+                   harness::cell(plan.at(id).cpu, 4),
+                   harness::cell(plan.at(id).rin_sdo, 2),
+                   harness::cell(plan.at(id).rout_sdo, 2)});
+  }
+  harness::print_table(table, csv, std::cout);
+  std::cout << "\naggregate utility: "
+            << harness::cell(plan.aggregate_utility, 3)
+            << "\nfluid weighted throughput: "
+            << harness::cell(plan.weighted_throughput, 2) << '\n';
+  return 0;
+}
+
+harness::RunSummary run_one(const graph::ProcessingGraph& g,
+                            const opt::AllocationPlan& plan,
+                            control::FlowPolicy policy, double duration,
+                            double warmup, int seed,
+                            const std::string& timeseries_path) {
+  sim::SimOptions options;
+  options.duration = duration;
+  options.warmup = warmup;
+  options.seed = static_cast<std::uint64_t>(seed);
+  options.controller.policy = policy;
+  options.record_timeseries = !timeseries_path.empty();
+  sim::StreamSimulation simulation(g, plan, options);
+  simulation.run();
+  if (!timeseries_path.empty()) {
+    std::ofstream file(timeseries_path);
+    simulation.timeseries().write_csv(file);
+  }
+  return harness::summarize(simulation.report(), plan.weighted_throughput);
+}
+
+void add_summary_row(harness::Table& table, const char* name,
+                     const harness::RunSummary& s) {
+  table.add_row({name, harness::cell(s.weighted_throughput, 1),
+                 harness::cell(s.normalized_throughput(), 3),
+                 harness::cell(s.latency_mean * 1e3, 1),
+                 harness::cell(s.latency_std * 1e3, 1),
+                 harness::cell(s.ingress_drops_per_sec, 1),
+                 harness::cell(s.internal_drops_per_sec, 1),
+                 harness::cell(s.cpu_utilization, 3)});
+}
+
+harness::Table summary_table() {
+  return harness::Table({"policy", "wtput", "wtput/fluid", "lat ms",
+                         "lat std ms", "ingress drop/s", "internal drop/s",
+                         "cpu util"});
+}
+
+int cmd_simulate(Flags& flags) {
+  const graph::ProcessingGraph g =
+      load_topology(flags.get("topology", std::string()));
+  const control::FlowPolicy policy =
+      parse_policy(flags.get("policy", std::string("aces")));
+  const double duration = flags.get("duration", 60.0);
+  const double warmup = flags.get("warmup", 10.0);
+  const int seed = flags.get("seed", 1);
+  const std::string timeseries = flags.get("timeseries", std::string());
+  const bool csv = flags.has("csv");
+  const bool detail = flags.has("detail");
+  flags.check_all_consumed();
+
+  const opt::AllocationPlan plan = opt::optimize(g);
+
+  sim::SimOptions options;
+  options.duration = duration;
+  options.warmup = warmup;
+  options.seed = static_cast<std::uint64_t>(seed);
+  options.controller.policy = policy;
+  options.record_timeseries = !timeseries.empty();
+  sim::StreamSimulation simulation(g, plan, options);
+  simulation.run();
+  if (!timeseries.empty()) {
+    std::ofstream file(timeseries);
+    simulation.timeseries().write_csv(file);
+  }
+  const metrics::RunReport report = simulation.report();
+  const harness::RunSummary s =
+      harness::summarize(report, plan.weighted_throughput);
+  harness::Table table = summary_table();
+  add_summary_row(table, to_string(policy), s);
+  harness::print_table(table, csv, std::cout);
+
+  if (detail) {
+    std::cout << '\n';
+    harness::Table pe_table({"pe", "kind", "arrived", "processed",
+                             "emitted", "dropped", "cpu s"});
+    for (PeId id : g.all_pes()) {
+      const auto& acc = report.per_pe[id.value()];
+      pe_table.add_row({"pe" + std::to_string(id.value()),
+                        graph::to_string(g.pe(id).kind),
+                        harness::cell(acc.arrived),
+                        harness::cell(acc.processed),
+                        harness::cell(acc.emitted),
+                        harness::cell(acc.dropped_input),
+                        harness::cell(acc.cpu_seconds, 2)});
+    }
+    harness::print_table(pe_table, csv, std::cout);
+  }
+  return 0;
+}
+
+int cmd_compare(Flags& flags) {
+  const graph::ProcessingGraph g =
+      load_topology(flags.get("topology", std::string()));
+  const double duration = flags.get("duration", 60.0);
+  const double warmup = flags.get("warmup", 10.0);
+  const int seed = flags.get("seed", 1);
+  const bool csv = flags.has("csv");
+  flags.check_all_consumed();
+
+  const opt::AllocationPlan plan = opt::optimize(g);
+  harness::Table table = summary_table();
+  for (const control::FlowPolicy policy :
+       {control::FlowPolicy::kAces, control::FlowPolicy::kUdp,
+        control::FlowPolicy::kLockStep, control::FlowPolicy::kThreshold}) {
+    add_summary_row(table, to_string(policy),
+                    run_one(g, plan, policy, duration, warmup, seed, {}));
+  }
+  harness::print_table(table, csv, std::cout);
+  return 0;
+}
+
+int usage(std::ostream& os, int code) {
+  os << "usage: aces <command> [--flags]\n"
+        "  generate  --out=FILE [--seed --nodes --ingress --intermediate\n"
+        "            --egress --depth --buffer --load --burstiness --dot=F]\n"
+        "  optimize  --topology=FILE [--solver=primal|dual] [--csv]\n"
+        "  simulate  --topology=FILE [--policy=aces|udp|lockstep|threshold]\n"
+        "            [--duration --warmup --seed --timeseries=F --csv\n"
+        "             --detail]\n"
+        "  compare   --topology=FILE [--duration --warmup --seed --csv]\n";
+  return code;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage(std::cerr, 2);
+  const std::string command = argv[1];
+  if (command == "--help" || command == "-h" || command == "help") {
+    return usage(std::cout, 0);
+  }
+  try {
+    Flags flags(argc, argv, 2);
+    if (command == "generate") return cmd_generate(flags);
+    if (command == "optimize") return cmd_optimize(flags);
+    if (command == "simulate") return cmd_simulate(flags);
+    if (command == "compare") return cmd_compare(flags);
+    std::cerr << "unknown command: " << command << '\n';
+    return usage(std::cerr, 2);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+}
