@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_allocation_error.dir/ablation_allocation_error.cc.o"
+  "CMakeFiles/ablation_allocation_error.dir/ablation_allocation_error.cc.o.d"
+  "ablation_allocation_error"
+  "ablation_allocation_error.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_allocation_error.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

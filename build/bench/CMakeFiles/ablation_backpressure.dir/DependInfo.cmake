@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_backpressure.cc" "bench/CMakeFiles/ablation_backpressure.dir/ablation_backpressure.cc.o" "gcc" "bench/CMakeFiles/ablation_backpressure.dir/ablation_backpressure.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/aces_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/aces_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/aces_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/control/CMakeFiles/aces_control.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/aces_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/aces_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/aces_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/aces_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/aces_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

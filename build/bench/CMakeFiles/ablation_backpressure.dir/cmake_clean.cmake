@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_backpressure.dir/ablation_backpressure.cc.o"
+  "CMakeFiles/ablation_backpressure.dir/ablation_backpressure.cc.o.d"
+  "ablation_backpressure"
+  "ablation_backpressure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_backpressure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

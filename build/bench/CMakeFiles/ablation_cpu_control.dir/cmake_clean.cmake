@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_cpu_control.dir/ablation_cpu_control.cc.o"
+  "CMakeFiles/ablation_cpu_control.dir/ablation_cpu_control.cc.o.d"
+  "ablation_cpu_control"
+  "ablation_cpu_control.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_cpu_control.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

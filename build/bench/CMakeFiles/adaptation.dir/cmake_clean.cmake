@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptation.dir/adaptation.cc.o"
+  "CMakeFiles/adaptation.dir/adaptation.cc.o.d"
+  "adaptation"
+  "adaptation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/calibration_runtime_vs_sim.dir/calibration_runtime_vs_sim.cc.o"
+  "CMakeFiles/calibration_runtime_vs_sim.dir/calibration_runtime_vs_sim.cc.o.d"
+  "calibration_runtime_vs_sim"
+  "calibration_runtime_vs_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/calibration_runtime_vs_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

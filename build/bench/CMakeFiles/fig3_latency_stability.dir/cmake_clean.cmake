@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_latency_stability.dir/fig3_latency_stability.cc.o"
+  "CMakeFiles/fig3_latency_stability.dir/fig3_latency_stability.cc.o.d"
+  "fig3_latency_stability"
+  "fig3_latency_stability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_latency_stability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

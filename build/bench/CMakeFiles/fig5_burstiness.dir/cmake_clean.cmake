@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_burstiness.dir/fig5_burstiness.cc.o"
+  "CMakeFiles/fig5_burstiness.dir/fig5_burstiness.cc.o.d"
+  "fig5_burstiness"
+  "fig5_burstiness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_burstiness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

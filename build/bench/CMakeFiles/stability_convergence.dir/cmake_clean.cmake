@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stability_convergence.dir/stability_convergence.cc.o"
+  "CMakeFiles/stability_convergence.dir/stability_convergence.cc.o.d"
+  "stability_convergence"
+  "stability_convergence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stability_convergence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/market_surveillance.dir/market_surveillance.cpp.o"
+  "CMakeFiles/market_surveillance.dir/market_surveillance.cpp.o.d"
+  "market_surveillance"
+  "market_surveillance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/market_surveillance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

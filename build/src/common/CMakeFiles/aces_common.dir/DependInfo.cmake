@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/check.cc" "src/common/CMakeFiles/aces_common.dir/check.cc.o" "gcc" "src/common/CMakeFiles/aces_common.dir/check.cc.o.d"
+  "/root/repo/src/common/histogram.cc" "src/common/CMakeFiles/aces_common.dir/histogram.cc.o" "gcc" "src/common/CMakeFiles/aces_common.dir/histogram.cc.o.d"
+  "/root/repo/src/common/log.cc" "src/common/CMakeFiles/aces_common.dir/log.cc.o" "gcc" "src/common/CMakeFiles/aces_common.dir/log.cc.o.d"
+  "/root/repo/src/common/matrix.cc" "src/common/CMakeFiles/aces_common.dir/matrix.cc.o" "gcc" "src/common/CMakeFiles/aces_common.dir/matrix.cc.o.d"
+  "/root/repo/src/common/rng.cc" "src/common/CMakeFiles/aces_common.dir/rng.cc.o" "gcc" "src/common/CMakeFiles/aces_common.dir/rng.cc.o.d"
+  "/root/repo/src/common/stats.cc" "src/common/CMakeFiles/aces_common.dir/stats.cc.o" "gcc" "src/common/CMakeFiles/aces_common.dir/stats.cc.o.d"
+  "/root/repo/src/common/types.cc" "src/common/CMakeFiles/aces_common.dir/types.cc.o" "gcc" "src/common/CMakeFiles/aces_common.dir/types.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aces_common.dir/check.cc.o"
+  "CMakeFiles/aces_common.dir/check.cc.o.d"
+  "CMakeFiles/aces_common.dir/histogram.cc.o"
+  "CMakeFiles/aces_common.dir/histogram.cc.o.d"
+  "CMakeFiles/aces_common.dir/log.cc.o"
+  "CMakeFiles/aces_common.dir/log.cc.o.d"
+  "CMakeFiles/aces_common.dir/matrix.cc.o"
+  "CMakeFiles/aces_common.dir/matrix.cc.o.d"
+  "CMakeFiles/aces_common.dir/rng.cc.o"
+  "CMakeFiles/aces_common.dir/rng.cc.o.d"
+  "CMakeFiles/aces_common.dir/stats.cc.o"
+  "CMakeFiles/aces_common.dir/stats.cc.o.d"
+  "CMakeFiles/aces_common.dir/types.cc.o"
+  "CMakeFiles/aces_common.dir/types.cc.o.d"
+  "libaces_common.a"
+  "libaces_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aces_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

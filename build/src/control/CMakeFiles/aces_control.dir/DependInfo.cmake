@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/control/cpu_scheduler.cc" "src/control/CMakeFiles/aces_control.dir/cpu_scheduler.cc.o" "gcc" "src/control/CMakeFiles/aces_control.dir/cpu_scheduler.cc.o.d"
+  "/root/repo/src/control/flow_controller.cc" "src/control/CMakeFiles/aces_control.dir/flow_controller.cc.o" "gcc" "src/control/CMakeFiles/aces_control.dir/flow_controller.cc.o.d"
+  "/root/repo/src/control/lqr.cc" "src/control/CMakeFiles/aces_control.dir/lqr.cc.o" "gcc" "src/control/CMakeFiles/aces_control.dir/lqr.cc.o.d"
+  "/root/repo/src/control/node_controller.cc" "src/control/CMakeFiles/aces_control.dir/node_controller.cc.o" "gcc" "src/control/CMakeFiles/aces_control.dir/node_controller.cc.o.d"
+  "/root/repo/src/control/token_bucket.cc" "src/control/CMakeFiles/aces_control.dir/token_bucket.cc.o" "gcc" "src/control/CMakeFiles/aces_control.dir/token_bucket.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/aces_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/aces_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/aces_opt.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aces_control.dir/cpu_scheduler.cc.o"
+  "CMakeFiles/aces_control.dir/cpu_scheduler.cc.o.d"
+  "CMakeFiles/aces_control.dir/flow_controller.cc.o"
+  "CMakeFiles/aces_control.dir/flow_controller.cc.o.d"
+  "CMakeFiles/aces_control.dir/lqr.cc.o"
+  "CMakeFiles/aces_control.dir/lqr.cc.o.d"
+  "CMakeFiles/aces_control.dir/node_controller.cc.o"
+  "CMakeFiles/aces_control.dir/node_controller.cc.o.d"
+  "CMakeFiles/aces_control.dir/token_bucket.cc.o"
+  "CMakeFiles/aces_control.dir/token_bucket.cc.o.d"
+  "libaces_control.a"
+  "libaces_control.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aces_control.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/dot_export.cc" "src/graph/CMakeFiles/aces_graph.dir/dot_export.cc.o" "gcc" "src/graph/CMakeFiles/aces_graph.dir/dot_export.cc.o.d"
+  "/root/repo/src/graph/processing_graph.cc" "src/graph/CMakeFiles/aces_graph.dir/processing_graph.cc.o" "gcc" "src/graph/CMakeFiles/aces_graph.dir/processing_graph.cc.o.d"
+  "/root/repo/src/graph/serialization.cc" "src/graph/CMakeFiles/aces_graph.dir/serialization.cc.o" "gcc" "src/graph/CMakeFiles/aces_graph.dir/serialization.cc.o.d"
+  "/root/repo/src/graph/topology_generator.cc" "src/graph/CMakeFiles/aces_graph.dir/topology_generator.cc.o" "gcc" "src/graph/CMakeFiles/aces_graph.dir/topology_generator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/aces_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

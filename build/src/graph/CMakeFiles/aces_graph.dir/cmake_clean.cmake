@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aces_graph.dir/dot_export.cc.o"
+  "CMakeFiles/aces_graph.dir/dot_export.cc.o.d"
+  "CMakeFiles/aces_graph.dir/processing_graph.cc.o"
+  "CMakeFiles/aces_graph.dir/processing_graph.cc.o.d"
+  "CMakeFiles/aces_graph.dir/serialization.cc.o"
+  "CMakeFiles/aces_graph.dir/serialization.cc.o.d"
+  "CMakeFiles/aces_graph.dir/topology_generator.cc.o"
+  "CMakeFiles/aces_graph.dir/topology_generator.cc.o.d"
+  "libaces_graph.a"
+  "libaces_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aces_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

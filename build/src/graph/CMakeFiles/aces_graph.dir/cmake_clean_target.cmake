@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libaces_graph.a"
+)

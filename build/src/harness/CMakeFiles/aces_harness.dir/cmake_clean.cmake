@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aces_harness.dir/bench_options.cc.o"
+  "CMakeFiles/aces_harness.dir/bench_options.cc.o.d"
+  "CMakeFiles/aces_harness.dir/experiment.cc.o"
+  "CMakeFiles/aces_harness.dir/experiment.cc.o.d"
+  "CMakeFiles/aces_harness.dir/table.cc.o"
+  "CMakeFiles/aces_harness.dir/table.cc.o.d"
+  "libaces_harness.a"
+  "libaces_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aces_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aces_metrics.dir/collector.cc.o"
+  "CMakeFiles/aces_metrics.dir/collector.cc.o.d"
+  "CMakeFiles/aces_metrics.dir/timeseries.cc.o"
+  "CMakeFiles/aces_metrics.dir/timeseries.cc.o.d"
+  "libaces_metrics.a"
+  "libaces_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aces_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/opt/dual_optimizer.cc" "src/opt/CMakeFiles/aces_opt.dir/dual_optimizer.cc.o" "gcc" "src/opt/CMakeFiles/aces_opt.dir/dual_optimizer.cc.o.d"
+  "/root/repo/src/opt/fluid_model.cc" "src/opt/CMakeFiles/aces_opt.dir/fluid_model.cc.o" "gcc" "src/opt/CMakeFiles/aces_opt.dir/fluid_model.cc.o.d"
+  "/root/repo/src/opt/global_optimizer.cc" "src/opt/CMakeFiles/aces_opt.dir/global_optimizer.cc.o" "gcc" "src/opt/CMakeFiles/aces_opt.dir/global_optimizer.cc.o.d"
+  "/root/repo/src/opt/utility.cc" "src/opt/CMakeFiles/aces_opt.dir/utility.cc.o" "gcc" "src/opt/CMakeFiles/aces_opt.dir/utility.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/aces_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/aces_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

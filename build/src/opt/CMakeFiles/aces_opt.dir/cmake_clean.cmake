@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aces_opt.dir/dual_optimizer.cc.o"
+  "CMakeFiles/aces_opt.dir/dual_optimizer.cc.o.d"
+  "CMakeFiles/aces_opt.dir/fluid_model.cc.o"
+  "CMakeFiles/aces_opt.dir/fluid_model.cc.o.d"
+  "CMakeFiles/aces_opt.dir/global_optimizer.cc.o"
+  "CMakeFiles/aces_opt.dir/global_optimizer.cc.o.d"
+  "CMakeFiles/aces_opt.dir/utility.cc.o"
+  "CMakeFiles/aces_opt.dir/utility.cc.o.d"
+  "libaces_opt.a"
+  "libaces_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aces_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aces_runtime.dir/message_bus.cc.o"
+  "CMakeFiles/aces_runtime.dir/message_bus.cc.o.d"
+  "CMakeFiles/aces_runtime.dir/runtime_engine.cc.o"
+  "CMakeFiles/aces_runtime.dir/runtime_engine.cc.o.d"
+  "libaces_runtime.a"
+  "libaces_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aces_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

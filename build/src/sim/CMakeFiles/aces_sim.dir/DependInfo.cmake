@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/simulator.cc" "src/sim/CMakeFiles/aces_sim.dir/simulator.cc.o" "gcc" "src/sim/CMakeFiles/aces_sim.dir/simulator.cc.o.d"
+  "/root/repo/src/sim/stream_simulation.cc" "src/sim/CMakeFiles/aces_sim.dir/stream_simulation.cc.o" "gcc" "src/sim/CMakeFiles/aces_sim.dir/stream_simulation.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/aces_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/aces_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/control/CMakeFiles/aces_control.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/aces_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/aces_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/aces_opt.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

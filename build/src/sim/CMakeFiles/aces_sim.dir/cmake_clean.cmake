@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aces_sim.dir/simulator.cc.o"
+  "CMakeFiles/aces_sim.dir/simulator.cc.o.d"
+  "CMakeFiles/aces_sim.dir/stream_simulation.cc.o"
+  "CMakeFiles/aces_sim.dir/stream_simulation.cc.o.d"
+  "libaces_sim.a"
+  "libaces_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aces_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aces_workload.dir/arrivals.cc.o"
+  "CMakeFiles/aces_workload.dir/arrivals.cc.o.d"
+  "CMakeFiles/aces_workload.dir/markov_modulator.cc.o"
+  "CMakeFiles/aces_workload.dir/markov_modulator.cc.o.d"
+  "CMakeFiles/aces_workload.dir/trace.cc.o"
+  "CMakeFiles/aces_workload.dir/trace.cc.o.d"
+  "libaces_workload.a"
+  "libaces_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aces_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/common/check_test.cc" "tests/CMakeFiles/common_tests.dir/common/check_test.cc.o" "gcc" "tests/CMakeFiles/common_tests.dir/common/check_test.cc.o.d"
+  "/root/repo/tests/common/histogram_test.cc" "tests/CMakeFiles/common_tests.dir/common/histogram_test.cc.o" "gcc" "tests/CMakeFiles/common_tests.dir/common/histogram_test.cc.o.d"
+  "/root/repo/tests/common/log_test.cc" "tests/CMakeFiles/common_tests.dir/common/log_test.cc.o" "gcc" "tests/CMakeFiles/common_tests.dir/common/log_test.cc.o.d"
+  "/root/repo/tests/common/matrix_test.cc" "tests/CMakeFiles/common_tests.dir/common/matrix_test.cc.o" "gcc" "tests/CMakeFiles/common_tests.dir/common/matrix_test.cc.o.d"
+  "/root/repo/tests/common/ring_buffer_test.cc" "tests/CMakeFiles/common_tests.dir/common/ring_buffer_test.cc.o" "gcc" "tests/CMakeFiles/common_tests.dir/common/ring_buffer_test.cc.o.d"
+  "/root/repo/tests/common/rng_test.cc" "tests/CMakeFiles/common_tests.dir/common/rng_test.cc.o" "gcc" "tests/CMakeFiles/common_tests.dir/common/rng_test.cc.o.d"
+  "/root/repo/tests/common/stats_test.cc" "tests/CMakeFiles/common_tests.dir/common/stats_test.cc.o" "gcc" "tests/CMakeFiles/common_tests.dir/common/stats_test.cc.o.d"
+  "/root/repo/tests/common/types_test.cc" "tests/CMakeFiles/common_tests.dir/common/types_test.cc.o" "gcc" "tests/CMakeFiles/common_tests.dir/common/types_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/aces_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/aces_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/aces_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/control/CMakeFiles/aces_control.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/aces_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/aces_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/aces_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/aces_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/aces_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

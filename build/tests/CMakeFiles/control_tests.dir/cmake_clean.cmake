@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/control_tests.dir/control/cpu_scheduler_test.cc.o"
+  "CMakeFiles/control_tests.dir/control/cpu_scheduler_test.cc.o.d"
+  "CMakeFiles/control_tests.dir/control/disturbance_test.cc.o"
+  "CMakeFiles/control_tests.dir/control/disturbance_test.cc.o.d"
+  "CMakeFiles/control_tests.dir/control/flow_controller_test.cc.o"
+  "CMakeFiles/control_tests.dir/control/flow_controller_test.cc.o.d"
+  "CMakeFiles/control_tests.dir/control/lqr_test.cc.o"
+  "CMakeFiles/control_tests.dir/control/lqr_test.cc.o.d"
+  "CMakeFiles/control_tests.dir/control/node_controller_test.cc.o"
+  "CMakeFiles/control_tests.dir/control/node_controller_test.cc.o.d"
+  "CMakeFiles/control_tests.dir/control/threshold_policy_test.cc.o"
+  "CMakeFiles/control_tests.dir/control/threshold_policy_test.cc.o.d"
+  "CMakeFiles/control_tests.dir/control/token_bucket_test.cc.o"
+  "CMakeFiles/control_tests.dir/control/token_bucket_test.cc.o.d"
+  "control_tests"
+  "control_tests.pdb"
+  "control_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/control_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

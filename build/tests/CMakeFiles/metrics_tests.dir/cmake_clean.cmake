@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metrics_tests.dir/metrics/collector_test.cc.o"
+  "CMakeFiles/metrics_tests.dir/metrics/collector_test.cc.o.d"
+  "CMakeFiles/metrics_tests.dir/metrics/timeseries_test.cc.o"
+  "CMakeFiles/metrics_tests.dir/metrics/timeseries_test.cc.o.d"
+  "metrics_tests"
+  "metrics_tests.pdb"
+  "metrics_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metrics_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/opt_tests.dir/opt/dual_optimizer_test.cc.o"
+  "CMakeFiles/opt_tests.dir/opt/dual_optimizer_test.cc.o.d"
+  "CMakeFiles/opt_tests.dir/opt/fluid_model_test.cc.o"
+  "CMakeFiles/opt_tests.dir/opt/fluid_model_test.cc.o.d"
+  "CMakeFiles/opt_tests.dir/opt/global_optimizer_test.cc.o"
+  "CMakeFiles/opt_tests.dir/opt/global_optimizer_test.cc.o.d"
+  "CMakeFiles/opt_tests.dir/opt/rate_floor_test.cc.o"
+  "CMakeFiles/opt_tests.dir/opt/rate_floor_test.cc.o.d"
+  "CMakeFiles/opt_tests.dir/opt/reference_optimizer_test.cc.o"
+  "CMakeFiles/opt_tests.dir/opt/reference_optimizer_test.cc.o.d"
+  "CMakeFiles/opt_tests.dir/opt/utility_test.cc.o"
+  "CMakeFiles/opt_tests.dir/opt/utility_test.cc.o.d"
+  "opt_tests"
+  "opt_tests.pdb"
+  "opt_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/opt_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/runtime_tests.dir/runtime/channel_test.cc.o"
+  "CMakeFiles/runtime_tests.dir/runtime/channel_test.cc.o.d"
+  "CMakeFiles/runtime_tests.dir/runtime/message_bus_test.cc.o"
+  "CMakeFiles/runtime_tests.dir/runtime/message_bus_test.cc.o.d"
+  "CMakeFiles/runtime_tests.dir/runtime/runtime_engine_test.cc.o"
+  "CMakeFiles/runtime_tests.dir/runtime/runtime_engine_test.cc.o.d"
+  "runtime_tests"
+  "runtime_tests.pdb"
+  "runtime_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/runtime_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aces.dir/aces_cli.cc.o"
+  "CMakeFiles/aces.dir/aces_cli.cc.o.d"
+  "aces"
+  "aces.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aces.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_help "/root/repo/build/tools/aces" "help")
+set_tests_properties(cli_help PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;5;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_generate "/root/repo/build/tools/aces" "generate" "--seed=3" "--nodes=3" "--ingress=3" "--intermediate=4" "--egress=3" "--out=cli_topo.txt" "--dot=cli_topo.dot")
+set_tests_properties(cli_generate PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;6;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_optimize "/root/repo/build/tools/aces" "optimize" "--topology=cli_topo.txt")
+set_tests_properties(cli_optimize PROPERTIES  DEPENDS "cli_generate" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;10;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_optimize_dual "/root/repo/build/tools/aces" "optimize" "--topology=cli_topo.txt" "--solver=dual" "--csv")
+set_tests_properties(cli_optimize_dual PROPERTIES  DEPENDS "cli_generate" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;11;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_simulate "/root/repo/build/tools/aces" "simulate" "--topology=cli_topo.txt" "--policy=aces" "--duration=8" "--warmup=2" "--timeseries=cli_ts.csv" "--detail")
+set_tests_properties(cli_simulate PROPERTIES  DEPENDS "cli_generate" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;13;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_compare "/root/repo/build/tools/aces" "compare" "--topology=cli_topo.txt" "--duration=8" "--warmup=2" "--csv")
+set_tests_properties(cli_compare PROPERTIES  DEPENDS "cli_generate" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;16;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_bad_flag_fails "/root/repo/build/tools/aces" "simulate" "--bogus=1")
+set_tests_properties(cli_bad_flag_fails PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;19;add_test;/root/repo/tools/CMakeLists.txt;0;")
