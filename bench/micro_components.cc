@@ -9,6 +9,9 @@
 #include "control/lqr.h"
 #include "control/node_controller.h"
 #include "graph/topology_generator.h"
+#include "obs/counters.h"
+#include "obs/scoped_timer.h"
+#include "obs/trace.h"
 #include "opt/global_optimizer.h"
 #include "runtime/channel.h"
 #include "sim/simulator.h"
@@ -98,6 +101,53 @@ void BM_ChannelPushPop(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_ChannelPushPop);
+
+void BM_CounterDisabled(benchmark::State& state) {
+  // Telemetry off: the handle the runtime holds when RuntimeOptions::counters
+  // is null. Must price at a predicted-not-taken branch (~a ns or less) so
+  // leaving the counters compiled into the data plane is free.
+  obs::Counter counter;
+  for (auto _ : state) {
+    counter.inc();
+    benchmark::DoNotOptimize(counter);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CounterDisabled);
+
+void BM_CounterEnabled(benchmark::State& state) {
+  obs::CounterRegistry registry;
+  obs::Counter counter = registry.counter("bench.events");
+  for (auto _ : state) {
+    counter.inc();
+    benchmark::DoNotOptimize(counter);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CounterEnabled);
+
+void BM_TraceRecord(benchmark::State& state) {
+  // Control-plane rate is ~10 Hz × nodes, so the mutex is fine; this bounds
+  // the cost of one record() for sizing longer traced runs.
+  obs::ControlTraceRecorder recorder;
+  obs::TickRecord rec;
+  rec.buffer_occupancy = 20.0;
+  for (auto _ : state) {
+    recorder.record(rec);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TraceRecord);
+
+void BM_ScopedTimerDisabled(benchmark::State& state) {
+  // Null profiler: construction + destruction must not read the clock.
+  for (auto _ : state) {
+    obs::ScopedTimer timer(nullptr, obs::kPhaseControllerTick);
+    benchmark::DoNotOptimize(&timer);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ScopedTimerDisabled);
 
 void BM_TopologyGeneration(benchmark::State& state) {
   graph::TopologyParams params;  // 60 PEs / 10 nodes

@@ -1,6 +1,8 @@
 #include "common/log.h"
 
 #include <atomic>
+#include <chrono>
+#include <cstdio>
 #include <iostream>
 #include <mutex>
 
@@ -9,6 +11,13 @@ namespace aces {
 namespace {
 std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
 std::mutex g_mutex;
+
+// Captured at static initialization, i.e. ~process start; the per-line
+// timestamp is milliseconds since then. Monotonic, so interleaved lines
+// from the runtime's node/source threads are orderable even when the wall
+// clock steps.
+const std::chrono::steady_clock::time_point g_start =
+    std::chrono::steady_clock::now();
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -28,8 +37,13 @@ LogLevel log_level() { return static_cast<LogLevel>(g_level.load()); }
 
 namespace detail {
 void log_write(LogLevel level, const std::string& message) {
+  const std::chrono::duration<double, std::milli> uptime =
+      std::chrono::steady_clock::now() - g_start;
+  char stamp[32];
+  std::snprintf(stamp, sizeof stamp, "+%.3fms", uptime.count());
   std::lock_guard<std::mutex> lock(g_mutex);
-  std::cerr << "[aces " << level_name(level) << "] " << message << '\n';
+  std::cerr << "[aces " << level_name(level) << ' ' << stamp << "] "
+            << message << '\n';
 }
 }  // namespace detail
 

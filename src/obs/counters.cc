@@ -1,0 +1,43 @@
+#include "obs/counters.h"
+
+#include <mutex>
+
+namespace aces::obs {
+
+Counter CounterRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& cell = counters_[name];
+  if (cell == nullptr) cell = std::make_unique<std::atomic<std::uint64_t>>(0);
+  return Counter(cell.get());
+}
+
+Gauge CounterRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& cell = gauges_[name];
+  if (cell == nullptr) cell = std::make_unique<std::atomic<double>>(0.0);
+  return Gauge(cell.get());
+}
+
+CounterSnapshot CounterRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  CounterSnapshot snap;
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, cell] : counters_) {
+    snap.counters.emplace_back(name, cell->load(std::memory_order_relaxed));
+  }
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, cell] : gauges_) {
+    snap.gauges.emplace_back(name, cell->load(std::memory_order_relaxed));
+  }
+  return snap;
+}
+
+Counter make_counter(CounterRegistry* registry, const std::string& name) {
+  return registry != nullptr ? registry->counter(name) : Counter();
+}
+
+Gauge make_gauge(CounterRegistry* registry, const std::string& name) {
+  return registry != nullptr ? registry->gauge(name) : Gauge();
+}
+
+}  // namespace aces::obs

@@ -1,0 +1,165 @@
+#include "obs/export.h"
+
+#include <cmath>
+#include <cstdio>
+#include <istream>
+#include <limits>
+#include <ostream>
+#include <string>
+
+namespace aces::obs {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Shortest round-trippable decimal form; "%.12g" preserves everything the
+/// trace needs (occupancies, rates, token levels) without noise digits.
+std::string number(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.12g", v);
+  return buf;
+}
+
+/// JSON has no infinity; +inf ("no constraint") becomes null.
+std::string json_number(double v) {
+  return std::isfinite(v) ? number(v) : std::string("null");
+}
+
+/// CSV counterpart: std::stod round-trips "inf".
+std::string csv_number(double v) {
+  return std::isfinite(v) ? number(v) : std::string("inf");
+}
+
+/// Value of `"key":` in a flat one-line JSON object; nullopt-like empty
+/// string when absent. Values in trace lines are numbers, null, or booleans
+/// — never strings — so scanning to the next ',' or '}' is sufficient.
+std::string find_raw(const std::string& line, const char* key) {
+  const std::string needle = std::string("\"") + key + "\":";
+  const auto pos = line.find(needle);
+  if (pos == std::string::npos) return {};
+  const auto start = pos + needle.size();
+  auto end = line.find_first_of(",}", start);
+  if (end == std::string::npos) end = line.size();
+  auto value = line.substr(start, end - start);
+  while (!value.empty() && (value.front() == ' ' || value.front() == '\t'))
+    value.erase(value.begin());
+  while (!value.empty() && (value.back() == ' ' || value.back() == '\t'))
+    value.pop_back();
+  return value;
+}
+
+double parse_double(const std::string& raw, double fallback) {
+  if (raw.empty()) return fallback;
+  if (raw == "null") return kInf;  // the only non-finite the writer emits
+  try {
+    return std::stod(raw);
+  } catch (const std::exception&) {
+    return fallback;
+  }
+}
+
+std::uint64_t parse_u64(const std::string& raw, std::uint64_t fallback) {
+  if (raw.empty()) return fallback;
+  try {
+    return std::stoull(raw);
+  } catch (const std::exception&) {
+    return fallback;
+  }
+}
+
+}  // namespace
+
+void write_trace_jsonl(std::ostream& os,
+                       const std::vector<TickRecord>& records) {
+  for (const TickRecord& r : records) {
+    os << "{\"time\":" << number(r.time) << ",\"node\":" << r.node
+       << ",\"pe\":" << r.pe << ",\"buffer\":" << number(r.buffer_occupancy)
+       << ",\"arrived\":" << number(r.arrived_sdos)
+       << ",\"processed\":" << number(r.processed_sdos)
+       << ",\"cpu_share\":" << number(r.cpu_share)
+       << ",\"cpu_used\":" << number(r.cpu_seconds_used)
+       << ",\"advertised_rmax\":" << json_number(r.advertised_rmax)
+       << ",\"downstream_rmax\":" << json_number(r.downstream_rmax)
+       << ",\"tokens\":" << number(r.token_fill)
+       << ",\"blocked\":" << (r.output_blocked ? "true" : "false")
+       << ",\"drops\":" << r.dropped_total << "}\n";
+  }
+}
+
+void write_trace_csv(std::ostream& os, const std::vector<TickRecord>& records) {
+  os << "time,node,pe,buffer,arrived,processed,cpu_share,cpu_used,"
+        "advertised_rmax,downstream_rmax,tokens,blocked,drops\n";
+  for (const TickRecord& r : records) {
+    os << number(r.time) << ',' << r.node << ',' << r.pe << ','
+       << number(r.buffer_occupancy) << ',' << number(r.arrived_sdos) << ','
+       << number(r.processed_sdos) << ',' << number(r.cpu_share) << ','
+       << number(r.cpu_seconds_used) << ',' << csv_number(r.advertised_rmax)
+       << ',' << csv_number(r.downstream_rmax) << ',' << number(r.token_fill)
+       << ',' << (r.output_blocked ? 1 : 0) << ',' << r.dropped_total << '\n';
+  }
+}
+
+std::vector<TickRecord> read_trace_jsonl(std::istream& is) {
+  std::vector<TickRecord> records;
+  std::string line;
+  while (std::getline(is, line)) {
+    const auto first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos) continue;
+    if (line[first] != '{') continue;  // not a JSON object; skip, don't
+                                       // fabricate a default record
+    TickRecord r;
+    r.time = parse_double(find_raw(line, "time"), r.time);
+    r.node = static_cast<std::uint32_t>(parse_u64(find_raw(line, "node"), 0));
+    r.pe = static_cast<std::uint32_t>(parse_u64(find_raw(line, "pe"), 0));
+    r.buffer_occupancy =
+        parse_double(find_raw(line, "buffer"), r.buffer_occupancy);
+    r.arrived_sdos = parse_double(find_raw(line, "arrived"), r.arrived_sdos);
+    r.processed_sdos =
+        parse_double(find_raw(line, "processed"), r.processed_sdos);
+    r.cpu_share = parse_double(find_raw(line, "cpu_share"), r.cpu_share);
+    r.cpu_seconds_used =
+        parse_double(find_raw(line, "cpu_used"), r.cpu_seconds_used);
+    r.advertised_rmax =
+        parse_double(find_raw(line, "advertised_rmax"), r.advertised_rmax);
+    r.downstream_rmax =
+        parse_double(find_raw(line, "downstream_rmax"), r.downstream_rmax);
+    r.token_fill = parse_double(find_raw(line, "tokens"), r.token_fill);
+    r.output_blocked = find_raw(line, "blocked") == "true";
+    r.dropped_total = parse_u64(find_raw(line, "drops"), r.dropped_total);
+    records.push_back(r);
+  }
+  return records;
+}
+
+void write_counters_jsonl(std::ostream& os, const CounterSnapshot& snapshot) {
+  for (const auto& [name, value] : snapshot.counters) {
+    os << "{\"name\":\"" << name << "\",\"type\":\"counter\",\"value\":"
+       << value << "}\n";
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    os << "{\"name\":\"" << name << "\",\"type\":\"gauge\",\"value\":"
+       << json_number(value) << "}\n";
+  }
+}
+
+void write_counters_csv(std::ostream& os, const CounterSnapshot& snapshot) {
+  os << "name,type,value\n";
+  for (const auto& [name, value] : snapshot.counters) {
+    os << name << ",counter," << value << '\n';
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    os << name << ",gauge," << csv_number(value) << '\n';
+  }
+}
+
+void write_profile_summary(std::ostream& os, const PhaseProfiler& profiler) {
+  for (const std::string& phase : profiler.phases()) {
+    const LogHistogram h = profiler.histogram(phase);
+    os << phase << ": count=" << h.count()
+       << " p50=" << number(h.median() * 1e6)
+       << "us p99=" << number(h.p99() * 1e6) << "us\n";
+  }
+}
+
+}  // namespace aces::obs

@@ -1,0 +1,41 @@
+// Serialization of telemetry: JSONL and CSV for traces and counter
+// snapshots, plus a human-readable phase-profile summary.
+//
+// JSONL (one flat JSON object per line) is the interchange format —
+// `aces trace-summary` reads it back — and CSV is for spreadsheets and
+// plotting scripts. Non-finite doubles (the +inf "no constraint"
+// advertisements) serialize as JSON `null` / CSV `inf` and parse back to
+// +infinity.
+#pragma once
+
+#include <iosfwd>
+#include <vector>
+
+#include "obs/counters.h"
+#include "obs/scoped_timer.h"
+#include "obs/trace.h"
+
+namespace aces::obs {
+
+/// One JSON object per record per line. Keys: time, node, pe, buffer,
+/// arrived, processed, cpu_share, cpu_used, advertised_rmax,
+/// downstream_rmax, tokens, blocked, drops.
+void write_trace_jsonl(std::ostream& os, const std::vector<TickRecord>& records);
+
+/// Header + one row per record, columns in the JSONL key order.
+void write_trace_csv(std::ostream& os, const std::vector<TickRecord>& records);
+
+/// Parses write_trace_jsonl output (tolerant of unknown keys; missing keys
+/// keep their defaults). Blank lines are skipped.
+std::vector<TickRecord> read_trace_jsonl(std::istream& is);
+
+/// One JSON object per cell: {"name":...,"type":"counter"|"gauge","value":...}.
+void write_counters_jsonl(std::ostream& os, const CounterSnapshot& snapshot);
+
+/// CSV with header name,type,value.
+void write_counters_csv(std::ostream& os, const CounterSnapshot& snapshot);
+
+/// Per-phase count / median / p99 in microseconds, one line per phase.
+void write_profile_summary(std::ostream& os, const PhaseProfiler& profiler);
+
+}  // namespace aces::obs

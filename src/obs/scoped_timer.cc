@@ -1,0 +1,35 @@
+#include "obs/scoped_timer.h"
+
+namespace aces::obs {
+
+namespace {
+/// Control phases run sub-microsecond (a controller tick ≈ 0.3 µs) up to
+/// milliseconds (a tier-1 solve); the default LogHistogram span starts at
+/// 1 µs and would underflow, so phase histograms use a wider span.
+LogHistogram make_phase_histogram() { return LogHistogram(1e-9, 1e3, 20); }
+}  // namespace
+
+void PhaseProfiler::add(const std::string& phase, double seconds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = phases_.find(phase);
+  if (it == phases_.end()) {
+    it = phases_.emplace(phase, make_phase_histogram()).first;
+  }
+  it->second.add(seconds);
+}
+
+std::vector<std::string> PhaseProfiler::phases() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> names;
+  names.reserve(phases_.size());
+  for (const auto& [name, histogram] : phases_) names.push_back(name);
+  return names;
+}
+
+LogHistogram PhaseProfiler::histogram(const std::string& phase) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = phases_.find(phase);
+  return it != phases_.end() ? it->second : make_phase_histogram();
+}
+
+}  // namespace aces::obs

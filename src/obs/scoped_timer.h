@@ -1,0 +1,63 @@
+// Self-profiling of control-plane phases.
+//
+// The claim that the distributed controller is "computationally light"
+// (paper §V-C) should be visible from any run, not just the micro-bench: a
+// PhaseProfiler holds one LogHistogram per named phase, and a ScopedTimer
+// stamps the enclosing scope into it. A null profiler disables timing
+// entirely (no clock read), so the substrates thread an optional pointer
+// through with zero cost when profiling is off.
+#pragma once
+
+#include <chrono>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/histogram.h"
+
+namespace aces::obs {
+
+/// Canonical phase names used by the substrates.
+inline constexpr const char* kPhaseControllerTick = "controller_tick";
+inline constexpr const char* kPhaseOptimizerSolve = "optimizer_solve";
+
+/// Named phase → LogHistogram of durations in seconds. Thread-safe: node
+/// threads of the runtime record concurrently.
+class PhaseProfiler {
+ public:
+  /// Records one `seconds`-long occurrence of `phase`.
+  void add(const std::string& phase, double seconds);
+
+  [[nodiscard]] std::vector<std::string> phases() const;
+  /// Copy of the histogram for `phase`; empty histogram if never recorded.
+  [[nodiscard]] LogHistogram histogram(const std::string& phase) const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, LogHistogram> phases_;
+};
+
+/// Times its own lifetime into `profiler` (no-op when null).
+class ScopedTimer {
+ public:
+  ScopedTimer(PhaseProfiler* profiler, const char* phase)
+      : profiler_(profiler), phase_(phase) {
+    if (profiler_ != nullptr) start_ = std::chrono::steady_clock::now();
+  }
+  ~ScopedTimer() {
+    if (profiler_ == nullptr) return;
+    const std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - start_;
+    profiler_->add(phase_, elapsed.count());
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  PhaseProfiler* profiler_;
+  const char* phase_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace aces::obs

@@ -1,0 +1,75 @@
+// Control-plane telemetry: per-tick trace records.
+//
+// The paper's contribution (§IV–V) is a *trajectory* claim — buffers settle,
+// rates converge, the LQR flow controller damps burstiness — but RunReport
+// aggregates the trajectory away. A ControlTraceRecorder captures one
+// structured record per control tick per PE at the NodeController::tick()
+// boundary, in either substrate, so stability analysis (settling time,
+// oscillation amplitude, Figures 3–5 shapes) works on real runs instead of
+// ad-hoc bench instrumentation.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <mutex>
+#include <vector>
+
+#include "common/types.h"
+
+namespace aces::obs {
+
+/// One control tick of one PE, as seen at the tick boundary: what the
+/// substrate reported to the controller (PeTickInput) plus what the
+/// controller decided (PeTickOutput) plus controller internals worth
+/// plotting. All rates are SDOs/sec, all times virtual seconds.
+struct TickRecord {
+  /// Virtual time of the tick.
+  Seconds time = 0.0;
+  /// Hosting node.
+  std::uint32_t node = 0;
+  /// The PE this record describes.
+  std::uint32_t pe = 0;
+  /// SDOs in the input buffer at tick time.
+  double buffer_occupancy = 0.0;
+  /// SDOs accepted into the buffer during the elapsed interval.
+  double arrived_sdos = 0.0;
+  /// SDOs whose processing completed during the elapsed interval.
+  double processed_sdos = 0.0;
+  /// CPU fraction granted for the NEXT interval (0 while in outage).
+  double cpu_share = 0.0;
+  /// CPU seconds consumed during the elapsed interval.
+  double cpu_seconds_used = 0.0;
+  /// r_max advertised upstream for the next interval; +inf when the policy
+  /// does not advertise.
+  double advertised_rmax = std::numeric_limits<double>::infinity();
+  /// Freshest max over downstream advertisements; +inf for egress PEs.
+  double downstream_rmax = std::numeric_limits<double>::infinity();
+  /// Token-bucket level after accrual/charge, in CPU-seconds.
+  double token_fill = 0.0;
+  /// Lock-Step: the PE was asleep on a full downstream buffer.
+  bool output_blocked = false;
+  /// Cumulative SDOs lost at this PE's full input buffer since run start.
+  std::uint64_t dropped_total = 0;
+};
+
+/// Thread-safe append-only sink for TickRecords. Both substrates accept an
+/// optional (non-owned) recorder; the simulator writes from its single
+/// event-loop thread, the threaded runtime from every node thread, so
+/// record() takes a mutex — acceptable because the control plane ticks at
+/// ~10 Hz per node, far off the data-plane hot path.
+class ControlTraceRecorder {
+ public:
+  void record(const TickRecord& record);
+
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] bool empty() const { return size() == 0; }
+  /// Copies the records accumulated so far (safe while a run is live).
+  [[nodiscard]] std::vector<TickRecord> snapshot() const;
+  void clear();
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<TickRecord> records_;
+};
+
+}  // namespace aces::obs

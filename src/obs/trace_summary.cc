@@ -1,0 +1,60 @@
+#include "obs/trace_summary.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "common/stats.h"
+#include "metrics/timeseries.h"
+
+namespace aces::obs {
+
+std::vector<PeTraceSummary> summarize_trace(
+    const std::vector<TickRecord>& records,
+    const TraceSummaryOptions& options) {
+  std::map<std::uint32_t, std::vector<const TickRecord*>> by_pe;
+  for (const TickRecord& r : records) by_pe[r.pe].push_back(&r);
+
+  std::vector<PeTraceSummary> summaries;
+  summaries.reserve(by_pe.size());
+  for (auto& [pe, rows] : by_pe) {
+    std::stable_sort(rows.begin(), rows.end(),
+                     [](const TickRecord* a, const TickRecord* b) {
+                       return a->time < b->time;
+                     });
+    PeTraceSummary s;
+    s.pe = pe;
+    s.node = rows.front()->node;
+    s.ticks = rows.size();
+
+    metrics::TimeSeries occupancy;
+    OnlineStats occ_stats;
+    OnlineStats share_stats;
+    for (const TickRecord* r : rows) {
+      occupancy.append(r->time, r->buffer_occupancy);
+      occ_stats.add(r->buffer_occupancy);
+      share_stats.add(r->cpu_share);
+    }
+    s.occupancy_mean = occ_stats.mean();
+    s.occupancy_min = occ_stats.min();
+    s.occupancy_max = occ_stats.max();
+    s.share_mean = share_stats.mean();
+    s.drops = rows.back()->dropped_total;
+
+    const Seconds t0 = rows.front()->time;
+    const Seconds t1 = rows.back()->time;
+    const Seconds tail_start = t1 - options.tail_fraction * (t1 - t0);
+    s.steady_target = occupancy.stats_after(tail_start).mean();
+    s.tolerance =
+        std::max(options.min_tolerance,
+                 options.tolerance_fraction * (occ_stats.max() - occ_stats.min()));
+    s.settling_time = occupancy.settling_time(s.steady_target, s.tolerance);
+    const Seconds osc_from =
+        std::isfinite(s.settling_time) ? s.settling_time : tail_start;
+    s.oscillation_amplitude = occupancy.stats_after(osc_from).stddev();
+    summaries.push_back(s);
+  }
+  return summaries;
+}
+
+}  // namespace aces::obs

@@ -1,0 +1,60 @@
+// Per-PE stability analysis over a recorded control trace.
+//
+// Computes the paper's §V-E convergence measures — settling time of the
+// buffer-occupancy trajectory and post-settling oscillation amplitude —
+// directly from TickRecords, via metrics::TimeSeries::settling_time. The
+// steady-state target is estimated from the trailing window of the trace
+// (the trace does not carry b0), which matches how Figure 3 reads: "does
+// the buffer stop moving, and how fast did it get there".
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "common/types.h"
+#include "obs/trace.h"
+
+namespace aces::obs {
+
+struct TraceSummaryOptions {
+  /// Fraction of the trace's time span, at the end, used to estimate the
+  /// steady-state occupancy target.
+  double tail_fraction = 0.25;
+  /// Settling tolerance as a fraction of the observed occupancy range.
+  double tolerance_fraction = 0.1;
+  /// Tolerance floor in SDOs (occupancy is integral; sub-SDO tolerances
+  /// would declare a settled buffer oscillating).
+  double min_tolerance = 1.0;
+};
+
+struct PeTraceSummary {
+  std::uint32_t pe = 0;
+  std::uint32_t node = 0;
+  std::size_t ticks = 0;
+  double occupancy_mean = 0.0;
+  double occupancy_min = 0.0;
+  double occupancy_max = 0.0;
+  /// Steady-state occupancy estimate (trailing-window mean).
+  double steady_target = 0.0;
+  /// Tolerance band actually used for settling_time.
+  double tolerance = 0.0;
+  /// Absolute time after which occupancy stays within `tolerance` of
+  /// `steady_target`; +inf when the trajectory never settles.
+  Seconds settling_time = std::numeric_limits<double>::infinity();
+  /// Stddev of occupancy after settling (after the tail window when the
+  /// trajectory never settles) — the oscillation amplitude.
+  double oscillation_amplitude = 0.0;
+  double share_mean = 0.0;
+  /// Final cumulative drop count at this PE.
+  std::uint64_t drops = 0;
+};
+
+/// One summary per PE appearing in `records`, ordered by PE id. Records may
+/// arrive in any order (the threaded runtime interleaves nodes); they are
+/// sorted by time per PE internally.
+std::vector<PeTraceSummary> summarize_trace(
+    const std::vector<TickRecord>& records,
+    const TraceSummaryOptions& options = {});
+
+}  // namespace aces::obs

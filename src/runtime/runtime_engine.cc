@@ -16,6 +16,9 @@
 #include "common/rng.h"
 #include "control/node_controller.h"
 #include "metrics/collector.h"
+#include "obs/counters.h"
+#include "obs/scoped_timer.h"
+#include "obs/trace.h"
 #include "runtime/channel.h"
 #include "runtime/message_bus.h"
 #include "workload/arrivals.h"
@@ -164,6 +167,18 @@ class Engine {
                          << d.input_stream);
       sources_.push_back(Source{id.value(), std::move(process), 0.0});
     }
+
+    // Data-plane event counters; disabled (null) handles when no registry
+    // is attached, costing one predictable branch per event.
+    channel_send_ = obs::make_counter(options.counters, "runtime.channel.send");
+    channel_drop_ = obs::make_counter(options.counters, "runtime.channel.drop");
+    channel_block_ =
+        obs::make_counter(options.counters, "runtime.channel.block");
+    bus_post_ = obs::make_counter(options.counters, "runtime.bus.post");
+    bus_deliver_ = obs::make_counter(options.counters, "runtime.bus.deliver");
+    source_inject_ =
+        obs::make_counter(options.counters, "runtime.source.inject");
+    source_drop_ = obs::make_counter(options.counters, "runtime.source.drop");
   }
 
   metrics::RunReport run() {
@@ -233,8 +248,10 @@ class Engine {
     PeRt& t = *pes_[target];
     if (t.input.try_push(sdo)) {
       t.pushed.fetch_add(1, std::memory_order_relaxed);
+      channel_send_.inc();
     } else {
       t.dropped.fetch_add(1, std::memory_order_relaxed);
+      channel_drop_.inc();
       collector_.internal_drop(when);
     }
   }
@@ -248,10 +265,12 @@ class Engine {
       PeRt& t = *pes_[target];
       if (t.input.try_push(sdo)) {
         t.pushed.fetch_add(1, std::memory_order_relaxed);
+        channel_send_.inc();
         return true;
       }
       pe.pending.emplace_back(slot, sdo);
       pe.blocked = true;
+      channel_block_.inc();
       return false;
     }
     // Drop policies: cross-node SDOs optionally travel through the message
@@ -259,7 +278,9 @@ class Engine {
     const bool cross_node =
         graph_.pe(pe_id).node != graph_.pe(graph_.downstream(pe_id)[slot]).node;
     if (bus_ != nullptr && cross_node) {
+      bus_post_.inc();
       bus_->post(vnow + options_.network_latency, [this, target, sdo] {
+        bus_deliver_.inc();
         deliver(target, sdo, virtual_now());
       });
       return true;
@@ -301,6 +322,7 @@ class Engine {
       PeRt& t = *pes_[target];
       if (!t.input.try_push(sdo)) return;
       t.pushed.fetch_add(1, std::memory_order_relaxed);
+      channel_send_.inc();
       pe.pending.pop_front();
     }
     pe.blocked = false;
@@ -335,10 +357,31 @@ class Engine {
         }
       }
     }
-    const auto outputs = controller.tick(options_.dt, inputs);
+    std::vector<control::PeTickOutput> outputs;
+    {
+      obs::ScopedTimer timer(options_.profiler, obs::kPhaseControllerTick);
+      outputs = controller.tick(options_.dt, inputs);
+    }
     for (std::size_t i = 0; i < local.size(); ++i) {
       PeRt& pe = *pes_[local[i].value()];
       const auto& d = graph_.pe(local[i]);
+      if (options_.trace != nullptr) {
+        obs::TickRecord rec;
+        rec.time = vnow;
+        rec.node = controller.node().value();
+        rec.pe = local[i].value();
+        rec.buffer_occupancy = inputs[i].buffer_occupancy;
+        rec.arrived_sdos = inputs[i].arrived_sdos;
+        rec.processed_sdos = inputs[i].processed_sdos;
+        rec.cpu_share = outputs[i].cpu_share;
+        rec.cpu_seconds_used = inputs[i].cpu_seconds_used;
+        rec.advertised_rmax = outputs[i].advertised_rmax;
+        rec.downstream_rmax = inputs[i].downstream_rmax;
+        rec.token_fill = controller.tokens(i);
+        rec.output_blocked = inputs[i].output_blocked;
+        rec.dropped_total = pe.dropped.load(std::memory_order_relaxed);
+        options_.trace->record(rec);
+      }
       collector_.cpu_used(vnow, pe.used_this_tick);
       collector_.buffer_sample(
           vnow, static_cast<double>(pe.input.size()) /
@@ -425,8 +468,10 @@ class Engine {
       PeRt& pe = *pes_[next->pe_index];
       if (pe.input.try_push(Sdo{next->next_arrival})) {
         pe.pushed.fetch_add(1, std::memory_order_relaxed);
+        source_inject_.inc();
       } else {
         pe.dropped.fetch_add(1, std::memory_order_relaxed);
+        source_drop_.inc();
         collector_.ingress_drop(next->next_arrival);
       }
       next->next_arrival += next->process->next_interarrival();
@@ -444,6 +489,14 @@ class Engine {
   std::chrono::steady_clock::time_point start_;
   std::atomic<bool> stop_{false};
   std::unique_ptr<MessageBus> bus_;
+  // Data-plane counters (disabled handles unless options.counters is set).
+  obs::Counter channel_send_;
+  obs::Counter channel_drop_;
+  obs::Counter channel_block_;
+  obs::Counter bus_post_;
+  obs::Counter bus_deliver_;
+  obs::Counter source_inject_;
+  obs::Counter source_drop_;
 };
 
 }  // namespace

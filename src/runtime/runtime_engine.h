@@ -28,6 +28,12 @@
 #include "opt/global_optimizer.h"
 #include "workload/arrivals.h"
 
+namespace aces::obs {
+class ControlTraceRecorder;
+class CounterRegistry;
+class PhaseProfiler;
+}  // namespace aces::obs
+
 namespace aces::runtime {
 
 struct RuntimeOptions {
@@ -51,6 +57,18 @@ struct RuntimeOptions {
   std::function<std::unique_ptr<workload::ArrivalProcess>(
       StreamId, const graph::StreamDescriptor&, Rng)>
       arrival_factory;
+  /// Optional control-plane telemetry sink (same contract as
+  /// sim::SimOptions::trace): one obs::TickRecord per PE per control tick,
+  /// written by the node threads. Not owned; null disables.
+  obs::ControlTraceRecorder* trace = nullptr;
+  /// Optional self-profiling sink for controller-tick durations. Not owned;
+  /// null disables.
+  obs::PhaseProfiler* profiler = nullptr;
+  /// Optional registry for the data-plane event counters
+  /// (runtime.channel.*, runtime.bus.*, runtime.source.*). Not owned; null
+  /// disables — the hot-path cost of the disabled handles is a nullptr
+  /// test. Snapshot it at any instant while the run is live.
+  obs::CounterRegistry* counters = nullptr;
 };
 
 /// Runs the graph on the threaded runtime and reports the same metrics the

@@ -11,6 +11,8 @@
 #include "common/rng.h"
 #include "control/node_controller.h"
 #include "metrics/collector.h"
+#include "obs/scoped_timer.h"
+#include "obs/trace.h"
 #include "sim/simulator.h"
 #include "workload/arrivals.h"
 #include "workload/markov_modulator.h"
@@ -257,7 +259,11 @@ struct StreamSimulation::Impl {
   }
 
   void reoptimize() {
-    const opt::AllocationPlan plan = opt::optimize(graph, options.optimizer);
+    opt::AllocationPlan plan;
+    {
+      obs::ScopedTimer timer(options.profiler, obs::kPhaseOptimizerSolve);
+      plan = opt::optimize(graph, options.optimizer);
+    }
     for (auto& controller : controllers) controller.set_plan(plan);
     ++reoptimization_count;
     simulator.schedule_in(options.reoptimize_interval,
@@ -480,11 +486,32 @@ struct StreamSimulation::Impl {
       }
     }
 
-    const auto outputs = controller.tick(options.dt, inputs);
+    std::vector<control::PeTickOutput> outputs;
+    {
+      obs::ScopedTimer timer(options.profiler, obs::kPhaseControllerTick);
+      outputs = controller.tick(options.dt, inputs);
+    }
 
     for (std::size_t i = 0; i < local.size(); ++i) {
       PeRt& pe = pes[local[i].value()];
       const auto& d = graph.pe(pe.id);
+      if (options.trace != nullptr) {
+        obs::TickRecord rec;
+        rec.time = now;
+        rec.node = controller.node().value();
+        rec.pe = static_cast<std::uint32_t>(pe.index);
+        rec.buffer_occupancy = inputs[i].buffer_occupancy;
+        rec.arrived_sdos = inputs[i].arrived_sdos;
+        rec.processed_sdos = inputs[i].processed_sdos;
+        rec.cpu_share = pe.disabled ? 0.0 : outputs[i].cpu_share;
+        rec.cpu_seconds_used = inputs[i].cpu_seconds_used;
+        rec.advertised_rmax = outputs[i].advertised_rmax;
+        rec.downstream_rmax = inputs[i].downstream_rmax;
+        rec.token_fill = controller.tokens(i);
+        rec.output_blocked = inputs[i].output_blocked;
+        rec.dropped_total = pe.lifetime_dropped;
+        options.trace->record(rec);
+      }
       collector.on_cpu_used(now, pe.cpu_used);
       collector.on_buffer_sample(now,
                                  static_cast<double>(pe.buffer.size()) /

@@ -35,6 +35,11 @@
 #include "opt/global_optimizer.h"
 #include "workload/arrivals.h"
 
+namespace aces::obs {
+class ControlTraceRecorder;
+class PhaseProfiler;
+}  // namespace aces::obs
+
 namespace aces::sim {
 
 /// A scheduled change to a stream's long-run offered rate (workload shift).
@@ -118,6 +123,13 @@ struct SimOptions {
   std::function<std::unique_ptr<workload::ArrivalProcess>(
       StreamId, const graph::StreamDescriptor&, Rng)>
       arrival_factory;
+  /// Optional control-plane telemetry sink: one obs::TickRecord per PE per
+  /// control tick, captured at the NodeController::tick() boundary. Not
+  /// owned; must outlive the run. Null disables tracing (zero cost).
+  obs::ControlTraceRecorder* trace = nullptr;
+  /// Optional self-profiling sink for controller-tick and optimizer-solve
+  /// durations. Not owned; null disables (no clock reads).
+  obs::PhaseProfiler* profiler = nullptr;
 };
 
 /// Lifetime accounting for one PE (conservation analysis in tests).

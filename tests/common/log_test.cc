@@ -38,6 +38,34 @@ TEST_F(LogTest, MacroAtThresholdEvaluates) {
   EXPECT_NE(out.find("ERROR"), std::string::npos);
 }
 
+TEST_F(LogTest, PrefixCarriesLevelNameAndMonotonicTimestamp) {
+  set_log_level(LogLevel::kInfo);
+  testing::internal::CaptureStderr();
+  ACES_INFO("first");
+  ACES_WARN("second");
+  const std::string out = testing::internal::GetCapturedStderr();
+
+  // Each line: "[aces LEVEL +<ms>ms] message".
+  const auto stamp_after = [&out](std::size_t from) {
+    const auto plus = out.find('+', from);
+    EXPECT_NE(plus, std::string::npos);
+    const auto ms = out.find("ms]", plus);
+    EXPECT_NE(ms, std::string::npos);
+    return std::stod(out.substr(plus + 1, ms - plus - 1));
+  };
+  const auto info = out.find("INFO");
+  const auto warn = out.find("WARN");
+  ASSERT_NE(info, std::string::npos);
+  ASSERT_NE(warn, std::string::npos);
+  EXPECT_LT(info, warn);  // lines land in emission order
+  const double t1 = stamp_after(info);
+  const double t2 = stamp_after(warn);
+  EXPECT_GE(t1, 0.0);
+  EXPECT_GE(t2, t1);  // monotonic: interleaved thread logs are orderable
+  EXPECT_NE(out.find("first"), std::string::npos);
+  EXPECT_NE(out.find("second"), std::string::npos);
+}
+
 TEST_F(LogTest, DefaultLevelSuppressesInfo) {
   testing::internal::CaptureStderr();
   ACES_INFO("quiet");

@@ -1,0 +1,99 @@
+#include "obs/counters.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace aces::obs {
+namespace {
+
+TEST(CounterRegistryTest, DisabledHandleIsInertAndSafe) {
+  Counter counter;  // no registry attached — the hot-path default
+  EXPECT_FALSE(counter.enabled());
+  counter.inc();
+  counter.inc(100);
+  EXPECT_EQ(counter.value(), 0u);
+
+  Gauge gauge;
+  EXPECT_FALSE(gauge.enabled());
+  gauge.set(3.5);
+  EXPECT_EQ(gauge.value(), 0.0);
+}
+
+TEST(CounterRegistryTest, MakeHelpersToleratesNullRegistry) {
+  Counter counter = make_counter(nullptr, "anything");
+  EXPECT_FALSE(counter.enabled());
+  Gauge gauge = make_gauge(nullptr, "anything");
+  EXPECT_FALSE(gauge.enabled());
+}
+
+TEST(CounterRegistryTest, CountsAndSnapshots) {
+  CounterRegistry registry;
+  Counter sends = registry.counter("channel.send");
+  Counter drops = registry.counter("channel.drop");
+  Gauge fill = registry.gauge("buffer.fill");
+
+  sends.inc();
+  sends.inc(2);
+  drops.inc();
+  fill.set(0.75);
+
+  const CounterSnapshot snap = registry.snapshot();
+  ASSERT_EQ(snap.counters.size(), 2u);
+  // Map-backed: sorted by name.
+  EXPECT_EQ(snap.counters[0].first, "channel.drop");
+  EXPECT_EQ(snap.counters[0].second, 1u);
+  EXPECT_EQ(snap.counters[1].first, "channel.send");
+  EXPECT_EQ(snap.counters[1].second, 3u);
+  ASSERT_EQ(snap.gauges.size(), 1u);
+  EXPECT_EQ(snap.gauges[0].first, "buffer.fill");
+  EXPECT_DOUBLE_EQ(snap.gauges[0].second, 0.75);
+}
+
+TEST(CounterRegistryTest, SameNameSharesOneCell) {
+  CounterRegistry registry;
+  Counter a = registry.counter("shared");
+  Counter b = registry.counter("shared");
+  a.inc(2);
+  b.inc(3);
+  EXPECT_EQ(a.value(), 5u);
+  EXPECT_EQ(registry.snapshot().counters[0].second, 5u);
+}
+
+TEST(CounterRegistryTest, ConcurrentIncrementsAreLossless) {
+  CounterRegistry registry;
+  Counter counter = registry.counter("contended");
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 50000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter] {
+      for (int i = 0; i < kPerThread; ++i) counter.inc();
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(counter.value(),
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(CounterRegistryTest, SnapshotWhileWritersRun) {
+  CounterRegistry registry;
+  Counter counter = registry.counter("live");
+  std::thread writer([&counter] {
+    for (int i = 0; i < 100000; ++i) counter.inc();
+  });
+  // Snapshots must be callable at any instant without stopping workers.
+  std::uint64_t last = 0;
+  for (int i = 0; i < 100; ++i) {
+    const std::uint64_t seen = registry.snapshot().counters[0].second;
+    EXPECT_GE(seen, last);  // monotone
+    last = seen;
+  }
+  writer.join();
+  EXPECT_EQ(registry.snapshot().counters[0].second, 100000u);
+}
+
+}  // namespace
+}  // namespace aces::obs

@@ -5,12 +5,16 @@
 //   aces optimize --topology=topo.txt [--solver=primal|dual]
 //   aces simulate --topology=topo.txt --policy=aces [--duration=60]
 //                 [--warmup=10] [--seed=1] [--csv] [--timeseries=ts.csv]
+//                 [--trace=out.jsonl]
 //   aces compare  --topology=topo.txt [--duration=60] [--seed=1] [--csv]
+//                 [--runtime] [--timescale=5] [--trace=out.jsonl]
+//   aces trace-summary --in=out.jsonl [--tail=0.25] [--tolerance=0.1]
 //
 // The CLI is a thin shell over the public API: generate_topology /
 // write_topology, opt::optimize / optimize_dual, sim::simulate. Everything
 // it does is reachable programmatically; it exists so a downstream user can
 // reproduce an experiment without writing C++.
+#include <cmath>
 #include <fstream>
 #include <iostream>
 #include <map>
@@ -23,7 +27,12 @@
 #include "graph/topology_generator.h"
 #include "harness/experiment.h"
 #include "harness/table.h"
+#include "obs/export.h"
+#include "obs/scoped_timer.h"
+#include "obs/trace.h"
+#include "obs/trace_summary.h"
 #include "opt/dual_optimizer.h"
+#include "runtime/runtime_engine.h"
 #include "sim/stream_simulation.h"
 
 namespace {
@@ -56,11 +65,29 @@ class Flags {
   }
   [[nodiscard]] double get(const std::string& key, double fallback) {
     const std::string raw = get(key, std::string());
-    return raw.empty() ? fallback : std::stod(raw);
+    if (raw.empty()) return fallback;
+    try {
+      std::size_t pos = 0;
+      const double value = std::stod(raw, &pos);
+      if (pos != raw.size()) throw std::invalid_argument("trailing garbage");
+      return value;
+    } catch (const std::exception&) {
+      throw std::runtime_error("invalid value for --" + key + ": '" + raw +
+                               "' (expected a number)");
+    }
   }
   [[nodiscard]] int get(const std::string& key, int fallback) {
     const std::string raw = get(key, std::string());
-    return raw.empty() ? fallback : std::stoi(raw);
+    if (raw.empty()) return fallback;
+    try {
+      std::size_t pos = 0;
+      const int value = std::stoi(raw, &pos);
+      if (pos != raw.size()) throw std::invalid_argument("trailing garbage");
+      return value;
+    } catch (const std::exception&) {
+      throw std::runtime_error("invalid value for --" + key + ": '" + raw +
+                               "' (expected an integer)");
+    }
   }
   [[nodiscard]] bool has(const std::string& key) {
     consumed_.insert(key);
@@ -85,6 +112,42 @@ graph::ProcessingGraph load_topology(const std::string& path) {
   std::ifstream file(path);
   if (!file) throw std::runtime_error("cannot open topology file: " + path);
   return graph::read_topology(file);
+}
+
+/// Writes a recorded trace to `path`: CSV when the extension is .csv,
+/// JSONL otherwise.
+void write_trace_file(const std::string& path,
+                      const obs::ControlTraceRecorder& recorder) {
+  std::ofstream file(path);
+  if (!file) throw std::runtime_error("cannot open trace file: " + path);
+  const std::vector<obs::TickRecord> records = recorder.snapshot();
+  if (path.size() >= 4 && path.compare(path.size() - 4, 4, ".csv") == 0) {
+    obs::write_trace_csv(file, records);
+  } else {
+    obs::write_trace_jsonl(file, records);
+  }
+}
+
+/// File tag for one policy's trace in a compare run ("aces", "udp", ...).
+const char* policy_tag(control::FlowPolicy policy) {
+  switch (policy) {
+    case control::FlowPolicy::kAces: return "aces";
+    case control::FlowPolicy::kUdp: return "udp";
+    case control::FlowPolicy::kLockStep: return "lockstep";
+    case control::FlowPolicy::kThreshold: return "threshold";
+  }
+  return "unknown";
+}
+
+/// out.jsonl + "aces" -> out.aces.jsonl; extensionless paths get ".aces".
+std::string policy_trace_path(const std::string& base, const char* tag) {
+  const auto dot = base.find_last_of('.');
+  const auto slash = base.find_last_of('/');
+  const bool has_extension =
+      dot != std::string::npos &&
+      (slash == std::string::npos || dot > slash);
+  if (!has_extension) return base + "." + tag;
+  return base.substr(0, dot) + "." + tag + base.substr(dot);
 }
 
 control::FlowPolicy parse_policy(const std::string& name) {
@@ -168,13 +231,15 @@ harness::RunSummary run_one(const graph::ProcessingGraph& g,
                             const opt::AllocationPlan& plan,
                             control::FlowPolicy policy, double duration,
                             double warmup, int seed,
-                            const std::string& timeseries_path) {
+                            const std::string& timeseries_path,
+                            obs::ControlTraceRecorder* trace) {
   sim::SimOptions options;
   options.duration = duration;
   options.warmup = warmup;
   options.seed = static_cast<std::uint64_t>(seed);
   options.controller.policy = policy;
   options.record_timeseries = !timeseries_path.empty();
+  options.trace = trace;
   sim::StreamSimulation simulation(g, plan, options);
   simulation.run();
   if (!timeseries_path.empty()) {
@@ -182,6 +247,23 @@ harness::RunSummary run_one(const graph::ProcessingGraph& g,
     simulation.timeseries().write_csv(file);
   }
   return harness::summarize(simulation.report(), plan.weighted_throughput);
+}
+
+harness::RunSummary run_one_runtime(const graph::ProcessingGraph& g,
+                                    const opt::AllocationPlan& plan,
+                                    control::FlowPolicy policy,
+                                    double duration, double warmup, int seed,
+                                    double time_scale,
+                                    obs::ControlTraceRecorder* trace) {
+  runtime::RuntimeOptions options;
+  options.duration = duration;
+  options.warmup = warmup;
+  options.time_scale = time_scale;
+  options.seed = static_cast<std::uint64_t>(seed);
+  options.controller.policy = policy;
+  options.trace = trace;
+  const metrics::RunReport report = runtime::run_runtime(g, plan, options);
+  return harness::summarize(report, plan.weighted_throughput);
 }
 
 void add_summary_row(harness::Table& table, const char* name,
@@ -210,23 +292,36 @@ int cmd_simulate(Flags& flags) {
   const double warmup = flags.get("warmup", 10.0);
   const int seed = flags.get("seed", 1);
   const std::string timeseries = flags.get("timeseries", std::string());
+  const std::string trace_path = flags.get("trace", std::string());
   const bool csv = flags.has("csv");
   const bool detail = flags.has("detail");
   flags.check_all_consumed();
 
   const opt::AllocationPlan plan = opt::optimize(g);
 
+  obs::ControlTraceRecorder recorder;
+  obs::PhaseProfiler profiler;
   sim::SimOptions options;
   options.duration = duration;
   options.warmup = warmup;
   options.seed = static_cast<std::uint64_t>(seed);
   options.controller.policy = policy;
   options.record_timeseries = !timeseries.empty();
+  if (!trace_path.empty()) {
+    options.trace = &recorder;
+    options.profiler = &profiler;
+  }
   sim::StreamSimulation simulation(g, plan, options);
   simulation.run();
   if (!timeseries.empty()) {
     std::ofstream file(timeseries);
     simulation.timeseries().write_csv(file);
+  }
+  if (!trace_path.empty()) {
+    write_trace_file(trace_path, recorder);
+    std::cerr << "wrote " << recorder.size() << " trace records to "
+              << trace_path << '\n';
+    obs::write_profile_summary(std::cerr, profiler);
   }
   const metrics::RunReport report = simulation.report();
   const harness::RunSummary s =
@@ -261,6 +356,9 @@ int cmd_compare(Flags& flags) {
   const double warmup = flags.get("warmup", 10.0);
   const int seed = flags.get("seed", 1);
   const bool csv = flags.has("csv");
+  const bool use_runtime = flags.has("runtime");
+  const double time_scale = flags.get("timescale", 5.0);
+  const std::string trace_base = flags.get("trace", std::string());
   flags.check_all_consumed();
 
   const opt::AllocationPlan plan = opt::optimize(g);
@@ -268,10 +366,70 @@ int cmd_compare(Flags& flags) {
   for (const control::FlowPolicy policy :
        {control::FlowPolicy::kAces, control::FlowPolicy::kUdp,
         control::FlowPolicy::kLockStep, control::FlowPolicy::kThreshold}) {
-    add_summary_row(table, to_string(policy),
-                    run_one(g, plan, policy, duration, warmup, seed, {}));
+    obs::ControlTraceRecorder recorder;
+    obs::ControlTraceRecorder* trace =
+        trace_base.empty() ? nullptr : &recorder;
+    const harness::RunSummary summary =
+        use_runtime ? run_one_runtime(g, plan, policy, duration, warmup, seed,
+                                      time_scale, trace)
+                    : run_one(g, plan, policy, duration, warmup, seed, {},
+                              trace);
+    add_summary_row(table, to_string(policy), summary);
+    if (trace != nullptr) {
+      const std::string path =
+          policy_trace_path(trace_base, policy_tag(policy));
+      write_trace_file(path, recorder);
+      std::cerr << "wrote " << recorder.size() << " trace records to "
+                << path << '\n';
+    }
   }
   harness::print_table(table, csv, std::cout);
+  return 0;
+}
+
+int cmd_trace_summary(Flags& flags) {
+  const std::string in = flags.get("in", std::string());
+  obs::TraceSummaryOptions options;
+  options.tail_fraction = flags.get("tail", options.tail_fraction);
+  options.tolerance_fraction =
+      flags.get("tolerance", options.tolerance_fraction);
+  const bool csv = flags.has("csv");
+  flags.check_all_consumed();
+  if (in.empty()) throw std::runtime_error("--in=FILE is required");
+
+  std::ifstream file(in);
+  if (!file) throw std::runtime_error("cannot open trace file: " + in);
+  const std::vector<obs::TickRecord> records = obs::read_trace_jsonl(file);
+  if (records.empty()) {
+    throw std::runtime_error("no trace records in " + in);
+  }
+
+  const auto summaries = obs::summarize_trace(records, options);
+  harness::Table table({"pe", "node", "ticks", "buf mean", "buf min",
+                        "buf max", "target", "settle s", "osc amp",
+                        "share mean", "drops"});
+  for (const obs::PeTraceSummary& s : summaries) {
+    table.add_row({"pe" + std::to_string(s.pe),
+                   "pn" + std::to_string(s.node), harness::cell(s.ticks),
+                   harness::cell(s.occupancy_mean, 1),
+                   harness::cell(s.occupancy_min, 0),
+                   harness::cell(s.occupancy_max, 0),
+                   harness::cell(s.steady_target, 1),
+                   std::isfinite(s.settling_time)
+                       ? harness::cell(s.settling_time, 2)
+                       : std::string("never"),
+                   harness::cell(s.oscillation_amplitude, 2),
+                   harness::cell(s.share_mean, 3), harness::cell(s.drops)});
+  }
+  harness::print_table(table, csv, std::cout);
+  Seconds t0 = records.front().time;
+  Seconds t1 = t0;
+  for (const auto& r : records) {
+    t0 = std::min(t0, r.time);
+    t1 = std::max(t1, r.time);
+  }
+  std::cout << '\n' << records.size() << " records, " << summaries.size()
+            << " PEs, time span " << harness::cell(t1 - t0, 2) << " s\n";
   return 0;
 }
 
@@ -282,8 +440,13 @@ int usage(std::ostream& os, int code) {
         "  optimize  --topology=FILE [--solver=primal|dual] [--csv]\n"
         "  simulate  --topology=FILE [--policy=aces|udp|lockstep|threshold]\n"
         "            [--duration --warmup --seed --timeseries=F --csv\n"
-        "             --detail]\n"
-        "  compare   --topology=FILE [--duration --warmup --seed --csv]\n";
+        "             --detail --trace=F.jsonl|F.csv]\n"
+        "  compare   --topology=FILE [--duration --warmup --seed --csv]\n"
+        "            [--runtime --timescale=5 --trace=F.jsonl|F.csv]\n"
+        "            (--runtime uses the threaded runtime; --trace writes\n"
+        "             one file per policy: F.<policy>.jsonl)\n"
+        "  trace-summary --in=F.jsonl [--tail=0.25 --tolerance=0.1 --csv]\n"
+        "            (per-PE settling time and oscillation amplitude)\n";
   return code;
 }
 
@@ -301,6 +464,7 @@ int main(int argc, char** argv) {
     if (command == "optimize") return cmd_optimize(flags);
     if (command == "simulate") return cmd_simulate(flags);
     if (command == "compare") return cmd_compare(flags);
+    if (command == "trace-summary") return cmd_trace_summary(flags);
     std::cerr << "unknown command: " << command << '\n';
     return usage(std::cerr, 2);
   } catch (const std::exception& e) {
