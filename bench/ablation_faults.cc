@@ -1,0 +1,163 @@
+// Ablation: graceful degradation under injected node crashes.
+//
+// Two nodes of the 60-PE / 10-node calibration topology crash mid-run and
+// restart 20 virtual seconds later. Two configurations face the same fault
+// schedule:
+//   ACES — full adaptive stack: LQR flow control, advert staleness timeout
+//          (dead consumers read as r_max = 0 upstream), and an event-driven
+//          tier-1 re-solve that excludes down nodes (optimize_excluding).
+//   UDP  — no-control baseline: static tier-1 plan, no flow feedback, no
+//          re-solve. Work keeps streaming into the dead nodes and drops.
+//
+// Measured: weighted throughput with and without the faults, and retention
+// (faulted / healthy). Expected: ACES retains strictly more weighted
+// throughput than UDP under the crash schedule — the degradation machinery
+// reroutes CPU to surviving nodes and stops upstream PEs from burning
+// cycles on SDOs that a dead node will discard.
+//
+// A second section demonstrates recovery: the post-restart trace of the
+// crashed nodes' PEs is fed through obs::summarize_trace, showing finite
+// settling times — a crashed-then-recovered node re-converges instead of
+// oscillating (the restart resets controller state, so the LQR loop
+// re-acquires its operating point from scratch).
+#include <algorithm>
+#include <cmath>
+#include <iostream>
+#include <vector>
+
+#include "fault/fault_spec.h"
+#include "harness/bench_options.h"
+#include "harness/defaults.h"
+#include "harness/experiment.h"
+#include "harness/table.h"
+#include "obs/trace.h"
+#include "obs/trace_summary.h"
+#include "opt/global_optimizer.h"
+#include "sim/stream_simulation.h"
+
+int main(int argc, char** argv) {
+  using namespace aces;
+  using control::FlowPolicy;
+
+  const harness::BenchOptions bench =
+      harness::parse_bench_options(argc, argv);
+
+  constexpr double kRestartAt = 50.0;
+  const fault::FaultSchedule faults = fault::parse_fault_spec(
+      "crash node=1 at=30 until=50; crash node=4 at=35 until=50");
+
+  std::cout << "=== Ablation: weighted-throughput retention under node "
+               "crashes ===\n"
+            << "60 PEs / 10 nodes; nodes 1 and 4 crash at t=30/35 s, both "
+               "restart at t=50 s\n"
+            << "ACES: staleness timeout 1 s + tier-1 re-solve on crash; "
+               "UDP: static plan, no control\n\n";
+
+  sim::SimOptions base = harness::default_sim_options();
+  base.duration = 80.0;
+  base.warmup = 10.0;
+  std::vector<std::uint64_t> seeds = {1, 2, 3};
+  bench.apply(base.duration, base.warmup, seeds);
+
+  auto run_policy = [&](const graph::ProcessingGraph& g,
+                        const opt::AllocationPlan& plan, FlowPolicy policy,
+                        std::uint64_t seed, bool faulted,
+                        obs::ControlTraceRecorder* trace) {
+    sim::SimOptions options = base;
+    options.seed = seed;
+    options.controller.policy = policy;
+    options.trace = trace;
+    if (faulted) options.faults = faults;
+    if (policy == FlowPolicy::kAces) {
+      // The adaptive stack: stale adverts clamp to zero, crashes trigger
+      // an immediate degraded re-solve (and periodic refresh thereafter).
+      options.controller.advert_staleness_timeout = 1.0;
+      options.reoptimize_interval = 5.0;
+    }
+    return harness::run_single(g, plan, options);
+  };
+
+  harness::Table table({"seed", "ACES ok", "ACES crash", "ACES ret",
+                        "UDP ok", "UDP crash", "UDP ret"});
+  double aces_crash_sum = 0.0, udp_crash_sum = 0.0;
+  double aces_ret_sum = 0.0, udp_ret_sum = 0.0;
+  for (const std::uint64_t seed : seeds) {
+    const graph::ProcessingGraph g =
+        generate_topology(harness::calibration_topology(), seed);
+    const opt::AllocationPlan plan = opt::optimize(g);
+    const harness::RunSummary aces_ok =
+        run_policy(g, plan, FlowPolicy::kAces, seed, false, nullptr);
+    const harness::RunSummary aces_crash =
+        run_policy(g, plan, FlowPolicy::kAces, seed, true, nullptr);
+    const harness::RunSummary udp_ok =
+        run_policy(g, plan, FlowPolicy::kUdp, seed, false, nullptr);
+    const harness::RunSummary udp_crash =
+        run_policy(g, plan, FlowPolicy::kUdp, seed, true, nullptr);
+    const double aces_ret =
+        aces_crash.weighted_throughput / aces_ok.weighted_throughput;
+    const double udp_ret =
+        udp_crash.weighted_throughput / udp_ok.weighted_throughput;
+    aces_crash_sum += aces_crash.weighted_throughput;
+    udp_crash_sum += udp_crash.weighted_throughput;
+    aces_ret_sum += aces_ret;
+    udp_ret_sum += udp_ret;
+    table.add_row({std::to_string(seed),
+                   harness::cell(aces_ok.weighted_throughput, 1),
+                   harness::cell(aces_crash.weighted_throughput, 1),
+                   harness::cell(aces_ret, 3),
+                   harness::cell(udp_ok.weighted_throughput, 1),
+                   harness::cell(udp_crash.weighted_throughput, 1),
+                   harness::cell(udp_ret, 3)});
+  }
+  harness::print_table(table, bench.csv, std::cout);
+  const double n = static_cast<double>(seeds.size());
+  std::cout << "\nmean under crash: ACES "
+            << harness::cell(aces_crash_sum / n, 1) << " vs UDP "
+            << harness::cell(udp_crash_sum / n, 1) << " weighted SDO/s"
+            << "  (retention " << harness::cell(aces_ret_sum / n, 3)
+            << " vs " << harness::cell(udp_ret_sum / n, 3) << ")\n"
+            << (aces_crash_sum > udp_crash_sum
+                    ? "PASS: ACES retains strictly more weighted throughput "
+                      "under the crash schedule\n"
+                    : "FAIL: ACES did not beat the no-control baseline "
+                      "under faults\n");
+
+  // --- Recovery: do the crashed nodes' controllers re-converge? ---------
+  std::cout << "\n=== Post-restart settling of the crashed nodes "
+               "(ACES, seed " << seeds.front() << ") ===\n"
+            << "trace restricted to t >= " << kRestartAt
+            << " s; settle times are relative to restart\n\n";
+  const graph::ProcessingGraph g =
+      generate_topology(harness::calibration_topology(), seeds.front());
+  const opt::AllocationPlan plan = opt::optimize(g);
+  obs::ControlTraceRecorder recorder;
+  run_policy(g, plan, FlowPolicy::kAces, seeds.front(), true, &recorder);
+  std::vector<obs::TickRecord> tail;
+  for (const obs::TickRecord& r : recorder.snapshot()) {
+    if (r.time >= kRestartAt && (r.node == 1 || r.node == 4)) {
+      obs::TickRecord shifted = r;
+      shifted.time -= kRestartAt;
+      tail.push_back(shifted);
+    }
+  }
+  harness::Table settle({"pe", "node", "settle s", "osc amp",
+                         "steady occ", "share mean"});
+  std::size_t settled = 0, total = 0;
+  for (const obs::PeTraceSummary& s : obs::summarize_trace(tail)) {
+    ++total;
+    if (std::isfinite(s.settling_time)) ++settled;
+    settle.add_row({"pe" + std::to_string(s.pe),
+                    "pn" + std::to_string(s.node),
+                    std::isfinite(s.settling_time)
+                        ? harness::cell(s.settling_time, 2)
+                        : std::string("never"),
+                    harness::cell(s.oscillation_amplitude, 2),
+                    harness::cell(s.steady_target, 1),
+                    harness::cell(s.share_mean, 3)});
+  }
+  harness::print_table(settle, bench.csv, std::cout);
+  std::cout << '\n' << settled << "/" << total
+            << " PEs on the recovered nodes settle to a steady occupancy "
+               "after restart\n";
+  return 0;
+}

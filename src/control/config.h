@@ -1,6 +1,7 @@
 // Tier-2 controller configuration shared by the simulator and the runtime.
 #pragma once
 
+#include "common/types.h"
 #include "control/lqr.h"
 
 namespace aces::control {
@@ -81,6 +82,12 @@ struct ControllerConfig {
   double threshold_low = 0.4;
   /// Water-filling weight source for ACES/Threshold (see CpuControlKind).
   CpuControlKind cpu_control = CpuControlKind::kOccupancyProportional;
+  /// Graceful degradation under failures: when > 0 and the freshest
+  /// downstream advertisement is older than this many seconds, the
+  /// controller treats the downstream r_max as zero — a silent (crashed or
+  /// partitioned) consumer must not be mistaken for an unconstrained one.
+  /// 0 disables the check (healthy-topology default).
+  Seconds advert_staleness_timeout = 0.0;
 };
 
 }  // namespace aces::control

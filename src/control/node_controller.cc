@@ -45,23 +45,33 @@ NodeController::NodeController(const graph::ProcessingGraph& graph,
                      config.threshold_low < config.threshold_high &&
                      config.threshold_high <= 1.0,
                  "require 0 < threshold_low < threshold_high <= 1");
-  const FlowGains gains =
-      design_flow_gains(config.feedback_delay_ticks, config.lqr);
+  ACES_CHECK_MSG(config.advert_staleness_timeout >= 0.0,
+                 "negative advertisement staleness timeout");
   const auto& pes = graph.pes_on_node(node);
   states_.reserve(pes.size());
-  for (PeId id : pes) {
-    const auto& d = graph.pe(id);
-    PeState s;
-    s.cpu_target = plan.at(id).cpu;
-    s.bucket = TokenBucket(s.cpu_target, config.bucket_depth_seconds);
-    s.flow = FlowController(gains,
-                            config.b0_fraction * d.buffer_capacity,
-                            config.rate_floor);
-    s.service_estimate = Ewma(config.service_ewma_alpha);
-    s.service_estimate.add(d.mean_service_time());  // prior: stationary mean
-    s.arrival_rate = Ewma(config.arrival_ewma_alpha);
-    s.prev_cpu_share = s.cpu_target;
-    states_.push_back(std::move(s));
+  for (PeId id : pes) states_.push_back(make_state(id, plan.at(id).cpu));
+}
+
+NodeController::PeState NodeController::make_state(PeId id,
+                                                   double cpu_target) const {
+  const auto& d = graph_->pe(id);
+  PeState s;
+  s.cpu_target = cpu_target;
+  s.bucket = TokenBucket(s.cpu_target, config_.bucket_depth_seconds);
+  s.flow = FlowController(
+      design_flow_gains(config_.feedback_delay_ticks, config_.lqr),
+      config_.b0_fraction * d.buffer_capacity, config_.rate_floor);
+  s.service_estimate = Ewma(config_.service_ewma_alpha);
+  s.service_estimate.add(d.mean_service_time());  // prior: stationary mean
+  s.arrival_rate = Ewma(config_.arrival_ewma_alpha);
+  s.prev_cpu_share = s.cpu_target;
+  return s;
+}
+
+void NodeController::reset_state() {
+  const auto& pes = local_pes();
+  for (std::size_t i = 0; i < pes.size(); ++i) {
+    states_[i] = make_state(pes[i], states_[i].cpu_target);
   }
 }
 
@@ -105,6 +115,18 @@ double NodeController::rho(const PeState& state, const PeTickInput& in,
       return in.processed_sdos / dt;
   }
   return 0.0;
+}
+
+double NodeController::effective_downstream_rmax(
+    const PeTickInput& in) const {
+  if (config_.advert_staleness_timeout > 0.0 &&
+      in.downstream_advert_age > config_.advert_staleness_timeout) {
+    // Every downstream consumer has gone silent past the timeout: assume
+    // they are dead and stop pushing output at them rather than integrating
+    // their last (now meaningless) advertisement.
+    return 0.0;
+  }
+  return in.downstream_rmax;
 }
 
 std::vector<PeTickOutput> NodeController::tick(
@@ -156,9 +178,10 @@ std::vector<PeTickOutput> NodeController::tick(
         cap = std::min(cap, work / dt);
         if (config_.policy != FlowPolicy::kLockStep) {
           // ACES / Threshold — Eq. 8: output rate bounded by the fastest
-          // downstream r_max.
-          if (std::isfinite(in.downstream_rmax) && d.selectivity > 0.0) {
-            const double input_bound = in.downstream_rmax / d.selectivity;
+          // downstream r_max, zero once all downstream adverts are stale.
+          const double down_rmax = effective_downstream_rmax(in);
+          if (std::isfinite(down_rmax) && d.selectivity > 0.0) {
+            const double input_bound = down_rmax / d.selectivity;
             cap = std::min(cap, input_bound * t_hat);
           }
           const double weight =

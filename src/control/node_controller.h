@@ -39,6 +39,11 @@ struct PeTickInput {
   /// this PE's *output*; +infinity for egress PEs or policies without
   /// advertisements.
   double downstream_rmax = std::numeric_limits<double>::infinity();
+  /// Seconds since the freshest downstream advertisement was (re)received.
+  /// 0 for egress PEs and for policies without advertisements. Compared
+  /// against ControllerConfig::advert_staleness_timeout: a stale value
+  /// means every downstream consumer has gone silent.
+  Seconds downstream_advert_age = 0.0;
   /// True when the transport reports this PE cannot emit (Lock-Step: some
   /// downstream buffer is full).
   bool output_blocked = false;
@@ -89,6 +94,13 @@ class NodeController {
   void set_capacity(double capacity);
   [[nodiscard]] double capacity() const { return capacity_; }
 
+  /// Rebuilds all per-PE controller state (token buckets, LQR history,
+  /// estimator EWMAs, hysteresis latches) while keeping the current tier-1
+  /// targets. Called when the hosting node recovers from a crash so the
+  /// restarted node starts from the same priors as a fresh boot instead of
+  /// pre-crash history.
+  void reset_state();
+
  private:
   struct PeState {
     double cpu_target = 0.0;
@@ -102,6 +114,10 @@ class NodeController {
 
   [[nodiscard]] double rho(const PeState& state, const PeTickInput& in,
                            Seconds dt) const;
+  [[nodiscard]] PeState make_state(PeId id, double cpu_target) const;
+  /// Downstream r_max after the staleness rule: zero once the freshest
+  /// advertisement is older than the configured timeout.
+  [[nodiscard]] double effective_downstream_rmax(const PeTickInput& in) const;
 
   const graph::ProcessingGraph* graph_;
   NodeId node_;

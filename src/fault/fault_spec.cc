@@ -1,0 +1,209 @@
+#include "fault/fault_spec.h"
+
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/check.h"
+#include "graph/processing_graph.h"
+
+namespace aces::fault {
+
+namespace {
+
+/// One clause split into its class name and key=value pairs.
+struct Clause {
+  std::string kind;
+  std::map<std::string, std::string> kv;
+  std::string text;  // original text, for error messages
+};
+
+[[noreturn]] void fail(const Clause& clause, const std::string& why) {
+  throw std::runtime_error("bad fault clause '" + clause.text + "': " + why);
+}
+
+double num(const Clause& clause, const std::string& key) {
+  const auto it = clause.kv.find(key);
+  if (it == clause.kv.end()) fail(clause, "missing " + key + "=");
+  try {
+    std::size_t pos = 0;
+    const double value = std::stod(it->second, &pos);
+    if (pos != it->second.size()) throw std::invalid_argument("trailing");
+    return value;
+  } catch (const std::exception&) {
+    fail(clause, "invalid number for " + key + "=: '" + it->second + "'");
+  }
+}
+
+double num_or(const Clause& clause, const std::string& key, double fallback) {
+  return clause.kv.contains(key) ? num(clause, key) : fallback;
+}
+
+std::uint32_t id(const Clause& clause, const std::string& key) {
+  const double value = num(clause, key);
+  if (value < 0.0 || value != static_cast<double>(
+                                  static_cast<std::uint32_t>(value))) {
+    fail(clause, key + "= must be a non-negative integer");
+  }
+  return static_cast<std::uint32_t>(value);
+}
+
+void expect_only(const Clause& clause,
+                 std::initializer_list<const char*> keys) {
+  for (const auto& [key, value] : clause.kv) {
+    bool known = false;
+    for (const char* k : keys) known = known || key == k;
+    if (!known) fail(clause, "unknown key '" + key + "='");
+  }
+}
+
+std::vector<Clause> tokenize(const std::string& spec) {
+  // Strip comments, then split clauses on ';' and newlines.
+  std::string clean;
+  bool comment = false;
+  for (const char c : spec) {
+    if (c == '#') comment = true;
+    if (c == '\n') comment = false;
+    clean.push_back(comment ? ' ' : (c == '\n' ? ';' : c));
+  }
+  std::vector<Clause> clauses;
+  std::stringstream stream(clean);
+  std::string text;
+  while (std::getline(stream, text, ';')) {
+    std::stringstream words(text);
+    Clause clause;
+    clause.text = text;
+    std::string word;
+    while (words >> word) {
+      if (clause.kind.empty()) {
+        clause.kind = word;
+        continue;
+      }
+      const auto eq = word.find('=');
+      if (eq == std::string::npos || eq == 0) {
+        fail(clause, "expected key=value, got '" + word + "'");
+      }
+      clause.kv[word.substr(0, eq)] = word.substr(eq + 1);
+    }
+    if (!clause.kind.empty()) clauses.push_back(std::move(clause));
+  }
+  return clauses;
+}
+
+}  // namespace
+
+FaultSchedule parse_fault_spec(const std::string& spec) {
+  FaultSchedule schedule;
+  for (const Clause& clause : tokenize(spec)) {
+    if (clause.kind == "crash") {
+      expect_only(clause, {"node", "at", "until"});
+      NodeCrash crash;
+      crash.node = NodeId(id(clause, "node"));
+      crash.at = num(clause, "at");
+      crash.until = num(clause, "until");
+      if (crash.until <= crash.at) fail(clause, "until= must exceed at=");
+      schedule.crashes.push_back(crash);
+    } else if (clause.kind == "stall") {
+      expect_only(clause, {"pe", "at", "for"});
+      PeStall stall;
+      stall.pe = PeId(id(clause, "pe"));
+      stall.at = num(clause, "at");
+      stall.duration = num(clause, "for");
+      if (stall.duration <= 0.0) fail(clause, "for= must be positive");
+      schedule.stalls.push_back(stall);
+    } else if (clause.kind == "advert_loss" || clause.kind == "advert_delay") {
+      expect_only(clause, {"pe", "from", "until", "prob", "delay"});
+      AdvertFault f;
+      f.pe = PeId(id(clause, "pe"));
+      f.from = num(clause, "from");
+      f.until = num(clause, "until");
+      f.loss_prob = num_or(clause, "prob",
+                           clause.kind == "advert_loss" ? 1.0 : 0.0);
+      f.delay = num_or(clause, "delay", 0.0);
+      if (f.until <= f.from) fail(clause, "until= must exceed from=");
+      if (f.loss_prob < 0.0 || f.loss_prob > 1.0) {
+        fail(clause, "prob= must be in [0,1]");
+      }
+      if (f.delay < 0.0) fail(clause, "delay= must be non-negative");
+      if (clause.kind == "advert_delay" && f.delay <= 0.0) {
+        fail(clause, "advert_delay needs delay= > 0");
+      }
+      schedule.advert_faults.push_back(f);
+    } else if (clause.kind == "drop") {
+      expect_only(clause, {"pe", "from", "until", "prob"});
+      DropBurst burst;
+      burst.pe = PeId(id(clause, "pe"));
+      burst.from = num(clause, "from");
+      burst.until = num(clause, "until");
+      burst.prob = num_or(clause, "prob", 1.0);
+      if (burst.until <= burst.from) fail(clause, "until= must exceed from=");
+      if (burst.prob < 0.0 || burst.prob > 1.0) {
+        fail(clause, "prob= must be in [0,1]");
+      }
+      schedule.drop_bursts.push_back(burst);
+    } else {
+      fail(clause, "unknown fault class '" + clause.kind +
+                       "' (crash|stall|advert_loss|advert_delay|drop)");
+    }
+  }
+  return schedule;
+}
+
+std::string to_string(const FaultSchedule& schedule) {
+  std::ostringstream os;
+  const char* sep = "";
+  for (const NodeCrash& c : schedule.crashes) {
+    os << sep << "crash node=" << c.node.value() << " at=" << c.at
+       << " until=" << c.until;
+    sep = "; ";
+  }
+  for (const PeStall& s : schedule.stalls) {
+    os << sep << "stall pe=" << s.pe.value() << " at=" << s.at
+       << " for=" << s.duration;
+    sep = "; ";
+  }
+  for (const AdvertFault& f : schedule.advert_faults) {
+    os << sep << "advert_loss pe=" << f.pe.value() << " from=" << f.from
+       << " until=" << f.until << " prob=" << f.loss_prob;
+    if (f.delay > 0.0) os << " delay=" << f.delay;
+    sep = "; ";
+  }
+  for (const DropBurst& b : schedule.drop_bursts) {
+    os << sep << "drop pe=" << b.pe.value() << " from=" << b.from
+       << " until=" << b.until << " prob=" << b.prob;
+    sep = "; ";
+  }
+  return os.str();
+}
+
+void validate(const FaultSchedule& schedule, const graph::ProcessingGraph& g) {
+  for (const NodeCrash& c : schedule.crashes) {
+    ACES_CHECK_MSG(c.node.valid() && c.node.value() < g.node_count(),
+                   "crash references unknown node " << c.node);
+    ACES_CHECK_MSG(c.until > c.at, "crash window must be non-empty");
+    ACES_CHECK_MSG(c.at >= 0.0, "crash time must be non-negative");
+  }
+  for (const PeStall& s : schedule.stalls) {
+    ACES_CHECK_MSG(s.pe.valid() && s.pe.value() < g.pe_count(),
+                   "stall references unknown PE " << s.pe);
+    ACES_CHECK_MSG(s.duration > 0.0, "stall duration must be positive");
+    ACES_CHECK_MSG(s.at >= 0.0, "stall time must be non-negative");
+  }
+  for (const AdvertFault& f : schedule.advert_faults) {
+    ACES_CHECK_MSG(f.pe.valid() && f.pe.value() < g.pe_count(),
+                   "advert fault references unknown PE " << f.pe);
+    ACES_CHECK_MSG(f.until > f.from, "advert fault window must be non-empty");
+    ACES_CHECK_MSG(f.loss_prob >= 0.0 && f.loss_prob <= 1.0,
+                   "advert loss probability out of [0,1]");
+    ACES_CHECK_MSG(f.delay >= 0.0, "negative advert delay");
+  }
+  for (const DropBurst& b : schedule.drop_bursts) {
+    ACES_CHECK_MSG(b.pe.valid() && b.pe.value() < g.pe_count(),
+                   "drop burst references unknown PE " << b.pe);
+    ACES_CHECK_MSG(b.until > b.from, "drop burst window must be non-empty");
+    ACES_CHECK_MSG(b.prob >= 0.0 && b.prob <= 1.0,
+                   "drop probability out of [0,1]");
+  }
+}
+
+}  // namespace aces::fault

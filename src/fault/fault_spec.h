@@ -1,0 +1,106 @@
+// Declarative fault schedules for the fault-injection subsystem.
+//
+// A FaultSchedule is pure data: a list of timed fault clauses covering the
+// failure modes an extreme-scale deployment actually sees — processing
+// nodes crashing and restarting, PEs stalling, control-plane advertisements
+// going missing or arriving late, and delivery drop bursts (buffer
+// corruption). fault::FaultInjector turns a schedule plus a seed into
+// deterministic run-time decisions; both substrates consume it at the
+// NodeController::tick() and delivery boundaries.
+//
+// Text grammar (parse_fault_spec): clauses separated by ';' or newlines,
+// each clause a class name followed by key=value pairs:
+//
+//   crash node=2 at=10 until=20
+//   stall pe=5 at=12 for=1.5
+//   advert_loss pe=3 from=10 until=20 prob=0.5
+//   advert_delay pe=3 from=10 until=20 delay=0.05
+//   drop pe=4 from=15 until=16 prob=1
+//
+// docs/fault_injection.md documents the grammar, each fault class, and the
+// controller response it is expected to provoke.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace aces::graph {
+class ProcessingGraph;
+}  // namespace aces::graph
+
+namespace aces::fault {
+
+/// A processing node crashes at `at` and restarts at `until`. While down it
+/// processes nothing, its controller is silent (no ticks, no
+/// advertisements), and deliveries addressed to it are lost. The crash
+/// loses everything in flight on the node; the restart re-admits it with
+/// drained buffers and reset controller state.
+struct NodeCrash {
+  Seconds at = 0.0;
+  Seconds until = 0.0;
+  NodeId node;
+};
+
+/// One PE stops processing for `duration` seconds (a wedged operator). Its
+/// node — and its controller — stay alive, so flow control observes the
+/// stall through the PE's occupancy and collapsing processing rate.
+struct PeStall {
+  Seconds at = 0.0;
+  Seconds duration = 0.0;
+  PeId pe;
+};
+
+/// Control-plane degradation on the advertisements PE `pe` sends upstream:
+/// each advertisement is lost with probability `loss_prob`, and survivors
+/// incur `delay` extra seconds of latency. Grammar classes `advert_loss`
+/// and `advert_delay` both map here.
+struct AdvertFault {
+  Seconds from = 0.0;
+  Seconds until = 0.0;
+  PeId pe;
+  double loss_prob = 0.0;
+  Seconds delay = 0.0;
+};
+
+/// Deliveries into PE `pe`'s input buffer are dropped with probability
+/// `prob` during the window (buffer corruption / lossy transport burst).
+struct DropBurst {
+  Seconds from = 0.0;
+  Seconds until = 0.0;
+  PeId pe;
+  double prob = 1.0;
+};
+
+struct FaultSchedule {
+  std::vector<NodeCrash> crashes;
+  std::vector<PeStall> stalls;
+  std::vector<AdvertFault> advert_faults;
+  std::vector<DropBurst> drop_bursts;
+
+  [[nodiscard]] bool empty() const {
+    return crashes.empty() && stalls.empty() && advert_faults.empty() &&
+           drop_bursts.empty();
+  }
+  [[nodiscard]] std::size_t size() const {
+    return crashes.size() + stalls.size() + advert_faults.size() +
+           drop_bursts.size();
+  }
+};
+
+/// Parses the text grammar above. Clauses may span multiple lines; '#'
+/// starts a comment running to end of line. Throws std::runtime_error with
+/// the offending clause on any syntax or range error.
+FaultSchedule parse_fault_spec(const std::string& spec);
+
+/// Canonical spec text for a schedule; parse_fault_spec(to_string(s))
+/// reproduces `s`.
+std::string to_string(const FaultSchedule& schedule);
+
+/// Checks every clause against a concrete graph (node/PE ids in range) and
+/// internal consistency (windows non-empty, probabilities in [0,1]).
+/// Throws CheckFailure on the first violation.
+void validate(const FaultSchedule& schedule, const graph::ProcessingGraph& g);
+
+}  // namespace aces::fault

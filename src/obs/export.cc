@@ -83,20 +83,22 @@ void write_trace_jsonl(std::ostream& os,
        << ",\"downstream_rmax\":" << json_number(r.downstream_rmax)
        << ",\"tokens\":" << number(r.token_fill)
        << ",\"blocked\":" << (r.output_blocked ? "true" : "false")
-       << ",\"drops\":" << r.dropped_total << "}\n";
+       << ",\"drops\":" << r.dropped_total
+       << ",\"fault\":" << static_cast<unsigned>(r.fault_flags) << "}\n";
   }
 }
 
 void write_trace_csv(std::ostream& os, const std::vector<TickRecord>& records) {
   os << "time,node,pe,buffer,arrived,processed,cpu_share,cpu_used,"
-        "advertised_rmax,downstream_rmax,tokens,blocked,drops\n";
+        "advertised_rmax,downstream_rmax,tokens,blocked,drops,fault\n";
   for (const TickRecord& r : records) {
     os << number(r.time) << ',' << r.node << ',' << r.pe << ','
        << number(r.buffer_occupancy) << ',' << number(r.arrived_sdos) << ','
        << number(r.processed_sdos) << ',' << number(r.cpu_share) << ','
        << number(r.cpu_seconds_used) << ',' << csv_number(r.advertised_rmax)
        << ',' << csv_number(r.downstream_rmax) << ',' << number(r.token_fill)
-       << ',' << (r.output_blocked ? 1 : 0) << ',' << r.dropped_total << '\n';
+       << ',' << (r.output_blocked ? 1 : 0) << ',' << r.dropped_total << ','
+       << static_cast<unsigned>(r.fault_flags) << '\n';
   }
 }
 
@@ -127,6 +129,9 @@ std::vector<TickRecord> read_trace_jsonl(std::istream& is) {
     r.token_fill = parse_double(find_raw(line, "tokens"), r.token_fill);
     r.output_blocked = find_raw(line, "blocked") == "true";
     r.dropped_total = parse_u64(find_raw(line, "drops"), r.dropped_total);
+    // "fault" is absent in pre-fault-subsystem traces; default 0 (healthy).
+    r.fault_flags =
+        static_cast<std::uint8_t>(parse_u64(find_raw(line, "fault"), 0));
     records.push_back(r);
   }
   return records;

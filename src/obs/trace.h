@@ -50,7 +50,16 @@ struct TickRecord {
   bool output_blocked = false;
   /// Cumulative SDOs lost at this PE's full input buffer since run start.
   std::uint64_t dropped_total = 0;
+  /// Bitwise OR of kFault* flags describing injected-fault conditions
+  /// active at this tick; 0 on healthy runs.
+  std::uint8_t fault_flags = 0;
 };
+
+/// TickRecord::fault_flags bit: the PE was held in an injected stall.
+inline constexpr std::uint8_t kFaultPeStalled = 1u << 0;
+/// TickRecord::fault_flags bit: every downstream advertisement had aged
+/// past the controller's staleness timeout at tick time.
+inline constexpr std::uint8_t kFaultAdvertStale = 1u << 1;
 
 /// Thread-safe append-only sink for TickRecords. Both substrates accept an
 /// optional (non-owned) recorder; the simulator writes from its single

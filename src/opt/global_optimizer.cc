@@ -154,6 +154,27 @@ AllocationPlan optimize(const graph::ProcessingGraph& g,
   return finalize_plan(g, best_cpu, config);
 }
 
+AllocationPlan optimize_excluding(const graph::ProcessingGraph& g,
+                                  const std::vector<NodeId>& failed,
+                                  const OptimizerConfig& config) {
+  if (failed.empty()) return optimize(g, config);
+  // Re-solve on a copy whose failed nodes have vanishing capacity. A true
+  // zero is disallowed by the graph invariants (and would divide water-
+  // filling weights by zero); epsilon capacity yields targets that round to
+  // nothing while keeping every projection well-defined.
+  graph::ProcessingGraph degraded = g;
+  for (NodeId node : failed) {
+    ACES_CHECK_MSG(node.valid() && node.value() < g.node_count(),
+                   "optimize_excluding: unknown node " << node);
+    degraded.node(node).cpu_capacity = 1e-6;
+  }
+  AllocationPlan plan = optimize(degraded, config);
+  for (NodeId node : failed) {
+    for (PeId id : g.pes_on_node(node)) plan.pe[id.value()].cpu = 0.0;
+  }
+  return plan;
+}
+
 AllocationPlan finalize_plan(const graph::ProcessingGraph& g,
                              const std::vector<double>& cpu,
                              const OptimizerConfig& config) {

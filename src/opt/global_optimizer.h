@@ -88,6 +88,17 @@ struct AllocationPlan {
 AllocationPlan optimize(const graph::ProcessingGraph& g,
                         const OptimizerConfig& config = {});
 
+/// Re-solves with the listed nodes treated as failed: their capacity is
+/// collapsed to (effectively) zero so their PEs receive no CPU and flows
+/// route around them, while surviving nodes absorb the redistributed
+/// utility. Targets for PEs on failed nodes come back ~0, which the tier-2
+/// controllers enforce as "do not schedule". An empty `failed` list is
+/// exactly optimize(). Used by the fault-degradation path when a node
+/// crash is detected mid-run.
+AllocationPlan optimize_excluding(const graph::ProcessingGraph& g,
+                                  const std::vector<NodeId>& failed,
+                                  const OptimizerConfig& config = {});
+
 /// Evaluates the fluid-model flow and utilities for a *given* vector of CPU
 /// targets (indexed by PeId). Used by tests (perturbation optimality checks)
 /// and by the allocation-error ablation bench.

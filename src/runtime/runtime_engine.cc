@@ -15,6 +15,7 @@
 #include "common/check.h"
 #include "common/rng.h"
 #include "control/node_controller.h"
+#include "fault/fault_injector.h"
 #include "metrics/collector.h"
 #include "obs/counters.h"
 #include "obs/scoped_timer.h"
@@ -87,6 +88,9 @@ struct PeRt {
   /// This PE's latest advertised r_max (its input, SDO/s). Written by its
   /// node's tick; read by upstream nodes — the control-plane mailbox.
   std::atomic<double> advert{kInf};
+  /// Virtual time the mailbox was last refreshed (run start counts as
+  /// fresh); drives the advertisement-staleness degradation rule.
+  std::atomic<Seconds> advert_time{0.0};
 
   workload::ServiceModel service;
   std::size_t egress_index = static_cast<std::size_t>(-1);
@@ -179,6 +183,12 @@ class Engine {
     source_inject_ =
         obs::make_counter(options.counters, "runtime.source.inject");
     source_drop_ = obs::make_counter(options.counters, "runtime.source.drop");
+
+    if (!options.faults.empty()) {
+      fault::validate(options.faults, g);
+      injector_ = std::make_unique<fault::FaultInjector>(
+          options.faults, options.seed, g.pe_count(), options.counters);
+    }
   }
 
   metrics::RunReport run() {
@@ -243,9 +253,24 @@ class Engine {
         std::clamp(virtual_seconds / options_.time_scale, 0.0, 0.01)));
   }
 
+  /// Injected loss on a delivery into PE `target`: its hosting node is down
+  /// or a drop burst eats it.
+  [[nodiscard]] bool fault_drops_delivery(std::size_t target, Seconds when) {
+    if (injector_ == nullptr) return false;
+    const PeId id(static_cast<PeId::value_type>(target));
+    return injector_->node_down(graph_.pe(id).node, when) ||
+           injector_->drop_delivery(id, when);
+  }
+
   /// Delivery leg shared by direct and bus-delayed sends: push or drop.
   void deliver(std::size_t target, Sdo sdo, Seconds when) {
     PeRt& t = *pes_[target];
+    if (fault_drops_delivery(target, when)) {
+      t.dropped.fetch_add(1, std::memory_order_relaxed);
+      channel_drop_.inc();
+      collector_.internal_drop(when);
+      return;
+    }
     if (t.input.try_push(sdo)) {
       t.pushed.fetch_add(1, std::memory_order_relaxed);
       channel_send_.inc();
@@ -263,6 +288,12 @@ class Engine {
     const std::size_t target = graph_.downstream(pe_id)[slot].value();
     if (policy_ == control::FlowPolicy::kLockStep) {
       PeRt& t = *pes_[target];
+      if (fault_drops_delivery(target, vnow)) {
+        t.dropped.fetch_add(1, std::memory_order_relaxed);
+        channel_drop_.inc();
+        collector_.internal_drop(vnow);
+        return true;  // lost, not blocked
+      }
       if (t.input.try_push(sdo)) {
         t.pushed.fetch_add(1, std::memory_order_relaxed);
         channel_send_.inc();
@@ -320,6 +351,13 @@ class Engine {
       const auto [slot, sdo] = pe.pending.front();
       const std::size_t target = graph_.downstream(pe_id)[slot].value();
       PeRt& t = *pes_[target];
+      if (fault_drops_delivery(target, virtual_now())) {
+        t.dropped.fetch_add(1, std::memory_order_relaxed);
+        channel_drop_.inc();
+        collector_.internal_drop(virtual_now());
+        pe.pending.pop_front();
+        continue;  // a dead consumer must not deadlock its producers
+      }
       if (!t.input.try_push(sdo)) return;
       t.pushed.fetch_add(1, std::memory_order_relaxed);
       channel_send_.inc();
@@ -345,16 +383,26 @@ class Engine {
       pe.pushed_at_last_tick = pushed;
       in.output_blocked = pe.blocked;
       const auto& downs = graph_.downstream(local[i]);
+      const Seconds staleness =
+          options_.controller.advert_staleness_timeout;
       if (downs.empty()) {
         in.downstream_rmax = kInf;
       } else {
         in.downstream_rmax = -kInf;
+        Seconds freshest = -kInf;
         for (PeId down : downs) {
-          in.downstream_rmax =
-              std::max(in.downstream_rmax,
-                       pes_[down.value()]->advert.load(
-                           std::memory_order_relaxed));
+          const PeRt& d = *pes_[down.value()];
+          const Seconds refreshed =
+              d.advert_time.load(std::memory_order_relaxed);
+          // Per-slot staleness: a consumer silent past the timeout reads
+          // as r_max = 0 in the Eq. 8 max.
+          const bool stale = staleness > 0.0 && vnow - refreshed > staleness;
+          in.downstream_rmax = std::max(
+              in.downstream_rmax,
+              stale ? 0.0 : d.advert.load(std::memory_order_relaxed));
+          freshest = std::max(freshest, refreshed);
         }
+        in.downstream_advert_age = vnow - freshest;
       }
     }
     std::vector<control::PeTickOutput> outputs;
@@ -380,6 +428,15 @@ class Engine {
         rec.token_fill = controller.tokens(i);
         rec.output_blocked = inputs[i].output_blocked;
         rec.dropped_total = pe.dropped.load(std::memory_order_relaxed);
+        if (injector_ != nullptr && injector_->pe_stalled(local[i], vnow)) {
+          rec.fault_flags |= obs::kFaultPeStalled;
+        }
+        if (options_.controller.advert_staleness_timeout > 0.0 &&
+            !graph_.downstream(local[i]).empty() &&
+            inputs[i].downstream_advert_age >
+                options_.controller.advert_staleness_timeout) {
+          rec.fault_flags |= obs::kFaultAdvertStale;
+        }
         options_.trace->record(rec);
       }
       collector_.cpu_used(vnow, pe.used_this_tick);
@@ -389,8 +446,35 @@ class Engine {
       pe.used_this_tick = 0.0;
       pe.processed_this_tick = 0.0;
       pe.share = outputs[i].cpu_share;
+      // Injected advertisement loss: skip the mailbox refresh entirely, so
+      // the stale value (and its timestamp) is what upstream peers see.
+      if (injector_ != nullptr && injector_->advert_lost(local[i], vnow))
+        continue;
       pe.advert.store(outputs[i].advertised_rmax, std::memory_order_relaxed);
+      pe.advert_time.store(vnow, std::memory_order_relaxed);
     }
+  }
+
+  /// The hosting node crashed: everything buffered, in service, or pending
+  /// on its PEs is lost. Runs on the node thread at the down transition.
+  void crash_local_pes(const std::vector<PeId>& local, Seconds vnow) {
+    std::uint64_t lost = 0;
+    for (PeId id : local) {
+      PeRt& pe = *pes_[id.value()];
+      std::uint64_t pe_lost = pe.busy ? 1 : 0;
+      pe_lost += pe.pending.size();
+      while (pe.input.try_pop()) ++pe_lost;
+      pe.busy = false;
+      pe.blocked = false;
+      pe.pending.clear();
+      pe.work_remaining = 0.0;
+      pe.share = 0.0;
+      pe.dropped.fetch_add(pe_lost, std::memory_order_relaxed);
+      for (std::uint64_t k = 0; k < pe_lost; ++k)
+        collector_.internal_drop(vnow);
+      lost += pe_lost;
+    }
+    injector_->note_node_crash(lost);
   }
 
   void node_main(std::size_t node_index) {
@@ -402,8 +486,41 @@ class Engine {
       sleep_virtual(tick_start - virtual_now());
     }
 
+    bool was_down = false;
+    std::vector<bool> was_stalled(local.size(), false);
     while (!stop_.load()) {
       Seconds vnow = virtual_now();
+
+      if (injector_ != nullptr) {
+        const bool is_down = injector_->node_down(controller.node(), vnow);
+        if (is_down && !was_down) crash_local_pes(local, vnow);
+        if (!is_down && was_down) {
+          // Recovery: factory-fresh controller state, drained channels
+          // (deliveries while down were dropped at the sender side), and a
+          // re-homed tick grid.
+          controller.reset_state();
+          for (PeId id : local) {
+            PeRt& pe = *pes_[id.value()];
+            while (pe.input.try_pop()) {
+            }
+            pe.pushed_at_last_tick =
+                pe.pushed.load(std::memory_order_relaxed);
+          }
+          tick_start = vnow;
+          injector_->note_node_restart();
+        }
+        was_down = is_down;
+        if (is_down) {
+          sleep_virtual(options_.dt);
+          continue;
+        }
+        for (std::size_t i = 0; i < local.size(); ++i) {
+          const bool stalled = injector_->pe_stalled(local[i], vnow);
+          if (stalled && !was_stalled[i]) injector_->note_pe_stall();
+          was_stalled[i] = stalled;
+        }
+      }
+
       if (vnow >= tick_start + options_.dt) {
         node_tick(node_index, vnow);
         tick_start += options_.dt;
@@ -418,6 +535,7 @@ class Engine {
       bool any_progress = false;
       for (std::size_t i = 0; i < local.size(); ++i) {
         PeRt& pe = *pes_[local[i].value()];
+        if (was_stalled[i]) continue;  // wedged operator: burns no CPU
         if (pe.blocked) {
           try_flush(pe, local[i]);
           if (pe.blocked) continue;
@@ -466,6 +584,13 @@ class Engine {
         continue;
       }
       PeRt& pe = *pes_[next->pe_index];
+      if (fault_drops_delivery(next->pe_index, vnow)) {
+        pe.dropped.fetch_add(1, std::memory_order_relaxed);
+        source_drop_.inc();
+        collector_.ingress_drop(next->next_arrival);
+        next->next_arrival += next->process->next_interarrival();
+        continue;
+      }
       if (pe.input.try_push(Sdo{next->next_arrival})) {
         pe.pushed.fetch_add(1, std::memory_order_relaxed);
         source_inject_.inc();
@@ -497,6 +622,8 @@ class Engine {
   obs::Counter bus_deliver_;
   obs::Counter source_inject_;
   obs::Counter source_drop_;
+  /// Non-null iff RuntimeOptions::faults is non-empty.
+  std::unique_ptr<fault::FaultInjector> injector_;
 };
 
 }  // namespace

@@ -23,6 +23,7 @@
 
 #include "common/rng.h"
 #include "control/config.h"
+#include "fault/fault_spec.h"
 #include "graph/processing_graph.h"
 #include "metrics/run_report.h"
 #include "opt/global_optimizer.h"
@@ -69,6 +70,14 @@ struct RuntimeOptions {
   /// disables — the hot-path cost of the disabled handles is a nullptr
   /// test. Snapshot it at any instant while the run is live.
   obs::CounterRegistry* counters = nullptr;
+  /// Declarative fault schedule executed by a seeded fault::FaultInjector
+  /// (same contract as sim::SimOptions::faults). Windows are evaluated
+  /// against virtual time. The threaded runtime is nondeterministic, so
+  /// unlike the simulator, fault *consequences* vary run to run; the
+  /// windows themselves do not. Advertisement *delay* clauses are a
+  /// simulator-only feature (the runtime's mailbox control plane has no
+  /// delay stage) — their loss probability still applies here.
+  fault::FaultSchedule faults;
 };
 
 /// Runs the graph on the threaded runtime and reports the same metrics the

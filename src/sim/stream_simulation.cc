@@ -10,6 +10,7 @@
 #include "common/check.h"
 #include "common/rng.h"
 #include "control/node_controller.h"
+#include "fault/fault_injector.h"
 #include "metrics/collector.h"
 #include "obs/scoped_timer.h"
 #include "obs/trace.h"
@@ -39,7 +40,10 @@ struct StreamSimulation::Impl {
     int reserved = 0;  // Lock-Step in-flight slot reservations
     bool busy = false;
     bool blocked = false;  // Lock-Step: sleeping on a full downstream buffer
-    bool disabled = false;  // failure injection (PeOutage)
+    // Failure-injection depth: > 0 while any outage, stall, or node crash
+    // holds this PE inert. A counter, not a flag, so overlapping windows
+    // nest instead of clobbering each other.
+    int disabled = 0;
     Sdo current{};
     double work_remaining = 0.0;  // CPU-seconds left on `current`
     Seconds last_progress = 0.0;
@@ -64,6 +68,9 @@ struct StreamSimulation::Impl {
     /// Latest advertisement received from each downstream PE, aligned with
     /// graph.downstream(id); +inf until the first advertisement lands.
     std::vector<double> downstream_advert;
+    /// When each downstream_advert slot was last refreshed (run start counts
+    /// as fresh). Drives the advertisement-staleness degradation rule.
+    std::vector<Seconds> downstream_advert_time;
     /// For propagating this PE's advertisement: (upstream PE index, slot in
     /// that PE's downstream_advert).
     std::vector<std::pair<std::size_t, std::size_t>> upstream_slots;
@@ -105,6 +112,7 @@ struct StreamSimulation::Impl {
       PeRt rt(id, std::move(service));
       rt.share = plan.at(id).cpu;
       rt.downstream_advert.assign(graph.downstream(id).size(), kInf);
+      rt.downstream_advert_time.assign(graph.downstream(id).size(), 0.0);
       if (d.kind == graph::PeKind::kEgress) rt.egress_index = egress_counter++;
       pes.push_back(std::move(rt));
     }
@@ -208,15 +216,40 @@ struct StreamSimulation::Impl {
       simulator.schedule_at(outage.from, [this, outage] {
         PeRt& pe = pes[outage.pe.value()];
         progress(pe);
-        pe.disabled = true;
+        ++pe.disabled;
         pe.share = 0.0;  // halts the in-flight SDO; work resumes on recovery
         ++pe.epoch;
       });
       simulator.schedule_at(outage.until, [this, outage] {
         PeRt& pe = pes[outage.pe.value()];
-        pe.disabled = false;
+        --pe.disabled;
         // Shares return at the node's next tick; restart service then.
       });
+    }
+
+    // Declarative fault schedule (fault::FaultInjector).
+    if (!opt.faults.empty()) {
+      fault::validate(opt.faults, graph);
+      injector = std::make_unique<fault::FaultInjector>(
+          opt.faults, opt.seed, graph.pe_count(), opt.counters);
+      node_down.assign(graph.node_count(), 0);
+      for (const fault::NodeCrash& c : opt.faults.crashes) {
+        simulator.schedule_at(c.at, [this, c] { crash_node(c.node); });
+        simulator.schedule_at(c.until, [this, c] { restart_node(c.node); });
+      }
+      for (const fault::PeStall& s : opt.faults.stalls) {
+        simulator.schedule_at(s.at, [this, s] {
+          PeRt& pe = pes[s.pe.value()];
+          progress(pe);
+          ++pe.disabled;
+          pe.share = 0.0;
+          ++pe.epoch;
+          injector->note_pe_stall();
+        });
+        simulator.schedule_at(s.at + s.duration, [this, s] {
+          --pes[s.pe.value()].disabled;
+        });
+      }
     }
 
     // Periodic tier-1 re-optimization (paper §V: the first tier runs
@@ -258,14 +291,80 @@ struct StreamSimulation::Impl {
       total_capacity += graph.node(n).cpu_capacity;
   }
 
-  void reoptimize() {
+  [[nodiscard]] bool down(std::size_t node_index) const {
+    return node_index < node_down.size() && node_down[node_index] > 0;
+  }
+
+  [[nodiscard]] std::vector<NodeId> down_nodes() const {
+    std::vector<NodeId> failed;
+    for (std::size_t n = 0; n < node_down.size(); ++n) {
+      if (node_down[n] > 0)
+        failed.push_back(NodeId(static_cast<NodeId::value_type>(n)));
+    }
+    return failed;
+  }
+
+  /// A node crashes: everything buffered, in service, or pending on it is
+  /// lost, its PEs go inert, and — with tier 1 active — the global plan is
+  /// re-solved without it so survivors inherit its utility.
+  void crash_node(NodeId node) {
+    if (++node_down[node.value()] > 1) return;  // nested crash window
+    const Seconds now = simulator.now();
+    std::uint64_t lost = 0;
+    for (PeId id : graph.pes_on_node(node)) {
+      PeRt& pe = pes[id.value()];
+      progress(pe);
+      const std::uint64_t pe_lost =
+          pe.buffer.size() + (pe.busy ? 1 : 0) + pe.pending.size();
+      lost += pe_lost;
+      pe.lifetime_dropped += pe_lost;
+      for (std::uint64_t k = 0; k < pe_lost; ++k)
+        collector.on_internal_drop(now);
+      pe.buffer.clear();
+      pe.pending.clear();
+      pe.busy = false;
+      pe.blocked = false;
+      pe.work_remaining = 0.0;
+      pe.share = 0.0;
+      ++pe.disabled;
+      ++pe.epoch;
+    }
+    injector->note_node_crash(lost);
+    // Lock-Step senders sleeping on this node's buffers may resume; their
+    // sends will be dropped at delivery while the node is down.
+    for (PeId id : graph.pes_on_node(node)) wake_upstream(pes[id.value()]);
+    if (options.reoptimize_interval > 0.0) solve_and_push();
+  }
+
+  /// The crashed node returns with drained buffers and factory-fresh
+  /// controller state, and tier 1 folds it back into the plan.
+  void restart_node(NodeId node) {
+    if (--node_down[node.value()] > 0) return;
+    for (PeId id : graph.pes_on_node(node)) {
+      PeRt& pe = pes[id.value()];
+      --pe.disabled;
+      ++pe.epoch;
+      pe.last_progress = simulator.now();
+    }
+    controllers[node.value()].reset_state();
+    injector->note_node_restart();
+    if (options.reoptimize_interval > 0.0) solve_and_push();
+  }
+
+  /// One tier-1 solve (excluding currently-down nodes) pushed to every
+  /// controller.
+  void solve_and_push() {
     opt::AllocationPlan plan;
     {
       obs::ScopedTimer timer(options.profiler, obs::kPhaseOptimizerSolve);
-      plan = opt::optimize(graph, options.optimizer);
+      plan = opt::optimize_excluding(graph, down_nodes(), options.optimizer);
     }
     for (auto& controller : controllers) controller.set_plan(plan);
     ++reoptimization_count;
+  }
+
+  void reoptimize() {
+    solve_and_push();
     simulator.schedule_in(options.reoptimize_interval,
                           [this] { reoptimize(); });
   }
@@ -392,8 +491,21 @@ struct StreamSimulation::Impl {
                           [this, target, sdo] { deliver(target, sdo); });
   }
 
+  /// Injected loss on a delivery into `pe`: the hosting node is down, or a
+  /// drop burst eats it. Counts as an internal drop either way.
+  [[nodiscard]] bool fault_drops_delivery(PeRt& pe) {
+    if (injector == nullptr) return false;
+    return down(graph.pe(pe.id).node.value()) ||
+           injector->drop_delivery(pe.id, simulator.now());
+  }
+
   void deliver(std::size_t target, Sdo sdo) {
     PeRt& pe = pes[target];
+    if (fault_drops_delivery(pe)) {
+      ++pe.lifetime_dropped;
+      collector.on_internal_drop(simulator.now());
+      return;
+    }
     if (static_cast<int>(pe.buffer.size()) >=
         graph.pe(pe.id).buffer_capacity) {
       ++pe.lifetime_dropped;
@@ -410,6 +522,11 @@ struct StreamSimulation::Impl {
     PeRt& pe = pes[target];
     --pe.reserved;
     ACES_CHECK_MSG(pe.reserved >= 0, "reservation accounting underflow");
+    if (fault_drops_delivery(pe)) {
+      ++pe.lifetime_dropped;
+      collector.on_internal_drop(simulator.now());
+      return;
+    }
     pe.buffer.push_back(sdo);
     pe.arrived += 1.0;
     ++pe.lifetime_arrived;
@@ -444,6 +561,15 @@ struct StreamSimulation::Impl {
   void source_arrival(std::size_t source_index) {
     Source& src = sources[source_index];
     PeRt& pe = pes[src.pe_index];
+    if (fault_drops_delivery(pe)) {
+      ++pe.lifetime_dropped;
+      collector.on_ingress_drop(simulator.now());
+      simulator.schedule_in(src.process->next_interarrival(),
+                            [this, source_index] {
+                              source_arrival(source_index);
+                            });
+      return;
+    }
     const bool full =
         policy == control::FlowPolicy::kLockStep
             ? !has_space_for_send(pe)
@@ -467,6 +593,15 @@ struct StreamSimulation::Impl {
     control::NodeController& controller = controllers[node_index];
     const auto& local = controller.local_pes();
 
+    // A crashed node's controller is dead air: no ticks, no advertisements
+    // (upstream peers watch ours go stale), just the eventual restart.
+    if (down(node_index)) {
+      simulator.schedule_in(options.dt,
+                            [this, node_index] { node_tick(node_index); });
+      return;
+    }
+
+    const Seconds staleness = options.controller.advert_staleness_timeout;
     std::vector<control::PeTickInput> inputs(local.size());
     for (std::size_t i = 0; i < local.size(); ++i) {
       PeRt& pe = pes[local[i].value()];
@@ -481,8 +616,19 @@ struct StreamSimulation::Impl {
       if (pe.downstream_advert.empty()) {
         in.downstream_rmax = kInf;  // egress: unconstrained (Eq. 8 vacuous)
       } else {
-        for (double advert : pe.downstream_advert)
-          in.downstream_rmax = std::max(in.downstream_rmax, advert);
+        Seconds freshest = -kInf;
+        for (std::size_t slot = 0; slot < pe.downstream_advert.size();
+             ++slot) {
+          // Per-slot staleness: a consumer silent past the timeout reads as
+          // r_max = 0 in the Eq. 8 max, so one live consumer still governs.
+          const bool stale =
+              staleness > 0.0 &&
+              now - pe.downstream_advert_time[slot] > staleness;
+          in.downstream_rmax = std::max(
+              in.downstream_rmax, stale ? 0.0 : pe.downstream_advert[slot]);
+          freshest = std::max(freshest, pe.downstream_advert_time[slot]);
+        }
+        in.downstream_advert_age = now - freshest;
       }
     }
 
@@ -510,6 +656,13 @@ struct StreamSimulation::Impl {
         rec.token_fill = controller.tokens(i);
         rec.output_blocked = inputs[i].output_blocked;
         rec.dropped_total = pe.lifetime_dropped;
+        if (injector != nullptr && injector->pe_stalled(pe.id, now)) {
+          rec.fault_flags |= obs::kFaultPeStalled;
+        }
+        if (staleness > 0.0 && !pe.downstream_advert.empty() &&
+            inputs[i].downstream_advert_age > staleness) {
+          rec.fault_flags |= obs::kFaultAdvertStale;
+        }
         options.trace->record(rec);
       }
       collector.on_cpu_used(now, pe.cpu_used);
@@ -535,10 +688,20 @@ struct StreamSimulation::Impl {
       // upstream would never resume).
       if (control::uses_flow_control(policy)) {
         const double rmax = outputs[i].advertised_rmax;
+        // Injected control-plane degradation: the advertisement this PE
+        // emits at this tick is lost as one event (all upstream copies), or
+        // delayed on top of the transport latency.
+        Seconds extra_latency = 0.0;
+        if (injector != nullptr && !pe.upstream_slots.empty()) {
+          if (injector->advert_lost(pe.id, now)) continue;
+          extra_latency = injector->advert_delay(pe.id, now);
+        }
         for (const auto& [up_index, slot] : pe.upstream_slots) {
-          const Seconds latency = transport_latency(pe.index, up_index);
+          const Seconds latency =
+              transport_latency(pe.index, up_index) + extra_latency;
           simulator.schedule_in(latency, [this, up_index, slot, rmax] {
             pes[up_index].downstream_advert[slot] = rmax;
+            pes[up_index].downstream_advert_time[slot] = simulator.now();
           });
         }
       }
@@ -563,6 +726,10 @@ struct StreamSimulation::Impl {
   metrics::TimeSeriesSet trajectories;
   Rng change_rng;
   int reoptimization_count = 0;
+  /// Non-null iff SimOptions::faults is non-empty.
+  std::unique_ptr<fault::FaultInjector> injector;
+  /// Crash-window nesting depth per node; sized only when faults are active.
+  std::vector<int> node_down;
 };
 
 StreamSimulation::StreamSimulation(const graph::ProcessingGraph& graph,

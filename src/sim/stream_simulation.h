@@ -29,6 +29,7 @@
 #include "common/rng.h"
 #include "common/types.h"
 #include "control/config.h"
+#include "fault/fault_spec.h"
 #include "graph/processing_graph.h"
 #include "metrics/run_report.h"
 #include "metrics/timeseries.h"
@@ -37,6 +38,7 @@
 
 namespace aces::obs {
 class ControlTraceRecorder;
+class CounterRegistry;
 class PhaseProfiler;
 }  // namespace aces::obs
 
@@ -130,6 +132,16 @@ struct SimOptions {
   /// Optional self-profiling sink for controller-tick and optimizer-solve
   /// durations. Not owned; null disables (no clock reads).
   obs::PhaseProfiler* profiler = nullptr;
+  /// Declarative fault schedule (node crashes, PE stalls, advertisement
+  /// loss/delay, delivery drop bursts), executed by a seeded
+  /// fault::FaultInjector. Empty (the default) injects nothing. Same seed +
+  /// schedule reproduces the same faults bit-for-bit. Node crashes trigger
+  /// an immediate tier-1 re-solve excluding the down nodes when
+  /// `reoptimize_interval` > 0.
+  fault::FaultSchedule faults;
+  /// Optional counter sink for fault.* event counts (and parity with the
+  /// runtime's counter option). Not owned; null disables.
+  obs::CounterRegistry* counters = nullptr;
 };
 
 /// Lifetime accounting for one PE (conservation analysis in tests).

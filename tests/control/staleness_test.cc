@@ -1,0 +1,150 @@
+// The graceful-degradation staleness rule at the controller boundary: a
+// downstream advertisement that has aged past advert_staleness_timeout is
+// treated as r_max = 0, so the PE's CPU share collapses and its own
+// advertisement follows — a silent consumer must not be mistaken for an
+// unconstrained one.
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "control/node_controller.h"
+#include "graph/processing_graph.h"
+#include "opt/global_optimizer.h"
+
+namespace aces::control {
+namespace {
+
+/// ingress → middle → egress, one PE per node; the controller under test
+/// hosts `middle`, whose downstream advertisement we age artificially.
+struct Chain {
+  graph::ProcessingGraph g;
+  PeId ingress, middle, egress;
+  NodeId middle_node;
+
+  Chain() {
+    const NodeId n0 = g.add_node();
+    middle_node = g.add_node();
+    const NodeId n2 = g.add_node();
+    const StreamId s = g.add_stream({100.0, 0.0, "feed"});
+    graph::PeDescriptor d;
+    d.kind = graph::PeKind::kIngress;
+    d.node = n0;
+    d.input_stream = s;
+    ingress = g.add_pe(d);
+    d = {};
+    d.kind = graph::PeKind::kIntermediate;
+    d.node = middle_node;
+    middle = g.add_pe(d);
+    d = {};
+    d.kind = graph::PeKind::kEgress;
+    d.node = n2;
+    egress = g.add_pe(d);
+    g.add_edge(ingress, middle);
+    g.add_edge(middle, egress);
+  }
+};
+
+/// Steady observation at the buffer set-point (b0 = capacity/2) with a
+/// live-looking downstream advertisement; only the age varies per test.
+PeTickInput steady_input(const Chain& chain, Seconds age) {
+  PeTickInput in;
+  in.buffer_occupancy =
+      0.5 * chain.g.pe(chain.middle).buffer_capacity;  // at b0
+  in.arrived_sdos = 1.0;
+  in.downstream_rmax = 50.0;
+  in.downstream_advert_age = age;
+  return in;
+}
+
+TEST(StalenessTest, StaleAdvertClampsShareAndAdvertisementToZero) {
+  Chain chain;
+  const auto plan = opt::optimize(chain.g);
+  ControllerConfig config;
+  config.policy = FlowPolicy::kAces;
+  config.advert_staleness_timeout = 1.0;
+  NodeController controller(chain.g, chain.middle_node, plan, config);
+
+  constexpr Seconds dt = 0.1;
+  std::vector<PeTickOutput> out;
+  for (int i = 0; i < 20; ++i) {
+    out = controller.tick(dt, {steady_input(chain, /*age=*/5.0)});
+    // Eq. 8 with a dead downstream: output rate bound 0 → no CPU at all.
+    EXPECT_DOUBLE_EQ(out[0].cpu_share, 0.0) << "tick " << i;
+  }
+  // With zero processing capacity the LQR advertisement offers upstream
+  // nothing either: the clamp propagates up the chain within the timeout.
+  EXPECT_NEAR(out[0].advertised_rmax, 0.0, 1e-9);
+}
+
+TEST(StalenessTest, FreshAdvertKeepsTheSameInputsFlowing) {
+  Chain chain;
+  const auto plan = opt::optimize(chain.g);
+  ControllerConfig config;
+  config.policy = FlowPolicy::kAces;
+  config.advert_staleness_timeout = 1.0;
+  NodeController controller(chain.g, chain.middle_node, plan, config);
+
+  constexpr Seconds dt = 0.1;
+  std::vector<PeTickOutput> out;
+  for (int i = 0; i < 20; ++i) {
+    // Same observation, but the advert was refreshed within the timeout.
+    out = controller.tick(dt, {steady_input(chain, /*age=*/0.2)});
+  }
+  EXPECT_GT(out[0].cpu_share, 0.0);
+  EXPECT_GT(out[0].advertised_rmax, 1.0);
+}
+
+TEST(StalenessTest, ZeroTimeoutDisablesTheRule) {
+  Chain chain;
+  const auto plan = opt::optimize(chain.g);
+  ControllerConfig config;
+  config.policy = FlowPolicy::kAces;
+  config.advert_staleness_timeout = 0.0;  // pre-fault default behaviour
+  NodeController controller(chain.g, chain.middle_node, plan, config);
+
+  constexpr Seconds dt = 0.1;
+  std::vector<PeTickOutput> out;
+  for (int i = 0; i < 20; ++i) {
+    out = controller.tick(dt, {steady_input(chain, /*age=*/1e9)});
+  }
+  EXPECT_GT(out[0].cpu_share, 0.0);
+  EXPECT_GT(out[0].advertised_rmax, 1.0);
+}
+
+TEST(StalenessTest, NegativeTimeoutIsRejected) {
+  Chain chain;
+  const auto plan = opt::optimize(chain.g);
+  ControllerConfig config;
+  config.advert_staleness_timeout = -0.5;
+  EXPECT_THROW(
+      NodeController(chain.g, chain.middle_node, plan, config),
+      CheckFailure);
+}
+
+TEST(StalenessTest, ResetStateRebuildsFromBootPriors) {
+  // After a crash the substrate calls reset_state(); the controller must
+  // behave like a fresh boot (same first-tick outputs), not resume from
+  // pre-crash history.
+  Chain chain;
+  const auto plan = opt::optimize(chain.g);
+  ControllerConfig config;
+  config.policy = FlowPolicy::kAces;
+  NodeController warmed(chain.g, chain.middle_node, plan, config);
+  constexpr Seconds dt = 0.1;
+  for (int i = 0; i < 30; ++i) {
+    PeTickInput in = steady_input(chain, 0.0);
+    in.buffer_occupancy = 45.0;  // drive the estimators off their priors
+    in.processed_sdos = 3.0;
+    in.cpu_seconds_used = 0.09;
+    (void)warmed.tick(dt, {in});
+  }
+  warmed.reset_state();
+  NodeController fresh(chain.g, chain.middle_node, plan, config);
+
+  const auto a = warmed.tick(dt, {steady_input(chain, 0.0)});
+  const auto b = fresh.tick(dt, {steady_input(chain, 0.0)});
+  EXPECT_DOUBLE_EQ(a[0].cpu_share, b[0].cpu_share);
+  EXPECT_DOUBLE_EQ(a[0].advertised_rmax, b[0].advertised_rmax);
+}
+
+}  // namespace
+}  // namespace aces::control

@@ -1,0 +1,129 @@
+// Grammar tests for the declarative fault-schedule parser: every clause
+// class, defaults, comments, the to_string round trip, and the error
+// surface (each malformed clause must be rejected with a useful message,
+// not silently absorbed).
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "common/check.h"
+#include "fault/fault_spec.h"
+#include "graph/topology_generator.h"
+
+namespace aces::fault {
+namespace {
+
+TEST(FaultSpecTest, ParsesEveryClauseClass) {
+  const FaultSchedule s = parse_fault_spec(
+      "crash node=2 at=10 until=20; stall pe=5 at=12 for=1.5;"
+      "advert_loss pe=3 from=10 until=20 prob=0.5;"
+      "advert_delay pe=3 from=10 until=20 delay=0.05;"
+      "drop pe=4 from=15 until=16 prob=0.25");
+  ASSERT_EQ(s.crashes.size(), 1u);
+  EXPECT_EQ(s.crashes[0].node, NodeId(2));
+  EXPECT_DOUBLE_EQ(s.crashes[0].at, 10.0);
+  EXPECT_DOUBLE_EQ(s.crashes[0].until, 20.0);
+  ASSERT_EQ(s.stalls.size(), 1u);
+  EXPECT_EQ(s.stalls[0].pe, PeId(5));
+  EXPECT_DOUBLE_EQ(s.stalls[0].at, 12.0);
+  EXPECT_DOUBLE_EQ(s.stalls[0].duration, 1.5);
+  ASSERT_EQ(s.advert_faults.size(), 2u);
+  EXPECT_DOUBLE_EQ(s.advert_faults[0].loss_prob, 0.5);
+  EXPECT_DOUBLE_EQ(s.advert_faults[0].delay, 0.0);
+  EXPECT_DOUBLE_EQ(s.advert_faults[1].loss_prob, 0.0);
+  EXPECT_DOUBLE_EQ(s.advert_faults[1].delay, 0.05);
+  ASSERT_EQ(s.drop_bursts.size(), 1u);
+  EXPECT_EQ(s.drop_bursts[0].pe, PeId(4));
+  EXPECT_DOUBLE_EQ(s.drop_bursts[0].prob, 0.25);
+  EXPECT_EQ(s.size(), 5u);
+  EXPECT_FALSE(s.empty());
+}
+
+TEST(FaultSpecTest, DefaultsCommentsAndNewlines) {
+  const FaultSchedule s = parse_fault_spec(
+      "# the consumer loses its control plane entirely\n"
+      "advert_loss pe=1 from=0 until=5\n"
+      "drop pe=2 from=1 until=2  # certain loss\n"
+      ";;\n");
+  ASSERT_EQ(s.advert_faults.size(), 1u);
+  EXPECT_DOUBLE_EQ(s.advert_faults[0].loss_prob, 1.0);  // default certain
+  ASSERT_EQ(s.drop_bursts.size(), 1u);
+  EXPECT_DOUBLE_EQ(s.drop_bursts[0].prob, 1.0);  // default certain
+
+  EXPECT_TRUE(parse_fault_spec("").empty());
+  EXPECT_TRUE(parse_fault_spec("  # nothing but commentary\n;").empty());
+}
+
+TEST(FaultSpecTest, RoundTripsThroughToString) {
+  const FaultSchedule s = parse_fault_spec(
+      "crash node=2 at=10 until=20; stall pe=5 at=12 for=1.5;"
+      "advert_loss pe=3 from=10 until=20 prob=0.5;"
+      "advert_delay pe=3 from=10 until=20 delay=0.05;"
+      "drop pe=4 from=15 until=16");
+  const FaultSchedule back = parse_fault_spec(to_string(s));
+  ASSERT_EQ(back.size(), s.size());
+  EXPECT_EQ(back.crashes[0].node, s.crashes[0].node);
+  EXPECT_DOUBLE_EQ(back.crashes[0].at, s.crashes[0].at);
+  EXPECT_DOUBLE_EQ(back.crashes[0].until, s.crashes[0].until);
+  EXPECT_DOUBLE_EQ(back.stalls[0].duration, s.stalls[0].duration);
+  ASSERT_EQ(back.advert_faults.size(), 2u);
+  EXPECT_DOUBLE_EQ(back.advert_faults[0].loss_prob,
+                   s.advert_faults[0].loss_prob);
+  EXPECT_DOUBLE_EQ(back.advert_faults[1].delay, s.advert_faults[1].delay);
+  EXPECT_DOUBLE_EQ(back.drop_bursts[0].prob, s.drop_bursts[0].prob);
+}
+
+TEST(FaultSpecTest, RejectsMalformedClauses) {
+  // Unknown class.
+  EXPECT_THROW(parse_fault_spec("frobnicate pe=1"), std::runtime_error);
+  // Empty window.
+  EXPECT_THROW(parse_fault_spec("crash node=1 at=5 until=5"),
+               std::runtime_error);
+  EXPECT_THROW(parse_fault_spec("stall pe=1 at=0 for=0"),
+               std::runtime_error);
+  // Ids must be non-negative integers.
+  EXPECT_THROW(parse_fault_spec("crash node=-1 at=0 until=1"),
+               std::runtime_error);
+  EXPECT_THROW(parse_fault_spec("stall pe=1.5 at=0 for=1"),
+               std::runtime_error);
+  // Unknown key must not be silently ignored.
+  EXPECT_THROW(parse_fault_spec("crash node=1 at=0 until=2 bogus=3"),
+               std::runtime_error);
+  // Missing required keys.
+  EXPECT_THROW(parse_fault_spec("crash at=0 until=2"), std::runtime_error);
+  EXPECT_THROW(parse_fault_spec("advert_delay pe=1 from=0 until=1"),
+               std::runtime_error);
+  // Probabilities stay in [0, 1].
+  EXPECT_THROW(parse_fault_spec("advert_loss pe=1 from=0 until=1 prob=1.5"),
+               std::runtime_error);
+  EXPECT_THROW(parse_fault_spec("drop pe=1 from=0 until=1 prob=-0.1"),
+               std::runtime_error);
+  // Malformed numbers.
+  EXPECT_THROW(parse_fault_spec("drop pe=x from=0 until=1"),
+               std::runtime_error);
+  EXPECT_THROW(parse_fault_spec("crash node=1 at=0sec until=2"),
+               std::runtime_error);
+}
+
+TEST(FaultSpecTest, ValidateChecksIdsAgainstTheGraph) {
+  graph::TopologyParams params;
+  params.num_nodes = 3;
+  params.num_ingress = 3;
+  params.num_intermediate = 3;
+  params.num_egress = 3;
+  const graph::ProcessingGraph g = generate_topology(params, 1);
+
+  EXPECT_NO_THROW(
+      validate(parse_fault_spec("crash node=2 at=1 until=2; "
+                                "stall pe=8 at=1 for=1"), g));
+  EXPECT_THROW(validate(parse_fault_spec("crash node=3 at=1 until=2"), g),
+               CheckFailure);
+  EXPECT_THROW(validate(parse_fault_spec("stall pe=9 at=1 for=1"), g),
+               CheckFailure);
+  EXPECT_THROW(
+      validate(parse_fault_spec("drop pe=99 from=0 until=1"), g),
+      CheckFailure);
+}
+
+}  // namespace
+}  // namespace aces::fault

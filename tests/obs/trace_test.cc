@@ -51,6 +51,7 @@ TEST(TraceExportTest, JsonlRoundTripsIncludingInfinity) {
   records.back().advertised_rmax = 80.0;
   records.back().downstream_rmax = 55.5;
   records.back().output_blocked = true;
+  records.back().fault_flags = kFaultPeStalled | kFaultAdvertStale;
   // Defaults: both rmax fields +inf ("no constraint").
   records.push_back(make_record(1.0, 3, 4.0));
 
@@ -77,6 +78,8 @@ TEST(TraceExportTest, JsonlRoundTripsIncludingInfinity) {
   EXPECT_DOUBLE_EQ(back[0].token_fill, 0.4);
   EXPECT_TRUE(back[0].output_blocked);
   EXPECT_EQ(back[0].dropped_total, 3u);
+  EXPECT_EQ(back[0].fault_flags, kFaultPeStalled | kFaultAdvertStale);
+  EXPECT_EQ(back[1].fault_flags, 0u);  // absent key defaults to healthy
   EXPECT_TRUE(std::isinf(back[1].advertised_rmax));
   EXPECT_TRUE(std::isinf(back[1].downstream_rmax));
   EXPECT_FALSE(back[1].output_blocked);
@@ -92,7 +95,7 @@ TEST(TraceExportTest, CsvHasHeaderAndOneRowPerRecord) {
   ASSERT_TRUE(std::getline(lines, header));
   EXPECT_EQ(header,
             "time,node,pe,buffer,arrived,processed,cpu_share,cpu_used,"
-            "advertised_rmax,downstream_rmax,tokens,blocked,drops");
+            "advertised_rmax,downstream_rmax,tokens,blocked,drops,fault");
   int rows = 0;
   std::string row;
   while (std::getline(lines, row)) {

@@ -1,0 +1,70 @@
+// optimize_excluding: the degraded tier-1 re-solve used when processing
+// nodes crash. Failed nodes get (effectively) no capacity and their PEs
+// exactly zero CPU; the surviving nodes are re-optimized as usual.
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "graph/topology_generator.h"
+#include "opt/global_optimizer.h"
+
+namespace aces::opt {
+namespace {
+
+graph::ProcessingGraph topology(std::uint64_t seed) {
+  graph::TopologyParams params;
+  params.num_nodes = 4;
+  params.num_ingress = 4;
+  params.num_intermediate = 8;
+  params.num_egress = 4;
+  return generate_topology(params, seed);
+}
+
+TEST(ExclusionTest, EmptyFailedListMatchesOptimize) {
+  const auto g = topology(2);
+  const AllocationPlan full = optimize(g);
+  const AllocationPlan same = optimize_excluding(g, {});
+  ASSERT_EQ(same.pe.size(), full.pe.size());
+  for (std::size_t i = 0; i < full.pe.size(); ++i) {
+    EXPECT_DOUBLE_EQ(same.pe[i].cpu, full.pe[i].cpu);
+  }
+  EXPECT_DOUBLE_EQ(same.aggregate_utility, full.aggregate_utility);
+  EXPECT_DOUBLE_EQ(same.weighted_throughput, full.weighted_throughput);
+}
+
+TEST(ExclusionTest, FailedNodePesGetExactlyZeroCpu) {
+  const auto g = topology(2);
+  const NodeId failed(1);
+  const AllocationPlan degraded = optimize_excluding(g, {failed});
+
+  bool failed_has_pes = false;
+  bool survivor_has_cpu = false;
+  for (PeId id : g.all_pes()) {
+    if (g.pe(id).node == failed) {
+      failed_has_pes = true;
+      EXPECT_DOUBLE_EQ(degraded.at(id).cpu, 0.0) << "pe " << id;
+    } else if (degraded.at(id).cpu > 0.0) {
+      survivor_has_cpu = true;
+    }
+  }
+  EXPECT_TRUE(failed_has_pes);
+  EXPECT_TRUE(survivor_has_cpu);
+
+  // Losing a quarter of the cluster cannot improve the achievable optimum.
+  const AllocationPlan full = optimize(g);
+  EXPECT_LE(degraded.weighted_throughput, full.weighted_throughput + 1e-6);
+}
+
+TEST(ExclusionTest, ExcludingMoreNodesDegradesMonotonically) {
+  const auto g = topology(3);
+  const AllocationPlan one = optimize_excluding(g, {NodeId(1)});
+  const AllocationPlan two = optimize_excluding(g, {NodeId(1), NodeId(2)});
+  EXPECT_LE(two.weighted_throughput, one.weighted_throughput + 1e-6);
+}
+
+TEST(ExclusionTest, RejectsOutOfRangeNodeIds) {
+  const auto g = topology(2);
+  EXPECT_THROW(optimize_excluding(g, {NodeId(99)}), CheckFailure);
+}
+
+}  // namespace
+}  // namespace aces::opt

@@ -5,9 +5,11 @@
 //   aces optimize --topology=topo.txt [--solver=primal|dual]
 //   aces simulate --topology=topo.txt --policy=aces [--duration=60]
 //                 [--warmup=10] [--seed=1] [--csv] [--timeseries=ts.csv]
-//                 [--trace=out.jsonl]
+//                 [--trace=out.jsonl] [--faults="crash node=1 at=20 until=35"]
+//                 [--staleness=1] [--reoptimize=5]
 //   aces compare  --topology=topo.txt [--duration=60] [--seed=1] [--csv]
 //                 [--runtime] [--timescale=5] [--trace=out.jsonl]
+//                 [--faults=@faults.txt] [--staleness=1] [--reoptimize=5]
 //   aces trace-summary --in=out.jsonl [--tail=0.25] [--tolerance=0.1]
 //
 // The CLI is a thin shell over the public API: generate_topology /
@@ -22,11 +24,13 @@
 #include <set>
 #include <string>
 
+#include "fault/fault_spec.h"
 #include "graph/dot_export.h"
 #include "graph/serialization.h"
 #include "graph/topology_generator.h"
 #include "harness/experiment.h"
 #include "harness/table.h"
+#include "obs/counters.h"
 #include "obs/export.h"
 #include "obs/scoped_timer.h"
 #include "obs/trace.h"
@@ -150,6 +154,70 @@ std::string policy_trace_path(const std::string& base, const char* tag) {
   return base.substr(0, dot) + "." + tag + base.substr(dot);
 }
 
+/// --faults accepts the spec grammar inline, or @FILE to read it from a
+/// file (multi-line specs with comments).
+fault::FaultSchedule load_faults(const std::string& spec) {
+  if (spec.empty()) return {};
+  if (spec.front() == '@') {
+    std::ifstream file(spec.substr(1));
+    if (!file) {
+      throw std::runtime_error("cannot open fault spec file: " +
+                               spec.substr(1));
+    }
+    std::string text((std::istreambuf_iterator<char>(file)),
+                     std::istreambuf_iterator<char>());
+    return fault::parse_fault_spec(text);
+  }
+  return fault::parse_fault_spec(spec);
+}
+
+/// Post-run fault accounting on stderr (crash/stall/drop event counts).
+void print_fault_counters(const obs::CounterRegistry& registry) {
+  const obs::CounterSnapshot snap = registry.snapshot();
+  for (const auto& [name, value] : snap.counters) {
+    if (name.rfind("fault.", 0) == 0 && value > 0) {
+      std::cerr << name << ": " << value << '\n';
+    }
+  }
+}
+
+/// Fault-related simulate/compare flags, resolved together because the
+/// staleness default depends on whether faults are present.
+struct FaultFlags {
+  fault::FaultSchedule schedule;
+  Seconds staleness = 0.0;
+  Seconds reoptimize = 0.0;
+
+  static FaultFlags parse(Flags& flags) {
+    FaultFlags f;
+    f.schedule = load_faults(flags.get("faults", std::string()));
+    // With faults in play the staleness rule defaults on (1 s); healthy
+    // runs keep the pre-fault behaviour unless asked.
+    f.staleness =
+        flags.get("staleness", f.schedule.empty() ? 0.0 : 1.0);
+    f.reoptimize = flags.get("reoptimize", 0.0);
+    if (f.staleness < 0.0)
+      throw std::runtime_error("--staleness must be non-negative");
+    if (f.reoptimize < 0.0)
+      throw std::runtime_error("--reoptimize must be non-negative");
+    return f;
+  }
+
+  void apply(sim::SimOptions& options,
+             obs::CounterRegistry* registry) const {
+    options.faults = schedule;
+    options.controller.advert_staleness_timeout = staleness;
+    options.reoptimize_interval = reoptimize;
+    options.counters = registry;
+  }
+  void apply(runtime::RuntimeOptions& options,
+             obs::CounterRegistry* registry) const {
+    options.faults = schedule;
+    options.controller.advert_staleness_timeout = staleness;
+    options.counters = registry;
+  }
+};
+
 control::FlowPolicy parse_policy(const std::string& name) {
   if (name == "aces") return control::FlowPolicy::kAces;
   if (name == "udp") return control::FlowPolicy::kUdp;
@@ -232,7 +300,9 @@ harness::RunSummary run_one(const graph::ProcessingGraph& g,
                             control::FlowPolicy policy, double duration,
                             double warmup, int seed,
                             const std::string& timeseries_path,
-                            obs::ControlTraceRecorder* trace) {
+                            obs::ControlTraceRecorder* trace,
+                            const FaultFlags& faults,
+                            obs::CounterRegistry* counters) {
   sim::SimOptions options;
   options.duration = duration;
   options.warmup = warmup;
@@ -240,6 +310,7 @@ harness::RunSummary run_one(const graph::ProcessingGraph& g,
   options.controller.policy = policy;
   options.record_timeseries = !timeseries_path.empty();
   options.trace = trace;
+  faults.apply(options, counters);
   sim::StreamSimulation simulation(g, plan, options);
   simulation.run();
   if (!timeseries_path.empty()) {
@@ -254,7 +325,9 @@ harness::RunSummary run_one_runtime(const graph::ProcessingGraph& g,
                                     control::FlowPolicy policy,
                                     double duration, double warmup, int seed,
                                     double time_scale,
-                                    obs::ControlTraceRecorder* trace) {
+                                    obs::ControlTraceRecorder* trace,
+                                    const FaultFlags& faults,
+                                    obs::CounterRegistry* counters) {
   runtime::RuntimeOptions options;
   options.duration = duration;
   options.warmup = warmup;
@@ -262,6 +335,7 @@ harness::RunSummary run_one_runtime(const graph::ProcessingGraph& g,
   options.seed = static_cast<std::uint64_t>(seed);
   options.controller.policy = policy;
   options.trace = trace;
+  faults.apply(options, counters);
   const metrics::RunReport report = runtime::run_runtime(g, plan, options);
   return harness::summarize(report, plan.weighted_throughput);
 }
@@ -293,14 +367,17 @@ int cmd_simulate(Flags& flags) {
   const int seed = flags.get("seed", 1);
   const std::string timeseries = flags.get("timeseries", std::string());
   const std::string trace_path = flags.get("trace", std::string());
+  const FaultFlags faults = FaultFlags::parse(flags);
   const bool csv = flags.has("csv");
   const bool detail = flags.has("detail");
   flags.check_all_consumed();
+  fault::validate(faults.schedule, g);
 
   const opt::AllocationPlan plan = opt::optimize(g);
 
   obs::ControlTraceRecorder recorder;
   obs::PhaseProfiler profiler;
+  obs::CounterRegistry counters;
   sim::SimOptions options;
   options.duration = duration;
   options.warmup = warmup;
@@ -311,6 +388,8 @@ int cmd_simulate(Flags& flags) {
     options.trace = &recorder;
     options.profiler = &profiler;
   }
+  faults.apply(options,
+               faults.schedule.empty() ? nullptr : &counters);
   sim::StreamSimulation simulation(g, plan, options);
   simulation.run();
   if (!timeseries.empty()) {
@@ -323,6 +402,7 @@ int cmd_simulate(Flags& flags) {
               << trace_path << '\n';
     obs::write_profile_summary(std::cerr, profiler);
   }
+  if (!faults.schedule.empty()) print_fault_counters(counters);
   const metrics::RunReport report = simulation.report();
   const harness::RunSummary s =
       harness::summarize(report, plan.weighted_throughput);
@@ -359,7 +439,9 @@ int cmd_compare(Flags& flags) {
   const bool use_runtime = flags.has("runtime");
   const double time_scale = flags.get("timescale", 5.0);
   const std::string trace_base = flags.get("trace", std::string());
+  const FaultFlags faults = FaultFlags::parse(flags);
   flags.check_all_consumed();
+  fault::validate(faults.schedule, g);
 
   const opt::AllocationPlan plan = opt::optimize(g);
   harness::Table table = summary_table();
@@ -369,11 +451,14 @@ int cmd_compare(Flags& flags) {
     obs::ControlTraceRecorder recorder;
     obs::ControlTraceRecorder* trace =
         trace_base.empty() ? nullptr : &recorder;
+    obs::CounterRegistry counters;
+    obs::CounterRegistry* counters_ptr =
+        faults.schedule.empty() ? nullptr : &counters;
     const harness::RunSummary summary =
         use_runtime ? run_one_runtime(g, plan, policy, duration, warmup, seed,
-                                      time_scale, trace)
+                                      time_scale, trace, faults, counters_ptr)
                     : run_one(g, plan, policy, duration, warmup, seed, {},
-                              trace);
+                              trace, faults, counters_ptr);
     add_summary_row(table, to_string(policy), summary);
     if (trace != nullptr) {
       const std::string path =
@@ -381,6 +466,10 @@ int cmd_compare(Flags& flags) {
       write_trace_file(path, recorder);
       std::cerr << "wrote " << recorder.size() << " trace records to "
                 << path << '\n';
+    }
+    if (counters_ptr != nullptr) {
+      std::cerr << "[" << to_string(policy) << "]\n";
+      print_fault_counters(counters);
     }
   }
   harness::print_table(table, csv, std::cout);
@@ -441,8 +530,15 @@ int usage(std::ostream& os, int code) {
         "  simulate  --topology=FILE [--policy=aces|udp|lockstep|threshold]\n"
         "            [--duration --warmup --seed --timeseries=F --csv\n"
         "             --detail --trace=F.jsonl|F.csv]\n"
+        "            [--faults=SPEC|@FILE --staleness=SEC --reoptimize=SEC]\n"
+        "            (--faults injects crash/stall/advert/drop faults, see\n"
+        "             docs/fault_injection.md; --staleness sets the advert\n"
+        "             staleness timeout, default 1 when faults are present;\n"
+        "             --reoptimize re-runs tier 1 every SEC seconds and on\n"
+        "             node crash/restart)\n"
         "  compare   --topology=FILE [--duration --warmup --seed --csv]\n"
         "            [--runtime --timescale=5 --trace=F.jsonl|F.csv]\n"
+        "            [--faults=SPEC|@FILE --staleness=SEC --reoptimize=SEC]\n"
         "            (--runtime uses the threaded runtime; --trace writes\n"
         "             one file per policy: F.<policy>.jsonl)\n"
         "  trace-summary --in=F.jsonl [--tail=0.25 --tolerance=0.1 --csv]\n"
