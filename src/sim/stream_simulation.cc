@@ -348,6 +348,9 @@ struct StreamSimulation::Impl {
     }
     controllers[node.value()].reset_state();
     injector->note_node_restart();
+    // Backstop: any sender still sleeping on this node's buffers flushes
+    // into the drained (now live) buffers immediately.
+    for (PeId id : graph.pes_on_node(node)) wake_upstream(pes[id.value()]);
     if (options.reoptimize_interval > 0.0) solve_and_push();
   }
 
@@ -525,6 +528,9 @@ struct StreamSimulation::Impl {
     if (fault_drops_delivery(pe)) {
       ++pe.lifetime_dropped;
       collector.on_internal_drop(simulator.now());
+      // The freed slot must wake blocked senders just like a pop would,
+      // or a dead consumer wedges its Lock-Step producers forever.
+      wake_upstream(pe);
       return;
     }
     pe.buffer.push_back(sdo);
@@ -601,7 +607,12 @@ struct StreamSimulation::Impl {
       return;
     }
 
-    const Seconds staleness = options.controller.advert_staleness_timeout;
+    // UDP/Lock-Step never propagate advertisements, so their slots would
+    // all read as stale; gate the clamp on the same condition as the
+    // propagation below or healthy baselines trace rmax=0 + a fault flag.
+    const Seconds staleness = control::uses_flow_control(policy)
+                                  ? options.controller.advert_staleness_timeout
+                                  : 0.0;
     std::vector<control::PeTickInput> inputs(local.size());
     for (std::size_t i = 0; i < local.size(); ++i) {
       PeRt& pe = pes[local[i].value()];

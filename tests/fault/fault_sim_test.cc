@@ -231,6 +231,49 @@ TEST(FaultSimTest, DropBurstSeversDeliveriesDuringItsWindow) {
   EXPECT_GT(dropped, 50u);
 }
 
+TEST(FaultSimTest, LockStepProducersSurviveADeadConsumer) {
+  // Sim analogue of the runtime test of the same name: a fault-dropped
+  // reserved delivery frees its slot AND wakes the blocked sender, so a
+  // crashed consumer cannot wedge Lock-Step producers past the fault
+  // window. Selectivity 2 into a capacity-1 buffer makes every ingress
+  // completion emit a pair of sends whose second always blocks, so the
+  // deadlock is reached deterministically once the middle node dies.
+  Chain chain;
+  chain.g.pe(chain.ingress).selectivity = 2.0;
+  chain.g.pe(chain.middle).buffer_capacity = 1;
+  const auto plan = opt::optimize(chain.g);
+  SimOptions o = base_options(FlowPolicy::kLockStep);
+  o.faults = fault::parse_fault_spec("crash node=1 at=10 until=25");
+  StreamSimulation sim(chain.g, plan, o);
+
+  sim.run_until(26.0);  // restarted; shares are back after the next tick
+  const auto ingress_mid = sim.pe_stats(chain.ingress);
+  const auto egress_mid = sim.pe_stats(chain.egress);
+  sim.run_until(40.0);
+  EXPECT_GT(sim.pe_stats(chain.ingress).processed, ingress_mid.processed);
+  EXPECT_GT(sim.pe_stats(chain.egress).processed, egress_mid.processed);
+}
+
+TEST(FaultSimTest, LockStepProducersSurviveADropBurst) {
+  // Same deadlock shape without a crash: during a prob=1 drop burst the
+  // consumer stays alive but every delivery into it is eaten, so each
+  // drop must wake the sender or it sleeps through the end of the burst.
+  Chain chain;
+  chain.g.pe(chain.ingress).selectivity = 2.0;
+  chain.g.pe(chain.middle).buffer_capacity = 1;
+  const auto plan = opt::optimize(chain.g);
+  SimOptions o = base_options(FlowPolicy::kLockStep);
+  o.faults = fault::parse_fault_spec("drop pe=1 from=10 until=25 prob=1");
+  StreamSimulation sim(chain.g, plan, o);
+
+  sim.run_until(25.5);  // burst over; in-flight dropped deliveries done
+  const auto ingress_mid = sim.pe_stats(chain.ingress);
+  const auto egress_mid = sim.pe_stats(chain.egress);
+  sim.run_until(40.0);
+  EXPECT_GT(sim.pe_stats(chain.ingress).processed, ingress_mid.processed);
+  EXPECT_GT(sim.pe_stats(chain.egress).processed, egress_mid.processed);
+}
+
 TEST(FaultSimTest, CrashTriggersEventDrivenReoptimization) {
   Chain chain;
   const auto plan = opt::optimize(chain.g);

@@ -442,6 +442,10 @@ int cmd_compare(Flags& flags) {
   const FaultFlags faults = FaultFlags::parse(flags);
   flags.check_all_consumed();
   fault::validate(faults.schedule, g);
+  if (use_runtime && faults.reoptimize > 0.0) {
+    std::cerr << "warning: --reoptimize is simulator-only; the threaded "
+                 "runtime re-solves on crash/restart transitions instead\n";
+  }
 
   const opt::AllocationPlan plan = opt::optimize(g);
   harness::Table table = summary_table();
@@ -539,8 +543,10 @@ int usage(std::ostream& os, int code) {
         "  compare   --topology=FILE [--duration --warmup --seed --csv]\n"
         "            [--runtime --timescale=5 --trace=F.jsonl|F.csv]\n"
         "            [--faults=SPEC|@FILE --staleness=SEC --reoptimize=SEC]\n"
-        "            (--runtime uses the threaded runtime; --trace writes\n"
-        "             one file per policy: F.<policy>.jsonl)\n"
+        "            (--runtime uses the threaded runtime, where\n"
+        "             --reoptimize is ignored: tier 1 re-solves on node\n"
+        "             crash/restart instead; --trace writes one file per\n"
+        "             policy: F.<policy>.jsonl)\n"
         "  trace-summary --in=F.jsonl [--tail=0.25 --tolerance=0.1 --csv]\n"
         "            (per-PE settling time and oscillation amplitude)\n";
   return code;
