@@ -12,20 +12,26 @@
 #include <cmath>
 #include <iostream>
 
+#include "harness/bench_json.h"
+#include "harness/bench_options.h"
 #include "harness/defaults.h"
 #include "harness/experiment.h"
 #include "harness/table.h"
 #include "runtime/runtime_engine.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace aces;
   using control::FlowPolicy;
+
+  const harness::BenchOptions bench =
+      harness::parse_bench_options(argc, argv);
 
   std::cout << "=== Calibration: threaded runtime (SPC stand-in) vs "
                "discrete-event simulator ===\n"
             << "60 PEs / 10 nodes, identical topology, plan, and controller "
                "configuration\n\n";
 
+  harness::BenchJsonWriter json("calibration_runtime_vs_sim");
   harness::Table table({"seed", "policy", "sim wtput", "rt wtput",
                         "rel err %", "sim lat ms", "rt lat ms"});
   double worst_rel_err = 0.0;
@@ -40,7 +46,11 @@ int main() {
       so.warmup = 6.0;
       so.seed = seed + 100;
       so.controller.policy = policy;
+      const harness::WallTimer sim_timer;
       const auto sim_run = harness::run_single(g, plan, so);
+      json.add_run("s" + std::to_string(seed) + "/" + to_string(policy) +
+                       "/sim",
+                   sim_timer.elapsed_ms(), sim_run.weighted_throughput);
 
       runtime::RuntimeOptions ro;
       ro.duration = 30.0;
@@ -48,8 +58,12 @@ int main() {
       ro.time_scale = 6.0;
       ro.seed = seed + 100;
       ro.controller.policy = policy;
+      const harness::WallTimer rt_timer;
       const auto rt_run = harness::summarize(runtime::run_runtime(g, plan, ro),
                                              plan.weighted_throughput);
+      json.add_run("s" + std::to_string(seed) + "/" + to_string(policy) +
+                       "/runtime",
+                   rt_timer.elapsed_ms(), rt_run.weighted_throughput);
 
       const double rel_err =
           100.0 *
@@ -64,8 +78,8 @@ int main() {
                      harness::cell(rt_run.latency_mean * 1e3, 1)});
     }
   }
-  table.print(std::cout);
+  harness::print_table(table, bench.csv, std::cout);
   std::cout << "\nworst relative throughput error: "
             << harness::cell(worst_rel_err, 1) << "%\n";
-  return 0;
+  return json.write_file(bench.json) ? 0 : 1;
 }

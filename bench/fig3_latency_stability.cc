@@ -8,6 +8,7 @@
 // ACES was much smaller than the Lock-Step approach").
 #include <iostream>
 
+#include "harness/bench_json.h"
 #include "harness/bench_options.h"
 #include "harness/defaults.h"
 #include "harness/experiment.h"
@@ -31,6 +32,7 @@ int main(int argc, char** argv) {
   spec.seeds = {1, 2, 3};
   bench.apply(spec.sim.duration, spec.sim.warmup, spec.seeds);
 
+  harness::BenchJsonWriter json("fig3_latency_stability");
   harness::Table table({"burstiness", "policy", "lat mean ms", "lat std ms",
                         "lat p99 ms", "wtput"});
   for (const double burst : {1.0, 2.0, 4.0}) {
@@ -38,7 +40,11 @@ int main(int argc, char** argv) {
     cell.topology = harness::with_burstiness(spec.topology, burst);
     for (const FlowPolicy policy :
          {FlowPolicy::kAces, FlowPolicy::kLockStep}) {
+      const harness::WallTimer timer;
       const auto mean = run_experiment(cell, policy).mean;
+      json.add_run("burst" + harness::cell(burst, 1) + "/" +
+                       to_string(policy),
+                   timer.elapsed_ms(), mean.weighted_throughput);
       table.add_row({harness::cell(burst, 1), to_string(policy),
                      harness::cell(mean.latency_mean * 1e3, 1),
                      harness::cell(mean.latency_std * 1e3, 1),
@@ -47,5 +53,5 @@ int main(int argc, char** argv) {
     }
   }
   harness::print_table(table, bench.csv, std::cout);
-  return 0;
+  return json.write_file(bench.json) ? 0 : 1;
 }

@@ -10,6 +10,7 @@
 // more weighted throughput.
 #include <iostream>
 
+#include "harness/bench_json.h"
 #include "harness/bench_options.h"
 #include "harness/defaults.h"
 #include "harness/experiment.h"
@@ -34,6 +35,7 @@ int main(int argc, char** argv) {
   spec.seeds = {1, 2, 3};
   bench.apply(spec.sim.duration, spec.sim.warmup, spec.seeds);
 
+  harness::BenchJsonWriter json("fig4_latency_vs_throughput");
   harness::Table table({"B", "policy", "wtput", "wtput/fluid",
                         "lat mean ms", "lat std ms"});
   for (const int buffer : {5, 10, 15, 25, 50, 100, 200}) {
@@ -41,7 +43,10 @@ int main(int argc, char** argv) {
     cell.topology = harness::with_buffer_size(spec.topology, buffer);
     for (const FlowPolicy policy :
          {FlowPolicy::kAces, FlowPolicy::kLockStep}) {
+      const harness::WallTimer timer;
       const auto mean = run_experiment(cell, policy).mean;
+      json.add_run("B" + std::to_string(buffer) + "/" + to_string(policy),
+                   timer.elapsed_ms(), mean.weighted_throughput);
       table.add_row({std::to_string(buffer), to_string(policy),
                      harness::cell(mean.weighted_throughput, 0),
                      harness::cell(mean.normalized_throughput(), 3),
@@ -50,5 +55,5 @@ int main(int argc, char** argv) {
     }
   }
   harness::print_table(table, bench.csv, std::cout);
-  return 0;
+  return json.write_file(bench.json) ? 0 : 1;
 }

@@ -12,6 +12,7 @@
 // burstiness levels, where the three are close.
 #include <iostream>
 
+#include "harness/bench_json.h"
 #include "harness/bench_options.h"
 #include "harness/defaults.h"
 #include "harness/experiment.h"
@@ -38,6 +39,7 @@ int main(int argc, char** argv) {
   spec.seeds = {1, 2, 3};
   bench.apply(spec.sim.duration, spec.sim.warmup, spec.seeds);
 
+  harness::BenchJsonWriter json("fig5_burstiness");
   harness::Table table({"sojourn scale", "ACES", "UDP", "Lock-Step"});
   for (const double burst : {0.25, 0.5, 1.0, 2.0, 4.0, 8.0}) {
     harness::ExperimentSpec cell = spec;
@@ -45,7 +47,11 @@ int main(int argc, char** argv) {
     std::vector<std::string> row{harness::cell(burst, 2)};
     for (const FlowPolicy policy :
          {FlowPolicy::kAces, FlowPolicy::kUdp, FlowPolicy::kLockStep}) {
+      const harness::WallTimer timer;
       const auto mean = run_experiment(cell, policy).mean;
+      json.add_run("sojourn" + harness::cell(burst, 2) + "/" +
+                       to_string(policy),
+                   timer.elapsed_ms(), mean.weighted_throughput);
       row.push_back(harness::cell(mean.normalized_throughput(), 3));
     }
     table.add_row(row);
@@ -88,5 +94,5 @@ int main(int argc, char** argv) {
     }
   }
   harness::print_table(calib, bench.csv, std::cout);
-  return 0;
+  return json.write_file(bench.json) ? 0 : 1;
 }

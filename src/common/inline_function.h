@@ -1,0 +1,97 @@
+// Fixed-storage move-only callable, the simulator's event-handler type.
+//
+// std::function heap-allocates any capture larger than its (typically
+// 16-byte) small-object buffer, which makes every scheduled delivery,
+// completion, and tick an allocator round trip. Simulation event handlers
+// capture at most a few words (this + an index or a small POD), so a
+// callable with a fixed inline buffer removes those allocations entirely;
+// oversized or throwing-move captures are rejected at compile time rather
+// than silently spilling to the heap.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+#include "common/check.h"
+
+namespace aces {
+
+/// Move-only `void()` callable with `Capacity` bytes of inline storage.
+/// Invoking an empty InlineFunction is a checked error.
+template <std::size_t Capacity>
+class InlineFunction {
+ public:
+  InlineFunction() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, InlineFunction>>>
+  InlineFunction(F&& fn) {  // NOLINT(google-explicit-constructor)
+    using Fn = std::decay_t<F>;
+    static_assert(sizeof(Fn) <= Capacity,
+                  "callable exceeds InlineFunction storage; shrink the "
+                  "capture or raise Capacity");
+    static_assert(alignof(Fn) <= alignof(std::max_align_t),
+                  "callable is over-aligned for InlineFunction storage");
+    static_assert(std::is_nothrow_move_constructible_v<Fn>,
+                  "callable must be nothrow move constructible");
+    ::new (static_cast<void*>(storage_)) Fn(std::forward<F>(fn));
+    invoke_ = [](void* p) { (*static_cast<Fn*>(p))(); };
+    relocate_ = [](void* dst, void* src) noexcept {
+      Fn* from = static_cast<Fn*>(src);
+      ::new (dst) Fn(std::move(*from));
+      from->~Fn();
+    };
+    destroy_ = [](void* p) noexcept { static_cast<Fn*>(p)->~Fn(); };
+  }
+
+  InlineFunction(InlineFunction&& other) noexcept { move_from(other); }
+
+  InlineFunction& operator=(InlineFunction&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+
+  InlineFunction(const InlineFunction&) = delete;
+  InlineFunction& operator=(const InlineFunction&) = delete;
+
+  ~InlineFunction() { reset(); }
+
+  void operator()() {
+    ACES_CHECK_MSG(invoke_ != nullptr, "invoking empty InlineFunction");
+    invoke_(storage_);
+  }
+
+  [[nodiscard]] explicit operator bool() const { return invoke_ != nullptr; }
+
+ private:
+  void reset() noexcept {
+    if (destroy_ != nullptr) destroy_(storage_);
+    invoke_ = nullptr;
+    relocate_ = nullptr;
+    destroy_ = nullptr;
+  }
+
+  void move_from(InlineFunction& other) noexcept {
+    if (other.invoke_ == nullptr) return;
+    other.relocate_(storage_, other.storage_);
+    invoke_ = other.invoke_;
+    relocate_ = other.relocate_;
+    destroy_ = other.destroy_;
+    other.invoke_ = nullptr;
+    other.relocate_ = nullptr;
+    other.destroy_ = nullptr;
+  }
+
+  alignas(std::max_align_t) unsigned char storage_[Capacity];
+  void (*invoke_)(void*) = nullptr;
+  void (*relocate_)(void* dst, void* src) noexcept = nullptr;
+  void (*destroy_)(void*) noexcept = nullptr;
+};
+
+}  // namespace aces

@@ -1,0 +1,109 @@
+#include "harness/bench_json.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <utility>
+
+namespace aces::harness {
+
+namespace {
+std::string num(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+std::string escape_json(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+}  // namespace
+
+BenchJsonWriter::BenchJsonWriter(std::string bench_name)
+    : name_(std::move(bench_name)) {}
+
+void BenchJsonWriter::add_run(const std::string& label, double wall_ms,
+                              double weighted_throughput) {
+  runs_.push_back(Run{label, wall_ms, weighted_throughput});
+}
+
+std::string BenchJsonWriter::to_json() const {
+  double total_ms = 0.0;
+  double mean = 0.0;
+  double lo = 0.0;
+  double hi = 0.0;
+  std::size_t measured = 0;
+  for (const Run& r : runs_) {
+    total_ms += r.wall_ms;
+    if (r.weighted_throughput < 0.0) continue;
+    if (measured == 0) {
+      lo = hi = r.weighted_throughput;
+    } else {
+      lo = std::min(lo, r.weighted_throughput);
+      hi = std::max(hi, r.weighted_throughput);
+    }
+    mean += r.weighted_throughput;
+    ++measured;
+  }
+  if (measured > 0) mean /= static_cast<double>(measured);
+
+  std::ostringstream os;
+  os << "{\"bench\":\"" << escape_json(name_) << "\",\"schema\":1"
+     << ",\"runs\":" << runs_.size()
+     << ",\"total_wall_ms\":" << num(total_ms) << ",\"runs_per_sec\":"
+     << num(total_ms > 0.0
+                ? static_cast<double>(runs_.size()) / (total_ms / 1e3)
+                : 0.0);
+  if (measured > 0) {
+    os << ",\"weighted_throughput\":{\"mean\":" << num(mean)
+       << ",\"min\":" << num(lo) << ",\"max\":" << num(hi) << "}";
+  }
+  os << ",\"per_run\":[";
+  for (std::size_t i = 0; i < runs_.size(); ++i) {
+    const Run& r = runs_[i];
+    if (i > 0) os << ",";
+    os << "{\"label\":\"" << escape_json(r.label) << "\",\"wall_ms\":"
+       << num(r.wall_ms);
+    if (r.weighted_throughput >= 0.0) {
+      os << ",\"weighted_throughput\":" << num(r.weighted_throughput);
+    }
+    os << "}";
+  }
+  os << "]}\n";
+  return os.str();
+}
+
+bool BenchJsonWriter::write_file(const std::string& path) const {
+  if (path.empty()) return true;
+  std::ofstream file(path);
+  if (!file) {
+    std::cerr << "cannot open bench json output: " << path << '\n';
+    return false;
+  }
+  file << to_json();
+  std::cerr << "wrote " << runs_.size() << " bench records to " << path
+            << '\n';
+  return static_cast<bool>(file);
+}
+
+}  // namespace aces::harness

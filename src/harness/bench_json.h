@@ -1,0 +1,61 @@
+// Machine-readable perf output for the bench/ targets.
+//
+// Every figure bench can emit a BENCH_*.json document (--json=FILE via
+// BenchOptions) with one record per experimental run: label, wall ms, and
+// weighted throughput. The documents share the schema described in
+// docs/benchmarking.md, so a CI job or a plotting script can track the
+// perf trajectory (runs/sec, per-run wall ms) across commits without
+// scraping tables.
+#pragma once
+
+#include <chrono>
+#include <string>
+#include <vector>
+
+namespace aces::harness {
+
+/// Collects per-run perf records and writes one BENCH_*.json document.
+class BenchJsonWriter {
+ public:
+  explicit BenchJsonWriter(std::string bench_name);
+
+  /// Records one run. `weighted_throughput` < 0 means "not applicable"
+  /// (micro benches); the field is then omitted.
+  void add_run(const std::string& label, double wall_ms,
+               double weighted_throughput = -1.0);
+
+  [[nodiscard]] std::size_t runs() const { return runs_.size(); }
+
+  /// Serializes {bench, runs, total_wall_ms, runs_per_sec, per_run[],
+  /// weighted_throughput{mean,min,max}}.
+  [[nodiscard]] std::string to_json() const;
+
+  /// Writes to_json() to `path`; returns false (and prints to stderr) on
+  /// I/O failure. No-op returning true when `path` is empty.
+  bool write_file(const std::string& path) const;
+
+ private:
+  struct Run {
+    std::string label;
+    double wall_ms = 0.0;
+    double weighted_throughput = -1.0;
+  };
+  std::string name_;
+  std::vector<Run> runs_;
+};
+
+/// Wall-clock stopwatch for bench loops.
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+  [[nodiscard]] double elapsed_ms() const {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace aces::harness

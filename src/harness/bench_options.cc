@@ -23,10 +23,12 @@ void BenchOptions::apply(double& duration, double& warmup,
 namespace {
 [[noreturn]] void usage(const char* program, int exit_code) {
   (exit_code == 0 ? std::cout : std::cerr)
-      << "usage: " << program << " [--scale=X] [--seeds=N] [--csv]\n"
+      << "usage: " << program
+      << " [--scale=X] [--seeds=N] [--csv] [--json=FILE]\n"
       << "  --scale=X   multiply simulated duration and warm-up by X\n"
       << "  --seeds=N   average over seeds 1..N\n"
-      << "  --csv       emit result tables as CSV\n";
+      << "  --csv       emit result tables as CSV\n"
+      << "  --json=F    also write a BENCH_*.json perf document\n";
   std::exit(exit_code);
 }
 }  // namespace
@@ -51,6 +53,9 @@ BenchOptions parse_bench_options(int argc, char** argv) {
       } else if (key == "--seeds") {
         options.seed_count = std::stoi(value);
         if (options.seed_count <= 0) usage(argv[0], 2);
+      } else if (key == "--json") {
+        if (value.empty()) usage(argv[0], 2);
+        options.json = value;
       } else {
         std::cerr << "unknown flag: " << arg << '\n';
         usage(argv[0], 2);

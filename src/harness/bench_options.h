@@ -9,10 +9,12 @@
 // --scale=X   multiplies simulated duration and warm-up by X
 // --seeds=N   averages over seeds 1..N instead of the bench default
 // --csv       emits result tables as CSV (for plotting pipelines)
+// --json=F    also writes a BENCH_*.json perf document (see bench_json.h)
 // --help      prints usage and exits
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 namespace aces::harness {
@@ -21,6 +23,7 @@ struct BenchOptions {
   double duration_scale = 1.0;
   int seed_count = 0;  ///< 0: keep the bench's default seed list
   bool csv = false;    ///< emit tables as CSV instead of aligned text
+  std::string json;    ///< when non-empty, BENCH_*.json output path
 
   /// Seeds 1..seed_count (call only when seed_count > 0).
   [[nodiscard]] std::vector<std::uint64_t> seeds() const;

@@ -1,0 +1,159 @@
+// Parallel deterministic sweep runner.
+//
+// A sweep fans a grid of experiment configurations — topology cells ×
+// policies × seeds — across a work-stealing thread pool, one full
+// generate → optimize → simulate pipeline per run. Three properties make
+// sweeps reproducible evidence rather than one-off timings:
+//
+//  * Strict seed derivation: every run's topology and simulation seeds are
+//    pure functions of (base_seed, run_index) via SplitMix64, never of
+//    which thread picked the run up or in what order.
+//  * Slot-addressed results: run `i` writes results[i]; the report is
+//    bit-identical to a serial (`jobs = 1`) sweep for any thread count and
+//    any scheduling interleaving.
+//  * Failure isolation: a run that throws records its error string in its
+//    slot; the rest of the sweep proceeds.
+//
+// Output is a machine-readable BENCH_*.json document (runs/sec, per-run
+// wall ms, weighted-throughput summary) — the perf-trajectory format
+// described in docs/benchmarking.md.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "control/config.h"
+#include "graph/topology_generator.h"
+#include "harness/experiment.h"
+
+namespace aces::harness {
+
+/// One topology cell of the grid (before policy × seed expansion).
+struct SweepCell {
+  std::string name;  ///< label fragment; defaults to "cell<k>"
+  graph::TopologyParams topology;
+};
+
+/// The sweep grid: cells × policies × seeds_per_cell runs.
+struct SweepGrid {
+  std::vector<SweepCell> cells;
+  std::vector<control::FlowPolicy> policies = {control::FlowPolicy::kAces};
+  /// Independent repetitions per (cell, policy); each gets fresh topology
+  /// and workload randomness derived from (base_seed, run_index).
+  int seeds_per_cell = 3;
+  std::uint64_t base_seed = 1;
+  /// Simulation window shared by every run.
+  double duration = 30.0;
+  double warmup = 5.0;
+  double dt = 0.1;
+  /// Tier-1 re-optimization interval (0 disables), as in SimOptions.
+  double reoptimize_interval = 0.0;
+};
+
+/// One fully-expanded run of the grid.
+struct SweepRunConfig {
+  std::size_t run_index = 0;
+  std::string label;  ///< "<cell>/<policy>/s<k>"
+  graph::TopologyParams topology;
+  control::FlowPolicy policy = control::FlowPolicy::kAces;
+  std::uint64_t topology_seed = 0;  ///< derive_sweep_seed(base, index, 0)
+  std::uint64_t sim_seed = 0;       ///< derive_sweep_seed(base, index, 1)
+};
+
+enum class SweepRunStatus { kOk, kFailed, kCancelled };
+
+/// Result slot for one run; wall_ms is the only nondeterministic field.
+struct SweepRunResult {
+  SweepRunStatus status = SweepRunStatus::kCancelled;
+  RunSummary summary;        ///< valid when status == kOk
+  double wall_ms = 0.0;      ///< per-run wall clock (excluded from hashes)
+  std::string error;         ///< exception text when status == kFailed
+};
+
+struct SweepReport {
+  std::vector<SweepRunConfig> configs;  ///< indexed by run_index
+  std::vector<SweepRunResult> results;  ///< indexed by run_index
+  int jobs = 1;
+  double total_wall_ms = 0.0;
+  [[nodiscard]] std::size_t completed() const;
+  [[nodiscard]] std::size_t failed() const;
+  [[nodiscard]] std::size_t cancelled() const;
+  /// Completed runs per wall second.
+  [[nodiscard]] double runs_per_sec() const;
+  /// Mean/min/max weighted throughput over completed runs.
+  void throughput_summary(double& mean, double& lo, double& hi) const;
+};
+
+/// Per-run seed derivation: a SplitMix64 chain over (base, run_index,
+/// stream). Pure, collision-resistant across the grid, and independent of
+/// scheduling — the determinism contract of the sweep.
+std::uint64_t derive_sweep_seed(std::uint64_t base_seed,
+                                std::uint64_t run_index,
+                                std::uint64_t stream);
+
+class SweepRunner {
+ public:
+  explicit SweepRunner(SweepGrid grid);
+
+  [[nodiscard]] const std::vector<SweepRunConfig>& runs() const {
+    return configs_;
+  }
+  [[nodiscard]] std::size_t run_count() const { return configs_.size(); }
+
+  /// Invoked (from worker threads, serialized by an internal mutex) after
+  /// each run finishes; gives progress reporting and tests a hook to
+  /// cancel mid-sweep.
+  std::function<void(const SweepRunConfig&, const SweepRunResult&)>
+      on_run_done;
+
+  /// Stops workers from starting new runs; in-flight runs finish and
+  /// not-yet-started runs report SweepRunStatus::kCancelled. Callable from
+  /// any thread (including on_run_done).
+  void request_cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+
+  /// Executes the sweep on `jobs` worker threads (clamped to >= 1). The
+  /// deterministic fields of the report depend only on the grid, never on
+  /// `jobs`.
+  SweepReport run(int jobs);
+
+ private:
+  void execute_run(std::size_t index, SweepReport& report) const;
+
+  SweepGrid grid_;
+  std::vector<SweepRunConfig> configs_;
+  std::atomic<bool> cancelled_{false};
+};
+
+/// Grid-file grammar (one directive per line, '#' comments):
+///
+///   base_seed = 42
+///   seeds = 4
+///   duration = 20
+///   warmup = 5
+///   dt = 0.1
+///   reoptimize = 0
+///   policies = aces,udp,lockstep,threshold
+///   topology name=small nodes=4 ingress=2 intermediate=6 egress=2
+///            load=0.7 buffer=50 depth=2 burstiness=0.5   (one line)
+///
+/// `topology` lines append cells (keys mirror `aces generate` flags);
+/// scalar directives apply to the whole grid. Throws std::runtime_error
+/// with the offending line on any unknown key or malformed value.
+SweepGrid parse_sweep_grid(const std::string& text);
+
+/// Writes the BENCH_*.json document (schema in docs/benchmarking.md).
+/// `include_timing` = false omits every wall-clock field, leaving only
+/// deterministic content — the byte-identity format the determinism test
+/// compares across thread counts.
+void write_sweep_json(std::ostream& os, const SweepReport& report,
+                      bool include_timing = true);
+
+/// Full-precision (hexfloat) serialization of every deterministic result
+/// field, for byte-identity assertions across jobs counts.
+std::string sweep_fingerprint(const SweepReport& report);
+
+}  // namespace aces::harness

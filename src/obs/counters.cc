@@ -1,14 +1,26 @@
 #include "obs/counters.h"
 
-#include <mutex>
-
 namespace aces::obs {
+
+namespace {
+constexpr std::size_t kMaxShards = 256;
+
+std::size_t round_up_pow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+}  // namespace
+
+CounterRegistry::CounterRegistry(std::size_t shards)
+    : shard_count_(std::min(round_up_pow2(shards == 0 ? 1 : shards),
+                            kMaxShards)) {}
 
 Counter CounterRegistry::counter(const std::string& name) {
   std::lock_guard<std::mutex> lock(mutex_);
-  auto& cell = counters_[name];
-  if (cell == nullptr) cell = std::make_unique<std::atomic<std::uint64_t>>(0);
-  return Counter(cell.get());
+  auto& cells = counters_[name];
+  if (cells == nullptr) cells = std::make_unique<CounterCell[]>(shard_count_);
+  return Counter(cells.get(), shard_count_ - 1);
 }
 
 Gauge CounterRegistry::gauge(const std::string& name) {
@@ -22,8 +34,12 @@ CounterSnapshot CounterRegistry::snapshot() const {
   std::lock_guard<std::mutex> lock(mutex_);
   CounterSnapshot snap;
   snap.counters.reserve(counters_.size());
-  for (const auto& [name, cell] : counters_) {
-    snap.counters.emplace_back(name, cell->load(std::memory_order_relaxed));
+  for (const auto& [name, cells] : counters_) {
+    std::uint64_t total = 0;
+    for (std::size_t s = 0; s < shard_count_; ++s) {
+      total += cells[s].value.load(std::memory_order_relaxed);
+    }
+    snap.counters.emplace_back(name, total);
   }
   snap.gauges.reserve(gauges_.size());
   for (const auto& [name, cell] : gauges_) {

@@ -6,6 +6,11 @@
 //    event — a null-pointer test on an inlined handle;
 //  * the enabled path must be wait-free for writers — a relaxed atomic
 //    fetch_add, no lock, no allocation;
+//  * under many concurrent writers (a parallel sweep with a shared
+//    registry) writers must not contend on one cache line — a registry
+//    constructed with `shards` > 1 gives each writer thread its own
+//    cache-line-padded cell, selected by a thread-local shard id; reads sum
+//    across shards;
 //  * snapshots must work at any instant without stopping workers — readers
 //    take the registry mutex only to walk the name table; cell reads are
 //    relaxed loads.
@@ -19,6 +24,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
@@ -27,7 +33,22 @@ namespace aces::obs {
 
 class CounterRegistry;
 
-/// Handle to a monotonic counter cell. Default-constructed handles are
+/// One cache line per cell so sharded writers never false-share.
+struct alignas(64) CounterCell {
+  std::atomic<std::uint64_t> value{0};
+};
+
+namespace detail {
+/// Small dense id for the calling thread, assigned on first use.
+inline std::size_t this_thread_shard() {
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t shard =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return shard;
+}
+}  // namespace detail
+
+/// Handle to a counter's shard array. Default-constructed handles are
 /// *disabled*: inc() is a branch on nullptr and nothing else, which is what
 /// the hot paths hold when telemetry is off.
 class Counter {
@@ -35,20 +56,33 @@ class Counter {
   Counter() = default;
 
   void inc(std::uint64_t n = 1) {
-    if (cell_ != nullptr) cell_->fetch_add(n, std::memory_order_relaxed);
+    if (cells_ != nullptr) {
+      cells_[detail::this_thread_shard() & shard_mask_].value.fetch_add(
+          n, std::memory_order_relaxed);
+    }
   }
+  /// Sum over shards; exact once writers have quiesced, a live lower-bound
+  /// sample otherwise.
   [[nodiscard]] std::uint64_t value() const {
-    return cell_ != nullptr ? cell_->load(std::memory_order_relaxed) : 0;
+    if (cells_ == nullptr) return 0;
+    std::uint64_t total = 0;
+    for (std::size_t s = 0; s <= shard_mask_; ++s) {
+      total += cells_[s].value.load(std::memory_order_relaxed);
+    }
+    return total;
   }
-  [[nodiscard]] bool enabled() const { return cell_ != nullptr; }
+  [[nodiscard]] bool enabled() const { return cells_ != nullptr; }
 
  private:
   friend class CounterRegistry;
-  explicit Counter(std::atomic<std::uint64_t>* cell) : cell_(cell) {}
-  std::atomic<std::uint64_t>* cell_ = nullptr;
+  Counter(CounterCell* cells, std::size_t shard_mask)
+      : cells_(cells), shard_mask_(shard_mask) {}
+  CounterCell* cells_ = nullptr;
+  std::size_t shard_mask_ = 0;
 };
 
-/// Handle to a last-value-wins gauge cell (relaxed atomic double).
+/// Handle to a last-value-wins gauge cell (relaxed atomic double). Gauges
+/// are not sharded: "last write wins" has no meaningful per-thread merge.
 class Gauge {
  public:
   Gauge() = default;
@@ -67,7 +101,8 @@ class Gauge {
   std::atomic<double>* cell_ = nullptr;
 };
 
-/// Point-in-time copy of every registered cell, sorted by name.
+/// Point-in-time copy of every registered cell, sorted by name. Counter
+/// values are summed across shards.
 struct CounterSnapshot {
   std::vector<std::pair<std::string, std::uint64_t>> counters;
   std::vector<std::pair<std::string, double>> gauges;
@@ -75,16 +110,24 @@ struct CounterSnapshot {
 
 class CounterRegistry {
  public:
+  /// `shards` is rounded up to a power of two and capped; 1 (the default)
+  /// reproduces the single-cell layout. Size it to the writer thread count
+  /// (e.g. the sweep's --jobs) when counters stay enabled under load.
+  explicit CounterRegistry(std::size_t shards = 1);
+
   /// Returns (registering on first use) the counter called `name`.
   Counter counter(const std::string& name);
   /// Returns (registering on first use) the gauge called `name`.
   Gauge gauge(const std::string& name);
 
+  [[nodiscard]] std::size_t shard_count() const { return shard_count_; }
+
   [[nodiscard]] CounterSnapshot snapshot() const;
 
  private:
+  std::size_t shard_count_ = 1;
   mutable std::mutex mutex_;
-  std::map<std::string, std::unique_ptr<std::atomic<std::uint64_t>>> counters_;
+  std::map<std::string, std::unique_ptr<CounterCell[]>> counters_;
   std::map<std::string, std::unique_ptr<std::atomic<double>>> gauges_;
 };
 

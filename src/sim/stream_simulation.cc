@@ -7,6 +7,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/bounded_queue.h"
 #include "common/check.h"
 #include "common/rng.h"
 #include "control/node_controller.h"
@@ -36,7 +37,9 @@ struct StreamSimulation::Impl {
     std::size_t index;             // == id.value()
     std::size_t node_local_index;  // position within pes_on_node()
     std::size_t egress_index;      // position among egress PEs, or npos
-    std::deque<Sdo> buffer;
+    // Fixed-capacity ring sized to the PE's buffer bound: SDO slots are
+    // allocated once at construction, never per arrival.
+    BoundedQueue<Sdo> buffer;
     int reserved = 0;  // Lock-Step in-flight slot reservations
     bool busy = false;
     bool blocked = false;  // Lock-Step: sleeping on a full downstream buffer
@@ -75,11 +78,12 @@ struct StreamSimulation::Impl {
     /// that PE's downstream_advert).
     std::vector<std::pair<std::size_t, std::size_t>> upstream_slots;
 
-    PeRt(PeId pe_id, workload::ServiceModel svc)
+    PeRt(PeId pe_id, std::size_t buffer_capacity, workload::ServiceModel svc)
         : id(pe_id),
           index(pe_id.value()),
           node_local_index(0),
           egress_index(static_cast<std::size_t>(-1)),
+          buffer(buffer_capacity),
           service(std::move(svc)) {}
   };
 
@@ -109,7 +113,8 @@ struct StreamSimulation::Impl {
       workload::ServiceModel service(d.service_time[0], d.service_time[1],
                                      d.sojourn_mean[0], d.sojourn_mean[1],
                                      master.fork(0x5E41 + id.value()));
-      PeRt rt(id, std::move(service));
+      PeRt rt(id, static_cast<std::size_t>(d.buffer_capacity),
+              std::move(service));
       rt.share = plan.at(id).cpu;
       rt.downstream_advert.assign(graph.downstream(id).size(), kInf);
       rt.downstream_advert_time.assign(graph.downstream(id).size(), 0.0);
@@ -803,6 +808,8 @@ PeStats StreamSimulation::pe_stats(PeId id) const {
   stats.cpu_seconds = pe.lifetime_cpu;
   stats.in_buffer = pe.buffer.size();
   stats.busy = pe.busy;
+  stats.blocked = pe.blocked;
+  stats.reserved = pe.reserved;
   return stats;
 }
 

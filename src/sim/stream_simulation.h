@@ -154,6 +154,12 @@ struct PeStats {
   double cpu_seconds = 0.0;
   std::uint64_t in_buffer = 0;      ///< occupancy at query time
   bool busy = false;                ///< one SDO in service at query time
+  /// Lock-Step: sleeping on a full downstream buffer at query time. A
+  /// blocked PE whose downstream buffers all have free space is a lost
+  /// wakeup — the liveness invariant the fault fuzzer checks.
+  bool blocked = false;
+  /// Lock-Step: in-flight reservations against this PE's buffer.
+  int reserved = 0;
 };
 
 /// One simulated run. Construct, run(), collect the report; or drive

@@ -1,0 +1,203 @@
+// Fault-schedule fuzzer for the Lock-Step policy, the one with a blocking
+// reservation protocol and therefore the one that can wedge.
+//
+// ~500 seeded random schedules (crashes, stalls, advert loss/delay, drop
+// bursts) are thrown at small random topologies. Every fault window closes
+// by t = 6 s; the simulation runs to t = 10 s. Checks per run:
+//
+//  * completion: run_until() returns and the event count stays bounded
+//    (a livelock that schedules events forever would trip the ctest
+//    timeout; a super-linear event storm trips the bound here)
+//  * SDO conservation envelope: processed + in_buffer + busy ≤ arrived for
+//    every PE — faults may destroy SDOs (crashes clear buffers, drops lose
+//    deliveries) but may never fabricate them
+//  * post-fault progress: once every window has closed the pipeline drains
+//    again — whenever the sources offered any work over [7 s, 10 s]
+//    (bursty sources can legitimately sit in an off-period for seconds),
+//    total processed strictly increases. A wedged pipeline with live
+//    sources can't hide: offered SDOs land as arrived or dropped_input
+//    while processed stays frozen.
+//  * liveness / lost-wakeup: a PE still blocked 1 s after the run (with no
+//    faults active) must have a genuinely full downstream buffer once
+//    in-flight reservations are counted; "blocked forever with free space
+//    downstream and frozen progress" is exactly the wedge signature of the
+//    reservation protocol's missing-wake bug class
+//
+// Everything is seed-derived and deterministic: a failure prints the seed,
+// the generated fault spec, and reproduces bit-for-bit.
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "fault/fault_spec.h"
+#include "graph/topology_generator.h"
+#include "opt/global_optimizer.h"
+#include "sim/stream_simulation.h"
+
+namespace aces {
+namespace {
+
+constexpr double kFaultDeadline = 6.0;  ///< every fault window closes here
+constexpr double kDuration = 10.0;
+constexpr std::uint64_t kMaxEvents = 4'000'000;  ///< ~50 PEs x 10 s bound
+
+double uniform(std::uint64_t& state, double lo, double hi) {
+  return lo + (hi - lo) *
+                  (static_cast<double>(splitmix64(state) >> 11) /
+                   static_cast<double>(1ULL << 53));
+}
+
+/// Emits 1..6 random fault directives in the fault-spec grammar, every
+/// window inside [0.5, kFaultDeadline].
+std::string random_fault_spec(std::uint64_t& state,
+                              const graph::ProcessingGraph& g) {
+  std::ostringstream spec;
+  const int count = 1 + static_cast<int>(splitmix64(state) % 6);
+  for (int i = 0; i < count; ++i) {
+    const double from = uniform(state, 0.5, kFaultDeadline - 1.0);
+    const double until =
+        uniform(state, from + 0.1, kFaultDeadline);
+    const auto pe = splitmix64(state) % g.pe_count();
+    switch (splitmix64(state) % 5) {
+      case 0:
+        spec << "crash node=" << splitmix64(state) % g.node_count()
+             << " at=" << from << " until=" << until << "\n";
+        break;
+      case 1:
+        spec << "stall pe=" << pe << " at=" << from
+             << " for=" << uniform(state, 0.1, kFaultDeadline - from)
+             << "\n";
+        break;
+      case 2:
+        spec << "advert_loss pe=" << pe << " from=" << from
+             << " until=" << until
+             << " prob=" << uniform(state, 0.3, 1.0) << "\n";
+        break;
+      case 3:
+        spec << "advert_delay pe=" << pe << " from=" << from
+             << " until=" << until
+             << " delay=" << uniform(state, 0.01, 0.2) << "\n";
+        break;
+      case 4:
+        spec << "drop pe=" << pe << " from=" << from << " until=" << until
+             << " prob=" << uniform(state, 0.3, 1.0) << "\n";
+        break;
+    }
+  }
+  return spec.str();
+}
+
+graph::TopologyParams small_topology(std::uint64_t& state) {
+  graph::TopologyParams p;
+  p.num_nodes = 2 + static_cast<int>(splitmix64(state) % 3);
+  p.num_ingress = 1 + static_cast<int>(splitmix64(state) % 3);
+  p.num_intermediate = 3 + static_cast<int>(splitmix64(state) % 6);
+  p.num_egress = 1 + static_cast<int>(splitmix64(state) % 3);
+  p.depth = 1 + static_cast<int>(splitmix64(state) % 3);
+  // Small buffers + high load stress the reservation protocol.
+  p.buffer_capacity = 4 + static_cast<int>(splitmix64(state) % 12);
+  p.load_factor = uniform(state, 0.6, 1.1);
+  p.source_burstiness = uniform(state, 0.0, 1.0);
+  return p;
+}
+
+struct Totals {
+  std::uint64_t processed = 0;
+  std::uint64_t offered = 0;  ///< arrived + dropped_input: SDOs that hit us
+};
+
+Totals totals(const sim::StreamSimulation& sim,
+              const graph::ProcessingGraph& g) {
+  Totals t;
+  for (PeId id : g.all_pes()) {
+    const sim::PeStats s = sim.pe_stats(id);
+    t.processed += s.processed;
+    t.offered += s.arrived + s.dropped_input;
+  }
+  return t;
+}
+
+void check_conservation(const sim::StreamSimulation& sim,
+                        const graph::ProcessingGraph& g) {
+  for (PeId id : g.all_pes()) {
+    const sim::PeStats s = sim.pe_stats(id);
+    const std::uint64_t accounted =
+        s.processed + s.in_buffer + (s.busy ? 1 : 0);
+    ASSERT_LE(accounted, s.arrived)
+        << "pe" << id.value() << " fabricated SDOs: processed="
+        << s.processed << " in_buffer=" << s.in_buffer
+        << " busy=" << s.busy << " arrived=" << s.arrived;
+  }
+}
+
+TEST(FaultFuzzTest, RandomSchedulesNeverWedgeLockStep) {
+  constexpr std::uint64_t kCases = 500;
+  for (std::uint64_t seed = 1; seed <= kCases; ++seed) {
+    std::uint64_t state = 0xA0761D6478BD642FULL ^ (seed * 0x9E3779B97F4A7C15ULL);
+    const graph::TopologyParams params = small_topology(state);
+    const graph::ProcessingGraph g =
+        generate_topology(params, splitmix64(state));
+    const std::string spec = random_fault_spec(state, g);
+    SCOPED_TRACE("seed " + std::to_string(seed) + ", faults:\n" + spec);
+
+    const opt::AllocationPlan plan = opt::optimize(g);
+    sim::SimOptions options;
+    options.duration = kDuration + 1.0;
+    options.warmup = 1.0;
+    options.seed = splitmix64(state);
+    options.controller.policy = control::FlowPolicy::kLockStep;
+    options.faults = fault::parse_fault_spec(spec);
+    ASSERT_NO_THROW(fault::validate(options.faults, g));
+
+    sim::StreamSimulation sim(g, plan, options);
+
+    sim.run_until(7.0);  // all fault windows closed, recovery under way
+    const Totals at_7 = totals(sim, g);
+    check_conservation(sim, g);
+
+    sim.run_until(kDuration);
+    const Totals at_10 = totals(sim, g);
+    check_conservation(sim, g);
+    ASSERT_LT(sim.events_executed(), kMaxEvents) << "event storm";
+    if (at_10.offered > at_7.offered) {
+      ASSERT_GT(at_10.processed, at_7.processed)
+          << "sources offered " << at_10.offered - at_7.offered
+          << " SDOs after every fault window closed, but the pipeline "
+             "processed none of them";
+    }
+
+    // Lost-wakeup probe: advance another second of fault-free time; any PE
+    // still blocked with frozen progress must see a genuinely full
+    // downstream buffer (occupancy + in-flight reservations >= capacity).
+    std::vector<std::uint64_t> processed_before(g.pe_count());
+    for (PeId id : g.all_pes()) {
+      processed_before[id.value()] = sim.pe_stats(id).processed;
+    }
+    sim.run_until(kDuration + 1.0);
+    for (PeId id : g.all_pes()) {
+      const sim::PeStats s = sim.pe_stats(id);
+      if (!s.blocked) continue;
+      if (s.processed != processed_before[id.value()]) continue;
+      bool some_downstream_full = false;
+      for (PeId down : g.downstream(id)) {
+        const sim::PeStats d = sim.pe_stats(down);
+        if (d.in_buffer + static_cast<std::uint64_t>(d.reserved) >=
+            static_cast<std::uint64_t>(g.pe(down).buffer_capacity)) {
+          some_downstream_full = true;
+          break;
+        }
+      }
+      ASSERT_TRUE(some_downstream_full)
+          << "pe" << id.value()
+          << " blocked for 1 s of fault-free time with free space in every "
+             "downstream buffer: lost wakeup";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace aces

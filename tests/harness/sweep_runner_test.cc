@@ -1,0 +1,178 @@
+// Tests for the parallel deterministic sweep runner: determinism across
+// thread counts (the tentpole contract), cancellation, failure isolation,
+// seed derivation, and the grid parser.
+#include <atomic>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "harness/sweep_runner.h"
+
+namespace aces::harness {
+namespace {
+
+/// 2 cells x 2 policies x 3 seeds = 12 runs, each a fraction of a second.
+SweepGrid small_grid() {
+  SweepGrid grid;
+  grid.base_seed = 7;
+  grid.seeds_per_cell = 3;
+  grid.duration = 4.0;
+  grid.warmup = 1.0;
+  grid.policies = {control::FlowPolicy::kAces, control::FlowPolicy::kLockStep};
+  for (int cell = 0; cell < 2; ++cell) {
+    SweepCell c;
+    c.name = cell == 0 ? "tiny" : "small";
+    c.topology.num_nodes = 2 + cell;
+    c.topology.num_ingress = 1 + cell;
+    c.topology.num_intermediate = 3 + 2 * cell;
+    c.topology.num_egress = 1 + cell;
+    c.topology.depth = 2;
+    c.topology.buffer_capacity = 16;
+    grid.cells.push_back(c);
+  }
+  return grid;
+}
+
+TEST(SweepSeedTest, DerivationIsPureAndCollisionFreeAcrossGrid) {
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t run = 0; run < 4096; ++run) {
+    for (std::uint64_t stream = 0; stream < 2; ++stream) {
+      const std::uint64_t s = derive_sweep_seed(99, run, stream);
+      EXPECT_EQ(s, derive_sweep_seed(99, run, stream));  // pure
+      EXPECT_TRUE(seen.insert(s).second)
+          << "collision at run " << run << " stream " << stream;
+    }
+  }
+  EXPECT_NE(derive_sweep_seed(1, 0, 0), derive_sweep_seed(2, 0, 0));
+}
+
+TEST(SweepRunnerTest, GridExpansionIsOrderedAndLabeled) {
+  SweepRunner runner(small_grid());
+  ASSERT_EQ(runner.run_count(), 12u);
+  for (std::size_t i = 0; i < runner.run_count(); ++i) {
+    EXPECT_EQ(runner.runs()[i].run_index, i);
+  }
+  EXPECT_EQ(runner.runs()[0].label, "tiny/ACES/s0");
+  EXPECT_EQ(runner.runs()[11].label, "small/Lock-Step/s2");
+}
+
+TEST(SweepRunnerTest, ParallelReportIsByteIdenticalToSerial) {
+  SweepRunner serial(small_grid());
+  const SweepReport r1 = serial.run(1);
+  ASSERT_EQ(r1.completed(), 12u);
+
+  SweepRunner parallel(small_grid());
+  const SweepReport r8 = parallel.run(8);
+  ASSERT_EQ(r8.completed(), 12u);
+
+  // Full-precision fingerprint over every deterministic field.
+  EXPECT_EQ(sweep_fingerprint(r1), sweep_fingerprint(r8));
+
+  // And the timing-free JSON documents match byte for byte.
+  std::ostringstream j1, j8;
+  write_sweep_json(j1, r1, /*include_timing=*/false);
+  write_sweep_json(j8, r8, /*include_timing=*/false);
+  EXPECT_EQ(j1.str(), j8.str());
+}
+
+TEST(SweepRunnerTest, CancellationSkipsRemainingRuns) {
+  SweepRunner runner(small_grid());
+  std::atomic<int> done{0};
+  runner.on_run_done = [&](const SweepRunConfig&, const SweepRunResult&) {
+    if (done.fetch_add(1) + 1 == 2) runner.request_cancel();
+  };
+  const SweepReport report = runner.run(2);
+  EXPECT_GE(report.completed(), 2u);
+  EXPECT_GT(report.cancelled(), 0u);
+  EXPECT_EQ(report.completed() + report.cancelled() + report.failed(), 12u);
+  // Cancelled slots are inert, not garbage.
+  for (std::size_t i = 0; i < report.results.size(); ++i) {
+    if (report.results[i].status == SweepRunStatus::kCancelled) {
+      EXPECT_EQ(report.results[i].summary.weighted_throughput, 0.0);
+    }
+  }
+}
+
+TEST(SweepRunnerTest, ThrowingRunIsIsolatedToItsSlot) {
+  SweepGrid grid = small_grid();
+  // Invalid stream burstiness (> 1) trips a model invariant inside the
+  // simulation; the run must fail in place without taking the sweep down.
+  SweepCell bad;
+  bad.name = "bad";
+  bad.topology.num_nodes = 2;
+  bad.topology.num_ingress = 1;
+  bad.topology.num_intermediate = 2;
+  bad.topology.num_egress = 1;
+  bad.topology.source_burstiness = 2.0;
+  grid.cells.push_back(bad);
+
+  SweepRunner runner(grid);
+  const SweepReport report = runner.run(2);
+  EXPECT_EQ(report.completed(), 12u);
+  EXPECT_EQ(report.failed(), 6u);  // 1 cell x 2 policies x 3 seeds
+  for (std::size_t i = 0; i < report.results.size(); ++i) {
+    const bool is_bad =
+        report.configs[i].label.rfind("bad/", 0) == 0;
+    EXPECT_EQ(report.results[i].status == SweepRunStatus::kFailed, is_bad)
+        << report.configs[i].label;
+    if (is_bad) {
+      EXPECT_FALSE(report.results[i].error.empty());
+    }
+  }
+}
+
+TEST(SweepGridParserTest, ParsesDirectivesAndTopologies) {
+  const SweepGrid grid = parse_sweep_grid(
+      "# comment\n"
+      "base_seed = 42\n"
+      "seeds = 2\n"
+      "duration = 9\n"
+      "warmup = 2\n"
+      "dt = 0.05\n"
+      "reoptimize = 3\n"
+      "policies = udp,lockstep\n"
+      "topology name=a nodes=3 ingress=2 intermediate=4 egress=2 "
+      "load=0.7 buffer=20 depth=2 burstiness=0.4\n"
+      "topology nodes=2\n");
+  EXPECT_EQ(grid.base_seed, 42u);
+  EXPECT_EQ(grid.seeds_per_cell, 2);
+  EXPECT_DOUBLE_EQ(grid.duration, 9.0);
+  EXPECT_DOUBLE_EQ(grid.warmup, 2.0);
+  EXPECT_DOUBLE_EQ(grid.dt, 0.05);
+  EXPECT_DOUBLE_EQ(grid.reoptimize_interval, 3.0);
+  ASSERT_EQ(grid.policies.size(), 2u);
+  EXPECT_EQ(grid.policies[0], control::FlowPolicy::kUdp);
+  EXPECT_EQ(grid.policies[1], control::FlowPolicy::kLockStep);
+  ASSERT_EQ(grid.cells.size(), 2u);
+  EXPECT_EQ(grid.cells[0].name, "a");
+  EXPECT_EQ(grid.cells[0].topology.num_nodes, 3);
+  EXPECT_EQ(grid.cells[0].topology.num_intermediate, 4);
+  EXPECT_DOUBLE_EQ(grid.cells[0].topology.load_factor, 0.7);
+  EXPECT_DOUBLE_EQ(grid.cells[0].topology.source_burstiness, 0.4);
+  EXPECT_EQ(grid.cells[0].topology.buffer_capacity, 20);
+  // The "cell<k>" default label is applied at expansion time, not by the
+  // parser.
+  EXPECT_EQ(grid.cells[1].name, "");
+  EXPECT_EQ(grid.cells[1].topology.num_nodes, 2);
+}
+
+TEST(SweepGridParserTest, RejectsMalformedInputWithLineNumbers) {
+  EXPECT_THROW(parse_sweep_grid("bogus = 1\n"), std::runtime_error);
+  EXPECT_THROW(parse_sweep_grid("seeds = frog\n"), std::runtime_error);
+  EXPECT_THROW(parse_sweep_grid("policies = aces,tcp\n"), std::runtime_error);
+  EXPECT_THROW(parse_sweep_grid("topology nodes=\n"), std::runtime_error);
+  EXPECT_THROW(parse_sweep_grid("topology frogs=4\n"), std::runtime_error);
+  EXPECT_THROW(parse_sweep_grid(""), std::runtime_error);  // no cells
+  try {
+    parse_sweep_grid("seeds = 2\nnope\n");
+    FAIL() << "expected parse error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos)
+        << e.what();
+  }
+}
+
+}  // namespace
+}  // namespace aces::harness

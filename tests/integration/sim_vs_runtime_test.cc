@@ -1,0 +1,125 @@
+// Differential test: the discrete-event simulator and the threaded runtime
+// are two implementations of the same system model. On identical
+// (topology, plan, policy, seed) they must agree on the headline metric.
+//
+// Tolerance: the runtime executes in compressed wall-clock time, so its
+// throughput carries scheduling jitter the DES does not model; the repo's
+// calibration bench observes relative errors well under 20% on these sizes.
+// We assert a 35% envelope — wide enough to be deterministic-in-practice
+// across CI machines, tight enough to catch a substrate diverging in kind
+// (a policy misrouted, flow control not engaging, units off by anything).
+#include <cmath>
+#include <cstdint>
+
+#include <gtest/gtest.h>
+
+#include "graph/topology_generator.h"
+#include "harness/experiment.h"
+#include "opt/global_optimizer.h"
+#include "runtime/runtime_engine.h"
+#include "sim/stream_simulation.h"
+
+namespace aces {
+namespace {
+
+constexpr double kRelTolerance = 0.35;
+
+struct Fixture {
+  const char* name;
+  graph::TopologyParams params;
+  std::uint64_t seed;
+};
+
+/// Three small fixed topologies: a thin chain-like DAG, a wider balanced
+/// DAG, and a bursty overloaded one. Small enough that the runtime leg
+/// stays around a second of wall clock per case.
+std::vector<Fixture> fixtures() {
+  std::vector<Fixture> out;
+  {
+    graph::TopologyParams p;
+    p.num_nodes = 2;
+    p.num_ingress = 1;
+    p.num_intermediate = 3;
+    p.num_egress = 1;
+    p.depth = 3;
+    out.push_back({"thin_chain", p, 11});
+  }
+  {
+    graph::TopologyParams p;
+    p.num_nodes = 4;
+    p.num_ingress = 3;
+    p.num_intermediate = 8;
+    p.num_egress = 3;
+    p.depth = 2;
+    p.load_factor = 0.6;
+    out.push_back({"wide_dag", p, 12});
+  }
+  {
+    graph::TopologyParams p;
+    p.num_nodes = 3;
+    p.num_ingress = 2;
+    p.num_intermediate = 5;
+    p.num_egress = 2;
+    p.depth = 2;
+    p.load_factor = 0.9;
+    p.source_burstiness = 0.8;
+    p.buffer_capacity = 20;
+    out.push_back({"bursty_overloaded", p, 13});
+  }
+  return out;
+}
+
+class SimVsRuntimeTest
+    : public ::testing::TestWithParam<control::FlowPolicy> {};
+
+TEST_P(SimVsRuntimeTest, WeightedThroughputAgrees) {
+  const control::FlowPolicy policy = GetParam();
+  for (const Fixture& fixture : fixtures()) {
+    SCOPED_TRACE(fixture.name);
+    const graph::ProcessingGraph g =
+        generate_topology(fixture.params, fixture.seed);
+    const opt::AllocationPlan plan = opt::optimize(g);
+
+    sim::SimOptions so;
+    so.duration = 16.0;
+    so.warmup = 4.0;
+    so.seed = fixture.seed + 1000;
+    so.controller.policy = policy;
+    const harness::RunSummary sim_run = harness::run_single(g, plan, so);
+
+    runtime::RuntimeOptions ro;
+    ro.duration = 16.0;
+    ro.warmup = 4.0;
+    ro.time_scale = 8.0;  // 16 simulated seconds in ~2 s of wall clock
+    ro.seed = fixture.seed + 1000;
+    ro.controller.policy = policy;
+    const harness::RunSummary rt_run = harness::summarize(
+        runtime::run_runtime(g, plan, ro), plan.weighted_throughput);
+
+    ASSERT_GT(sim_run.weighted_throughput, 0.0);
+    ASSERT_GT(rt_run.weighted_throughput, 0.0);
+    const double rel_err =
+        std::abs(rt_run.weighted_throughput - sim_run.weighted_throughput) /
+        sim_run.weighted_throughput;
+    EXPECT_LE(rel_err, kRelTolerance)
+        << "sim wtput " << sim_run.weighted_throughput << " vs runtime "
+        << rt_run.weighted_throughput;
+
+    // Both substrates are fed the same fluid bound, and neither may beat it
+    // by more than jitter: normalized throughput stays near or below 1.
+    EXPECT_LE(sim_run.normalized_throughput(), 1.0 + kRelTolerance);
+    EXPECT_LE(rt_run.normalized_throughput(), 1.0 + kRelTolerance);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Policies, SimVsRuntimeTest,
+                         ::testing::Values(control::FlowPolicy::kAces,
+                                           control::FlowPolicy::kLockStep),
+                         [](const auto& info) {
+                           return info.param == control::FlowPolicy::kAces
+                                      ? "Aces"
+                                      : "LockStep";
+                         });
+
+}  // namespace
+}  // namespace aces

@@ -78,6 +78,45 @@ TEST(CounterRegistryTest, ConcurrentIncrementsAreLossless) {
             static_cast<std::uint64_t>(kThreads) * kPerThread);
 }
 
+TEST(CounterRegistryTest, ShardedRegistrySumsAcrossThreads) {
+  // Sharded mode: each thread lands on its own cache-line-padded cell, but
+  // value() and snapshot() still report the global sum.
+  CounterRegistry registry(/*shards=*/8);
+  EXPECT_GE(registry.shard_count(), 8u);
+  Counter counter = registry.counter("sharded");
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter] {
+      for (int i = 0; i < kPerThread; ++i) counter.inc();
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(counter.value(),
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(registry.snapshot().counters[0].second,
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(CounterRegistryTest, ShardCountRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(CounterRegistry(1).shard_count(), 1u);
+  EXPECT_EQ(CounterRegistry(3).shard_count(), 4u);
+  EXPECT_EQ(CounterRegistry(8).shard_count(), 8u);
+  EXPECT_EQ(CounterRegistry(0).shard_count(), 1u);  // clamped, not UB
+}
+
+TEST(CounterRegistryTest, ShardedHandlesShareTotalsAcrossCopies) {
+  CounterRegistry registry(4);
+  Counter a = registry.counter("shared");
+  Counter b = registry.counter("shared");
+  a.inc(2);
+  b.inc(3);
+  EXPECT_EQ(a.value(), 5u);
+  EXPECT_EQ(b.value(), 5u);
+}
+
 TEST(CounterRegistryTest, SnapshotWhileWritersRun) {
   CounterRegistry registry;
   Counter counter = registry.counter("live");

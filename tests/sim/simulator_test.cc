@@ -1,5 +1,7 @@
 #include "sim/simulator.h"
 
+#include <cstdint>
+#include <functional>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -114,6 +116,95 @@ TEST(SimulatorTest, ManyEventsStressOrdering) {
   sim.run_all();
   EXPECT_TRUE(monotone);
   EXPECT_EQ(sim.executed(), 10000u);
+}
+
+// The remaining tests stress the calendar queue's specific failure modes:
+// duplicate timestamps spread over many buckets, far-future jumps that
+// overflow the current day, rebuilds while events are pending, and
+// interleaved execute/schedule traffic around bucket boundaries.
+
+TEST(SimulatorTest, DuplicateTimestampsKeepScheduleOrderAcrossRebuilds) {
+  Simulator sim;
+  std::vector<int> trace;
+  // Enough events to force several capacity rebuilds, at only 3 distinct
+  // times, scheduled in a shuffled pattern.
+  for (int i = 0; i < 600; ++i) {
+    const double t = static_cast<double>((i * 7) % 3);
+    sim.schedule_at(t, [&trace, i] { trace.push_back(i); });
+  }
+  sim.run_all();
+  ASSERT_EQ(trace.size(), 600u);
+  // Within each timestamp, events run in schedule order (seq order).
+  std::vector<int> last_at_time(3, -1);
+  for (const int i : trace) {
+    const int t = (i * 7) % 3;
+    EXPECT_LT(last_at_time[t], i);
+    last_at_time[t] = i;
+  }
+}
+
+TEST(SimulatorTest, FarFutureJumpThenBackfillStaysOrdered) {
+  Simulator sim;
+  std::vector<double> times;
+  const auto record = [&] { times.push_back(sim.now()); };
+  sim.schedule_at(1e6, record);   // far beyond the initial bucket span
+  sim.schedule_at(0.001, record); // backfill near now
+  sim.schedule_at(999.0, record);
+  sim.schedule_at(1e-9, record);
+  sim.run_all();
+  EXPECT_EQ(times, (std::vector<double>{1e-9, 0.001, 999.0, 1e6}));
+}
+
+TEST(SimulatorTest, HandlersSchedulingAcrossBucketBoundaries) {
+  Simulator sim;
+  // Each event schedules a follow-up ~1000 widths ahead; the cursor must
+  // re-home correctly every time the current day's bucket goes empty.
+  int hops = 0;
+  std::function<void()> hop = [&] {
+    if (++hops < 50) sim.schedule_in(97.3, hop);
+  };
+  sim.schedule_in(0.1, hop);
+  sim.run_all();
+  EXPECT_EQ(hops, 50);
+  EXPECT_DOUBLE_EQ(sim.now(), 0.1 + 49 * 97.3);
+}
+
+TEST(SimulatorTest, InterleavedScheduleAndRunKeepsGlobalOrder) {
+  Simulator sim;
+  std::vector<double> times;
+  std::uint64_t rng = 12345;
+  const auto record = [&] { times.push_back(sim.now()); };
+  double horizon = 0.0;
+  for (int round = 0; round < 40; ++round) {
+    for (int i = 0; i < 50; ++i) {
+      rng = rng * 6364136223846793005ULL + 1442695040888963407ULL;
+      const double dt = static_cast<double>(rng >> 40) / (1ULL << 20);
+      sim.schedule_in(dt * 16.0, record);
+    }
+    horizon += 3.0;
+    sim.run_until(horizon);
+  }
+  sim.run_all();
+  ASSERT_EQ(times.size(), 2000u);
+  for (std::size_t i = 1; i < times.size(); ++i) {
+    EXPECT_LE(times[i - 1], times[i]) << "out of order at " << i;
+  }
+}
+
+TEST(SimulatorTest, TinyTimeScaleDoesNotOverflowDayIndex) {
+  Simulator sim;
+  // All events nanoseconds apart: the adaptive bucket width must clamp so
+  // day indices stay representable.
+  std::vector<double> times;
+  for (int i = 100; i > 0; --i) {
+    sim.schedule_at(static_cast<double>(i) * 1e-9,
+                    [&] { times.push_back(sim.now()); });
+  }
+  sim.run_all();
+  ASSERT_EQ(times.size(), 100u);
+  for (std::size_t i = 1; i < times.size(); ++i) {
+    EXPECT_LT(times[i - 1], times[i]);
+  }
 }
 
 }  // namespace

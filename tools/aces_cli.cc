@@ -11,6 +11,8 @@
 //                 [--runtime] [--timescale=5] [--trace=out.jsonl]
 //                 [--faults=@faults.txt] [--staleness=1] [--reoptimize=5]
 //   aces trace-summary --in=out.jsonl [--tail=0.25] [--tolerance=0.1]
+//   aces sweep    --grid=@grid.txt [--jobs=4] [--out=BENCH_sweep.json]
+//                 [--no-timing] [--quiet]
 //
 // The CLI is a thin shell over the public API: generate_topology /
 // write_topology, opt::optimize / optimize_dual, sim::simulate. Everything
@@ -29,6 +31,7 @@
 #include "graph/serialization.h"
 #include "graph/topology_generator.h"
 #include "harness/experiment.h"
+#include "harness/sweep_runner.h"
 #include "harness/table.h"
 #include "obs/counters.h"
 #include "obs/export.h"
@@ -480,6 +483,73 @@ int cmd_compare(Flags& flags) {
   return 0;
 }
 
+int cmd_sweep(Flags& flags) {
+  const std::string grid_spec = flags.get("grid", std::string());
+  const int jobs = flags.get("jobs", 1);
+  const std::string out = flags.get("out", std::string("BENCH_sweep.json"));
+  const bool include_timing = !flags.has("no-timing");
+  const bool quiet = flags.has("quiet");
+  const bool csv = flags.has("csv");
+  flags.check_all_consumed();
+  if (grid_spec.empty()) {
+    throw std::runtime_error("--grid=@FILE (or an inline grid spec) is "
+                             "required");
+  }
+  if (jobs < 1) throw std::runtime_error("--jobs must be >= 1");
+
+  std::string grid_text = grid_spec;
+  if (grid_spec.front() == '@') {
+    std::ifstream file(grid_spec.substr(1));
+    if (!file) {
+      throw std::runtime_error("cannot open grid file: " + grid_spec.substr(1));
+    }
+    grid_text.assign((std::istreambuf_iterator<char>(file)),
+                     std::istreambuf_iterator<char>());
+  }
+  harness::SweepRunner runner(harness::parse_sweep_grid(grid_text));
+  if (!quiet) {
+    std::cerr << "sweep: " << runner.run_count() << " runs on " << jobs
+              << " job(s)\n";
+    runner.on_run_done = [](const harness::SweepRunConfig& config,
+                            const harness::SweepRunResult& result) {
+      std::cerr << "  [" << config.run_index << "] " << config.label << ": "
+                << (result.status == harness::SweepRunStatus::kOk
+                        ? "ok"
+                        : "FAILED " + result.error)
+                << " (" << harness::cell(result.wall_ms, 1) << " ms)\n";
+    };
+  }
+  const harness::SweepReport report = runner.run(jobs);
+
+  {
+    std::ofstream file(out);
+    if (!file) throw std::runtime_error("cannot open output file: " + out);
+    harness::write_sweep_json(file, report, include_timing);
+  }
+
+  if (!quiet) {
+    harness::Table table = summary_table();
+    for (std::size_t i = 0; i < report.results.size(); ++i) {
+      if (report.results[i].status != harness::SweepRunStatus::kOk) continue;
+      add_summary_row(table, report.configs[i].label.c_str(),
+                      report.results[i].summary);
+    }
+    harness::print_table(table, csv, std::cout);
+    std::cout << '\n';
+  }
+  double mean = 0.0, lo = 0.0, hi = 0.0;
+  report.throughput_summary(mean, lo, hi);
+  std::cout << report.completed() << "/" << report.results.size()
+            << " runs ok (" << report.failed() << " failed, "
+            << report.cancelled() << " cancelled), "
+            << harness::cell(report.total_wall_ms, 1) << " ms total, "
+            << harness::cell(report.runs_per_sec(), 2)
+            << " runs/s; weighted throughput mean "
+            << harness::cell(mean, 1) << " [" << harness::cell(lo, 1) << ", "
+            << harness::cell(hi, 1) << "]\nwrote " << out << '\n';
+  return report.failed() == 0 ? 0 : 3;
+}
+
 int cmd_trace_summary(Flags& flags) {
   const std::string in = flags.get("in", std::string());
   obs::TraceSummaryOptions options;
@@ -548,7 +618,14 @@ int usage(std::ostream& os, int code) {
         "             crash/restart instead; --trace writes one file per\n"
         "             policy: F.<policy>.jsonl)\n"
         "  trace-summary --in=F.jsonl [--tail=0.25 --tolerance=0.1 --csv]\n"
-        "            (per-PE settling time and oscillation amplitude)\n";
+        "            (per-PE settling time and oscillation amplitude)\n"
+        "  sweep     --grid=@FILE [--jobs=N --out=BENCH_sweep.json --csv\n"
+        "             --no-timing --quiet]\n"
+        "            (parallel deterministic sweep over a topology x policy\n"
+        "             x seed grid; the report is bit-identical for any\n"
+        "             --jobs. Grid grammar in docs/benchmarking.md;\n"
+        "             --no-timing omits wall-clock fields from the JSON;\n"
+        "             exit 3 when any run failed)\n";
   return code;
 }
 
@@ -567,6 +644,7 @@ int main(int argc, char** argv) {
     if (command == "simulate") return cmd_simulate(flags);
     if (command == "compare") return cmd_compare(flags);
     if (command == "trace-summary") return cmd_trace_summary(flags);
+    if (command == "sweep") return cmd_sweep(flags);
     std::cerr << "unknown command: " << command << '\n';
     return usage(std::cerr, 2);
   } catch (const std::exception& e) {
