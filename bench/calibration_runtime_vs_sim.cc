@@ -50,7 +50,8 @@ int main(int argc, char** argv) {
       const auto sim_run = harness::run_single(g, plan, so);
       json.add_run("s" + std::to_string(seed) + "/" + to_string(policy) +
                        "/sim",
-                   sim_timer.elapsed_ms(), sim_run.weighted_throughput);
+                   sim_timer.elapsed_ms(), sim_run.weighted_throughput,
+                   sim_run.latency_p50, sim_run.latency_p99);
 
       runtime::RuntimeOptions ro;
       ro.duration = 30.0;
@@ -63,7 +64,8 @@ int main(int argc, char** argv) {
                                              plan.weighted_throughput);
       json.add_run("s" + std::to_string(seed) + "/" + to_string(policy) +
                        "/runtime",
-                   rt_timer.elapsed_ms(), rt_run.weighted_throughput);
+                   rt_timer.elapsed_ms(), rt_run.weighted_throughput,
+                   rt_run.latency_p50, rt_run.latency_p99);
 
       const double rel_err =
           100.0 *

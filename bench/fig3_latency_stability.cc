@@ -44,7 +44,8 @@ int main(int argc, char** argv) {
       const auto mean = run_experiment(cell, policy).mean;
       json.add_run("burst" + harness::cell(burst, 1) + "/" +
                        to_string(policy),
-                   timer.elapsed_ms(), mean.weighted_throughput);
+                   timer.elapsed_ms(), mean.weighted_throughput,
+                   mean.latency_p50, mean.latency_p99);
       table.add_row({harness::cell(burst, 1), to_string(policy),
                      harness::cell(mean.latency_mean * 1e3, 1),
                      harness::cell(mean.latency_std * 1e3, 1),

@@ -46,7 +46,8 @@ int main(int argc, char** argv) {
       const harness::WallTimer timer;
       const auto mean = run_experiment(cell, policy).mean;
       json.add_run("B" + std::to_string(buffer) + "/" + to_string(policy),
-                   timer.elapsed_ms(), mean.weighted_throughput);
+                   timer.elapsed_ms(), mean.weighted_throughput,
+                   mean.latency_p50, mean.latency_p99);
       table.add_row({std::to_string(buffer), to_string(policy),
                      harness::cell(mean.weighted_throughput, 0),
                      harness::cell(mean.normalized_throughput(), 3),

@@ -51,7 +51,8 @@ int main(int argc, char** argv) {
       const auto mean = run_experiment(cell, policy).mean;
       json.add_run("sojourn" + harness::cell(burst, 2) + "/" +
                        to_string(policy),
-                   timer.elapsed_ms(), mean.weighted_throughput);
+                   timer.elapsed_ms(), mean.weighted_throughput,
+                   mean.latency_p50, mean.latency_p99);
       row.push_back(harness::cell(mean.normalized_throughput(), 3));
     }
     table.add_row(row);

@@ -1,0 +1,150 @@
+// Overhead guard for data-plane span tracing.
+//
+// Runs the same simulation untraced and traced (1% sampling, the production
+// default) and checks the two contracts that let tracing ride in every run:
+//
+//  1. Determinism: span hooks never schedule events or alter event order, so
+//     the traced RunReport is bit-identical to the untraced one (compared
+//     via a hexfloat fingerprint — exact, not tolerance-based).
+//  2. Cost: the traced run's best-of-N wall clock stays within --threshold
+//     (default 5%) of the untraced best. min-of-N because the minimum is
+//     the statistic least polluted by scheduler noise on shared CI boxes.
+//
+// Exit codes: 0 ok, 1 fingerprint mismatch (a correctness bug), 2 overhead
+// above threshold. CI runs this directly (not under ctest) so a noisy box
+// shows up as a distinct failure, not a flaky unit test.
+//
+//   ./bench/trace_overhead [--trials=5 --threshold=0.05 --sample=0.01
+//                           --scale=1 --json=BENCH_trace_overhead.json]
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "graph/topology_generator.h"
+#include "harness/bench_json.h"
+#include "harness/defaults.h"
+#include "metrics/run_report.h"
+#include "obs/spans.h"
+#include "opt/global_optimizer.h"
+#include "sim/stream_simulation.h"
+
+namespace {
+
+using namespace aces;
+
+std::string hex(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%a", v);
+  return buf;
+}
+
+/// Exact serialization of every deterministic RunReport field. Two runs
+/// with identical event orders produce identical fingerprints; any
+/// divergence caused by tracing shows up as a byte difference.
+std::string report_fingerprint(const metrics::RunReport& r) {
+  std::ostringstream os;
+  os << hex(r.measured_seconds) << '|' << hex(r.weighted_throughput) << '|'
+     << hex(r.output_rate) << '|' << r.latency.count() << '|'
+     << hex(r.latency.mean()) << '|' << hex(r.latency.stddev()) << '|'
+     << r.latency_histogram.count() << '|' << hex(r.latency_histogram.sum())
+     << '|' << hex(r.latency_histogram.p99()) << '|' << r.internal_drops
+     << '|' << r.ingress_drops << '|' << r.sdos_processed << '|'
+     << hex(r.cpu_utilization) << '|' << hex(r.buffer_fill.mean());
+  for (const std::uint64_t n : r.egress_outputs) os << '|' << n;
+  for (const metrics::PeAccounting& pe : r.per_pe) {
+    os << '|' << pe.arrived << ',' << pe.processed << ',' << pe.emitted
+       << ',' << pe.dropped_input << ',' << hex(pe.cpu_seconds);
+  }
+  return os.str();
+}
+
+double flag(int argc, char** argv, const std::string& name, double fallback) {
+  const std::string prefix = "--" + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind(prefix, 0) == 0) return std::stod(arg.substr(prefix.size()));
+  }
+  return fallback;
+}
+
+std::string string_flag(int argc, char** argv, const std::string& name,
+                        const std::string& fallback) {
+  const std::string prefix = "--" + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind(prefix, 0) == 0) return arg.substr(prefix.size());
+  }
+  return fallback;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int trials = static_cast<int>(flag(argc, argv, "trials", 5));
+  const double threshold = flag(argc, argv, "threshold", 0.05);
+  const double sample = flag(argc, argv, "sample", 0.01);
+  const double scale = flag(argc, argv, "scale", 1.0);
+  const std::string json_path =
+      string_flag(argc, argv, "json", "BENCH_trace_overhead.json");
+
+  const graph::ProcessingGraph g =
+      graph::generate_topology(harness::calibration_topology(), 7);
+  const opt::AllocationPlan plan = opt::optimize(g);
+  sim::SimOptions options = harness::default_sim_options();
+  options.duration = 30.0 * scale;
+  options.warmup = 5.0 * scale;
+  options.seed = 42;
+
+  const auto run_once = [&](obs::SpanTracer* tracer, double& best_ms) {
+    sim::SimOptions opt = options;
+    opt.spans = tracer;
+    const harness::WallTimer timer;
+    sim::StreamSimulation simulation(g, plan, opt);
+    simulation.run();
+    const double ms = timer.elapsed_ms();
+    if (best_ms < 0.0 || ms < best_ms) best_ms = ms;
+    return simulation.report();
+  };
+
+  harness::BenchJsonWriter json("trace_overhead");
+  double untraced_ms = -1.0;
+  double traced_ms = -1.0;
+  std::string untraced_fp;
+  std::string traced_fp;
+  for (int t = 0; t < trials; ++t) {
+    const metrics::RunReport r = run_once(nullptr, untraced_ms);
+    untraced_fp = report_fingerprint(r);
+  }
+  obs::SpanTracerOptions tracer_options;
+  tracer_options.sample_rate = sample;
+  tracer_options.seed = options.seed;
+  for (int t = 0; t < trials; ++t) {
+    obs::SpanTracer tracer(tracer_options);
+    const metrics::RunReport r = run_once(&tracer, traced_ms);
+    traced_fp = report_fingerprint(r);
+  }
+  json.add_run("untraced", untraced_ms);
+  json.add_run("traced", traced_ms);
+  json.write_file(json_path);
+
+  const double overhead =
+      untraced_ms > 0.0 ? traced_ms / untraced_ms - 1.0 : 0.0;
+  std::cout << "untraced best " << untraced_ms << " ms, traced best "
+            << traced_ms << " ms, overhead " << overhead * 100.0 << "% "
+            << "(threshold " << threshold * 100.0 << "%), sample rate "
+            << sample << ", " << trials << " trial(s)\n";
+
+  if (untraced_fp != traced_fp) {
+    std::cerr << "FAIL: traced RunReport diverges from untraced — span "
+                 "hooks altered simulation behaviour\n";
+    return 1;
+  }
+  std::cout << "RunReport fingerprints identical (tracing is effect-free)\n";
+  if (overhead > threshold) {
+    std::cerr << "FAIL: tracing overhead " << overhead * 100.0
+              << "% exceeds threshold " << threshold * 100.0 << "%\n";
+    return 2;
+  }
+  return 0;
+}

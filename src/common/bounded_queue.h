@@ -40,6 +40,12 @@ class BoundedQueue {
     return slots_[head_];
   }
 
+  /// Peek the i-th element from the front (0 == front()).
+  [[nodiscard]] const T& at(std::size_t i) const {
+    ACES_CHECK_MSG(i < size_, "at() past BoundedQueue size");
+    return slots_[(head_ + i) % slots_.size()];
+  }
+
   void pop_front() {
     ACES_CHECK_MSG(size_ > 0, "pop_front() on empty BoundedQueue");
     head_ = (head_ + 1) % slots_.size();

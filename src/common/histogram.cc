@@ -1,5 +1,6 @@
 #include "common/histogram.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/check.h"
@@ -25,10 +26,27 @@ void LogHistogram::add(double value, std::uint64_t weight) {
     index = 0;  // underflow (also catches NaN and non-positive values)
   } else {
     const double pos = (std::log10(value) - log_min_) * inv_log_step_;
-    const auto bucket = static_cast<std::size_t>(pos);
-    index = bucket >= bucket_count() ? counts_.size() - 1 : bucket + 1;
+    // Guard the top bucket: +inf (and any value past the configured span)
+    // must land in overflow *before* the size_t cast — casting a double
+    // that exceeds the integer range is undefined behaviour.
+    if (!(pos < static_cast<double>(bucket_count()))) {
+      index = counts_.size() - 1;
+    } else {
+      index = static_cast<std::size_t>(pos) + 1;
+    }
   }
   counts_[index] += weight;
+  if (std::isfinite(value)) {
+    if (count_ == 0) {
+      min_seen_ = max_seen_ = value;
+    } else {
+      min_seen_ = std::min(min_seen_, value);
+      max_seen_ = std::max(max_seen_, value);
+    }
+    sum_ += value * static_cast<double>(weight);
+  } else if (count_ == 0) {
+    min_seen_ = max_seen_ = 0.0;
+  }
   count_ += weight;
 }
 
@@ -37,12 +55,24 @@ void LogHistogram::merge(const LogHistogram& other) {
                      min_value_ == other.min_value_,
                  "merging histograms with different geometry");
   for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+  if (other.count_ > 0) {
+    if (count_ == 0) {
+      min_seen_ = other.min_seen_;
+      max_seen_ = other.max_seen_;
+    } else {
+      min_seen_ = std::min(min_seen_, other.min_seen_);
+      max_seen_ = std::max(max_seen_, other.max_seen_);
+    }
+  }
+  sum_ += other.sum_;
   count_ += other.count_;
 }
 
 void LogHistogram::reset() {
   for (auto& c : counts_) c = 0;
   count_ = 0;
+  min_seen_ = max_seen_ = 0.0;
+  sum_ = 0.0;
 }
 
 double LogHistogram::bucket_lower(std::size_t i) const {
@@ -56,19 +86,24 @@ double LogHistogram::quantile(double q) const {
   const auto rank = std::max<std::uint64_t>(
       1, static_cast<std::uint64_t>(
              std::ceil(q * static_cast<double>(count_))));
+  const auto clamp = [this](double v) {
+    return std::clamp(v, min_seen_, max_seen_);
+  };
   std::uint64_t seen = 0;
   for (std::size_t i = 0; i < counts_.size(); ++i) {
     seen += counts_[i];
     if (seen >= rank) {
-      if (i == 0) return min_value_;                        // underflow bucket
-      if (i == counts_.size() - 1) return bucket_lower(bucket_count());
+      if (i == 0) return clamp(min_value_);  // underflow bucket
+      // Overflow bucket: the exact maximum is tracked, report it rather
+      // than the last boundary (which under-reports arbitrarily badly).
+      if (i == counts_.size() - 1) return clamp(max_seen_);
       // Geometric midpoint of interior bucket i-1.
       const double lo = bucket_lower(i - 1);
       const double hi = bucket_lower(i);
-      return std::sqrt(lo * hi);
+      return clamp(std::sqrt(lo * hi));
     }
   }
-  return bucket_lower(bucket_count());
+  return clamp(max_seen_);
 }
 
 }  // namespace aces

@@ -3,6 +3,9 @@
 // End-to-end SDO latencies span ~4 orders of magnitude (sub-millisecond to
 // tens of seconds under congestion); logarithmic buckets give bounded memory
 // with bounded relative quantile error, the same trade HdrHistogram makes.
+// Like HdrHistogram, the exact min/max/sum of the samples are tracked next
+// to the buckets, so the tails reported for the extreme quantiles are real
+// observed values instead of bucket-boundary artifacts.
 #pragma once
 
 #include <cstdint>
@@ -24,17 +27,33 @@ class LogHistogram {
 
   [[nodiscard]] std::uint64_t count() const { return count_; }
   /// Quantile in [0,1]; returns the geometric midpoint of the bucket holding
-  /// the q-th sample. 0 when empty.
+  /// the q-th sample, clamped to the observed [min, max] so the extreme
+  /// quantiles never report values outside what was actually recorded
+  /// (which also keeps the under/overflow buckets honest). 0 when empty.
   [[nodiscard]] double quantile(double q) const;
   [[nodiscard]] double median() const { return quantile(0.5); }
+  [[nodiscard]] double p90() const { return quantile(0.90); }
   [[nodiscard]] double p99() const { return quantile(0.99); }
+  [[nodiscard]] double p999() const { return quantile(0.999); }
+
+  /// Exact smallest sample; 0 when empty.
+  [[nodiscard]] double min() const { return count_ ? min_seen_ : 0.0; }
+  /// Exact largest sample; 0 when empty.
+  [[nodiscard]] double max() const { return count_ ? max_seen_ : 0.0; }
+  /// Exact sum of weighted samples (non-finite samples excluded).
+  [[nodiscard]] double sum() const { return sum_; }
+  /// sum()/count(); 0 when empty.
+  [[nodiscard]] double mean() const {
+    return count_ ? sum_ / static_cast<double>(count_) : 0.0;
+  }
 
   /// Number of interior buckets (excludes under/overflow).
   [[nodiscard]] std::size_t bucket_count() const { return counts_.size() - 2; }
   [[nodiscard]] std::uint64_t underflow() const { return counts_.front(); }
   [[nodiscard]] std::uint64_t overflow() const { return counts_.back(); }
 
-  /// Lower bound of interior bucket i.
+  /// Lower bound of interior bucket i (i == bucket_count() gives the upper
+  /// bound of the last interior bucket).
   [[nodiscard]] double bucket_lower(std::size_t i) const;
   [[nodiscard]] std::uint64_t bucket_value(std::size_t i) const {
     return counts_[i + 1];
@@ -47,6 +66,9 @@ class LogHistogram {
   double log_step_;
   std::vector<std::uint64_t> counts_;  // [underflow, interior..., overflow]
   std::uint64_t count_ = 0;
+  double min_seen_ = 0.0;
+  double max_seen_ = 0.0;
+  double sum_ = 0.0;
 };
 
 }  // namespace aces

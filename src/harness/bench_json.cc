@@ -43,8 +43,10 @@ BenchJsonWriter::BenchJsonWriter(std::string bench_name)
     : name_(std::move(bench_name)) {}
 
 void BenchJsonWriter::add_run(const std::string& label, double wall_ms,
-                              double weighted_throughput) {
-  runs_.push_back(Run{label, wall_ms, weighted_throughput});
+                              double weighted_throughput, double latency_p50,
+                              double latency_p99) {
+  runs_.push_back(
+      Run{label, wall_ms, weighted_throughput, latency_p50, latency_p99});
 }
 
 std::string BenchJsonWriter::to_json() const {
@@ -86,6 +88,12 @@ std::string BenchJsonWriter::to_json() const {
        << num(r.wall_ms);
     if (r.weighted_throughput >= 0.0) {
       os << ",\"weighted_throughput\":" << num(r.weighted_throughput);
+    }
+    if (r.latency_p50 >= 0.0) {
+      os << ",\"latency_p50\":" << num(r.latency_p50);
+    }
+    if (r.latency_p99 >= 0.0) {
+      os << ",\"latency_p99\":" << num(r.latency_p99);
     }
     os << "}";
   }

@@ -20,9 +20,11 @@ class BenchJsonWriter {
   explicit BenchJsonWriter(std::string bench_name);
 
   /// Records one run. `weighted_throughput` < 0 means "not applicable"
-  /// (micro benches); the field is then omitted.
+  /// (micro benches); the field is then omitted. Same convention for the
+  /// optional end-to-end latency percentiles (seconds).
   void add_run(const std::string& label, double wall_ms,
-               double weighted_throughput = -1.0);
+               double weighted_throughput = -1.0, double latency_p50 = -1.0,
+               double latency_p99 = -1.0);
 
   [[nodiscard]] std::size_t runs() const { return runs_.size(); }
 
@@ -39,6 +41,8 @@ class BenchJsonWriter {
     std::string label;
     double wall_ms = 0.0;
     double weighted_throughput = -1.0;
+    double latency_p50 = -1.0;  ///< seconds; < 0 omits the field
+    double latency_p99 = -1.0;  ///< seconds; < 0 omits the field
   };
   std::string name_;
   std::vector<Run> runs_;

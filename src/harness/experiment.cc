@@ -10,6 +10,7 @@ RunSummary summarize(const metrics::RunReport& report, double fluid_bound) {
   s.fluid_bound = fluid_bound;
   s.latency_mean = report.latency.mean();
   s.latency_std = report.latency.stddev();
+  s.latency_p50 = report.latency_histogram.median();
   s.latency_p99 = report.latency_histogram.p99();
   s.ingress_drops_per_sec =
       static_cast<double>(report.ingress_drops) / report.measured_seconds;
@@ -30,6 +31,7 @@ RunSummary average(const std::vector<RunSummary>& runs) {
     mean.fluid_bound += r.fluid_bound / n;
     mean.latency_mean += r.latency_mean / n;
     mean.latency_std += r.latency_std / n;
+    mean.latency_p50 += r.latency_p50 / n;
     mean.latency_p99 += r.latency_p99 / n;
     mean.ingress_drops_per_sec += r.ingress_drops_per_sec / n;
     mean.internal_drops_per_sec += r.internal_drops_per_sec / n;

@@ -35,6 +35,7 @@ struct RunSummary {
   double fluid_bound = 0.0;
   double latency_mean = 0.0;
   double latency_std = 0.0;
+  double latency_p50 = 0.0;
   double latency_p99 = 0.0;
   double ingress_drops_per_sec = 0.0;
   double internal_drops_per_sec = 0.0;

@@ -4,6 +4,7 @@
 #include <chrono>
 #include <cstdio>
 #include <deque>
+#include <map>
 #include <mutex>
 #include <ostream>
 #include <sstream>
@@ -13,6 +14,7 @@
 
 #include "common/check.h"
 #include "common/rng.h"
+#include "obs/export.h"
 #include "opt/global_optimizer.h"
 #include "sim/stream_simulation.h"
 
@@ -87,6 +89,7 @@ void write_summary_fields(std::ostream& os, const RunSummary& s) {
      << ",\"fluid_bound\":" << num(s.fluid_bound)
      << ",\"normalized_throughput\":" << num(s.normalized_throughput())
      << ",\"latency_ms_mean\":" << num(s.latency_mean * 1e3)
+     << ",\"latency_ms_p50\":" << num(s.latency_p50 * 1e3)
      << ",\"latency_ms_p99\":" << num(s.latency_p99 * 1e3)
      << ",\"ingress_drops_per_sec\":" << num(s.ingress_drops_per_sec)
      << ",\"internal_drops_per_sec\":" << num(s.internal_drops_per_sec)
@@ -198,7 +201,17 @@ void SweepRunner::execute_run(std::size_t index, SweepReport& report) const {
     options.reoptimize_interval = grid_.reoptimize_interval;
     options.seed = cfg.sim_seed;
     options.controller.policy = cfg.policy;
+    obs::ControlTraceRecorder recorder;
+    if (grid_.record_traces) options.trace = &recorder;
     slot.summary = run_single(g, plan, options);
+    if (grid_.record_traces) {
+      slot.trace = recorder.snapshot();
+      // Tag every record with its policy so the combined sweep trace can be
+      // split back apart by trace-summary.
+      for (obs::TickRecord& r : slot.trace) {
+        r.policy = control::to_string(cfg.policy);
+      }
+    }
     slot.status = SweepRunStatus::kOk;
   } catch (const std::exception& e) {
     slot.status = SweepRunStatus::kFailed;
@@ -401,7 +414,45 @@ void write_sweep_json(std::ostream& os, const SweepReport& report,
      << ",\"failed\":" << report.failed()
      << ",\"cancelled\":" << report.cancelled()
      << ",\"weighted_throughput\":{\"mean\":" << num(mean)
-     << ",\"min\":" << num(lo) << ",\"max\":" << num(hi) << "}"
+     << ",\"min\":" << num(lo) << ",\"max\":" << num(hi) << "}";
+
+  // Per-policy latency/throughput aggregates over completed runs. Results
+  // are visited in run-index order and keyed by policy name in a std::map,
+  // so the block is byte-identical for any jobs count.
+  struct PolicyAgg {
+    std::size_t runs = 0;
+    double throughput_sum = 0.0;
+    double p50_sum = 0.0;
+    double p99_sum = 0.0;
+    double p50_max = 0.0;
+    double p99_max = 0.0;
+  };
+  std::map<std::string, PolicyAgg> policies;
+  for (std::size_t i = 0; i < report.results.size(); ++i) {
+    const SweepRunResult& r = report.results[i];
+    if (r.status != SweepRunStatus::kOk) continue;
+    PolicyAgg& agg = policies[control::to_string(report.configs[i].policy)];
+    ++agg.runs;
+    agg.throughput_sum += r.summary.weighted_throughput;
+    agg.p50_sum += r.summary.latency_p50;
+    agg.p99_sum += r.summary.latency_p99;
+    agg.p50_max = std::max(agg.p50_max, r.summary.latency_p50);
+    agg.p99_max = std::max(agg.p99_max, r.summary.latency_p99);
+  }
+  os << ",\"policies\":{";
+  bool first_policy = true;
+  for (const auto& [name, agg] : policies) {
+    const double n = static_cast<double>(agg.runs);
+    if (!first_policy) os << ",";
+    first_policy = false;
+    os << "\"" << escape_json(name) << "\":{\"runs\":" << agg.runs
+       << ",\"weighted_throughput_mean\":" << num(agg.throughput_sum / n)
+       << ",\"latency_ms_p50_mean\":" << num(agg.p50_sum / n * 1e3)
+       << ",\"latency_ms_p99_mean\":" << num(agg.p99_sum / n * 1e3)
+       << ",\"latency_ms_p50_max\":" << num(agg.p50_max * 1e3)
+       << ",\"latency_ms_p99_max\":" << num(agg.p99_max * 1e3) << "}";
+  }
+  os << "}"
      << ",\"per_run\":[";
   for (std::size_t i = 0; i < report.results.size(); ++i) {
     const SweepRunConfig& cfg = report.configs[i];
@@ -424,6 +475,12 @@ void write_sweep_json(std::ostream& os, const SweepReport& report,
   os << "]}\n";
 }
 
+void write_sweep_trace_jsonl(std::ostream& os, const SweepReport& report) {
+  for (const SweepRunResult& r : report.results) {
+    if (!r.trace.empty()) obs::write_trace_jsonl(os, r.trace);
+  }
+}
+
 std::string sweep_fingerprint(const SweepReport& report) {
   std::ostringstream os;
   for (std::size_t i = 0; i < report.results.size(); ++i) {
@@ -435,7 +492,8 @@ std::string sweep_fingerprint(const SweepReport& report) {
       const RunSummary& s = r.summary;
       for (const double v :
            {s.weighted_throughput, s.fluid_bound, s.latency_mean,
-            s.latency_std, s.latency_p99, s.ingress_drops_per_sec,
+            s.latency_std, s.latency_p50, s.latency_p99,
+            s.ingress_drops_per_sec,
             s.internal_drops_per_sec, s.cpu_utilization, s.buffer_fill_mean,
             s.output_rate}) {
         os << '|' << hex(v);

@@ -29,6 +29,7 @@
 #include "control/config.h"
 #include "graph/topology_generator.h"
 #include "harness/experiment.h"
+#include "obs/trace.h"
 
 namespace aces::harness {
 
@@ -52,6 +53,10 @@ struct SweepGrid {
   double dt = 0.1;
   /// Tier-1 re-optimization interval (0 disables), as in SimOptions.
   double reoptimize_interval = 0.0;
+  /// Record a per-run control trace (policy-tagged TickRecords in each
+  /// result slot) for `write_sweep_trace_jsonl`. Off by default: traces
+  /// cost memory proportional to ticks x PEs x runs.
+  bool record_traces = false;
 };
 
 /// One fully-expanded run of the grid.
@@ -72,6 +77,10 @@ struct SweepRunResult {
   RunSummary summary;        ///< valid when status == kOk
   double wall_ms = 0.0;      ///< per-run wall clock (excluded from hashes)
   std::string error;         ///< exception text when status == kFailed
+  /// Control trace of the run, policy-tagged; populated only when
+  /// SweepGrid::record_traces is set. Slot-addressed like every other
+  /// result field, so the combined trace is jobs-independent.
+  std::vector<obs::TickRecord> trace;
 };
 
 struct SweepReport {
@@ -155,5 +164,11 @@ void write_sweep_json(std::ostream& os, const SweepReport& report,
 /// Full-precision (hexfloat) serialization of every deterministic result
 /// field, for byte-identity assertions across jobs counts.
 std::string sweep_fingerprint(const SweepReport& report);
+
+/// Writes the combined policy-tagged control trace: every run's TickRecords
+/// in run-index order, each line carrying a "policy" key so
+/// `aces trace-summary` can split policies back apart. Requires the sweep to
+/// have run with SweepGrid::record_traces.
+void write_sweep_trace_jsonl(std::ostream& os, const SweepReport& report);
 
 }  // namespace aces::harness

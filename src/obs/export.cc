@@ -84,7 +84,11 @@ void write_trace_jsonl(std::ostream& os,
        << ",\"tokens\":" << number(r.token_fill)
        << ",\"blocked\":" << (r.output_blocked ? "true" : "false")
        << ",\"drops\":" << r.dropped_total
-       << ",\"fault\":" << static_cast<unsigned>(r.fault_flags) << "}\n";
+       << ",\"fault\":" << static_cast<unsigned>(r.fault_flags);
+    // Only sweep-combined records carry a policy tag; plain traces keep
+    // their pre-tag byte layout.
+    if (!r.policy.empty()) os << ",\"policy\":\"" << r.policy << "\"";
+    os << "}\n";
   }
 }
 
@@ -132,6 +136,12 @@ std::vector<TickRecord> read_trace_jsonl(std::istream& is) {
     // "fault" is absent in pre-fault-subsystem traces; default 0 (healthy).
     r.fault_flags =
         static_cast<std::uint8_t>(parse_u64(find_raw(line, "fault"), 0));
+    // Optional sweep policy tag: find_raw keeps the surrounding quotes
+    // (policy names contain neither commas nor escapes).
+    std::string policy = find_raw(line, "policy");
+    if (policy.size() >= 2 && policy.front() == '"' && policy.back() == '"') {
+      r.policy = policy.substr(1, policy.size() - 2);
+    }
     records.push_back(r);
   }
   return records;
@@ -164,6 +174,188 @@ void write_profile_summary(std::ostream& os, const PhaseProfiler& profiler) {
     os << phase << ": count=" << h.count()
        << " p50=" << number(h.median() * 1e6)
        << "us p99=" << number(h.p99() * 1e6) << "us\n";
+  }
+}
+
+namespace {
+
+/// One summary-typed metric family with quantile-labelled samples.
+void prometheus_summary(std::ostream& os, const char* name, const char* help,
+                        const char* label_key, const std::string& label_value,
+                        const LogHistogram& h, bool& header_done) {
+  if (!header_done) {
+    os << "# HELP " << name << ' ' << help << '\n';
+    os << "# TYPE " << name << " summary\n";
+    header_done = true;
+  }
+  const LatencyQuantiles q = quantiles_of(h);
+  const double quantiles[][2] = {
+      {0.5, q.p50}, {0.9, q.p90}, {0.99, q.p99}, {0.999, q.p999}};
+  for (const auto& [which, value] : quantiles) {
+    os << name << '{' << label_key << "=\"" << label_value
+       << "\",quantile=\"" << number(which) << "\"} " << number(value)
+       << '\n';
+  }
+  os << name << "_sum{" << label_key << "=\"" << label_value << "\"} "
+     << number(h.sum()) << '\n';
+  os << name << "_count{" << label_key << "=\"" << label_value << "\"} "
+     << h.count() << '\n';
+}
+
+}  // namespace
+
+void write_latency_prometheus(std::ostream& os, const SpanTracer& tracer) {
+  const auto counter = [&os](const char* name, const char* help,
+                             std::uint64_t value) {
+    os << "# HELP " << name << ' ' << help << '\n';
+    os << "# TYPE " << name << " counter\n";
+    os << name << ' ' << value << '\n';
+  };
+  counter("aces_spans_started_total", "SDO spans begun at the sources",
+          tracer.spans_started());
+  counter("aces_spans_completed_total", "Spans finished at an egress",
+          tracer.spans_completed());
+  counter("aces_spans_dropped_total", "Spans ended by a drop or crash",
+          tracer.spans_dropped());
+  counter("aces_spans_pool_exhausted_total",
+          "Sampled SDOs skipped because the span pool was full",
+          tracer.pool_exhausted());
+  counter("aces_span_fault_dumps_total", "Flight-recorder fault dumps",
+          tracer.dumps_taken());
+
+  bool wait_header = false, service_header = false;
+  for (const auto& [pe, stats] : tracer.latency().pes()) {
+    prometheus_summary(os, "aces_pe_wait_seconds",
+                       "Queue wait (enqueue to dequeue) per PE", "pe",
+                       std::to_string(pe), stats.wait, wait_header);
+  }
+  for (const auto& [pe, stats] : tracer.latency().pes()) {
+    prometheus_summary(os, "aces_pe_service_seconds",
+                       "Service time (dequeue to emit) per PE", "pe",
+                       std::to_string(pe), stats.service, service_header);
+  }
+
+  bool path_header = false;
+  for (const auto& [id, stats] : tracer.latency().paths()) {
+    const LogHistogram& h = stats.end_to_end;
+    if (!path_header) {
+      os << "# HELP aces_path_latency_seconds "
+            "End-to-end latency per source-to-sink path\n";
+      os << "# TYPE aces_path_latency_seconds histogram\n";
+      path_header = true;
+    }
+    // Cumulative buckets at every quarter decade; the underflow bucket
+    // folds into the first boundary, +Inf closes the family.
+    std::uint64_t cumulative = h.underflow();
+    std::size_t next_boundary = 5;
+    for (std::size_t i = 0; i < h.bucket_count(); ++i) {
+      cumulative += h.bucket_value(i);
+      if (i + 1 == next_boundary) {
+        os << "aces_path_latency_seconds_bucket{path=\"" << stats.label
+           << "\",le=\"" << number(h.bucket_lower(i + 1)) << "\"} "
+           << cumulative << '\n';
+        next_boundary += 5;
+      }
+    }
+    os << "aces_path_latency_seconds_bucket{path=\"" << stats.label
+       << "\",le=\"+Inf\"} " << h.count() << '\n';
+    os << "aces_path_latency_seconds_sum{path=\"" << stats.label << "\"} "
+       << number(h.sum()) << '\n';
+    os << "aces_path_latency_seconds_count{path=\"" << stats.label << "\"} "
+       << h.count() << '\n';
+  }
+}
+
+namespace {
+
+/// "pe@enqueue/dequeue/emit|..." — flat-scanner-safe (no commas/brackets);
+/// unreached timestamps print as "-".
+std::string hops_string(const SdoSpan& span) {
+  std::string out;
+  for (std::uint32_t i = 0; i < span.hop_count; ++i) {
+    const SpanHop& hop = span.hops[i];
+    if (i > 0) out.push_back('|');
+    out += std::to_string(hop.pe);
+    out.push_back('@');
+    out += hop.enqueue >= 0.0 ? number(hop.enqueue) : std::string("-");
+    out.push_back('/');
+    out += hop.dequeue >= 0.0 ? number(hop.dequeue) : std::string("-");
+    out.push_back('/');
+    out += hop.emit >= 0.0 ? number(hop.emit) : std::string("-");
+  }
+  return out;
+}
+
+void span_json_fields(std::ostream& os, const SdoSpan& span) {
+  os << "\"trace_id\":" << span.trace_id << ",\"source_pe\":" << span.source_pe
+     << ",\"start\":" << number(span.start) << ",\"end\":"
+     << (span.end >= 0.0 ? number(span.end) : std::string("null"))
+     << ",\"latency\":"
+     << (span.end >= 0.0 ? number(span.latency()) : std::string("null"))
+     << ",\"dropped\":" << (span.dropped ? "true" : "false")
+     << ",\"path\":\"" << path_label(span.hop_pes()) << "\",\"hops\":\""
+     << hops_string(span) << '"';
+}
+
+void quantile_fields(std::ostream& os, const char* prefix,
+                     const LogHistogram& h) {
+  const LatencyQuantiles q = quantiles_of(h);
+  os << '"' << prefix << "_count\":" << q.count << ",\"" << prefix
+     << "_p50\":" << number(q.p50) << ",\"" << prefix
+     << "_p90\":" << number(q.p90) << ",\"" << prefix
+     << "_p99\":" << number(q.p99) << ",\"" << prefix
+     << "_p999\":" << number(q.p999) << ",\"" << prefix
+     << "_mean\":" << number(q.mean) << ",\"" << prefix
+     << "_max\":" << number(q.max);
+}
+
+}  // namespace
+
+void write_spans_jsonl(std::ostream& os, const SpanTracer& tracer) {
+  const SpanTracerOptions& opt = tracer.options();
+  os << "{\"kind\":\"meta\",\"sample_rate\":" << number(opt.sample_rate)
+     << ",\"seed\":" << opt.seed << ",\"started\":" << tracer.spans_started()
+     << ",\"completed\":" << tracer.spans_completed()
+     << ",\"dropped\":" << tracer.spans_dropped()
+     << ",\"pool_exhausted\":" << tracer.pool_exhausted()
+     << ",\"fault_dumps\":" << tracer.dumps_taken() << "}\n";
+  for (const auto& [pe, stats] : tracer.latency().pes()) {
+    os << "{\"kind\":\"pe\",\"pe\":" << pe << ',';
+    quantile_fields(os, "wait", stats.wait);
+    os << ',';
+    quantile_fields(os, "service", stats.service);
+    os << "}\n";
+  }
+  for (const auto& [id, stats] : tracer.latency().paths()) {
+    os << "{\"kind\":\"path\",\"path\":\"" << stats.label
+       << "\",\"path_id\":" << id << ',';
+    quantile_fields(os, "e2e", stats.end_to_end);
+    os << "}\n";
+  }
+  for (const SdoSpan& span : tracer.worst_spans()) {
+    os << "{\"kind\":\"span\",";
+    span_json_fields(os, span);
+    os << "}\n";
+  }
+  const auto& dumps = tracer.dumps();
+  for (std::size_t d = 0; d < dumps.size(); ++d) {
+    const FlightDump& dump = dumps[d];
+    os << "{\"kind\":\"dump\",\"index\":" << d << ",\"event\":\""
+       << dump.event << "\",\"time\":" << number(dump.time)
+       << ",\"recent\":" << dump.recent.size()
+       << ",\"in_flight\":" << dump.in_flight.size() << "}\n";
+    for (const SdoSpan& span : dump.recent) {
+      os << "{\"kind\":\"dump_span\",\"index\":" << d
+         << ",\"group\":\"recent\",";
+      span_json_fields(os, span);
+      os << "}\n";
+    }
+    for (const SdoSpan& span : dump.in_flight) {
+      os << "{\"kind\":\"dump_span\",\"index\":" << d
+         << ",\"group\":\"in_flight\",";
+      span_json_fields(os, span);
+      os << "}\n";
+    }
   }
 }
 

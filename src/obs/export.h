@@ -13,6 +13,7 @@
 
 #include "obs/counters.h"
 #include "obs/scoped_timer.h"
+#include "obs/spans.h"
 #include "obs/trace.h"
 
 namespace aces::obs {
@@ -37,5 +38,20 @@ void write_counters_csv(std::ostream& os, const CounterSnapshot& snapshot);
 
 /// Per-phase count / median / p99 in microseconds, one line per phase.
 void write_profile_summary(std::ostream& os, const PhaseProfiler& profiler);
+
+/// Prometheus text exposition of the data-plane latency state: span
+/// lifecycle counters (aces_spans_*_total), per-PE wait/service summaries
+/// (quantile-labelled), and per-path end-to-end histograms with
+/// log-spaced `le` boundaries (one boundary per quarter decade keeps the
+/// output scrape-sized; counts are cumulative as the format requires).
+void write_latency_prometheus(std::ostream& os, const SpanTracer& tracer);
+
+/// JSONL exposition of the same state, one kind-tagged flat object per
+/// line: "meta" (run/sampling info), "pe" (per-PE wait+service
+/// percentiles), "path" (per-path end-to-end percentiles), "span" (the
+/// worst_k slowest completed spans), "dump" + "dump_span" (flight-recorder
+/// fault dumps). Hop lists are encoded as a compact string
+/// ("pe@enq/deq/emit|...") so the flat-scanner JSONL conventions hold.
+void write_spans_jsonl(std::ostream& os, const SpanTracer& tracer);
 
 }  // namespace aces::obs

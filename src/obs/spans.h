@@ -1,0 +1,193 @@
+// Sampled per-SDO tracing: Dapper-style spans piggybacking on SDO handoff.
+//
+// A span follows one sampled SDO from source acceptance through every PE it
+// visits (enqueue / dequeue / emit timestamps per hop) to egress emission.
+// Fan-out keeps the trace linear: when a traced SDO is replicated
+// downstream, the span continues into the *first* copy only, so a span is
+// one root-to-sink path — exactly what the per-path latency histograms and
+// the flight recorder want. Drops and node crashes end a span with its
+// `dropped` flag set; those partial spans are the post-mortem payload.
+//
+// Determinism: the sampling decision is a pure function of
+// (seed, source PE, per-PE acceptance counter) — the same counter-hash
+// scheme as fault::FaultInjector — so a traced simulator run admits the
+// same spans regardless of how many sweep jobs run beside it, and traced
+// vs. untraced runs produce bit-identical RunReports (hooks never touch
+// event order, only record timestamps).
+//
+// Overhead: substrates hold a nullable SpanTracer*; when null the per-SDO
+// cost is one pointer test (the CounterRegistry pattern). When tracing, an
+// unsampled SDO costs one atomic fetch_add + hash at the source and a
+// handle<0 test per hop. Hop updates on a sampled span are plain stores —
+// the span is owned by whichever thread holds the SDO, and queue handoff
+// publishes it. Only begin/complete/drop take the tracer mutex, which at
+// ~1% sampling is far off the hot path.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "common/types.h"
+#include "obs/latency.h"
+
+namespace aces::obs {
+
+/// One PE visit. Timestamps are substrate time (sim virtual seconds or
+/// runtime virtual-clock seconds); negative means "not reached".
+struct SpanHop {
+  std::uint32_t pe = 0;
+  Seconds enqueue = -1.0;
+  Seconds dequeue = -1.0;
+  Seconds emit = -1.0;
+};
+
+/// A completed or in-flight trace of one SDO. Trivially copyable: the
+/// flight recorder snapshots these through a seqlock with memcpy semantics.
+struct SdoSpan {
+  static constexpr std::size_t kMaxHops = 16;
+
+  std::uint64_t trace_id = 0;
+  std::uint32_t source_pe = 0;
+  Seconds start = -1.0;  // source acceptance
+  Seconds end = -1.0;    // egress emission (or drop time)
+  std::uint32_t hop_count = 0;
+  bool dropped = false;
+  bool truncated = false;  // visited more than kMaxHops PEs
+  SpanHop hops[kMaxHops];
+
+  /// End-to-end latency; -1 while in flight.
+  [[nodiscard]] Seconds latency() const {
+    return end >= 0.0 ? end - start : -1.0;
+  }
+  /// Hop PE ids in visit order, for path_id()/path_label().
+  [[nodiscard]] std::vector<std::uint32_t> hop_pes() const;
+};
+static_assert(std::is_trivially_copyable_v<SdoSpan>);
+
+/// Fixed-size ring of recently completed spans. Writers are lock-free
+/// (ticket from an atomic head, per-slot seqlock); readers copy slots and
+/// discard torn ones. Sized small: this is a black box, not a log.
+class FlightRecorder {
+ public:
+  explicit FlightRecorder(std::size_t capacity);
+
+  void push(const SdoSpan& span);
+
+  /// Most-recent-last copy of the intact completed slots. Safe to call
+  /// while writers run; concurrently-written slots are skipped.
+  [[nodiscard]] std::vector<SdoSpan> snapshot() const;
+
+  [[nodiscard]] std::size_t capacity() const { return slots_.size(); }
+  [[nodiscard]] std::uint64_t pushed() const {
+    return head_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Slot {
+    // Even = stable, odd = write in progress. A writer with ticket T sets
+    // 2T+1, copies, then sets 2T+2, so a reader seeing the same even value
+    // before and after its copy knows the payload is the ticket-T span.
+    std::atomic<std::uint64_t> seq{0};
+    SdoSpan span;
+  };
+
+  std::vector<Slot> slots_;
+  std::atomic<std::uint64_t> head_{0};
+};
+
+/// One automatic dump taken when a fault.* event fired: the recorder's
+/// recent completions plus every span that was still in flight.
+struct FlightDump {
+  std::string event;  // e.g. "fault.node_crash"
+  Seconds time = 0.0;
+  std::vector<SdoSpan> recent;
+  std::vector<SdoSpan> in_flight;
+};
+
+struct SpanTracerOptions {
+  double sample_rate = 0.01;  // fraction of source SDOs traced
+  std::uint64_t seed = 1;
+  std::size_t max_in_flight = 4096;  // span pool size
+  std::size_t ring_capacity = 256;   // flight recorder slots
+  std::size_t worst_k = 8;           // slowest completed spans retained
+  std::size_t max_dumps = 8;         // fault dumps retained per run
+};
+
+class SpanTracer {
+ public:
+  explicit SpanTracer(SpanTracerOptions options);
+
+  /// Sampling draw at source acceptance. Returns a span handle, or -1 when
+  /// the SDO is unsampled (or the pool is exhausted — counted, not fatal).
+  /// `pe_count` is implied by use; any source PE id is accepted.
+  [[nodiscard]] std::int32_t begin(PeId source_pe, Seconds t);
+
+  // Hop lifecycle. All tolerate handle < 0 so call sites stay branch-light.
+  void on_enqueue(std::int32_t handle, PeId pe, Seconds t);
+  void on_dequeue(std::int32_t handle, Seconds t);
+  void on_emit(std::int32_t handle, Seconds t);
+
+  /// Egress emission: finalizes the span into the latency registry, the
+  /// flight recorder, and the worst-span list, then recycles the slot.
+  void complete(std::int32_t handle, Seconds t);
+  /// Delivery drop / crash loss: finalizes with dropped=true. Per-hop
+  /// histograms still absorb the hops that finished; the path histogram
+  /// does not (an unfinished path is not an end-to-end sample).
+  void drop(std::int32_t handle, Seconds t);
+
+  /// Records a FlightDump for `event` (a fault.* counter name). Bounded by
+  /// max_dumps; later events past the cap are counted but not retained.
+  void fault_dump(const std::string& event, Seconds t);
+
+  [[nodiscard]] const SpanTracerOptions& options() const { return options_; }
+  [[nodiscard]] const LatencyRegistry& latency() const { return latency_; }
+  [[nodiscard]] const std::vector<FlightDump>& dumps() const { return dumps_; }
+  /// Completed spans, slowest first, at most worst_k.
+  [[nodiscard]] const std::vector<SdoSpan>& worst_spans() const {
+    return worst_;
+  }
+  [[nodiscard]] const FlightRecorder& recorder() const { return recorder_; }
+
+  [[nodiscard]] std::uint64_t spans_started() const { return started_; }
+  [[nodiscard]] std::uint64_t spans_completed() const { return completed_; }
+  [[nodiscard]] std::uint64_t spans_dropped() const { return dropped_; }
+  [[nodiscard]] std::uint64_t pool_exhausted() const { return exhausted_; }
+  [[nodiscard]] std::uint64_t dumps_taken() const { return dumps_taken_; }
+
+ private:
+  /// True iff the seq-th SDO accepted at `pe` is sampled. Pure in
+  /// (seed, pe, seq) — mirrors fault::FaultInjector::draw.
+  [[nodiscard]] bool sampled(std::uint32_t pe, std::uint64_t seq) const;
+
+  void finalize(std::int32_t handle, Seconds t, bool dropped);
+
+  SpanTracerOptions options_;
+  std::uint64_t threshold_;  // sample_rate as a 64-bit hash threshold
+
+  // Per-source-PE acceptance counters, guarded by mutex_ (begin() holds it
+  // anyway to touch the span pool).
+  std::vector<std::uint64_t> sequences_;
+
+  std::vector<SdoSpan> pool_;
+  std::vector<std::int32_t> free_;
+  std::vector<bool> active_;
+
+  LatencyRegistry latency_;
+  FlightRecorder recorder_;
+  std::vector<SdoSpan> worst_;
+  std::vector<FlightDump> dumps_;
+
+  std::uint64_t started_ = 0;
+  std::uint64_t completed_ = 0;
+  std::uint64_t dropped_ = 0;
+  std::uint64_t exhausted_ = 0;
+  std::uint64_t dumps_taken_ = 0;
+
+  mutable std::mutex mutex_;
+};
+
+}  // namespace aces::obs

@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <limits>
 #include <mutex>
+#include <string>
 #include <vector>
 
 #include "common/types.h"
@@ -53,6 +54,10 @@ struct TickRecord {
   /// Bitwise OR of kFault* flags describing injected-fault conditions
   /// active at this tick; 0 on healthy runs.
   std::uint8_t fault_flags = 0;
+  /// Which flow policy produced this record. Empty on single-run traces
+  /// (the policy is implicit); sweep-combined traces tag every record so
+  /// `aces trace-summary` can report policies side by side.
+  std::string policy;
 };
 
 /// TickRecord::fault_flags bit: the PE was held in an injected stall.

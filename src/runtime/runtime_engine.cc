@@ -19,6 +19,7 @@
 #include "metrics/collector.h"
 #include "obs/counters.h"
 #include "obs/scoped_timer.h"
+#include "obs/spans.h"
 #include "obs/trace.h"
 #include "runtime/channel.h"
 #include "runtime/message_bus.h"
@@ -33,6 +34,8 @@ constexpr double kInf = std::numeric_limits<double>::infinity();
 
 struct Sdo {
   Seconds birth;  // virtual time of system entry
+  /// Span handle when traced; -1 otherwise. Fan-out copies inherit -1.
+  std::int32_t span = -1;
 };
 
 /// Thread-safe metrics front end (the node and source threads all report).
@@ -269,7 +272,14 @@ class Engine {
       t.dropped.fetch_add(1, std::memory_order_relaxed);
       channel_drop_.inc();
       collector_.internal_drop(when);
+      if (options_.spans != nullptr) options_.spans->drop(sdo.span, when);
       return;
+    }
+    // Enqueue hop recorded before the push: once the SDO is in the channel
+    // the consuming thread owns its span.
+    if (options_.spans != nullptr) {
+      options_.spans->on_enqueue(
+          sdo.span, PeId(static_cast<PeId::value_type>(target)), when);
     }
     if (t.input.try_push(sdo)) {
       t.pushed.fetch_add(1, std::memory_order_relaxed);
@@ -278,6 +288,7 @@ class Engine {
       t.dropped.fetch_add(1, std::memory_order_relaxed);
       channel_drop_.inc();
       collector_.internal_drop(when);
+      if (options_.spans != nullptr) options_.spans->drop(sdo.span, when);
     }
   }
 
@@ -292,13 +303,20 @@ class Engine {
         t.dropped.fetch_add(1, std::memory_order_relaxed);
         channel_drop_.inc();
         collector_.internal_drop(vnow);
+        if (options_.spans != nullptr) options_.spans->drop(sdo.span, vnow);
         return true;  // lost, not blocked
+      }
+      if (options_.spans != nullptr) {
+        options_.spans->on_enqueue(
+            sdo.span, PeId(static_cast<PeId::value_type>(target)), vnow);
       }
       if (t.input.try_push(sdo)) {
         t.pushed.fetch_add(1, std::memory_order_relaxed);
         channel_send_.inc();
         return true;
       }
+      // The push failed; the enqueue hop stays on the span and is simply
+      // re-stamped when the pending entry eventually flushes.
       pe.pending.emplace_back(slot, sdo);
       pe.blocked = true;
       channel_block_.inc();
@@ -330,18 +348,35 @@ class Engine {
     pe.selectivity_credit += d.selectivity;
     const int outputs = static_cast<int>(std::floor(pe.selectivity_credit));
     pe.selectivity_credit -= outputs;
+    if (options_.spans != nullptr) {
+      options_.spans->on_emit(pe.current.span, vnow);
+    }
     if (d.kind == graph::PeKind::kEgress) {
       pe.lifetime_emitted += static_cast<std::uint64_t>(outputs);
       for (int k = 0; k < outputs; ++k) {
         collector_.egress_output(vnow, pe.egress_index, d.weight,
                                  vnow - pe.current.birth);
       }
+      if (options_.spans != nullptr) {
+        options_.spans->complete(pe.current.span, vnow);
+      }
       return;
     }
     const auto& downs = graph_.downstream(pe_id);
+    if (outputs == 0) {
+      // Selectivity absorbed the SDO: its trace ends here, complete.
+      if (options_.spans != nullptr) {
+        options_.spans->complete(pe.current.span, vnow);
+      }
+      return;
+    }
+    // The span continues into the first downstream copy only (one
+    // root-to-sink path per trace, same rule as the simulator).
+    std::int32_t span = pe.current.span;
     for (std::size_t slot = 0; slot < downs.size(); ++slot) {
       for (int k = 0; k < outputs; ++k) {
-        send(pe, pe_id, slot, Sdo{pe.current.birth}, vnow);
+        send(pe, pe_id, slot, Sdo{pe.current.birth, span}, vnow);
+        span = -1;
       }
     }
   }
@@ -355,8 +390,17 @@ class Engine {
         t.dropped.fetch_add(1, std::memory_order_relaxed);
         channel_drop_.inc();
         collector_.internal_drop(virtual_now());
+        if (options_.spans != nullptr) {
+          options_.spans->drop(sdo.span, virtual_now());
+        }
         pe.pending.pop_front();
         continue;  // a dead consumer must not deadlock its producers
+      }
+      // Re-stamp the hop's enqueue to the actual admission time.
+      if (options_.spans != nullptr) {
+        options_.spans->on_enqueue(
+            sdo.span, PeId(static_cast<PeId::value_type>(target)),
+            virtual_now());
       }
       if (!t.input.try_push(sdo)) return;
       t.pushed.fetch_add(1, std::memory_order_relaxed);
@@ -458,12 +502,25 @@ class Engine {
   /// The hosting node crashed: everything buffered, in service, or pending
   /// on its PEs is lost. Runs on the node thread at the down transition.
   void crash_local_pes(const std::vector<PeId>& local, Seconds vnow) {
+    // Post-mortem first: capture the doomed SDOs while their spans still
+    // read as in-flight.
+    if (options_.spans != nullptr) {
+      options_.spans->fault_dump("fault.node_crash", vnow);
+    }
     std::uint64_t lost = 0;
     for (PeId id : local) {
       PeRt& pe = *pes_[id.value()];
       std::uint64_t pe_lost = pe.busy ? 1 : 0;
+      if (options_.spans != nullptr) {
+        if (pe.busy) options_.spans->drop(pe.current.span, vnow);
+        for (const auto& [slot, sdo] : pe.pending)
+          options_.spans->drop(sdo.span, vnow);
+      }
       pe_lost += pe.pending.size();
-      while (pe.input.try_pop()) ++pe_lost;
+      while (auto sdo = pe.input.try_pop()) {
+        ++pe_lost;
+        if (options_.spans != nullptr) options_.spans->drop(sdo->span, vnow);
+      }
       pe.busy = false;
       pe.blocked = false;
       pe.pending.clear();
@@ -501,7 +558,10 @@ class Engine {
           controller.reset_state();
           for (PeId id : local) {
             PeRt& pe = *pes_[id.value()];
-            while (pe.input.try_pop()) {
+            while (auto sdo = pe.input.try_pop()) {
+              if (options_.spans != nullptr) {
+                options_.spans->drop(sdo->span, vnow);
+              }
             }
             pe.pushed_at_last_tick =
                 pe.pushed.load(std::memory_order_relaxed);
@@ -516,7 +576,12 @@ class Engine {
         }
         for (std::size_t i = 0; i < local.size(); ++i) {
           const bool stalled = injector_->pe_stalled(local[i], vnow);
-          if (stalled && !was_stalled[i]) injector_->note_pe_stall();
+          if (stalled && !was_stalled[i]) {
+            injector_->note_pe_stall();
+            if (options_.spans != nullptr) {
+              options_.spans->fault_dump("fault.pe_stall", vnow);
+            }
+          }
           was_stalled[i] = stalled;
         }
       }
@@ -548,6 +613,9 @@ class Engine {
             auto sdo = pe.input.try_pop();
             if (!sdo) break;
             pe.current = *sdo;
+            if (options_.spans != nullptr) {
+              options_.spans->on_dequeue(pe.current.span, vnow);
+            }
             pe.busy = true;
             pe.work_remaining = pe.service.cost_at(vnow);
           }
@@ -591,13 +659,25 @@ class Engine {
         next->next_arrival += next->process->next_interarrival();
         continue;
       }
-      if (pe.input.try_push(Sdo{next->next_arrival})) {
+      Sdo sdo{next->next_arrival};
+      if (options_.spans != nullptr) {
+        sdo.span = options_.spans->begin(
+            PeId(static_cast<PeId::value_type>(next->pe_index)),
+            next->next_arrival);
+        options_.spans->on_enqueue(
+            sdo.span, PeId(static_cast<PeId::value_type>(next->pe_index)),
+            next->next_arrival);
+      }
+      if (pe.input.try_push(sdo)) {
         pe.pushed.fetch_add(1, std::memory_order_relaxed);
         source_inject_.inc();
       } else {
         pe.dropped.fetch_add(1, std::memory_order_relaxed);
         source_drop_.inc();
         collector_.ingress_drop(next->next_arrival);
+        if (options_.spans != nullptr) {
+          options_.spans->drop(sdo.span, next->next_arrival);
+        }
       }
       next->next_arrival += next->process->next_interarrival();
     }

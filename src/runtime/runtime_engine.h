@@ -33,6 +33,7 @@ namespace aces::obs {
 class ControlTraceRecorder;
 class CounterRegistry;
 class PhaseProfiler;
+class SpanTracer;
 }  // namespace aces::obs
 
 namespace aces::runtime {
@@ -78,6 +79,13 @@ struct RuntimeOptions {
   /// simulator-only feature (the runtime's mailbox control plane has no
   /// delay stage) — their loss probability still applies here.
   fault::FaultSchedule faults;
+  /// Optional data-plane span tracer (same contract as
+  /// sim::SimOptions::spans): samples SDOs at the source thread and follows
+  /// them across node threads. The sampling *decisions* are deterministic
+  /// per (seed, source PE, acceptance index); the resulting timestamps are
+  /// wall-paced virtual time and vary run to run like everything else in
+  /// this substrate. Not owned; null disables (one pointer test per SDO).
+  obs::SpanTracer* spans = nullptr;
 };
 
 /// Runs the graph on the threaded runtime and reports the same metrics the

@@ -14,6 +14,7 @@
 #include "fault/fault_injector.h"
 #include "metrics/collector.h"
 #include "obs/scoped_timer.h"
+#include "obs/spans.h"
 #include "obs/trace.h"
 #include "sim/simulator.h"
 #include "workload/arrivals.h"
@@ -29,6 +30,9 @@ constexpr double kWorkEps = 1e-12;
 struct StreamSimulation::Impl {
   struct Sdo {
     Seconds birth;
+    /// Span handle when this SDO is traced; -1 otherwise. Fan-out copies
+    /// inherit -1: a span follows one root-to-sink path.
+    std::int32_t span = -1;
   };
 
   /// Runtime state of one PE.
@@ -250,6 +254,9 @@ struct StreamSimulation::Impl {
           pe.share = 0.0;
           ++pe.epoch;
           injector->note_pe_stall();
+          if (options.spans != nullptr) {
+            options.spans->fault_dump("fault.pe_stall", simulator.now());
+          }
         });
         simulator.schedule_at(s.at + s.duration, [this, s] {
           --pes[s.pe.value()].disabled;
@@ -315,6 +322,11 @@ struct StreamSimulation::Impl {
   void crash_node(NodeId node) {
     if (++node_down[node.value()] > 1) return;  // nested crash window
     const Seconds now = simulator.now();
+    // Post-mortem first: the dump must capture the doomed SDOs while their
+    // spans still read as in-flight.
+    if (options.spans != nullptr) {
+      options.spans->fault_dump("fault.node_crash", now);
+    }
     std::uint64_t lost = 0;
     for (PeId id : graph.pes_on_node(node)) {
       PeRt& pe = pes[id.value()];
@@ -325,6 +337,13 @@ struct StreamSimulation::Impl {
       pe.lifetime_dropped += pe_lost;
       for (std::uint64_t k = 0; k < pe_lost; ++k)
         collector.on_internal_drop(now);
+      if (options.spans != nullptr) {
+        for (std::size_t k = 0; k < pe.buffer.size(); ++k)
+          options.spans->drop(pe.buffer.at(k).span, now);
+        if (pe.busy) options.spans->drop(pe.current.span, now);
+        for (const auto& [slot, sdo] : pe.pending)
+          options.spans->drop(sdo.span, now);
+      }
       pe.buffer.clear();
       pe.pending.clear();
       pe.busy = false;
@@ -425,6 +444,9 @@ struct StreamSimulation::Impl {
       return;
     pe.current = pe.buffer.front();
     pe.buffer.pop_front();
+    if (options.spans != nullptr) {
+      options.spans->on_dequeue(pe.current.span, simulator.now());
+    }
     pe.busy = true;
     pe.work_remaining = pe.service.cost_at(simulator.now());
     pe.last_progress = simulator.now();
@@ -457,19 +479,33 @@ struct StreamSimulation::Impl {
     const int outputs = static_cast<int>(std::floor(pe.selectivity_credit));
     pe.selectivity_credit -= outputs;
 
+    if (options.spans != nullptr) {
+      options.spans->on_emit(pe.current.span, now);
+    }
     if (d.kind == graph::PeKind::kEgress) {
       pe.lifetime_emitted += static_cast<std::uint64_t>(outputs);
       for (int k = 0; k < outputs; ++k) {
         collector.on_egress_output(now, pe.egress_index, d.weight,
                                    now - pe.current.birth);
       }
+      if (options.spans != nullptr) {
+        options.spans->complete(pe.current.span, now);
+      }
     } else if (outputs > 0) {
       const auto& downs = graph.downstream(pe.id);
+      // The span continues into the first downstream copy only, keeping
+      // each trace a single root-to-sink path under fan-out/selectivity.
+      std::int32_t span = pe.current.span;
       for (std::size_t slot = 0; slot < downs.size(); ++slot) {
         for (int k = 0; k < outputs; ++k) {
-          send(pe, slot, Sdo{pe.current.birth});
+          send(pe, slot, Sdo{pe.current.birth, span});
+          span = -1;
         }
       }
+    } else if (options.spans != nullptr) {
+      // Selectivity absorbed the SDO: the trace legitimately ends at this
+      // PE, a complete path of its own.
+      options.spans->complete(pe.current.span, now);
     }
     if (!pe.blocked) maybe_start(pe);
   }
@@ -512,13 +548,18 @@ struct StreamSimulation::Impl {
     if (fault_drops_delivery(pe)) {
       ++pe.lifetime_dropped;
       collector.on_internal_drop(simulator.now());
+      if (options.spans != nullptr) options.spans->drop(sdo.span, simulator.now());
       return;
     }
     if (static_cast<int>(pe.buffer.size()) >=
         graph.pe(pe.id).buffer_capacity) {
       ++pe.lifetime_dropped;
       collector.on_internal_drop(simulator.now());
+      if (options.spans != nullptr) options.spans->drop(sdo.span, simulator.now());
       return;
+    }
+    if (options.spans != nullptr) {
+      options.spans->on_enqueue(sdo.span, pe.id, simulator.now());
     }
     pe.buffer.push_back(sdo);
     pe.arrived += 1.0;
@@ -533,10 +574,14 @@ struct StreamSimulation::Impl {
     if (fault_drops_delivery(pe)) {
       ++pe.lifetime_dropped;
       collector.on_internal_drop(simulator.now());
+      if (options.spans != nullptr) options.spans->drop(sdo.span, simulator.now());
       // The freed slot must wake blocked senders just like a pop would,
       // or a dead consumer wedges its Lock-Step producers forever.
       wake_upstream(pe);
       return;
+    }
+    if (options.spans != nullptr) {
+      options.spans->on_enqueue(sdo.span, pe.id, simulator.now());
     }
     pe.buffer.push_back(sdo);
     pe.arrived += 1.0;
@@ -590,7 +635,12 @@ struct StreamSimulation::Impl {
       ++pe.lifetime_dropped;
       collector.on_ingress_drop(simulator.now());
     } else {
-      pe.buffer.push_back(Sdo{simulator.now()});
+      Sdo sdo{simulator.now()};
+      if (options.spans != nullptr) {
+        sdo.span = options.spans->begin(pe.id, sdo.birth);
+        options.spans->on_enqueue(sdo.span, pe.id, sdo.birth);
+      }
+      pe.buffer.push_back(sdo);
       pe.arrived += 1.0;
       ++pe.lifetime_arrived;
       maybe_start(pe);

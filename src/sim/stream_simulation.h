@@ -40,6 +40,7 @@ namespace aces::obs {
 class ControlTraceRecorder;
 class CounterRegistry;
 class PhaseProfiler;
+class SpanTracer;
 }  // namespace aces::obs
 
 namespace aces::sim {
@@ -142,6 +143,12 @@ struct SimOptions {
   /// Optional counter sink for fault.* event counts (and parity with the
   /// runtime's counter option). Not owned; null disables.
   obs::CounterRegistry* counters = nullptr;
+  /// Optional data-plane span tracer: samples SDOs at the sources and
+  /// follows them hop by hop (per-PE wait/service, per-path end-to-end,
+  /// flight recorder). Not owned; must outlive the run. Null disables —
+  /// the per-SDO cost is then a single pointer test. Tracing never alters
+  /// event order: traced and untraced runs produce identical RunReports.
+  obs::SpanTracer* spans = nullptr;
 };
 
 /// Lifetime accounting for one PE (conservation analysis in tests).

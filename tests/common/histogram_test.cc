@@ -1,6 +1,7 @@
 #include "common/histogram.h"
 
 #include <cmath>
+#include <limits>
 
 #include <gtest/gtest.h>
 
@@ -112,6 +113,73 @@ TEST(LogHistogramTest, RejectsBadGeometry) {
   EXPECT_THROW(LogHistogram(0.0, 10.0, 10), CheckFailure);
   EXPECT_THROW(LogHistogram(10.0, 1.0, 10), CheckFailure);
   EXPECT_THROW(LogHistogram(1.0, 10.0, 0), CheckFailure);
+}
+
+TEST(LogHistogramTest, TracksExactMinMaxSumMean) {
+  LogHistogram h;
+  EXPECT_EQ(h.min(), 0.0);
+  EXPECT_EQ(h.max(), 0.0);
+  EXPECT_EQ(h.mean(), 0.0);
+  h.add(0.5);
+  h.add(2.0);
+  h.add(8.0, 2);
+  EXPECT_DOUBLE_EQ(h.min(), 0.5);
+  EXPECT_DOUBLE_EQ(h.max(), 8.0);
+  EXPECT_DOUBLE_EQ(h.sum(), 18.5);
+  EXPECT_DOUBLE_EQ(h.mean(), 18.5 / 4.0);
+}
+
+TEST(LogHistogramTest, InfinityLandsInOverflowNotUb) {
+  LogHistogram h(1e-3, 1e3, 10);
+  h.add(std::numeric_limits<double>::infinity());
+  EXPECT_EQ(h.overflow(), 1u);
+  EXPECT_EQ(h.count(), 1u);
+  // A non-finite sample contributes no exact extremum or sum.
+  EXPECT_EQ(h.max(), 0.0);
+  EXPECT_EQ(h.sum(), 0.0);
+}
+
+TEST(LogHistogramTest, OverflowQuantileReportsObservedMax) {
+  LogHistogram h(1e-3, 1e3, 10);
+  h.add(5e7);  // far past the top bucket boundary
+  h.add(1.0);
+  // Before the max-tracking fix the overflow quantile reported the last
+  // bucket boundary (1e3), under-reporting by 4+ orders of magnitude.
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 5e7);
+  EXPECT_DOUBLE_EQ(h.p999(), 5e7);
+}
+
+TEST(LogHistogramTest, QuantilesClampToObservedRange) {
+  LogHistogram h;
+  h.add(0.25);
+  // A single sample: every quantile is exactly that sample, not a bucket
+  // midpoint artifact.
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 0.25);
+  EXPECT_DOUBLE_EQ(h.median(), 0.25);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 0.25);
+}
+
+TEST(LogHistogramTest, ExtraQuantileHelpers) {
+  LogHistogram h(1e-3, 1e3, 40);
+  for (int i = 1; i <= 1000; ++i) h.add(static_cast<double>(i) / 10.0);
+  EXPECT_NEAR(h.p90(), 90.0, 90.0 * 0.06);
+  EXPECT_NEAR(h.p999(), 99.9, 99.9 * 0.06);
+}
+
+TEST(LogHistogramTest, MergeCombinesMinMaxSum) {
+  LogHistogram a(1e-3, 1e3, 10);
+  LogHistogram b(1e-3, 1e3, 10);
+  a.add(2.0);
+  b.add(0.1);
+  b.add(500.0);
+  a.merge(b);
+  EXPECT_DOUBLE_EQ(a.min(), 0.1);
+  EXPECT_DOUBLE_EQ(a.max(), 500.0);
+  EXPECT_DOUBLE_EQ(a.sum(), 502.1);
+  LogHistogram empty(1e-3, 1e3, 10);
+  a.merge(empty);  // merging an empty histogram must not disturb extrema
+  EXPECT_DOUBLE_EQ(a.min(), 0.1);
+  EXPECT_DOUBLE_EQ(a.max(), 500.0);
 }
 
 }  // namespace

@@ -1,0 +1,90 @@
+// Unit tests for the data-plane latency aggregation layer: path ids and
+// labels, quantile snapshots, negative-duration skipping, and registry
+// merge semantics.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "obs/latency.h"
+
+namespace aces::obs {
+namespace {
+
+TEST(PathIdTest, DeterministicAndOrderSensitive) {
+  const std::vector<std::uint32_t> chain{0, 4, 7};
+  EXPECT_EQ(path_id(chain), path_id(chain));
+  EXPECT_NE(path_id(chain), path_id({7, 4, 0}));
+  EXPECT_NE(path_id(chain), path_id({0, 4}));
+  EXPECT_NE(path_id({0}), path_id({1}));
+}
+
+TEST(PathIdTest, LabelJoinsWithAngleBracket) {
+  EXPECT_EQ(path_label({0, 4, 7}), "0>4>7");
+  EXPECT_EQ(path_label({12}), "12");
+  EXPECT_EQ(path_label({}), "");
+}
+
+TEST(LatencyRegistryTest, RecordsHopAndPathHistograms) {
+  LatencyRegistry reg;
+  reg.record_hop(3, 0.010, 0.002);
+  reg.record_hop(3, 0.020, 0.004);
+  reg.record_path({1, 3}, 0.5);
+
+  ASSERT_EQ(reg.pes().count(3), 1u);
+  const auto& stats = reg.pes().at(3);
+  EXPECT_EQ(stats.wait.count(), 2u);
+  EXPECT_EQ(stats.service.count(), 2u);
+  EXPECT_NEAR(stats.wait.sum(), 0.030, 1e-12);
+
+  ASSERT_EQ(reg.paths().size(), 1u);
+  const auto& path = reg.paths().at(path_id({1, 3}));
+  EXPECT_EQ(path.label, "1>3");
+  EXPECT_EQ(path.end_to_end.count(), 1u);
+  EXPECT_DOUBLE_EQ(path.end_to_end.max(), 0.5);
+}
+
+TEST(LatencyRegistryTest, NegativeDurationsAreSkippedPerHistogram) {
+  LatencyRegistry reg;
+  // A dropped span's last hop was enqueued but never dequeued: wait and
+  // service are both unknown. A hop popped but interrupted mid-service has
+  // a valid wait only.
+  reg.record_hop(0, -1.0, -1.0);
+  reg.record_hop(0, 0.25, -1.0);
+  const auto& stats = reg.pes().at(0);
+  EXPECT_EQ(stats.wait.count(), 1u);
+  EXPECT_EQ(stats.service.count(), 0u);
+}
+
+TEST(LatencyRegistryTest, QuantileSnapshotMatchesHistogram) {
+  LatencyRegistry reg;
+  for (int i = 1; i <= 100; ++i) {
+    reg.record_path({2, 5}, static_cast<double>(i) * 1e-3);
+  }
+  const LatencyQuantiles q =
+      quantiles_of(reg.paths().at(path_id({2, 5})).end_to_end);
+  EXPECT_EQ(q.count, 100u);
+  EXPECT_NEAR(q.p50, 0.050, 0.050 * 0.1);
+  EXPECT_NEAR(q.p99, 0.099, 0.099 * 0.1);
+  EXPECT_DOUBLE_EQ(q.max, 0.100);
+  EXPECT_NEAR(q.mean, 0.0505, 1e-12);
+}
+
+TEST(LatencyRegistryTest, MergeCombinesBothAxes) {
+  LatencyRegistry a;
+  LatencyRegistry b;
+  a.record_hop(1, 0.1, 0.01);
+  b.record_hop(1, 0.2, 0.02);
+  b.record_hop(9, 0.3, 0.03);
+  b.record_path({1, 9}, 0.4);
+  a.merge(b);
+
+  EXPECT_EQ(a.pes().at(1).wait.count(), 2u);
+  EXPECT_EQ(a.pes().at(9).wait.count(), 1u);
+  EXPECT_EQ(a.paths().at(path_id({1, 9})).end_to_end.count(), 1u);
+
+  a.reset();
+  EXPECT_TRUE(a.empty());
+}
+
+}  // namespace
+}  // namespace aces::obs

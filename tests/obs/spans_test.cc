@@ -1,0 +1,360 @@
+// Data-plane span tracing: flight-recorder ring semantics, deterministic
+// sampling, hop bookkeeping, and the integration contracts the tentpole
+// promises — monotone hop timestamps, path ids stable across substrates,
+// fault dumps capturing the crashed PE's in-flight spans, and traced runs
+// that leave the RunReport untouched.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "fault/fault_spec.h"
+#include "graph/topology_generator.h"
+#include "obs/export.h"
+#include "obs/latency.h"
+#include "obs/spans.h"
+#include "opt/global_optimizer.h"
+#include "runtime/runtime_engine.h"
+#include "sim/stream_simulation.h"
+
+namespace aces::obs {
+namespace {
+
+PeId pe_id(std::uint32_t v) { return PeId(v); }
+
+TEST(FlightRecorderTest, KeepsTheLastCapacitySpans) {
+  FlightRecorder recorder(4);
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    SdoSpan span;
+    span.trace_id = i;
+    recorder.push(span);
+  }
+  const std::vector<SdoSpan> recent = recorder.snapshot();
+  ASSERT_EQ(recent.size(), 4u);
+  for (std::size_t i = 0; i < recent.size(); ++i) {
+    EXPECT_EQ(recent[i].trace_id, 6u + i);  // oldest retained first
+  }
+  EXPECT_EQ(recorder.pushed(), 10u);
+}
+
+TEST(SpanTracerTest, SamplingIsDeterministicPerSeed) {
+  SpanTracerOptions options;
+  options.sample_rate = 0.25;
+  options.seed = 99;
+  SpanTracer a(options);
+  SpanTracer b(options);
+  int sampled = 0;
+  for (int i = 0; i < 400; ++i) {
+    const std::int32_t ha = a.begin(pe_id(0), 0.0);
+    const std::int32_t hb = b.begin(pe_id(0), 0.0);
+    EXPECT_EQ(ha >= 0, hb >= 0) << "draw " << i;
+    if (ha >= 0) ++sampled;
+    a.complete(ha, 1.0);
+    b.complete(hb, 1.0);
+  }
+  // ~25% acceptance; a generous band catches a broken threshold without
+  // flaking (binomial stddev here is ~8.7).
+  EXPECT_GT(sampled, 50);
+  EXPECT_LT(sampled, 150);
+}
+
+TEST(SpanTracerTest, RateOneSamplesEverything) {
+  SpanTracerOptions options;
+  options.sample_rate = 1.0;
+  SpanTracer tracer(options);
+  for (int i = 0; i < 32; ++i) {
+    const std::int32_t h = tracer.begin(pe_id(3), 0.0);
+    ASSERT_GE(h, 0);
+    tracer.complete(h, 1.0);
+  }
+  EXPECT_EQ(tracer.spans_started(), 32u);
+  EXPECT_EQ(tracer.spans_completed(), 32u);
+}
+
+TEST(SpanTracerTest, PoolExhaustionDegradesToUnsampled) {
+  SpanTracerOptions options;
+  options.sample_rate = 1.0;
+  options.max_in_flight = 2;
+  SpanTracer tracer(options);
+  const std::int32_t h1 = tracer.begin(pe_id(0), 0.0);
+  const std::int32_t h2 = tracer.begin(pe_id(0), 0.0);
+  const std::int32_t h3 = tracer.begin(pe_id(0), 0.0);
+  EXPECT_GE(h1, 0);
+  EXPECT_GE(h2, 0);
+  EXPECT_EQ(h3, -1);
+  EXPECT_EQ(tracer.pool_exhausted(), 1u);
+  tracer.complete(h1, 1.0);
+  EXPECT_GE(tracer.begin(pe_id(0), 2.0), 0);  // slot freed and reusable
+}
+
+TEST(SpanTracerTest, ReEnqueueOfPendingHopReStampsInsteadOfAppending) {
+  SpanTracerOptions options;
+  options.sample_rate = 1.0;
+  SpanTracer tracer(options);
+  const std::int32_t h = tracer.begin(pe_id(0), 0.0);
+  tracer.on_enqueue(h, pe_id(1), 1.0);
+  // Lock-Step retry: same PE re-enqueued before any dequeue.
+  tracer.on_enqueue(h, pe_id(1), 2.5);
+  tracer.on_dequeue(h, 3.0);
+  tracer.on_emit(h, 3.5);
+  // A genuine revisit (cycle-free graphs don't produce this, but the
+  // tracer must not merge distinct hops that completed service).
+  tracer.on_enqueue(h, pe_id(1), 4.0);
+  tracer.complete(h, 5.0);
+
+  const std::vector<SdoSpan> spans = tracer.recorder().snapshot();
+  ASSERT_EQ(spans.size(), 1u);
+  ASSERT_EQ(spans[0].hop_count, 2u);
+  EXPECT_DOUBLE_EQ(spans[0].hops[0].enqueue, 2.5);
+  EXPECT_DOUBLE_EQ(spans[0].hops[0].dequeue, 3.0);
+  EXPECT_DOUBLE_EQ(spans[0].hops[1].enqueue, 4.0);
+}
+
+TEST(SpanTracerTest, DroppedSpansFeedHopStatsButNotPathHistogram) {
+  SpanTracerOptions options;
+  options.sample_rate = 1.0;
+  SpanTracer tracer(options);
+  const std::int32_t h = tracer.begin(pe_id(0), 0.0);
+  tracer.on_enqueue(h, pe_id(0), 0.0);
+  tracer.on_dequeue(h, 0.5);
+  tracer.on_emit(h, 0.75);
+  tracer.on_enqueue(h, pe_id(1), 0.75);
+  tracer.drop(h, 1.0);
+
+  EXPECT_EQ(tracer.spans_dropped(), 1u);
+  EXPECT_EQ(tracer.spans_completed(), 0u);
+  EXPECT_TRUE(tracer.latency().paths().empty());
+  ASSERT_EQ(tracer.latency().pes().count(0u), 1u);
+  EXPECT_EQ(tracer.latency().pes().at(0).wait.count(), 1u);
+  // drop() finalizes: a second finalize on the same handle is a no-op.
+  tracer.complete(h, 2.0);
+  EXPECT_EQ(tracer.spans_completed(), 0u);
+}
+
+TEST(SpanTracerTest, WorstSpansSortedByLatencyDescending) {
+  SpanTracerOptions options;
+  options.sample_rate = 1.0;
+  options.worst_k = 3;
+  SpanTracer tracer(options);
+  for (const double latency : {0.2, 0.9, 0.1, 0.5, 0.7}) {
+    const std::int32_t h = tracer.begin(pe_id(0), 0.0);
+    tracer.complete(h, latency);
+  }
+  const std::vector<SdoSpan>& worst = tracer.worst_spans();
+  ASSERT_EQ(worst.size(), 3u);
+  EXPECT_DOUBLE_EQ(worst[0].latency(), 0.9);
+  EXPECT_DOUBLE_EQ(worst[1].latency(), 0.7);
+  EXPECT_DOUBLE_EQ(worst[2].latency(), 0.5);
+}
+
+// ---------------------------------------------------------------------------
+// Integration against the two substrates.
+
+graph::ProcessingGraph small_topology(std::uint64_t seed) {
+  graph::TopologyParams params;
+  params.num_nodes = 3;
+  params.num_ingress = 2;
+  params.num_intermediate = 5;
+  params.num_egress = 2;
+  return graph::generate_topology(params, seed);
+}
+
+SpanTracerOptions trace_everything(std::uint64_t seed) {
+  SpanTracerOptions options;
+  options.sample_rate = 1.0;
+  options.seed = seed;
+  options.max_in_flight = 16384;
+  options.ring_capacity = 16384;
+  return options;
+}
+
+TEST(SpanSimIntegrationTest, HopTimestampsAreMonotone) {
+  const auto g = small_topology(5);
+  const auto plan = opt::optimize(g);
+  sim::SimOptions options;
+  options.duration = 15.0;
+  options.warmup = 3.0;
+  options.seed = 5;
+  SpanTracer tracer(trace_everything(options.seed));
+  options.spans = &tracer;
+  sim::StreamSimulation sim(g, plan, options);
+  sim.run();
+
+  const std::vector<SdoSpan> spans = tracer.recorder().snapshot();
+  ASSERT_GT(spans.size(), 100u);
+  for (const SdoSpan& span : spans) {
+    ASSERT_GT(span.hop_count, 0u);
+    EXPECT_LE(span.start, span.hops[0].enqueue);
+    double prev = span.start;
+    for (std::uint32_t i = 0; i < span.hop_count; ++i) {
+      const SpanHop& hop = span.hops[i];
+      EXPECT_LE(prev, hop.enqueue);
+      prev = hop.enqueue;
+      if (hop.dequeue >= 0.0) {
+        EXPECT_LE(prev, hop.dequeue);
+        prev = hop.dequeue;
+      }
+      if (hop.emit >= 0.0) {
+        EXPECT_LE(prev, hop.emit);
+        prev = hop.emit;
+      }
+    }
+    if (span.end >= 0.0) EXPECT_LE(prev, span.end);
+  }
+}
+
+TEST(SpanSimIntegrationTest, TracingLeavesTheRunReportUntouched) {
+  const auto g = small_topology(8);
+  const auto plan = opt::optimize(g);
+  sim::SimOptions options;
+  options.duration = 12.0;
+  options.warmup = 2.0;
+  options.seed = 8;
+  sim::StreamSimulation plain(g, plan, options);
+  plain.run();
+  const metrics::RunReport untraced = plain.report();
+
+  SpanTracer tracer(trace_everything(options.seed));
+  options.spans = &tracer;
+  sim::StreamSimulation traced_sim(g, plan, options);
+  traced_sim.run();
+  const metrics::RunReport traced = traced_sim.report();
+  EXPECT_GT(tracer.spans_started(), 0u);
+
+  EXPECT_EQ(untraced.sdos_processed, traced.sdos_processed);
+  EXPECT_EQ(untraced.internal_drops, traced.internal_drops);
+  EXPECT_EQ(untraced.ingress_drops, traced.ingress_drops);
+  EXPECT_DOUBLE_EQ(untraced.weighted_throughput, traced.weighted_throughput);
+  EXPECT_DOUBLE_EQ(untraced.latency.mean(), traced.latency.mean());
+  EXPECT_EQ(untraced.latency_histogram.count(),
+            traced.latency_histogram.count());
+}
+
+TEST(SpanCrossSubstrateTest, PathIdsAreStableAcrossSubstrates) {
+  const auto g = small_topology(13);
+  const auto plan = opt::optimize(g);
+
+  sim::SimOptions sim_options;
+  sim_options.duration = 10.0;
+  sim_options.warmup = 2.0;
+  sim_options.seed = 13;
+  SpanTracer sim_tracer(trace_everything(13));
+  sim_options.spans = &sim_tracer;
+  sim::StreamSimulation sim(g, plan, sim_options);
+  sim.run();
+
+  runtime::RuntimeOptions rt_options;
+  rt_options.duration = 10.0;
+  rt_options.warmup = 2.0;
+  rt_options.time_scale = 20.0;
+  rt_options.seed = 13;
+  SpanTracer rt_tracer(trace_everything(13));
+  rt_options.spans = &rt_tracer;
+  runtime::run_runtime(g, plan, rt_options);
+
+  const auto labels_of = [](const SpanTracer& tracer) {
+    std::map<std::string, std::uint64_t> out;
+    for (const auto& [id, stats] : tracer.latency().paths()) {
+      out[stats.label] = id;
+    }
+    return out;
+  };
+  const auto sim_paths = labels_of(sim_tracer);
+  const auto rt_paths = labels_of(rt_tracer);
+  ASSERT_FALSE(sim_paths.empty());
+  ASSERT_FALSE(rt_paths.empty());
+  std::size_t shared = 0;
+  for (const auto& [label, id] : sim_paths) {
+    const auto it = rt_paths.find(label);
+    if (it == rt_paths.end()) continue;
+    EXPECT_EQ(id, it->second) << "path " << label;
+    ++shared;
+  }
+  // Both substrates route the same plan: the busy paths must coincide.
+  EXPECT_GT(shared, 0u);
+}
+
+TEST(SpanFaultDumpTest, CrashDumpCapturesTheDoomedInFlightSpans) {
+  const auto g = small_topology(21);
+  const auto plan = opt::optimize(g);
+  sim::SimOptions options;
+  options.duration = 20.0;
+  options.warmup = 2.0;
+  options.seed = 21;
+  options.faults = fault::parse_fault_spec("crash node=1 at=8 until=14");
+  SpanTracer tracer(trace_everything(options.seed));
+  options.spans = &tracer;
+  sim::StreamSimulation sim(g, plan, options);
+  sim.run();
+
+  EXPECT_EQ(tracer.dumps_taken(), 1u);
+  ASSERT_EQ(tracer.dumps().size(), 1u);
+  const FlightDump& dump = tracer.dumps()[0];
+  EXPECT_EQ(dump.event, "fault.node_crash");
+  EXPECT_DOUBLE_EQ(dump.time, 8.0);
+  // The dump is taken before the crash discards spans, so the SDOs about
+  // to be lost on the crashed node are present in the in-flight capture.
+  ASSERT_FALSE(dump.in_flight.empty());
+  std::size_t on_crashed_node = 0;
+  for (const SdoSpan& span : dump.in_flight) {
+    ASSERT_GT(span.hop_count, 0u);
+    const std::uint32_t last_pe = span.hops[span.hop_count - 1].pe;
+    if (g.pe(PeId(last_pe)).node == NodeId(1)) ++on_crashed_node;
+  }
+  EXPECT_GT(on_crashed_node, 0u);
+  // Those spans were then dropped, not completed.
+  EXPECT_GT(tracer.spans_dropped(), 0u);
+}
+
+TEST(SpanExportTest, PrometheusAndJsonlExpositionsAreWellFormed) {
+  const auto g = small_topology(3);
+  const auto plan = opt::optimize(g);
+  sim::SimOptions options;
+  options.duration = 10.0;
+  options.warmup = 2.0;
+  options.seed = 3;
+  SpanTracer tracer(trace_everything(options.seed));
+  options.spans = &tracer;
+  sim::StreamSimulation sim(g, plan, options);
+  sim.run();
+
+  std::ostringstream prom;
+  write_latency_prometheus(prom, tracer);
+  const std::string text = prom.str();
+  EXPECT_NE(text.find("# TYPE aces_spans_started_total counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE aces_pe_wait_seconds summary"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE aces_path_latency_seconds histogram"),
+            std::string::npos);
+  EXPECT_NE(text.find("quantile=\"0.99\""), std::string::npos);
+  EXPECT_NE(text.find("le=\"+Inf\""), std::string::npos);
+
+  std::ostringstream jsonl;
+  write_spans_jsonl(jsonl, tracer);
+  std::istringstream lines(jsonl.str());
+  std::string line;
+  std::size_t count = 0;
+  bool saw_meta = false;
+  bool saw_pe = false;
+  bool saw_path = false;
+  while (std::getline(lines, line)) {
+    ASSERT_FALSE(line.empty());
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+    EXPECT_NE(line.find("\"kind\":"), std::string::npos);
+    saw_meta = saw_meta || line.find("\"kind\":\"meta\"") != std::string::npos;
+    saw_pe = saw_pe || line.find("\"kind\":\"pe\"") != std::string::npos;
+    saw_path = saw_path || line.find("\"kind\":\"path\"") != std::string::npos;
+    ++count;
+  }
+  EXPECT_GT(count, 3u);
+  EXPECT_TRUE(saw_meta);
+  EXPECT_TRUE(saw_pe);
+  EXPECT_TRUE(saw_path);
+}
+
+}  // namespace
+}  // namespace aces::obs

@@ -22,6 +22,7 @@
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <memory>
 #include <optional>
 #include <set>
 #include <string>
@@ -35,7 +36,9 @@
 #include "harness/table.h"
 #include "obs/counters.h"
 #include "obs/export.h"
+#include "obs/latency.h"
 #include "obs/scoped_timer.h"
+#include "obs/spans.h"
 #include "obs/trace.h"
 #include "obs/trace_summary.h"
 #include "opt/dual_optimizer.h"
@@ -221,6 +224,58 @@ struct FaultFlags {
   }
 };
 
+/// Span-tracing simulate/latency-report flags. Tracing turns on when any of
+/// --sample / --spans / --prom is given; --sample alone enables it with the
+/// outputs going nowhere (useful for the overhead check).
+struct SpanFlags {
+  double sample = 0.0;
+  std::string spans_path;
+  std::string prom_path;
+
+  static SpanFlags parse(Flags& flags, double default_sample = 0.01) {
+    SpanFlags s;
+    s.sample = flags.get("sample", 0.0);
+    s.spans_path = flags.get("spans", std::string());
+    s.prom_path = flags.get("prom", std::string());
+    if (s.sample < 0.0 || s.sample > 1.0)
+      throw std::runtime_error("--sample must be in [0,1]");
+    if (s.sample == 0.0 && (!s.spans_path.empty() || !s.prom_path.empty()))
+      s.sample = default_sample;
+    return s;
+  }
+
+  [[nodiscard]] bool enabled() const { return sample > 0.0; }
+
+  [[nodiscard]] std::unique_ptr<obs::SpanTracer> make_tracer(
+      std::uint64_t seed) const {
+    obs::SpanTracerOptions options;
+    options.sample_rate = sample;
+    options.seed = seed;
+    return std::make_unique<obs::SpanTracer>(options);
+  }
+
+  void write_outputs(const obs::SpanTracer& tracer) const {
+    if (!spans_path.empty()) {
+      std::ofstream file(spans_path);
+      if (!file)
+        throw std::runtime_error("cannot open spans file: " + spans_path);
+      obs::write_spans_jsonl(file, tracer);
+      std::cerr << "wrote " << tracer.spans_started() << " spans ("
+                << tracer.spans_completed() << " completed, "
+                << tracer.spans_dropped() << " dropped) to " << spans_path
+                << '\n';
+    }
+    if (!prom_path.empty()) {
+      std::ofstream file(prom_path);
+      if (!file)
+        throw std::runtime_error("cannot open prom file: " + prom_path);
+      obs::write_latency_prometheus(file, tracer);
+      std::cerr << "wrote Prometheus latency exposition to " << prom_path
+                << '\n';
+    }
+  }
+};
+
 control::FlowPolicy parse_policy(const std::string& name) {
   if (name == "aces") return control::FlowPolicy::kAces;
   if (name == "udp") return control::FlowPolicy::kUdp;
@@ -371,6 +426,7 @@ int cmd_simulate(Flags& flags) {
   const std::string timeseries = flags.get("timeseries", std::string());
   const std::string trace_path = flags.get("trace", std::string());
   const FaultFlags faults = FaultFlags::parse(flags);
+  const SpanFlags span_flags = SpanFlags::parse(flags);
   const bool csv = flags.has("csv");
   const bool detail = flags.has("detail");
   flags.check_all_consumed();
@@ -393,8 +449,14 @@ int cmd_simulate(Flags& flags) {
   }
   faults.apply(options,
                faults.schedule.empty() ? nullptr : &counters);
+  std::unique_ptr<obs::SpanTracer> tracer;
+  if (span_flags.enabled()) {
+    tracer = span_flags.make_tracer(options.seed);
+    options.spans = tracer.get();
+  }
   sim::StreamSimulation simulation(g, plan, options);
   simulation.run();
+  if (tracer != nullptr) span_flags.write_outputs(*tracer);
   if (!timeseries.empty()) {
     std::ofstream file(timeseries);
     simulation.timeseries().write_csv(file);
@@ -487,6 +549,7 @@ int cmd_sweep(Flags& flags) {
   const std::string grid_spec = flags.get("grid", std::string());
   const int jobs = flags.get("jobs", 1);
   const std::string out = flags.get("out", std::string("BENCH_sweep.json"));
+  const std::string trace_path = flags.get("trace", std::string());
   const bool include_timing = !flags.has("no-timing");
   const bool quiet = flags.has("quiet");
   const bool csv = flags.has("csv");
@@ -506,7 +569,9 @@ int cmd_sweep(Flags& flags) {
     grid_text.assign((std::istreambuf_iterator<char>(file)),
                      std::istreambuf_iterator<char>());
   }
-  harness::SweepRunner runner(harness::parse_sweep_grid(grid_text));
+  harness::SweepGrid grid = harness::parse_sweep_grid(grid_text);
+  grid.record_traces = !trace_path.empty();
+  harness::SweepRunner runner(std::move(grid));
   if (!quiet) {
     std::cerr << "sweep: " << runner.run_count() << " runs on " << jobs
               << " job(s)\n";
@@ -525,6 +590,15 @@ int cmd_sweep(Flags& flags) {
     std::ofstream file(out);
     if (!file) throw std::runtime_error("cannot open output file: " + out);
     harness::write_sweep_json(file, report, include_timing);
+  }
+  if (!trace_path.empty()) {
+    std::ofstream file(trace_path);
+    if (!file) {
+      throw std::runtime_error("cannot open trace file: " + trace_path);
+    }
+    harness::write_sweep_trace_jsonl(file, report);
+    std::cerr << "wrote combined policy-tagged trace to " << trace_path
+              << '\n';
   }
 
   if (!quiet) {
@@ -558,41 +632,216 @@ int cmd_trace_summary(Flags& flags) {
       flags.get("tolerance", options.tolerance_fraction);
   const bool csv = flags.has("csv");
   flags.check_all_consumed();
-  if (in.empty()) throw std::runtime_error("--in=FILE is required");
-
-  std::ifstream file(in);
-  if (!file) throw std::runtime_error("cannot open trace file: " + in);
-  const std::vector<obs::TickRecord> records = obs::read_trace_jsonl(file);
-  if (records.empty()) {
-    throw std::runtime_error("no trace records in " + in);
+  if (in.empty()) {
+    throw std::runtime_error("--in=FILE[,FILE...] is required");
   }
 
-  const auto summaries = obs::summarize_trace(records, options);
-  harness::Table table({"pe", "node", "ticks", "buf mean", "buf min",
-                        "buf max", "target", "settle s", "osc amp",
-                        "share mean", "drops"});
-  for (const obs::PeTraceSummary& s : summaries) {
-    table.add_row({"pe" + std::to_string(s.pe),
-                   "pn" + std::to_string(s.node), harness::cell(s.ticks),
-                   harness::cell(s.occupancy_mean, 1),
-                   harness::cell(s.occupancy_min, 0),
-                   harness::cell(s.occupancy_max, 0),
-                   harness::cell(s.steady_target, 1),
-                   std::isfinite(s.settling_time)
-                       ? harness::cell(s.settling_time, 2)
-                       : std::string("never"),
-                   harness::cell(s.oscillation_amplitude, 2),
-                   harness::cell(s.share_mean, 3), harness::cell(s.drops)});
+  // --in accepts several comma-separated files (e.g. the per-policy files
+  // `aces compare --trace` writes). Records group by their "policy" tag —
+  // present in sweep-combined traces — falling back to the file name, so
+  // single plain traces keep the old single-table behaviour.
+  std::vector<std::string> paths;
+  {
+    std::istringstream list(in);
+    std::string path;
+    while (std::getline(list, path, ',')) {
+      if (!path.empty()) paths.push_back(path);
+    }
   }
-  harness::print_table(table, csv, std::cout);
-  Seconds t0 = records.front().time;
-  Seconds t1 = t0;
-  for (const auto& r : records) {
-    t0 = std::min(t0, r.time);
-    t1 = std::max(t1, r.time);
+  std::size_t total_records = 0;
+  Seconds t0 = 0.0;
+  Seconds t1 = 0.0;
+  std::map<std::string, std::vector<obs::TickRecord>> groups;
+  for (const std::string& path : paths) {
+    std::ifstream file(path);
+    if (!file) throw std::runtime_error("cannot open trace file: " + path);
+    std::vector<obs::TickRecord> records = obs::read_trace_jsonl(file);
+    if (records.empty()) {
+      throw std::runtime_error("no trace records in " + path);
+    }
+    for (obs::TickRecord& r : records) {
+      if (total_records == 0) {
+        t0 = t1 = r.time;
+      } else {
+        t0 = std::min(t0, r.time);
+        t1 = std::max(t1, r.time);
+      }
+      ++total_records;
+      groups[r.policy.empty() ? path : r.policy].push_back(std::move(r));
+    }
   }
-  std::cout << '\n' << records.size() << " records, " << summaries.size()
-            << " PEs, time span " << harness::cell(t1 - t0, 2) << " s\n";
+
+  struct GroupRow {
+    std::string name;
+    std::size_t pes = 0;
+    std::size_t settled = 0;
+    double settle_worst = 0.0;
+    double settle_sum = 0.0;  // over settled PEs
+    double osc_sum = 0.0;
+    std::uint64_t drops = 0;
+  };
+  std::vector<GroupRow> rows;
+  std::size_t total_pes = 0;
+  for (const auto& [name, records] : groups) {
+    const auto summaries = obs::summarize_trace(records, options);
+    if (groups.size() > 1) std::cout << "[" << name << "]\n";
+    harness::Table table({"pe", "node", "ticks", "buf mean", "buf min",
+                          "buf max", "target", "settle s", "osc amp",
+                          "share mean", "drops"});
+    GroupRow row;
+    row.name = name;
+    for (const obs::PeTraceSummary& s : summaries) {
+      table.add_row({"pe" + std::to_string(s.pe),
+                     "pn" + std::to_string(s.node), harness::cell(s.ticks),
+                     harness::cell(s.occupancy_mean, 1),
+                     harness::cell(s.occupancy_min, 0),
+                     harness::cell(s.occupancy_max, 0),
+                     harness::cell(s.steady_target, 1),
+                     std::isfinite(s.settling_time)
+                         ? harness::cell(s.settling_time, 2)
+                         : std::string("never"),
+                     harness::cell(s.oscillation_amplitude, 2),
+                     harness::cell(s.share_mean, 3), harness::cell(s.drops)});
+      ++row.pes;
+      if (std::isfinite(s.settling_time)) {
+        ++row.settled;
+        row.settle_sum += s.settling_time;
+        row.settle_worst = std::max(row.settle_worst, s.settling_time);
+      }
+      row.osc_sum += s.oscillation_amplitude;
+      row.drops += s.drops;
+    }
+    harness::print_table(table, csv, std::cout);
+    std::cout << '\n';
+    total_pes += row.pes;
+    rows.push_back(std::move(row));
+  }
+
+  if (rows.size() > 1) {
+    std::cout << "per-policy stability (settle over settled PEs):\n";
+    harness::Table table({"policy", "pes", "settled", "settle mean s",
+                          "settle worst s", "osc amp mean", "drops"});
+    for (const GroupRow& row : rows) {
+      const double n = static_cast<double>(row.pes);
+      table.add_row(
+          {row.name, harness::cell(static_cast<std::uint64_t>(row.pes)),
+           harness::cell(static_cast<std::uint64_t>(row.settled)),
+           row.settled > 0
+               ? harness::cell(row.settle_sum /
+                                   static_cast<double>(row.settled),
+                               2)
+               : std::string("-"),
+           row.settled > 0 ? harness::cell(row.settle_worst, 2)
+                           : std::string("never"),
+           harness::cell(row.osc_sum / n, 2), harness::cell(row.drops)});
+    }
+    harness::print_table(table, csv, std::cout);
+    std::cout << '\n';
+  }
+
+  std::cout << total_records << " records, " << total_pes << " PEs in "
+            << rows.size() << " group(s), time span "
+            << harness::cell(t1 - t0, 2) << " s\n";
+  return 0;
+}
+
+int cmd_latency_report(Flags& flags) {
+  const graph::ProcessingGraph g =
+      load_topology(flags.get("topology", std::string()));
+  const control::FlowPolicy policy =
+      parse_policy(flags.get("policy", std::string("aces")));
+  const double duration = flags.get("duration", 60.0);
+  const double warmup = flags.get("warmup", 10.0);
+  const int seed = flags.get("seed", 1);
+  const double sample = flags.get("sample", 0.05);
+  const int worst = flags.get("worst", 5);
+  const std::string spans_path = flags.get("spans", std::string());
+  const std::string prom_path = flags.get("prom", std::string());
+  const FaultFlags faults = FaultFlags::parse(flags);
+  const bool csv = flags.has("csv");
+  flags.check_all_consumed();
+  fault::validate(faults.schedule, g);
+  if (sample <= 0.0 || sample > 1.0)
+    throw std::runtime_error("--sample must be in (0,1]");
+  if (worst < 0) throw std::runtime_error("--worst must be >= 0");
+
+  const opt::AllocationPlan plan = opt::optimize(g);
+  obs::CounterRegistry counters;
+  sim::SimOptions options;
+  options.duration = duration;
+  options.warmup = warmup;
+  options.seed = static_cast<std::uint64_t>(seed);
+  options.controller.policy = policy;
+  faults.apply(options, faults.schedule.empty() ? nullptr : &counters);
+
+  obs::SpanTracerOptions tracer_options;
+  tracer_options.sample_rate = sample;
+  tracer_options.seed = options.seed;
+  tracer_options.worst_k = static_cast<std::size_t>(worst);
+  obs::SpanTracer tracer(tracer_options);
+  options.spans = &tracer;
+
+  sim::StreamSimulation simulation(g, plan, options);
+  simulation.run();
+
+  std::cout << "spans: " << tracer.spans_started() << " sampled, "
+            << tracer.spans_completed() << " completed, "
+            << tracer.spans_dropped() << " dropped (sample rate "
+            << harness::cell(sample, 3) << ", policy " << to_string(policy)
+            << ")\n\n";
+
+  harness::Table pe_table({"pe", "waits", "wait p50 ms", "wait p99 ms",
+                           "svc p50 ms", "svc p99 ms", "svc max ms"});
+  for (const auto& [pe, stats] : tracer.latency().pes()) {
+    const obs::LatencyQuantiles w = obs::quantiles_of(stats.wait);
+    const obs::LatencyQuantiles s = obs::quantiles_of(stats.service);
+    pe_table.add_row({"pe" + std::to_string(pe), harness::cell(w.count),
+                      harness::cell(w.p50 * 1e3, 2),
+                      harness::cell(w.p99 * 1e3, 2),
+                      harness::cell(s.p50 * 1e3, 2),
+                      harness::cell(s.p99 * 1e3, 2),
+                      harness::cell(s.max * 1e3, 2)});
+  }
+  harness::print_table(pe_table, csv, std::cout);
+  std::cout << '\n';
+
+  harness::Table path_table({"path", "n", "p50 ms", "p90 ms", "p99 ms",
+                             "p99.9 ms", "max ms"});
+  for (const auto& [id, stats] : tracer.latency().paths()) {
+    const obs::LatencyQuantiles q = obs::quantiles_of(stats.end_to_end);
+    path_table.add_row({stats.label, harness::cell(q.count),
+                        harness::cell(q.p50 * 1e3, 2),
+                        harness::cell(q.p90 * 1e3, 2),
+                        harness::cell(q.p99 * 1e3, 2),
+                        harness::cell(q.p999 * 1e3, 2),
+                        harness::cell(q.max * 1e3, 2)});
+  }
+  harness::print_table(path_table, csv, std::cout);
+
+  if (!tracer.worst_spans().empty()) {
+    std::cout << "\nworst spans:\n";
+    harness::Table worst_table(
+        {"rank", "latency ms", "path", "start s", "hops"});
+    std::uint64_t rank = 1;
+    for (const obs::SdoSpan& span : tracer.worst_spans()) {
+      worst_table.add_row({harness::cell(rank++),
+                           harness::cell(span.latency() * 1e3, 2),
+                           obs::path_label(span.hop_pes()),
+                           harness::cell(span.start, 2),
+                           harness::cell(static_cast<std::uint64_t>(
+                               span.hop_count))});
+    }
+    harness::print_table(worst_table, csv, std::cout);
+  }
+
+  if (!spans_path.empty() || !prom_path.empty()) {
+    SpanFlags outputs;
+    outputs.sample = sample;
+    outputs.spans_path = spans_path;
+    outputs.prom_path = prom_path;
+    outputs.write_outputs(tracer);
+  }
+  if (!faults.schedule.empty()) print_fault_counters(counters);
   return 0;
 }
 
@@ -605,11 +854,14 @@ int usage(std::ostream& os, int code) {
         "            [--duration --warmup --seed --timeseries=F --csv\n"
         "             --detail --trace=F.jsonl|F.csv]\n"
         "            [--faults=SPEC|@FILE --staleness=SEC --reoptimize=SEC]\n"
+        "            [--sample=RATE --spans=F.jsonl --prom=F.txt]\n"
         "            (--faults injects crash/stall/advert/drop faults, see\n"
         "             docs/fault_injection.md; --staleness sets the advert\n"
         "             staleness timeout, default 1 when faults are present;\n"
         "             --reoptimize re-runs tier 1 every SEC seconds and on\n"
-        "             node crash/restart)\n"
+        "             node crash/restart; --sample enables per-SDO span\n"
+        "             tracing at RATE in (0,1], --spans/--prom write the\n"
+        "             JSONL / Prometheus expositions)\n"
         "  compare   --topology=FILE [--duration --warmup --seed --csv]\n"
         "            [--runtime --timescale=5 --trace=F.jsonl|F.csv]\n"
         "            [--faults=SPEC|@FILE --staleness=SEC --reoptimize=SEC]\n"
@@ -617,10 +869,20 @@ int usage(std::ostream& os, int code) {
         "             --reoptimize is ignored: tier 1 re-solves on node\n"
         "             crash/restart instead; --trace writes one file per\n"
         "             policy: F.<policy>.jsonl)\n"
-        "  trace-summary --in=F.jsonl [--tail=0.25 --tolerance=0.1 --csv]\n"
-        "            (per-PE settling time and oscillation amplitude)\n"
+        "  trace-summary --in=F.jsonl[,G.jsonl...] [--tail=0.25\n"
+        "             --tolerance=0.1 --csv]\n"
+        "            (per-PE settling time and oscillation amplitude;\n"
+        "             accepts several files and policy-tagged sweep traces,\n"
+        "             reporting each policy side by side)\n"
+        "  latency-report --topology=FILE [--policy --duration --warmup\n"
+        "             --seed --sample=0.05 --worst=5 --csv\n"
+        "             --spans=F.jsonl --prom=F.txt]\n"
+        "            [--faults=SPEC|@FILE --staleness=SEC --reoptimize=SEC]\n"
+        "            (runs a traced simulation and prints per-PE\n"
+        "             wait/service and per-path end-to-end latency\n"
+        "             percentiles plus the slowest spans)\n"
         "  sweep     --grid=@FILE [--jobs=N --out=BENCH_sweep.json --csv\n"
-        "             --no-timing --quiet]\n"
+        "             --no-timing --quiet --trace=F.jsonl]\n"
         "            (parallel deterministic sweep over a topology x policy\n"
         "             x seed grid; the report is bit-identical for any\n"
         "             --jobs. Grid grammar in docs/benchmarking.md;\n"
@@ -644,6 +906,7 @@ int main(int argc, char** argv) {
     if (command == "simulate") return cmd_simulate(flags);
     if (command == "compare") return cmd_compare(flags);
     if (command == "trace-summary") return cmd_trace_summary(flags);
+    if (command == "latency-report") return cmd_latency_report(flags);
     if (command == "sweep") return cmd_sweep(flags);
     std::cerr << "unknown command: " << command << '\n';
     return usage(std::cerr, 2);
