@@ -9,9 +9,13 @@ namespace aces {
 
 LogHistogram::LogHistogram(double min_value, double max_value,
                            int buckets_per_decade)
-    : min_value_(min_value), log_min_(std::log10(min_value)) {
+    : min_value_(min_value) {
+  // Validate BEFORE deriving: log10 of a non-positive min_value is NaN/-inf
+  // and previously flowed into log_min_ in the init list, ahead of this
+  // check ever firing.
   ACES_CHECK(min_value > 0.0 && max_value > min_value);
   ACES_CHECK(buckets_per_decade > 0);
+  log_min_ = std::log10(min_value);
   log_step_ = 1.0 / buckets_per_decade;
   inv_log_step_ = buckets_per_decade;
   const double decades = std::log10(max_value) - log_min_;

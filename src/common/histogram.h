@@ -18,8 +18,12 @@ class LogHistogram {
  public:
   /// Buckets span [min_value, max_value] with `buckets_per_decade` buckets per
   /// factor of 10. Values below/above the span land in under/overflow buckets.
-  LogHistogram(double min_value = 1e-6, double max_value = 1e4,
-               int buckets_per_decade = 20);
+  /// explicit: a bare double is a sample, not a histogram geometry — the
+  /// implicit conversion this previously permitted is exactly the
+  /// accidental-temporary bug clang-tidy's explicit-constructor check exists
+  /// to prevent.
+  explicit LogHistogram(double min_value = 1e-6, double max_value = 1e4,
+                        int buckets_per_decade = 20);
 
   void add(double value, std::uint64_t weight = 1);
   void merge(const LogHistogram& other);
@@ -60,10 +64,10 @@ class LogHistogram {
   }
 
  private:
-  double min_value_;
-  double log_min_;
-  double inv_log_step_;
-  double log_step_;
+  double min_value_ = 0.0;
+  double log_min_ = 0.0;
+  double inv_log_step_ = 0.0;
+  double log_step_ = 0.0;
   std::vector<std::uint64_t> counts_;  // [underflow, interior..., overflow]
   std::uint64_t count_ = 0;
   double min_seen_ = 0.0;

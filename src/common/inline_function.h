@@ -25,10 +25,15 @@ class InlineFunction {
  public:
   InlineFunction() = default;
 
+  // Implicit conversion from a lambda is the entire point of the type
+  // (handlers are passed as bare lambdas throughout the simulator), and the
+  // forwarding-reference "overload shadows copy/move" hazard is foreclosed
+  // by the enable_if same-type exclusion plus deleted copy operations.
   template <typename F,
             typename = std::enable_if_t<
                 !std::is_same_v<std::decay_t<F>, InlineFunction>>>
-  InlineFunction(F&& fn) {  // NOLINT(google-explicit-constructor)
+  // NOLINTNEXTLINE(google-explicit-constructor,bugprone-forwarding-reference-overload)
+  InlineFunction(F&& fn) {
     using Fn = std::decay_t<F>;
     static_assert(sizeof(Fn) <= Capacity,
                   "callable exceeds InlineFunction storage; shrink the "
@@ -88,6 +93,10 @@ class InlineFunction {
     other.destroy_ = nullptr;
   }
 
+  // Deliberately uninitialized: a slot's lifetime is governed by invoke_
+  // (null ⇔ no object in storage), and zero-filling Capacity bytes on every
+  // default construction would tax the simulator's event ring for nothing.
+  // NOLINTNEXTLINE(cppcoreguidelines-pro-type-member-init)
   alignas(std::max_align_t) unsigned char storage_[Capacity];
   void (*invoke_)(void*) = nullptr;
   void (*relocate_)(void* dst, void* src) noexcept = nullptr;

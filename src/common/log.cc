@@ -4,13 +4,15 @@
 #include <chrono>
 #include <cstdio>
 #include <iostream>
-#include <mutex>
+
+#include "common/mutex.h"
 
 namespace aces {
 
 namespace {
 std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
-std::mutex g_mutex;
+/// Serializes whole lines onto stderr across runtime threads.
+Mutex g_mutex;
 
 // Captured at static initialization, i.e. ~process start; the per-line
 // timestamp is milliseconds since then. Monotonic, so interleaved lines
@@ -41,7 +43,7 @@ void log_write(LogLevel level, const std::string& message) {
       std::chrono::steady_clock::now() - g_start;
   char stamp[32];
   std::snprintf(stamp, sizeof stamp, "+%.3fms", uptime.count());
-  std::lock_guard<std::mutex> lock(g_mutex);
+  MutexLock lock(g_mutex);
   std::cerr << "[aces " << level_name(level) << ' ' << stamp << "] "
             << message << '\n';
 }

@@ -1,0 +1,49 @@
+// Annotated mutex wrapper for clang thread-safety analysis.
+//
+// libstdc++'s std::mutex carries no capability attributes, so
+// ACES_GUARDED_BY(some_std_mutex) is rejected by -Wthread-safety. aces::Mutex
+// is a zero-overhead std::mutex wrapper declared as a capability, and
+// aces::MutexLock the matching scoped acquire — the pair every
+// mutex-protected structure in the tree is annotated against.
+//
+// Condition variables: aces::Mutex is BasicLockable, so waiting code pairs a
+// scoped MutexLock with std::condition_variable_any and passes the Mutex
+// itself as the Lockable (the cv unlocks/relocks it around the sleep). See
+// runtime/channel.h for the canonical pattern.
+#pragma once
+
+#include <mutex>
+
+#include "common/thread_annotations.h"
+
+namespace aces {
+
+class ACES_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() ACES_ACQUIRE() { m_.lock(); }
+  void unlock() ACES_RELEASE() { m_.unlock(); }
+  bool try_lock() ACES_TRY_ACQUIRE(true) { return m_.try_lock(); }
+
+ private:
+  std::mutex m_;
+};
+
+/// RAII acquire/release of an aces::Mutex (std::lock_guard equivalent that
+/// the thread-safety analysis understands).
+class ACES_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) ACES_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() ACES_RELEASE() { mu_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+}  // namespace aces

@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstddef>
+#include <utility>
 #include <vector>
 
 #include "common/check.h"
@@ -24,7 +25,7 @@ class HistoryRing {
 
   void push(T value) {
     head_ = (head_ + 1) % data_.size();
-    data_[head_] = value;
+    data_[head_] = std::move(value);  // last use of the by-value parameter
     if (size_ < data_.size()) ++size_;
   }
 

@@ -1,0 +1,57 @@
+// Clang thread-safety-analysis attribute macros.
+//
+// These macros attach lock-discipline contracts to the concurrent surface
+// (runtime/channel, runtime/message_bus, obs counters/trace/spans, the
+// sweep pool) so `clang -Wthread-safety` proves at compile time that every
+// access to a guarded member happens under its mutex. On compilers without
+// the attributes (gcc) they expand to nothing; the contracts still read as
+// documentation and the clang CI job enforces them with -Werror.
+//
+// Naming follows the upstream attribute set
+// (https://clang.llvm.org/docs/ThreadSafetyAnalysis.html):
+//
+//   ACES_CAPABILITY("mutex")   — the guarded-resource type itself
+//   ACES_GUARDED_BY(mu)        — data member readable/writable only
+//                                while holding mu
+//   ACES_PT_GUARDED_BY(mu)     — pointee (not the pointer) guarded by mu
+//   ACES_REQUIRES(mu)          — function must be called with mu held
+//   ACES_ACQUIRE(mu) / ACES_RELEASE(mu)
+//                              — function takes / drops mu
+//   ACES_EXCLUDES(mu)          — function must NOT be called with mu held
+//                                (it acquires mu itself; prevents
+//                                self-deadlock on non-recursive mutexes)
+//   ACES_RETURN_CAPABILITY(mu) — accessor returning a reference to mu
+//   ACES_SCOPED_CAPABILITY     — RAII lock-guard types
+//   ACES_NO_THREAD_SAFETY_ANALYSIS
+//                              — opt-out for functions whose discipline the
+//                                analysis cannot express (each use must
+//                                carry a comment saying why)
+#pragma once
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(guarded_by)
+#define ACES_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef ACES_THREAD_ANNOTATION
+#define ACES_THREAD_ANNOTATION(x)  // no-op outside clang
+#endif
+
+#define ACES_CAPABILITY(x) ACES_THREAD_ANNOTATION(capability(x))
+#define ACES_SCOPED_CAPABILITY ACES_THREAD_ANNOTATION(scoped_lockable)
+#define ACES_GUARDED_BY(x) ACES_THREAD_ANNOTATION(guarded_by(x))
+#define ACES_PT_GUARDED_BY(x) ACES_THREAD_ANNOTATION(pt_guarded_by(x))
+#define ACES_REQUIRES(...) \
+  ACES_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define ACES_REQUIRES_SHARED(...) \
+  ACES_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+#define ACES_ACQUIRE(...) \
+  ACES_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define ACES_RELEASE(...) \
+  ACES_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define ACES_TRY_ACQUIRE(...) \
+  ACES_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+#define ACES_EXCLUDES(...) ACES_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+#define ACES_RETURN_CAPABILITY(x) ACES_THREAD_ANNOTATION(lock_returned(x))
+#define ACES_NO_THREAD_SAFETY_ANALYSIS \
+  ACES_THREAD_ANNOTATION(no_thread_safety_analysis)

@@ -120,6 +120,10 @@ void FaultInjector::note_pe_stall() { stalls_.inc(); }
 double FaultInjector::draw(PeId pe, std::uint64_t salt) {
   ACES_CHECK_MSG(pe.valid() && pe.value() < pe_count_,
                  "fault draw for out-of-range PE " << pe);
+  // Relaxed suffices: each per-PE counter is an independent draw index —
+  // nothing else is published through it, only atomicity of the increment
+  // matters (two runtime threads drawing for the same PE must get distinct
+  // indices, not a synchronized view of other memory).
   const std::uint64_t seq =
       sequences_[pe.value()].fetch_add(1, std::memory_order_relaxed);
   std::uint64_t state = seed_ ^ salt ^

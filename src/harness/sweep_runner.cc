@@ -5,7 +5,6 @@
 #include <cstdio>
 #include <deque>
 #include <map>
-#include <mutex>
 #include <ostream>
 #include <sstream>
 #include <stdexcept>
@@ -13,6 +12,8 @@
 #include <utility>
 
 #include "common/check.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "common/rng.h"
 #include "obs/export.h"
 #include "opt/global_optimizer.h"
@@ -228,11 +229,11 @@ SweepReport SweepRunner::run(int jobs) {
   report.jobs = jobs;
   const auto start = Clock::now();
 
-  std::mutex done_mutex;  // serializes on_run_done across workers
+  Mutex done_mutex;  // serializes on_run_done across workers
   const auto finish_run = [&](std::size_t index) {
     execute_run(index, report);
     if (on_run_done) {
-      std::lock_guard<std::mutex> lock(done_mutex);
+      MutexLock lock(done_mutex);
       on_run_done(configs_[index], report.results[index]);
     }
   };
@@ -248,17 +249,23 @@ SweepReport SweepRunner::run(int jobs) {
     // the back of a victim's when empty. Determinism is unaffected by who
     // executes what — results are slot-addressed by run index.
     struct WorkQueue {
-      std::mutex mutex;
-      std::deque<std::size_t> items;
+      Mutex mutex;
+      std::deque<std::size_t> items ACES_GUARDED_BY(mutex);
     };
     std::vector<WorkQueue> queues(static_cast<std::size_t>(jobs));
-    for (std::size_t i = 0; i < configs_.size(); ++i) {
-      queues[i % static_cast<std::size_t>(jobs)].items.push_back(i);
+    {
+      // Seeding happens before the workers exist, but the analysis has no
+      // notion of "not yet shared" for non-members, so lock pro forma.
+      for (std::size_t i = 0; i < configs_.size(); ++i) {
+        WorkQueue& q = queues[i % static_cast<std::size_t>(jobs)];
+        MutexLock lock(q.mutex);
+        q.items.push_back(i);
+      }
     }
     const auto take = [&queues](std::size_t worker, std::size_t& out) {
       {  // own queue first, oldest item first
         WorkQueue& own = queues[worker];
-        std::lock_guard<std::mutex> lock(own.mutex);
+        MutexLock lock(own.mutex);
         if (!own.items.empty()) {
           out = own.items.front();
           own.items.pop_front();
@@ -267,7 +274,7 @@ SweepReport SweepRunner::run(int jobs) {
       }
       for (std::size_t v = 1; v < queues.size(); ++v) {
         WorkQueue& victim = queues[(worker + v) % queues.size()];
-        std::lock_guard<std::mutex> lock(victim.mutex);
+        MutexLock lock(victim.mutex);
         if (!victim.items.empty()) {
           out = victim.items.back();  // steal from the cold end
           victim.items.pop_back();

@@ -17,21 +17,21 @@ CounterRegistry::CounterRegistry(std::size_t shards)
                             kMaxShards)) {}
 
 Counter CounterRegistry::counter(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto& cells = counters_[name];
   if (cells == nullptr) cells = std::make_unique<CounterCell[]>(shard_count_);
   return Counter(cells.get(), shard_count_ - 1);
 }
 
 Gauge CounterRegistry::gauge(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto& cell = gauges_[name];
   if (cell == nullptr) cell = std::make_unique<std::atomic<double>>(0.0);
   return Gauge(cell.get());
 }
 
 CounterSnapshot CounterRegistry::snapshot() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   CounterSnapshot snap;
   snap.counters.reserve(counters_.size());
   for (const auto& [name, cells] : counters_) {

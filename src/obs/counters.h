@@ -24,10 +24,12 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace aces::obs {
 
@@ -56,6 +58,12 @@ class Counter {
   Counter() = default;
 
   void inc(std::uint64_t n = 1) {
+    // Relaxed ordering invariant: a counter cell is a pure commutative sum
+    // — no reader infers the state of OTHER memory from its value, so no
+    // acquire/release edge is needed; atomicity alone guarantees no lost
+    // increments. Readers (value()/snapshot()) consequently see a possibly
+    // stale lower bound while writers run, and the exact total once the
+    // writing threads have joined (thread join supplies the ordering).
     if (cells_ != nullptr) {
       cells_[detail::this_thread_shard() & shard_mask_].value.fetch_add(
           n, std::memory_order_relaxed);
@@ -116,19 +124,28 @@ class CounterRegistry {
   explicit CounterRegistry(std::size_t shards = 1);
 
   /// Returns (registering on first use) the counter called `name`.
-  Counter counter(const std::string& name);
+  Counter counter(const std::string& name) ACES_EXCLUDES(mutex_);
   /// Returns (registering on first use) the gauge called `name`.
-  Gauge gauge(const std::string& name);
+  Gauge gauge(const std::string& name) ACES_EXCLUDES(mutex_);
 
   [[nodiscard]] std::size_t shard_count() const { return shard_count_; }
 
-  [[nodiscard]] CounterSnapshot snapshot() const;
+  [[nodiscard]] CounterSnapshot snapshot() const ACES_EXCLUDES(mutex_);
 
  private:
+  /// Set once in the constructor, immutable afterwards — safe to read
+  /// without the lock.
   std::size_t shard_count_ = 1;
-  mutable std::mutex mutex_;
-  std::map<std::string, std::unique_ptr<CounterCell[]>> counters_;
-  std::map<std::string, std::unique_ptr<std::atomic<double>>> gauges_;
+  mutable Mutex mutex_;
+  // The name tables are guarded; the pointed-to cells are NOT — handles
+  // write them lock-free with relaxed atomics (see the header comment for
+  // why relaxed suffices: counters are commutative sums whose readers
+  // tolerate momentarily-stale per-shard values; no other data is
+  // published through them, so no acquire/release edge is needed).
+  std::map<std::string, std::unique_ptr<CounterCell[]>> counters_
+      ACES_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<std::atomic<double>>> gauges_
+      ACES_GUARDED_BY(mutex_);
 };
 
 /// Null-safe handle acquisition: disabled handle when `registry` is null.

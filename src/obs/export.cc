@@ -17,6 +17,7 @@ constexpr double kInf = std::numeric_limits<double>::infinity();
 /// trace needs (occupancies, rates, token levels) without noise digits.
 std::string number(double v) {
   char buf[40];
+  // aces-lint: allow(float-format) trace exposition for humans/Prometheus, not a fingerprinted report
   std::snprintf(buf, sizeof buf, "%.12g", v);
   return buf;
 }

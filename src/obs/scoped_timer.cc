@@ -10,7 +10,7 @@ LogHistogram make_phase_histogram() { return LogHistogram(1e-9, 1e3, 20); }
 }  // namespace
 
 void PhaseProfiler::add(const std::string& phase, double seconds) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = phases_.find(phase);
   if (it == phases_.end()) {
     it = phases_.emplace(phase, make_phase_histogram()).first;
@@ -19,7 +19,7 @@ void PhaseProfiler::add(const std::string& phase, double seconds) {
 }
 
 std::vector<std::string> PhaseProfiler::phases() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   std::vector<std::string> names;
   names.reserve(phases_.size());
   for (const auto& [name, histogram] : phases_) names.push_back(name);
@@ -27,7 +27,7 @@ std::vector<std::string> PhaseProfiler::phases() const {
 }
 
 LogHistogram PhaseProfiler::histogram(const std::string& phase) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   const auto it = phases_.find(phase);
   return it != phases_.end() ? it->second : make_phase_histogram();
 }

@@ -10,11 +10,12 @@
 
 #include <chrono>
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/histogram.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace aces::obs {
 
@@ -27,15 +28,17 @@ inline constexpr const char* kPhaseOptimizerSolve = "optimizer_solve";
 class PhaseProfiler {
  public:
   /// Records one `seconds`-long occurrence of `phase`.
-  void add(const std::string& phase, double seconds);
+  void add(const std::string& phase, double seconds) ACES_EXCLUDES(mutex_);
 
-  [[nodiscard]] std::vector<std::string> phases() const;
+  [[nodiscard]] std::vector<std::string> phases() const
+      ACES_EXCLUDES(mutex_);
   /// Copy of the histogram for `phase`; empty histogram if never recorded.
-  [[nodiscard]] LogHistogram histogram(const std::string& phase) const;
+  [[nodiscard]] LogHistogram histogram(const std::string& phase) const
+      ACES_EXCLUDES(mutex_);
 
  private:
-  mutable std::mutex mutex_;
-  std::map<std::string, LogHistogram> phases_;
+  mutable Mutex mutex_;
+  std::map<std::string, LogHistogram> phases_ ACES_GUARDED_BY(mutex_);
 };
 
 /// Times its own lifetime into `profiler` (no-op when null).

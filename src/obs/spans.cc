@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 
 #include "common/check.h"
 #include "common/rng.h"
@@ -21,15 +22,28 @@ FlightRecorder::FlightRecorder(std::size_t capacity)
 void FlightRecorder::push(const SdoSpan& span) {
   const std::uint64_t ticket = head_.fetch_add(1, std::memory_order_relaxed);
   Slot& slot = slots_[ticket % slots_.size()];
-  slot.seq.store(2 * ticket + 1, std::memory_order_release);
-  slot.span = span;
+  std::uint64_t words[kSpanWords];
+  std::memcpy(words, &span, sizeof(SdoSpan));
+  // Seqlock write (ordering rationale on Slot::seq): the odd store must be
+  // visible before any payload word, so a reader that observes a fresh
+  // word re-reads an odd (or newer) sequence and discards its copy. The
+  // release *fence* — not a release store — provides that edge, because a
+  // release store would only order what comes BEFORE it.
+  slot.seq.store(2 * ticket + 1, std::memory_order_relaxed);
+  std::atomic_thread_fence(std::memory_order_release);
+  for (std::size_t i = 0; i < kSpanWords; ++i) {
+    slot.words[i].store(words[i], std::memory_order_relaxed);
+  }
+  // Release store: every payload word above happens-before a reader's
+  // acquire load that returns this even value.
   slot.seq.store(2 * ticket + 2, std::memory_order_release);
 }
 
 std::vector<SdoSpan> FlightRecorder::snapshot() const {
-  // Classic seqlock read: a slot whose sequence is odd or changed across
-  // the copy was being written and is skipped. (The payload copy itself is
-  // the usual seqlock non-atomic read; a torn copy is always discarded.)
+  // Seqlock read: a slot whose sequence is odd or changed across the copy
+  // was being written and is skipped. The payload copy is word-wise
+  // relaxed-atomic, so racing a writer is well-defined (no torn *words*,
+  // and torn *spans* are discarded by the sequence check).
   const std::uint64_t head = head_.load(std::memory_order_acquire);
   const std::uint64_t cap = slots_.size();
   const std::uint64_t first = head > cap ? head - cap : 0;
@@ -39,9 +53,17 @@ std::vector<SdoSpan> FlightRecorder::snapshot() const {
     const Slot& slot = slots_[ticket % cap];
     const std::uint64_t s1 = slot.seq.load(std::memory_order_acquire);
     if (s1 % 2 != 0 || s1 == 0) continue;
-    SdoSpan copy = slot.span;
+    std::uint64_t words[kSpanWords];
+    for (std::size_t i = 0; i < kSpanWords; ++i) {
+      words[i] = slot.words[i].load(std::memory_order_relaxed);
+    }
+    // Acquire fence before the re-read: if any word above came from a
+    // newer write, the writer's release fence forces that newer (odd)
+    // sequence to be visible here, failing the s1 == s2 check.
     std::atomic_thread_fence(std::memory_order_acquire);
     if (slot.seq.load(std::memory_order_relaxed) != s1) continue;
+    SdoSpan copy;
+    std::memcpy(&copy, words, sizeof(SdoSpan));
     out.push_back(copy);
   }
   return out;
@@ -76,7 +98,7 @@ bool SpanTracer::sampled(std::uint32_t pe, std::uint64_t seq) const {
 
 std::int32_t SpanTracer::begin(PeId source_pe, Seconds t) {
   const std::uint32_t pe = source_pe.value();
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   if (pe >= sequences_.size()) sequences_.resize(pe + 1, 0);
   const std::uint64_t seq = sequences_[pe]++;
   if (!sampled(pe, seq)) return -1;
@@ -103,6 +125,9 @@ std::int32_t SpanTracer::begin(PeId source_pe, Seconds t) {
 
 void SpanTracer::on_enqueue(std::int32_t handle, PeId pe, Seconds t) {
   if (handle < 0) return;
+  // The lock excludes fault_dump(), which copies in-flight spans from
+  // whichever node thread observed a fault while this thread updates hops.
+  MutexLock lock(mutex_);
   SdoSpan& span = pool_[static_cast<std::size_t>(handle)];
   // Re-stamp, don't append, when the same hop is enqueued twice — the
   // Lock-Step path records the hop before a push that may fail and be
@@ -125,6 +150,7 @@ void SpanTracer::on_enqueue(std::int32_t handle, PeId pe, Seconds t) {
 
 void SpanTracer::on_dequeue(std::int32_t handle, Seconds t) {
   if (handle < 0) return;
+  MutexLock lock(mutex_);
   SdoSpan& span = pool_[static_cast<std::size_t>(handle)];
   if (span.truncated || span.hop_count == 0) return;
   span.hops[span.hop_count - 1].dequeue = t;
@@ -132,6 +158,7 @@ void SpanTracer::on_dequeue(std::int32_t handle, Seconds t) {
 
 void SpanTracer::on_emit(std::int32_t handle, Seconds t) {
   if (handle < 0) return;
+  MutexLock lock(mutex_);
   SdoSpan& span = pool_[static_cast<std::size_t>(handle)];
   if (span.truncated || span.hop_count == 0) return;
   span.hops[span.hop_count - 1].emit = t;
@@ -139,7 +166,7 @@ void SpanTracer::on_emit(std::int32_t handle, Seconds t) {
 
 void SpanTracer::finalize(std::int32_t handle, Seconds t, bool dropped) {
   if (handle < 0) return;
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   const auto index = static_cast<std::size_t>(handle);
   if (!active_[index]) return;  // already finalized (double-drop guard)
   SdoSpan& span = pool_[index];
@@ -185,7 +212,7 @@ void SpanTracer::drop(std::int32_t handle, Seconds t) {
 }
 
 void SpanTracer::fault_dump(const std::string& event, Seconds t) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   ++dumps_taken_;
   if (dumps_.size() >= options_.max_dumps) return;
   FlightDump dump;

@@ -18,19 +18,22 @@
 // Overhead: substrates hold a nullable SpanTracer*; when null the per-SDO
 // cost is one pointer test (the CounterRegistry pattern). When tracing, an
 // unsampled SDO costs one atomic fetch_add + hash at the source and a
-// handle<0 test per hop. Hop updates on a sampled span are plain stores —
-// the span is owned by whichever thread holds the SDO, and queue handoff
-// publishes it. Only begin/complete/drop take the tracer mutex, which at
-// ~1% sampling is far off the hot path.
+// handle<0 test per hop. Every operation on a *sampled* span (begin, hop
+// updates, complete/drop) takes the tracer mutex: hop state must be
+// mutually excluded against fault_dump(), which walks the in-flight pool
+// from whichever node thread observed the fault. At ~1% sampling the lock
+// is far off the hot path, and -Wthread-safety proves the discipline.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <type_traits>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "common/types.h"
 #include "obs/latency.h"
 
@@ -46,7 +49,8 @@ struct SpanHop {
 };
 
 /// A completed or in-flight trace of one SDO. Trivially copyable: the
-/// flight recorder snapshots these through a seqlock with memcpy semantics.
+/// flight recorder snapshots these through a seqlock with word-wise copy
+/// semantics.
 struct SdoSpan {
   static constexpr std::size_t kMaxHops = 16;
 
@@ -68,17 +72,24 @@ struct SdoSpan {
 };
 static_assert(std::is_trivially_copyable_v<SdoSpan>);
 
-/// Fixed-size ring of recently completed spans. Writers are lock-free
-/// (ticket from an atomic head, per-slot seqlock); readers copy slots and
-/// discard torn ones. Sized small: this is a black box, not a log.
+/// Fixed-size ring of recently completed spans.
+///
+/// Concurrency contract: push() calls must be externally serialized (the
+/// SpanTracer holds its mutex across every push), but snapshot() is safe
+/// from ANY thread at ANY time without a lock — that is the point of the
+/// per-slot seqlock. The payload is stored as relaxed-atomic 64-bit words,
+/// never as a raw struct, so a reader racing a writer reads *atomic* data
+/// (no C++ data race / UB) and the sequence check discards torn copies.
 class FlightRecorder {
  public:
   explicit FlightRecorder(std::size_t capacity);
 
+  /// Publishes `span` into the ring. Callers must serialize push() calls
+  /// (SpanTracer's mutex does); concurrent snapshot() readers are fine.
   void push(const SdoSpan& span);
 
   /// Most-recent-last copy of the intact completed slots. Safe to call
-  /// while writers run; concurrently-written slots are skipped.
+  /// while a writer runs; concurrently-written slots are skipped.
   [[nodiscard]] std::vector<SdoSpan> snapshot() const;
 
   [[nodiscard]] std::size_t capacity() const { return slots_.size(); }
@@ -87,12 +98,35 @@ class FlightRecorder {
   }
 
  private:
+  static constexpr std::size_t kSpanWords = sizeof(SdoSpan) / 8;
+  static_assert(sizeof(SdoSpan) % 8 == 0,
+                "SdoSpan must be a whole number of 64-bit words for the "
+                "seqlock's word-wise atomic copy");
+
   struct Slot {
-    // Even = stable, odd = write in progress. A writer with ticket T sets
-    // 2T+1, copies, then sets 2T+2, so a reader seeing the same even value
-    // before and after its copy knows the payload is the ticket-T span.
+    // Seqlock protocol (Boehm, "Can seqlocks get along with programming
+    // language memory models?"):
+    //
+    //   writer: seq.store(2T+1, relaxed)        // mark write-in-progress
+    //           atomic_thread_fence(release)    // odd seq visible before
+    //                                           // any payload word
+    //           words[i].store(.., relaxed)     // payload, atomic words
+    //           seq.store(2T+2, release)        // publish: payload before
+    //                                           // the even seq
+    //
+    //   reader: s1 = seq.load(acquire)          // even ⇒ payload of s1/2-1
+    //           w[i] = words[i].load(relaxed)
+    //           atomic_thread_fence(acquire)    // any torn word forces the
+    //                                           // re-read below to see the
+    //                                           // writer's odd seq
+    //           s2 = seq.load(relaxed); accept iff s1 == s2 and s1 even
+    //
+    // Invariant: a reader that accepts a copy observed every payload word
+    // from the single write numbered s1/2 - 1; the release fence after the
+    // odd store means any payload word from a newer write drags the newer
+    // (odd or later) seq into the re-read, failing the check.
     std::atomic<std::uint64_t> seq{0};
-    SdoSpan span;
+    std::array<std::atomic<std::uint64_t>, kSpanWords> words{};
   };
 
   std::vector<Slot> slots_;
@@ -124,70 +158,100 @@ class SpanTracer {
   /// Sampling draw at source acceptance. Returns a span handle, or -1 when
   /// the SDO is unsampled (or the pool is exhausted — counted, not fatal).
   /// `pe_count` is implied by use; any source PE id is accepted.
-  [[nodiscard]] std::int32_t begin(PeId source_pe, Seconds t);
+  [[nodiscard]] std::int32_t begin(PeId source_pe, Seconds t)
+      ACES_EXCLUDES(mutex_);
 
-  // Hop lifecycle. All tolerate handle < 0 so call sites stay branch-light.
-  void on_enqueue(std::int32_t handle, PeId pe, Seconds t);
-  void on_dequeue(std::int32_t handle, Seconds t);
-  void on_emit(std::int32_t handle, Seconds t);
+  // Hop lifecycle. All tolerate handle < 0 so call sites stay branch-light
+  // (the unsampled path never touches the lock).
+  void on_enqueue(std::int32_t handle, PeId pe, Seconds t)
+      ACES_EXCLUDES(mutex_);
+  void on_dequeue(std::int32_t handle, Seconds t) ACES_EXCLUDES(mutex_);
+  void on_emit(std::int32_t handle, Seconds t) ACES_EXCLUDES(mutex_);
 
   /// Egress emission: finalizes the span into the latency registry, the
   /// flight recorder, and the worst-span list, then recycles the slot.
-  void complete(std::int32_t handle, Seconds t);
+  void complete(std::int32_t handle, Seconds t) ACES_EXCLUDES(mutex_);
   /// Delivery drop / crash loss: finalizes with dropped=true. Per-hop
   /// histograms still absorb the hops that finished; the path histogram
   /// does not (an unfinished path is not an end-to-end sample).
-  void drop(std::int32_t handle, Seconds t);
+  void drop(std::int32_t handle, Seconds t) ACES_EXCLUDES(mutex_);
 
   /// Records a FlightDump for `event` (a fault.* counter name). Bounded by
   /// max_dumps; later events past the cap are counted but not retained.
-  void fault_dump(const std::string& event, Seconds t);
+  void fault_dump(const std::string& event, Seconds t) ACES_EXCLUDES(mutex_);
 
   [[nodiscard]] const SpanTracerOptions& options() const { return options_; }
-  [[nodiscard]] const LatencyRegistry& latency() const { return latency_; }
-  [[nodiscard]] const std::vector<FlightDump>& dumps() const { return dumps_; }
-  /// Completed spans, slowest first, at most worst_k.
-  [[nodiscard]] const std::vector<SdoSpan>& worst_spans() const {
+  /// Read-after-quiesce accessor: valid once every substrate thread that
+  /// held span handles has joined. Deliberately unlocked — it returns a
+  /// reference the lock could not protect anyway.
+  [[nodiscard]] const LatencyRegistry& latency() const
+      ACES_NO_THREAD_SAFETY_ANALYSIS {
+    return latency_;
+  }
+  /// Read-after-quiesce accessor (see latency()).
+  [[nodiscard]] const std::vector<FlightDump>& dumps() const
+      ACES_NO_THREAD_SAFETY_ANALYSIS {
+    return dumps_;
+  }
+  /// Completed spans, slowest first, at most worst_k. Read-after-quiesce
+  /// accessor (see latency()).
+  [[nodiscard]] const std::vector<SdoSpan>& worst_spans() const
+      ACES_NO_THREAD_SAFETY_ANALYSIS {
     return worst_;
   }
   [[nodiscard]] const FlightRecorder& recorder() const { return recorder_; }
 
-  [[nodiscard]] std::uint64_t spans_started() const { return started_; }
-  [[nodiscard]] std::uint64_t spans_completed() const { return completed_; }
-  [[nodiscard]] std::uint64_t spans_dropped() const { return dropped_; }
-  [[nodiscard]] std::uint64_t pool_exhausted() const { return exhausted_; }
-  [[nodiscard]] std::uint64_t dumps_taken() const { return dumps_taken_; }
+  [[nodiscard]] std::uint64_t spans_started() const ACES_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
+    return started_;
+  }
+  [[nodiscard]] std::uint64_t spans_completed() const ACES_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
+    return completed_;
+  }
+  [[nodiscard]] std::uint64_t spans_dropped() const ACES_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
+    return dropped_;
+  }
+  [[nodiscard]] std::uint64_t pool_exhausted() const ACES_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
+    return exhausted_;
+  }
+  [[nodiscard]] std::uint64_t dumps_taken() const ACES_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
+    return dumps_taken_;
+  }
 
  private:
   /// True iff the seq-th SDO accepted at `pe` is sampled. Pure in
   /// (seed, pe, seq) — mirrors fault::FaultInjector::draw.
   [[nodiscard]] bool sampled(std::uint32_t pe, std::uint64_t seq) const;
 
-  void finalize(std::int32_t handle, Seconds t, bool dropped);
+  void finalize(std::int32_t handle, Seconds t, bool dropped)
+      ACES_EXCLUDES(mutex_);
 
   SpanTracerOptions options_;
   std::uint64_t threshold_;  // sample_rate as a 64-bit hash threshold
 
-  // Per-source-PE acceptance counters, guarded by mutex_ (begin() holds it
-  // anyway to touch the span pool).
-  std::vector<std::uint64_t> sequences_;
+  /// Per-source-PE acceptance counters.
+  std::vector<std::uint64_t> sequences_ ACES_GUARDED_BY(mutex_);
 
-  std::vector<SdoSpan> pool_;
-  std::vector<std::int32_t> free_;
-  std::vector<bool> active_;
+  std::vector<SdoSpan> pool_ ACES_GUARDED_BY(mutex_);
+  std::vector<std::int32_t> free_ ACES_GUARDED_BY(mutex_);
+  std::vector<bool> active_ ACES_GUARDED_BY(mutex_);
 
-  LatencyRegistry latency_;
-  FlightRecorder recorder_;
-  std::vector<SdoSpan> worst_;
-  std::vector<FlightDump> dumps_;
+  LatencyRegistry latency_ ACES_GUARDED_BY(mutex_);
+  FlightRecorder recorder_;  // internally synchronized (seqlock)
+  std::vector<SdoSpan> worst_ ACES_GUARDED_BY(mutex_);
+  std::vector<FlightDump> dumps_ ACES_GUARDED_BY(mutex_);
 
-  std::uint64_t started_ = 0;
-  std::uint64_t completed_ = 0;
-  std::uint64_t dropped_ = 0;
-  std::uint64_t exhausted_ = 0;
-  std::uint64_t dumps_taken_ = 0;
+  std::uint64_t started_ ACES_GUARDED_BY(mutex_) = 0;
+  std::uint64_t completed_ ACES_GUARDED_BY(mutex_) = 0;
+  std::uint64_t dropped_ ACES_GUARDED_BY(mutex_) = 0;
+  std::uint64_t exhausted_ ACES_GUARDED_BY(mutex_) = 0;
+  std::uint64_t dumps_taken_ ACES_GUARDED_BY(mutex_) = 0;
 
-  mutable std::mutex mutex_;
+  mutable Mutex mutex_;
 };
 
 }  // namespace aces::obs

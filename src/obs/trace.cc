@@ -3,22 +3,22 @@
 namespace aces::obs {
 
 void ControlTraceRecorder::record(const TickRecord& record) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   records_.push_back(record);
 }
 
 std::size_t ControlTraceRecorder::size() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return records_.size();
 }
 
 std::vector<TickRecord> ControlTraceRecorder::snapshot() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return records_;
 }
 
 void ControlTraceRecorder::clear() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   records_.clear();
 }
 

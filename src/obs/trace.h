@@ -11,10 +11,11 @@
 
 #include <cstdint>
 #include <limits>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "common/types.h"
 
 namespace aces::obs {
@@ -73,17 +74,18 @@ inline constexpr std::uint8_t kFaultAdvertStale = 1u << 1;
 /// ~10 Hz per node, far off the data-plane hot path.
 class ControlTraceRecorder {
  public:
-  void record(const TickRecord& record);
+  void record(const TickRecord& record) ACES_EXCLUDES(mutex_);
 
-  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::size_t size() const ACES_EXCLUDES(mutex_);
   [[nodiscard]] bool empty() const { return size() == 0; }
   /// Copies the records accumulated so far (safe while a run is live).
-  [[nodiscard]] std::vector<TickRecord> snapshot() const;
-  void clear();
+  [[nodiscard]] std::vector<TickRecord> snapshot() const
+      ACES_EXCLUDES(mutex_);
+  void clear() ACES_EXCLUDES(mutex_);
 
  private:
-  mutable std::mutex mutex_;
-  std::vector<TickRecord> records_;
+  mutable Mutex mutex_;
+  std::vector<TickRecord> records_ ACES_GUARDED_BY(mutex_);
 };
 
 }  // namespace aces::obs

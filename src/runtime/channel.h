@@ -5,15 +5,22 @@
 // full-buffer behaviours the evaluated policies need map onto the API:
 //   * try_push  — fail immediately when full (ACES / UDP drop semantics)
 //   * push_wait — block until space or timeout (Lock-Step min-flow)
+//
+// Lock discipline is machine-checked: every mutable member is
+// ACES_GUARDED_BY(mutex_) and clang's -Wthread-safety proves each access
+// holds the lock. Waits use std::condition_variable_any over aces::Mutex
+// with explicit while-loops (the analysis can't see through predicate
+// lambdas), which is behaviourally identical to wait_for(pred).
 #pragma once
 
 #include <chrono>
 #include <condition_variable>
 #include <deque>
-#include <mutex>
 #include <optional>
 
 #include "common/check.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace aces::runtime {
 
@@ -25,9 +32,9 @@ class Channel {
   }
 
   /// Non-blocking send; false when the channel is full or closed.
-  bool try_push(T value) {
+  bool try_push(T value) ACES_EXCLUDES(mutex_) {
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       if (closed_ || items_.size() >= capacity_) return false;
       items_.push_back(std::move(value));
     }
@@ -36,25 +43,30 @@ class Channel {
   }
 
   /// Blocking send with timeout; false on timeout or close.
-  bool push_wait(T value, std::chrono::nanoseconds timeout) {
-    std::unique_lock<std::mutex> lock(mutex_);
-    if (!not_full_.wait_for(lock, timeout, [&] {
-          return closed_ || items_.size() < capacity_;
-        })) {
-      return false;
+  bool push_wait(T value, std::chrono::nanoseconds timeout)
+      ACES_EXCLUDES(mutex_) {
+    const auto deadline = std::chrono::steady_clock::now() + timeout;
+    {
+      MutexLock lock(mutex_);
+      while (!closed_ && items_.size() >= capacity_) {
+        if (not_full_.wait_until(mutex_, deadline) ==
+            std::cv_status::timeout) {
+          if (closed_ || items_.size() < capacity_) break;
+          return false;
+        }
+      }
+      if (closed_) return false;
+      items_.push_back(std::move(value));
     }
-    if (closed_) return false;
-    items_.push_back(std::move(value));
-    lock.unlock();
     not_empty_.notify_one();
     return true;
   }
 
   /// Non-blocking receive.
-  std::optional<T> try_pop() {
+  std::optional<T> try_pop() ACES_EXCLUDES(mutex_) {
     std::optional<T> out;
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       if (items_.empty()) return std::nullopt;
       out = std::move(items_.front());
       items_.pop_front();
@@ -65,53 +77,60 @@ class Channel {
 
   /// Blocking receive with timeout; nullopt on timeout, or when the channel
   /// is closed and drained.
-  std::optional<T> pop_wait(std::chrono::nanoseconds timeout) {
-    std::unique_lock<std::mutex> lock(mutex_);
-    if (!not_empty_.wait_for(lock, timeout,
-                             [&] { return closed_ || !items_.empty(); })) {
-      return std::nullopt;
+  std::optional<T> pop_wait(std::chrono::nanoseconds timeout)
+      ACES_EXCLUDES(mutex_) {
+    const auto deadline = std::chrono::steady_clock::now() + timeout;
+    std::optional<T> out;
+    {
+      MutexLock lock(mutex_);
+      while (!closed_ && items_.empty()) {
+        if (not_empty_.wait_until(mutex_, deadline) ==
+            std::cv_status::timeout) {
+          if (closed_ || !items_.empty()) break;
+          return std::nullopt;
+        }
+      }
+      if (items_.empty()) return std::nullopt;  // closed and drained
+      out = std::move(items_.front());
+      items_.pop_front();
     }
-    if (items_.empty()) return std::nullopt;  // closed and drained
-    std::optional<T> out = std::move(items_.front());
-    items_.pop_front();
-    lock.unlock();
     not_full_.notify_one();
     return out;
   }
 
   /// Unblocks all waiters; subsequent pushes fail, pops drain the backlog.
-  void close() {
+  void close() ACES_EXCLUDES(mutex_) {
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       closed_ = true;
     }
     not_empty_.notify_all();
     not_full_.notify_all();
   }
 
-  [[nodiscard]] std::size_t size() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+  [[nodiscard]] std::size_t size() const ACES_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
     return items_.size();
   }
   [[nodiscard]] std::size_t capacity() const { return capacity_; }
-  [[nodiscard]] bool closed() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+  [[nodiscard]] bool closed() const ACES_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
     return closed_;
   }
   /// Free slots right now (racy by nature; used for occupancy sampling and
   /// Lock-Step's conservative space probe).
-  [[nodiscard]] std::size_t free_slots() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+  [[nodiscard]] std::size_t free_slots() const ACES_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
     return capacity_ - items_.size();
   }
 
  private:
   const std::size_t capacity_;
-  mutable std::mutex mutex_;
-  std::condition_variable not_empty_;
-  std::condition_variable not_full_;
-  std::deque<T> items_;
-  bool closed_ = false;
+  mutable Mutex mutex_;
+  std::condition_variable_any not_empty_;
+  std::condition_variable_any not_full_;
+  std::deque<T> items_ ACES_GUARDED_BY(mutex_);
+  bool closed_ ACES_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace aces::runtime

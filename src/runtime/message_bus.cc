@@ -16,7 +16,7 @@ MessageBus::MessageBus(std::function<Seconds()> clock, double time_scale)
 MessageBus::~MessageBus() { stop(); }
 
 void MessageBus::start() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   ACES_CHECK_MSG(!running_, "message bus already running");
   running_ = true;
   stop_requested_ = false;
@@ -25,13 +25,13 @@ void MessageBus::start() {
 
 void MessageBus::stop() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (!running_) return;
     stop_requested_ = true;
   }
   wake_.notify_all();
   thread_.join();
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   running_ = false;
   discarded_ += queue_.size();
   while (!queue_.empty()) queue_.pop();
@@ -39,7 +39,7 @@ void MessageBus::stop() {
 
 void MessageBus::post(Seconds deliver_at, std::function<void()> deliver) {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     ACES_CHECK_MSG(running_ && !stop_requested_,
                    "post() on a stopped message bus");
     queue_.push(Message{deliver_at, next_seq_++, std::move(deliver)});
@@ -48,25 +48,31 @@ void MessageBus::post(Seconds deliver_at, std::function<void()> deliver) {
 }
 
 std::size_t MessageBus::in_flight() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return queue_.size();
 }
 
 std::uint64_t MessageBus::delivered() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return delivered_;
 }
 
 std::uint64_t MessageBus::discarded() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return discarded_;
 }
 
 void MessageBus::dispatch_loop() {
-  std::unique_lock<std::mutex> lock(mutex_);
+  // Explicit lock()/unlock() instead of a scoped guard: the loop drops the
+  // mutex around each delivery callback (which may post() back into the
+  // bus), and clang's thread-safety analysis verifies the hand-balanced
+  // acquire/release pairs across the loop body.
+  mutex_.lock();
   while (!stop_requested_) {
     if (queue_.empty()) {
-      wake_.wait(lock, [this] { return stop_requested_ || !queue_.empty(); });
+      // Equivalent to wait(lock, pred): loop on spurious wakeups; the cv
+      // releases and reacquires mutex_ around the sleep.
+      while (!stop_requested_ && queue_.empty()) wake_.wait(mutex_);
       continue;
     }
     const Seconds due = queue_.top().due;
@@ -75,17 +81,18 @@ void MessageBus::dispatch_loop() {
       // Sleep at most 5 ms wall so stop() stays responsive.
       const double wall_seconds =
           std::min((due - now) / time_scale_, 0.005);
-      wake_.wait_for(lock, std::chrono::duration<double>(wall_seconds));
+      wake_.wait_for(mutex_, std::chrono::duration<double>(wall_seconds));
       continue;
     }
     // Move the message out before unlocking; the callback may post().
     Message message = std::move(const_cast<Message&>(queue_.top()));
     queue_.pop();
     ++delivered_;
-    lock.unlock();
+    mutex_.unlock();
     message.deliver();
-    lock.lock();
+    mutex_.lock();
   }
+  mutex_.unlock();
 }
 
 }  // namespace aces::runtime

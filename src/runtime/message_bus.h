@@ -10,11 +10,12 @@
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "common/types.h"
 
 namespace aces::runtime {
@@ -29,18 +30,19 @@ class MessageBus {
   MessageBus& operator=(const MessageBus&) = delete;
 
   /// Starts the dispatcher thread. Must be called before post().
-  void start();
+  void start() ACES_EXCLUDES(mutex_);
   /// Stops the dispatcher; messages not yet due are discarded (their count
   /// is reported by discarded()).
-  void stop();
+  void stop() ACES_EXCLUDES(mutex_);
 
   /// Schedules `deliver` to run on the bus thread at virtual time
   /// `deliver_at` (immediately if that time has passed).
-  void post(Seconds deliver_at, std::function<void()> deliver);
+  void post(Seconds deliver_at, std::function<void()> deliver)
+      ACES_EXCLUDES(mutex_);
 
-  [[nodiscard]] std::size_t in_flight() const;
-  [[nodiscard]] std::uint64_t delivered() const;
-  [[nodiscard]] std::uint64_t discarded() const;
+  [[nodiscard]] std::size_t in_flight() const ACES_EXCLUDES(mutex_);
+  [[nodiscard]] std::uint64_t delivered() const ACES_EXCLUDES(mutex_);
+  [[nodiscard]] std::uint64_t discarded() const ACES_EXCLUDES(mutex_);
 
  private:
   struct Message {
@@ -55,18 +57,22 @@ class MessageBus {
     }
   };
 
-  void dispatch_loop();
+  void dispatch_loop() ACES_EXCLUDES(mutex_);
 
   std::function<Seconds()> clock_;
   double time_scale_;
-  mutable std::mutex mutex_;
-  std::condition_variable wake_;
-  std::priority_queue<Message, std::vector<Message>, Later> queue_;
-  std::uint64_t next_seq_ = 0;
-  std::uint64_t delivered_ = 0;
-  std::uint64_t discarded_ = 0;
-  bool running_ = false;
-  bool stop_requested_ = false;
+  mutable Mutex mutex_;
+  std::condition_variable_any wake_;
+  std::priority_queue<Message, std::vector<Message>, Later> queue_
+      ACES_GUARDED_BY(mutex_);
+  std::uint64_t next_seq_ ACES_GUARDED_BY(mutex_) = 0;
+  std::uint64_t delivered_ ACES_GUARDED_BY(mutex_) = 0;
+  std::uint64_t discarded_ ACES_GUARDED_BY(mutex_) = 0;
+  bool running_ ACES_GUARDED_BY(mutex_) = false;
+  bool stop_requested_ ACES_GUARDED_BY(mutex_) = false;
+  /// Touched only by the start()/stop() caller thread (single owner);
+  /// stop() joins without the lock, so the thread handle is deliberately
+  /// not guarded by mutex_.
   std::thread thread_;
 };
 

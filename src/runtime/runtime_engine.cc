@@ -7,12 +7,13 @@
 #include <deque>
 #include <limits>
 #include <memory>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
 
 #include "common/check.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "common/rng.h"
 #include "control/node_controller.h"
 #include "fault/fault_injector.h"
@@ -45,38 +46,39 @@ class SharedCollector {
       : collector_(measure_from, egress_count) {}
 
   void egress_output(Seconds now, std::size_t index, double weight,
-                     Seconds latency) {
-    std::lock_guard<std::mutex> lock(mutex_);
+                     Seconds latency) ACES_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
     collector_.on_egress_output(now, index, weight, latency);
   }
-  void internal_drop(Seconds now) {
-    std::lock_guard<std::mutex> lock(mutex_);
+  void internal_drop(Seconds now) ACES_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
     collector_.on_internal_drop(now);
   }
-  void ingress_drop(Seconds now) {
-    std::lock_guard<std::mutex> lock(mutex_);
+  void ingress_drop(Seconds now) ACES_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
     collector_.on_ingress_drop(now);
   }
-  void processed(Seconds now, std::uint64_t count) {
-    std::lock_guard<std::mutex> lock(mutex_);
+  void processed(Seconds now, std::uint64_t count) ACES_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
     collector_.on_processed(now, count);
   }
-  void cpu_used(Seconds now, double cpu_seconds) {
-    std::lock_guard<std::mutex> lock(mutex_);
+  void cpu_used(Seconds now, double cpu_seconds) ACES_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
     collector_.on_cpu_used(now, cpu_seconds);
   }
-  void buffer_sample(Seconds now, double fill) {
-    std::lock_guard<std::mutex> lock(mutex_);
+  void buffer_sample(Seconds now, double fill) ACES_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
     collector_.on_buffer_sample(now, fill);
   }
-  metrics::RunReport finalize(Seconds end, double capacity) {
-    std::lock_guard<std::mutex> lock(mutex_);
+  metrics::RunReport finalize(Seconds end, double capacity)
+      ACES_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
     return collector_.finalize(end, capacity);
   }
 
  private:
-  std::mutex mutex_;
-  metrics::Collector collector_;
+  Mutex mutex_;
+  metrics::Collector collector_ ACES_GUARDED_BY(mutex_);
 };
 
 /// Everything the worker threads share about one PE.

@@ -5,9 +5,11 @@
 // that leave the RunReport untouched.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <map>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "fault/fault_spec.h"
@@ -37,6 +39,79 @@ TEST(FlightRecorderTest, KeepsTheLastCapacitySpans) {
     EXPECT_EQ(recent[i].trace_id, 6u + i);  // oldest retained first
   }
   EXPECT_EQ(recorder.pushed(), 10u);
+}
+
+// Seqlock torture: one writer pushes spans whose every payload word is
+// derived from the trace id while readers snapshot continuously. A torn
+// read — any field inconsistent with the slot's trace id — means the
+// sequence check failed to reject an in-progress write. Run under TSan
+// this also proves the word-wise atomic copy is race-free by the memory
+// model, not merely "works on x86".
+TEST(FlightRecorderTest, SnapshotNeverObservesTornWritesUnderConcurrency) {
+  FlightRecorder recorder(8);
+  std::atomic<bool> stop{false};
+  std::atomic<int> ready{0};
+  std::atomic<std::uint64_t> torn{0};
+  std::atomic<std::uint64_t> observed{0};
+
+  auto expected = [](std::uint64_t id) {
+    SdoSpan span;
+    span.trace_id = id;
+    span.source_pe = static_cast<std::uint32_t>(id % 1024);
+    span.start = static_cast<Seconds>(id);
+    span.end = static_cast<Seconds>(id) + 1.0;
+    span.hop_count = static_cast<std::uint32_t>(id % SdoSpan::kMaxHops);
+    for (std::uint32_t h = 0; h < span.hop_count; ++h) {
+      span.hops[h].pe = static_cast<std::uint32_t>(id + h);
+      span.hops[h].enqueue = static_cast<Seconds>(id) + 0.25;
+      span.hops[h].dequeue = static_cast<Seconds>(id) + 0.5;
+      span.hops[h].emit = static_cast<Seconds>(id) + 0.75;
+    }
+    return span;
+  };
+
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 3; ++r) {
+    readers.emplace_back([&] {
+      ready.fetch_add(1, std::memory_order_release);
+      while (!stop.load(std::memory_order_acquire)) {
+        for (const SdoSpan& got : recorder.snapshot()) {
+          observed.fetch_add(1, std::memory_order_relaxed);
+          const SdoSpan want = expected(got.trace_id);
+          bool ok = got.source_pe == want.source_pe &&
+                    got.start == want.start && got.end == want.end &&
+                    got.hop_count == want.hop_count &&
+                    got.dropped == want.dropped &&
+                    got.truncated == want.truncated;
+          for (std::uint32_t h = 0; ok && h < want.hop_count; ++h) {
+            ok = got.hops[h].pe == want.hops[h].pe &&
+                 got.hops[h].enqueue == want.hops[h].enqueue &&
+                 got.hops[h].dequeue == want.hops[h].dequeue &&
+                 got.hops[h].emit == want.hops[h].emit;
+          }
+          if (!ok) torn.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+
+  // Don't start writing until every reader is spinning, and keep writing
+  // until they have demonstrably overlapped the writer — otherwise a fast
+  // writer finishes before the reader threads are even scheduled and the
+  // test exercises nothing. The iteration cap keeps a wedged reader thread
+  // from hanging the test (the ctest TIMEOUT would catch it regardless).
+  while (ready.load(std::memory_order_acquire) < 3) std::this_thread::yield();
+  std::uint64_t id = 0;
+  while (id < 20000 ||
+         (observed.load(std::memory_order_relaxed) == 0 && id < 5000000)) {
+    recorder.push(expected(id++));
+  }
+  stop.store(true, std::memory_order_release);
+  for (std::thread& t : readers) t.join();
+
+  EXPECT_EQ(torn.load(), 0u);
+  EXPECT_GT(observed.load(), 0u);  // readers actually overlapped the writer
+  EXPECT_EQ(recorder.pushed(), id);
 }
 
 TEST(SpanTracerTest, SamplingIsDeterministicPerSeed) {
@@ -201,7 +276,9 @@ TEST(SpanSimIntegrationTest, HopTimestampsAreMonotone) {
         prev = hop.emit;
       }
     }
-    if (span.end >= 0.0) EXPECT_LE(prev, span.end);
+    if (span.end >= 0.0) {
+      EXPECT_LE(prev, span.end);
+    }
   }
 }
 

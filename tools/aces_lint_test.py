@@ -1,0 +1,123 @@
+#!/usr/bin/env python3
+"""Fixture tests for aces_lint: every bad fixture's planted findings are
+reported (and nothing else), the clean fixture is silent under all rule
+groups, and the suppression / comment-stripping corner cases hold."""
+
+import os
+import sys
+import unittest
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+import aces_lint  # noqa: E402
+
+FIXTURES = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                        "lint_fixtures")
+
+
+def lint_fixture(name, groups):
+    path = os.path.join(FIXTURES, name)
+    with open(path, encoding="utf-8") as fh:
+        text = fh.read()
+    return aces_lint.lint_text(name, text, groups)
+
+
+def rules(findings):
+    return sorted(f.rule for f in findings)
+
+
+class FixtureTests(unittest.TestCase):
+    def test_bad_random_flags_every_draw(self):
+        findings = lint_fixture("bad_random.cc", {"fingerprint"})
+        self.assertEqual(
+            rules(findings),
+            ["nondet-random", "nondet-random", "nondet-random"])
+        self.assertEqual(sorted(f.line for f in findings), [6, 7, 8])
+
+    def test_bad_wall_clock_flags_wall_reads_only(self):
+        findings = lint_fixture("bad_wall_clock.cc", {"fingerprint"})
+        self.assertEqual(rules(findings), ["wall-clock"] * 4)
+        # steady_clock (line 17) and advance_time (line 23) stay clean.
+        self.assertEqual(sorted(f.line for f in findings), [7, 8, 10, 12])
+
+    def test_bad_unordered_flags_includes_and_declarations(self):
+        # The two #include lines count too: pulling the header into a
+        # fingerprinted path is the same intent as using it.
+        findings = lint_fixture("bad_unordered.cc", {"fingerprint"})
+        self.assertEqual(rules(findings), ["unordered-iter"] * 4)
+        self.assertEqual(sorted(f.line for f in findings), [4, 5, 8, 9])
+
+    def test_bad_report_format_flags_lossy_specs_only(self):
+        findings = lint_fixture("bad_report_format.cc", {"report"})
+        self.assertEqual(rules(findings), ["float-format"] * 4)
+        self.assertEqual(sorted(f.line for f in findings), [6, 7, 8, 9])
+
+    def test_clean_fixture_is_silent_under_all_groups(self):
+        findings = lint_fixture("clean.cc", {"fingerprint", "report"})
+        self.assertEqual(findings, [])
+
+    def test_report_rules_do_not_apply_to_fingerprint_only_files(self):
+        findings = lint_fixture("bad_report_format.cc", {"fingerprint"})
+        self.assertEqual(findings, [])
+
+
+class MechanismTests(unittest.TestCase):
+    def test_comment_mentions_are_not_findings(self):
+        text = "// rand() and time( and unordered_map in prose\nint x = 0;\n"
+        self.assertEqual(aces_lint.lint_text("t.cc", text, {"fingerprint"}),
+                         [])
+
+    def test_string_literal_random_is_a_finding(self):
+        # The rules run on comment-stripped (not string-stripped) text:
+        # generated-code templates embedding rand() deserve a look.
+        text = 'int x = rand();\n'
+        self.assertEqual(rules(aces_lint.lint_text("t.cc", text,
+                                                   {"fingerprint"})),
+                         ["nondet-random"])
+
+    def test_allow_with_reason_suppresses_same_and_next_line(self):
+        text = ("// aces-lint: allow(wall-clock) boot banner only\n"
+                "std::time_t t = std::time(nullptr);\n")
+        self.assertEqual(aces_lint.lint_text("t.cc", text, {"fingerprint"}),
+                         [])
+
+    def test_bare_allow_is_itself_a_finding(self):
+        text = ("std::time_t t = std::time(nullptr);"
+                "  // aces-lint: allow(wall-clock)\n")
+        found = rules(aces_lint.lint_text("t.cc", text, {"fingerprint"}))
+        self.assertIn("bare-allow", found)
+
+    def test_allow_only_covers_the_named_rule(self):
+        text = ("// aces-lint: allow(wall-clock) reason here\n"
+                "int x = rand();\n")
+        self.assertEqual(rules(aces_lint.lint_text("t.cc", text,
+                                                   {"fingerprint"})),
+                         ["nondet-random"])
+
+    def test_raw_string_literals_do_not_derail_the_scanner(self):
+        text = ('const char* kDoc = R"(use rand() wisely)";\n'
+                "int y = rand();\n")
+        findings = aces_lint.lint_text("t.cc", text, {"fingerprint"})
+        self.assertEqual([f.line for f in findings], [1, 2])
+
+
+class CliTests(unittest.TestCase):
+    def test_tree_scope_is_clean(self):
+        root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        self.assertEqual(aces_lint.main(["--root", root]), 0)
+
+    def test_fixture_paths_with_forced_groups_fail(self):
+        rc = aces_lint.main([
+            "--force-groups", "fingerprint",
+            os.path.join(FIXTURES, "bad_random.cc"),
+        ])
+        self.assertEqual(rc, 1)
+
+    def test_bad_force_groups_is_a_usage_error(self):
+        rc = aces_lint.main(["--force-groups", "bogus",
+                             os.path.join(FIXTURES, "clean.cc")])
+        self.assertEqual(rc, 2)
+
+
+if __name__ == "__main__":
+    unittest.main()

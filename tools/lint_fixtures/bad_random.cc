@@ -1,0 +1,12 @@
+// Fixture: every construct here must be flagged by the nondet-random rule.
+#include <cstdlib>
+#include <random>
+
+int draw_bad() {
+  std::random_device entropy;            // finding: random_device
+  std::srand(entropy());                 // finding: srand( (and random_device use)
+  return std::rand();                    // finding: rand(
+}
+
+// Comments mentioning rand() or std::random_device must NOT be flagged.
+int draw_ok() { return 4; }

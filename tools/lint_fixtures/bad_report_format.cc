@@ -1,0 +1,16 @@
+// Fixture: lossy float formats in a report writer must be flagged; the
+// sanctioned %.17g and %a forms must not be.
+#include <cstdio>
+
+void write_bad(double v, char* buf, unsigned long n) {
+  std::snprintf(buf, n, "%f", v);      // finding: %f truncates
+  std::snprintf(buf, n, "%.6f", v);    // finding: fixed 6 digits
+  std::snprintf(buf, n, "%g", v);      // finding: %g defaults to 6 sig figs
+  std::snprintf(buf, n, "%12.3e", v);  // finding: width+precision, still lossy
+}
+
+void write_ok(double v, char* buf, unsigned long n) {
+  std::snprintf(buf, n, "%.17g", v);  // exact decimal round-trip
+  std::snprintf(buf, n, "%a", v);     // hexfloat, exact by construction
+  std::snprintf(buf, n, "rate=%d", static_cast<int>(v));  // ints are fine
+}

@@ -1,0 +1,21 @@
+// Fixture: unordered containers in a fingerprinted path must be flagged.
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+double sum_bad() {
+  std::unordered_map<std::string, double> rates;   // finding: unordered-iter
+  std::unordered_set<int> seen;                    // finding: unordered-iter
+  double total = 0.0;
+  for (const auto& [name, rate] : rates) total += rate;
+  (void)seen;
+  return total;
+}
+
+double sum_ok() {
+  std::map<std::string, double> rates;  // ordered: fine
+  double total = 0.0;
+  for (const auto& [name, rate] : rates) total += rate;
+  return total;
+}

@@ -1,0 +1,23 @@
+// Fixture: every wall-clock read here must be flagged; the steady_clock
+// use must not be.
+#include <chrono>
+#include <ctime>
+
+double stamp_bad() {
+  std::time_t now = std::time(nullptr);        // finding: time(
+  std::tm* parts = std::localtime(&now);       // finding: localtime(
+  (void)parts;
+  const auto wall = std::chrono::system_clock::now();  // finding: system_clock
+  (void)wall;
+  return static_cast<double>(std::clock());    // finding: clock(
+}
+
+double stamp_ok() {
+  // steady_clock is monotonic and sanctioned (never fingerprinted).
+  const auto t = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t.time_since_epoch()).count();
+}
+
+// Identifiers merely containing "time" must not trip the word-boundary
+// regex.
+double advance_time(double t) { return t + 1.0; }

@@ -1,0 +1,33 @@
+// Fixture: deterministic code that must produce zero findings under every
+// rule group — the negative control for the lint's false-positive rate.
+#include <chrono>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+// rand() in a comment is not a finding; neither is "time(" here.
+double deterministic_sum(const std::map<std::string, double>& rates) {
+  double total = 0.0;
+  for (const auto& [name, rate] : rates) total += rate;
+  return total;
+}
+
+// A suppression WITH a reason is honored, not reported.
+void write_trace(double v, char* buf, unsigned long n) {
+  // aces-lint: allow(float-format) human-facing trace line, never fingerprinted
+  std::snprintf(buf, n, "%.3f", v);
+}
+
+void write_report(double v, char* buf, unsigned long n) {
+  std::snprintf(buf, n, "%.17g", v);
+}
+
+double runtime_stamp() {
+  const auto t = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t.time_since_epoch()).count();
+}
+
+// Identifiers containing banned substrings must not trip word boundaries.
+double advance_time_by(double t) { return t + 1.0; }
+struct Clockwork { int clock_skew = 0; };
