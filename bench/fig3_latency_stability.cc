@@ -13,6 +13,7 @@
 #include "harness/defaults.h"
 #include "harness/experiment.h"
 #include "harness/table.h"
+#include "obs/perf.h"
 
 int main(int argc, char** argv) {
   using namespace aces;
@@ -33,6 +34,7 @@ int main(int argc, char** argv) {
   bench.apply(spec.sim.duration, spec.sim.warmup, spec.seeds);
 
   harness::BenchJsonWriter json("fig3_latency_stability");
+  harness::RunSummary work;  // deterministic totals over the whole bench
   harness::Table table({"burstiness", "policy", "lat mean ms", "lat std ms",
                         "lat p99 ms", "wtput"});
   for (const double burst : {1.0, 2.0, 4.0}) {
@@ -42,6 +44,9 @@ int main(int argc, char** argv) {
          {FlowPolicy::kAces, FlowPolicy::kLockStep}) {
       const harness::WallTimer timer;
       const auto mean = run_experiment(cell, policy).mean;
+      work.events_executed += mean.events_executed;
+      work.sdos_processed += mean.sdos_processed;
+      work.reoptimizations += mean.reoptimizations;
       json.add_run("burst" + harness::cell(burst, 1) + "/" +
                        to_string(policy),
                    timer.elapsed_ms(), mean.weighted_throughput,
@@ -54,5 +59,10 @@ int main(int argc, char** argv) {
     }
   }
   harness::print_table(table, bench.csv, std::cout);
+  json.set_perf_work(work.events_executed, work.sdos_processed,
+                     work.reoptimizations);
+  json.set_perf_memory(
+      static_cast<double>(obs::peak_rss_bytes()) / (1024.0 * 1024.0),
+      obs::alloc_count());
   return json.write_file(bench.json) ? 0 : 1;
 }

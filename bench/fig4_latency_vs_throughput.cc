@@ -15,6 +15,7 @@
 #include "harness/defaults.h"
 #include "harness/experiment.h"
 #include "harness/table.h"
+#include "obs/perf.h"
 
 int main(int argc, char** argv) {
   using namespace aces;
@@ -36,6 +37,7 @@ int main(int argc, char** argv) {
   bench.apply(spec.sim.duration, spec.sim.warmup, spec.seeds);
 
   harness::BenchJsonWriter json("fig4_latency_vs_throughput");
+  harness::RunSummary work;  // deterministic totals over the whole bench
   harness::Table table({"B", "policy", "wtput", "wtput/fluid",
                         "lat mean ms", "lat std ms"});
   for (const int buffer : {5, 10, 15, 25, 50, 100, 200}) {
@@ -45,6 +47,9 @@ int main(int argc, char** argv) {
          {FlowPolicy::kAces, FlowPolicy::kLockStep}) {
       const harness::WallTimer timer;
       const auto mean = run_experiment(cell, policy).mean;
+      work.events_executed += mean.events_executed;
+      work.sdos_processed += mean.sdos_processed;
+      work.reoptimizations += mean.reoptimizations;
       json.add_run("B" + std::to_string(buffer) + "/" + to_string(policy),
                    timer.elapsed_ms(), mean.weighted_throughput,
                    mean.latency_p50, mean.latency_p99);
@@ -56,5 +61,10 @@ int main(int argc, char** argv) {
     }
   }
   harness::print_table(table, bench.csv, std::cout);
+  json.set_perf_work(work.events_executed, work.sdos_processed,
+                     work.reoptimizations);
+  json.set_perf_memory(
+      static_cast<double>(obs::peak_rss_bytes()) / (1024.0 * 1024.0),
+      obs::alloc_count());
   return json.write_file(bench.json) ? 0 : 1;
 }

@@ -17,6 +17,7 @@
 #include "harness/defaults.h"
 #include "harness/experiment.h"
 #include "harness/table.h"
+#include "obs/perf.h"
 #include "runtime/runtime_engine.h"
 
 int main(int argc, char** argv) {
@@ -40,6 +41,7 @@ int main(int argc, char** argv) {
   bench.apply(spec.sim.duration, spec.sim.warmup, spec.seeds);
 
   harness::BenchJsonWriter json("fig5_burstiness");
+  harness::RunSummary work;  // deterministic totals over the main sweep
   harness::Table table({"sojourn scale", "ACES", "UDP", "Lock-Step"});
   for (const double burst : {0.25, 0.5, 1.0, 2.0, 4.0, 8.0}) {
     harness::ExperimentSpec cell = spec;
@@ -49,6 +51,9 @@ int main(int argc, char** argv) {
          {FlowPolicy::kAces, FlowPolicy::kUdp, FlowPolicy::kLockStep}) {
       const harness::WallTimer timer;
       const auto mean = run_experiment(cell, policy).mean;
+      work.events_executed += mean.events_executed;
+      work.sdos_processed += mean.sdos_processed;
+      work.reoptimizations += mean.reoptimizations;
       json.add_run("sojourn" + harness::cell(burst, 2) + "/" +
                        to_string(policy),
                    timer.elapsed_ms(), mean.weighted_throughput,
@@ -95,5 +100,13 @@ int main(int argc, char** argv) {
     }
   }
   harness::print_table(calib, bench.csv, std::cout);
+  // Work totals cover the figure sweep only: the calibration overlay uses
+  // the threaded runtime, whose counts are scheduling-dependent. Memory is
+  // process-wide, so it is captured after everything ran.
+  json.set_perf_work(work.events_executed, work.sdos_processed,
+                     work.reoptimizations);
+  json.set_perf_memory(
+      static_cast<double>(obs::peak_rss_bytes()) / (1024.0 * 1024.0),
+      obs::alloc_count());
   return json.write_file(bench.json) ? 0 : 1;
 }

@@ -55,6 +55,7 @@ int main() {
   using control::FlowPolicy;
 
   std::cout << "=== Stability: recovery from fully pre-filled buffers ===\n"
+            // aces-lint: allow(float-format) prose "% full", not a conversion
             << "60 PEs / 10 nodes; every buffer starts 100% full of aged "
                "SDOs.\n"
             << "settle time = first second after which the system-wide mean "

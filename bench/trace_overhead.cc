@@ -16,14 +16,13 @@
 //
 //   ./bench/trace_overhead [--trials=5 --threshold=0.05 --sample=0.01
 //                           --scale=1 --json=BENCH_trace_overhead.json]
-#include <cstdio>
 #include <iostream>
-#include <sstream>
 #include <string>
 
 #include "graph/topology_generator.h"
 #include "harness/bench_json.h"
 #include "harness/defaults.h"
+#include "metrics/report_fingerprint.h"
 #include "metrics/run_report.h"
 #include "obs/spans.h"
 #include "opt/global_optimizer.h"
@@ -32,32 +31,7 @@
 namespace {
 
 using namespace aces;
-
-std::string hex(double v) {
-  char buf[64];
-  std::snprintf(buf, sizeof buf, "%a", v);
-  return buf;
-}
-
-/// Exact serialization of every deterministic RunReport field. Two runs
-/// with identical event orders produce identical fingerprints; any
-/// divergence caused by tracing shows up as a byte difference.
-std::string report_fingerprint(const metrics::RunReport& r) {
-  std::ostringstream os;
-  os << hex(r.measured_seconds) << '|' << hex(r.weighted_throughput) << '|'
-     << hex(r.output_rate) << '|' << r.latency.count() << '|'
-     << hex(r.latency.mean()) << '|' << hex(r.latency.stddev()) << '|'
-     << r.latency_histogram.count() << '|' << hex(r.latency_histogram.sum())
-     << '|' << hex(r.latency_histogram.p99()) << '|' << r.internal_drops
-     << '|' << r.ingress_drops << '|' << r.sdos_processed << '|'
-     << hex(r.cpu_utilization) << '|' << hex(r.buffer_fill.mean());
-  for (const std::uint64_t n : r.egress_outputs) os << '|' << n;
-  for (const metrics::PeAccounting& pe : r.per_pe) {
-    os << '|' << pe.arrived << ',' << pe.processed << ',' << pe.emitted
-       << ',' << pe.dropped_input << ',' << hex(pe.cpu_seconds);
-  }
-  return os.str();
-}
+using metrics::report_fingerprint;
 
 double flag(int argc, char** argv, const std::string& name, double fallback) {
   const std::string prefix = "--" + name + "=";
@@ -143,6 +117,7 @@ int main(int argc, char** argv) {
   std::cout << "RunReport fingerprints identical (tracing is effect-free)\n";
   if (overhead > threshold) {
     std::cerr << "FAIL: tracing overhead " << overhead * 100.0
+              // aces-lint: allow(float-format) prose "% exceeds", not a conversion
               << "% exceeds threshold " << threshold * 100.0 << "%\n";
     return 2;
   }

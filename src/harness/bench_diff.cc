@@ -1,0 +1,472 @@
+#include "harness/bench_diff.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <map>
+#include <ostream>
+#include <set>
+#include <stdexcept>
+#include <string>
+
+namespace aces::harness {
+
+namespace {
+
+/// Recursive-descent JSON parser tracking the current line for error
+/// messages. Depth-limited so a pathological file cannot blow the stack.
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  JsonValue parse_document() {
+    JsonValue value = parse_value(0);
+    skip_whitespace();
+    if (pos_ != text_.size()) fail("trailing characters after JSON value");
+    return value;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  [[noreturn]] void fail(const std::string& why) const {
+    throw std::runtime_error("line " + std::to_string(line_) + ": " + why);
+  }
+
+  void skip_whitespace() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '\n') ++line_;
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    skip_whitespace();
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) {
+      fail(std::string("expected '") + c + "', got '" + text_[pos_] + "'");
+    }
+    ++pos_;
+  }
+
+  bool consume_literal(const std::string& word) {
+    if (text_.compare(pos_, word.size(), word) != 0) return false;
+    pos_ += word.size();
+    return true;
+  }
+
+  std::string parse_string_body() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c == '\n') fail("raw newline inside string");
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+          // Decoded only far enough for field names; BENCH documents are
+          // ASCII, so the code point is appended raw when it fits a byte.
+          const std::string digits = text_.substr(pos_, 4);
+          char* end = nullptr;
+          const long code = std::strtol(digits.c_str(), &end, 16);
+          if (end != digits.c_str() + 4) fail("bad \\u escape");
+          pos_ += 4;
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else {
+            out += '?';
+          }
+          break;
+        }
+        default:
+          fail(std::string("unknown escape \\") + esc);
+      }
+    }
+  }
+
+  JsonValue parse_number() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    JsonValue value;
+    value.kind = JsonValue::Kind::kNumber;
+    value.text = text_.substr(start, pos_ - start);
+    char* end = nullptr;
+    value.number = std::strtod(value.text.c_str(), &end);
+    if (value.text.empty() || end != value.text.c_str() + value.text.size()) {
+      fail("malformed number '" + value.text + "'");
+    }
+    return value;
+  }
+
+  JsonValue parse_value(int depth) {
+    if (depth > kMaxDepth) fail("nesting too deep");
+    const char c = peek();
+    JsonValue value;
+    if (c == '{') {
+      ++pos_;
+      value.kind = JsonValue::Kind::kObject;
+      if (peek() == '}') {
+        ++pos_;
+        return value;
+      }
+      while (true) {
+        if (peek() != '"') fail("expected string object key");
+        std::string key = parse_string_body();
+        expect(':');
+        value.members.emplace_back(std::move(key), parse_value(depth + 1));
+        const char next = peek();
+        if (next == ',') {
+          ++pos_;
+          continue;
+        }
+        if (next == '}') {
+          ++pos_;
+          return value;
+        }
+        fail("expected ',' or '}' in object");
+      }
+    }
+    if (c == '[') {
+      ++pos_;
+      value.kind = JsonValue::Kind::kArray;
+      if (peek() == ']') {
+        ++pos_;
+        return value;
+      }
+      while (true) {
+        value.items.push_back(parse_value(depth + 1));
+        const char next = peek();
+        if (next == ',') {
+          ++pos_;
+          continue;
+        }
+        if (next == ']') {
+          ++pos_;
+          return value;
+        }
+        fail("expected ',' or ']' in array");
+      }
+    }
+    if (c == '"') {
+      value.kind = JsonValue::Kind::kString;
+      value.text = parse_string_body();
+      return value;
+    }
+    if (c == 't') {
+      if (!consume_literal("true")) fail("bad literal");
+      value.kind = JsonValue::Kind::kBool;
+      value.boolean = true;
+      return value;
+    }
+    if (c == 'f') {
+      if (!consume_literal("false")) fail("bad literal");
+      value.kind = JsonValue::Kind::kBool;
+      value.boolean = false;
+      return value;
+    }
+    if (c == 'n') {
+      if (!consume_literal("null")) fail("bad literal");
+      value.kind = JsonValue::Kind::kNull;
+      return value;
+    }
+    if (c == '-' || std::isdigit(static_cast<unsigned char>(c))) {
+      return parse_number();
+    }
+    fail(std::string("unexpected character '") + c + "'");
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+};
+
+std::string render(const JsonValue& v) {
+  switch (v.kind) {
+    case JsonValue::Kind::kNull: return "null";
+    case JsonValue::Kind::kBool: return v.boolean ? "true" : "false";
+    case JsonValue::Kind::kNumber: return v.text;
+    case JsonValue::Kind::kString: return "\"" + v.text + "\"";
+    case JsonValue::Kind::kArray:
+      return "[" + std::to_string(v.items.size()) + " items]";
+    case JsonValue::Kind::kObject:
+      return "{" + std::to_string(v.members.size()) + " members}";
+  }
+  return "?";
+}
+
+/// The last key segment of a path like "per_run[x].events_executed".
+std::string last_key(const std::string& path) {
+  const auto dot = path.find_last_of('.');
+  return dot == std::string::npos ? path : path.substr(dot + 1);
+}
+
+bool numbers_equal(const JsonValue& a, const JsonValue& b) {
+  // %.17g round-trips doubles exactly, so value comparison is exact; the
+  // raw-text fallback catches formats strtod collapses (it should not
+  // happen in our own documents).
+  return a.number == b.number || a.text == b.text;
+}
+
+double relative_delta(const JsonValue& a, const JsonValue& b) {
+  if (numbers_equal(a, b)) return 0.0;
+  const double base = std::fmax(std::fabs(a.number), 1e-12);
+  return std::fabs(b.number - a.number) / base;
+}
+
+class Differ {
+ public:
+  Differ(const BenchDiffOptions& options, BenchDiffResult& result)
+      : options_(options), result_(result) {}
+
+  void diff_value(const std::string& path, const JsonValue& old_value,
+                  const JsonValue& new_value) {
+    ++result_.compared_fields;
+    if (old_value.kind != new_value.kind) {
+      record(classify_bench_field(path), path, render(old_value),
+             render(new_value), 0.0);
+      return;
+    }
+    switch (old_value.kind) {
+      case JsonValue::Kind::kObject:
+        diff_object(path, old_value, new_value);
+        return;
+      case JsonValue::Kind::kArray:
+        diff_array(path, old_value, new_value);
+        return;
+      case JsonValue::Kind::kNumber: {
+        if (numbers_equal(old_value, new_value)) return;
+        const BenchFieldClass cls = classify_bench_field(path);
+        const double delta = relative_delta(old_value, new_value);
+        if (cls == BenchFieldClass::kSoft && delta <= options_.threshold) {
+          return;  // within the noise budget
+        }
+        record(cls, path, old_value.text, new_value.text, delta);
+        return;
+      }
+      case JsonValue::Kind::kString:
+        if (old_value.text != new_value.text) {
+          record(classify_bench_field(path), path, render(old_value),
+                 render(new_value), 0.0);
+        }
+        return;
+      case JsonValue::Kind::kBool:
+        if (old_value.boolean != new_value.boolean) {
+          record(classify_bench_field(path), path, render(old_value),
+                 render(new_value), 0.0);
+        }
+        return;
+      case JsonValue::Kind::kNull:
+        return;
+    }
+  }
+
+ private:
+  void record(BenchFieldClass cls, const std::string& path,
+              std::string old_value, std::string new_value, double delta) {
+    BenchDiffEntry entry{path, std::move(old_value), std::move(new_value),
+                         delta};
+    switch (cls) {
+      case BenchFieldClass::kHard: result_.hard.push_back(std::move(entry)); break;
+      case BenchFieldClass::kSoft: result_.soft.push_back(std::move(entry)); break;
+      case BenchFieldClass::kInfo: result_.info.push_back(std::move(entry)); break;
+    }
+  }
+
+  void diff_object(const std::string& path, const JsonValue& old_value,
+                   const JsonValue& new_value) {
+    std::set<std::string> seen;
+    for (const auto& [key, old_member] : old_value.members) {
+      seen.insert(key);
+      const std::string child = path.empty() ? key : path + "." + key;
+      if (const JsonValue* new_member = new_value.find(key)) {
+        diff_value(child, old_member, *new_member);
+      } else {
+        record(missing_class(child), child, render(old_member), "(absent)",
+               0.0);
+      }
+    }
+    for (const auto& [key, new_member] : new_value.members) {
+      if (seen.count(key) != 0) continue;
+      const std::string child = path.empty() ? key : path + "." + key;
+      record(missing_class(child), child, "(absent)", render(new_member), 0.0);
+    }
+  }
+
+  /// A key present on only one side. Hard-class keys stay hard (a work
+  /// total vanishing is as bad as it changing); soft/info keys demote to
+  /// info — schema growth (a new timing field) is not a regression.
+  static BenchFieldClass missing_class(const std::string& path) {
+    return classify_bench_field(path) == BenchFieldClass::kHard
+               ? BenchFieldClass::kHard
+               : BenchFieldClass::kInfo;
+  }
+
+  void diff_array(const std::string& path, const JsonValue& old_value,
+                  const JsonValue& new_value) {
+    if (last_key(path) == "per_run") {
+      diff_per_run(path, old_value, new_value);
+      return;
+    }
+    if (old_value.items.size() != new_value.items.size()) {
+      record(classify_bench_field(path), path,
+             std::to_string(old_value.items.size()) + " items",
+             std::to_string(new_value.items.size()) + " items", 0.0);
+      return;
+    }
+    for (std::size_t i = 0; i < old_value.items.size(); ++i) {
+      diff_value(path + "[" + std::to_string(i) + "]", old_value.items[i],
+                 new_value.items[i]);
+    }
+  }
+
+  /// Runs are aligned by label, not position, so a reordering is not a
+  /// diff. A run missing from either side is HARD: the workload changed.
+  void diff_per_run(const std::string& path, const JsonValue& old_value,
+                    const JsonValue& new_value) {
+    const auto index_runs = [&](const JsonValue& array) {
+      std::map<std::string, const JsonValue*> by_label;
+      for (std::size_t i = 0; i < array.items.size(); ++i) {
+        const JsonValue& run = array.items[i];
+        const JsonValue* label = run.find("label");
+        const std::string key =
+            (label != nullptr && label->kind == JsonValue::Kind::kString)
+                ? label->text
+                : "#" + std::to_string(i);
+        by_label.emplace(key, &run);
+      }
+      return by_label;
+    };
+    const auto old_runs = index_runs(old_value);
+    const auto new_runs = index_runs(new_value);
+    for (const auto& [label, old_run] : old_runs) {
+      const auto it = new_runs.find(label);
+      const std::string child = path + "[" + label + "]";
+      if (it == new_runs.end()) {
+        record(BenchFieldClass::kHard, child, "present", "(missing run)", 0.0);
+        continue;
+      }
+      diff_value(child, *old_run, *it->second);
+    }
+    for (const auto& [label, run] : new_runs) {
+      (void)run;
+      if (old_runs.count(label) == 0) {
+        record(BenchFieldClass::kHard, path + "[" + label + "]",
+               "(missing run)", "present", 0.0);
+      }
+    }
+  }
+
+  const BenchDiffOptions& options_;
+  BenchDiffResult& result_;
+};
+
+}  // namespace
+
+const JsonValue* JsonValue::find(const std::string& key) const {
+  if (kind != Kind::kObject) return nullptr;
+  for (const auto& [name, value] : members) {
+    if (name == key) return &value;
+  }
+  return nullptr;
+}
+
+JsonValue parse_json(const std::string& text) {
+  return JsonParser(text).parse_document();
+}
+
+BenchFieldClass classify_bench_field(const std::string& path) {
+  const std::string key = last_key(path);
+  // Probe telemetry and run-environment facts: informational only. The
+  // stage timings and event counts exist to explain a regression the work
+  // totals or wall clock caught, not to be a gate themselves.
+  if (path.find(".stages.") != std::string::npos ||
+      path.find(".events.") != std::string::npos || key == "stages" ||
+      key == "events" || key == "instrumented" || key == "jobs") {
+    return BenchFieldClass::kInfo;
+  }
+  // Deterministic identity and work-total fields: zero tolerance.
+  static const std::set<std::string> kHardKeys = {
+      "bench",         "schema",          "label",
+      "policy",        "status",          "error",
+      "index",         "topology_seed",   "sim_seed",
+      "runs",          "completed",       "failed",
+      "cancelled",     "events_executed", "sdos_processed",
+      "reoptimizations"};
+  if (kHardKeys.count(key) != 0 ||
+      path.find("perf.work") != std::string::npos) {
+    return BenchFieldClass::kHard;
+  }
+  // Everything else — wall clock, latency, throughput, drops-per-sec,
+  // memory — is a measurement with noise: threshold applies.
+  return BenchFieldClass::kSoft;
+}
+
+int BenchDiffResult::exit_code(const BenchDiffOptions& options) const {
+  if (!hard.empty()) return 2;
+  if (!soft.empty() && !options.hard_only) return 1;
+  return 0;
+}
+
+void write_bench_diff_report(std::ostream& os, const BenchDiffResult& result,
+                             const BenchDiffOptions& options) {
+  const auto write_entries = [&os](const char* tag,
+                                   const std::vector<BenchDiffEntry>& list) {
+    for (const BenchDiffEntry& e : list) {
+      os << tag << ' ' << e.path << ": " << e.old_value << " -> "
+         << e.new_value;
+      if (e.relative_delta >= 0.001) {
+        os << " (" << static_cast<long long>(e.relative_delta * 1000.0) / 10.0
+           << "% off)";
+      } else if (e.relative_delta > 0.0) {
+        os << " (<0.1% off)";
+      }
+      os << '\n';
+    }
+  };
+  write_entries("HARD", result.hard);
+  write_entries("SOFT", result.soft);
+  write_entries("INFO", result.info);
+  os << "bench-diff: " << result.hard.size() << " hard, "
+     << result.soft.size() << " soft (threshold "
+     << static_cast<long long>(options.threshold * 1000.0) / 10.0 << "%), "
+     << result.info.size() << " informational; " << result.compared_fields
+     << " nodes compared\n";
+}
+
+BenchDiffResult bench_diff(const JsonValue& old_doc, const JsonValue& new_doc,
+                           const BenchDiffOptions& options) {
+  BenchDiffResult result;
+  Differ differ(options, result);
+  differ.diff_value("", old_doc, new_doc);
+  return result;
+}
+
+}  // namespace aces::harness

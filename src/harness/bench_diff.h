@@ -1,0 +1,86 @@
+// bench-diff: compare two BENCH_*.json documents and classify the drift.
+//
+// The regression gate behind `aces bench-diff OLD.json NEW.json`. Runs are
+// aligned by label (order-independent), then every field is classified:
+//
+//  * HARD — deterministic work totals (the "perf.work" block, per-run
+//    events_executed / sdos_processed / reoptimizations, run counts and
+//    statuses, identity fields). These are bit-stable for a fixed workload,
+//    so ANY change is a behaviour change, not noise: zero tolerance.
+//  * SOFT — wall clock, latency, throughput, memory: real measurements
+//    with real noise. Fail only beyond a configurable relative threshold.
+//  * INFO — probe telemetry (perf stages/events), jobs, instrumented flag:
+//    reported when drifted, never a failure.
+//
+// Exit-code contract (CI-friendly): 0 clean, 1 soft failures only, 2 any
+// hard failure, 3 usage / I/O / malformed JSON. Malformed input reports
+// the offending line number.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace aces::harness {
+
+/// Minimal JSON value tree, just enough for BENCH documents. Objects keep
+/// insertion order; lookups are linear (documents are small).
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string text;  ///< string value; raw token text for numbers
+  std::vector<JsonValue> items;                            ///< kArray
+  std::vector<std::pair<std::string, JsonValue>> members;  ///< kObject
+
+  /// Object member lookup; nullptr when absent or not an object.
+  [[nodiscard]] const JsonValue* find(const std::string& key) const;
+};
+
+/// Parses a complete JSON document. Throws std::runtime_error with a
+/// "line N: ..." message on malformed input (including trailing garbage).
+JsonValue parse_json(const std::string& text);
+
+/// How a drifted field is judged; see the header comment.
+enum class BenchFieldClass { kHard, kSoft, kInfo };
+
+/// Classifies a field by its JSON pointer-ish path (e.g.
+/// "per_run[tiny/aces/s0].events_executed" or "perf.work.sdos_processed").
+[[nodiscard]] BenchFieldClass classify_bench_field(const std::string& path);
+
+struct BenchDiffOptions {
+  /// Relative tolerance for SOFT fields: |new - old| / max(|old|, eps).
+  double threshold = 0.25;
+  /// CI mode: SOFT drift is reported but never fails (exit stays 0 unless
+  /// a HARD failure occurs). For shared runners whose wall clock is noise.
+  bool hard_only = false;
+};
+
+struct BenchDiffEntry {
+  std::string path;
+  std::string old_value;
+  std::string new_value;
+  double relative_delta = 0.0;  ///< 0 for non-numeric differences
+};
+
+struct BenchDiffResult {
+  std::vector<BenchDiffEntry> hard;
+  std::vector<BenchDiffEntry> soft;  ///< beyond threshold
+  std::vector<BenchDiffEntry> info;  ///< drifted but never failing
+  int compared_fields = 0;
+
+  /// 0 clean, 1 soft failures (unless hard_only), 2 hard failures.
+  [[nodiscard]] int exit_code(const BenchDiffOptions& options) const;
+};
+
+/// Diffs two parsed BENCH documents.
+BenchDiffResult bench_diff(const JsonValue& old_doc, const JsonValue& new_doc,
+                           const BenchDiffOptions& options);
+
+/// Human-readable report of every entry, most severe first.
+void write_bench_diff_report(std::ostream& os, const BenchDiffResult& result,
+                             const BenchDiffOptions& options);
+
+}  // namespace aces::harness

@@ -7,6 +7,8 @@
 #include <sstream>
 #include <utility>
 
+#include "obs/perf.h"
+
 namespace aces::harness {
 
 namespace {
@@ -49,6 +51,22 @@ void BenchJsonWriter::add_run(const std::string& label, double wall_ms,
       Run{label, wall_ms, weighted_throughput, latency_p50, latency_p99});
 }
 
+void BenchJsonWriter::set_perf_work(std::uint64_t events_executed,
+                                    std::uint64_t sdos_processed,
+                                    std::uint64_t reoptimizations) {
+  has_perf_ = true;
+  events_executed_ = events_executed;
+  sdos_processed_ = sdos_processed;
+  reoptimizations_ = reoptimizations;
+}
+
+void BenchJsonWriter::set_perf_memory(double peak_rss_mb,
+                                      std::uint64_t alloc_count) {
+  has_perf_ = true;
+  peak_rss_mb_ = peak_rss_mb;
+  alloc_count_ = alloc_count;
+}
+
 std::string BenchJsonWriter::to_json() const {
   double total_ms = 0.0;
   double mean = 0.0;
@@ -79,6 +97,42 @@ std::string BenchJsonWriter::to_json() const {
   if (measured > 0) {
     os << ",\"weighted_throughput\":{\"mean\":" << num(mean)
        << ",\"min\":" << num(lo) << ",\"max\":" << num(hi) << "}";
+  }
+  if (has_perf_) {
+    // "work" holds the deterministic totals (bench-diff: zero tolerance);
+    // everything else in "perf" is timing/memory/probe telemetry that
+    // varies run to run and only ever soft-fails or informs.
+    os << ",\"perf\":{\"instrumented\":"
+       << (obs::perf_instrumented() ? "true" : "false")
+       << ",\"work\":{\"events_executed\":" << events_executed_
+       << ",\"sdos_processed\":" << sdos_processed_
+       << ",\"reoptimizations\":" << reoptimizations_ << "}"
+       << ",\"peak_rss_mb\":" << num(peak_rss_mb_)
+       << ",\"alloc_count\":" << alloc_count_;
+    const obs::PerfSnapshot snapshot = obs::perf_snapshot();
+    if (!snapshot.stages.empty()) {
+      os << ",\"stages\":{";
+      for (std::size_t i = 0; i < snapshot.stages.size(); ++i) {
+        const obs::PerfStageSample& s = snapshot.stages[i];
+        if (i > 0) os << ",";
+        os << "\"" << escape_json(s.name) << "\":{\"calls\":" << s.calls
+           << ",\"ns\":" << s.ns << ",\"cycles\":" << s.cycles
+           << ",\"ns_per_call\":"
+           << num(static_cast<double>(s.ns) / static_cast<double>(s.calls))
+           << "}";
+      }
+      os << "}";
+    }
+    if (!snapshot.events.empty()) {
+      os << ",\"events\":{";
+      for (std::size_t i = 0; i < snapshot.events.size(); ++i) {
+        if (i > 0) os << ",";
+        os << "\"" << escape_json(snapshot.events[i].first)
+           << "\":" << snapshot.events[i].second;
+      }
+      os << "}";
+    }
+    os << "}";
   }
   os << ",\"per_run\":[";
   for (std::size_t i = 0; i < runs_.size(); ++i) {

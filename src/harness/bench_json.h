@@ -9,6 +9,7 @@
 #pragma once
 
 #include <chrono>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -28,6 +29,19 @@ class BenchJsonWriter {
 
   [[nodiscard]] std::size_t runs() const { return runs_.size(); }
 
+  /// Deterministic work totals over the whole bench, summed across runs.
+  /// Setting them turns on the document's "perf" block. These are
+  /// bit-stable for a fixed workload, so `aces bench-diff` hard-fails on
+  /// any change — a silent behaviour change, not noise.
+  void set_perf_work(std::uint64_t events_executed,
+                     std::uint64_t sdos_processed,
+                     std::uint64_t reoptimizations);
+
+  /// Memory-trajectory fields for the "perf" block: process peak RSS (MB)
+  /// and the operator-new count (0 unless ACES_PERF_INSTRUMENT). Both are
+  /// environment-dependent, so bench-diff treats them as soft fields.
+  void set_perf_memory(double peak_rss_mb, std::uint64_t alloc_count);
+
   /// Serializes {bench, runs, total_wall_ms, runs_per_sec, per_run[],
   /// weighted_throughput{mean,min,max}}.
   [[nodiscard]] std::string to_json() const;
@@ -46,6 +60,12 @@ class BenchJsonWriter {
   };
   std::string name_;
   std::vector<Run> runs_;
+  bool has_perf_ = false;
+  std::uint64_t events_executed_ = 0;
+  std::uint64_t sdos_processed_ = 0;
+  std::uint64_t reoptimizations_ = 0;
+  double peak_rss_mb_ = 0.0;
+  std::uint64_t alloc_count_ = 0;
 };
 
 /// Wall-clock stopwatch for bench loops.

@@ -1,6 +1,9 @@
 #include "harness/experiment.h"
 
+#include <algorithm>
+
 #include "common/check.h"
+#include "obs/perf.h"
 
 namespace aces::harness {
 
@@ -19,6 +22,9 @@ RunSummary summarize(const metrics::RunReport& report, double fluid_bound) {
   s.cpu_utilization = report.cpu_utilization;
   s.buffer_fill_mean = report.buffer_fill.mean();
   s.output_rate = report.output_rate;
+  s.events_executed = report.events_executed;
+  s.sdos_processed = report.sdos_processed;
+  s.reoptimizations = report.reoptimizations;
   return s;
 }
 
@@ -38,6 +44,12 @@ RunSummary average(const std::vector<RunSummary>& runs) {
     mean.cpu_utilization += r.cpu_utilization / n;
     mean.buffer_fill_mean += r.buffer_fill_mean / n;
     mean.output_rate += r.output_rate / n;
+    // Work totals aggregate by sum (exact), RSS by max (high-water mark).
+    mean.events_executed += r.events_executed;
+    mean.sdos_processed += r.sdos_processed;
+    mean.reoptimizations += r.reoptimizations;
+    mean.alloc_count += r.alloc_count;
+    mean.peak_rss_mb = std::max(mean.peak_rss_mb, r.peak_rss_mb);
   }
   return mean;
 }
@@ -45,8 +57,13 @@ RunSummary average(const std::vector<RunSummary>& runs) {
 RunSummary run_single(const graph::ProcessingGraph& graph,
                       const opt::AllocationPlan& plan,
                       const sim::SimOptions& sim_options) {
+  const std::uint64_t allocs_before = obs::alloc_count();
   const metrics::RunReport report = sim::simulate(graph, plan, sim_options);
-  return summarize(report, plan.weighted_throughput);
+  RunSummary s = summarize(report, plan.weighted_throughput);
+  s.alloc_count = obs::alloc_count() - allocs_before;
+  s.peak_rss_mb =
+      static_cast<double>(obs::peak_rss_bytes()) / (1024.0 * 1024.0);
+  return s;
 }
 
 ExperimentResult run_experiment(const ExperimentSpec& spec,

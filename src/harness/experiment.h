@@ -43,6 +43,23 @@ struct RunSummary {
   double buffer_fill_mean = 0.0;
   double output_rate = 0.0;
 
+  /// Deterministic work totals (perf trajectory): bit-stable for a fixed
+  /// (topology, seed, options), so bench-diff hard-fails on any change.
+  /// average() SUMS these across seeds — a total over the cell, not a mean
+  /// — keeping the aggregate integral and exactly reproducible.
+  std::uint64_t events_executed = 0;
+  std::uint64_t sdos_processed = 0;
+  std::uint64_t reoptimizations = 0;
+
+  /// Memory trajectory. peak_rss_mb is the process high-water mark after
+  /// the run (monotonic across runs in one process — comparable between
+  /// processes, not between runs of one bench); average() takes the max.
+  /// alloc_count is the operator-new delta across the run, summed like the
+  /// work totals; 0 unless the build sets ACES_PERF_INSTRUMENT. Both are
+  /// environment-dependent, so reports treat them as soft fields.
+  double peak_rss_mb = 0.0;
+  std::uint64_t alloc_count = 0;
+
   /// Weighted throughput normalized by the fluid bound, in [0, ~1].
   [[nodiscard]] double normalized_throughput() const {
     return fluid_bound > 0.0 ? weighted_throughput / fluid_bound : 0.0;

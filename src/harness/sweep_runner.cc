@@ -16,6 +16,7 @@
 #include "common/thread_annotations.h"
 #include "common/rng.h"
 #include "obs/export.h"
+#include "obs/perf.h"
 #include "opt/global_optimizer.h"
 #include "sim/stream_simulation.h"
 
@@ -95,7 +96,10 @@ void write_summary_fields(std::ostream& os, const RunSummary& s) {
      << ",\"ingress_drops_per_sec\":" << num(s.ingress_drops_per_sec)
      << ",\"internal_drops_per_sec\":" << num(s.internal_drops_per_sec)
      << ",\"cpu_utilization\":" << num(s.cpu_utilization)
-     << ",\"output_rate\":" << num(s.output_rate);
+     << ",\"output_rate\":" << num(s.output_rate)
+     << ",\"events_executed\":" << s.events_executed
+     << ",\"sdos_processed\":" << s.sdos_processed
+     << ",\"reoptimizations\":" << s.reoptimizations;
 }
 
 }  // namespace
@@ -423,6 +427,58 @@ void write_sweep_json(std::ostream& os, const SweepReport& report,
      << ",\"weighted_throughput\":{\"mean\":" << num(mean)
      << ",\"min\":" << num(lo) << ",\"max\":" << num(hi) << "}";
 
+  // Deterministic work totals over completed runs: bit-stable for a fixed
+  // grid, so bench-diff hard-fails any drift. Emitted regardless of
+  // --no-timing — they are part of the deterministic document.
+  {
+    std::uint64_t events = 0;
+    std::uint64_t sdos = 0;
+    std::uint64_t reopts = 0;
+    for (const SweepRunResult& r : report.results) {
+      if (r.status != SweepRunStatus::kOk) continue;
+      events += r.summary.events_executed;
+      sdos += r.summary.sdos_processed;
+      reopts += r.summary.reoptimizations;
+    }
+    os << ",\"perf\":{\"instrumented\":"
+       << (obs::perf_instrumented() ? "true" : "false")
+       << ",\"work\":{\"events_executed\":" << events
+       << ",\"sdos_processed\":" << sdos << ",\"reoptimizations\":" << reopts
+       << "}";
+    // Everything else in "perf" varies with machine, thread count, or
+    // allocator, so it rides with the timing fields (--no-timing keeps the
+    // document byte-comparable across --jobs).
+    if (include_timing) {
+      os << ",\"peak_rss_mb\":"
+         << num(static_cast<double>(obs::peak_rss_bytes()) / (1024.0 * 1024.0))
+         << ",\"alloc_count\":" << obs::alloc_count();
+      const obs::PerfSnapshot snapshot = obs::perf_snapshot();
+      if (!snapshot.stages.empty()) {
+        os << ",\"stages\":{";
+        for (std::size_t i = 0; i < snapshot.stages.size(); ++i) {
+          const obs::PerfStageSample& s = snapshot.stages[i];
+          if (i > 0) os << ",";
+          os << "\"" << escape_json(s.name) << "\":{\"calls\":" << s.calls
+             << ",\"ns\":" << s.ns << ",\"cycles\":" << s.cycles
+             << ",\"ns_per_call\":"
+             << num(static_cast<double>(s.ns) / static_cast<double>(s.calls))
+             << "}";
+        }
+        os << "}";
+      }
+      if (!snapshot.events.empty()) {
+        os << ",\"events\":{";
+        for (std::size_t i = 0; i < snapshot.events.size(); ++i) {
+          if (i > 0) os << ",";
+          os << "\"" << escape_json(snapshot.events[i].first)
+             << "\":" << snapshot.events[i].second;
+        }
+        os << "}";
+      }
+    }
+    os << "}";
+  }
+
   // Per-policy latency/throughput aggregates over completed runs. Results
   // are visited in run-index order and keyed by policy name in a std::map,
   // so the block is byte-identical for any jobs count.
@@ -474,6 +530,13 @@ void write_sweep_json(std::ostream& os, const SweepReport& report,
     if (r.status == SweepRunStatus::kOk) {
       os << ",";
       write_summary_fields(os, r.summary);
+      // Per-run memory fields are polluted by concurrent runs (the alloc
+      // delta and RSS high-water mark are process-global), so they are
+      // timing-class: omitted from the deterministic document.
+      if (include_timing) {
+        os << ",\"peak_rss_mb\":" << num(r.summary.peak_rss_mb)
+           << ",\"alloc_count\":" << r.summary.alloc_count;
+      }
     } else if (r.status == SweepRunStatus::kFailed) {
       os << ",\"error\":\"" << escape_json(r.error) << "\"";
     }
@@ -505,6 +568,8 @@ std::string sweep_fingerprint(const SweepReport& report) {
             s.output_rate}) {
         os << '|' << hex(v);
       }
+      os << '|' << s.events_executed << '|' << s.sdos_processed << '|'
+         << s.reoptimizations;
     } else if (r.status == SweepRunStatus::kFailed) {
       os << '|' << r.error;
     }

@@ -1,0 +1,34 @@
+#include "metrics/report_fingerprint.h"
+
+#include <cstdio>
+#include <sstream>
+
+namespace aces::metrics {
+
+namespace {
+std::string hex(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%a", v);
+  return buf;
+}
+}  // namespace
+
+std::string report_fingerprint(const RunReport& r) {
+  std::ostringstream os;
+  os << hex(r.measured_seconds) << '|' << hex(r.weighted_throughput) << '|'
+     << hex(r.output_rate) << '|' << r.latency.count() << '|'
+     << hex(r.latency.mean()) << '|' << hex(r.latency.stddev()) << '|'
+     << r.latency_histogram.count() << '|' << hex(r.latency_histogram.sum())
+     << '|' << hex(r.latency_histogram.p99()) << '|' << r.internal_drops
+     << '|' << r.ingress_drops << '|' << r.sdos_processed << '|'
+     << hex(r.cpu_utilization) << '|' << hex(r.buffer_fill.mean()) << '|'
+     << r.events_executed << '|' << r.reoptimizations;
+  for (const std::uint64_t n : r.egress_outputs) os << '|' << n;
+  for (const PeAccounting& pe : r.per_pe) {
+    os << '|' << pe.arrived << ',' << pe.processed << ',' << pe.emitted
+       << ',' << pe.dropped_input << ',' << hex(pe.cpu_seconds);
+  }
+  return os.str();
+}
+
+}  // namespace aces::metrics

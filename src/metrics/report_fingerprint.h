@@ -1,0 +1,20 @@
+// Exact serialization of every deterministic RunReport field.
+//
+// Two runs with identical event orders produce identical fingerprints;
+// any behavioural divergence — from tracing hooks, perf probes, or a
+// refactor — shows up as a byte difference rather than a tolerance
+// judgement call. Doubles are serialized as hexfloat (%a), so the
+// comparison is bit-exact. Shared by the span-overhead guard
+// (bench/trace_overhead.cc), the ACES_PERF_INSTRUMENT on/off guard
+// (`aces simulate --fingerprint` diffed across builds in CI), and tests.
+#pragma once
+
+#include <string>
+
+#include "metrics/run_report.h"
+
+namespace aces::metrics {
+
+[[nodiscard]] std::string report_fingerprint(const RunReport& report);
+
+}  // namespace aces::metrics

@@ -49,6 +49,11 @@ struct RunReport {
   /// Per-PE lifetime accounting (indexed by PeId); filled by the substrate
   /// after the aggregate metrics.
   std::vector<PeAccounting> per_pe;
+  /// Deterministic work totals for the perf trajectory: identical runs must
+  /// produce identical values (bench-diff treats any change as a hard
+  /// regression). Simulator-only; the threaded runtime leaves them 0.
+  std::uint64_t events_executed = 0;  ///< simulator events drained
+  std::uint64_t reoptimizations = 0;  ///< tier-1 re-solves during the run
 };
 
 }  // namespace aces::metrics

@@ -21,6 +21,7 @@
 #include "common/check.h"
 #include "common/mutex.h"
 #include "common/thread_annotations.h"
+#include "obs/perf.h"
 
 namespace aces::runtime {
 
@@ -33,6 +34,7 @@ class Channel {
 
   /// Non-blocking send; false when the channel is full or closed.
   bool try_push(T value) ACES_EXCLUDES(mutex_) {
+    ACES_PERF_SCOPE(PerfStage::kChannelSend);
     {
       MutexLock lock(mutex_);
       if (closed_ || items_.size() >= capacity_) return false;
@@ -45,10 +47,12 @@ class Channel {
   /// Blocking send with timeout; false on timeout or close.
   bool push_wait(T value, std::chrono::nanoseconds timeout)
       ACES_EXCLUDES(mutex_) {
+    ACES_PERF_SCOPE(PerfStage::kChannelSend);
     const auto deadline = std::chrono::steady_clock::now() + timeout;
     {
       MutexLock lock(mutex_);
       while (!closed_ && items_.size() >= capacity_) {
+        ACES_PERF_COUNT(PerfEvent::kChannelBlock);
         if (not_full_.wait_until(mutex_, deadline) ==
             std::cv_status::timeout) {
           if (closed_ || items_.size() < capacity_) break;
@@ -64,6 +68,7 @@ class Channel {
 
   /// Non-blocking receive.
   std::optional<T> try_pop() ACES_EXCLUDES(mutex_) {
+    ACES_PERF_SCOPE(PerfStage::kChannelRecv);
     std::optional<T> out;
     {
       MutexLock lock(mutex_);
@@ -79,6 +84,7 @@ class Channel {
   /// is closed and drained.
   std::optional<T> pop_wait(std::chrono::nanoseconds timeout)
       ACES_EXCLUDES(mutex_) {
+    ACES_PERF_SCOPE(PerfStage::kChannelRecv);
     const auto deadline = std::chrono::steady_clock::now() + timeout;
     std::optional<T> out;
     {
@@ -89,6 +95,7 @@ class Channel {
           if (closed_ || !items_.empty()) break;
           return std::nullopt;
         }
+        ACES_PERF_COUNT(PerfEvent::kChannelWakeup);
       }
       if (items_.empty()) return std::nullopt;  // closed and drained
       out = std::move(items_.front());

@@ -454,6 +454,7 @@ class Engine {
     std::vector<control::PeTickOutput> outputs;
     {
       obs::ScopedTimer timer(options_.profiler, obs::kPhaseControllerTick);
+      ACES_PERF_SCOPE(PerfStage::kControllerTick);
       outputs = controller.tick(options_.dt, inputs);
     }
     for (std::size_t i = 0; i < local.size(); ++i) {

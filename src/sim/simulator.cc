@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/check.h"
+#include "obs/perf.h"
 
 namespace aces::sim {
 
@@ -31,6 +32,7 @@ void Simulator::schedule_in(Seconds delay, Handler fn) {
 }
 
 void Simulator::schedule_at(Seconds t, Handler fn) {
+  ACES_PERF_SCOPE(PerfStage::kCalendarInsert);
   ACES_CHECK_MSG(t >= now_, "cannot schedule into the past");
   if (size_ + 1 > 2 * buckets_.size()) rebuild(buckets_.size() * 2);
   const std::uint64_t day = day_of(t);
@@ -43,6 +45,7 @@ void Simulator::schedule_at(Seconds t, Handler fn) {
 }
 
 std::pair<std::size_t, std::size_t> Simulator::find_min() {
+  ACES_PERF_SCOPE(PerfStage::kCalendarDrain);
   // Fast path: drain the calendar day by day. Every pending event lives on
   // day >= current_day_, and all of day d precedes all of day d+1, so the
   // first day with a resident event holds the global minimum.
@@ -57,9 +60,13 @@ std::pair<std::size_t, std::size_t> Simulator::find_min() {
         best = k;
       }
     }
-    if (best != kNoSlot) return {b, best};
+    if (best != kNoSlot) {
+      ACES_PERF_COUNT(PerfEvent::kCalendarBucketHit);
+      return {b, best};
+    }
     ++current_day_;
   }
+  ACES_PERF_COUNT(PerfEvent::kCalendarSparseFallback);
   // Sparse population: no event within a full calendar cycle. Find the
   // minimum directly and jump the calendar to its day.
   std::size_t best_bucket = kNoSlot;
@@ -93,6 +100,7 @@ Simulator::Event Simulator::extract(std::pair<std::size_t, std::size_t> loc) {
 }
 
 void Simulator::rebuild(std::size_t bucket_count) {
+  ACES_PERF_COUNT(PerfEvent::kCalendarRebuild);
   std::vector<Event> events;
   events.reserve(size_);
   for (std::vector<Event>& bucket : buckets_) {

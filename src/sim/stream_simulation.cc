@@ -13,6 +13,7 @@
 #include "control/node_controller.h"
 #include "fault/fault_injector.h"
 #include "metrics/collector.h"
+#include "obs/perf.h"
 #include "obs/scoped_timer.h"
 #include "obs/spans.h"
 #include "obs/trace.h"
@@ -384,6 +385,7 @@ struct StreamSimulation::Impl {
     opt::AllocationPlan plan;
     {
       obs::ScopedTimer timer(options.profiler, obs::kPhaseOptimizerSolve);
+      ACES_PERF_SCOPE(PerfStage::kOptimizerSolve);
       plan = opt::optimize_excluding(graph, down_nodes(), options.optimizer);
     }
     for (auto& controller : controllers) controller.set_plan(plan);
@@ -553,6 +555,7 @@ struct StreamSimulation::Impl {
     }
     if (static_cast<int>(pe.buffer.size()) >=
         graph.pe(pe.id).buffer_capacity) {
+      ACES_PERF_COUNT(PerfEvent::kBufferPoolMiss);
       ++pe.lifetime_dropped;
       collector.on_internal_drop(simulator.now());
       if (options.spans != nullptr) options.spans->drop(sdo.span, simulator.now());
@@ -561,6 +564,7 @@ struct StreamSimulation::Impl {
     if (options.spans != nullptr) {
       options.spans->on_enqueue(sdo.span, pe.id, simulator.now());
     }
+    ACES_PERF_COUNT(PerfEvent::kBufferPoolHit);
     pe.buffer.push_back(sdo);
     pe.arrived += 1.0;
     ++pe.lifetime_arrived;
@@ -583,6 +587,7 @@ struct StreamSimulation::Impl {
     if (options.spans != nullptr) {
       options.spans->on_enqueue(sdo.span, pe.id, simulator.now());
     }
+    ACES_PERF_COUNT(PerfEvent::kBufferPoolHit);
     pe.buffer.push_back(sdo);
     pe.arrived += 1.0;
     ++pe.lifetime_arrived;
@@ -632,6 +637,7 @@ struct StreamSimulation::Impl {
             : static_cast<int>(pe.buffer.size()) >=
                   graph.pe(pe.id).buffer_capacity;
     if (full) {
+      ACES_PERF_COUNT(PerfEvent::kBufferPoolMiss);
       ++pe.lifetime_dropped;
       collector.on_ingress_drop(simulator.now());
     } else {
@@ -640,6 +646,7 @@ struct StreamSimulation::Impl {
         sdo.span = options.spans->begin(pe.id, sdo.birth);
         options.spans->on_enqueue(sdo.span, pe.id, sdo.birth);
       }
+      ACES_PERF_COUNT(PerfEvent::kBufferPoolHit);
       pe.buffer.push_back(sdo);
       pe.arrived += 1.0;
       ++pe.lifetime_arrived;
@@ -701,6 +708,7 @@ struct StreamSimulation::Impl {
     std::vector<control::PeTickOutput> outputs;
     {
       obs::ScopedTimer timer(options.profiler, obs::kPhaseControllerTick);
+      ACES_PERF_SCOPE(PerfStage::kControllerTick);
       outputs = controller.tick(options.dt, inputs);
     }
 
@@ -822,6 +830,9 @@ metrics::RunReport StreamSimulation::report() const {
     acc.cpu_seconds = pe.lifetime_cpu;
     report.per_pe.push_back(acc);
   }
+  report.events_executed = impl_->simulator.executed();
+  report.reoptimizations =
+      static_cast<std::uint64_t>(impl_->reoptimization_count);
   return report;
 }
 

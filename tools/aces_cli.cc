@@ -13,6 +13,8 @@
 //   aces trace-summary --in=out.jsonl [--tail=0.25] [--tolerance=0.1]
 //   aces sweep    --grid=@grid.txt [--jobs=4] [--out=BENCH_sweep.json]
 //                 [--no-timing] [--quiet]
+//   aces bench-diff --old=BENCH_a.json --new=BENCH_b.json
+//                 [--threshold=0.25] [--hard-only]
 //
 // The CLI is a thin shell over the public API: generate_topology /
 // write_topology, opt::optimize / optimize_dual, sim::simulate. Everything
@@ -25,15 +27,18 @@
 #include <memory>
 #include <optional>
 #include <set>
+#include <sstream>
 #include <string>
 
 #include "fault/fault_spec.h"
 #include "graph/dot_export.h"
 #include "graph/serialization.h"
 #include "graph/topology_generator.h"
+#include "harness/bench_diff.h"
 #include "harness/experiment.h"
 #include "harness/sweep_runner.h"
 #include "harness/table.h"
+#include "metrics/report_fingerprint.h"
 #include "obs/counters.h"
 #include "obs/export.h"
 #include "obs/latency.h"
@@ -429,6 +434,7 @@ int cmd_simulate(Flags& flags) {
   const SpanFlags span_flags = SpanFlags::parse(flags);
   const bool csv = flags.has("csv");
   const bool detail = flags.has("detail");
+  const bool fingerprint = flags.has("fingerprint");
   flags.check_all_consumed();
   fault::validate(faults.schedule, g);
 
@@ -469,6 +475,13 @@ int cmd_simulate(Flags& flags) {
   }
   if (!faults.schedule.empty()) print_fault_counters(counters);
   const metrics::RunReport report = simulation.report();
+  if (fingerprint) {
+    // Bit-exact serialization of every deterministic report field. CI
+    // builds the tree twice (ACES_PERF_INSTRUMENT OFF and ON, same
+    // compiler) and diffs this line: the probes must not perturb results.
+    std::cout << metrics::report_fingerprint(report) << '\n';
+    return 0;
+  }
   const harness::RunSummary s =
       harness::summarize(report, plan.weighted_throughput);
   harness::Table table = summary_table();
@@ -845,6 +858,43 @@ int cmd_latency_report(Flags& flags) {
   return 0;
 }
 
+int cmd_bench_diff(Flags& flags) {
+  const std::string old_path = flags.get("old", std::string());
+  const std::string new_path = flags.get("new", std::string());
+  harness::BenchDiffOptions options;
+  options.threshold = flags.get("threshold", options.threshold);
+  options.hard_only = flags.has("hard-only");
+  flags.check_all_consumed();
+  if (old_path.empty() || new_path.empty()) {
+    std::cerr << "bench-diff requires --old=FILE and --new=FILE\n";
+    return 3;
+  }
+  if (options.threshold < 0.0) {
+    std::cerr << "--threshold must be >= 0\n";
+    return 3;
+  }
+  const auto slurp = [](const std::string& path) {
+    std::ifstream file(path);
+    if (!file) throw std::runtime_error("cannot open " + path);
+    std::ostringstream os;
+    os << file.rdbuf();
+    return os.str();
+  };
+  // Usage / I/O / parse problems exit 3 so CI can tell "the gate itself is
+  // broken" apart from "the gate fired" (exit 1 soft, 2 hard).
+  try {
+    const harness::JsonValue old_doc = harness::parse_json(slurp(old_path));
+    const harness::JsonValue new_doc = harness::parse_json(slurp(new_path));
+    const harness::BenchDiffResult result =
+        harness::bench_diff(old_doc, new_doc, options);
+    harness::write_bench_diff_report(std::cout, result, options);
+    return result.exit_code(options);
+  } catch (const std::exception& e) {
+    std::cerr << "bench-diff: " << e.what() << '\n';
+    return 3;
+  }
+}
+
 int usage(std::ostream& os, int code) {
   os << "usage: aces <command> [--flags]\n"
         "  generate  --out=FILE [--seed --nodes --ingress --intermediate\n"
@@ -887,7 +937,15 @@ int usage(std::ostream& os, int code) {
         "             x seed grid; the report is bit-identical for any\n"
         "             --jobs. Grid grammar in docs/benchmarking.md;\n"
         "             --no-timing omits wall-clock fields from the JSON;\n"
-        "             exit 3 when any run failed)\n";
+        "             exit 3 when any run failed)\n"
+        "  bench-diff --old=BENCH_a.json --new=BENCH_b.json\n"
+        "             [--threshold=0.25] [--hard-only]\n"
+        "            (regression gate over two bench JSON documents: runs\n"
+        "             are aligned by label; deterministic work totals\n"
+        "             hard-fail on any change, timing fields soft-fail\n"
+        "             beyond --threshold. Exit 0 clean, 1 soft drift,\n"
+        "             2 hard regression, 3 usage/IO/malformed input;\n"
+        "             --hard-only reports soft drift without failing)\n";
   return code;
 }
 
@@ -908,6 +966,7 @@ int main(int argc, char** argv) {
     if (command == "trace-summary") return cmd_trace_summary(flags);
     if (command == "latency-report") return cmd_latency_report(flags);
     if (command == "sweep") return cmd_sweep(flags);
+    if (command == "bench-diff") return cmd_bench_diff(flags);
     std::cerr << "unknown command: " << command << '\n';
     return usage(std::cerr, 2);
   } catch (const std::exception& e) {

@@ -9,8 +9,8 @@ fingerprinted path, so this lint bans the relevant constructs statically:
 
 Rule groups and where they apply
 --------------------------------
-``fingerprint`` paths (src/sim, src/harness, src/opt — anything whose
-output feeds a result fingerprint):
+``fingerprint`` paths (src/sim, src/harness, src/opt, src/metrics —
+anything whose output feeds a result fingerprint):
 
 * ``nondet-random``   -- rand()/srand(), std::random_device, mt19937 seeded
                          off entropy. Use common/rng.h (splitmix64 /
@@ -24,8 +24,11 @@ output feeds a result fingerprint):
                          perturbs any serialized or accumulated-in-order
                          result. Use std::map / sorted vectors.
 
-``report`` writers (src/harness/*.cc, src/obs/export.cc — code that
-formats floating-point results for files another run or tool compares):
+``report`` writers (src/harness/*.cc, src/obs/export.cc,
+src/metrics/*.cc, bench/*.cc, tools/aces_cli.cc — code that formats
+floating-point results for files another run or tool compares, which
+since the bench "perf" block includes every bench JSON writer and the
+CLI front end):
 
 * ``float-format``    -- printf-family %e/%f/%g conversions that are not
                          exactly ``%.17g`` (shortest exact round-trip for
@@ -54,8 +57,11 @@ import re
 import sys
 from dataclasses import dataclass
 
-FINGERPRINT_DIRS = ("src/sim", "src/harness", "src/opt")
-REPORT_FILES_GLOB = re.compile(r"(src/harness/[^/]+\.cc|src/obs/export\.cc)$")
+FINGERPRINT_DIRS = ("src/sim", "src/harness", "src/opt", "src/metrics")
+REPORT_FILES_GLOB = re.compile(
+    r"(src/harness/[^/]+\.cc|src/obs/export\.cc|src/metrics/[^/]+\.cc|"
+    r"bench/[^/]+\.cc|tools/aces_cli\.cc)$"
+)
 
 ALLOW_RE = re.compile(r"aces-lint:\s*allow\(([a-z-]+)\)\s*(\S?)")
 
@@ -235,7 +241,7 @@ def classify(rel_path: str) -> set[str]:
 
 
 def iter_source_files(root: str):
-    for base in FINGERPRINT_DIRS + ("src/obs",):
+    for base in FINGERPRINT_DIRS + ("src/obs", "bench", "tools"):
         top = os.path.join(root, base)
         if not os.path.isdir(top):
             continue

@@ -52,6 +52,13 @@ class FixtureTests(unittest.TestCase):
         self.assertEqual(rules(findings), ["float-format"] * 4)
         self.assertEqual(sorted(f.line for f in findings), [6, 7, 8, 9])
 
+    def test_bad_bench_json_flags_lossy_specs_only(self):
+        # Bench JSON writers are report-group files; the sanctioned %.17g
+        # and an annotated prose percent stay clean.
+        findings = lint_fixture("bad_bench_json.cc", {"report"})
+        self.assertEqual(rules(findings), ["float-format"] * 3)
+        self.assertEqual(sorted(f.line for f in findings), [8, 9, 11])
+
     def test_clean_fixture_is_silent_under_all_groups(self):
         findings = lint_fixture("clean.cc", {"fingerprint", "report"})
         self.assertEqual(findings, [])
@@ -99,6 +106,26 @@ class MechanismTests(unittest.TestCase):
                 "int y = rand();\n")
         findings = aces_lint.lint_text("t.cc", text, {"fingerprint"})
         self.assertEqual([f.line for f in findings], [1, 2])
+
+
+class ClassifyTests(unittest.TestCase):
+    def test_bench_writers_and_cli_are_report_scope(self):
+        self.assertIn("report",
+                      aces_lint.classify("bench/fig5_burstiness.cc"))
+        self.assertIn("report", aces_lint.classify("tools/aces_cli.cc"))
+        self.assertIn("report",
+                      aces_lint.classify("src/metrics/report_fingerprint.cc"))
+
+    def test_metrics_is_fingerprint_scope(self):
+        self.assertIn("fingerprint",
+                      aces_lint.classify("src/metrics/collector.cc"))
+
+    def test_fixtures_and_headers_stay_out_of_report_scope(self):
+        self.assertEqual(
+            aces_lint.classify("tools/lint_fixtures/bad_bench_json.cc"),
+            set())
+        self.assertNotIn("report", aces_lint.classify("bench/nested/x.cc"))
+        self.assertNotIn("report", aces_lint.classify("tools/aces_lint.py"))
 
 
 class CliTests(unittest.TestCase):

@@ -1,0 +1,14 @@
+// Fixture: a bench JSON writer that truncates doubles on the way out.
+// Planted findings (report group): lossy specs on lines 8, 9, 11; the
+// %.17g on line 10 and the prose percent (annotated) on line 13 are clean.
+#include <cstdio>
+
+void write_bench_record(double wall_ms, double throughput, double rss_mb) {
+  char buf[128];
+  std::snprintf(buf, sizeof buf, "{\"wall_ms\":%.3f", wall_ms);
+  std::printf("\"throughput\":%g,", throughput);
+  std::printf("\"exact\":%.17g,", throughput);
+  std::fprintf(stderr, "\"peak_rss_mb\":%.1f}\n", rss_mb);
+  // aces-lint: allow(float-format) prose "% full", not a conversion
+  std::puts("buffer 100% full");
+}
