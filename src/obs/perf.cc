@@ -18,6 +18,7 @@ namespace {
 constexpr const char* kStageNames[] = {
     "calendar_insert", "calendar_drain", "controller_tick",
     "optimizer_solve", "channel_send",   "channel_recv",
+    "ring_drain",
 };
 static_assert(sizeof(kStageNames) / sizeof(kStageNames[0]) ==
                   static_cast<std::size_t>(PerfStage::kCount),
@@ -27,7 +28,10 @@ constexpr const char* kEventNames[] = {
     "calendar_bucket_hit", "calendar_sparse_fallback",
     "calendar_rebuild",    "buffer_pool_hit",
     "buffer_pool_miss",    "channel_block",
-    "channel_wakeup",
+    "channel_wakeup",      "ring_full_park",
+    "ring_empty_park",     "ring_batch_publish",
+    "ring_batch_sdos",     "ring_drain_burst",
+    "ring_drain_sdos",
 };
 static_assert(sizeof(kEventNames) / sizeof(kEventNames[0]) ==
                   static_cast<std::size_t>(PerfEvent::kCount),

@@ -57,6 +57,7 @@ enum class PerfStage : unsigned {
   kOptimizerSolve,      ///< one tier-1 optimize() solve
   kChannelSend,         ///< runtime channel try_push()/push_wait()
   kChannelRecv,         ///< runtime channel try_pop()/pop_wait()
+  kRingDrain,           ///< SPSC ring pop_burst() (batched consumer drain)
   kCount,
 };
 
@@ -69,6 +70,12 @@ enum class PerfEvent : unsigned {
   kBufferPoolMiss,          ///< SDO rejected: pooled buffer full
   kChannelBlock,            ///< channel push had to wait for space
   kChannelWakeup,           ///< channel pop woke from a CV wait
+  kRingFullPark,            ///< SPSC producer parked: ring full past spin bound
+  kRingEmptyPark,           ///< SPSC consumer parked: ring empty past spin bound
+  kRingBatchPublish,        ///< one try_push_n index publish (any size)
+  kRingBatchSdos,           ///< SDOs moved by try_push_n publishes
+  kRingDrainBurst,          ///< one pop_burst index publish (any size)
+  kRingDrainSdos,           ///< SDOs moved by pop_burst drains
   kCount,
 };
 

@@ -1,10 +1,17 @@
-// Bounded blocking channel — the data-plane messaging primitive of the
+// Bounded blocking channel — the multi-producer fallback transport of the
 // threaded runtime (the stand-in for the paper's SPC transport).
 //
-// Multi-producer / multi-consumer, mutex + condition variables. The two
+// Multi-producer / multi-consumer, mutex + condition variables. Since the
+// data-plane fast-path work this is no longer the only transport: PE inputs
+// that provably have a single producer thread ride the lock-free
+// runtime/spsc_ring.h instead (runtime/sdo_channel.h picks per PE), and
+// this channel serves the MPSC cases — fan-in PEs fed by several node
+// workers, and any input also written by the MessageBus dispatcher. The two
 // full-buffer behaviours the evaluated policies need map onto the API:
 //   * try_push  — fail immediately when full (ACES / UDP drop semantics)
 //   * push_wait — block until space or timeout (Lock-Step min-flow)
+// Both backends share the API surface, including the batched try_push_n /
+// pop_burst (one lock round-trip resp. one index publish per batch).
 //
 // Lock discipline is machine-checked: every mutable member is
 // ACES_GUARDED_BY(mutex_) and clang's -Wthread-safety proves each access
@@ -66,6 +73,24 @@ class Channel {
     return true;
   }
 
+  /// Batched send: accepts up to `n` items from `items` under ONE lock
+  /// round-trip and one notify. Returns the count accepted — the same
+  /// prefix a try_push loop would have accepted.
+  std::size_t try_push_n(T* items, std::size_t n) ACES_EXCLUDES(mutex_) {
+    ACES_PERF_SCOPE(PerfStage::kChannelSend);
+    std::size_t k = 0;
+    {
+      MutexLock lock(mutex_);
+      if (closed_) return 0;
+      while (k < n && items_.size() < capacity_) {
+        items_.push_back(std::move(items[k]));
+        ++k;
+      }
+    }
+    if (k > 0) not_empty_.notify_one();
+    return k;
+  }
+
   /// Non-blocking receive.
   std::optional<T> try_pop() ACES_EXCLUDES(mutex_) {
     ACES_PERF_SCOPE(PerfStage::kChannelRecv);
@@ -78,6 +103,24 @@ class Channel {
     }
     not_full_.notify_one();
     return out;
+  }
+
+  /// Batched receive: drains up to `max` items into `out` under ONE lock
+  /// round-trip. Returns the count drained. notify_all (not _one) because a
+  /// burst can free several slots for several blocked producers at once.
+  std::size_t pop_burst(T* out, std::size_t max) ACES_EXCLUDES(mutex_) {
+    ACES_PERF_SCOPE(PerfStage::kChannelRecv);
+    std::size_t k = 0;
+    {
+      MutexLock lock(mutex_);
+      while (k < max && !items_.empty()) {
+        out[k] = std::move(items_.front());
+        items_.pop_front();
+        ++k;
+      }
+    }
+    if (k > 0) not_full_.notify_all();
+    return k;
   }
 
   /// Blocking receive with timeout; nullopt on timeout, or when the channel

@@ -11,6 +11,12 @@ MessageBus::MessageBus(std::function<Seconds()> clock, double time_scale)
     : clock_(std::move(clock)), time_scale_(time_scale) {
   ACES_CHECK_MSG(clock_ != nullptr, "message bus needs a clock");
   ACES_CHECK_MSG(time_scale > 0.0, "time scale must be positive");
+  // Pre-reserve the heap's backing store so steady-state posting never
+  // allocates (the data plane's no-allocation contract covers bus routing).
+  std::vector<Message> backing;
+  backing.reserve(kQueueReserve);
+  queue_ = std::priority_queue<Message, std::vector<Message>, Later>(
+      Later{}, std::move(backing));
 }
 
 MessageBus::~MessageBus() { stop(); }
@@ -37,7 +43,7 @@ void MessageBus::stop() {
   while (!queue_.empty()) queue_.pop();
 }
 
-void MessageBus::post(Seconds deliver_at, std::function<void()> deliver) {
+void MessageBus::post(Seconds deliver_at, DeliverFn deliver) {
   {
     MutexLock lock(mutex_);
     ACES_CHECK_MSG(running_ && !stop_requested_,

@@ -5,6 +5,13 @@
 // virtual delivery time and then runs its delivery callback. Senders never
 // block; delivery callbacks run on the bus thread and must be cheap and
 // thread-safe (the engine's are: a channel try_push plus a drop counter).
+//
+// Delivery callbacks are InlineFunction (fixed inline storage, no heap):
+// one engine delivery captures this + a target index + an Sdo, so routing
+// an SDO through the bus costs no allocation — part of the data-plane
+// steady-state-allocation-free contract (docs/performance.md). The queue's
+// backing vector is pre-reserved for the same reason; it only allocates if
+// more than kQueueReserve messages are ever in flight at once.
 #pragma once
 
 #include <condition_variable>
@@ -14,6 +21,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/inline_function.h"
 #include "common/mutex.h"
 #include "common/thread_annotations.h"
 #include "common/types.h"
@@ -22,6 +30,13 @@ namespace aces::runtime {
 
 class MessageBus {
  public:
+  /// Inline storage for one delivery callback. The engine's largest
+  /// capture is (this, target index, 16-byte Sdo) = 32 bytes; oversized
+  /// captures fail to compile rather than silently allocating.
+  using DeliverFn = InlineFunction<48>;
+
+  /// Messages the queue's backing vector is sized for up front.
+  static constexpr std::size_t kQueueReserve = 1024;
   /// `clock` returns the current virtual time; `time_scale` converts virtual
   /// durations into wall sleeps (virtual seconds per wall second).
   MessageBus(std::function<Seconds()> clock, double time_scale);
@@ -37,8 +52,7 @@ class MessageBus {
 
   /// Schedules `deliver` to run on the bus thread at virtual time
   /// `deliver_at` (immediately if that time has passed).
-  void post(Seconds deliver_at, std::function<void()> deliver)
-      ACES_EXCLUDES(mutex_);
+  void post(Seconds deliver_at, DeliverFn deliver) ACES_EXCLUDES(mutex_);
 
   [[nodiscard]] std::size_t in_flight() const ACES_EXCLUDES(mutex_);
   [[nodiscard]] std::uint64_t delivered() const ACES_EXCLUDES(mutex_);
@@ -48,7 +62,7 @@ class MessageBus {
   struct Message {
     Seconds due;
     std::uint64_t seq;  // FIFO among equal due times
-    std::function<void()> deliver;
+    DeliverFn deliver;
   };
   struct Later {
     bool operator()(const Message& a, const Message& b) const {

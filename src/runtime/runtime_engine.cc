@@ -4,13 +4,13 @@
 #include <atomic>
 #include <chrono>
 #include <cmath>
-#include <deque>
 #include <limits>
 #include <memory>
-#include <queue>
 #include <thread>
+#include <utility>
 #include <vector>
 
+#include "common/bounded_queue.h"
 #include "common/check.h"
 #include "common/mutex.h"
 #include "common/thread_annotations.h"
@@ -22,8 +22,9 @@
 #include "obs/scoped_timer.h"
 #include "obs/spans.h"
 #include "obs/trace.h"
-#include "runtime/channel.h"
 #include "runtime/message_bus.h"
+#include "runtime/sdo_channel.h"
+#include "runtime/thread_pin.h"
 #include "workload/arrivals.h"
 #include "workload/markov_modulator.h"
 
@@ -83,10 +84,17 @@ class SharedCollector {
 
 /// Everything the worker threads share about one PE.
 struct PeRt {
-  explicit PeRt(std::size_t capacity, workload::ServiceModel service)
-      : input(capacity), service(std::move(service)) {}
+  PeRt(std::size_t capacity, bool single_producer,
+       workload::ServiceModel service, std::size_t batch,
+       std::size_t pending_bound)
+      : input(capacity, single_producer),
+        service(std::move(service)),
+        fetched(batch),
+        pending(pending_bound) {}
 
-  Channel<Sdo> input;
+  /// SPSC ring when the graph proves one producer thread, mutex channel
+  /// otherwise (the hosting node thread is always the sole consumer).
+  SdoChannel<Sdo> input;
   /// Total accepted pushes; the node thread diffs this per tick to report
   /// arrivals to the controller.
   std::atomic<std::uint64_t> pushed{0};
@@ -110,7 +118,20 @@ struct PeRt {
   std::uint64_t pushed_at_last_tick = 0;
   double selectivity_credit = 0.0;
   bool blocked = false;
-  std::deque<std::pair<std::size_t, Sdo>> pending;  // (downstream slot, sdo)
+  /// Burst-drain staging: SDOs already popped from `input` but not yet in
+  /// service. fetched[fetched_head, fetched_count) are live. Counted into
+  /// buffer occupancy, drained as lost on crash — logically these are
+  /// still "queued", they just live on the consumer's side of the ring.
+  std::vector<Sdo> fetched;
+  std::size_t fetched_head = 0;
+  std::size_t fetched_count = 0;
+  [[nodiscard]] std::size_t staged() const { return fetched_count - fetched_head; }
+
+  /// (downstream slot, sdo) held while Lock-Step blocks on a full
+  /// consumer. Bounded by construction: one complete() appends at most
+  /// outputs × slots entries and no complete() runs while blocked, so the
+  /// pool never reallocates (see the sizing note in the Engine ctor).
+  BoundedQueue<std::pair<std::size_t, Sdo>> pending;
 
   // Lifetime accounting. `dropped` is touched by node, bus, and source
   // threads; the rest belong to the hosting node thread and are read only
@@ -135,21 +156,39 @@ class Engine {
     ACES_CHECK_MSG(options.time_scale > 0.0, "time scale must be positive");
     ACES_CHECK_MSG(options.network_latency >= 0.0,
                    "negative network latency");
+    ACES_CHECK_MSG(options.batch > 0, "batch must be positive");
     g.validate();
     Rng master(options.seed);
 
     total_capacity_ = 0.0;
     for (NodeId n : g.all_nodes()) total_capacity_ += g.node(n).cpu_capacity;
 
+    // The bus dispatcher is a producer thread iff it will be started in
+    // run(); known at construction from the same predicate.
+    const bool bus_active = options.network_latency > 0.0 &&
+                            policy_ != control::FlowPolicy::kLockStep;
+
     pes_.reserve(g.pe_count());
     std::size_t egress_counter = 0;
     for (PeId id : g.all_pes()) {
       const auto& d = g.pe(id);
+      const std::size_t capacity =
+          options.channel_capacity > 0
+              ? options.channel_capacity
+              : static_cast<std::size_t>(d.buffer_capacity);
+      // Lock-Step pending pool bound: one complete() emits at most
+      // (⌊selectivity⌋+1) copies per downstream slot (the fractional
+      // credit carried in is < 1), and a blocked PE completes nothing, so
+      // the queue never holds more than one complete()'s worth.
+      const std::size_t pending_bound =
+          (static_cast<std::size_t>(std::floor(d.selectivity)) + 1) *
+          std::max<std::size_t>(std::size_t{1}, g.downstream(id).size());
       auto pe = std::make_unique<PeRt>(
-          static_cast<std::size_t>(d.buffer_capacity),
+          capacity, channel_producer_count(g, id, bus_active) <= 1,
           workload::ServiceModel(d.service_time[0], d.service_time[1],
                                  d.sojourn_mean[0], d.sojourn_mean[1],
-                                 master.fork(0x5E41 + id.value())));
+                                 master.fork(0x5E41 + id.value())),
+          options.batch, pending_bound);
       pe->share = plan.at(id).cpu;
       if (d.kind == graph::PeKind::kEgress)
         pe->egress_index = egress_counter++;
@@ -247,6 +286,34 @@ class Engine {
     return count;
   }
 
+  /// Distinct threads that ever push into PE `id`'s input channel:
+  /// the hosting node thread of each upstream PE — except that when the
+  /// bus is active, a cross-node upstream's push happens on the bus
+  /// dispatcher instead — plus the source thread for ingress PEs. This is
+  /// the proof obligation for selecting the lock-free SPSC backend: the
+  /// count errs high only (the engine has no other pushers), never low.
+  static std::size_t channel_producer_count(const graph::ProcessingGraph& g,
+                                            PeId id, bool bus_active) {
+    // Producer tokens: a node's id for its worker thread, plus sentinels
+    // for the bus dispatcher and the source thread.
+    constexpr std::uint64_t kBusToken = ~std::uint64_t{0};
+    constexpr std::uint64_t kSourceToken = ~std::uint64_t{0} - 1;
+    std::vector<std::uint64_t> producers;
+    for (PeId up : g.upstream(id)) {
+      const bool cross_node = g.pe(up).node != g.pe(id).node;
+      const std::uint64_t token = bus_active && cross_node
+                                      ? kBusToken
+                                      : std::uint64_t{g.pe(up).node.value()};
+      if (std::find(producers.begin(), producers.end(), token) ==
+          producers.end()) {
+        producers.push_back(token);
+      }
+    }
+    if (g.pe(id).kind == graph::PeKind::kIngress)
+      producers.push_back(kSourceToken);
+    return producers.size();
+  }
+
   [[nodiscard]] Seconds virtual_now() const {
     const std::chrono::duration<double> elapsed =
         std::chrono::steady_clock::now() - start_;
@@ -319,7 +386,7 @@ class Engine {
       }
       // The push failed; the enqueue hop stays on the span and is simply
       // re-stamped when the pending entry eventually flushes.
-      pe.pending.emplace_back(slot, sdo);
+      pe.pending.push_back({slot, sdo});
       pe.blocked = true;
       channel_block_.inc();
       return false;
@@ -419,7 +486,10 @@ class Engine {
     for (std::size_t i = 0; i < local.size(); ++i) {
       PeRt& pe = *pes_[local[i].value()];
       control::PeTickInput& in = inputs[i];
-      in.buffer_occupancy = static_cast<double>(pe.input.size());
+      // Staged SDOs are still queued from the model's point of view; they
+      // just sit on the consumer side of the ring (this thread's staging
+      // buffer, so the read is race-free).
+      in.buffer_occupancy = static_cast<double>(pe.input.size() + pe.staged());
       in.processed_sdos = pe.processed_this_tick;
       in.cpu_seconds_used = pe.used_this_tick;
       const std::uint64_t pushed =
@@ -459,7 +529,6 @@ class Engine {
     }
     for (std::size_t i = 0; i < local.size(); ++i) {
       PeRt& pe = *pes_[local[i].value()];
-      const auto& d = graph_.pe(local[i]);
       if (options_.trace != nullptr) {
         obs::TickRecord rec;
         rec.time = vnow;
@@ -487,9 +556,13 @@ class Engine {
         options_.trace->record(rec);
       }
       collector_.cpu_used(vnow, pe.used_this_tick);
+      // Fill is against the effective channel capacity (the graph bound
+      // unless --channel-capacity overrides it), clamped because staged
+      // SDOs can push the instantaneous count past the bound.
       collector_.buffer_sample(
-          vnow, static_cast<double>(pe.input.size()) /
-                    static_cast<double>(d.buffer_capacity));
+          vnow, std::min(1.0, static_cast<double>(pe.input.size() +
+                                                  pe.staged()) /
+                                  static_cast<double>(pe.input.capacity())));
       pe.used_this_tick = 0.0;
       pe.processed_this_tick = 0.0;
       pe.share = outputs[i].cpu_share;
@@ -516,10 +589,15 @@ class Engine {
       std::uint64_t pe_lost = pe.busy ? 1 : 0;
       if (options_.spans != nullptr) {
         if (pe.busy) options_.spans->drop(pe.current.span, vnow);
-        for (const auto& [slot, sdo] : pe.pending)
-          options_.spans->drop(sdo.span, vnow);
+        for (std::size_t i = 0; i < pe.pending.size(); ++i)
+          options_.spans->drop(pe.pending.at(i).second.span, vnow);
+        for (std::size_t f = pe.fetched_head; f < pe.fetched_count; ++f)
+          options_.spans->drop(pe.fetched[f].span, vnow);
       }
       pe_lost += pe.pending.size();
+      pe_lost += pe.staged();
+      pe.fetched_head = 0;
+      pe.fetched_count = 0;
       while (auto sdo = pe.input.try_pop()) {
         ++pe_lost;
         if (options_.spans != nullptr) options_.spans->drop(sdo->span, vnow);
@@ -538,6 +616,7 @@ class Engine {
   }
 
   void node_main(std::size_t node_index) {
+    if (options_.pin_threads) pin_this_thread(node_index);
     control::NodeController& controller = controllers_[node_index];
     const auto& local = controller.local_pes();
     Rng phase_rng(options_.seed * 977 + node_index);
@@ -566,6 +645,12 @@ class Engine {
                 options_.spans->drop(sdo->span, vnow);
               }
             }
+            if (options_.spans != nullptr) {
+              for (std::size_t f = pe.fetched_head; f < pe.fetched_count; ++f)
+                options_.spans->drop(pe.fetched[f].span, vnow);
+            }
+            pe.fetched_head = 0;
+            pe.fetched_count = 0;
             pe.pushed_at_last_tick =
                 pe.pushed.load(std::memory_order_relaxed);
           }
@@ -613,9 +698,15 @@ class Engine {
         double allowed = pe.share * (horizon - tick_start) - pe.used_this_tick;
         while (allowed > 0.0 && !pe.blocked) {
           if (!pe.busy) {
-            auto sdo = pe.input.try_pop();
-            if (!sdo) break;
-            pe.current = *sdo;
+            // Refill the staging buffer in one burst (one index publish
+            // for up to `batch` SDOs), then serve from it.
+            if (pe.fetched_head == pe.fetched_count) {
+              pe.fetched_head = 0;
+              pe.fetched_count =
+                  pe.input.pop_burst(pe.fetched.data(), options_.batch);
+              if (pe.fetched_count == 0) break;
+            }
+            pe.current = pe.fetched[pe.fetched_head++];
             if (options_.spans != nullptr) {
               options_.spans->on_dequeue(pe.current.span, vnow);
             }
@@ -638,9 +729,12 @@ class Engine {
   }
 
   void source_main() {
+    if (options_.pin_threads) pin_this_thread(controllers_.size());
     for (auto& source : sources_) {
       source.next_arrival = source.process->next_interarrival();
     }
+    // Gather buffer for batched injection; its bound is the batch knob.
+    std::vector<Sdo> gathered(options_.batch);
     while (!stop_.load()) {
       // Earliest pending arrival.
       Source* next = nullptr;
@@ -655,34 +749,47 @@ class Engine {
         continue;
       }
       PeRt& pe = *pes_[next->pe_index];
-      if (fault_drops_delivery(next->pe_index, vnow)) {
-        pe.dropped.fetch_add(1, std::memory_order_relaxed);
-        source_drop_.inc();
-        collector_.ingress_drop(next->next_arrival);
+      const PeId pe_id(static_cast<PeId::value_type>(next->pe_index));
+      // Gather every already-due arrival of this stream (up to the batch
+      // bound) and publish them with one index store. Per-SDO semantics
+      // are preserved exactly: each arrival keeps its own birth time,
+      // fault draw, and span — only the channel synchronization is
+      // amortized. The accepted count is the same prefix a per-SDO
+      // try_push loop would have admitted.
+      std::size_t gathered_count = 0;
+      while (gathered_count < options_.batch && next->next_arrival <= vnow) {
+        const Seconds at = next->next_arrival;
         next->next_arrival += next->process->next_interarrival();
-        continue;
+        if (fault_drops_delivery(next->pe_index, vnow)) {
+          pe.dropped.fetch_add(1, std::memory_order_relaxed);
+          source_drop_.inc();
+          collector_.ingress_drop(at);
+          continue;
+        }
+        Sdo sdo{at};
+        if (options_.spans != nullptr) {
+          sdo.span = options_.spans->begin(pe_id, at);
+          options_.spans->on_enqueue(sdo.span, pe_id, at);
+        }
+        gathered[gathered_count++] = sdo;
       }
-      Sdo sdo{next->next_arrival};
-      if (options_.spans != nullptr) {
-        sdo.span = options_.spans->begin(
-            PeId(static_cast<PeId::value_type>(next->pe_index)),
-            next->next_arrival);
-        options_.spans->on_enqueue(
-            sdo.span, PeId(static_cast<PeId::value_type>(next->pe_index)),
-            next->next_arrival);
+      if (gathered_count == 0) continue;  // every due arrival fault-dropped
+      const std::size_t accepted =
+          pe.input.try_push_n(gathered.data(), gathered_count);
+      if (accepted > 0) {
+        pe.pushed.fetch_add(accepted, std::memory_order_relaxed);
+        source_inject_.inc(accepted);
       }
-      if (pe.input.try_push(sdo)) {
-        pe.pushed.fetch_add(1, std::memory_order_relaxed);
-        source_inject_.inc();
-      } else {
+      // The rejected tail is an ingress drop per SDO, same as a failed
+      // try_push in the per-SDO path.
+      for (std::size_t r = accepted; r < gathered_count; ++r) {
         pe.dropped.fetch_add(1, std::memory_order_relaxed);
         source_drop_.inc();
-        collector_.ingress_drop(next->next_arrival);
+        collector_.ingress_drop(gathered[r].birth);
         if (options_.spans != nullptr) {
-          options_.spans->drop(sdo.span, next->next_arrival);
+          options_.spans->drop(gathered[r].span, gathered[r].birth);
         }
       }
-      next->next_arrival += next->process->next_interarrival();
     }
   }
 

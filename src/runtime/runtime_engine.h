@@ -3,7 +3,12 @@
 //
 // Real concurrency, hand-built messaging:
 //  * one worker thread per processing node, hosting that node's PEs,
-//  * bounded channels (runtime/channel.h) as the data plane,
+//  * lock-free SPSC rings as the data plane wherever the graph proves a
+//    single producer thread, the annotated mutex channel for fan-in PEs
+//    (runtime/sdo_channel.h picks per PE; docs/performance.md has the
+//    protocol and the measured numbers),
+//  * batched SDO delivery: sources publish up to `batch` SDOs per index
+//    publish and node workers drain bursts of the same size,
 //  * a source thread injecting SDOs per the stream arrival processes,
 //  * advertisement mailboxes (atomics) as the control plane,
 //  * the *same* control::NodeController as the simulator — tier 2 is
@@ -86,6 +91,22 @@ struct RuntimeOptions {
   /// wall-paced virtual time and vary run to run like everything else in
   /// this substrate. Not owned; null disables (one pointer test per SDO).
   obs::SpanTracer* spans = nullptr;
+  /// Max SDOs moved per channel operation: sources gather up to this many
+  /// due arrivals into one try_push_n publish, and node workers drain
+  /// bursts of the same size into a per-PE staging buffer. 1 restores
+  /// strict per-SDO delivery. Batching amortizes synchronization, it never
+  /// changes admission decisions — a batch accepts exactly the prefix a
+  /// per-SDO loop would have (see docs/performance.md).
+  std::size_t batch = 8;
+  /// Overrides every PE input channel's capacity when > 0; 0 (default)
+  /// uses each PE's graph buffer_capacity. A tuning knob for data-plane
+  /// experiments — figure reproductions must leave it 0, since buffer
+  /// bounds are model parameters (paper §III-D).
+  std::size_t channel_capacity = 0;
+  /// Pin node workers (and the source thread) to cores, worker i → core
+  /// (i mod ncpu). Best-effort: failures are ignored. Keeps each SPSC
+  /// ring's endpoints on stable cores so the cached-index scheme pays off.
+  bool pin_threads = false;
 };
 
 /// Runs the graph on the threaded runtime and reports the same metrics the

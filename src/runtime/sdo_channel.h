@@ -1,0 +1,87 @@
+// Backend-selecting SDO transport: lock-free SPSC ring when the graph
+// proves a single producer thread, annotated mutex channel otherwise.
+//
+// The engine decides per PE input at wiring time (see
+// Engine::channel_producer_count): the producer set of a PE's input is
+// {hosting node thread of each upstream PE} ∪ {source thread if the PE is
+// an ingress} — with the bus dispatcher substituted for an upstream whose
+// delivery is routed through the MessageBus. One distinct producer thread
+// ⇒ SpscRing; more ⇒ Channel. The choice is a correctness contract, not a
+// hint: pushing into the ring from two threads is a data race, so the
+// selection logic errs to the mutex channel whenever it cannot prove
+// single-producer-ness.
+//
+// Both backends expose the same surface, so this wrapper is a plain
+// branch per operation (one well-predicted test in steady state — the
+// backend never changes after construction) rather than a virtual
+// dispatch, keeping the fast path inlineable.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <memory>
+#include <optional>
+
+#include "runtime/channel.h"
+#include "runtime/spsc_ring.h"
+
+namespace aces::runtime {
+
+template <typename T>
+class SdoChannel {
+ public:
+  /// `single_producer` selects the lock-free backend; the caller must
+  /// guarantee that at most one thread ever calls the push side and one
+  /// the pop side when it is set.
+  SdoChannel(std::size_t capacity, bool single_producer) {
+    if (single_producer) {
+      ring_ = std::make_unique<SpscRing<T>>(capacity);
+    } else {
+      channel_ = std::make_unique<Channel<T>>(capacity);
+    }
+  }
+
+  [[nodiscard]] bool lock_free() const { return ring_ != nullptr; }
+
+  bool try_push(T value) {
+    return ring_ ? ring_->try_push(std::move(value))
+                 : channel_->try_push(std::move(value));
+  }
+  std::size_t try_push_n(T* items, std::size_t n) {
+    return ring_ ? ring_->try_push_n(items, n)
+                 : channel_->try_push_n(items, n);
+  }
+  bool push_wait(T value, std::chrono::nanoseconds timeout) {
+    return ring_ ? ring_->push_wait(std::move(value), timeout)
+                 : channel_->push_wait(std::move(value), timeout);
+  }
+  std::optional<T> try_pop() {
+    return ring_ ? ring_->try_pop() : channel_->try_pop();
+  }
+  std::size_t pop_burst(T* out, std::size_t max) {
+    return ring_ ? ring_->pop_burst(out, max) : channel_->pop_burst(out, max);
+  }
+  std::optional<T> pop_wait(std::chrono::nanoseconds timeout) {
+    return ring_ ? ring_->pop_wait(timeout) : channel_->pop_wait(timeout);
+  }
+  void close() { ring_ ? ring_->close() : channel_->close(); }
+
+  [[nodiscard]] std::size_t size() const {
+    return ring_ ? ring_->size() : channel_->size();
+  }
+  [[nodiscard]] std::size_t capacity() const {
+    return ring_ ? ring_->capacity() : channel_->capacity();
+  }
+  [[nodiscard]] bool closed() const {
+    return ring_ ? ring_->closed() : channel_->closed();
+  }
+  [[nodiscard]] std::size_t free_slots() const {
+    return ring_ ? ring_->free_slots() : channel_->free_slots();
+  }
+
+ private:
+  std::unique_ptr<SpscRing<T>> ring_;
+  std::unique_ptr<Channel<T>> channel_;
+};
+
+}  // namespace aces::runtime

@@ -1,0 +1,42 @@
+// Best-effort CPU pinning for runtime worker threads.
+//
+// Pinning node workers to distinct cores keeps each PE's ring producer
+// and consumer on stable cores — the SPSC cached-index scheme (see
+// spsc_ring.h) earns its keep when the two hot cache lines stop migrating.
+// This is the shard-aware placement ROADMAP item 4 asks for, scoped to
+// what a single-box runtime can express: worker i → core (i mod ncpu).
+//
+// Strictly best-effort: pinning is a performance hint, never a semantic
+// dependency, so failures (no affinity syscall, restricted cpuset, more
+// workers than cores) are reported but ignored. Off by default
+// (RuntimeOptions::pin_threads / --pin); meaningless but harmless on
+// single-core containers.
+#pragma once
+
+#include <cstddef>
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#include <unistd.h>
+#endif
+
+namespace aces::runtime {
+
+/// Pins the calling thread to core `slot % online_cores`. Returns true when
+/// the affinity call succeeded, false when unsupported or rejected.
+inline bool pin_this_thread(std::size_t slot) {
+#if defined(__linux__)
+  const long ncpu = sysconf(_SC_NPROCESSORS_ONLN);
+  if (ncpu <= 0) return false;
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(static_cast<int>(slot % static_cast<std::size_t>(ncpu)), &set);
+  return pthread_setaffinity_np(pthread_self(), sizeof(set), &set) == 0;
+#else
+  (void)slot;
+  return false;
+#endif
+}
+
+}  // namespace aces::runtime

@@ -383,11 +383,37 @@ harness::RunSummary run_one(const graph::ProcessingGraph& g,
   return harness::summarize(simulation.report(), plan.weighted_throughput);
 }
 
+/// Data-plane tuning knobs for the threaded runtime (docs/performance.md).
+struct DataPlaneFlags {
+  std::size_t batch = 8;
+  std::size_t channel_capacity = 0;  ///< 0: use graph buffer bounds
+  bool pin = false;
+
+  static DataPlaneFlags parse(Flags& flags) {
+    DataPlaneFlags out;
+    const int batch = flags.get("batch", 8);
+    const int capacity = flags.get("channel-capacity", 0);
+    if (batch < 1) {
+      std::cerr << "--batch must be >= 1\n";
+      std::exit(3);
+    }
+    if (capacity < 0) {
+      std::cerr << "--channel-capacity must be >= 0\n";
+      std::exit(3);
+    }
+    out.batch = static_cast<std::size_t>(batch);
+    out.channel_capacity = static_cast<std::size_t>(capacity);
+    out.pin = flags.has("pin");
+    return out;
+  }
+};
+
 harness::RunSummary run_one_runtime(const graph::ProcessingGraph& g,
                                     const opt::AllocationPlan& plan,
                                     control::FlowPolicy policy,
                                     double duration, double warmup, int seed,
                                     double time_scale,
+                                    const DataPlaneFlags& data_plane,
                                     obs::ControlTraceRecorder* trace,
                                     const FaultFlags& faults,
                                     obs::CounterRegistry* counters) {
@@ -398,6 +424,9 @@ harness::RunSummary run_one_runtime(const graph::ProcessingGraph& g,
   options.seed = static_cast<std::uint64_t>(seed);
   options.controller.policy = policy;
   options.trace = trace;
+  options.batch = data_plane.batch;
+  options.channel_capacity = data_plane.channel_capacity;
+  options.pin_threads = data_plane.pin;
   faults.apply(options, counters);
   const metrics::RunReport report = runtime::run_runtime(g, plan, options);
   return harness::summarize(report, plan.weighted_throughput);
@@ -516,6 +545,7 @@ int cmd_compare(Flags& flags) {
   const bool csv = flags.has("csv");
   const bool use_runtime = flags.has("runtime");
   const double time_scale = flags.get("timescale", 5.0);
+  const DataPlaneFlags data_plane = DataPlaneFlags::parse(flags);
   const std::string trace_base = flags.get("trace", std::string());
   const FaultFlags faults = FaultFlags::parse(flags);
   flags.check_all_consumed();
@@ -538,7 +568,8 @@ int cmd_compare(Flags& flags) {
         faults.schedule.empty() ? nullptr : &counters;
     const harness::RunSummary summary =
         use_runtime ? run_one_runtime(g, plan, policy, duration, warmup, seed,
-                                      time_scale, trace, faults, counters_ptr)
+                                      time_scale, data_plane, trace, faults,
+                                      counters_ptr)
                     : run_one(g, plan, policy, duration, warmup, seed, {},
                               trace, faults, counters_ptr);
     add_summary_row(table, to_string(policy), summary);
@@ -914,11 +945,16 @@ int usage(std::ostream& os, int code) {
         "             JSONL / Prometheus expositions)\n"
         "  compare   --topology=FILE [--duration --warmup --seed --csv]\n"
         "            [--runtime --timescale=5 --trace=F.jsonl|F.csv]\n"
+        "            [--batch=8 --channel-capacity=0 --pin]\n"
         "            [--faults=SPEC|@FILE --staleness=SEC --reoptimize=SEC]\n"
         "            (--runtime uses the threaded runtime, where\n"
         "             --reoptimize is ignored: tier 1 re-solves on node\n"
         "             crash/restart instead; --trace writes one file per\n"
-        "             policy: F.<policy>.jsonl)\n"
+        "             policy: F.<policy>.jsonl. Data-plane knobs, see\n"
+        "             docs/performance.md: --batch caps SDOs moved per\n"
+        "             channel operation, --channel-capacity overrides the\n"
+        "             graph's buffer bounds when > 0, --pin pins worker\n"
+        "             threads to cores; all three need --runtime)\n"
         "  trace-summary --in=F.jsonl[,G.jsonl...] [--tail=0.25\n"
         "             --tolerance=0.1 --csv]\n"
         "            (per-PE settling time and oscillation amplitude;\n"

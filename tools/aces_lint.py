@@ -36,6 +36,27 @@ CLI front end):
                          in a report writer silently truncates doubles and
                          two bit-identical runs stop diffing clean.
 
+``hotpath`` files (src/runtime — the threaded data plane, whose
+steady state must be lock-annotated and allocation-free; see
+docs/performance.md):
+
+* ``raw-mutex``       -- std::mutex and friends. The hot path uses
+                         common/mutex.h (aces::Mutex), which carries the
+                         clang thread-safety capability annotations the
+                         concurrency CI job checks; a bare std::mutex is
+                         invisible to that analysis.
+* ``raw-new``         -- `new` expressions. Steady-state data-plane code
+                         preallocates (ring slots, BoundedQueue, pooled
+                         staging buffers); an ad-hoc `new` reintroduces
+                         per-SDO allocator traffic that the dataplane
+                         bench's alloc_count() gate exists to keep at
+                         zero. Setup-time containers (std::vector etc.)
+                         are fine; `= delete;` declarations do not trip
+                         the companion rule.
+* ``raw-delete``      -- `delete` expressions, for the same reason (and
+                         because a matching raw delete implies a raw
+                         owning pointer the annotations cannot see).
+
 Suppressions
 ------------
 A finding is suppressed by an explicit, reasoned annotation on the same
@@ -58,6 +79,7 @@ import sys
 from dataclasses import dataclass
 
 FINGERPRINT_DIRS = ("src/sim", "src/harness", "src/opt", "src/metrics")
+HOTPATH_DIRS = ("src/runtime",)
 REPORT_FILES_GLOB = re.compile(
     r"(src/harness/[^/]+\.cc|src/obs/export\.cc|src/metrics/[^/]+\.cc|"
     r"bench/[^/]+\.cc|tools/aces_cli\.cc)$"
@@ -95,6 +117,32 @@ FINGERPRINT_RULES = [
 # double formats for anything a fingerprint or diff will see.
 FLOAT_SPEC_RE = re.compile(r"%[-+ #0]*\d*(?:\.\d+)?[efgEFG]")
 ALLOWED_SPECS = {"%.17g"}
+
+# Hot-path rules. `raw-new` matches a new-expression (identifier, paren,
+# qualified or template type after the keyword) so prose uses of the word
+# in identifiers stay clean; `raw-delete` requires an operand, which keeps
+# `= delete;` declarations out of scope.
+HOTPATH_RULES = [
+    (
+        "raw-mutex",
+        re.compile(r"\bstd::(?:recursive_|shared_|timed_|"
+                   r"recursive_timed_)?mutex\b"),
+        "raw std::mutex in the data plane; use aces::Mutex "
+        "(common/mutex.h) so thread-safety analysis sees the lock",
+    ),
+    (
+        "raw-new",
+        re.compile(r"\bnew\s+[A-Za-z_(:<]|\bnew\s*\("),
+        "raw `new` in the data plane; preallocate at setup time or use "
+        "std::make_unique outside the steady-state path",
+    ),
+    (
+        "raw-delete",
+        re.compile(r"\bdelete\s*(?:\[\s*\]\s*)?[A-Za-z_(*]"),
+        "raw `delete` in the data plane; owning raw pointers defeat both "
+        "the allocation gate and the annotations — use RAII",
+    ),
+]
 
 
 @dataclass
@@ -215,6 +263,10 @@ def lint_text(path: str, text: str, groups: set[str]) -> list[Finding]:
             for rule, pattern, message in FINGERPRINT_RULES:
                 if pattern.search(code) and rule not in allows.get(lineno, ()):
                     findings.append(Finding(path, lineno, rule, message, raw))
+        if "hotpath" in groups:
+            for rule, pattern, message in HOTPATH_RULES:
+                if pattern.search(code) and rule not in allows.get(lineno, ()):
+                    findings.append(Finding(path, lineno, rule, message, raw))
         if "report" in groups:
             for literal in string_literals(code):
                 for spec in FLOAT_SPEC_RE.findall(literal):
@@ -237,11 +289,13 @@ def classify(rel_path: str) -> set[str]:
         groups.add("fingerprint")
     if REPORT_FILES_GLOB.search(rel):
         groups.add("report")
+    if any(rel.startswith(d + "/") or rel == d for d in HOTPATH_DIRS):
+        groups.add("hotpath")
     return groups
 
 
 def iter_source_files(root: str):
-    for base in FINGERPRINT_DIRS + ("src/obs", "bench", "tools"):
+    for base in FINGERPRINT_DIRS + HOTPATH_DIRS + ("src/obs", "bench", "tools"):
         top = os.path.join(root, base)
         if not os.path.isdir(top):
             continue
@@ -259,8 +313,9 @@ def main(argv: list[str]) -> int:
                         help="repo root the default scope is relative to")
     parser.add_argument("--force-groups", default=None,
                         help="comma-separated rule groups (fingerprint,"
-                             "report) to apply to the given paths instead "
-                             "of path-based classification; for fixtures")
+                             "report,hotpath) to apply to the given paths "
+                             "instead of path-based classification; for "
+                             "fixtures")
     parser.add_argument("paths", nargs="*",
                         help="files to lint; default: the standard scope "
                              "under --root")
@@ -269,7 +324,7 @@ def main(argv: list[str]) -> int:
     forced: set[str] | None = None
     if args.force_groups is not None:
         forced = {g for g in args.force_groups.split(",") if g}
-        if not forced or forced - {"fingerprint", "report"}:
+        if not forced or forced - {"fingerprint", "report", "hotpath"}:
             print(f"aces_lint: bad --force-groups '{args.force_groups}'",
                   file=sys.stderr)
             return 2

@@ -59,8 +59,24 @@ class FixtureTests(unittest.TestCase):
         self.assertEqual(rules(findings), ["float-format"] * 3)
         self.assertEqual(sorted(f.line for f in findings), [8, 9, 11])
 
+    def test_bad_hotpath_flags_raw_mutex_new_delete(self):
+        findings = lint_fixture("bad_hotpath.cc", {"hotpath"})
+        self.assertEqual(
+            rules(findings),
+            ["raw-delete", "raw-delete", "raw-mutex", "raw-mutex",
+             "raw-new", "raw-new"])
+        # make_unique (line 29), `= delete;` (lines 27-28), and keyword
+        # substrings in identifiers (line 34) stay clean.
+        self.assertEqual(sorted(f.line for f in findings),
+                         [10, 11, 14, 15, 16, 21])
+
     def test_clean_fixture_is_silent_under_all_groups(self):
-        findings = lint_fixture("clean.cc", {"fingerprint", "report"})
+        findings = lint_fixture("clean.cc", {"fingerprint", "report",
+                                             "hotpath"})
+        self.assertEqual(findings, [])
+
+    def test_hotpath_rules_do_not_apply_to_fingerprint_files(self):
+        findings = lint_fixture("bad_hotpath.cc", {"fingerprint"})
         self.assertEqual(findings, [])
 
     def test_report_rules_do_not_apply_to_fingerprint_only_files(self):
@@ -119,6 +135,13 @@ class ClassifyTests(unittest.TestCase):
     def test_metrics_is_fingerprint_scope(self):
         self.assertIn("fingerprint",
                       aces_lint.classify("src/metrics/collector.cc"))
+
+    def test_runtime_is_hotpath_scope(self):
+        self.assertEqual(aces_lint.classify("src/runtime/spsc_ring.h"),
+                         {"hotpath"})
+        self.assertEqual(aces_lint.classify("src/runtime/runtime_engine.cc"),
+                         {"hotpath"})
+        self.assertNotIn("hotpath", aces_lint.classify("src/sim/simulator.cc"))
 
     def test_fixtures_and_headers_stay_out_of_report_scope(self):
         self.assertEqual(

@@ -1,0 +1,34 @@
+// Fixture: every raw mutex / new / delete here must be flagged; the
+// annotated-wrapper, make_unique, and `= delete;` uses must not be.
+#include <memory>
+#include <mutex>
+
+struct Slot {
+  int value = 0;
+};
+
+std::mutex g_lock;                         // finding: raw-mutex
+std::shared_mutex g_rw_lock;               // finding: raw-mutex
+
+Slot* leak_one() {
+  Slot* s = new Slot();                    // finding: raw-new
+  int* block = new int[64];                // finding: raw-new
+  delete[] block;                          // finding: raw-delete
+  return s;
+}
+
+void drop_one(Slot* s) {
+  delete s;                                // finding: raw-delete
+}
+
+// The sanctioned alternatives: RAII ownership and deleted special members.
+struct Pool {
+  Pool() = default;
+  Pool(const Pool&) = delete;
+  Pool& operator=(const Pool&) = delete;
+  std::unique_ptr<Slot> slot = std::make_unique<Slot>();
+};
+
+// Identifiers merely containing the keywords must not trip word
+// boundaries.
+int renew_delete_count(int newest) { return newest + 1; }
