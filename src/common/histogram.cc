@@ -72,6 +72,20 @@ void LogHistogram::merge(const LogHistogram& other) {
   count_ += other.count_;
 }
 
+LogHistogram LogHistogram::from_raw(std::vector<std::uint64_t> counts,
+                                    std::uint64_t count, double min_seen,
+                                    double max_seen, double sum) {
+  LogHistogram h;
+  ACES_CHECK_MSG(counts.size() == h.counts_.size(),
+                 "raw histogram parts do not match the default geometry");
+  h.counts_ = std::move(counts);
+  h.count_ = count;
+  h.min_seen_ = min_seen;
+  h.max_seen_ = max_seen;
+  h.sum_ = sum;
+  return h;
+}
+
 void LogHistogram::reset() {
   for (auto& c : counts_) c = 0;
   count_ = 0;

@@ -63,6 +63,18 @@ class LogHistogram {
     return counts_[i + 1];
   }
 
+  /// Raw bucket vector including the under/overflow cells, for exact wire
+  /// transfer between processes (runtime/wire.h). Pairs with from_raw.
+  [[nodiscard]] const std::vector<std::uint64_t>& raw_counts() const {
+    return counts_;
+  }
+  /// Reconstructs a histogram with the *default* geometry from raw parts
+  /// captured on a peer with the same geometry. Throws CheckFailure when
+  /// `counts` does not match the default bucket layout.
+  static LogHistogram from_raw(std::vector<std::uint64_t> counts,
+                               std::uint64_t count, double min_seen,
+                               double max_seen, double sum);
+
  private:
   double min_value_ = 0.0;
   double log_min_ = 0.0;

@@ -33,6 +33,17 @@ void OnlineStats::merge(const OnlineStats& other) {
   max_ = std::max(max_, other.max_);
 }
 
+OnlineStats OnlineStats::from_raw(std::uint64_t count, double mean, double m2,
+                                  double min, double max) {
+  OnlineStats s;
+  s.count_ = count;
+  s.mean_ = mean;
+  s.m2_ = m2;
+  s.min_ = min;
+  s.max_ = max;
+  return s;
+}
+
 void OnlineStats::reset() { *this = OnlineStats{}; }
 
 double OnlineStats::variance() const {

@@ -33,6 +33,14 @@ class OnlineStats {
   /// -inf when empty.
   [[nodiscard]] double max() const { return max_; }
 
+  /// Second central moment Σ(x−mean)², for exact wire transfer of an
+  /// accumulator between processes (runtime/wire.h). Pairs with from_raw.
+  [[nodiscard]] double m2() const { return m2_; }
+  /// Reconstructs an accumulator from its raw parts, bit-exactly: merging
+  /// the result is indistinguishable from merging the original.
+  static OnlineStats from_raw(std::uint64_t count, double mean, double m2,
+                              double min, double max);
+
  private:
   std::uint64_t count_ = 0;
   double mean_ = 0.0;

@@ -141,9 +141,20 @@ FaultSchedule parse_fault_spec(const std::string& spec) {
         fail(clause, "prob= must be in [0,1]");
       }
       schedule.drop_bursts.push_back(burst);
+    } else if (clause.kind == "prockill") {
+      expect_only(clause, {"node", "at", "restart"});
+      ProcKill kill;
+      kill.node = NodeId(id(clause, "node"));
+      kill.at = num(clause, "at");
+      kill.restart_at = num_or(clause, "restart", -1.0);
+      if (kill.restart_at >= 0.0 && kill.restart_at <= kill.at) {
+        fail(clause, "restart= must exceed at=");
+      }
+      schedule.proc_kills.push_back(kill);
     } else {
       fail(clause, "unknown fault class '" + clause.kind +
-                       "' (crash|stall|advert_loss|advert_delay|drop)");
+                       "' (crash|stall|advert_loss|advert_delay|drop|"
+                       "prockill)");
     }
   }
   return schedule;
@@ -171,6 +182,11 @@ std::string to_string(const FaultSchedule& schedule) {
   for (const DropBurst& b : schedule.drop_bursts) {
     os << sep << "drop pe=" << b.pe.value() << " from=" << b.from
        << " until=" << b.until << " prob=" << b.prob;
+    sep = "; ";
+  }
+  for (const ProcKill& k : schedule.proc_kills) {
+    os << sep << "prockill node=" << k.node.value() << " at=" << k.at;
+    if (k.restart_at >= 0.0) os << " restart=" << k.restart_at;
     sep = "; ";
   }
   return os.str();
@@ -203,6 +219,13 @@ void validate(const FaultSchedule& schedule, const graph::ProcessingGraph& g) {
     ACES_CHECK_MSG(b.until > b.from, "drop burst window must be non-empty");
     ACES_CHECK_MSG(b.prob >= 0.0 && b.prob <= 1.0,
                    "drop probability out of [0,1]");
+  }
+  for (const ProcKill& k : schedule.proc_kills) {
+    ACES_CHECK_MSG(k.node.valid() && k.node.value() < g.node_count(),
+                   "prockill references unknown node " << k.node);
+    ACES_CHECK_MSG(k.at >= 0.0, "prockill time must be non-negative");
+    ACES_CHECK_MSG(k.restart_at < 0.0 || k.restart_at > k.at,
+                   "prockill restart must follow the kill");
   }
 }
 

@@ -16,6 +16,7 @@
 //   advert_loss pe=3 from=10 until=20 prob=0.5
 //   advert_delay pe=3 from=10 until=20 delay=0.05
 //   drop pe=4 from=15 until=16 prob=1
+//   prockill node=1 at=10 restart=20      # distributed runtime only
 //
 // docs/fault_injection.md documents the grammar, each fault class, and the
 // controller response it is expected to provoke.
@@ -73,19 +74,34 @@ struct DropBurst {
   double prob = 1.0;
 };
 
+/// The worker process hosting node `node` is SIGKILLed at virtual time `at`
+/// (and, when `restart_at` >= 0, respawned fresh at that time). Unlike
+/// NodeCrash — a *modeled* outage both substrates act out — this is a real
+/// OS-level kill only the distributed runtime can execute: the coordinator
+/// kills the process, detects the death through heartbeat loss, clamps the
+/// dead node's advertisements, and re-solves tier 1 around it. Other
+/// substrates warn and ignore the clause.
+struct ProcKill {
+  Seconds at = 0.0;
+  /// Virtual time to respawn the worker; < 0 means never.
+  Seconds restart_at = -1.0;
+  NodeId node;
+};
+
 struct FaultSchedule {
   std::vector<NodeCrash> crashes;
   std::vector<PeStall> stalls;
   std::vector<AdvertFault> advert_faults;
   std::vector<DropBurst> drop_bursts;
+  std::vector<ProcKill> proc_kills;
 
   [[nodiscard]] bool empty() const {
     return crashes.empty() && stalls.empty() && advert_faults.empty() &&
-           drop_bursts.empty();
+           drop_bursts.empty() && proc_kills.empty();
   }
   [[nodiscard]] std::size_t size() const {
     return crashes.size() + stalls.size() + advert_faults.size() +
-           drop_bursts.size();
+           drop_bursts.size() + proc_kills.size();
   }
 };
 

@@ -31,4 +31,17 @@ std::string report_fingerprint(const RunReport& r) {
   return os.str();
 }
 
+std::string work_fingerprint(const RunReport& r) {
+  std::ostringstream os;
+  os << r.latency.count() << '|' << r.latency_histogram.count() << '|'
+     << r.internal_drops << '|' << r.ingress_drops << '|' << r.sdos_processed
+     << '|' << r.events_executed << '|' << r.reoptimizations;
+  for (const std::uint64_t n : r.egress_outputs) os << '|' << n;
+  for (const PeAccounting& pe : r.per_pe) {
+    os << '|' << pe.arrived << ',' << pe.processed << ',' << pe.emitted
+       << ',' << pe.dropped_input << ',' << hex(pe.cpu_seconds);
+  }
+  return os.str();
+}
+
 }  // namespace aces::metrics

@@ -17,4 +17,17 @@ namespace aces::metrics {
 
 [[nodiscard]] std::string report_fingerprint(const RunReport& report);
 
+/// The partition-invariant subset: integer work totals plus the per-PE
+/// accounting lines. A distributed run's global floating-point aggregates
+/// (latency mean, cpu_utilization, ...) merge per-worker partial
+/// accumulators, and merging Welford state is correct but not
+/// bit-associative — the last few ULPs depend on how events were split
+/// across workers. Everything here is either an exact integer sum or
+/// accumulated wholly on the one worker that owns the PE, so any two runs
+/// that execute the same events produce byte-identical work fingerprints
+/// regardless of --processes or transport. Used by
+/// `aces compare --fingerprint` on the distributed substrate and the
+/// cross-transport conformance tests.
+[[nodiscard]] std::string work_fingerprint(const RunReport& report);
+
 }  // namespace aces::metrics

@@ -1,0 +1,605 @@
+#include "runtime/dist_coordinator.h"
+
+#include <signal.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdlib>
+#include <memory>
+#include <optional>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+#include "fault/fault_spec.h"
+#include "graph/serialization.h"
+#include "harness/report_merge.h"
+#include "runtime/dist_worker.h"
+#include "runtime/transport/inproc.h"
+#include "runtime/transport/uds.h"
+#include "runtime/wire.h"
+
+namespace aces::runtime::dist {
+
+namespace {
+
+using SteadyClock = std::chrono::steady_clock;
+
+/// Coordinator-side recv slice while waiting on a barrier: short enough to
+/// round-robin several endpoints, long enough not to spin.
+constexpr int kRecvSliceMs = 20;
+/// Setup handshake budget (spawn → connect → Hello).
+constexpr int kHandshakeTimeoutMs = 10000;
+/// Wall-clock grace for a worker process to exit after Shutdown before it
+/// is declared an orphan and SIGKILLed.
+constexpr double kShutdownGraceSeconds = 5.0;
+
+double seconds_since(SteadyClock::time_point start) {
+  return std::chrono::duration<double>(SteadyClock::now() - start).count();
+}
+
+/// One worker shard as the coordinator sees it.
+struct WorkerSlot {
+  std::unique_ptr<transport::Endpoint> ep;
+  std::thread thread;  ///< in-process transport only
+  pid_t pid = -1;      ///< socket transports only
+  bool alive = false;
+  SteadyClock::time_point last_heard{};
+  /// Wall time of the SIGKILL this coordinator issued, for the
+  /// detection-latency accounting; empty for workers that died uninvited.
+  std::optional<SteadyClock::time_point> killed_at;
+};
+
+/// A prockill clause resolved to barrier indices and a worker rank.
+struct ScheduledKill {
+  std::uint64_t quantum = 0;
+  std::uint64_t restart_quantum = 0;
+  bool restarts = false;
+  std::uint32_t rank = 0;
+};
+
+std::string self_exe_path() {
+  char buf[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+  ACES_CHECK_MSG(n > 0, "readlink(/proc/self/exe) failed");
+  return std::string(buf, static_cast<std::size_t>(n));
+}
+
+class Coordinator {
+ public:
+  Coordinator(const graph::ProcessingGraph& g, const opt::AllocationPlan& plan,
+              const DistOptions& options, DistStats* stats)
+      : g_(g), options_(options), stats_(stats) {
+    ACES_CHECK_MSG(options.dt > 0.0, "dt must be positive");
+    ACES_CHECK_MSG(options.substeps > 0, "substeps must be positive");
+    ACES_CHECK_MSG(options.duration > 0.0, "duration must be positive");
+    ACES_CHECK_MSG(options.heartbeat_timeout > options.heartbeat_interval,
+                   "heartbeat_timeout must exceed heartbeat_interval");
+    q_ = options.dt / options.substeps;
+    total_quanta_ = static_cast<std::uint64_t>(
+                        std::llround(options.duration / options.dt)) *
+                    options.substeps;
+    workers_n_ = std::max<std::uint32_t>(
+        1, std::min<std::uint32_t>(
+               options.processes,
+               static_cast<std::uint32_t>(g.node_count())));
+    workers_.resize(workers_n_);
+
+    cpu_.assign(g.pe_count(), 0.0);
+    rin_.assign(g.pe_count(), 0.0);
+    rout_.assign(g.pe_count(), 0.0);
+    for (std::size_t i = 0; i < plan.pe.size() && i < cpu_.size(); ++i) {
+      cpu_[i] = plan.pe[i].cpu;
+      rin_[i] = plan.pe[i].rin_sdo;
+      rout_[i] = plan.pe[i].rout_sdo;
+    }
+
+    base_config_.num_workers = workers_n_;
+    base_config_.substeps = options.substeps;
+    base_config_.seed = options.seed;
+    base_config_.duration = options.duration;
+    base_config_.warmup = options.warmup;
+    base_config_.dt = options.dt;
+    base_config_.policy = static_cast<std::uint8_t>(options.controller.policy);
+    base_config_.staleness = options.controller.advert_staleness_timeout;
+    base_config_.batch = static_cast<std::uint32_t>(options.batch);
+    base_config_.channel_capacity =
+        static_cast<std::uint32_t>(options.channel_capacity);
+    base_config_.heartbeat_interval = options.heartbeat_interval;
+    base_config_.topology = graph::to_string(g);
+    base_config_.faults =
+        options.faults.empty() ? std::string() : fault::to_string(options.faults);
+
+    for (const fault::ProcKill& pk : options.faults.proc_kills) {
+      ScheduledKill sk;
+      sk.rank = owner_of_node(g.node_count(), workers_n_, pk.node.value());
+      sk.quantum = quantum_of(pk.at);
+      if (pk.restart_at >= 0.0) {
+        sk.restarts = true;
+        sk.restart_quantum =
+            std::max(quantum_of(pk.restart_at), sk.quantum + 1);
+      }
+      kills_.push_back(sk);
+    }
+  }
+
+  ~Coordinator() {
+    // Last-resort cleanup on an exception path: never leave orphans.
+    for (WorkerSlot& w : workers_) {
+      if (w.ep != nullptr) w.ep->close();
+      if (w.pid > 0) {
+        ::kill(w.pid, SIGKILL);
+        ::waitpid(w.pid, nullptr, 0);
+        w.pid = -1;
+      }
+      if (w.thread.joinable()) w.thread.join();
+    }
+  }
+
+  metrics::RunReport run() {
+    if (uses_sockets()) open_listener();
+    for (std::uint32_t rank = 0; rank < workers_n_; ++rank) {
+      spawn_worker(rank, 0);
+    }
+    for (std::uint64_t k = 0; k < total_quanta_; ++k) {
+      handle_restarts(k);
+      execute_kills(k);
+      broadcast_step_go(k, false);
+      collect_step_dones(k);
+    }
+    broadcast_step_go(total_quanta_, true);
+    std::vector<metrics::RunReport> partials = collect_reports();
+    shutdown_all();
+    metrics::RunReport merged = harness::merge_reports(partials);
+    merged.reoptimizations = reoptimizations_;
+    if (stats_ != nullptr) stats_->reoptimizations = reoptimizations_;
+    return merged;
+  }
+
+ private:
+  [[nodiscard]] bool uses_sockets() const {
+    return options_.transport != transport::TransportKind::kInProc;
+  }
+
+  /// First barrier whose quantum covers virtual time `t`.
+  [[nodiscard]] std::uint64_t quantum_of(double t) const {
+    return static_cast<std::uint64_t>(
+        std::llround(std::floor(t / q_ + 1e-9)));
+  }
+
+  void open_listener() {
+    std::string error;
+    if (options_.transport == transport::TransportKind::kUds) {
+      std::string dir = options_.uds_dir;
+      if (dir.empty()) {
+        const char* tmp = std::getenv("TMPDIR");
+        dir = tmp != nullptr && tmp[0] != '\0' ? tmp : "/tmp";
+      }
+      static std::atomic<std::uint64_t> seq{0};
+      const std::string path =
+          dir + "/aces-dist-" + std::to_string(::getpid()) + "-" +
+          std::to_string(seq.fetch_add(1)) + ".sock";
+      listener_ = transport::SocketListener::listen_uds(path, &error);
+    } else {
+      listener_ = transport::SocketListener::listen_tcp(&error);
+    }
+    ACES_CHECK_MSG(listener_ != nullptr, "listen failed: " << error);
+  }
+
+  /// Spawns (or respawns) the worker for `rank`, joining at barrier
+  /// `start_quantum`, and completes the Hello → Config handshake. Workers
+  /// are spawned strictly one at a time, so the accepted connection always
+  /// belongs to the rank just forked.
+  void spawn_worker(std::uint32_t rank, std::uint64_t start_quantum) {
+    WorkerSlot& w = workers_[rank];
+    if (w.thread.joinable()) w.thread.join();
+    if (w.pid > 0) {
+      ::waitpid(w.pid, nullptr, 0);
+      w.pid = -1;
+    }
+    if (!uses_sockets()) {
+      auto [mine, theirs] = transport::make_inproc_pair();
+      w.ep = std::move(mine);
+      std::shared_ptr<transport::Endpoint> worker_end = std::move(theirs);
+      w.thread = std::thread(
+          [worker_end, rank] { worker_entry(*worker_end, rank); });
+    } else {
+      const std::string exe =
+          options_.worker_exe.empty() ? self_exe_path() : options_.worker_exe;
+      std::vector<std::string> args = {exe, "dist-worker",
+                                       "--rank=" + std::to_string(rank)};
+      if (options_.transport == transport::TransportKind::kUds) {
+        args.push_back("--uds=" + listener_->path());
+      } else {
+        args.push_back("--tcp-port=" + std::to_string(listener_->port()));
+      }
+      const pid_t pid = ::fork();
+      ACES_CHECK_MSG(pid >= 0, "fork failed");
+      if (pid == 0) {
+        std::vector<char*> argv;
+        argv.reserve(args.size() + 1);
+        for (std::string& a : args) argv.push_back(a.data());
+        argv.push_back(nullptr);
+        ::execv(exe.c_str(), argv.data());
+        ::_exit(127);  // exec failed; the accept() below will time out
+      }
+      w.pid = pid;
+      w.ep = listener_->accept(kHandshakeTimeoutMs);
+      ACES_CHECK_MSG(w.ep != nullptr,
+                     "worker " << rank << " never connected (exe: " << exe
+                               << ")");
+    }
+
+    wire::Frame frame;
+    const auto status = w.ep->recv(&frame, kHandshakeTimeoutMs);
+    ACES_CHECK_MSG(status == transport::RecvStatus::kOk &&
+                       frame.type == wire::FrameType::kHello,
+                   "worker " << rank << " did not say Hello");
+    const auto hello = wire::decode_hello(frame.payload);
+    ACES_CHECK_MSG(hello.has_value() && hello->rank == rank,
+                   "worker Hello rank mismatch");
+
+    wire::Config cfg = base_config_;
+    cfg.rank = rank;
+    cfg.start_quantum = start_quantum;
+    cfg.plan_cpu = cpu_;
+    cfg.plan_rin = rin_;
+    cfg.plan_rout = rout_;
+    ACES_CHECK_MSG(w.ep->send(wire::encode(cfg)),
+                   "worker " << rank << " rejected Config");
+    w.alive = true;
+    w.last_heard = SteadyClock::now();
+    w.killed_at.reset();
+  }
+
+  void execute_kills(std::uint64_t k) {
+    for (const ScheduledKill& sk : kills_) {
+      if (sk.quantum != k || !workers_[sk.rank].alive) continue;
+      WorkerSlot& w = workers_[sk.rank];
+      w.killed_at = SteadyClock::now();
+      if (stats_ != nullptr) ++stats_->workers_killed;
+      if (w.pid > 0) {
+        ::kill(w.pid, SIGKILL);
+      } else {
+        // In-process "SIGKILL": abruptly close the pipe; the worker thread
+        // sees kClosed and dies, and this side's recv reports kClosed too.
+        w.ep->close();
+      }
+      // Deliberately NOT marked dead here: death is detected for real
+      // (connection reset / heartbeat silence) while collecting this
+      // barrier, which is what the detection-latency stat measures.
+    }
+  }
+
+  void handle_restarts(std::uint64_t k) {
+    for (const ScheduledKill& sk : kills_) {
+      if (!sk.restarts || sk.restart_quantum != k) continue;
+      if (workers_[sk.rank].alive) continue;  // kill never landed
+      spawn_worker(sk.rank, k);
+      if (stats_ != nullptr) ++stats_->workers_restarted;
+      bool changed = false;
+      for (const std::uint32_t node : nodes_of_rank(sk.rank)) {
+        const auto it = std::find(down_nodes_.begin(), down_nodes_.end(), node);
+        if (it != down_nodes_.end()) {
+          down_nodes_.erase(it);
+          up_delta_.push_back(node);
+          changed = true;
+        }
+      }
+      if (changed && options_.reoptimize) solve_and_push();
+    }
+  }
+
+  [[nodiscard]] std::vector<std::uint32_t> nodes_of_rank(
+      std::uint32_t rank) const {
+    std::vector<std::uint32_t> nodes;
+    for (std::size_t n = 0; n < g_.node_count(); ++n) {
+      if (owner_of_node(g_.node_count(), workers_n_,
+                        static_cast<std::uint32_t>(n)) == rank) {
+        nodes.push_back(static_cast<std::uint32_t>(n));
+      }
+    }
+    return nodes;
+  }
+
+  void broadcast_step_go(std::uint64_t k, bool final_quantum) {
+    // Group the relayed deliveries by destination shard. The pending list
+    // is already in rank order (StepDones are absorbed rank 0..W-1); the
+    // per-destination stable sort by source node makes the receive order
+    // partition-invariant: a node's emissions stay in generation order,
+    // nodes are ordered by id.
+    std::vector<std::vector<wire::SdoDelivery>> per_rank(workers_n_);
+    for (const wire::SdoDelivery& d : pending_deliveries_) {
+      const std::uint32_t dest_node = g_.pe(PeId(d.dest_pe)).node.value();
+      const std::uint32_t rank =
+          owner_of_node(g_.node_count(), workers_n_, dest_node);
+      if (!workers_[rank].alive) {
+        if (stats_ != nullptr) ++stats_->relay_dropped;
+        continue;
+      }
+      per_rank[rank].push_back(d);
+    }
+    for (auto& group : per_rank) {
+      std::stable_sort(group.begin(), group.end(),
+                       [](const wire::SdoDelivery& a,
+                          const wire::SdoDelivery& b) {
+                         return a.src_node < b.src_node;
+                       });
+    }
+    std::stable_sort(pending_adverts_.begin(), pending_adverts_.end(),
+                     [](const wire::Advert& a, const wire::Advert& b) {
+                       return a.pe < b.pe;
+                     });
+    std::sort(pending_congested_.begin(), pending_congested_.end());
+    pending_congested_.erase(
+        std::unique(pending_congested_.begin(), pending_congested_.end()),
+        pending_congested_.end());
+    std::sort(up_delta_.begin(), up_delta_.end());
+
+    for (std::uint32_t rank = 0; rank < workers_n_; ++rank) {
+      WorkerSlot& w = workers_[rank];
+      if (!w.alive) continue;
+      wire::StepGo go;
+      go.quantum = k;
+      go.flags = final_quantum ? wire::kStepGoFinal : 0;
+      go.deliveries = std::move(per_rank[rank]);
+      go.adverts = pending_adverts_;
+      go.congested_pes = pending_congested_;
+      go.down_nodes = down_nodes_;  // full current set: idempotent clamp
+      go.up_nodes = up_delta_;
+      // A send into a just-killed endpoint may fail; the death is handled
+      // while collecting, not here.
+      w.ep->send(wire::encode(go));
+    }
+    pending_deliveries_.clear();
+    pending_adverts_.clear();
+    pending_congested_.clear();
+    up_delta_.clear();
+  }
+
+  void collect_step_dones(std::uint64_t k) {
+    std::vector<std::optional<wire::StepDone>> dones(workers_n_);
+    std::size_t pending = 0;
+    for (const WorkerSlot& w : workers_) pending += w.alive ? 1 : 0;
+    bool membership_changed = false;
+
+    while (pending > 0) {
+      for (std::uint32_t rank = 0; rank < workers_n_; ++rank) {
+        WorkerSlot& w = workers_[rank];
+        if (!w.alive || dones[rank].has_value()) continue;
+        wire::Frame frame;
+        const auto status = w.ep->recv(&frame, kRecvSliceMs);
+        switch (status) {
+          case transport::RecvStatus::kOk: {
+            w.last_heard = SteadyClock::now();
+            if (frame.type == wire::FrameType::kStepDone) {
+              auto done = wire::decode_step_done(frame.payload);
+              if (!done.has_value() || done->quantum != k) {
+                declare_dead(rank, &pending, &membership_changed);
+                break;
+              }
+              dones[rank] = std::move(*done);
+              --pending;
+            } else if (frame.type == wire::FrameType::kHeartbeat) {
+              if (stats_ != nullptr) ++stats_->heartbeats_received;
+            } else {
+              declare_dead(rank, &pending, &membership_changed);
+            }
+            break;
+          }
+          case transport::RecvStatus::kTimeout: {
+            int wstatus = 0;
+            const bool exited =
+                w.pid > 0 &&
+                ::waitpid(w.pid, &wstatus, WNOHANG) == w.pid;
+            if (exited) w.pid = -1;
+            if (exited ||
+                seconds_since(w.last_heard) > options_.heartbeat_timeout) {
+              declare_dead(rank, &pending, &membership_changed);
+            }
+            break;
+          }
+          case transport::RecvStatus::kClosed:
+          case transport::RecvStatus::kError:
+            declare_dead(rank, &pending, &membership_changed);
+            break;
+        }
+      }
+    }
+
+    // Absorb in rank order — the relay order next barrier must not depend
+    // on which worker finished first.
+    for (std::uint32_t rank = 0; rank < workers_n_; ++rank) {
+      if (!dones[rank].has_value()) continue;
+      wire::StepDone& done = *dones[rank];
+      pending_deliveries_.insert(pending_deliveries_.end(),
+                                 done.deliveries.begin(),
+                                 done.deliveries.end());
+      pending_adverts_.insert(pending_adverts_.end(), done.adverts.begin(),
+                              done.adverts.end());
+      pending_congested_.insert(pending_congested_.end(),
+                                done.congested_pes.begin(),
+                                done.congested_pes.end());
+      // Modeled crash/restore transitions are the event-driven reoptimize
+      // trigger, mirroring the simulator's solve-on-crash. The nodes are
+      // NOT broadcast as down_nodes — every worker models the crash window
+      // through its own FaultInjector.
+      for (const std::uint32_t node : done.crashed_nodes) {
+        if (std::find(modeled_down_.begin(), modeled_down_.end(), node) ==
+            modeled_down_.end()) {
+          modeled_down_.push_back(node);
+          membership_changed = true;
+        }
+      }
+      for (const std::uint32_t node : done.restored_nodes) {
+        const auto it =
+            std::find(modeled_down_.begin(), modeled_down_.end(), node);
+        if (it != modeled_down_.end()) {
+          modeled_down_.erase(it);
+          membership_changed = true;
+        }
+      }
+    }
+
+    if (membership_changed && options_.reoptimize) solve_and_push();
+  }
+
+  /// Marks a worker dead: its shard's nodes go into the broadcast down
+  /// set, the process (if any) is reaped, and the detection latency is
+  /// recorded when this coordinator caused the death.
+  void declare_dead(std::uint32_t rank, std::size_t* pending,
+                    bool* membership_changed) {
+    WorkerSlot& w = workers_[rank];
+    if (!w.alive) return;
+    w.alive = false;
+    --*pending;
+    if (w.killed_at.has_value() && stats_ != nullptr &&
+        stats_->kill_detect_wall_seconds < 0.0) {
+      stats_->kill_detect_wall_seconds = seconds_since(*w.killed_at);
+    }
+    w.ep->close();
+    if (w.pid > 0) {
+      ::kill(w.pid, SIGKILL);  // no-op if already dead; frees a hung worker
+      ::waitpid(w.pid, nullptr, 0);
+      w.pid = -1;
+    }
+    if (w.thread.joinable()) w.thread.join();
+    for (const std::uint32_t node : nodes_of_rank(rank)) {
+      if (std::find(down_nodes_.begin(), down_nodes_.end(), node) ==
+          down_nodes_.end()) {
+        down_nodes_.push_back(node);
+      }
+    }
+    std::sort(down_nodes_.begin(), down_nodes_.end());
+    *membership_changed = true;
+  }
+
+  /// One tier-1 re-solve excluding every down node (really-dead shards and
+  /// modeled crash windows), pushed to all live workers.
+  void solve_and_push() {
+    std::vector<NodeId> failed;
+    for (const std::uint32_t n : down_nodes_) failed.emplace_back(n);
+    for (const std::uint32_t n : modeled_down_) {
+      if (std::find(down_nodes_.begin(), down_nodes_.end(), n) ==
+          down_nodes_.end()) {
+        failed.emplace_back(n);
+      }
+    }
+    const opt::AllocationPlan plan =
+        opt::optimize_excluding(g_, failed, options_.optimizer);
+    for (std::size_t i = 0; i < plan.pe.size() && i < cpu_.size(); ++i) {
+      cpu_[i] = plan.pe[i].cpu;
+      rin_[i] = plan.pe[i].rin_sdo;
+      rout_[i] = plan.pe[i].rout_sdo;
+    }
+    ++reoptimizations_;
+    wire::Targets targets;
+    targets.revision = reoptimizations_;
+    targets.cpu = cpu_;
+    targets.rin = rin_;
+    targets.rout = rout_;
+    const std::vector<std::uint8_t> bytes = wire::encode(targets);
+    for (WorkerSlot& w : workers_) {
+      if (w.alive) w.ep->send(bytes);
+    }
+  }
+
+  std::vector<metrics::RunReport> collect_reports() {
+    std::vector<metrics::RunReport> partials;
+    for (std::uint32_t rank = 0; rank < workers_n_; ++rank) {
+      WorkerSlot& w = workers_[rank];
+      if (!w.alive) continue;
+      const SteadyClock::time_point start = SteadyClock::now();
+      const double deadline =
+          std::max(5.0, 2.0 * options_.heartbeat_timeout);
+      while (seconds_since(start) < deadline) {
+        wire::Frame frame;
+        const auto status = w.ep->recv(&frame, 100);
+        if (status == transport::RecvStatus::kOk) {
+          if (frame.type == wire::FrameType::kReport) {
+            auto report = wire::decode_report(frame.payload);
+            if (report.has_value()) partials.push_back(report->report);
+            break;
+          }
+          if (frame.type == wire::FrameType::kHeartbeat) {
+            if (stats_ != nullptr) ++stats_->heartbeats_received;
+            continue;
+          }
+          break;  // protocol violation: skip this shard's report
+        }
+        if (status != transport::RecvStatus::kTimeout) break;
+      }
+    }
+    return partials;
+  }
+
+  void shutdown_all() {
+    const std::vector<std::uint8_t> bye = wire::encode_shutdown();
+    for (WorkerSlot& w : workers_) {
+      if (w.alive) w.ep->send(bye);
+    }
+    for (WorkerSlot& w : workers_) {
+      if (w.ep != nullptr) w.ep->close();
+      if (w.thread.joinable()) w.thread.join();
+      if (w.pid > 0) {
+        const SteadyClock::time_point start = SteadyClock::now();
+        bool reaped = false;
+        while (seconds_since(start) < kShutdownGraceSeconds) {
+          if (::waitpid(w.pid, nullptr, WNOHANG) == w.pid) {
+            reaped = true;
+            break;
+          }
+          std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        }
+        if (!reaped) {
+          // A worker that survives Shutdown + closed pipe is an orphan.
+          ::kill(w.pid, SIGKILL);
+          ::waitpid(w.pid, nullptr, 0);
+          if (stats_ != nullptr) ++stats_->orphans_reaped;
+        }
+        w.pid = -1;
+      }
+      w.alive = false;
+    }
+  }
+
+  const graph::ProcessingGraph& g_;
+  const DistOptions& options_;
+  DistStats* stats_ = nullptr;
+  double q_ = 0.0;
+  std::uint64_t total_quanta_ = 0;
+  std::uint32_t workers_n_ = 1;
+  std::vector<WorkerSlot> workers_;
+  std::unique_ptr<transport::SocketListener> listener_;
+  wire::Config base_config_;
+  std::vector<double> cpu_, rin_, rout_;  // current tier-1 targets
+  std::vector<ScheduledKill> kills_;
+  /// Nodes of really-dead shards (broadcast) / modeled crash windows (not
+  /// broadcast; reoptimize bookkeeping only). Sorted, no duplicates.
+  std::vector<std::uint32_t> down_nodes_;
+  std::vector<std::uint32_t> modeled_down_;
+  std::vector<std::uint32_t> up_delta_;
+  std::vector<wire::SdoDelivery> pending_deliveries_;
+  std::vector<wire::Advert> pending_adverts_;
+  std::vector<std::uint32_t> pending_congested_;
+  std::uint64_t reoptimizations_ = 0;
+};
+
+}  // namespace
+
+metrics::RunReport run_distributed(const graph::ProcessingGraph& g,
+                                   const opt::AllocationPlan& plan,
+                                   const DistOptions& options,
+                                   DistStats* stats) {
+  Coordinator coordinator(g, plan, options, stats);
+  return coordinator.run();
+}
+
+}  // namespace aces::runtime::dist

@@ -1,0 +1,60 @@
+// Coordinator for the multi-process distributed runtime.
+//
+// run_distributed() shards the processing nodes across worker shards —
+// threads of this process (in-process transport) or forked worker
+// processes speaking wire.h frames over a Unix-domain / loopback-TCP
+// socket — and drives them with a barrier-stepped virtual clock:
+//
+//   * Virtual time advances in quanta q = dt / substeps. The coordinator
+//     broadcasts StepGo(k); every live worker computes [k·q, (k+1)·q) and
+//     answers StepDone(k) carrying its cross-node SDO outbox and refreshed
+//     advertisements. Nothing proceeds until every live worker has
+//     answered, so there is no wall-clock in the data path.
+//   * Every cross-NODE effect takes exactly one quantum, even between
+//     nodes that share a worker: outboxes are relayed at the *next*
+//     barrier, advertisements are looped back uniformly (a worker learns
+//     its own refresh one quantum late, like everyone else's), and the
+//     Lock-Step congested set is rebroadcast with the same delay. Work
+//     totals are therefore partition-invariant: any --processes count, on
+//     any transport, produces byte-identical deterministic totals
+//     (events_executed, delivery fingerprints).
+//   * The coordinator relays in a fixed order — StepDones are merged in
+//     rank order and each destination's deliveries are stable-sorted by
+//     source node — so the receive order workers observe is independent
+//     of scheduling and of the partition.
+//
+// Failure path (the `prockill` fault clause): at the scheduled barrier the
+// coordinator SIGKILLs the worker process (abruptly closes its endpoint
+// for the in-process transport) *before* releasing the quantum, so the
+// dead worker's contribution deterministically never exists. Death is then
+// detected for real — connection reset, heartbeat silence past
+// heartbeat_timeout, or waitpid — while collecting that barrier; the dead
+// shard's nodes are broadcast as down_nodes (workers clamp their
+// advertisements to r_max = 0, infinitely stale) and tier 1 is re-solved
+// with optimize_excluding, exactly the degradation story of paper §V-C,
+// but executed against a real process failure. An optional restart
+// respawns the shard with Config.start_quantum = k: fresh state, arrival
+// streams fast-forwarded through the dead window.
+//
+// The controllers, optimizer, and SdoChannel fast path are byte-identical
+// to the other substrates — distribution changes who hosts a node, not
+// what the node runs.
+#pragma once
+
+#include "graph/processing_graph.h"
+#include "metrics/run_report.h"
+#include "opt/global_optimizer.h"
+#include "runtime/dist_options.h"
+
+namespace aces::runtime::dist {
+
+/// Runs `g` under `plan` on `options.processes` worker shards over
+/// `options.transport`, and merges the per-worker partial reports (rank
+/// order) into the run's RunReport. Throws CheckFailure on setup errors
+/// (spawn/connect failures, invalid options).
+metrics::RunReport run_distributed(const graph::ProcessingGraph& g,
+                                   const opt::AllocationPlan& plan,
+                                   const DistOptions& options,
+                                   DistStats* stats = nullptr);
+
+}  // namespace aces::runtime::dist

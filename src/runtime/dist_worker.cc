@@ -1,0 +1,790 @@
+// Barrier-stepped worker engine. Determinism rules (each one is load-
+// bearing for the cross-transport byte-identity guarantee — see
+// docs/architecture.md):
+//
+//  * Virtual time advances in quanta q = dt / substeps under coordinator
+//    barriers; nothing is paced by the wall clock except heartbeats.
+//  * Every *cross-node* effect takes exactly one quantum, whether or not
+//    the two nodes share a worker: SDO emissions and advert refreshes are
+//    buffered into outboxes and delivered at the next barrier (the
+//    coordinator relays them, including a worker's own loopback traffic).
+//    Same-node sends are direct, as in the threaded runtime.
+//  * Inbound cross-node deliveries are applied in the coordinator's
+//    stable src_node order, which is partition-invariant because every
+//    worker steps its nodes in id order.
+//  * Per-PE randomness (service model, arrival process, fault draws) is
+//    forked from the master seed by PE id — never by worker rank — so the
+//    partition does not perturb any stream.
+//  * Completions and drops inside quantum k are stamped at its end
+//    (k+1)·q; arrivals keep their exact birth times.
+#include "runtime/dist_worker.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <deque>
+#include <limits>
+#include <memory>
+#include <optional>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "control/node_controller.h"
+#include "fault/fault_injector.h"
+#include "graph/serialization.h"
+#include "metrics/collector.h"
+#include "opt/global_optimizer.h"
+#include "runtime/transport/uds.h"
+#include "workload/arrivals.h"
+#include "workload/markov_modulator.h"
+
+namespace aces::runtime::dist {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+/// Frozen advert_time for a node the coordinator declared dead: any
+/// staleness timeout reads it as infinitely stale.
+constexpr double kDeadAdvertTime = -1e300;
+/// A worker waiting on the coordinator gives up after this long — the
+/// coordinator drives the pace, so silence this long means it is gone.
+constexpr int kCoordinatorTimeoutMs = 120000;
+
+struct Sdo {
+  Seconds birth = 0.0;
+};
+
+/// Rebuilds an AllocationPlan the NodeControllers can consume from the
+/// per-PE target vectors carried on the wire.
+opt::AllocationPlan plan_from_vectors(const std::vector<double>& cpu,
+                                      const std::vector<double>& rin,
+                                      const std::vector<double>& rout,
+                                      std::size_t node_count) {
+  opt::AllocationPlan plan;
+  plan.pe.resize(cpu.size());
+  for (std::size_t i = 0; i < cpu.size(); ++i) {
+    plan.pe[i].cpu = cpu[i];
+    plan.pe[i].rin_sdo = i < rin.size() ? rin[i] : 0.0;
+    plan.pe[i].rout_sdo = i < rout.size() ? rout[i] : 0.0;
+  }
+  plan.node_usage.assign(node_count, 0.0);
+  return plan;
+}
+
+class WorkerEngine {
+ public:
+  WorkerEngine(const wire::Config& cfg, transport::Endpoint& ep)
+      : cfg_(cfg),
+        ep_(ep),
+        graph_(graph::topology_from_string(cfg.topology)),
+        collector_(cfg.warmup, count_egress(graph_)) {
+    graph_.validate();
+    ACES_CHECK_MSG(cfg.substeps > 0, "substeps must be positive");
+    ACES_CHECK_MSG(cfg.dt > 0.0, "dt must be positive");
+    q_ = cfg.dt / cfg.substeps;
+
+    controller_config_.policy = static_cast<control::FlowPolicy>(cfg.policy);
+    controller_config_.advert_staleness_timeout = cfg.staleness;
+    lockstep_ = controller_config_.policy == control::FlowPolicy::kLockStep;
+
+    if (!cfg.faults.empty()) {
+      fault::FaultSchedule schedule = fault::parse_fault_spec(cfg.faults);
+      fault::validate(schedule, graph_);
+      injector_ = std::make_unique<fault::FaultInjector>(
+          std::move(schedule), cfg.seed, graph_.pe_count());
+    }
+
+    total_capacity_ = 0.0;
+    for (NodeId n : graph_.all_nodes())
+      total_capacity_ += graph_.node(n).cpu_capacity;
+
+    const std::size_t node_count = graph_.node_count();
+    node_begin_ = 0;
+    node_end_ = node_count;
+    if (cfg.num_workers > 1) {
+      node_begin_ = static_cast<std::size_t>(cfg.rank) * node_count /
+                    cfg.num_workers;
+      node_end_ = static_cast<std::size_t>(cfg.rank + 1) * node_count /
+                  cfg.num_workers;
+    }
+
+    const opt::AllocationPlan plan = plan_from_vectors(
+        cfg.plan_cpu, cfg.plan_rin, cfg.plan_rout, node_count);
+
+    Rng master(cfg.seed);
+    pes_.resize(graph_.pe_count());
+    visible_advert_.assign(graph_.pe_count(), kInf);
+    visible_advert_time_.assign(graph_.pe_count(), 0.0);
+    congested_.assign(graph_.pe_count(), 0);
+    std::size_t egress_counter = 0;
+    for (PeId id : graph_.all_pes()) {
+      const auto& d = graph_.pe(id);
+      PeState& pe = pes_[id.value()];
+      pe.capacity = cfg.channel_capacity > 0
+                        ? cfg.channel_capacity
+                        : static_cast<std::size_t>(d.buffer_capacity);
+      // Per-PE randomness forked by PE id, exactly as the threaded engine
+      // does — the partition cannot perturb the streams.
+      pe.service.emplace(d.service_time[0], d.service_time[1],
+                         d.sojourn_mean[0], d.sojourn_mean[1],
+                         master.fork(0x5E41 + id.value()));
+      if (d.kind == graph::PeKind::kEgress) pe.egress_index = egress_counter++;
+      pe.share = plan.at(id).cpu;
+    }
+
+    for (std::size_t n = node_begin_; n < node_end_; ++n) {
+      controllers_.emplace_back(graph_, NodeId(static_cast<NodeId::value_type>(n)),
+                                plan, controller_config_);
+    }
+    was_down_.assign(node_end_ - node_begin_, false);
+    was_stalled_.assign(graph_.pe_count(), false);
+
+    const Seconds start_vtime = static_cast<double>(cfg.start_quantum) * q_;
+    for (PeId id : graph_.all_pes()) {
+      const auto& d = graph_.pe(id);
+      if (d.kind != graph::PeKind::kIngress) continue;
+      // fork() advances the parent state, so every worker must fork every
+      // ingress PE's stream in the same order — including the ones it does
+      // not own — or the partition would perturb the arrival sequences.
+      Rng stream_rng = master.fork(0xA11 + id.value());
+      if (!owns_node(d.node.value())) continue;
+      Source src;
+      src.pe = id.value();
+      src.process = workload::make_arrival_process(
+          graph_.stream(d.input_stream), std::move(stream_rng));
+      src.next_arrival = src.process->next_interarrival();
+      // A worker joining mid-run (restart after a prockill) fast-forwards
+      // its arrival streams: the SDOs that would have arrived while the
+      // process was dead are gone, but the generator state matches what an
+      // uninterrupted worker would hold.
+      while (src.next_arrival < start_vtime) {
+        src.next_arrival += src.process->next_interarrival();
+      }
+      sources_.push_back(std::move(src));
+    }
+  }
+
+  int run() {
+    std::atomic<bool> stop{false};
+    std::thread heartbeat([this, &stop] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        std::this_thread::sleep_for(std::chrono::duration<double>(
+            std::max(0.001, cfg_.heartbeat_interval)));
+        wire::Heartbeat hb;
+        hb.rank = cfg_.rank;
+        hb.quantum = current_quantum_.load(std::memory_order_relaxed);
+        if (!ep_.send(wire::encode(hb))) return;
+      }
+    });
+    const int rc = loop();
+    stop.store(true, std::memory_order_relaxed);
+    heartbeat.join();
+    return rc;
+  }
+
+ private:
+  struct PeState {
+    std::deque<Sdo> queue;
+    std::size_t capacity = 0;
+    /// Lock-Step cross-node backlog: deliveries accepted from the wire but
+    /// not yet admitted to `queue` (receiver-side blocking — nothing is
+    /// dropped). Drained at quantum start as space allows.
+    std::deque<Sdo> inbound;
+    /// Lock-Step same-node backlog held while a local consumer is full.
+    std::deque<std::pair<std::size_t, Sdo>> pending;
+    std::optional<workload::ServiceModel> service;
+    std::size_t egress_index = static_cast<std::size_t>(-1);
+    double share = 0.0;
+    bool busy = false;
+    Sdo current{};
+    double work_remaining = 0.0;
+    double used_this_tick = 0.0;
+    double processed_this_tick = 0.0;
+    double arrived_this_tick = 0.0;
+    double selectivity_credit = 0.0;
+    /// Local blocking: `pending` could not flush into a same-node consumer.
+    bool blocked_local = false;
+    /// Remote blocking: some cross-node downstream was congested at the
+    /// last barrier.
+    bool blocked_remote = false;
+    std::uint64_t lifetime_arrived = 0;
+    std::uint64_t lifetime_processed = 0;
+    std::uint64_t lifetime_emitted = 0;
+    std::uint64_t lifetime_dropped = 0;
+    double lifetime_cpu = 0.0;
+
+    [[nodiscard]] bool blocked() const { return blocked_local || blocked_remote; }
+  };
+
+  struct Source {
+    std::size_t pe = 0;
+    std::unique_ptr<workload::ArrivalProcess> process;
+    Seconds next_arrival = 0.0;
+  };
+
+  static std::size_t count_egress(const graph::ProcessingGraph& g) {
+    std::size_t count = 0;
+    for (PeId id : g.all_pes()) count += g.pe(id).kind == graph::PeKind::kEgress;
+    return count;
+  }
+
+  [[nodiscard]] bool owns_node(std::size_t node) const {
+    return node >= node_begin_ && node < node_end_;
+  }
+
+  [[nodiscard]] bool fault_drops_delivery(std::size_t target, Seconds when) {
+    if (injector_ == nullptr) return false;
+    const PeId id(static_cast<PeId::value_type>(target));
+    return injector_->node_down(graph_.pe(id).node, when) ||
+           injector_->drop_delivery(id, when);
+  }
+
+  int loop() {
+    for (;;) {
+      wire::Frame frame;
+      const auto status = ep_.recv(&frame, kCoordinatorTimeoutMs);
+      if (status != transport::RecvStatus::kOk) return 1;
+      switch (frame.type) {
+        case wire::FrameType::kTargets: {
+          const auto targets = wire::decode_targets(frame.payload);
+          if (!targets.has_value()) return 1;
+          const opt::AllocationPlan plan = plan_from_vectors(
+              targets->cpu, targets->rin, targets->rout, graph_.node_count());
+          for (auto& controller : controllers_) controller.set_plan(plan);
+          break;
+        }
+        case wire::FrameType::kStepGo: {
+          const auto go = wire::decode_step_go(frame.payload);
+          if (!go.has_value()) return 1;
+          current_quantum_.store(go->quantum, std::memory_order_relaxed);
+          if ((go->flags & wire::kStepGoFinal) != 0) {
+            if (!ep_.send(wire::encode(make_report()))) return 1;
+            break;  // stay in the loop until Shutdown
+          }
+          run_quantum(*go);
+          if (!ep_.send(wire::encode(make_step_done(go->quantum)))) return 1;
+          break;
+        }
+        case wire::FrameType::kShutdown:
+          return 0;
+        default:
+          return 1;  // protocol violation
+      }
+    }
+  }
+
+  // ---- one barrier quantum -------------------------------------------
+
+  void run_quantum(const wire::StepGo& go) {
+    const std::uint64_t k = go.quantum;
+    const Seconds vnow = static_cast<double>(k) * q_;
+    const Seconds vend = static_cast<double>(k + 1) * q_;
+
+    // Membership first: a dead node's mailboxes clamp to r_max = 0 and an
+    // infinitely stale timestamp, so both the staleness rule and the Eq. 8
+    // max stop routing flow at it.
+    for (const std::uint32_t node : go.down_nodes) {
+      for (PeId id : graph_.pes_on_node(NodeId(node))) {
+        visible_advert_[id.value()] = 0.0;
+        visible_advert_time_[id.value()] = kDeadAdvertTime;
+      }
+    }
+    for (const std::uint32_t node : go.up_nodes) {
+      for (PeId id : graph_.pes_on_node(NodeId(node))) {
+        visible_advert_[id.value()] = kInf;
+        visible_advert_time_[id.value()] = vnow;
+      }
+    }
+    // Advert refreshes from quantum k-1 (uniformly one quantum stale,
+    // including this worker's own — the coordinator loops them back).
+    for (const wire::Advert& a : go.adverts) {
+      visible_advert_[a.pe] = a.rmax;
+      visible_advert_time_[a.pe] = a.time;
+    }
+    std::fill(congested_.begin(), congested_.end(), 0);
+    for (const std::uint32_t pe : go.congested_pes) congested_[pe] = 1;
+
+    // Inbound cross-node deliveries, in the coordinator's stable src_node
+    // order. Fault draws for a delivery happen here, on the worker hosting
+    // the target — the per-PE draw sequence is partition-invariant.
+    for (const wire::SdoDelivery& d : go.deliveries) {
+      apply_delivery(d, vnow);
+    }
+    if (lockstep_) {
+      for (std::size_t n = node_begin_; n < node_end_; ++n) {
+        for (PeId id : graph_.pes_on_node(NodeId(static_cast<NodeId::value_type>(n)))) {
+          drain_inbound(pes_[id.value()]);
+        }
+      }
+    }
+
+    // Modeled crash windows (the `crash` clause acted out by this
+    // substrate, distinct from real prockills).
+    if (injector_ != nullptr) handle_crash_transitions(vnow);
+
+    // Control tick on the dt grid (quantum starts, skipping t = 0 — the
+    // first tick fires once one full interval of history exists).
+    if (k > 0 && k % cfg_.substeps == 0) {
+      for (std::size_t i = 0; i < controllers_.size(); ++i) {
+        if (!was_down_[i]) node_tick(i, vnow);
+      }
+    }
+
+    // Lock-Step remote backpressure: a PE with a congested cross-node
+    // downstream stops processing this quantum (bounded overshoot: at most
+    // the one quantum already in flight).
+    if (lockstep_) {
+      for (std::size_t n = node_begin_; n < node_end_; ++n) {
+        for (PeId id : graph_.pes_on_node(NodeId(static_cast<NodeId::value_type>(n)))) {
+          PeState& pe = pes_[id.value()];
+          pe.blocked_remote = false;
+          for (PeId down : graph_.downstream(id)) {
+            if (graph_.pe(down).node != graph_.pe(id).node &&
+                congested_[down.value()] != 0) {
+              pe.blocked_remote = true;
+              break;
+            }
+          }
+        }
+      }
+    }
+
+    generate_arrivals(vnow, vend);
+    process_quantum(k, vnow, vend);
+  }
+
+  void apply_delivery(const wire::SdoDelivery& d, Seconds vnow) {
+    if (d.dest_pe >= pes_.size()) return;  // corrupt frame: ignore
+    const auto& desc = graph_.pe(PeId(d.dest_pe));
+    if (!owns_node(desc.node.value())) return;
+    PeState& pe = pes_[d.dest_pe];
+    if (fault_drops_delivery(d.dest_pe, vnow)) {
+      ++pe.lifetime_dropped;
+      collector_.on_internal_drop(vnow);
+      return;
+    }
+    if (lockstep_) {
+      // Never dropped: held receiver-side until the queue has room.
+      pe.inbound.push_back(Sdo{d.birth});
+      return;
+    }
+    if (pe.queue.size() < pe.capacity) {
+      pe.queue.push_back(Sdo{d.birth});
+      pe.arrived_this_tick += 1.0;
+      ++pe.lifetime_arrived;
+    } else {
+      ++pe.lifetime_dropped;
+      collector_.on_internal_drop(vnow);
+    }
+  }
+
+  void drain_inbound(PeState& pe) {
+    while (!pe.inbound.empty() && pe.queue.size() < pe.capacity) {
+      pe.queue.push_back(pe.inbound.front());
+      pe.inbound.pop_front();
+      pe.arrived_this_tick += 1.0;
+      ++pe.lifetime_arrived;
+    }
+  }
+
+  void handle_crash_transitions(Seconds vnow) {
+    for (std::size_t i = 0; i < controllers_.size(); ++i) {
+      const NodeId node = controllers_[i].node();
+      const bool is_down = injector_->node_down(node, vnow);
+      if (is_down && !was_down_[i]) {
+        crash_local_pes(node, vnow);
+        crashed_this_quantum_.push_back(node.value());
+      }
+      if (!is_down && was_down_[i]) {
+        controllers_[i].reset_state();
+        for (PeId id : graph_.pes_on_node(node)) {
+          PeState& pe = pes_[id.value()];
+          pe.queue.clear();
+          pe.inbound.clear();
+          pe.arrived_this_tick = 0.0;
+        }
+        injector_->note_node_restart();
+        restored_this_quantum_.push_back(node.value());
+      }
+      was_down_[i] = is_down;
+    }
+  }
+
+  void crash_local_pes(NodeId node, Seconds vnow) {
+    std::uint64_t lost = 0;
+    for (PeId id : graph_.pes_on_node(node)) {
+      PeState& pe = pes_[id.value()];
+      std::uint64_t pe_lost = pe.busy ? 1 : 0;
+      pe_lost += pe.pending.size();
+      pe_lost += pe.inbound.size();
+      pe_lost += pe.queue.size();
+      pe.queue.clear();
+      pe.inbound.clear();
+      pe.pending.clear();
+      pe.busy = false;
+      pe.blocked_local = false;
+      pe.blocked_remote = false;
+      pe.work_remaining = 0.0;
+      pe.share = 0.0;
+      pe.lifetime_dropped += pe_lost;
+      for (std::uint64_t j = 0; j < pe_lost; ++j)
+        collector_.on_internal_drop(vnow);
+      lost += pe_lost;
+    }
+    injector_->note_node_crash(lost);
+  }
+
+  void node_tick(std::size_t controller_index, Seconds vnow) {
+    control::NodeController& controller = controllers_[controller_index];
+    const auto& local = controller.local_pes();
+    std::vector<control::PeTickInput> inputs(local.size());
+    const Seconds staleness = controller_config_.advert_staleness_timeout;
+    for (std::size_t i = 0; i < local.size(); ++i) {
+      PeState& pe = pes_[local[i].value()];
+      control::PeTickInput& in = inputs[i];
+      in.buffer_occupancy =
+          static_cast<double>(pe.queue.size() + pe.inbound.size());
+      in.processed_sdos = pe.processed_this_tick;
+      in.cpu_seconds_used = pe.used_this_tick;
+      in.arrived_sdos = pe.arrived_this_tick;
+      in.output_blocked = pe.blocked();
+      const auto& downs = graph_.downstream(local[i]);
+      if (downs.empty()) {
+        in.downstream_rmax = kInf;
+      } else {
+        in.downstream_rmax = -kInf;
+        Seconds freshest = -kInf;
+        for (PeId down : downs) {
+          const Seconds refreshed = visible_advert_time_[down.value()];
+          const bool stale = staleness > 0.0 && vnow - refreshed > staleness;
+          in.downstream_rmax = std::max(
+              in.downstream_rmax, stale ? 0.0 : visible_advert_[down.value()]);
+          freshest = std::max(freshest, refreshed);
+        }
+        in.downstream_advert_age = vnow - freshest;
+      }
+    }
+    const std::vector<control::PeTickOutput> outputs =
+        controller.tick(cfg_.dt, inputs);
+    ++events_executed_;
+    for (std::size_t i = 0; i < local.size(); ++i) {
+      PeState& pe = pes_[local[i].value()];
+      collector_.on_cpu_used(vnow, pe.used_this_tick);
+      collector_.on_buffer_sample(
+          vnow,
+          std::min(1.0, static_cast<double>(pe.queue.size() +
+                                            pe.inbound.size()) /
+                            static_cast<double>(pe.capacity)));
+      pe.used_this_tick = 0.0;
+      pe.processed_this_tick = 0.0;
+      pe.arrived_this_tick = 0.0;
+      pe.share = outputs[i].cpu_share;
+      // Injected advertisement loss: the refresh never leaves this worker,
+      // so every peer (and this worker itself, via the loopback) keeps the
+      // stale value.
+      if (injector_ != nullptr && injector_->advert_lost(local[i], vnow))
+        continue;
+      wire::Advert advert;
+      advert.pe = local[i].value();
+      advert.rmax = outputs[i].advertised_rmax;
+      advert.time = vnow;
+      advert_outbox_.push_back(advert);
+    }
+  }
+
+  void generate_arrivals(Seconds vnow, Seconds vend) {
+    for (Source& src : sources_) {
+      PeState& pe = pes_[src.pe];
+      while (src.next_arrival < vend) {
+        const Seconds at = src.next_arrival;
+        src.next_arrival += src.process->next_interarrival();
+        if (fault_drops_delivery(src.pe, vnow)) {
+          ++pe.lifetime_dropped;
+          collector_.on_ingress_drop(at);
+          continue;
+        }
+        if (pe.queue.size() < pe.capacity) {
+          pe.queue.push_back(Sdo{at});
+          pe.arrived_this_tick += 1.0;
+          ++pe.lifetime_arrived;
+        } else {
+          ++pe.lifetime_dropped;
+          collector_.on_ingress_drop(at);
+        }
+      }
+    }
+  }
+
+  void process_quantum(std::uint64_t k, Seconds vnow, Seconds vend) {
+    const Seconds elapsed_in_tick =
+        static_cast<double>(k % cfg_.substeps + 1) * q_;
+    for (std::size_t n = node_begin_; n < node_end_; ++n) {
+      const NodeId node(static_cast<NodeId::value_type>(n));
+      if (injector_ != nullptr && injector_->node_down(node, vnow)) continue;
+      const auto& local = graph_.pes_on_node(node);
+      for (const PeId id : local) {
+        PeState& pe = pes_[id.value()];
+        if (injector_ != nullptr) {
+          const bool stalled = injector_->pe_stalled(id, vnow);
+          if (stalled && !was_stalled_[id.value()]) injector_->note_pe_stall();
+          was_stalled_[id.value()] = stalled;
+          if (stalled) continue;
+        }
+        if (pe.blocked_local) {
+          try_flush(pe, id, vnow);
+        }
+        if (pe.blocked()) continue;
+        if (pe.share <= 0.0) continue;
+        double allowed = pe.share * elapsed_in_tick - pe.used_this_tick;
+        while (allowed > 0.0 && !pe.blocked_local) {
+          if (!pe.busy) {
+            if (pe.queue.empty()) break;
+            pe.current = pe.queue.front();
+            pe.queue.pop_front();
+            pe.busy = true;
+            pe.work_remaining = pe.service->cost_at(vnow);
+          }
+          const double spend = std::min(allowed, pe.work_remaining);
+          pe.work_remaining -= spend;
+          pe.used_this_tick += spend;
+          pe.lifetime_cpu += spend;
+          allowed -= spend;
+          if (pe.work_remaining <= 1e-12) complete(pe, id, vend);
+        }
+      }
+    }
+  }
+
+  /// Finish the SDO the PE just paid for (mirrors the threaded engine's
+  /// complete(): selectivity credit, egress accounting, downstream copies).
+  void complete(PeState& pe, PeId pe_id, Seconds vcomplete) {
+    pe.busy = false;
+    pe.processed_this_tick += 1.0;
+    ++pe.lifetime_processed;
+    ++events_executed_;
+    collector_.on_processed(vcomplete, 1);
+    const auto& d = graph_.pe(pe_id);
+    pe.selectivity_credit += d.selectivity;
+    const int outputs = static_cast<int>(std::floor(pe.selectivity_credit));
+    pe.selectivity_credit -= outputs;
+    if (d.kind == graph::PeKind::kEgress) {
+      pe.lifetime_emitted += static_cast<std::uint64_t>(outputs);
+      for (int j = 0; j < outputs; ++j) {
+        collector_.on_egress_output(vcomplete, pe.egress_index, d.weight,
+                                    vcomplete - pe.current.birth);
+      }
+      return;
+    }
+    if (outputs == 0) return;
+    const auto& downs = graph_.downstream(pe_id);
+    for (std::size_t slot = 0; slot < downs.size(); ++slot) {
+      for (int j = 0; j < outputs; ++j) {
+        send(pe, pe_id, slot, Sdo{pe.current.birth}, vcomplete);
+      }
+    }
+  }
+
+  void send(PeState& pe, PeId pe_id, std::size_t slot, Sdo sdo, Seconds vnow) {
+    ++pe.lifetime_emitted;
+    const PeId target_id = graph_.downstream(pe_id)[slot];
+    const std::size_t target = target_id.value();
+    const bool cross_node = graph_.pe(target_id).node != graph_.pe(pe_id).node;
+    if (cross_node) {
+      // One quantum of transit, whether or not the destination shares this
+      // worker: the coordinator relays the outbox at the next barrier.
+      wire::SdoDelivery d;
+      d.dest_pe = static_cast<std::uint32_t>(target);
+      d.src_node = graph_.pe(pe_id).node.value();
+      d.birth = sdo.birth;
+      delivery_outbox_.push_back(d);
+      return;
+    }
+    PeState& t = pes_[target];
+    if (fault_drops_delivery(target, vnow)) {
+      ++t.lifetime_dropped;
+      collector_.on_internal_drop(vnow);
+      return;  // lost, not blocked
+    }
+    if (lockstep_) {
+      if (t.queue.size() < t.capacity) {
+        t.queue.push_back(sdo);
+        t.arrived_this_tick += 1.0;
+        ++t.lifetime_arrived;
+      } else {
+        pe.pending.push_back({slot, sdo});
+        pe.blocked_local = true;
+      }
+      return;
+    }
+    if (t.queue.size() < t.capacity) {
+      t.queue.push_back(sdo);
+      t.arrived_this_tick += 1.0;
+      ++t.lifetime_arrived;
+    } else {
+      ++t.lifetime_dropped;
+      collector_.on_internal_drop(vnow);
+    }
+  }
+
+  void try_flush(PeState& pe, PeId pe_id, Seconds vnow) {
+    while (!pe.pending.empty()) {
+      const auto [slot, sdo] = pe.pending.front();
+      const std::size_t target = graph_.downstream(pe_id)[slot].value();
+      PeState& t = pes_[target];
+      if (fault_drops_delivery(target, vnow)) {
+        ++t.lifetime_dropped;
+        collector_.on_internal_drop(vnow);
+        pe.pending.pop_front();
+        continue;  // a dead consumer must not deadlock its producers
+      }
+      if (t.queue.size() >= t.capacity) return;
+      t.queue.push_back(sdo);
+      t.arrived_this_tick += 1.0;
+      ++t.lifetime_arrived;
+      pe.pending.pop_front();
+    }
+    pe.blocked_local = false;
+  }
+
+  // ---- frames back to the coordinator --------------------------------
+
+  wire::StepDone make_step_done(std::uint64_t quantum) {
+    wire::StepDone done;
+    done.quantum = quantum;
+    done.deliveries = std::move(delivery_outbox_);
+    delivery_outbox_.clear();
+    done.adverts = std::move(advert_outbox_);
+    advert_outbox_.clear();
+    if (lockstep_) {
+      for (std::size_t n = node_begin_; n < node_end_; ++n) {
+        for (PeId id : graph_.pes_on_node(NodeId(static_cast<NodeId::value_type>(n)))) {
+          const PeState& pe = pes_[id.value()];
+          if (pe.queue.size() >= pe.capacity || !pe.inbound.empty()) {
+            done.congested_pes.push_back(id.value());
+          }
+        }
+      }
+    }
+    done.crashed_nodes = std::move(crashed_this_quantum_);
+    crashed_this_quantum_.clear();
+    done.restored_nodes = std::move(restored_this_quantum_);
+    restored_this_quantum_.clear();
+    return done;
+  }
+
+  wire::Report make_report() {
+    wire::Report out;
+    out.rank = cfg_.rank;
+    // Utilization is computed against the *global* capacity so the merged
+    // sum over workers equals the whole system's utilization.
+    out.report = collector_.finalize(cfg_.duration, total_capacity_);
+    out.report.per_pe.assign(graph_.pe_count(), metrics::PeAccounting{});
+    for (std::size_t n = node_begin_; n < node_end_; ++n) {
+      for (PeId id : graph_.pes_on_node(NodeId(static_cast<NodeId::value_type>(n)))) {
+        const PeState& pe = pes_[id.value()];
+        metrics::PeAccounting& acc = out.report.per_pe[id.value()];
+        acc.arrived = pe.lifetime_arrived;
+        acc.processed = pe.lifetime_processed;
+        acc.emitted = pe.lifetime_emitted;
+        acc.dropped_input = pe.lifetime_dropped;
+        acc.cpu_seconds = pe.lifetime_cpu;
+      }
+    }
+    out.report.events_executed = events_executed_;
+    out.report.reoptimizations = 0;  // the coordinator owns this count
+    return out;
+  }
+
+  wire::Config cfg_;
+  transport::Endpoint& ep_;
+  graph::ProcessingGraph graph_;
+  metrics::Collector collector_;
+  control::ControllerConfig controller_config_;
+  bool lockstep_ = false;
+  double q_ = 0.0;
+  double total_capacity_ = 0.0;
+  std::size_t node_begin_ = 0;
+  std::size_t node_end_ = 0;
+  std::vector<PeState> pes_;
+  std::vector<control::NodeController> controllers_;
+  std::vector<Source> sources_;
+  std::unique_ptr<fault::FaultInjector> injector_;
+  std::vector<double> visible_advert_;
+  std::vector<Seconds> visible_advert_time_;
+  std::vector<std::uint8_t> congested_;
+  std::vector<bool> was_down_;      // aligned with controllers_
+  std::vector<bool> was_stalled_;   // indexed by PeId
+  std::vector<wire::SdoDelivery> delivery_outbox_;
+  std::vector<wire::Advert> advert_outbox_;
+  std::vector<std::uint32_t> crashed_this_quantum_;
+  std::vector<std::uint32_t> restored_this_quantum_;
+  std::uint64_t events_executed_ = 0;
+  std::atomic<std::uint64_t> current_quantum_{0};
+};
+
+}  // namespace
+
+int worker_entry(transport::Endpoint& endpoint, std::uint32_t rank) {
+  wire::Hello hello;
+  hello.rank = rank;
+  hello.pid = static_cast<std::uint64_t>(::getpid());
+  if (!endpoint.send(wire::encode(hello))) return 1;
+  wire::Frame frame;
+  if (endpoint.recv(&frame, kCoordinatorTimeoutMs) !=
+          transport::RecvStatus::kOk ||
+      frame.type != wire::FrameType::kConfig) {
+    return 1;
+  }
+  const auto cfg = wire::decode_config(frame.payload);
+  if (!cfg.has_value()) return 1;
+  // The in-process transport runs workers as coordinator threads, so a
+  // CheckFailure (or any other exception) must not escape and terminate the
+  // whole coordinator — turn it into a dead endpoint the coordinator
+  // detects like any other worker death.
+  try {
+    WorkerEngine engine(*cfg, endpoint);
+    return engine.run();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "dist-worker rank %u: %s\n", rank, e.what());
+    endpoint.close();
+    return 1;
+  }
+}
+
+int maybe_worker(int argc, char** argv) {
+  if (argc < 2 || std::strcmp(argv[1], "dist-worker") != 0) return -1;
+  std::uint32_t rank = 0;
+  std::string uds_path;
+  int tcp_port = -1;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--rank=", 0) == 0) {
+      rank = static_cast<std::uint32_t>(std::stoul(arg.substr(7)));
+    } else if (arg.rfind("--uds=", 0) == 0) {
+      uds_path = arg.substr(6);
+    } else if (arg.rfind("--tcp-port=", 0) == 0) {
+      tcp_port = std::stoi(arg.substr(11));
+    }
+  }
+  std::string error;
+  std::unique_ptr<transport::Endpoint> ep;
+  if (!uds_path.empty()) {
+    ep = transport::connect_uds(uds_path, 10000, &error);
+  } else if (tcp_port > 0) {
+    ep = transport::connect_tcp(static_cast<std::uint16_t>(tcp_port), 10000,
+                                &error);
+  }
+  if (ep == nullptr) return 1;
+  return worker_entry(*ep, rank);
+}
+
+}  // namespace aces::runtime::dist

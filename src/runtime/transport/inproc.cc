@@ -1,0 +1,105 @@
+#include "runtime/transport/inproc.h"
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <string>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace aces::runtime::transport {
+
+namespace {
+
+/// One direction of the pipe: encoded frames in FIFO order plus a closed
+/// latch. The consumer side re-parses bytes through wire::parse_frame so
+/// the in-process backend cannot silently diverge from the socket one.
+struct FrameQueue {
+  Mutex mu;
+  std::condition_variable_any cv;
+  std::deque<std::vector<std::uint8_t>> frames ACES_GUARDED_BY(mu);
+  bool closed ACES_GUARDED_BY(mu) = false;
+};
+
+class InprocEndpoint final : public Endpoint {
+ public:
+  InprocEndpoint(std::shared_ptr<FrameQueue> tx, std::shared_ptr<FrameQueue> rx)
+      : tx_(std::move(tx)), rx_(std::move(rx)) {}
+
+  ~InprocEndpoint() override { close(); }
+
+  bool send(const std::vector<std::uint8_t>& frame) override {
+    {
+      MutexLock lock(tx_->mu);
+      if (tx_->closed) return false;
+      tx_->frames.push_back(frame);
+    }
+    tx_->cv.notify_one();
+    return true;
+  }
+
+  RecvStatus recv(wire::Frame* out, int timeout_ms) override {
+    std::vector<std::uint8_t> bytes;
+    {
+      // Explicit wait loop (not wait_for(pred)): the thread-safety
+      // analysis cannot see through predicate lambdas — same idiom as
+      // runtime/channel.h.
+      const auto deadline = std::chrono::steady_clock::now() +
+                            std::chrono::milliseconds(timeout_ms < 0 ? 0
+                                                                     : timeout_ms);
+      MutexLock lock(rx_->mu);
+      while (rx_->frames.empty() && !rx_->closed) {
+        if (timeout_ms < 0) {
+          rx_->cv.wait(rx_->mu);
+        } else if (rx_->cv.wait_until(rx_->mu, deadline) ==
+                   std::cv_status::timeout) {
+          if (!rx_->frames.empty() || rx_->closed) break;
+          return RecvStatus::kTimeout;
+        }
+      }
+      if (rx_->frames.empty()) return RecvStatus::kClosed;
+      bytes = std::move(rx_->frames.front());
+      rx_->frames.pop_front();
+    }
+    wire::WireError error;
+    auto frame = wire::parse_frame(bytes.data(), bytes.size(), &error);
+    if (!frame.has_value()) {
+      last_error_ = error.reason;
+      return RecvStatus::kError;
+    }
+    *out = std::move(*frame);
+    return RecvStatus::kOk;
+  }
+
+  void close() override {
+    for (FrameQueue* q : {tx_.get(), rx_.get()}) {
+      {
+        MutexLock lock(q->mu);
+        q->closed = true;
+      }
+      q->cv.notify_all();
+    }
+  }
+
+  [[nodiscard]] std::string_view last_error() const override {
+    return last_error_;
+  }
+
+ private:
+  std::shared_ptr<FrameQueue> tx_;
+  std::shared_ptr<FrameQueue> rx_;
+  std::string last_error_;
+};
+
+}  // namespace
+
+std::pair<std::unique_ptr<Endpoint>, std::unique_ptr<Endpoint>>
+make_inproc_pair() {
+  auto a_to_b = std::make_shared<FrameQueue>();
+  auto b_to_a = std::make_shared<FrameQueue>();
+  return {std::make_unique<InprocEndpoint>(a_to_b, b_to_a),
+          std::make_unique<InprocEndpoint>(b_to_a, a_to_b)};
+}
+
+}  // namespace aces::runtime::transport

@@ -1,0 +1,74 @@
+// Transport abstraction for the multi-process distributed runtime.
+//
+// The coordinator and its workers speak wire.h frames over an Endpoint —
+// a bidirectional, ordered, reliable frame pipe. Two backends implement
+// it:
+//
+//   * in-process (transport/inproc.h): a pair of mutex+condvar frame
+//     queues. The default backend; the "worker processes" are threads of
+//     the coordinator process. Frames are still fully encoded and decoded
+//     so both backends run byte-identical code paths.
+//   * sockets (transport/uds.h): SOCK_STREAM over a Unix-domain socket or
+//     loopback TCP, one connection per worker, length-prefixed frames.
+//
+// Contract:
+//   * send() is thread-safe (a worker's heartbeat thread and its step loop
+//     both send); a frame is written atomically with respect to other
+//     sends on the same endpoint.
+//   * recv() is single-consumer and blocks up to `timeout_ms` for one
+//     complete frame.
+//   * A peer closing (or dying) surfaces as RecvStatus::kClosed; malformed
+//     bytes surface as kError — never as undefined behavior.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "runtime/wire.h"
+
+namespace aces::runtime::transport {
+
+enum class TransportKind {
+  kInProc,  ///< worker threads + in-memory frame queues (default)
+  kUds,     ///< worker processes + Unix-domain stream sockets
+  kTcp,     ///< worker processes + loopback TCP
+};
+
+const char* to_string(TransportKind kind);
+/// Parses "inproc" / "uds" / "tcp"; nullopt otherwise.
+std::optional<TransportKind> parse_transport(std::string_view name);
+
+enum class RecvStatus {
+  kOk,       ///< *out holds a frame
+  kTimeout,  ///< nothing arrived within timeout_ms
+  kClosed,   ///< peer hung up cleanly (or its process died)
+  kError,    ///< protocol violation (bad magic/version/length) or IO error
+};
+
+/// One side of a coordinator↔worker frame pipe.
+class Endpoint {
+ public:
+  virtual ~Endpoint() = default;
+  Endpoint() = default;
+  Endpoint(const Endpoint&) = delete;
+  Endpoint& operator=(const Endpoint&) = delete;
+
+  /// Queues/writes one complete frame (as produced by wire::encode).
+  /// Thread-safe. Returns false when the peer is gone.
+  virtual bool send(const std::vector<std::uint8_t>& frame) = 0;
+
+  /// Waits up to `timeout_ms` (< 0 = forever) for one frame. Single
+  /// consumer.
+  virtual RecvStatus recv(wire::Frame* out, int timeout_ms) = 0;
+
+  /// Closes this side; concurrent and subsequent recv() calls on the peer
+  /// return kClosed once the queue drains.
+  virtual void close() = 0;
+
+  /// Reason for the last kError, for diagnostics.
+  [[nodiscard]] virtual std::string_view last_error() const = 0;
+};
+
+}  // namespace aces::runtime::transport

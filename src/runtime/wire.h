@@ -1,0 +1,208 @@
+// Wire format for the multi-process distributed runtime.
+//
+// Every byte that crosses a process boundary — SDO payloads, control-plane
+// advertisements, tier-1 target vectors, reoptimize triggers, membership and
+// heartbeat, per-worker partial RunReports — travels as a *versioned frame*:
+//
+//   offset  size  field
+//   0       2     magic 0xACE5 (little-endian)
+//   2       1     version (kWireVersion)
+//   3       1     frame type (FrameType)
+//   4       4     payload length, little-endian u32
+//   8       n     payload
+//
+// Integers are little-endian; doubles are their IEEE-754 bit patterns as
+// little-endian u64, so a value survives a round trip bit-exactly — the
+// cross-transport conformance battery depends on the in-process and socket
+// backends observing byte-identical numbers. Strings and vectors are a u32
+// element count followed by the elements.
+//
+// Decoding is defensive, never undefined: every read is bounds-checked, a
+// bad magic/version/type/length yields WireError with a reason, and payload
+// lengths are capped (kMaxFramePayload) so a corrupt header cannot ask the
+// receiver to allocate gigabytes. tests/runtime/wire_test.cc fuzzes
+// truncations and pins the layout with golden byte fixtures.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/types.h"
+#include "metrics/run_report.h"
+
+namespace aces::runtime::wire {
+
+inline constexpr std::uint16_t kMagic = 0xACE5;
+inline constexpr std::uint8_t kWireVersion = 1;
+/// Upper bound on a sane payload (config frames carry a whole topology, so
+/// this is generous; anything larger is treated as corruption).
+inline constexpr std::uint32_t kMaxFramePayload = 64u * 1024u * 1024u;
+
+enum class FrameType : std::uint8_t {
+  kHello = 1,      ///< worker → coordinator: rank + pid after connect
+  kConfig = 2,     ///< coordinator → worker: everything needed to run
+  kStepGo = 3,     ///< coordinator → worker: barrier release for a quantum
+  kStepDone = 4,   ///< worker → coordinator: quantum finished + outboxes
+  kHeartbeat = 5,  ///< worker → coordinator: liveness while computing
+  kTargets = 6,    ///< coordinator → worker: tier-1 target vector push
+  kReport = 7,     ///< worker → coordinator: partial RunReport at the end
+  kShutdown = 8,   ///< coordinator → worker: exit cleanly
+};
+
+/// One decoded frame: type + raw payload bytes.
+struct Frame {
+  FrameType type = FrameType::kHello;
+  std::vector<std::uint8_t> payload;
+};
+
+/// Decode failure: where and why (never throws, never UB).
+struct WireError {
+  std::string reason;
+};
+
+// ---------------------------------------------------------------------------
+// Payload structs. Field order in the struct is field order on the wire.
+
+struct Hello {
+  std::uint32_t rank = 0;
+  std::uint64_t pid = 0;
+};
+
+/// Everything a worker process needs to reconstruct its shard: the topology
+/// (text serialization round-trips ids exactly), the tier-1 plan, the run
+/// options, and the fault spec. Sent once after Hello; sent again with a
+/// non-zero start_quantum when a killed worker is respawned mid-run.
+struct Config {
+  std::uint32_t rank = 0;
+  std::uint32_t num_workers = 1;
+  std::uint32_t substeps = 4;   ///< quanta per control interval dt
+  std::uint64_t seed = 1;
+  double duration = 30.0;       ///< virtual seconds
+  double warmup = 6.0;
+  double dt = 0.1;
+  std::uint8_t policy = 0;      ///< control::FlowPolicy as u8
+  double staleness = 0.0;       ///< advert_staleness_timeout
+  std::uint32_t batch = 8;
+  std::uint32_t channel_capacity = 0;
+  double heartbeat_interval = 0.05;  ///< wall seconds between heartbeats
+  std::uint64_t start_quantum = 0;   ///< barrier index to join at
+  std::string topology;              ///< graph::write_topology text
+  std::string faults;                ///< fault spec grammar text ("" = none)
+  std::vector<double> plan_cpu;      ///< tier-1 targets, indexed by PeId
+  std::vector<double> plan_rin;
+  std::vector<double> plan_rout;
+};
+
+/// One SDO crossing a node boundary. `src_node` orders deliveries
+/// deterministically at the receiver (stable sort by source node, which is
+/// partition-invariant because a worker always steps its nodes in id
+/// order); `birth` is the SDO's system-entry time for latency accounting.
+struct SdoDelivery {
+  std::uint32_t dest_pe = 0;
+  std::uint32_t src_node = 0;
+  double birth = 0.0;
+};
+
+/// One refreshed advertisement mailbox: PE `pe` advertises input rate
+/// `rmax`, stamped at virtual time `time`.
+struct Advert {
+  std::uint32_t pe = 0;
+  double rmax = 0.0;
+  double time = 0.0;
+};
+
+/// Barrier release for quantum `quantum`: the deliveries and adverts
+/// generated during quantum-1 that are addressed to this worker, the
+/// Lock-Step congested-PE set, and membership deltas.
+struct StepGo {
+  std::uint64_t quantum = 0;
+  std::uint8_t flags = 0;  ///< bit 0: final quantum — report and exit
+  std::vector<SdoDelivery> deliveries;
+  std::vector<Advert> adverts;
+  std::vector<std::uint32_t> congested_pes;  ///< Lock-Step backpressure set
+  std::vector<std::uint32_t> down_nodes;     ///< dead-worker membership
+  std::vector<std::uint32_t> up_nodes;       ///< respawned-worker membership
+};
+inline constexpr std::uint8_t kStepGoFinal = 1;
+
+/// Barrier completion: cross-node outboxes plus this worker's local fault
+/// transitions (crashed/restored node ids double as the event-driven
+/// reoptimize trigger the coordinator acts on).
+struct StepDone {
+  std::uint64_t quantum = 0;
+  std::vector<SdoDelivery> deliveries;  ///< cross-worker outbox
+  std::vector<Advert> adverts;          ///< locally refreshed mailboxes
+  std::vector<std::uint32_t> congested_pes;   ///< local PEs holding backlog
+  std::vector<std::uint32_t> crashed_nodes;   ///< reoptimize trigger
+  std::vector<std::uint32_t> restored_nodes;  ///< reoptimize trigger
+};
+
+struct Heartbeat {
+  std::uint32_t rank = 0;
+  std::uint64_t quantum = 0;  ///< barrier the worker is computing
+};
+
+/// Tier-1 target vector (full PE index space), pushed after a re-solve.
+struct Targets {
+  std::uint64_t revision = 0;
+  std::vector<double> cpu;
+  std::vector<double> rin;
+  std::vector<double> rout;
+};
+
+/// Partial RunReport from one worker: its local PEs' contribution, with the
+/// accumulator internals carried bit-exactly (OnlineStats/LogHistogram
+/// from_raw) so the merged report is independent of the transport.
+struct Report {
+  metrics::RunReport report;
+  std::uint64_t rank = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Codecs. encode_* produce a complete frame (header + payload); decode_*
+// parse the *payload* of a frame whose type was already matched, returning
+// std::nullopt and filling `error` on any malformation.
+
+std::vector<std::uint8_t> encode(const Hello& v);
+std::vector<std::uint8_t> encode(const Config& v);
+std::vector<std::uint8_t> encode(const StepGo& v);
+std::vector<std::uint8_t> encode(const StepDone& v);
+std::vector<std::uint8_t> encode(const Heartbeat& v);
+std::vector<std::uint8_t> encode(const Targets& v);
+std::vector<std::uint8_t> encode(const Report& v);
+std::vector<std::uint8_t> encode_shutdown();
+
+std::optional<Hello> decode_hello(const std::vector<std::uint8_t>& payload,
+                                  WireError* error = nullptr);
+std::optional<Config> decode_config(const std::vector<std::uint8_t>& payload,
+                                    WireError* error = nullptr);
+std::optional<StepGo> decode_step_go(const std::vector<std::uint8_t>& payload,
+                                     WireError* error = nullptr);
+std::optional<StepDone> decode_step_done(
+    const std::vector<std::uint8_t>& payload, WireError* error = nullptr);
+std::optional<Heartbeat> decode_heartbeat(
+    const std::vector<std::uint8_t>& payload, WireError* error = nullptr);
+std::optional<Targets> decode_targets(const std::vector<std::uint8_t>& payload,
+                                      WireError* error = nullptr);
+std::optional<Report> decode_report(const std::vector<std::uint8_t>& payload,
+                                    WireError* error = nullptr);
+
+/// Splits a complete frame (header + payload) back into a Frame. Returns
+/// nullopt on bad magic/version/type, truncation, or an oversized length.
+std::optional<Frame> parse_frame(const std::uint8_t* data, std::size_t size,
+                                 WireError* error = nullptr);
+
+/// Frame header for `type` and `payload_size`, for incremental senders.
+std::array<std::uint8_t, 8> frame_header(FrameType type,
+                                         std::uint32_t payload_size);
+/// Validates a header and extracts the type + payload length.
+std::optional<std::pair<FrameType, std::uint32_t>> parse_header(
+    const std::uint8_t* data, WireError* error = nullptr);
+
+const char* to_string(FrameType type);
+
+}  // namespace aces::runtime::wire

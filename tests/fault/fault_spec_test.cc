@@ -125,5 +125,50 @@ TEST(FaultSpecTest, ValidateChecksIdsAgainstTheGraph) {
       CheckFailure);
 }
 
+TEST(FaultSpecTest, ParsesProcKillClause) {
+  const FaultSchedule s = parse_fault_spec(
+      "prockill node=1 at=10 restart=20; prockill node=2 at=5");
+  ASSERT_EQ(s.proc_kills.size(), 2u);
+  EXPECT_EQ(s.proc_kills[0].node, NodeId(1));
+  EXPECT_DOUBLE_EQ(s.proc_kills[0].at, 10.0);
+  EXPECT_DOUBLE_EQ(s.proc_kills[0].restart_at, 20.0);
+  EXPECT_EQ(s.proc_kills[1].node, NodeId(2));
+  EXPECT_DOUBLE_EQ(s.proc_kills[1].at, 5.0);
+  // restart= omitted means never respawn.
+  EXPECT_LT(s.proc_kills[1].restart_at, 0.0);
+  EXPECT_EQ(s.size(), 2u);
+
+  const FaultSchedule back = parse_fault_spec(to_string(s));
+  ASSERT_EQ(back.proc_kills.size(), 2u);
+  EXPECT_EQ(back.proc_kills[0].node, s.proc_kills[0].node);
+  EXPECT_DOUBLE_EQ(back.proc_kills[0].restart_at,
+                   s.proc_kills[0].restart_at);
+  EXPECT_LT(back.proc_kills[1].restart_at, 0.0);
+}
+
+TEST(FaultSpecTest, RejectsMalformedProcKill) {
+  // The respawn must come strictly after the kill.
+  EXPECT_THROW(parse_fault_spec("prockill node=1 at=10 restart=10"),
+               std::runtime_error);
+  EXPECT_THROW(parse_fault_spec("prockill node=1 at=10 restart=5"),
+               std::runtime_error);
+  EXPECT_THROW(parse_fault_spec("prockill at=10"), std::runtime_error);
+  EXPECT_THROW(parse_fault_spec("prockill node=1 at=10 until=20"),
+               std::runtime_error);
+}
+
+TEST(FaultSpecTest, ValidateChecksProcKillNodeAgainstTheGraph) {
+  graph::TopologyParams params;
+  params.num_nodes = 3;
+  params.num_ingress = 3;
+  params.num_intermediate = 3;
+  params.num_egress = 3;
+  const graph::ProcessingGraph g = generate_topology(params, 1);
+
+  EXPECT_NO_THROW(validate(parse_fault_spec("prockill node=2 at=1"), g));
+  EXPECT_THROW(validate(parse_fault_spec("prockill node=3 at=1"), g),
+               CheckFailure);
+}
+
 }  // namespace
 }  // namespace aces::fault

@@ -1,0 +1,173 @@
+// Process-kill integration test for the distributed runtime's failure path
+// (dist_coordinator.h, "Failure handling"). A prockill clause SIGKILLs a
+// live worker process mid-run (abrupt endpoint close on the in-process
+// transport); the coordinator must detect the death, clamp the dead
+// shard's advertisements, re-solve tier 1 excluding the dead nodes, keep
+// the surviving shards flowing, and shut down without leaking a single
+// worker process.
+//
+// Kills are executed at a deterministic barrier, so killed runs are
+// repeatable: the same options produce byte-identical work fingerprints on
+// every repetition and on both transports. ctest runs this binary
+// repeatedly in CI to hold that bar.
+//
+// Provides its own main(): socket-transport workers are this binary
+// re-executed with a hidden `dist-worker` argv.
+#include <cstdint>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "control/config.h"
+#include "fault/fault_spec.h"
+#include "graph/topology_generator.h"
+#include "metrics/report_fingerprint.h"
+#include "opt/global_optimizer.h"
+#include "runtime/dist_coordinator.h"
+#include "runtime/dist_options.h"
+#include "runtime/dist_worker.h"
+
+namespace aces {
+namespace {
+
+/// Detection must be far faster than the run: the SIGKILL closes the
+/// worker's socket, so the coordinator notices within one receive slice,
+/// not only at the heartbeat timeout. One wall second of slack absorbs a
+/// loaded CI machine.
+constexpr double kDetectLatencyBound = 1.0;
+
+graph::ProcessingGraph test_graph() {
+  graph::TopologyParams p;
+  p.num_nodes = 3;
+  p.num_ingress = 2;
+  p.num_intermediate = 4;
+  p.num_egress = 2;
+  p.depth = 2;
+  return generate_topology(p, 21);
+}
+
+runtime::dist::DistOptions base_options(
+    runtime::transport::TransportKind kind, std::uint32_t processes,
+    const std::string& faults) {
+  runtime::dist::DistOptions o;
+  o.duration = 10.0;
+  o.warmup = 2.0;
+  o.seed = 77;
+  o.processes = processes;
+  o.transport = kind;
+  o.controller.policy = control::FlowPolicy::kAces;
+  if (!faults.empty()) o.faults = fault::parse_fault_spec(faults);
+  return o;
+}
+
+TEST(ProcessKillTest, KillFreeUdsRunMatchesInProcByteForByte) {
+  const graph::ProcessingGraph g = test_graph();
+  const opt::AllocationPlan plan = opt::optimize(g);
+
+  const metrics::RunReport inproc = runtime::dist::run_distributed(
+      g, plan,
+      base_options(runtime::transport::TransportKind::kInProc, 2, ""));
+  const metrics::RunReport uds = runtime::dist::run_distributed(
+      g, plan, base_options(runtime::transport::TransportKind::kUds, 2, ""));
+
+  ASSERT_GT(inproc.sdos_processed, 0u);
+  EXPECT_EQ(metrics::work_fingerprint(inproc),
+            metrics::work_fingerprint(uds));
+}
+
+TEST(ProcessKillTest, SigkillIsDetectedExcludedAndSurvived) {
+  const graph::ProcessingGraph g = test_graph();
+  const opt::AllocationPlan plan = opt::optimize(g);
+
+  // Three shards over three nodes: the kill takes out exactly node 0's
+  // worker process, mid-run, with no restart. (Node 0 hosts intermediates
+  // only — a dead worker's partial report dies with it, so killing the
+  // egress-hosting node would zero the reported output by construction.)
+  runtime::dist::DistStats stats;
+  const metrics::RunReport report = runtime::dist::run_distributed(
+      g, plan,
+      base_options(runtime::transport::TransportKind::kUds, 3,
+                   "prockill node=0 at=4"),
+      &stats);
+
+  EXPECT_EQ(stats.workers_killed, 1u);
+  EXPECT_EQ(stats.workers_restarted, 0u);
+  // Real detection latency, measured from the SIGKILL to the coordinator
+  // declaring the worker dead.
+  EXPECT_GE(stats.kill_detect_wall_seconds, 0.0);
+  EXPECT_LT(stats.kill_detect_wall_seconds, kDetectLatencyBound);
+  // The membership change triggers an event-driven tier-1 re-solve
+  // excluding the dead node (optimize_excluding), pushed to survivors.
+  EXPECT_GE(stats.reoptimizations, 1u);
+  EXPECT_EQ(report.reoptimizations, stats.reoptimizations);
+  // Clean shutdown: every worker reaped through the normal path.
+  EXPECT_EQ(stats.orphans_reaped, 0u);
+  // The survivors keep producing output — dead-shard advertisements are
+  // clamped (staleness clamp) rather than left at their last optimistic
+  // value, so upstream flow control reroutes instead of stalling.
+  EXPECT_GT(report.sdos_processed, 0u);
+  EXPECT_GT(report.weighted_throughput, 0.0);
+}
+
+TEST(ProcessKillTest, KilledRunIsDeterministicAcrossRepeatsAndTransports) {
+  const graph::ProcessingGraph g = test_graph();
+  const opt::AllocationPlan plan = opt::optimize(g);
+  const std::string faults = "prockill node=2 at=4 restart=6";
+
+  runtime::dist::DistStats s1;
+  const metrics::RunReport uds1 = runtime::dist::run_distributed(
+      g, plan,
+      base_options(runtime::transport::TransportKind::kUds, 2, faults), &s1);
+  runtime::dist::DistStats s2;
+  const metrics::RunReport uds2 = runtime::dist::run_distributed(
+      g, plan,
+      base_options(runtime::transport::TransportKind::kUds, 2, faults), &s2);
+  runtime::dist::DistStats s3;
+  const metrics::RunReport inproc = runtime::dist::run_distributed(
+      g, plan,
+      base_options(runtime::transport::TransportKind::kInProc, 2, faults),
+      &s3);
+
+  // Kills execute at a deterministic barrier, so the computation — though
+  // lossy — is repeatable, and the in-process endpoint-close stands in
+  // exactly for the socket SIGKILL.
+  ASSERT_GT(uds1.sdos_processed, 0u);
+  EXPECT_EQ(metrics::work_fingerprint(uds1), metrics::work_fingerprint(uds2));
+  EXPECT_EQ(metrics::work_fingerprint(uds1),
+            metrics::work_fingerprint(inproc));
+  EXPECT_EQ(s1.workers_killed, 1u);
+  EXPECT_EQ(s3.workers_killed, 1u);
+  EXPECT_EQ(s1.orphans_reaped, 0u);
+  EXPECT_EQ(s3.orphans_reaped, 0u);
+}
+
+TEST(ProcessKillTest, RestartRejoinsAndReoptimizesAgain) {
+  const graph::ProcessingGraph g = test_graph();
+  const opt::AllocationPlan plan = opt::optimize(g);
+
+  runtime::dist::DistStats stats;
+  const metrics::RunReport report = runtime::dist::run_distributed(
+      g, plan,
+      base_options(runtime::transport::TransportKind::kUds, 3,
+                   "prockill node=1 at=4 restart=6"),
+      &stats);
+
+  EXPECT_EQ(stats.workers_killed, 1u);
+  EXPECT_EQ(stats.workers_restarted, 1u);
+  // One re-solve for the death, one for the rejoin.
+  EXPECT_GE(stats.reoptimizations, 2u);
+  EXPECT_EQ(stats.orphans_reaped, 0u);
+  EXPECT_GT(report.sdos_processed, 0u);
+  EXPECT_GT(report.weighted_throughput, 0.0);
+}
+
+}  // namespace
+}  // namespace aces
+
+int main(int argc, char** argv) {
+  if (const int rc = aces::runtime::dist::maybe_worker(argc, argv); rc >= 0) {
+    return rc;
+  }
+  ::testing::InitGoogleTest(&argc, argv);
+  return RUN_ALL_TESTS();
+}

@@ -1,0 +1,107 @@
+// Fuzz-style robustness pass over the wire codecs, run as a regular ctest
+// entry so every CI build exercises it (CI additionally runs it under
+// sanitizers). Three attack surfaces:
+//
+//   1. pure random garbage fed to parse_frame and every decoder,
+//   2. valid frames with random byte flips (header and payload),
+//   3. valid frames truncated or extended at random points.
+//
+// The contract under test is narrow and absolute: decoders return
+// std::nullopt with a non-empty WireError reason — they never crash, never
+// throw, never read out of bounds (ASan/UBSan legs verify the latter).
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "runtime/wire.h"
+
+namespace aces::runtime::wire {
+namespace {
+
+/// Runs every payload decoder over the buffer; none may crash or throw.
+/// Returns how many succeeded (diagnostic only).
+int decode_all(const std::vector<std::uint8_t>& payload) {
+  int ok = 0;
+  WireError err;
+  ok += decode_hello(payload, &err).has_value() ? 1 : 0;
+  ok += decode_config(payload, &err).has_value() ? 1 : 0;
+  ok += decode_step_go(payload, &err).has_value() ? 1 : 0;
+  ok += decode_step_done(payload, &err).has_value() ? 1 : 0;
+  ok += decode_heartbeat(payload, &err).has_value() ? 1 : 0;
+  ok += decode_targets(payload, &err).has_value() ? 1 : 0;
+  ok += decode_report(payload, &err).has_value() ? 1 : 0;
+  return ok;
+}
+
+TEST(WireFuzz, RandomGarbage) {
+  Rng rng(0xF022);
+  for (int iter = 0; iter < 2000; ++iter) {
+    std::vector<std::uint8_t> buf(
+        static_cast<std::size_t>(rng.uniform_int(0, 256)));
+    for (std::uint8_t& b : buf) {
+      b = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+    }
+    WireError err;
+    (void)parse_frame(buf.data(), buf.size(), &err);
+    (void)decode_all(buf);
+  }
+}
+
+TEST(WireFuzz, MutatedValidFrames) {
+  Rng rng(0xF023);
+  for (int iter = 0; iter < 500; ++iter) {
+    StepGo g;
+    g.quantum = static_cast<std::uint64_t>(rng.uniform_int(0, 1 << 20));
+    const auto n = static_cast<std::size_t>(rng.uniform_int(0, 16));
+    for (std::size_t i = 0; i < n; ++i) {
+      g.deliveries.push_back(
+          SdoDelivery{static_cast<std::uint32_t>(rng.uniform_int(0, 100)),
+                      static_cast<std::uint32_t>(rng.uniform_int(0, 10)),
+                      rng.uniform()});
+      g.adverts.push_back(
+          Advert{static_cast<std::uint32_t>(rng.uniform_int(0, 100)),
+                 rng.uniform(), rng.uniform()});
+    }
+    auto frame = encode(g);
+    const auto flips = static_cast<int>(rng.uniform_int(1, 8));
+    for (int f = 0; f < flips; ++f) {
+      const auto at = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(frame.size()) - 1));
+      frame[at] ^= static_cast<std::uint8_t>(rng.uniform_int(1, 255));
+    }
+    WireError err;
+    const auto parsed = parse_frame(frame.data(), frame.size(), &err);
+    if (parsed.has_value()) (void)decode_all(parsed->payload);
+  }
+}
+
+TEST(WireFuzz, ResizedValidFrames) {
+  Rng rng(0xF024);
+  for (int iter = 0; iter < 500; ++iter) {
+    Targets t;
+    const auto n = static_cast<std::size_t>(rng.uniform_int(0, 32));
+    for (std::size_t i = 0; i < n; ++i) {
+      t.cpu.push_back(rng.uniform());
+      t.rin.push_back(rng.uniform());
+      t.rout.push_back(rng.uniform());
+    }
+    auto frame = encode(t);
+    if (rng.bernoulli(0.5)) {
+      frame.resize(static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(frame.size()))));
+    } else {
+      const auto extra = static_cast<std::size_t>(rng.uniform_int(1, 64));
+      for (std::size_t i = 0; i < extra; ++i) {
+        frame.push_back(static_cast<std::uint8_t>(rng.uniform_int(0, 255)));
+      }
+    }
+    WireError err;
+    const auto parsed = parse_frame(frame.data(), frame.size(), &err);
+    if (parsed.has_value()) (void)decode_all(parsed->payload);
+  }
+}
+
+}  // namespace
+}  // namespace aces::runtime::wire

@@ -1,0 +1,560 @@
+#include "runtime/wire.h"
+
+#include <cstring>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "metrics/run_report.h"
+
+namespace aces::runtime::wire {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Seeded random payload builders. Every field is drawn from the full value
+// range the codec claims to support (including NaN-free doubles of both
+// signs, empty and large vectors, embedded NULs in strings).
+
+double random_double(Rng& rng) {
+  switch (rng.uniform_int(0, 4)) {
+    case 0:
+      return 0.0;
+    case 1:
+      return -rng.exponential(1e6);
+    case 2:
+      return rng.uniform(-1.0, 1.0) * 1e-300;
+    case 3:
+      return std::numeric_limits<double>::infinity();
+    default:
+      return rng.uniform(-1e9, 1e9);
+  }
+}
+
+std::string random_string(Rng& rng, std::size_t max_len) {
+  const auto len = static_cast<std::size_t>(
+      rng.uniform_int(0, static_cast<std::int64_t>(max_len)));
+  std::string s(len, '\0');
+  for (char& c : s) c = static_cast<char>(rng.uniform_int(0, 255));
+  return s;
+}
+
+std::vector<double> random_doubles(Rng& rng, std::size_t max_len) {
+  std::vector<double> v(static_cast<std::size_t>(
+      rng.uniform_int(0, static_cast<std::int64_t>(max_len))));
+  for (double& d : v) d = random_double(rng);
+  return v;
+}
+
+std::vector<std::uint32_t> random_u32s(Rng& rng, std::size_t max_len) {
+  std::vector<std::uint32_t> v(static_cast<std::size_t>(
+      rng.uniform_int(0, static_cast<std::int64_t>(max_len))));
+  for (std::uint32_t& x : v) {
+    x = static_cast<std::uint32_t>(rng.uniform_int(0, 0xFFFFFFFFLL));
+  }
+  return v;
+}
+
+std::vector<SdoDelivery> random_deliveries(Rng& rng, std::size_t max_len) {
+  std::vector<SdoDelivery> v(static_cast<std::size_t>(
+      rng.uniform_int(0, static_cast<std::int64_t>(max_len))));
+  for (SdoDelivery& d : v) {
+    d.dest_pe = static_cast<std::uint32_t>(rng.uniform_int(0, 1 << 20));
+    d.src_node = static_cast<std::uint32_t>(rng.uniform_int(0, 1 << 16));
+    d.birth = random_double(rng);
+  }
+  return v;
+}
+
+std::vector<Advert> random_adverts(Rng& rng, std::size_t max_len) {
+  std::vector<Advert> v(static_cast<std::size_t>(
+      rng.uniform_int(0, static_cast<std::int64_t>(max_len))));
+  for (Advert& a : v) {
+    a.pe = static_cast<std::uint32_t>(rng.uniform_int(0, 1 << 20));
+    a.rmax = random_double(rng);
+    a.time = random_double(rng);
+  }
+  return v;
+}
+
+Hello random_hello(Rng& rng) {
+  Hello h;
+  h.rank = static_cast<std::uint32_t>(rng.uniform_int(0, 0xFFFF));
+  h.pid = static_cast<std::uint64_t>(rng.uniform_int(0, 1 << 30));
+  return h;
+}
+
+Config random_config(Rng& rng) {
+  Config c;
+  c.rank = static_cast<std::uint32_t>(rng.uniform_int(0, 255));
+  c.num_workers = static_cast<std::uint32_t>(rng.uniform_int(1, 256));
+  c.substeps = static_cast<std::uint32_t>(rng.uniform_int(1, 64));
+  c.seed = static_cast<std::uint64_t>(rng.uniform_int(0, 1LL << 40));
+  c.duration = rng.uniform(0.0, 1e4);
+  c.warmup = rng.uniform(0.0, 1e3);
+  c.dt = rng.uniform(1e-3, 10.0);
+  c.policy = static_cast<std::uint8_t>(rng.uniform_int(0, 3));
+  c.staleness = random_double(rng);
+  c.batch = static_cast<std::uint32_t>(rng.uniform_int(0, 1 << 12));
+  c.channel_capacity = static_cast<std::uint32_t>(rng.uniform_int(0, 1 << 16));
+  c.heartbeat_interval = rng.uniform(0.0, 5.0);
+  c.start_quantum = static_cast<std::uint64_t>(rng.uniform_int(0, 1 << 24));
+  c.topology = random_string(rng, 2048);
+  c.faults = random_string(rng, 256);
+  c.plan_cpu = random_doubles(rng, 64);
+  c.plan_rin = random_doubles(rng, 64);
+  c.plan_rout = random_doubles(rng, 64);
+  return c;
+}
+
+StepGo random_step_go(Rng& rng) {
+  StepGo g;
+  g.quantum = static_cast<std::uint64_t>(rng.uniform_int(0, 1LL << 32));
+  g.flags = rng.bernoulli(0.5) ? kStepGoFinal : 0;
+  g.deliveries = random_deliveries(rng, 128);
+  g.adverts = random_adverts(rng, 64);
+  g.congested_pes = random_u32s(rng, 32);
+  g.down_nodes = random_u32s(rng, 8);
+  g.up_nodes = random_u32s(rng, 8);
+  return g;
+}
+
+StepDone random_step_done(Rng& rng) {
+  StepDone d;
+  d.quantum = static_cast<std::uint64_t>(rng.uniform_int(0, 1LL << 32));
+  d.deliveries = random_deliveries(rng, 128);
+  d.adverts = random_adverts(rng, 64);
+  d.congested_pes = random_u32s(rng, 32);
+  d.crashed_nodes = random_u32s(rng, 4);
+  d.restored_nodes = random_u32s(rng, 4);
+  return d;
+}
+
+Heartbeat random_heartbeat(Rng& rng) {
+  Heartbeat h;
+  h.rank = static_cast<std::uint32_t>(rng.uniform_int(0, 0xFFFF));
+  h.quantum = static_cast<std::uint64_t>(rng.uniform_int(0, 1LL << 40));
+  return h;
+}
+
+Targets random_targets(Rng& rng) {
+  Targets t;
+  t.revision = static_cast<std::uint64_t>(rng.uniform_int(0, 1 << 20));
+  t.cpu = random_doubles(rng, 64);
+  t.rin = random_doubles(rng, 64);
+  t.rout = random_doubles(rng, 64);
+  return t;
+}
+
+Report random_report(Rng& rng) {
+  Report r;
+  r.rank = static_cast<std::uint64_t>(rng.uniform_int(0, 255));
+  metrics::RunReport& rep = r.report;
+  rep.measured_seconds = rng.uniform(0.0, 1e4);
+  rep.weighted_throughput = random_double(rng);
+  rep.output_rate = random_double(rng);
+  const int latency_samples = static_cast<int>(rng.uniform_int(0, 64));
+  for (int i = 0; i < latency_samples; ++i) {
+    const double sample = rng.exponential(0.1);
+    rep.latency.add(sample);
+    rep.latency_histogram.add(sample);
+  }
+  rep.internal_drops = static_cast<std::uint64_t>(rng.uniform_int(0, 1 << 20));
+  rep.ingress_drops = static_cast<std::uint64_t>(rng.uniform_int(0, 1 << 20));
+  rep.sdos_processed = static_cast<std::uint64_t>(rng.uniform_int(0, 1 << 30));
+  rep.cpu_utilization = rng.uniform(0.0, 1.0);
+  const int fill_samples = static_cast<int>(rng.uniform_int(0, 16));
+  for (int i = 0; i < fill_samples; ++i) rep.buffer_fill.add(rng.uniform());
+  const auto egress = static_cast<std::size_t>(rng.uniform_int(0, 8));
+  for (std::size_t i = 0; i < egress; ++i) {
+    rep.egress_outputs.push_back(
+        static_cast<std::uint64_t>(rng.uniform_int(0, 1 << 20)));
+  }
+  rep.per_pe.resize(static_cast<std::size_t>(rng.uniform_int(0, 32)));
+  for (metrics::PeAccounting& pe : rep.per_pe) {
+    pe.arrived = static_cast<std::uint64_t>(rng.uniform_int(0, 1 << 20));
+    pe.processed = static_cast<std::uint64_t>(rng.uniform_int(0, 1 << 20));
+    pe.emitted = static_cast<std::uint64_t>(rng.uniform_int(0, 1 << 20));
+    pe.dropped_input = static_cast<std::uint64_t>(rng.uniform_int(0, 1 << 16));
+    pe.cpu_seconds = rng.uniform(0.0, 1e3);
+  }
+  rep.events_executed = static_cast<std::uint64_t>(rng.uniform_int(0, 1 << 30));
+  rep.reoptimizations = static_cast<std::uint64_t>(rng.uniform_int(0, 64));
+  return r;
+}
+
+// ---------------------------------------------------------------------------
+// Bit-exact equality helpers (NaN-free by construction; infinities and
+// signed zeros must survive, so compare bit patterns, not values).
+
+bool bits_equal(double a, double b) {
+  std::uint64_t ba = 0;
+  std::uint64_t bb = 0;
+  std::memcpy(&ba, &a, sizeof a);
+  std::memcpy(&bb, &b, sizeof b);
+  return ba == bb;
+}
+
+void expect_eq(const SdoDelivery& a, const SdoDelivery& b) {
+  EXPECT_EQ(a.dest_pe, b.dest_pe);
+  EXPECT_EQ(a.src_node, b.src_node);
+  EXPECT_TRUE(bits_equal(a.birth, b.birth));
+}
+
+void expect_eq(const Advert& a, const Advert& b) {
+  EXPECT_EQ(a.pe, b.pe);
+  EXPECT_TRUE(bits_equal(a.rmax, b.rmax));
+  EXPECT_TRUE(bits_equal(a.time, b.time));
+}
+
+template <typename T, typename F>
+void expect_vec_eq(const std::vector<T>& a, const std::vector<T>& b, F&& cmp) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) cmp(a[i], b[i]);
+}
+
+void expect_doubles_eq(const std::vector<double>& a,
+                       const std::vector<double>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_TRUE(bits_equal(a[i], b[i])) << "index " << i;
+  }
+}
+
+/// Strips the 8-byte header off a complete encoded frame, checking the type.
+std::vector<std::uint8_t> payload_of(const std::vector<std::uint8_t>& frame,
+                                     FrameType want) {
+  auto parsed = parse_frame(frame.data(), frame.size());
+  EXPECT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->type, want);
+  return parsed ? parsed->payload : std::vector<std::uint8_t>{};
+}
+
+// ---------------------------------------------------------------------------
+// Round-trips: 500+ seeded encode→decode cycles across all frame types.
+
+TEST(WireRoundTrip, HelloSeeded) {
+  Rng rng(0xA11CE);
+  for (int i = 0; i < 100; ++i) {
+    const Hello in = random_hello(rng);
+    const auto out =
+        decode_hello(payload_of(encode(in), FrameType::kHello));
+    ASSERT_TRUE(out.has_value());
+    EXPECT_EQ(out->rank, in.rank);
+    EXPECT_EQ(out->pid, in.pid);
+  }
+}
+
+TEST(WireRoundTrip, ConfigSeeded) {
+  Rng rng(0xC0F16);
+  for (int i = 0; i < 100; ++i) {
+    const Config in = random_config(rng);
+    const auto out =
+        decode_config(payload_of(encode(in), FrameType::kConfig));
+    ASSERT_TRUE(out.has_value());
+    EXPECT_EQ(out->rank, in.rank);
+    EXPECT_EQ(out->num_workers, in.num_workers);
+    EXPECT_EQ(out->substeps, in.substeps);
+    EXPECT_EQ(out->seed, in.seed);
+    EXPECT_TRUE(bits_equal(out->duration, in.duration));
+    EXPECT_TRUE(bits_equal(out->warmup, in.warmup));
+    EXPECT_TRUE(bits_equal(out->dt, in.dt));
+    EXPECT_EQ(out->policy, in.policy);
+    EXPECT_TRUE(bits_equal(out->staleness, in.staleness));
+    EXPECT_EQ(out->batch, in.batch);
+    EXPECT_EQ(out->channel_capacity, in.channel_capacity);
+    EXPECT_TRUE(bits_equal(out->heartbeat_interval, in.heartbeat_interval));
+    EXPECT_EQ(out->start_quantum, in.start_quantum);
+    EXPECT_EQ(out->topology, in.topology);
+    EXPECT_EQ(out->faults, in.faults);
+    expect_doubles_eq(out->plan_cpu, in.plan_cpu);
+    expect_doubles_eq(out->plan_rin, in.plan_rin);
+    expect_doubles_eq(out->plan_rout, in.plan_rout);
+  }
+}
+
+TEST(WireRoundTrip, StepGoSeeded) {
+  Rng rng(0x60);
+  for (int i = 0; i < 100; ++i) {
+    const StepGo in = random_step_go(rng);
+    const auto out =
+        decode_step_go(payload_of(encode(in), FrameType::kStepGo));
+    ASSERT_TRUE(out.has_value());
+    EXPECT_EQ(out->quantum, in.quantum);
+    EXPECT_EQ(out->flags, in.flags);
+    expect_vec_eq(out->deliveries, in.deliveries,
+                  [](const auto& a, const auto& b) { expect_eq(a, b); });
+    expect_vec_eq(out->adverts, in.adverts,
+                  [](const auto& a, const auto& b) { expect_eq(a, b); });
+    EXPECT_EQ(out->congested_pes, in.congested_pes);
+    EXPECT_EQ(out->down_nodes, in.down_nodes);
+    EXPECT_EQ(out->up_nodes, in.up_nodes);
+  }
+}
+
+TEST(WireRoundTrip, StepDoneSeeded) {
+  Rng rng(0xD0E);
+  for (int i = 0; i < 100; ++i) {
+    const StepDone in = random_step_done(rng);
+    const auto out =
+        decode_step_done(payload_of(encode(in), FrameType::kStepDone));
+    ASSERT_TRUE(out.has_value());
+    EXPECT_EQ(out->quantum, in.quantum);
+    expect_vec_eq(out->deliveries, in.deliveries,
+                  [](const auto& a, const auto& b) { expect_eq(a, b); });
+    expect_vec_eq(out->adverts, in.adverts,
+                  [](const auto& a, const auto& b) { expect_eq(a, b); });
+    EXPECT_EQ(out->congested_pes, in.congested_pes);
+    EXPECT_EQ(out->crashed_nodes, in.crashed_nodes);
+    EXPECT_EQ(out->restored_nodes, in.restored_nodes);
+  }
+}
+
+TEST(WireRoundTrip, HeartbeatAndTargetsSeeded) {
+  Rng rng(0xBEA7);
+  for (int i = 0; i < 100; ++i) {
+    const Heartbeat in = random_heartbeat(rng);
+    const auto out =
+        decode_heartbeat(payload_of(encode(in), FrameType::kHeartbeat));
+    ASSERT_TRUE(out.has_value());
+    EXPECT_EQ(out->rank, in.rank);
+    EXPECT_EQ(out->quantum, in.quantum);
+
+    const Targets tin = random_targets(rng);
+    const auto tout =
+        decode_targets(payload_of(encode(tin), FrameType::kTargets));
+    ASSERT_TRUE(tout.has_value());
+    EXPECT_EQ(tout->revision, tin.revision);
+    expect_doubles_eq(tout->cpu, tin.cpu);
+    expect_doubles_eq(tout->rin, tin.rin);
+    expect_doubles_eq(tout->rout, tin.rout);
+  }
+}
+
+TEST(WireRoundTrip, ReportSeeded) {
+  Rng rng(0x3E9);
+  for (int i = 0; i < 100; ++i) {
+    const Report in = random_report(rng);
+    const auto out =
+        decode_report(payload_of(encode(in), FrameType::kReport));
+    ASSERT_TRUE(out.has_value());
+    EXPECT_EQ(out->rank, in.rank);
+    const metrics::RunReport& a = out->report;
+    const metrics::RunReport& b = in.report;
+    EXPECT_TRUE(bits_equal(a.measured_seconds, b.measured_seconds));
+    EXPECT_TRUE(bits_equal(a.weighted_throughput, b.weighted_throughput));
+    EXPECT_TRUE(bits_equal(a.output_rate, b.output_rate));
+    // The accumulators must transfer bit-exactly (from_raw round trip).
+    EXPECT_EQ(a.latency.count(), b.latency.count());
+    EXPECT_TRUE(bits_equal(a.latency.mean(), b.latency.mean()));
+    EXPECT_TRUE(bits_equal(a.latency.m2(), b.latency.m2()));
+    EXPECT_TRUE(bits_equal(a.latency.min(), b.latency.min()));
+    EXPECT_TRUE(bits_equal(a.latency.max(), b.latency.max()));
+    EXPECT_EQ(a.latency_histogram.count(), b.latency_histogram.count());
+    EXPECT_TRUE(bits_equal(a.latency_histogram.p99(),
+                           b.latency_histogram.p99()));
+    EXPECT_EQ(a.internal_drops, b.internal_drops);
+    EXPECT_EQ(a.ingress_drops, b.ingress_drops);
+    EXPECT_EQ(a.sdos_processed, b.sdos_processed);
+    EXPECT_TRUE(bits_equal(a.cpu_utilization, b.cpu_utilization));
+    EXPECT_EQ(a.buffer_fill.count(), b.buffer_fill.count());
+    EXPECT_TRUE(bits_equal(a.buffer_fill.mean(), b.buffer_fill.mean()));
+    EXPECT_EQ(a.egress_outputs, b.egress_outputs);
+    ASSERT_EQ(a.per_pe.size(), b.per_pe.size());
+    for (std::size_t p = 0; p < a.per_pe.size(); ++p) {
+      EXPECT_EQ(a.per_pe[p].arrived, b.per_pe[p].arrived);
+      EXPECT_EQ(a.per_pe[p].processed, b.per_pe[p].processed);
+      EXPECT_EQ(a.per_pe[p].emitted, b.per_pe[p].emitted);
+      EXPECT_EQ(a.per_pe[p].dropped_input, b.per_pe[p].dropped_input);
+      EXPECT_TRUE(bits_equal(a.per_pe[p].cpu_seconds, b.per_pe[p].cpu_seconds));
+    }
+    EXPECT_EQ(a.events_executed, b.events_executed);
+    EXPECT_EQ(a.reoptimizations, b.reoptimizations);
+  }
+}
+
+TEST(WireRoundTrip, Shutdown) {
+  const auto frame = encode_shutdown();
+  const auto parsed = parse_frame(frame.data(), frame.size());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->type, FrameType::kShutdown);
+  EXPECT_TRUE(parsed->payload.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Golden byte fixtures: pin the layout so a codec change that silently
+// breaks cross-version compatibility fails loudly. Regenerate by printing
+// the encoder output — but a mismatch means the wire version must bump.
+
+TEST(WireGolden, HeaderLayout) {
+  const auto h = frame_header(FrameType::kStepGo, 0xAABBCCDD);
+  const std::uint8_t want[8] = {0xE5, 0xAC, 0x01, 0x03, 0xDD, 0xCC, 0xBB, 0xAA};
+  EXPECT_EQ(0, std::memcmp(h.data(), want, sizeof want));
+}
+
+TEST(WireGolden, HelloBytes) {
+  Hello h;
+  h.rank = 0x01020304;
+  h.pid = 0x1122334455667788ULL;
+  const auto frame = encode(h);
+  const std::uint8_t want[] = {
+      0xE5, 0xAC, 0x01, 0x01, 0x0C, 0x00, 0x00, 0x00,  // header, len 12
+      0x04, 0x03, 0x02, 0x01,                          // rank LE
+      0x88, 0x77, 0x66, 0x55, 0x44, 0x33, 0x22, 0x11,  // pid LE
+  };
+  ASSERT_EQ(frame.size(), sizeof want);
+  EXPECT_EQ(0, std::memcmp(frame.data(), want, sizeof want));
+}
+
+TEST(WireGolden, HeartbeatBytes) {
+  Heartbeat hb;
+  hb.rank = 2;
+  hb.quantum = 7;
+  const auto frame = encode(hb);
+  const std::uint8_t want[] = {
+      0xE5, 0xAC, 0x01, 0x05, 0x0C, 0x00, 0x00, 0x00,
+      0x02, 0x00, 0x00, 0x00,
+      0x07, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
+  };
+  ASSERT_EQ(frame.size(), sizeof want);
+  EXPECT_EQ(0, std::memcmp(frame.data(), want, sizeof want));
+}
+
+TEST(WireGolden, DoubleIsIeeeBitsLe) {
+  // 1.0 = 0x3FF0000000000000; the advert codec must emit exactly those
+  // bytes little-endian, not a text round trip.
+  StepGo g;
+  g.quantum = 0;
+  g.adverts.push_back(Advert{5, 1.0, -0.0});
+  const auto frame = encode(g);
+  // Find the 8-byte pattern for 1.0 in the payload.
+  const std::uint8_t one[] = {0, 0, 0, 0, 0, 0, 0xF0, 0x3F};
+  const std::uint8_t neg_zero[] = {0, 0, 0, 0, 0, 0, 0, 0x80};
+  auto contains = [&frame](const std::uint8_t* pat, std::size_t n) {
+    for (std::size_t i = 0; i + n <= frame.size(); ++i) {
+      if (std::memcmp(frame.data() + i, pat, n) == 0) return true;
+    }
+    return false;
+  };
+  EXPECT_TRUE(contains(one, sizeof one));
+  EXPECT_TRUE(contains(neg_zero, sizeof neg_zero));
+}
+
+// ---------------------------------------------------------------------------
+// Malformed input: truncation, bad magic/version/type, oversized lengths,
+// and trailing garbage must yield errors — never UB, never a throw.
+
+TEST(WireReject, TruncatedAtEveryByte) {
+  Rng rng(0x7241);
+  const StepGo in = random_step_go(rng);
+  const auto frame = encode(in);
+  for (std::size_t cut = 0; cut < frame.size(); ++cut) {
+    WireError err;
+    const auto parsed = parse_frame(frame.data(), cut, &err);
+    EXPECT_FALSE(parsed.has_value()) << "cut at " << cut;
+    EXPECT_FALSE(err.reason.empty());
+  }
+}
+
+TEST(WireReject, TruncatedPayloadAtEveryByte) {
+  Rng rng(0x7242);
+  const StepDone in = random_step_done(rng);
+  auto payload = payload_of(encode(in), FrameType::kStepDone);
+  ASSERT_FALSE(payload.empty());
+  for (std::size_t cut = 0; cut < payload.size(); ++cut) {
+    std::vector<std::uint8_t> truncated(payload.begin(),
+                                        payload.begin() + cut);
+    WireError err;
+    const auto out = decode_step_done(truncated, &err);
+    EXPECT_FALSE(out.has_value()) << "cut at " << cut;
+    EXPECT_FALSE(err.reason.empty());
+  }
+}
+
+TEST(WireReject, TrailingBytes) {
+  Heartbeat hb;
+  auto payload = payload_of(encode(hb), FrameType::kHeartbeat);
+  payload.push_back(0x00);
+  WireError err;
+  EXPECT_FALSE(decode_heartbeat(payload, &err).has_value());
+  EXPECT_FALSE(err.reason.empty());
+}
+
+TEST(WireReject, BadMagic) {
+  auto frame = encode(Hello{});
+  frame[0] ^= 0xFF;
+  WireError err;
+  EXPECT_FALSE(parse_frame(frame.data(), frame.size(), &err).has_value());
+  EXPECT_NE(err.reason.find("magic"), std::string::npos);
+}
+
+TEST(WireReject, BadVersion) {
+  auto frame = encode(Hello{});
+  frame[2] = kWireVersion + 1;
+  WireError err;
+  EXPECT_FALSE(parse_frame(frame.data(), frame.size(), &err).has_value());
+  EXPECT_NE(err.reason.find("version"), std::string::npos);
+}
+
+TEST(WireReject, BadFrameType) {
+  auto frame = encode(Hello{});
+  frame[3] = 0;  // below the valid range
+  WireError err;
+  EXPECT_FALSE(parse_frame(frame.data(), frame.size(), &err).has_value());
+  frame[3] = 200;  // above the valid range
+  EXPECT_FALSE(parse_frame(frame.data(), frame.size(), &err).has_value());
+}
+
+TEST(WireReject, OversizedLength) {
+  auto frame = encode(Hello{});
+  const std::uint32_t huge = kMaxFramePayload + 1;
+  std::memcpy(frame.data() + 4, &huge, sizeof huge);
+  WireError err;
+  EXPECT_FALSE(parse_frame(frame.data(), frame.size(), &err).has_value());
+  EXPECT_FALSE(err.reason.empty());
+}
+
+TEST(WireReject, LengthLongerThanBuffer) {
+  auto frame = encode(Hello{});
+  const std::uint32_t claim = 1024;  // sane length, but buffer is shorter
+  std::memcpy(frame.data() + 4, &claim, sizeof claim);
+  WireError err;
+  EXPECT_FALSE(parse_frame(frame.data(), frame.size(), &err).has_value());
+  EXPECT_FALSE(err.reason.empty());
+}
+
+TEST(WireReject, ImplausibleVectorCount) {
+  // A StepGo whose delivery count claims 2^31 elements in a tiny payload
+  // must be rejected by the count guard, not attempt the allocation.
+  std::vector<std::uint8_t> payload;
+  const std::uint64_t quantum = 1;
+  payload.resize(8 + 1);
+  std::memcpy(payload.data(), &quantum, 8);
+  payload[8] = 0;  // flags
+  const std::uint32_t bogus = 0x80000000u;
+  for (std::size_t i = 0; i < 4; ++i) {
+    payload.push_back(static_cast<std::uint8_t>(bogus >> (8 * i)));
+  }
+  WireError err;
+  EXPECT_FALSE(decode_step_go(payload, &err).has_value());
+  EXPECT_FALSE(err.reason.empty());
+}
+
+TEST(WireReject, WrongDecoderForType) {
+  // Feeding a Hello payload to the Config decoder must fail cleanly.
+  const auto payload = payload_of(encode(Hello{}), FrameType::kHello);
+  WireError err;
+  EXPECT_FALSE(decode_config(payload, &err).has_value());
+  EXPECT_FALSE(err.reason.empty());
+}
+
+TEST(WireToString, CoversAllTypes) {
+  for (std::uint8_t t = 1; t <= 8; ++t) {
+    EXPECT_NE(std::string(to_string(static_cast<FrameType>(t))), "");
+  }
+}
+
+}  // namespace
+}  // namespace aces::runtime::wire

@@ -9,6 +9,8 @@
 //                 [--staleness=1] [--reoptimize=5]
 //   aces compare  --topology=topo.txt [--duration=60] [--seed=1] [--csv]
 //                 [--runtime] [--timescale=5] [--trace=out.jsonl]
+//                 [--transport=thread|inproc|uds|tcp] [--processes=2]
+//                 [--substeps=4] [--fingerprint]
 //                 [--faults=@faults.txt] [--staleness=1] [--reoptimize=5]
 //   aces trace-summary --in=out.jsonl [--tail=0.25] [--tolerance=0.1]
 //   aces sweep    --grid=@grid.txt [--jobs=4] [--out=BENCH_sweep.json]
@@ -47,7 +49,10 @@
 #include "obs/trace.h"
 #include "obs/trace_summary.h"
 #include "opt/dual_optimizer.h"
+#include "runtime/dist_coordinator.h"
+#include "runtime/dist_worker.h"
 #include "runtime/runtime_engine.h"
+#include "runtime/transport/transport.h"
 #include "sim/stream_simulation.h"
 
 namespace {
@@ -432,6 +437,38 @@ harness::RunSummary run_one_runtime(const graph::ProcessingGraph& g,
   return harness::summarize(report, plan.weighted_throughput);
 }
 
+/// One policy on the multi-process distributed runtime. Unlike the
+/// wall-paced threaded runtime this substrate is deterministic, so the
+/// merged report (and its fingerprint) is reproducible for any transport
+/// and process count.
+harness::RunSummary run_one_dist(const graph::ProcessingGraph& g,
+                                 const opt::AllocationPlan& plan,
+                                 control::FlowPolicy policy, double duration,
+                                 double warmup, int seed,
+                                 const DataPlaneFlags& data_plane,
+                                 runtime::transport::TransportKind transport,
+                                 int processes, int substeps,
+                                 const FaultFlags& faults,
+                                 metrics::RunReport* out_report,
+                                 runtime::dist::DistStats* stats) {
+  runtime::dist::DistOptions options;
+  options.duration = duration;
+  options.warmup = warmup;
+  options.substeps = static_cast<std::uint32_t>(substeps);
+  options.seed = static_cast<std::uint64_t>(seed);
+  options.batch = data_plane.batch;
+  options.channel_capacity = data_plane.channel_capacity;
+  options.processes = static_cast<std::uint32_t>(processes);
+  options.transport = transport;
+  options.controller.policy = policy;
+  options.controller.advert_staleness_timeout = faults.staleness;
+  options.faults = faults.schedule;
+  const metrics::RunReport report =
+      runtime::dist::run_distributed(g, plan, options, stats);
+  if (out_report != nullptr) *out_report = report;
+  return harness::summarize(report, plan.weighted_throughput);
+}
+
 void add_summary_row(harness::Table& table, const char* name,
                      const harness::RunSummary& s) {
   table.add_row({name, harness::cell(s.weighted_throughput, 1),
@@ -466,6 +503,11 @@ int cmd_simulate(Flags& flags) {
   const bool fingerprint = flags.has("fingerprint");
   flags.check_all_consumed();
   fault::validate(faults.schedule, g);
+  if (!faults.schedule.proc_kills.empty()) {
+    std::cerr << "warning: prockill clauses need the distributed runtime "
+                 "(aces compare --transport=inproc|uds|tcp); the simulator "
+                 "ignores them\n";
+  }
 
   const opt::AllocationPlan plan = opt::optimize(g);
 
@@ -547,12 +589,53 @@ int cmd_compare(Flags& flags) {
   const double time_scale = flags.get("timescale", 5.0);
   const DataPlaneFlags data_plane = DataPlaneFlags::parse(flags);
   const std::string trace_base = flags.get("trace", std::string());
+  const std::string transport_name =
+      flags.get("transport", std::string("thread"));
+  const int processes = flags.get("processes", 2);
+  const int substeps = flags.get("substeps", 4);
+  const bool fingerprint = flags.has("fingerprint");
   const FaultFlags faults = FaultFlags::parse(flags);
   flags.check_all_consumed();
   fault::validate(faults.schedule, g);
-  if (use_runtime && faults.reoptimize > 0.0) {
-    std::cerr << "warning: --reoptimize is simulator-only; the threaded "
-                 "runtime re-solves on crash/restart transitions instead\n";
+
+  // Substrate selection: the simulator by default, the wall-paced threaded
+  // runtime with --runtime (equivalently --transport=thread), the
+  // deterministic multi-process distributed runtime for the other
+  // transports.
+  std::optional<runtime::transport::TransportKind> dist_kind;
+  if (transport_name != "thread") {
+    dist_kind = runtime::transport::parse_transport(transport_name);
+    if (!dist_kind.has_value()) {
+      throw std::runtime_error("unknown transport: " + transport_name +
+                               " (thread|inproc|uds|tcp)");
+    }
+  }
+  const bool use_dist = dist_kind.has_value();
+  if (processes < 1) throw std::runtime_error("--processes must be >= 1");
+  if (substeps < 1) throw std::runtime_error("--substeps must be >= 1");
+
+  // --reoptimize=SEC requests a *periodic* tier-1 re-solve, which only the
+  // simulator implements. The distributed runtime re-solves event-driven —
+  // on worker-process death/respawn and modeled crash/restore — whether or
+  // not the flag is given; the threaded runtime never re-solves mid-run
+  // and rides out faults on tier-2 defenses alone.
+  if (faults.reoptimize > 0.0 && (use_runtime || use_dist)) {
+    std::cerr << "warning: the periodic --reoptimize=SEC interval is "
+                 "simulator-only; the distributed runtime re-solves "
+                 "event-driven on kill/crash/restart regardless, and the "
+                 "threaded runtime never re-solves mid-run\n";
+  }
+  if (!faults.schedule.proc_kills.empty() && !use_dist) {
+    std::cerr << "warning: prockill clauses need the distributed runtime "
+                 "(--transport=inproc|uds|tcp); ignored on this substrate\n";
+  }
+  if (fingerprint && !use_dist && use_runtime) {
+    std::cerr << "warning: the threaded runtime is wall-paced and "
+                 "nondeterministic; its fingerprints are not reproducible\n";
+  }
+  if (!trace_base.empty() && use_dist) {
+    std::cerr << "warning: --trace is not implemented for the distributed "
+                 "runtime; ignored\n";
   }
 
   const opt::AllocationPlan plan = opt::optimize(g);
@@ -562,16 +645,44 @@ int cmd_compare(Flags& flags) {
         control::FlowPolicy::kLockStep, control::FlowPolicy::kThreshold}) {
     obs::ControlTraceRecorder recorder;
     obs::ControlTraceRecorder* trace =
-        trace_base.empty() ? nullptr : &recorder;
+        trace_base.empty() || use_dist ? nullptr : &recorder;
     obs::CounterRegistry counters;
     obs::CounterRegistry* counters_ptr =
-        faults.schedule.empty() ? nullptr : &counters;
-    const harness::RunSummary summary =
-        use_runtime ? run_one_runtime(g, plan, policy, duration, warmup, seed,
-                                      time_scale, data_plane, trace, faults,
-                                      counters_ptr)
-                    : run_one(g, plan, policy, duration, warmup, seed, {},
-                              trace, faults, counters_ptr);
+        faults.schedule.empty() || use_dist ? nullptr : &counters;
+    harness::RunSummary summary;
+    metrics::RunReport report;
+    if (use_dist) {
+      runtime::dist::DistStats stats;
+      summary = run_one_dist(g, plan, policy, duration, warmup, seed,
+                             data_plane, *dist_kind, processes, substeps,
+                             faults, &report, &stats);
+      if (!faults.schedule.proc_kills.empty()) {
+        std::cerr << "[" << to_string(policy) << "] workers killed "
+                  << stats.workers_killed << ", restarted "
+                  << stats.workers_restarted << ", detection "
+                  << harness::cell(stats.kill_detect_wall_seconds * 1e3, 1)
+                  << " ms, reoptimizations " << stats.reoptimizations
+                  << ", relay dropped " << stats.relay_dropped
+                  << ", orphans " << stats.orphans_reaped << '\n';
+      }
+    } else if (use_runtime) {
+      summary = run_one_runtime(g, plan, policy, duration, warmup, seed,
+                                time_scale, data_plane, trace, faults,
+                                counters_ptr);
+    } else {
+      summary = run_one(g, plan, policy, duration, warmup, seed, {}, trace,
+                        faults, counters_ptr);
+    }
+    if (fingerprint && use_dist) {
+      // One line per policy: `<policy> <fingerprint>`. CI diffs these
+      // across transports and process counts — the distributed runtime's
+      // work totals are partition-invariant, so they must be
+      // byte-identical. (work_fingerprint, not report_fingerprint: the
+      // global float aggregates merge per-worker Welford state, which is
+      // exact-in-value but not bit-associative across partitions.)
+      std::cout << to_string(policy) << ' '
+                << metrics::work_fingerprint(report) << '\n';
+    }
     add_summary_row(table, to_string(policy), summary);
     if (trace != nullptr) {
       const std::string path =
@@ -585,6 +696,7 @@ int cmd_compare(Flags& flags) {
       print_fault_counters(counters);
     }
   }
+  if (fingerprint && use_dist) return 0;  // fingerprints replace the table
   harness::print_table(table, csv, std::cout);
   return 0;
 }
@@ -945,16 +1057,29 @@ int usage(std::ostream& os, int code) {
         "             JSONL / Prometheus expositions)\n"
         "  compare   --topology=FILE [--duration --warmup --seed --csv]\n"
         "            [--runtime --timescale=5 --trace=F.jsonl|F.csv]\n"
+        "            [--transport=thread|inproc|uds|tcp --processes=2\n"
+        "             --substeps=4 --fingerprint]\n"
         "            [--batch=8 --channel-capacity=0 --pin]\n"
         "            [--faults=SPEC|@FILE --staleness=SEC --reoptimize=SEC]\n"
-        "            (--runtime uses the threaded runtime, where\n"
-        "             --reoptimize is ignored: tier 1 re-solves on node\n"
-        "             crash/restart instead; --trace writes one file per\n"
-        "             policy: F.<policy>.jsonl. Data-plane knobs, see\n"
-        "             docs/performance.md: --batch caps SDOs moved per\n"
-        "             channel operation, --channel-capacity overrides the\n"
-        "             graph's buffer bounds when > 0, --pin pins worker\n"
-        "             threads to cores; all three need --runtime)\n"
+        "            (--runtime uses the wall-paced threaded runtime;\n"
+        "             --transport=inproc|uds|tcp uses the deterministic\n"
+        "             multi-process distributed runtime on --processes\n"
+        "             worker shards — docs/architecture.md, 'Distributed\n"
+        "             runtime'. The periodic --reoptimize=SEC interval is\n"
+        "             simulator-only: the distributed runtime re-solves\n"
+        "             tier 1 event-driven on kill/crash/restart\n"
+        "             transitions regardless, and the threaded runtime\n"
+        "             never re-solves mid-run.\n"
+        "             prockill fault clauses run only on the distributed\n"
+        "             runtime. --fingerprint prints one `<policy> <hash>`\n"
+        "             line per policy instead of the table; identical\n"
+        "             across transports and process counts.\n"
+        "             --trace writes one file per policy: F.<policy>.jsonl\n"
+        "             (simulator and threaded runtime only). Data-plane\n"
+        "             knobs, see docs/performance.md: --batch caps SDOs\n"
+        "             moved per channel operation, --channel-capacity\n"
+        "             overrides the graph's buffer bounds when > 0, --pin\n"
+        "             pins worker threads to cores)\n"
         "  trace-summary --in=F.jsonl[,G.jsonl...] [--tail=0.25\n"
         "             --tolerance=0.1 --csv]\n"
         "            (per-PE settling time and oscillation amplitude;\n"
@@ -988,6 +1113,11 @@ int usage(std::ostream& os, int code) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Distributed-runtime workers are this same binary re-executed with a
+  // hidden `dist-worker` argv; nothing else in the CLI runs in that mode.
+  if (const int rc = aces::runtime::dist::maybe_worker(argc, argv); rc >= 0) {
+    return rc;
+  }
   if (argc < 2) return usage(std::cerr, 2);
   const std::string command = argv[1];
   if (command == "--help" || command == "-h" || command == "help") {
