@@ -86,9 +86,11 @@ void write_trace_jsonl(std::ostream& os,
        << ",\"blocked\":" << (r.output_blocked ? "true" : "false")
        << ",\"drops\":" << r.dropped_total
        << ",\"fault\":" << static_cast<unsigned>(r.fault_flags);
-    // Only sweep-combined records carry a policy tag; plain traces keep
-    // their pre-tag byte layout.
+    // Only sweep-combined records carry a policy tag, and only
+    // cluster-tagged (distributed) records carry a shard; plain traces
+    // keep their pre-tag byte layout.
     if (!r.policy.empty()) os << ",\"policy\":\"" << r.policy << "\"";
+    if (r.shard >= 0) os << ",\"shard\":" << r.shard;
     os << "}\n";
   }
 }
@@ -143,6 +145,11 @@ std::vector<TickRecord> read_trace_jsonl(std::istream& is) {
     if (policy.size() >= 2 && policy.front() == '"' && policy.back() == '"') {
       r.policy = policy.substr(1, policy.size() - 2);
     }
+    // Cluster-tagged records carry the producing shard; absent = -1.
+    const std::string shard = find_raw(line, "shard");
+    if (!shard.empty()) {
+      r.shard = static_cast<std::int32_t>(parse_u64(shard, 0));
+    }
     records.push_back(r);
   }
   return records;
@@ -178,32 +185,99 @@ void write_profile_summary(std::ostream& os, const PhaseProfiler& profiler) {
   }
 }
 
+std::string prometheus_label_escape(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
 namespace {
 
-/// One summary-typed metric family with quantile-labelled samples.
-void prometheus_summary(std::ostream& os, const char* name, const char* help,
-                        const char* label_key, const std::string& label_value,
-                        const LogHistogram& h, bool& header_done) {
-  if (!header_done) {
-    os << "# HELP " << name << ' ' << help << '\n';
-    os << "# TYPE " << name << " summary\n";
-    header_done = true;
+/// `key="escaped"` pairs joined by commas, without the surrounding braces
+/// (emitters append extra reserved labels like `quantile` / `le`).
+std::string label_block(const PrometheusLabels& labels) {
+  std::string out;
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (i > 0) out.push_back(',');
+    out += labels[i].first;
+    out += "=\"";
+    out += prometheus_label_escape(labels[i].second);
+    out += '"';
   }
+  return out;
+}
+
+/// "{...}" around a non-empty label block; empty string otherwise (an
+/// unlabelled sample takes no braces at all).
+std::string braced(const std::string& block) {
+  return block.empty() ? std::string() : '{' + block + '}';
+}
+
+void family_header(std::ostream& os, const char* name, const char* help,
+                   const char* type, bool& header_done) {
+  if (header_done) return;
+  os << "# HELP " << name << ' ' << help << '\n';
+  os << "# TYPE " << name << ' ' << type << '\n';
+  header_done = true;
+}
+
+}  // namespace
+
+void prometheus_summary(std::ostream& os, const char* name, const char* help,
+                        const PrometheusLabels& labels, const LogHistogram& h,
+                        bool& header_done) {
+  family_header(os, name, help, "summary", header_done);
+  const std::string base = label_block(labels);
+  const std::string sep = base.empty() ? "" : ",";
   const LatencyQuantiles q = quantiles_of(h);
   const double quantiles[][2] = {
       {0.5, q.p50}, {0.9, q.p90}, {0.99, q.p99}, {0.999, q.p999}};
   for (const auto& [which, value] : quantiles) {
-    os << name << '{' << label_key << "=\"" << label_value
-       << "\",quantile=\"" << number(which) << "\"} " << number(value)
-       << '\n';
+    os << name << '{' << base << sep << "quantile=\"" << number(which)
+       << "\"} " << number(value) << '\n';
   }
-  os << name << "_sum{" << label_key << "=\"" << label_value << "\"} "
-     << number(h.sum()) << '\n';
-  os << name << "_count{" << label_key << "=\"" << label_value << "\"} "
-     << h.count() << '\n';
+  os << name << "_sum" << braced(base) << ' ' << number(h.sum()) << '\n';
+  os << name << "_count" << braced(base) << ' ' << h.count() << '\n';
 }
 
-}  // namespace
+void prometheus_histogram(std::ostream& os, const char* name, const char* help,
+                          const PrometheusLabels& labels, const LogHistogram& h,
+                          bool& header_done) {
+  family_header(os, name, help, "histogram", header_done);
+  const std::string base = label_block(labels);
+  const std::string sep = base.empty() ? "" : ",";
+  // Cumulative buckets at every quarter decade; the underflow bucket folds
+  // into the first boundary, +Inf closes the member.
+  std::uint64_t cumulative = h.underflow();
+  std::size_t next_boundary = 5;
+  for (std::size_t i = 0; i < h.bucket_count(); ++i) {
+    cumulative += h.bucket_value(i);
+    if (i + 1 == next_boundary) {
+      os << name << "_bucket{" << base << sep << "le=\""
+         << number(h.bucket_lower(i + 1)) << "\"} " << cumulative << '\n';
+      next_boundary += 5;
+    }
+  }
+  os << name << "_bucket{" << base << sep << "le=\"+Inf\"} " << h.count()
+     << '\n';
+  os << name << "_sum" << braced(base) << ' ' << number(h.sum()) << '\n';
+  os << name << "_count" << braced(base) << ' ' << h.count() << '\n';
+}
 
 void write_latency_prometheus(std::ostream& os, const SpanTracer& tracer) {
   const auto counter = [&os](const char* name, const char* help,
@@ -227,43 +301,22 @@ void write_latency_prometheus(std::ostream& os, const SpanTracer& tracer) {
   bool wait_header = false, service_header = false;
   for (const auto& [pe, stats] : tracer.latency().pes()) {
     prometheus_summary(os, "aces_pe_wait_seconds",
-                       "Queue wait (enqueue to dequeue) per PE", "pe",
-                       std::to_string(pe), stats.wait, wait_header);
+                       "Queue wait (enqueue to dequeue) per PE",
+                       {{"pe", std::to_string(pe)}}, stats.wait, wait_header);
   }
   for (const auto& [pe, stats] : tracer.latency().pes()) {
     prometheus_summary(os, "aces_pe_service_seconds",
-                       "Service time (dequeue to emit) per PE", "pe",
-                       std::to_string(pe), stats.service, service_header);
+                       "Service time (dequeue to emit) per PE",
+                       {{"pe", std::to_string(pe)}}, stats.service,
+                       service_header);
   }
 
   bool path_header = false;
   for (const auto& [id, stats] : tracer.latency().paths()) {
-    const LogHistogram& h = stats.end_to_end;
-    if (!path_header) {
-      os << "# HELP aces_path_latency_seconds "
-            "End-to-end latency per source-to-sink path\n";
-      os << "# TYPE aces_path_latency_seconds histogram\n";
-      path_header = true;
-    }
-    // Cumulative buckets at every quarter decade; the underflow bucket
-    // folds into the first boundary, +Inf closes the family.
-    std::uint64_t cumulative = h.underflow();
-    std::size_t next_boundary = 5;
-    for (std::size_t i = 0; i < h.bucket_count(); ++i) {
-      cumulative += h.bucket_value(i);
-      if (i + 1 == next_boundary) {
-        os << "aces_path_latency_seconds_bucket{path=\"" << stats.label
-           << "\",le=\"" << number(h.bucket_lower(i + 1)) << "\"} "
-           << cumulative << '\n';
-        next_boundary += 5;
-      }
-    }
-    os << "aces_path_latency_seconds_bucket{path=\"" << stats.label
-       << "\",le=\"+Inf\"} " << h.count() << '\n';
-    os << "aces_path_latency_seconds_sum{path=\"" << stats.label << "\"} "
-       << number(h.sum()) << '\n';
-    os << "aces_path_latency_seconds_count{path=\"" << stats.label << "\"} "
-       << h.count() << '\n';
+    prometheus_histogram(os, "aces_path_latency_seconds",
+                         "End-to-end latency per source-to-sink path",
+                         {{"path", stats.label}}, stats.end_to_end,
+                         path_header);
   }
 }
 

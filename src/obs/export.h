@@ -9,8 +9,11 @@
 #pragma once
 
 #include <iosfwd>
+#include <string>
+#include <utility>
 #include <vector>
 
+#include "common/histogram.h"
 #include "obs/counters.h"
 #include "obs/scoped_timer.h"
 #include "obs/spans.h"
@@ -38,6 +41,35 @@ void write_counters_csv(std::ostream& os, const CounterSnapshot& snapshot);
 
 /// Per-phase count / median / p99 in microseconds, one line per phase.
 void write_profile_summary(std::ostream& os, const PhaseProfiler& profiler);
+
+/// Escapes a string for use inside a Prometheus label value: `\` -> `\\`,
+/// `"` -> `\"`, newline -> `\n` (the three escapes the text exposition
+/// format defines). Every exporter label value goes through this so a
+/// pathological PE or path name cannot corrupt the scrape.
+std::string prometheus_label_escape(const std::string& value);
+
+/// Label set for one Prometheus sample, rendered in order as
+/// `key="escaped-value"` pairs. Values are escaped by the emitters; keys
+/// are trusted identifiers.
+using PrometheusLabels = std::vector<std::pair<std::string, std::string>>;
+
+/// Emits one summary-typed family member: quantile-labelled samples plus
+/// `_sum`/`_count`. `header_done` tracks whether the family's `# HELP` /
+/// `# TYPE` preamble has been written — callers pass one flag per family
+/// so the preamble appears exactly once no matter how many label sets are
+/// emitted.
+void prometheus_summary(std::ostream& os, const char* name, const char* help,
+                        const PrometheusLabels& labels, const LogHistogram& h,
+                        bool& header_done);
+
+/// Emits one histogram-typed family member with cumulative `le` buckets at
+/// every quarter decade of the log-bucketed histogram (keeps the scrape
+/// small), the underflow folded into the first boundary, a closing `+Inf`
+/// bucket, and `_sum`/`_count`. Same once-per-family header contract as
+/// prometheus_summary.
+void prometheus_histogram(std::ostream& os, const char* name, const char* help,
+                          const PrometheusLabels& labels, const LogHistogram& h,
+                          bool& header_done);
 
 /// Prometheus text exposition of the data-plane latency state: span
 /// lifecycle counters (aces_spans_*_total), per-PE wait/service summaries

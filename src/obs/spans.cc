@@ -12,8 +12,35 @@ namespace aces::obs {
 std::vector<std::uint32_t> SdoSpan::hop_pes() const {
   std::vector<std::uint32_t> pes;
   pes.reserve(hop_count);
-  for (std::uint32_t i = 0; i < hop_count; ++i) pes.push_back(hops[i].pe);
+  for (std::uint32_t i = 0; i < hop_count; ++i) {
+    if (hops[i].kind == static_cast<std::uint32_t>(HopKind::kPe)) {
+      pes.push_back(hops[i].pe);
+    }
+  }
   return pes;
+}
+
+Seconds SdoSpan::transport_time() const {
+  // Each process crossing contributes (first wire stamp .. recv stamp).
+  // The sender appends kWireSerialize (and kWireSend); the receiver
+  // appends kWireRecv; the next kPe hop closes the crossing.
+  Seconds total = 0.0;
+  Seconds crossing_start = -1.0;
+  for (std::uint32_t i = 0; i < hop_count; ++i) {
+    const SpanHop& hop = hops[i];
+    const auto kind = static_cast<HopKind>(hop.kind);
+    if (kind == HopKind::kPe) {
+      crossing_start = -1.0;
+      continue;
+    }
+    if (crossing_start < 0.0) crossing_start = hop.enqueue;
+    if (kind == HopKind::kWireRecv && crossing_start >= 0.0 &&
+        hop.emit >= crossing_start) {
+      total += hop.emit - crossing_start;
+      crossing_start = -1.0;
+    }
+  }
+  return total;
 }
 
 FlightRecorder::FlightRecorder(std::size_t capacity)
@@ -134,7 +161,8 @@ void SpanTracer::on_enqueue(std::int32_t handle, PeId pe, Seconds t) {
   // retried later from the pending queue.
   if (span.hop_count > 0) {
     SpanHop& last = span.hops[span.hop_count - 1];
-    if (last.pe == pe.value() && last.dequeue < 0.0) {
+    if (last.kind == static_cast<std::uint32_t>(HopKind::kPe) &&
+        last.pe == pe.value() && last.dequeue < 0.0) {
       last.enqueue = t;
       return;
     }
@@ -174,6 +202,9 @@ void SpanTracer::finalize(std::int32_t handle, Seconds t, bool dropped) {
   span.dropped = dropped;
   for (std::uint32_t i = 0; i < span.hop_count; ++i) {
     const SpanHop& hop = span.hops[i];
+    // Wire hops carry a single boundary timestamp, not a queue visit; only
+    // real PE visits feed the per-PE wait/service histograms.
+    if (hop.kind != static_cast<std::uint32_t>(HopKind::kPe)) continue;
     const double wait = (hop.enqueue >= 0.0 && hop.dequeue >= 0.0)
                             ? hop.dequeue - hop.enqueue
                             : -1.0;
@@ -199,6 +230,7 @@ void SpanTracer::finalize(std::int32_t handle, Seconds t, bool dropped) {
     ++dropped_;
   }
   recorder_.push(span);
+  if (options_.keep_completed) completed_buffer_.push_back(span);
   active_[index] = false;
   free_.push_back(handle);
 }
@@ -209,6 +241,55 @@ void SpanTracer::complete(std::int32_t handle, Seconds t) {
 
 void SpanTracer::drop(std::int32_t handle, Seconds t) {
   finalize(handle, t, /*dropped=*/true);
+}
+
+std::int32_t SpanTracer::adopt(const SdoSpan& prefix) {
+  MutexLock lock(mutex_);
+  if (free_.empty()) {
+    ++exhausted_;
+    return -1;
+  }
+  const std::int32_t handle = free_.back();
+  free_.pop_back();
+  active_[static_cast<std::size_t>(handle)] = true;
+  pool_[static_cast<std::size_t>(handle)] = prefix;
+  pool_[static_cast<std::size_t>(handle)].end = -1.0;
+  return handle;
+}
+
+bool SpanTracer::detach(std::int32_t handle, SdoSpan* out) {
+  if (handle < 0) return false;
+  MutexLock lock(mutex_);
+  const auto index = static_cast<std::size_t>(handle);
+  if (!active_[index]) return false;
+  *out = pool_[index];
+  active_[index] = false;
+  free_.push_back(handle);
+  return true;
+}
+
+void SpanTracer::append_wire_hop(std::int32_t handle, PeId pe, HopKind kind,
+                                 Seconds t) {
+  if (handle < 0) return;
+  MutexLock lock(mutex_);
+  SdoSpan& span = pool_[static_cast<std::size_t>(handle)];
+  if (span.hop_count >= SdoSpan::kMaxHops) {
+    span.truncated = true;
+    return;
+  }
+  SpanHop& hop = span.hops[span.hop_count++];
+  hop.pe = pe.value();
+  hop.kind = static_cast<std::uint32_t>(kind);
+  hop.enqueue = t;
+  hop.dequeue = t;
+  hop.emit = t;
+}
+
+std::vector<SdoSpan> SpanTracer::take_completed() {
+  MutexLock lock(mutex_);
+  std::vector<SdoSpan> out;
+  out.swap(completed_buffer_);
+  return out;
 }
 
 void SpanTracer::fault_dump(const std::string& event, Seconds t) {

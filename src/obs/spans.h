@@ -39,10 +39,25 @@
 
 namespace aces::obs {
 
-/// One PE visit. Timestamps are substrate time (sim virtual seconds or
-/// runtime virtual-clock seconds); negative means "not reached".
+/// What a hop represents. kPe hops are PE visits and define the span's
+/// path identity; the wire_* kinds mark a process boundary in the
+/// distributed runtime (serialize at the sender, send at quantum end,
+/// receive at the next quantum start) so cross-shard latency decomposes
+/// into compute vs. transport without perturbing path ids.
+enum class HopKind : std::uint32_t {
+  kPe = 0,
+  kWireSerialize = 1,
+  kWireSend = 2,
+  kWireRecv = 3,
+};
+
+/// One PE visit (or wire crossing). Timestamps are substrate time (sim
+/// virtual seconds or runtime virtual-clock seconds); negative means "not
+/// reached". `kind` occupies what used to be padding, so SpanHop stays the
+/// same size the flight recorder's seqlock layout was proven against.
 struct SpanHop {
   std::uint32_t pe = 0;
+  std::uint32_t kind = 0;  // HopKind; raw int keeps the struct trivial
   Seconds enqueue = -1.0;
   Seconds dequeue = -1.0;
   Seconds emit = -1.0;
@@ -67,10 +82,18 @@ struct SdoSpan {
   [[nodiscard]] Seconds latency() const {
     return end >= 0.0 ? end - start : -1.0;
   }
-  /// Hop PE ids in visit order, for path_id()/path_label().
+  /// PE ids of the kPe hops in visit order, for path_id()/path_label().
+  /// Wire hops are excluded so a span stitched across processes keeps the
+  /// same path identity as its in-process equivalent.
   [[nodiscard]] std::vector<std::uint32_t> hop_pes() const;
+  /// Sum of (emit - enqueue) over the wire hops: time the SDO spent
+  /// crossing process boundaries. 0 for purely local spans.
+  [[nodiscard]] Seconds transport_time() const;
 };
 static_assert(std::is_trivially_copyable_v<SdoSpan>);
+static_assert(sizeof(SpanHop) == 32,
+              "SpanHop::kind must live in former padding; growing the hop "
+              "changes the flight recorder's published word layout");
 
 /// Fixed-size ring of recently completed spans.
 ///
@@ -149,6 +172,11 @@ struct SpanTracerOptions {
   std::size_t ring_capacity = 256;   // flight recorder slots
   std::size_t worst_k = 8;           // slowest completed spans retained
   std::size_t max_dumps = 8;         // fault dumps retained per run
+  /// Buffer every finalized span for take_completed() — the distributed
+  /// worker drains this each barrier epoch to ship spans to the
+  /// coordinator. Off by default: single-process substrates aggregate in
+  /// place and must not grow a drain buffer nobody reads.
+  bool keep_completed = false;
 };
 
 class SpanTracer {
@@ -179,6 +207,29 @@ class SpanTracer {
   /// Records a FlightDump for `event` (a fault.* counter name). Bounded by
   /// max_dumps; later events past the cap are counted but not retained.
   void fault_dump(const std::string& event, Seconds t) ACES_EXCLUDES(mutex_);
+
+  // Cross-process stitching. When a traced SDO leaves the worker, the
+  // sender detaches the span (no finalization — the trace continues
+  // elsewhere) and ships the partial SdoSpan over the wire; the receiving
+  // worker adopts it into a fresh slot and keeps appending hops. Sampling
+  // stays a pure function of (seed, source PE, acceptance counter) because
+  // only the source worker draws; adopted spans were already sampled.
+
+  /// Allocates a slot holding a copy of `prefix` (an in-flight span
+  /// arriving from another process). Returns -1 when the pool is exhausted
+  /// (counted). Does not count as a new started span.
+  [[nodiscard]] std::int32_t adopt(const SdoSpan& prefix)
+      ACES_EXCLUDES(mutex_);
+  /// Copies the in-flight span out and frees the slot WITHOUT finalizing:
+  /// no histogram contribution, no recorder push — the adopting process
+  /// finalizes. Returns false for stale/inactive handles.
+  bool detach(std::int32_t handle, SdoSpan* out) ACES_EXCLUDES(mutex_);
+  /// Appends a wire hop (kind != kPe) with all three timestamps = t.
+  /// Tolerates handle < 0; sets `truncated` past kMaxHops like on_enqueue.
+  void append_wire_hop(std::int32_t handle, PeId pe, HopKind kind, Seconds t)
+      ACES_EXCLUDES(mutex_);
+  /// Drains the keep_completed buffer (empty unless the option is set).
+  [[nodiscard]] std::vector<SdoSpan> take_completed() ACES_EXCLUDES(mutex_);
 
   [[nodiscard]] const SpanTracerOptions& options() const { return options_; }
   /// Read-after-quiesce accessor: valid once every substrate thread that
@@ -244,6 +295,7 @@ class SpanTracer {
   FlightRecorder recorder_;  // internally synchronized (seqlock)
   std::vector<SdoSpan> worst_ ACES_GUARDED_BY(mutex_);
   std::vector<FlightDump> dumps_ ACES_GUARDED_BY(mutex_);
+  std::vector<SdoSpan> completed_buffer_ ACES_GUARDED_BY(mutex_);
 
   std::uint64_t started_ ACES_GUARDED_BY(mutex_) = 0;
   std::uint64_t completed_ ACES_GUARDED_BY(mutex_) = 0;

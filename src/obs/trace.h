@@ -59,6 +59,10 @@ struct TickRecord {
   /// (the policy is implicit); sweep-combined traces tag every record so
   /// `aces trace-summary` can report policies side by side.
   std::string policy;
+  /// Worker shard that produced this record; -1 on single-process traces.
+  /// Cluster-tagged trace files carry the shard on every record, and the
+  /// readers refuse to mix tagged and untagged records in one analysis.
+  std::int32_t shard = -1;
 };
 
 /// TickRecord::fault_flags bit: the PE was held in an injected stall.

@@ -10,6 +10,7 @@
 #include <chrono>
 #include <cmath>
 #include <cstdlib>
+#include <iterator>
 #include <memory>
 #include <optional>
 #include <string>
@@ -21,6 +22,7 @@
 #include "fault/fault_spec.h"
 #include "graph/serialization.h"
 #include "harness/report_merge.h"
+#include "obs/cluster_aggregate.h"
 #include "runtime/dist_worker.h"
 #include "runtime/transport/inproc.h"
 #include "runtime/transport/uds.h"
@@ -91,6 +93,7 @@ class Coordinator {
                options.processes,
                static_cast<std::uint32_t>(g.node_count())));
     workers_.resize(workers_n_);
+    go_sent_.resize(workers_n_);
 
     cpu_.assign(g.pe_count(), 0.0);
     rin_.assign(g.pe_count(), 0.0);
@@ -113,6 +116,8 @@ class Coordinator {
     base_config_.channel_capacity =
         static_cast<std::uint32_t>(options.channel_capacity);
     base_config_.heartbeat_interval = options.heartbeat_interval;
+    base_config_.span_sample = options.span_sample;
+    base_config_.record_trace = options.record_trace ? 1 : 0;
     base_config_.topology = graph::to_string(g);
     base_config_.faults =
         options.faults.empty() ? std::string() : fault::to_string(options.faults);
@@ -166,6 +171,106 @@ class Coordinator {
  private:
   [[nodiscard]] bool uses_sockets() const {
     return options_.transport != transport::TransportKind::kInProc;
+  }
+
+  [[nodiscard]] obs::ClusterAggregator* agg() const {
+    return options_.aggregator;
+  }
+
+  /// Endpoint send with per-shard frame/byte accounting (the bytes vector
+  /// is a complete frame: 8-byte header + payload).
+  bool send_frame(std::uint32_t rank, const std::vector<std::uint8_t>& bytes) {
+    if (agg() != nullptr) agg()->record_frame_sent(rank, bytes.size());
+    return workers_[rank].ep->send(bytes);
+  }
+
+  void account_recv(std::uint32_t rank, const wire::Frame& frame) {
+    if (agg() != nullptr) {
+      agg()->record_frame_received(rank, 8 + frame.payload.size());
+    }
+  }
+
+  /// Feeds one worker MetricsReport into the aggregator (no-op without
+  /// one — the frame is consumed either way; tolerance is the contract).
+  void absorb_metrics(std::uint32_t rank, wire::MetricsReport&& mr) {
+    if (agg() == nullptr) return;
+    agg()->note_quantum(rank, mr.quantum);
+    std::vector<std::pair<std::string, std::uint64_t>> deltas;
+    deltas.reserve(mr.counters.size());
+    for (wire::MetricsCounter& c : mr.counters) {
+      deltas.emplace_back(std::move(c.name), c.delta);
+    }
+    agg()->absorb_counters(rank, deltas);
+    for (const wire::MetricsGauge& gz : mr.gauges) {
+      agg()->absorb_gauge(rank, gz.name, gz.value);
+    }
+    for (const wire::PeLatencySnapshot& p : mr.pe_latency) {
+      agg()->absorb_pe_latency(rank, p.pe, p.wait, p.service);
+    }
+    for (const wire::PathLatencySnapshot& p : mr.path_latency) {
+      agg()->absorb_path_latency(rank, p.id, p.label, p.end_to_end);
+    }
+    for (const wire::PerfCell& p : mr.perf) {
+      agg()->absorb_perf(rank, p.name, p.calls, p.ns);
+    }
+    for (obs::TickRecord& t : mr.trace) agg()->absorb_trace(rank, t);
+  }
+
+  /// Worker → coordinator SpanBatch: completed spans go to the aggregator;
+  /// handoffs are staged for relay to their destination shard just before
+  /// the next StepGo (which carries the matching deliveries).
+  void absorb_span_batch(std::uint32_t rank, wire::SpanBatch&& batch) {
+    if (agg() != nullptr) {
+      agg()->absorb_completed_spans(rank, batch.completed);
+    }
+    pending_handoffs_.insert(pending_handoffs_.end(),
+                             std::make_move_iterator(batch.handoffs.begin()),
+                             std::make_move_iterator(batch.handoffs.end()));
+  }
+
+  void absorb_flight_dump(std::uint32_t rank, wire::FlightDump&& fd) {
+    if (agg() == nullptr) return;
+    obs::ShardFlightDump dump;
+    dump.event = std::move(fd.event);
+    dump.time = fd.time;
+    dump.pushed = fd.pushed;
+    dump.recent = std::move(fd.recent);
+    dump.in_flight = std::move(fd.in_flight);
+    agg()->absorb_flight_dump(rank, std::move(dump));
+  }
+
+  /// Consumes a telemetry frame if `frame` is one. Returns true when the
+  /// frame was a telemetry type (handled, possibly ignored), false when the
+  /// caller must interpret it. A telemetry frame that fails to decode
+  /// counts as a decode reject AND reports false through `ok` — the caller
+  /// treats it like any other protocol violation.
+  bool consume_telemetry(std::uint32_t rank, wire::Frame& frame, bool* ok) {
+    *ok = true;
+    switch (frame.type) {
+      case wire::FrameType::kMetricsReport: {
+        auto mr = wire::decode_metrics_report(frame.payload);
+        if (!mr.has_value()) break;
+        absorb_metrics(rank, std::move(*mr));
+        return true;
+      }
+      case wire::FrameType::kSpanBatch: {
+        auto sb = wire::decode_span_batch(frame.payload);
+        if (!sb.has_value()) break;
+        absorb_span_batch(rank, std::move(*sb));
+        return true;
+      }
+      case wire::FrameType::kFlightDump: {
+        auto fd = wire::decode_flight_dump(frame.payload);
+        if (!fd.has_value()) break;
+        absorb_flight_dump(rank, std::move(*fd));
+        return true;
+      }
+      default:
+        return false;
+    }
+    if (agg() != nullptr) agg()->record_decode_reject(rank);
+    *ok = false;
+    return true;
   }
 
   /// First barrier whose quantum covers virtual time `t`.
@@ -257,6 +362,7 @@ class Coordinator {
     w.alive = true;
     w.last_heard = SteadyClock::now();
     w.killed_at.reset();
+    if (agg() != nullptr) agg()->note_shard(rank);
   }
 
   void execute_kills(std::uint64_t k) {
@@ -343,6 +449,34 @@ class Coordinator {
         pending_congested_.end());
     std::sort(up_delta_.begin(), up_delta_.end());
 
+    // Span handoffs ride ahead of the StepGo that carries their matching
+    // deliveries; the worker stages them for exactly that one quantum.
+    // Handoffs addressed to a dead shard are telemetry lawfully lost (the
+    // deliveries themselves are dropped below), but counted.
+    if (!pending_handoffs_.empty()) {
+      std::vector<std::vector<wire::SpanHandoff>> per_dest(workers_n_);
+      for (wire::SpanHandoff& h : pending_handoffs_) {
+        if (h.dest_pe >= g_.pe_count()) continue;  // corrupt: drop
+        const std::uint32_t dest_node = g_.pe(PeId(h.dest_pe)).node.value();
+        const std::uint32_t rank =
+            owner_of_node(g_.node_count(), workers_n_, dest_node);
+        if (!workers_[rank].alive) {
+          if (agg() != nullptr) agg()->record_relay_dropped(rank, 1);
+          continue;
+        }
+        per_dest[rank].push_back(std::move(h));
+      }
+      for (std::uint32_t rank = 0; rank < workers_n_; ++rank) {
+        if (per_dest[rank].empty()) continue;
+        wire::SpanBatch sb;
+        sb.rank = rank;  // destination
+        sb.quantum = k;
+        sb.handoffs = std::move(per_dest[rank]);
+        send_frame(rank, wire::encode(sb));
+      }
+      pending_handoffs_.clear();
+    }
+
     for (std::uint32_t rank = 0; rank < workers_n_; ++rank) {
       WorkerSlot& w = workers_[rank];
       if (!w.alive) continue;
@@ -356,7 +490,8 @@ class Coordinator {
       go.up_nodes = up_delta_;
       // A send into a just-killed endpoint may fail; the death is handled
       // while collecting, not here.
-      w.ep->send(wire::encode(go));
+      go_sent_[rank] = SteadyClock::now();
+      send_frame(rank, wire::encode(go));
     }
     pending_deliveries_.clear();
     pending_adverts_.clear();
@@ -366,6 +501,7 @@ class Coordinator {
 
   void collect_step_dones(std::uint64_t k) {
     std::vector<std::optional<wire::StepDone>> dones(workers_n_);
+    std::vector<SteadyClock::time_point> done_at(workers_n_);
     std::size_t pending = 0;
     for (const WorkerSlot& w : workers_) pending += w.alive ? 1 : 0;
     bool membership_changed = false;
@@ -379,16 +515,34 @@ class Coordinator {
         switch (status) {
           case transport::RecvStatus::kOk: {
             w.last_heard = SteadyClock::now();
+            account_recv(rank, frame);
+            bool telemetry_ok = true;
             if (frame.type == wire::FrameType::kStepDone) {
               auto done = wire::decode_step_done(frame.payload);
               if (!done.has_value() || done->quantum != k) {
+                if (agg() != nullptr && !done.has_value()) {
+                  agg()->record_decode_reject(rank);
+                }
                 declare_dead(rank, &pending, &membership_changed);
                 break;
               }
               dones[rank] = std::move(*done);
+              done_at[rank] = SteadyClock::now();
               --pending;
+              if (agg() != nullptr) {
+                agg()->note_quantum(rank, k);
+                agg()->record_rtt(
+                    rank, std::chrono::duration<double>(done_at[rank] -
+                                                        go_sent_[rank])
+                              .count());
+              }
             } else if (frame.type == wire::FrameType::kHeartbeat) {
               if (stats_ != nullptr) ++stats_->heartbeats_received;
+              if (agg() != nullptr) agg()->record_heartbeat(rank);
+            } else if (consume_telemetry(rank, frame, &telemetry_ok)) {
+              if (!telemetry_ok) {
+                declare_dead(rank, &pending, &membership_changed);
+              }
             } else {
               declare_dead(rank, &pending, &membership_changed);
             }
@@ -411,6 +565,23 @@ class Coordinator {
             declare_dead(rank, &pending, &membership_changed);
             break;
         }
+      }
+    }
+
+    // Barrier-step skew: spread between the first and last StepDone of
+    // this quantum. Meaningful (and nonzero) only with two or more shards.
+    if (agg() != nullptr) {
+      SteadyClock::time_point first{}, last{};
+      std::size_t got = 0;
+      for (std::uint32_t rank = 0; rank < workers_n_; ++rank) {
+        if (!dones[rank].has_value()) continue;
+        if (got == 0 || done_at[rank] < first) first = done_at[rank];
+        if (got == 0 || done_at[rank] > last) last = done_at[rank];
+        ++got;
+      }
+      if (got >= 2) {
+        agg()->record_step_skew(
+            std::chrono::duration<double>(last - first).count());
       }
     }
 
@@ -460,6 +631,7 @@ class Coordinator {
     if (!w.alive) return;
     w.alive = false;
     --*pending;
+    if (agg() != nullptr) agg()->note_shard_dead(rank);
     if (w.killed_at.has_value() && stats_ != nullptr &&
         stats_->kill_detect_wall_seconds < 0.0) {
       stats_->kill_detect_wall_seconds = seconds_since(*w.killed_at);
@@ -523,6 +695,7 @@ class Coordinator {
         wire::Frame frame;
         const auto status = w.ep->recv(&frame, 100);
         if (status == transport::RecvStatus::kOk) {
+          account_recv(rank, frame);
           if (frame.type == wire::FrameType::kReport) {
             auto report = wire::decode_report(frame.payload);
             if (report.has_value()) partials.push_back(report->report);
@@ -530,6 +703,13 @@ class Coordinator {
           }
           if (frame.type == wire::FrameType::kHeartbeat) {
             if (stats_ != nullptr) ++stats_->heartbeats_received;
+            if (agg() != nullptr) agg()->record_heartbeat(rank);
+            continue;
+          }
+          // The worker ships its final telemetry (epoch metrics, completed
+          // spans, the shutdown flight dump) just before the Report.
+          bool telemetry_ok = true;
+          if (consume_telemetry(rank, frame, &telemetry_ok) && telemetry_ok) {
             continue;
           }
           break;  // protocol violation: skip this shard's report
@@ -589,6 +769,11 @@ class Coordinator {
   std::vector<wire::SdoDelivery> pending_deliveries_;
   std::vector<wire::Advert> pending_adverts_;
   std::vector<std::uint32_t> pending_congested_;
+  /// Span handoffs awaiting relay to their destination shard (staged from
+  /// worker SpanBatches, flushed just before the next StepGo).
+  std::vector<wire::SpanHandoff> pending_handoffs_;
+  /// Per-rank wall time of the last StepGo send, for the RTT gauge.
+  std::vector<SteadyClock::time_point> go_sent_;
   std::uint64_t reoptimizations_ = 0;
 };
 

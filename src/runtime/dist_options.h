@@ -10,6 +10,10 @@
 #include "opt/global_optimizer.h"
 #include "runtime/transport/transport.h"
 
+namespace aces::obs {
+class ClusterAggregator;
+}  // namespace aces::obs
+
 namespace aces::runtime::dist {
 
 struct DistOptions {
@@ -65,6 +69,17 @@ struct DistOptions {
   /// Directory for the coordinator's Unix-domain socket; empty uses
   /// $TMPDIR or /tmp.
   std::string uds_dir;
+  /// Fraction of source SDOs whose spans are traced on the workers (0
+  /// disables tracing entirely). Sampling is a pure function of
+  /// (seed, source PE, acceptance counter), so it never perturbs results.
+  double span_sample = 0.0;
+  /// Ship per-tick control-trace records to the coordinator so distributed
+  /// runs feed `aces trace-summary` like the other substrates.
+  bool record_trace = false;
+  /// Optional (non-owned) sink for the cluster observability plane: shard
+  /// telemetry, RTT/skew gauges, flight-recorder evidence. Null disables
+  /// all coordinator-side aggregation (the frames are still consumed).
+  obs::ClusterAggregator* aggregator = nullptr;
 };
 
 /// Coordinator-side observability for one distributed run.

@@ -31,8 +31,10 @@
 #include <limits>
 #include <memory>
 #include <optional>
+#include <map>
 #include <string>
 #include <thread>
+#include <tuple>
 #include <utility>
 #include <vector>
 
@@ -42,6 +44,10 @@
 #include "fault/fault_injector.h"
 #include "graph/serialization.h"
 #include "metrics/collector.h"
+#include "obs/counters.h"
+#include "obs/perf.h"
+#include "obs/spans.h"
+#include "obs/trace.h"
 #include "opt/global_optimizer.h"
 #include "runtime/transport/uds.h"
 #include "workload/arrivals.h"
@@ -61,6 +67,11 @@ constexpr int kCoordinatorTimeoutMs = 120000;
 
 struct Sdo {
   Seconds birth = 0.0;
+  /// When the SDO entered its current queue (wait-histogram stamp; the
+  /// values are quantum-grid times, so they are partition-invariant).
+  Seconds enqueue = 0.0;
+  /// Span handle on the local tracer; -1 untraced (the common case).
+  std::int32_t span = -1;
 };
 
 /// Rebuilds an AllocationPlan the NodeControllers can consume from the
@@ -147,6 +158,27 @@ class WorkerEngine {
     }
     was_down_.assign(node_end_ - node_begin_, false);
     was_stalled_.assign(graph_.pe_count(), false);
+
+    // Telemetry. The counters are always on (relaxed atomics, far off the
+    // hot path at quantum granularity) and every name counts a *graph*
+    // property — cross_node is decided by node placement, never by the
+    // partition — so the coordinator's cross-shard sums match a
+    // single-process run exactly. The span tracer is optional and samples
+    // by (seed, source PE, acceptance counter), the same pure function the
+    // other substrates use, so traced runs stay bit-identical.
+    ctr_arrived_ = counters_.counter("dist.sdo.arrived");
+    ctr_processed_ = counters_.counter("dist.sdo.processed");
+    ctr_emitted_ = counters_.counter("dist.sdo.emitted");
+    ctr_dropped_ = counters_.counter("dist.sdo.dropped");
+    ctr_cross_node_ = counters_.counter("dist.sdo.cross_node");
+    gauge_quantum_ = counters_.gauge("dist.quantum");
+    if (cfg.span_sample > 0.0) {
+      obs::SpanTracerOptions topt;
+      topt.sample_rate = cfg.span_sample;
+      topt.seed = cfg.seed;
+      topt.keep_completed = true;  // drained into SpanBatch each epoch
+      tracer_ = std::make_unique<obs::SpanTracer>(topt);
+    }
 
     const Seconds start_vtime = static_cast<double>(cfg.start_quantum) * q_;
     for (PeId id : graph_.all_pes()) {
@@ -267,11 +299,26 @@ class WorkerEngine {
           if (!go.has_value()) return 1;
           current_quantum_.store(go->quantum, std::memory_order_relaxed);
           if ((go->flags & wire::kStepGoFinal) != 0) {
+            if (!ship_telemetry(go->quantum, /*epoch=*/true, /*is_final=*/true))
+              return 1;
             if (!ep_.send(wire::encode(make_report()))) return 1;
             break;  // stay in the loop until Shutdown
           }
           run_quantum(*go);
+          const bool epoch = (go->quantum + 1) % cfg_.substeps == 0;
+          if (!ship_telemetry(go->quantum, epoch, /*is_final=*/false))
+            return 1;
           if (!ep_.send(wire::encode(make_step_done(go->quantum)))) return 1;
+          break;
+        }
+        case wire::FrameType::kSpanBatch: {
+          // Handoffs relayed by the coordinator for deliveries arriving in
+          // the *next* StepGo; staged until apply_delivery matches them.
+          const auto batch = wire::decode_span_batch(frame.payload);
+          if (!batch.has_value()) return 1;
+          for (const wire::SpanHandoff& h : batch->handoffs) {
+            pending_handoffs_[{h.dest_pe, h.src_node, h.index}] = h.span;
+          }
           break;
         }
         case wire::FrameType::kShutdown:
@@ -288,6 +335,8 @@ class WorkerEngine {
     const std::uint64_t k = go.quantum;
     const Seconds vnow = static_cast<double>(k) * q_;
     const Seconds vend = static_cast<double>(k + 1) * q_;
+    gauge_quantum_.set(static_cast<double>(k));
+    delivery_counts_.clear();
 
     // Membership first: a dead node's mailboxes clamp to r_max = 0 and an
     // infinitely stale timestamp, so both the staleness rule and the Eq. 8
@@ -360,29 +409,59 @@ class WorkerEngine {
 
     generate_arrivals(vnow, vend);
     process_quantum(k, vnow, vend);
+    // Handoffs are staged for exactly one barrier; anything unmatched by
+    // now belongs to no delivery and is telemetry lawfully lost.
+    pending_handoffs_.clear();
   }
 
   void apply_delivery(const wire::SdoDelivery& d, Seconds vnow) {
     if (d.dest_pe >= pes_.size()) return;  // corrupt frame: ignore
+    // Handoff re-attachment: the n-th delivery with this (dest_pe,
+    // src_node) key this quantum carries the n-th handoff shipped under
+    // the same key — exact, because one worker owns src_node and the
+    // coordinator preserves its outbox order.
+    std::int32_t span = -1;
+    if (tracer_ != nullptr) {
+      const std::uint32_t index = delivery_counts_[{d.dest_pe, d.src_node}]++;
+      const auto it = pending_handoffs_.find({d.dest_pe, d.src_node, index});
+      if (it != pending_handoffs_.end()) {
+        span = tracer_->adopt(it->second);
+        tracer_->append_wire_hop(span, PeId(d.dest_pe),
+                                 obs::HopKind::kWireRecv, vnow);
+        pending_handoffs_.erase(it);
+      }
+    }
     const auto& desc = graph_.pe(PeId(d.dest_pe));
-    if (!owns_node(desc.node.value())) return;
+    if (!owns_node(desc.node.value())) {
+      if (tracer_ != nullptr) tracer_->drop(span, vnow);
+      return;
+    }
     PeState& pe = pes_[d.dest_pe];
     if (fault_drops_delivery(d.dest_pe, vnow)) {
       ++pe.lifetime_dropped;
+      ctr_dropped_.inc();
+      if (tracer_ != nullptr) tracer_->drop(span, vnow);
       collector_.on_internal_drop(vnow);
       return;
     }
     if (lockstep_) {
-      // Never dropped: held receiver-side until the queue has room.
-      pe.inbound.push_back(Sdo{d.birth});
+      // Never dropped: held receiver-side until the queue has room. The
+      // enqueue hop lands now — `inbound` is part of the PE's buffer (the
+      // controller counts it), so the wait clock starts here.
+      if (tracer_ != nullptr) tracer_->on_enqueue(span, PeId(d.dest_pe), vnow);
+      pe.inbound.push_back(Sdo{d.birth, vnow, span});
       return;
     }
     if (pe.queue.size() < pe.capacity) {
-      pe.queue.push_back(Sdo{d.birth});
+      if (tracer_ != nullptr) tracer_->on_enqueue(span, PeId(d.dest_pe), vnow);
+      pe.queue.push_back(Sdo{d.birth, vnow, span});
       pe.arrived_this_tick += 1.0;
       ++pe.lifetime_arrived;
+      ctr_arrived_.inc();
     } else {
       ++pe.lifetime_dropped;
+      ctr_dropped_.inc();
+      if (tracer_ != nullptr) tracer_->drop(span, vnow);
       collector_.on_internal_drop(vnow);
     }
   }
@@ -393,6 +472,7 @@ class WorkerEngine {
       pe.inbound.pop_front();
       pe.arrived_this_tick += 1.0;
       ++pe.lifetime_arrived;
+      ctr_arrived_.inc();
     }
   }
 
@@ -420,6 +500,13 @@ class WorkerEngine {
   }
 
   void crash_local_pes(NodeId node, Seconds vnow) {
+    // Post-mortem first: capture the doomed SDOs while their spans are
+    // still in flight, then end them as dropped. The dump ships to the
+    // coordinator at this quantum's end (ship_telemetry).
+    if (tracer_ != nullptr) {
+      tracer_->fault_dump("fault.node_crash", vnow);
+      pending_dump_ = true;
+    }
     std::uint64_t lost = 0;
     for (PeId id : graph_.pes_on_node(node)) {
       PeState& pe = pes_[id.value()];
@@ -427,6 +514,13 @@ class WorkerEngine {
       pe_lost += pe.pending.size();
       pe_lost += pe.inbound.size();
       pe_lost += pe.queue.size();
+      if (tracer_ != nullptr) {
+        if (pe.busy) tracer_->drop(pe.current.span, vnow);
+        for (const auto& [slot, sdo] : pe.pending)
+          tracer_->drop(sdo.span, vnow);
+        for (const Sdo& sdo : pe.inbound) tracer_->drop(sdo.span, vnow);
+        for (const Sdo& sdo : pe.queue) tracer_->drop(sdo.span, vnow);
+      }
       pe.queue.clear();
       pe.inbound.clear();
       pe.pending.clear();
@@ -436,6 +530,7 @@ class WorkerEngine {
       pe.work_remaining = 0.0;
       pe.share = 0.0;
       pe.lifetime_dropped += pe_lost;
+      ctr_dropped_.inc(pe_lost);
       for (std::uint64_t j = 0; j < pe_lost; ++j)
         collector_.on_internal_drop(vnow);
       lost += pe_lost;
@@ -478,6 +573,34 @@ class WorkerEngine {
     ++events_executed_;
     for (std::size_t i = 0; i < local.size(); ++i) {
       PeState& pe = pes_[local[i].value()];
+      if (cfg_.record_trace != 0) {
+        // Same record the other substrates emit; the shard tag is stamped
+        // coordinator-side from the frame's rank.
+        obs::TickRecord rec;
+        rec.time = vnow;
+        rec.node = controller.node().value();
+        rec.pe = local[i].value();
+        rec.buffer_occupancy = inputs[i].buffer_occupancy;
+        rec.arrived_sdos = inputs[i].arrived_sdos;
+        rec.processed_sdos = inputs[i].processed_sdos;
+        rec.cpu_share = outputs[i].cpu_share;
+        rec.cpu_seconds_used = inputs[i].cpu_seconds_used;
+        rec.advertised_rmax = outputs[i].advertised_rmax;
+        rec.downstream_rmax = inputs[i].downstream_rmax;
+        rec.token_fill = controller.tokens(i);
+        rec.output_blocked = inputs[i].output_blocked;
+        rec.dropped_total = pe.lifetime_dropped;
+        if (injector_ != nullptr && injector_->pe_stalled(local[i], vnow)) {
+          rec.fault_flags |= obs::kFaultPeStalled;
+        }
+        if (controller_config_.advert_staleness_timeout > 0.0 &&
+            !graph_.downstream(local[i]).empty() &&
+            inputs[i].downstream_advert_age >
+                controller_config_.advert_staleness_timeout) {
+          rec.fault_flags |= obs::kFaultAdvertStale;
+        }
+        trace_buffer_.push_back(std::move(rec));
+      }
       collector_.on_cpu_used(vnow, pe.used_this_tick);
       collector_.on_buffer_sample(
           vnow,
@@ -504,20 +627,31 @@ class WorkerEngine {
   void generate_arrivals(Seconds vnow, Seconds vend) {
     for (Source& src : sources_) {
       PeState& pe = pes_[src.pe];
+      const PeId pe_id(static_cast<PeId::value_type>(src.pe));
       while (src.next_arrival < vend) {
         const Seconds at = src.next_arrival;
         src.next_arrival += src.process->next_interarrival();
+        // The sampling draw happens for every generated arrival — accepted
+        // or not — so the acceptance counters match the other substrates.
+        std::int32_t span = -1;
+        if (tracer_ != nullptr) span = tracer_->begin(pe_id, at);
         if (fault_drops_delivery(src.pe, vnow)) {
           ++pe.lifetime_dropped;
+          ctr_dropped_.inc();
+          if (tracer_ != nullptr) tracer_->drop(span, at);
           collector_.on_ingress_drop(at);
           continue;
         }
         if (pe.queue.size() < pe.capacity) {
-          pe.queue.push_back(Sdo{at});
+          if (tracer_ != nullptr) tracer_->on_enqueue(span, pe_id, at);
+          pe.queue.push_back(Sdo{at, at, span});
           pe.arrived_this_tick += 1.0;
           ++pe.lifetime_arrived;
+          ctr_arrived_.inc();
         } else {
           ++pe.lifetime_dropped;
+          ctr_dropped_.inc();
+          if (tracer_ != nullptr) tracer_->drop(span, at);
           collector_.on_ingress_drop(at);
         }
       }
@@ -535,7 +669,13 @@ class WorkerEngine {
         PeState& pe = pes_[id.value()];
         if (injector_ != nullptr) {
           const bool stalled = injector_->pe_stalled(id, vnow);
-          if (stalled && !was_stalled_[id.value()]) injector_->note_pe_stall();
+          if (stalled && !was_stalled_[id.value()]) {
+            injector_->note_pe_stall();
+            if (tracer_ != nullptr) {
+              tracer_->fault_dump("fault.pe_stall", vnow);
+              pending_dump_ = true;
+            }
+          }
           was_stalled_[id.value()] = stalled;
           if (stalled) continue;
         }
@@ -552,6 +692,13 @@ class WorkerEngine {
             pe.queue.pop_front();
             pe.busy = true;
             pe.work_remaining = pe.service->cost_at(vnow);
+            if (tracer_ != nullptr) {
+              // max() because a same-quantum enqueue may postdate the
+              // quantum-start stamp; both operands sit on the quantum
+              // grid, so the stamp stays partition-invariant.
+              tracer_->on_dequeue(pe.current.span,
+                                  std::max(vnow, pe.current.enqueue));
+            }
           }
           const double spend = std::min(allowed, pe.work_remaining);
           pe.work_remaining -= spend;
@@ -571,85 +718,136 @@ class WorkerEngine {
     pe.processed_this_tick += 1.0;
     ++pe.lifetime_processed;
     ++events_executed_;
+    ctr_processed_.inc();
     collector_.on_processed(vcomplete, 1);
     const auto& d = graph_.pe(pe_id);
     pe.selectivity_credit += d.selectivity;
     const int outputs = static_cast<int>(std::floor(pe.selectivity_credit));
     pe.selectivity_credit -= outputs;
+    if (tracer_ != nullptr) tracer_->on_emit(pe.current.span, vcomplete);
     if (d.kind == graph::PeKind::kEgress) {
       pe.lifetime_emitted += static_cast<std::uint64_t>(outputs);
+      ctr_emitted_.inc(static_cast<std::uint64_t>(outputs));
       for (int j = 0; j < outputs; ++j) {
         collector_.on_egress_output(vcomplete, pe.egress_index, d.weight,
                                     vcomplete - pe.current.birth);
       }
+      if (tracer_ != nullptr) tracer_->complete(pe.current.span, vcomplete);
       return;
     }
-    if (outputs == 0) return;
+    if (outputs == 0) {
+      // Selectivity absorbed the SDO: a normal end of life, not a drop.
+      if (tracer_ != nullptr) tracer_->complete(pe.current.span, vcomplete);
+      return;
+    }
     const auto& downs = graph_.downstream(pe_id);
+    // The span continues into the first downstream copy only, keeping the
+    // trace a single root-to-sink path (spans.h header contract).
+    std::int32_t span = pe.current.span;
     for (std::size_t slot = 0; slot < downs.size(); ++slot) {
       for (int j = 0; j < outputs; ++j) {
-        send(pe, pe_id, slot, Sdo{pe.current.birth}, vcomplete);
+        send(pe, pe_id, slot, Sdo{pe.current.birth, vcomplete, span},
+             vcomplete);
+        span = -1;
       }
     }
   }
 
   void send(PeState& pe, PeId pe_id, std::size_t slot, Sdo sdo, Seconds vnow) {
     ++pe.lifetime_emitted;
+    ctr_emitted_.inc();
     const PeId target_id = graph_.downstream(pe_id)[slot];
     const std::size_t target = target_id.value();
     const bool cross_node = graph_.pe(target_id).node != graph_.pe(pe_id).node;
     if (cross_node) {
       // One quantum of transit, whether or not the destination shares this
       // worker: the coordinator relays the outbox at the next barrier.
+      ctr_cross_node_.inc();
       wire::SdoDelivery d;
       d.dest_pe = static_cast<std::uint32_t>(target);
       d.src_node = graph_.pe(pe_id).node.value();
       d.birth = sdo.birth;
+      if (tracer_ != nullptr && sdo.span >= 0) {
+        // The span leaves this process: stamp the serialization hop, then
+        // detach the prefix for the wire. Its occurrence index among this
+        // quantum's same-key deliveries is the re-attachment key (exact,
+        // because the coordinator relays this outbox in order). The
+        // kWireSend hop is stamped at ship time, kWireRecv at adoption.
+        tracer_->append_wire_hop(sdo.span, pe_id, obs::HopKind::kWireSerialize,
+                                 vnow);
+        wire::SpanHandoff h;
+        h.dest_pe = d.dest_pe;
+        h.src_node = d.src_node;
+        for (const wire::SdoDelivery& prev : delivery_outbox_) {
+          if (prev.dest_pe == d.dest_pe && prev.src_node == d.src_node)
+            ++h.index;
+        }
+        if (tracer_->detach(sdo.span, &h.span)) {
+          handoff_outbox_.push_back(std::move(h));
+        }
+      }
       delivery_outbox_.push_back(d);
       return;
     }
     PeState& t = pes_[target];
     if (fault_drops_delivery(target, vnow)) {
       ++t.lifetime_dropped;
+      ctr_dropped_.inc();
+      if (tracer_ != nullptr) tracer_->drop(sdo.span, vnow);
       collector_.on_internal_drop(vnow);
       return;  // lost, not blocked
     }
     if (lockstep_) {
       if (t.queue.size() < t.capacity) {
+        sdo.enqueue = vnow;
+        if (tracer_ != nullptr) tracer_->on_enqueue(sdo.span, target_id, vnow);
         t.queue.push_back(sdo);
         t.arrived_this_tick += 1.0;
         ++t.lifetime_arrived;
+        ctr_arrived_.inc();
       } else {
+        // Producer-side hold: the span's enqueue hop waits for the flush.
         pe.pending.push_back({slot, sdo});
         pe.blocked_local = true;
       }
       return;
     }
     if (t.queue.size() < t.capacity) {
+      sdo.enqueue = vnow;
+      if (tracer_ != nullptr) tracer_->on_enqueue(sdo.span, target_id, vnow);
       t.queue.push_back(sdo);
       t.arrived_this_tick += 1.0;
       ++t.lifetime_arrived;
+      ctr_arrived_.inc();
     } else {
       ++t.lifetime_dropped;
+      ctr_dropped_.inc();
+      if (tracer_ != nullptr) tracer_->drop(sdo.span, vnow);
       collector_.on_internal_drop(vnow);
     }
   }
 
   void try_flush(PeState& pe, PeId pe_id, Seconds vnow) {
     while (!pe.pending.empty()) {
-      const auto [slot, sdo] = pe.pending.front();
-      const std::size_t target = graph_.downstream(pe_id)[slot].value();
+      auto [slot, sdo] = pe.pending.front();
+      const PeId target_id = graph_.downstream(pe_id)[slot];
+      const std::size_t target = target_id.value();
       PeState& t = pes_[target];
       if (fault_drops_delivery(target, vnow)) {
         ++t.lifetime_dropped;
+        ctr_dropped_.inc();
+        if (tracer_ != nullptr) tracer_->drop(sdo.span, vnow);
         collector_.on_internal_drop(vnow);
         pe.pending.pop_front();
         continue;  // a dead consumer must not deadlock its producers
       }
       if (t.queue.size() >= t.capacity) return;
+      sdo.enqueue = vnow;
+      if (tracer_ != nullptr) tracer_->on_enqueue(sdo.span, target_id, vnow);
       t.queue.push_back(sdo);
       t.arrived_this_tick += 1.0;
       ++t.lifetime_arrived;
+      ctr_arrived_.inc();
       pe.pending.pop_front();
     }
     pe.blocked_local = false;
@@ -704,6 +902,116 @@ class WorkerEngine {
     return out;
   }
 
+  /// Ships the telemetry frames that precede the StepDone (or final
+  /// Report) closing quantum `quantum`. SpanBatch goes every quantum while
+  /// handoffs exist — the coordinator must relay them before the next
+  /// StepGo; completed spans, the MetricsReport, and flight-recorder
+  /// evidence ride the epoch cadence. Returns false on a dead endpoint.
+  bool ship_telemetry(std::uint64_t quantum, bool epoch, bool is_final) {
+    const Seconds ship_time = static_cast<double>(quantum + 1) * q_;
+    if (tracer_ != nullptr) {
+      std::vector<obs::SdoSpan> completed;
+      if (epoch || is_final) completed = tracer_->take_completed();
+      if (!handoff_outbox_.empty() || !completed.empty()) {
+        wire::SpanBatch batch;
+        batch.rank = cfg_.rank;
+        batch.quantum = quantum;
+        batch.completed = std::move(completed);
+        batch.handoffs = std::move(handoff_outbox_);
+        handoff_outbox_.clear();
+        for (wire::SpanHandoff& h : batch.handoffs) {
+          // The send hop: the span leaves this process at quantum end. The
+          // hop repeats the last-stamped PE (the serialization site).
+          obs::SdoSpan& s = h.span;
+          if (s.hop_count < obs::SdoSpan::kMaxHops) {
+            obs::SpanHop hop;
+            hop.pe = s.hop_count > 0 ? s.hops[s.hop_count - 1].pe
+                                     : s.source_pe;
+            hop.kind = static_cast<std::uint32_t>(obs::HopKind::kWireSend);
+            hop.enqueue = ship_time;
+            hop.dequeue = ship_time;
+            hop.emit = ship_time;
+            s.hops[s.hop_count++] = hop;
+          } else {
+            s.truncated = true;
+          }
+        }
+        if (!ep_.send(wire::encode(batch))) return false;
+      }
+    }
+    if (epoch || is_final) {
+      if (!ep_.send(wire::encode(make_metrics_report(quantum)))) return false;
+    }
+    if (tracer_ != nullptr) {
+      const std::uint64_t pushed = tracer_->recorder().pushed();
+      const bool ring_advanced =
+          (epoch || is_final) && pushed != last_shipped_pushed_;
+      if (pending_dump_ || ring_advanced) {
+        wire::FlightDump dump;
+        dump.rank = cfg_.rank;
+        dump.pushed = pushed;
+        if (pending_dump_ && !tracer_->dumps().empty()) {
+          // A fault fired this quantum: ship the post-mortem the tracer
+          // captured at the fault site, in-flight spans included.
+          const obs::FlightDump& src = tracer_->dumps().back();
+          dump.event = src.event;
+          dump.time = src.time;
+          dump.recent = src.recent;
+          dump.in_flight = src.in_flight;
+        } else {
+          // Routine evidence refresh: recent completions only. The
+          // coordinator keeps the newest dump per rank, so a prockill'd
+          // worker's final epoch survives the process.
+          dump.event = is_final ? "shutdown" : "epoch";
+          dump.time = ship_time;
+          dump.recent = tracer_->recorder().snapshot();
+        }
+        if (!ep_.send(wire::encode(dump))) return false;
+        pending_dump_ = false;
+        last_shipped_pushed_ = pushed;
+      }
+    }
+    return true;
+  }
+
+  wire::MetricsReport make_metrics_report(std::uint64_t quantum) {
+    wire::MetricsReport mr;
+    mr.rank = cfg_.rank;
+    mr.quantum = quantum;
+    const obs::CounterSnapshot snap = counters_.snapshot();
+    for (const auto& [name, value] : snap.counters) {
+      // Deltas, not absolutes: the coordinator's sum stays exact across
+      // worker restarts (a respawned shard starts at zero).
+      std::uint64_t& sent = last_sent_counters_[name];
+      if (value > sent) {
+        mr.counters.push_back({name, value - sent});
+        sent = value;
+      }
+    }
+    for (const auto& [name, value] : snap.gauges) {
+      mr.gauges.push_back({name, value});
+    }
+    if (tracer_ != nullptr) {
+      // Whole-state snapshots (last-writer-wins per rank at the
+      // coordinator), mirroring what write_latency_prometheus exposes for
+      // a single-process run — that 1:1 shape is what the aggregation-
+      // invariance tests compare.
+      const obs::LatencyRegistry& reg = tracer_->latency();
+      for (const auto& [pe, stats] : reg.pes()) {
+        mr.pe_latency.push_back({pe, stats.wait, stats.service});
+      }
+      for (const auto& [id, stats] : reg.paths()) {
+        mr.path_latency.push_back({id, stats.label, stats.end_to_end});
+      }
+    }
+    for (const obs::PerfStageSample& s : obs::perf_snapshot().stages) {
+      mr.perf.push_back({s.name, s.calls, s.ns});
+    }
+    mr.trace = std::move(trace_buffer_);
+    trace_buffer_.clear();
+    return mr;
+  }
+
   wire::Config cfg_;
   transport::Endpoint& ep_;
   graph::ProcessingGraph graph_;
@@ -729,6 +1037,35 @@ class WorkerEngine {
   std::vector<std::uint32_t> restored_this_quantum_;
   std::uint64_t events_executed_ = 0;
   std::atomic<std::uint64_t> current_quantum_{0};
+
+  // ---- telemetry (tentpole: the distributed observability plane) -----
+  obs::CounterRegistry counters_;
+  obs::Counter ctr_arrived_;
+  obs::Counter ctr_processed_;
+  obs::Counter ctr_emitted_;
+  obs::Counter ctr_dropped_;
+  obs::Counter ctr_cross_node_;
+  obs::Gauge gauge_quantum_;
+  std::unique_ptr<obs::SpanTracer> tracer_;
+  /// Span prefixes leaving this worker, shipped in the quantum's SpanBatch.
+  std::vector<wire::SpanHandoff> handoff_outbox_;
+  /// Handoffs relayed by the coordinator, keyed (dest_pe, src_node, index),
+  /// staged for exactly one quantum (run_quantum clears after deliveries).
+  std::map<std::tuple<std::uint32_t, std::uint32_t, std::uint32_t>,
+           obs::SdoSpan>
+      pending_handoffs_;
+  /// Deliveries seen this quantum per (dest_pe, src_node) — the receiver
+  /// side of the occurrence-index handoff key.
+  std::map<std::pair<std::uint32_t, std::uint32_t>, std::uint32_t>
+      delivery_counts_;
+  /// Control-tick records since the last MetricsReport (record_trace only).
+  std::vector<obs::TickRecord> trace_buffer_;
+  /// Counter values as of the last MetricsReport, for delta encoding.
+  std::map<std::string, std::uint64_t> last_sent_counters_;
+  /// A fault dump was taken this quantum and awaits shipping.
+  bool pending_dump_ = false;
+  /// Recorder ring watermark at the last shipped FlightDump.
+  std::uint64_t last_shipped_pushed_ = 0;
 };
 
 }  // namespace

@@ -173,6 +173,85 @@ bool get(Reader& r, Advert* a) {
   return r.u32(&a->pe) && r.f64(&a->rmax) && r.f64(&a->time);
 }
 
+void put_span(Writer& w, const obs::SdoSpan& s) {
+  w.u64(s.trace_id);
+  w.u32(s.source_pe);
+  w.f64(s.start);
+  w.f64(s.end);
+  w.u8(s.dropped ? 1 : 0);
+  w.u8(s.truncated ? 1 : 0);
+  w.u8(static_cast<std::uint8_t>(s.hop_count));
+  for (std::uint32_t i = 0; i < s.hop_count; ++i) {
+    const obs::SpanHop& hop = s.hops[i];
+    w.u32(hop.pe);
+    w.u32(hop.kind);
+    w.f64(hop.enqueue);
+    w.f64(hop.dequeue);
+    w.f64(hop.emit);
+  }
+}
+bool get_span(Reader& r, obs::SdoSpan* s, WireError* error) {
+  const auto fail = [error](const char* why) {
+    if (error != nullptr && error->reason.empty()) error->reason = why;
+    return false;
+  };
+  std::uint8_t dropped = 0, truncated = 0, hop_count = 0;
+  if (!(r.u64(&s->trace_id) && r.u32(&s->source_pe) && r.f64(&s->start) &&
+        r.f64(&s->end) && r.u8(&dropped) && r.u8(&truncated) &&
+        r.u8(&hop_count))) {
+    return false;
+  }
+  if (hop_count > obs::SdoSpan::kMaxHops) {
+    return fail("span hop count exceeds kMaxHops");
+  }
+  s->dropped = dropped != 0;
+  s->truncated = truncated != 0;
+  s->hop_count = hop_count;
+  for (std::uint32_t i = 0; i < s->hop_count; ++i) {
+    obs::SpanHop& hop = s->hops[i];
+    if (!(r.u32(&hop.pe) && r.u32(&hop.kind) && r.f64(&hop.enqueue) &&
+          r.f64(&hop.dequeue) && r.f64(&hop.emit))) {
+      return false;
+    }
+    if (hop.kind > static_cast<std::uint32_t>(obs::HopKind::kWireRecv)) {
+      return fail("unknown span hop kind");
+    }
+  }
+  return true;
+}
+
+void put_tick(Writer& w, const obs::TickRecord& t) {
+  w.f64(t.time);
+  w.u32(t.node);
+  w.u32(t.pe);
+  w.f64(t.buffer_occupancy);
+  w.f64(t.arrived_sdos);
+  w.f64(t.processed_sdos);
+  w.f64(t.cpu_share);
+  w.f64(t.cpu_seconds_used);
+  w.f64(t.advertised_rmax);
+  w.f64(t.downstream_rmax);
+  w.f64(t.token_fill);
+  w.u8(t.output_blocked ? 1 : 0);
+  w.u64(t.dropped_total);
+  w.u8(t.fault_flags);
+  w.str(t.policy);
+}
+bool get_tick(Reader& r, obs::TickRecord* t) {
+  std::uint8_t blocked = 0;
+  if (!(r.f64(&t->time) && r.u32(&t->node) && r.u32(&t->pe) &&
+        r.f64(&t->buffer_occupancy) && r.f64(&t->arrived_sdos) &&
+        r.f64(&t->processed_sdos) && r.f64(&t->cpu_share) &&
+        r.f64(&t->cpu_seconds_used) && r.f64(&t->advertised_rmax) &&
+        r.f64(&t->downstream_rmax) && r.f64(&t->token_fill) &&
+        r.u8(&blocked) && r.u64(&t->dropped_total) && r.u8(&t->fault_flags) &&
+        r.str(&t->policy))) {
+    return false;
+  }
+  t->output_blocked = blocked != 0;
+  return true;
+}
+
 template <typename T, typename Put>
 void put_vec(Writer& w, const std::vector<T>& v, Put put_one) {
   w.u32(static_cast<std::uint32_t>(v.size()));
@@ -265,7 +344,7 @@ std::optional<std::pair<FrameType, std::uint32_t>> parse_header(
   if (data[2] != kWireVersion) return fail("unsupported wire version");
   const std::uint8_t type = data[3];
   if (type < static_cast<std::uint8_t>(FrameType::kHello) ||
-      type > static_cast<std::uint8_t>(FrameType::kShutdown)) {
+      type > static_cast<std::uint8_t>(FrameType::kFlightDump)) {
     return fail("unknown frame type");
   }
   std::uint32_t len = 0;
@@ -331,6 +410,8 @@ std::vector<std::uint8_t> encode(const Config& v) {
   w.f64_vec(v.plan_cpu);
   w.f64_vec(v.plan_rin);
   w.f64_vec(v.plan_rout);
+  w.f64(v.span_sample);
+  w.u8(v.record_trace);
   return std::move(w).frame(FrameType::kConfig);
 }
 
@@ -344,7 +425,8 @@ std::optional<Config> decode_config(const std::vector<std::uint8_t>& payload,
         r.u32(&v.batch) && r.u32(&v.channel_capacity) &&
         r.f64(&v.heartbeat_interval) && r.u64(&v.start_quantum) &&
         r.str(&v.topology) && r.str(&v.faults) && r.f64_vec(&v.plan_cpu) &&
-        r.f64_vec(&v.plan_rin) && r.f64_vec(&v.plan_rout) && r.exhausted())) {
+        r.f64_vec(&v.plan_rin) && r.f64_vec(&v.plan_rout) &&
+        r.f64(&v.span_sample) && r.u8(&v.record_trace) && r.exhausted())) {
     return std::nullopt;
   }
   return v;
@@ -518,6 +600,159 @@ std::vector<std::uint8_t> encode_shutdown() {
   return std::move(w).frame(FrameType::kShutdown);
 }
 
+std::vector<std::uint8_t> encode(const MetricsReport& v) {
+  Writer w;
+  w.u32(v.rank);
+  w.u64(v.quantum);
+  put_vec(w, v.counters, [](Writer& w2, const MetricsCounter& c) {
+    w2.str(c.name);
+    w2.u64(c.delta);
+  });
+  put_vec(w, v.gauges, [](Writer& w2, const MetricsGauge& g) {
+    w2.str(g.name);
+    w2.f64(g.value);
+  });
+  put_vec(w, v.pe_latency, [](Writer& w2, const PeLatencySnapshot& p) {
+    w2.u32(p.pe);
+    put_histogram(w2, p.wait);
+    put_histogram(w2, p.service);
+  });
+  put_vec(w, v.path_latency, [](Writer& w2, const PathLatencySnapshot& p) {
+    w2.u64(p.id);
+    w2.str(p.label);
+    put_histogram(w2, p.end_to_end);
+  });
+  put_vec(w, v.perf, [](Writer& w2, const PerfCell& c) {
+    w2.str(c.name);
+    w2.u64(c.calls);
+    w2.u64(c.ns);
+  });
+  put_vec(w, v.trace, [](Writer& w2, const obs::TickRecord& t) {
+    put_tick(w2, t);
+  });
+  return std::move(w).frame(FrameType::kMetricsReport);
+}
+
+std::optional<MetricsReport> decode_metrics_report(
+    const std::vector<std::uint8_t>& payload, WireError* error) {
+  Reader r(payload, error);
+  MetricsReport v;
+  if (!(r.u32(&v.rank) && r.u64(&v.quantum) &&
+        get_vec(r, &v.counters,
+                [](Reader& r2, MetricsCounter* c) {
+                  return r2.str(&c->name) && r2.u64(&c->delta);
+                },
+                error, "metric counters") &&
+        get_vec(r, &v.gauges,
+                [](Reader& r2, MetricsGauge* g) {
+                  return r2.str(&g->name) && r2.f64(&g->value);
+                },
+                error, "metric gauges") &&
+        get_vec(r, &v.pe_latency,
+                [error](Reader& r2, PeLatencySnapshot* p) {
+                  return r2.u32(&p->pe) &&
+                         get_histogram(r2, &p->wait, error) &&
+                         get_histogram(r2, &p->service, error);
+                },
+                error, "PE latency snapshots") &&
+        get_vec(r, &v.path_latency,
+                [error](Reader& r2, PathLatencySnapshot* p) {
+                  return r2.u64(&p->id) && r2.str(&p->label) &&
+                         get_histogram(r2, &p->end_to_end, error);
+                },
+                error, "path latency snapshots") &&
+        get_vec(r, &v.perf,
+                [](Reader& r2, PerfCell* c) {
+                  return r2.str(&c->name) && r2.u64(&c->calls) &&
+                         r2.u64(&c->ns);
+                },
+                error, "perf cells") &&
+        get_vec(r, &v.trace,
+                [](Reader& r2, obs::TickRecord* t) {
+                  return get_tick(r2, t);
+                },
+                error, "trace records") &&
+        r.exhausted())) {
+    return std::nullopt;
+  }
+  return v;
+}
+
+std::vector<std::uint8_t> encode(const SpanBatch& v) {
+  Writer w;
+  w.u32(v.rank);
+  w.u64(v.quantum);
+  put_vec(w, v.completed, [](Writer& w2, const obs::SdoSpan& s) {
+    put_span(w2, s);
+  });
+  put_vec(w, v.handoffs, [](Writer& w2, const SpanHandoff& h) {
+    w2.u32(h.dest_pe);
+    w2.u32(h.src_node);
+    w2.u32(h.index);
+    put_span(w2, h.span);
+  });
+  return std::move(w).frame(FrameType::kSpanBatch);
+}
+
+std::optional<SpanBatch> decode_span_batch(
+    const std::vector<std::uint8_t>& payload, WireError* error) {
+  Reader r(payload, error);
+  SpanBatch v;
+  if (!(r.u32(&v.rank) && r.u64(&v.quantum) &&
+        get_vec(r, &v.completed,
+                [error](Reader& r2, obs::SdoSpan* s) {
+                  return get_span(r2, s, error);
+                },
+                error, "completed spans") &&
+        get_vec(r, &v.handoffs,
+                [error](Reader& r2, SpanHandoff* h) {
+                  return r2.u32(&h->dest_pe) && r2.u32(&h->src_node) &&
+                         r2.u32(&h->index) && get_span(r2, &h->span, error);
+                },
+                error, "span handoffs") &&
+        r.exhausted())) {
+    return std::nullopt;
+  }
+  return v;
+}
+
+std::vector<std::uint8_t> encode(const FlightDump& v) {
+  Writer w;
+  w.u32(v.rank);
+  w.str(v.event);
+  w.f64(v.time);
+  w.u64(v.pushed);
+  put_vec(w, v.recent, [](Writer& w2, const obs::SdoSpan& s) {
+    put_span(w2, s);
+  });
+  put_vec(w, v.in_flight, [](Writer& w2, const obs::SdoSpan& s) {
+    put_span(w2, s);
+  });
+  return std::move(w).frame(FrameType::kFlightDump);
+}
+
+std::optional<FlightDump> decode_flight_dump(
+    const std::vector<std::uint8_t>& payload, WireError* error) {
+  Reader r(payload, error);
+  FlightDump v;
+  if (!(r.u32(&v.rank) && r.str(&v.event) && r.f64(&v.time) &&
+        r.u64(&v.pushed) &&
+        get_vec(r, &v.recent,
+                [error](Reader& r2, obs::SdoSpan* s) {
+                  return get_span(r2, s, error);
+                },
+                error, "recent spans") &&
+        get_vec(r, &v.in_flight,
+                [error](Reader& r2, obs::SdoSpan* s) {
+                  return get_span(r2, s, error);
+                },
+                error, "in-flight spans") &&
+        r.exhausted())) {
+    return std::nullopt;
+  }
+  return v;
+}
+
 const char* to_string(FrameType type) {
   switch (type) {
     case FrameType::kHello: return "hello";
@@ -528,6 +763,9 @@ const char* to_string(FrameType type) {
     case FrameType::kTargets: return "targets";
     case FrameType::kReport: return "report";
     case FrameType::kShutdown: return "shutdown";
+    case FrameType::kMetricsReport: return "metrics_report";
+    case FrameType::kSpanBatch: return "span_batch";
+    case FrameType::kFlightDump: return "flight_dump";
   }
   return "unknown";
 }

@@ -33,11 +33,15 @@
 
 #include "common/types.h"
 #include "metrics/run_report.h"
+#include "obs/spans.h"
+#include "obs/trace.h"
 
 namespace aces::runtime::wire {
 
 inline constexpr std::uint16_t kMagic = 0xACE5;
-inline constexpr std::uint8_t kWireVersion = 1;
+/// Version 2: Config grew span_sample/record_trace and the observability
+/// frames (MetricsReport/SpanBatch/FlightDump) joined the protocol.
+inline constexpr std::uint8_t kWireVersion = 2;
 /// Upper bound on a sane payload (config frames carry a whole topology, so
 /// this is generous; anything larger is treated as corruption).
 inline constexpr std::uint32_t kMaxFramePayload = 64u * 1024u * 1024u;
@@ -51,6 +55,9 @@ enum class FrameType : std::uint8_t {
   kTargets = 6,    ///< coordinator → worker: tier-1 target vector push
   kReport = 7,     ///< worker → coordinator: partial RunReport at the end
   kShutdown = 8,   ///< coordinator → worker: exit cleanly
+  kMetricsReport = 9,  ///< worker → coordinator: epoch telemetry snapshot
+  kSpanBatch = 10,     ///< both ways: completed spans + cross-shard handoffs
+  kFlightDump = 11,    ///< worker → coordinator: flight-recorder evidence
 };
 
 /// One decoded frame: type + raw payload bytes.
@@ -95,6 +102,8 @@ struct Config {
   std::vector<double> plan_cpu;      ///< tier-1 targets, indexed by PeId
   std::vector<double> plan_rin;
   std::vector<double> plan_rout;
+  double span_sample = 0.0;          ///< SDO span sample rate; 0 = tracing off
+  std::uint8_t record_trace = 0;     ///< ship per-tick control TraceRecords
 };
 
 /// One SDO crossing a node boundary. `src_node` orders deliveries
@@ -162,6 +171,97 @@ struct Report {
   std::uint64_t rank = 0;
 };
 
+/// One counter's increase since the worker's previous MetricsReport.
+/// Deltas (not absolutes) keep the coordinator's sum exact across worker
+/// restarts: a respawned shard starts its counters — and its deltas — at
+/// zero instead of replaying history.
+struct MetricsCounter {
+  std::string name;
+  std::uint64_t delta = 0;
+};
+
+/// Last-value-wins gauge sample.
+struct MetricsGauge {
+  std::string name;
+  double value = 0.0;
+};
+
+/// Full wait/service histogram snapshot for one PE. Snapshots (not deltas)
+/// because LogHistogram merge is cheap and last-writer-wins per rank makes
+/// a lost epoch self-healing.
+struct PeLatencySnapshot {
+  std::uint32_t pe = 0;
+  LogHistogram wait;
+  LogHistogram service;
+};
+
+/// End-to-end histogram snapshot for one root-to-sink path (splitmix64
+/// path id, so ids agree across shards and with the in-process build).
+struct PathLatencySnapshot {
+  std::uint64_t id = 0;
+  std::string label;
+  LogHistogram end_to_end;
+};
+
+/// One perf-probe stage cell (cumulative; empty on uninstrumented builds).
+struct PerfCell {
+  std::string name;
+  std::uint64_t calls = 0;
+  std::uint64_t ns = 0;
+};
+
+/// Epoch telemetry snapshot, sent immediately before the StepDone that
+/// closes a barrier epoch (every `substeps` quanta) and once more before
+/// the final Report. Counter deltas sum exactly at the coordinator;
+/// histograms/perf/gauges are whole-state last-writer-wins per rank.
+struct MetricsReport {
+  std::uint32_t rank = 0;
+  std::uint64_t quantum = 0;
+  std::vector<MetricsCounter> counters;
+  std::vector<MetricsGauge> gauges;
+  std::vector<PeLatencySnapshot> pe_latency;
+  std::vector<PathLatencySnapshot> path_latency;
+  std::vector<PerfCell> perf;
+  std::vector<obs::TickRecord> trace;  ///< control ticks since last report
+};
+
+/// An in-flight span leaving its worker alongside an SdoDelivery. The
+/// receiver re-attaches it to the delivery with the same
+/// (dest_pe, src_node, occurrence index) key — exact, because the
+/// coordinator relays each source worker's deliveries in preserved order.
+struct SpanHandoff {
+  std::uint32_t dest_pe = 0;
+  std::uint32_t src_node = 0;
+  /// Occurrence index among this quantum's (dest_pe, src_node) deliveries.
+  std::uint32_t index = 0;
+  obs::SdoSpan span;  ///< prefix; end < 0 (still in flight)
+};
+
+/// Sampled-span traffic. Worker → coordinator: spans finalized this epoch
+/// plus handoffs for SDOs that left the shard this quantum (rank = sender).
+/// Coordinator → worker: the handoffs addressed to that worker, relayed
+/// just before the StepGo that carries the matching deliveries (rank =
+/// destination).
+struct SpanBatch {
+  std::uint32_t rank = 0;
+  std::uint64_t quantum = 0;
+  std::vector<obs::SdoSpan> completed;
+  std::vector<SpanHandoff> handoffs;
+};
+
+/// Flight-recorder evidence (obs::FlightDump plus provenance), shipped at
+/// epoch boundaries when the ring advanced, on fault dumps, and at
+/// shutdown. The coordinator retains the last one per rank, so a
+/// SIGKILLed worker's final milliseconds survive the process.
+struct FlightDump {
+  std::uint32_t rank = 0;
+  std::string event;  ///< "epoch", a fault.* counter name, or "shutdown"
+  double time = 0.0;  ///< virtual seconds of the snapshot
+  std::uint64_t pushed = 0;  ///< recorder ring tickets at snapshot time
+  std::vector<obs::SdoSpan> recent;
+  std::vector<obs::SdoSpan> in_flight;
+};
+
 // ---------------------------------------------------------------------------
 // Codecs. encode_* produce a complete frame (header + payload); decode_*
 // parse the *payload* of a frame whose type was already matched, returning
@@ -175,6 +275,9 @@ std::vector<std::uint8_t> encode(const Heartbeat& v);
 std::vector<std::uint8_t> encode(const Targets& v);
 std::vector<std::uint8_t> encode(const Report& v);
 std::vector<std::uint8_t> encode_shutdown();
+std::vector<std::uint8_t> encode(const MetricsReport& v);
+std::vector<std::uint8_t> encode(const SpanBatch& v);
+std::vector<std::uint8_t> encode(const FlightDump& v);
 
 std::optional<Hello> decode_hello(const std::vector<std::uint8_t>& payload,
                                   WireError* error = nullptr);
@@ -190,6 +293,12 @@ std::optional<Targets> decode_targets(const std::vector<std::uint8_t>& payload,
                                       WireError* error = nullptr);
 std::optional<Report> decode_report(const std::vector<std::uint8_t>& payload,
                                     WireError* error = nullptr);
+std::optional<MetricsReport> decode_metrics_report(
+    const std::vector<std::uint8_t>& payload, WireError* error = nullptr);
+std::optional<SpanBatch> decode_span_batch(
+    const std::vector<std::uint8_t>& payload, WireError* error = nullptr);
+std::optional<FlightDump> decode_flight_dump(
+    const std::vector<std::uint8_t>& payload, WireError* error = nullptr);
 
 /// Splits a complete frame (header + payload) back into a Frame. Returns
 /// nullopt on bad magic/version/type, truncation, or an oversized length.

@@ -1,0 +1,196 @@
+// Aggregation invariance for the distributed observability plane.
+//
+// The distributed runtime's contract is that the partition is not
+// observable in the work (byte-identical work fingerprints). The telemetry
+// plane inherits a two-part contract on top:
+//
+//  * shipping telemetry must not perturb the computation — fingerprints
+//    with tracing on and off are byte-identical;
+//  * the cluster-merged view must be partition-invariant — counters summed
+//    across shards are exactly the 1-shard totals, and the merged latency
+//    histograms (fed by quantum-grid virtual timestamps, stitched across
+//    wire hops) carry the same samples for any shard count.
+//
+// Runs on the in-process transport: the telemetry path (frames through the
+// coordinator, deltas, stitching) is identical across transports, and the
+// socket equivalence is pinned by transport_differential_test.
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "control/config.h"
+#include "graph/topology_generator.h"
+#include "metrics/report_fingerprint.h"
+#include "obs/cluster_aggregate.h"
+#include "obs/latency.h"
+#include "runtime/dist_coordinator.h"
+#include "runtime/dist_options.h"
+#include "runtime/dist_worker.h"
+
+namespace aces {
+namespace {
+
+constexpr double kDuration = 12.0;
+constexpr double kWarmup = 3.0;
+constexpr std::uint64_t kSeed = 77;
+
+graph::ProcessingGraph test_graph() {
+  graph::TopologyParams p;
+  p.num_nodes = 4;
+  p.num_ingress = 3;
+  p.num_intermediate = 8;
+  p.num_egress = 3;
+  p.depth = 2;
+  p.load_factor = 0.6;
+  return generate_topology(p, 21);
+}
+
+runtime::dist::DistOptions options_with(std::uint32_t processes,
+                                        obs::ClusterAggregator* aggregator,
+                                        double sample) {
+  runtime::dist::DistOptions o;
+  o.duration = kDuration;
+  o.warmup = kWarmup;
+  o.seed = kSeed;
+  o.processes = processes;
+  o.transport = runtime::transport::TransportKind::kInProc;
+  o.controller.policy = control::FlowPolicy::kAces;
+  o.aggregator = aggregator;
+  o.span_sample = sample;
+  return o;
+}
+
+/// Value of one `key value` line in the status exposition; 0 if absent.
+std::uint64_t status_value(const obs::ClusterAggregator& agg,
+                           const std::string& key) {
+  std::ostringstream os;
+  agg.write_status(os);
+  std::istringstream lines(os.str());
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.rfind(key + ' ', 0) == 0) {
+      return std::stoull(line.substr(key.size() + 1));
+    }
+  }
+  return 0;
+}
+
+TEST(DistObservabilityTest, TelemetryDoesNotPerturbTheComputation) {
+  const graph::ProcessingGraph g = test_graph();
+  const opt::AllocationPlan plan = opt::optimize(g);
+
+  const metrics::RunReport bare = runtime::dist::run_distributed(
+      g, plan, options_with(3, nullptr, 0.0));
+  obs::ClusterAggregator agg;
+  const metrics::RunReport traced = runtime::dist::run_distributed(
+      g, plan, options_with(3, &agg, 1.0));
+
+  ASSERT_GT(bare.sdos_processed, 0u);
+  EXPECT_EQ(metrics::work_fingerprint(bare), metrics::work_fingerprint(traced))
+      << "span tracing / metrics shipping changed the work";
+  EXPECT_GT(status_value(agg, "aces_cluster_spans_completed"), 0u);
+}
+
+TEST(DistObservabilityTest, ClusterCountersArePartitionInvariant) {
+  const graph::ProcessingGraph g = test_graph();
+  const opt::AllocationPlan plan = opt::optimize(g);
+
+  obs::ClusterAggregator agg1, agg3;
+  runtime::dist::run_distributed(g, plan, options_with(1, &agg1, 1.0));
+  runtime::dist::run_distributed(g, plan, options_with(3, &agg3, 1.0));
+
+  EXPECT_EQ(agg1.shard_count(), 1u);
+  EXPECT_EQ(agg3.shard_count(), 3u);
+
+  const auto c1 = agg1.cluster_counters();
+  const auto c3 = agg3.cluster_counters();
+  ASSERT_FALSE(c1.empty());
+  EXPECT_EQ(c1, c3) << "summed counter deltas must not depend on the "
+                       "partition";
+  bool has_arrived = false;
+  for (const auto& [name, value] : c1) {
+    if (name == "dist.sdo.arrived") {
+      has_arrived = true;
+      EXPECT_GT(value, 0u);
+    }
+  }
+  EXPECT_TRUE(has_arrived);
+}
+
+TEST(DistObservabilityTest, MergedLatencyIsPartitionInvariant) {
+  const graph::ProcessingGraph g = test_graph();
+  const opt::AllocationPlan plan = opt::optimize(g);
+
+  obs::ClusterAggregator agg1, agg3;
+  runtime::dist::run_distributed(g, plan, options_with(1, &agg1, 1.0));
+  runtime::dist::run_distributed(g, plan, options_with(3, &agg3, 1.0));
+
+  const obs::LatencyRegistry m1 = agg1.merged_latency();
+  const obs::LatencyRegistry m3 = agg3.merged_latency();
+
+  ASSERT_FALSE(m1.pes().empty());
+  ASSERT_EQ(m1.pes().size(), m3.pes().size());
+  for (const auto& [pe, s1] : m1.pes()) {
+    ASSERT_TRUE(m3.pes().contains(pe)) << "pe " << pe;
+    const auto& s3 = m3.pes().at(pe);
+    // Timestamps live on the shared quantum grid, so the merged histograms
+    // are sample-exact, not merely statistically close.
+    EXPECT_EQ(s1.wait.count(), s3.wait.count()) << "pe " << pe;
+    EXPECT_EQ(s1.wait.raw_counts(), s3.wait.raw_counts()) << "pe " << pe;
+    EXPECT_NEAR(s1.wait.sum(), s3.wait.sum(), 1e-9 + 1e-9 * s1.wait.sum())
+        << "pe " << pe;
+    EXPECT_EQ(s1.service.count(), s3.service.count()) << "pe " << pe;
+    EXPECT_EQ(s1.service.raw_counts(), s3.service.raw_counts())
+        << "pe " << pe;
+  }
+
+  ASSERT_EQ(m1.paths().size(), m3.paths().size());
+  for (const auto& [id, p1] : m1.paths()) {
+    ASSERT_TRUE(m3.paths().contains(id)) << p1.label;
+    const auto& p3 = m3.paths().at(id);
+    EXPECT_EQ(p1.label, p3.label);
+    EXPECT_EQ(p1.end_to_end.count(), p3.end_to_end.count()) << p1.label;
+    EXPECT_NEAR(p1.end_to_end.sum(), p3.end_to_end.sum(),
+                1e-9 + 1e-9 * p1.end_to_end.sum())
+        << p1.label;
+  }
+
+  // Same spans either way; only the stitch count may differ (a 1-shard
+  // run still stitches cross-node handoffs through the coordinator).
+  EXPECT_EQ(status_value(agg1, "aces_cluster_spans_completed"),
+            status_value(agg3, "aces_cluster_spans_completed"));
+}
+
+TEST(DistObservabilityTest, MultiShardRunsStitchSpansAcrossTheWire) {
+  const graph::ProcessingGraph g = test_graph();
+  const opt::AllocationPlan plan = opt::optimize(g);
+
+  obs::ClusterAggregator agg;
+  runtime::dist::run_distributed(g, plan, options_with(3, &agg, 1.0));
+
+  const std::uint64_t completed =
+      status_value(agg, "aces_cluster_spans_completed");
+  const std::uint64_t stitched =
+      status_value(agg, "aces_cluster_spans_stitched");
+  ASSERT_GT(completed, 0u);
+  EXPECT_GT(stitched, 0u) << "no span crossed a process boundary in a "
+                             "3-shard run of a multi-node topology";
+  EXPECT_LE(stitched, completed);
+}
+
+}  // namespace
+}  // namespace aces
+
+int main(int argc, char** argv) {
+  // Socket-transport workers re-execute this binary; dispatch them before
+  // gtest parses flags (inproc runs never take this path, but the harness
+  // links the worker entry either way).
+  if (const int rc = aces::runtime::dist::maybe_worker(argc, argv); rc >= 0) {
+    return rc;
+  }
+  ::testing::InitGoogleTest(&argc, argv);
+  return RUN_ALL_TESTS();
+}

@@ -1,0 +1,313 @@
+// ClusterAggregator + StatusServer unit tests: absorb/render semantics,
+// the status line protocol end to end over a real loopback connection, and
+// the Prometheus exposition's escaping / once-per-family header contract.
+#include "obs/cluster_aggregate.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/histogram.h"
+#include "obs/latency.h"
+#include "obs/spans.h"
+
+namespace aces::obs {
+namespace {
+
+std::size_t count_occurrences(const std::string& text,
+                              const std::string& needle) {
+  std::size_t n = 0;
+  for (std::size_t at = text.find(needle); at != std::string::npos;
+       at = text.find(needle, at + needle.size())) {
+    ++n;
+  }
+  return n;
+}
+
+TEST(ClusterAggregatorTest, CountersSumDeltasAcrossShardsAndEpochs) {
+  ClusterAggregator agg;
+  agg.absorb_counters(0, {{"dist.sdo.arrived", 10}, {"dist.sdo.emitted", 3}});
+  agg.absorb_counters(1, {{"dist.sdo.arrived", 7}});
+  // Second epoch from shard 0: deltas accumulate, they do not replace.
+  agg.absorb_counters(0, {{"dist.sdo.arrived", 5}});
+
+  const auto totals = agg.cluster_counters();
+  ASSERT_EQ(totals.size(), 2u);
+  EXPECT_EQ(totals[0].first, "dist.sdo.arrived");
+  EXPECT_EQ(totals[0].second, 22u);
+  EXPECT_EQ(totals[1].first, "dist.sdo.emitted");
+  EXPECT_EQ(totals[1].second, 3u);
+
+  const auto statuses = agg.shard_statuses();
+  EXPECT_EQ(statuses.at(0).metrics_reports, 2u);
+  EXPECT_EQ(statuses.at(1).metrics_reports, 1u);
+}
+
+TEST(ClusterAggregatorTest, ShardLifecycleAndQuantumWatermark) {
+  ClusterAggregator agg;
+  agg.note_shard(0);
+  agg.note_shard(1);
+  agg.note_shard(1);  // idempotent
+  EXPECT_EQ(agg.shard_count(), 2u);
+  EXPECT_EQ(agg.shards_alive(), 2u);
+
+  agg.note_quantum(0, 5);
+  agg.note_quantum(0, 3);  // stale frame must not move the watermark back
+  EXPECT_EQ(agg.shard_statuses().at(0).last_quantum, 5u);
+
+  agg.note_shard_dead(1);
+  EXPECT_EQ(agg.shard_count(), 2u);
+  EXPECT_EQ(agg.shards_alive(), 1u);
+}
+
+TEST(ClusterAggregatorTest, FlightDumpSurvivesShardDeath) {
+  ClusterAggregator agg;
+  ShardFlightDump dump;
+  dump.event = "fault.pe_stall";
+  dump.time = 12.5;
+  SdoSpan span;
+  span.trace_id = 42;
+  span.start = 1.0;
+  span.end = 2.0;
+  dump.recent.push_back(span);
+  agg.absorb_flight_dump(1, dump);
+  agg.note_shard_dead(1);
+
+  const auto dumps = agg.flight_dumps();
+  ASSERT_TRUE(dumps.contains(1));
+  EXPECT_EQ(dumps.at(1).event, "fault.pe_stall");
+  EXPECT_EQ(dumps.at(1).recent.size(), 1u);
+  EXPECT_FALSE(agg.shard_statuses().at(1).alive);
+
+  // A later dump replaces the retained one (last evidence wins).
+  dump.event = "shutdown";
+  agg.absorb_flight_dump(1, dump);
+  EXPECT_EQ(agg.flight_dumps().at(1).event, "shutdown");
+}
+
+TEST(ClusterAggregatorTest, MergedLatencyIsBucketExact) {
+  LogHistogram wait0, service0, wait1, service1;
+  for (int i = 0; i < 100; ++i) wait0.add(0.001 * (i + 1));
+  for (int i = 0; i < 50; ++i) service0.add(0.01);
+  for (int i = 0; i < 30; ++i) wait1.add(0.002);
+  service1.add(0.5);
+
+  ClusterAggregator agg;
+  agg.absorb_pe_latency(0, 7, wait0, service0);
+  agg.absorb_pe_latency(1, 7, wait1, service1);
+  // Re-absorbing the same shard snapshot must replace, not double-count.
+  agg.absorb_pe_latency(0, 7, wait0, service0);
+
+  LogHistogram expected_wait = wait0;
+  expected_wait.merge(wait1);
+  LogHistogram expected_service = service0;
+  expected_service.merge(service1);
+
+  const LatencyRegistry merged = agg.merged_latency();
+  ASSERT_TRUE(merged.pes().contains(7));
+  const auto& stats = merged.pes().at(7);
+  EXPECT_EQ(stats.wait.count(), expected_wait.count());
+  EXPECT_DOUBLE_EQ(stats.wait.sum(), expected_wait.sum());
+  EXPECT_EQ(stats.wait.raw_counts(), expected_wait.raw_counts());
+  EXPECT_EQ(stats.service.count(), expected_service.count());
+  EXPECT_EQ(stats.service.raw_counts(), expected_service.raw_counts());
+}
+
+TEST(ClusterAggregatorTest, StitchedSpanAccounting) {
+  SdoSpan local;
+  local.trace_id = 1;
+  local.start = 0.0;
+  local.end = 0.2;
+  local.hops[0] = {3, static_cast<std::uint32_t>(HopKind::kPe), 0.0, 0.05,
+                   0.1};
+  local.hop_count = 1;
+
+  SdoSpan stitched = local;
+  stitched.trace_id = 2;
+  stitched.hops[1] = {3, static_cast<std::uint32_t>(HopKind::kWireSend), 0.1,
+                      0.1, 0.15};
+  stitched.hops[2] = {5, static_cast<std::uint32_t>(HopKind::kWireRecv), 0.15,
+                      0.15, 0.15};
+  stitched.hop_count = 3;
+
+  ClusterAggregator agg;
+  agg.absorb_completed_spans(0, {local, stitched});
+
+  std::ostringstream status;
+  agg.write_status(status);
+  EXPECT_NE(status.str().find("aces_cluster_spans_completed 2"),
+            std::string::npos);
+  EXPECT_NE(status.str().find("aces_cluster_spans_stitched 1"),
+            std::string::npos);
+  EXPECT_EQ(agg.shard_statuses().at(0).span_batches, 1u);
+}
+
+TEST(ClusterAggregatorTest, StatusLineProtocolIsGrepStable) {
+  ClusterAggregator agg;
+  agg.note_shard(0);
+  agg.note_shard(1);
+  agg.note_quantum(1, 17);
+  agg.record_step_skew(0.002);
+  agg.record_rtt(0, 0.001);
+  agg.record_frame_received(0, 128);
+  agg.record_frame_sent(0, 64);
+  agg.record_heartbeat(1);
+  agg.record_decode_reject(1);
+  agg.record_relay_dropped(1, 3);
+
+  std::ostringstream os;
+  agg.write_status(os);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("aces_cluster_shards 2\n"), std::string::npos);
+  EXPECT_NE(text.find("aces_cluster_shards_alive 2\n"), std::string::npos);
+  EXPECT_NE(text.find("aces_cluster_quantum_max 17\n"), std::string::npos);
+  EXPECT_NE(text.find("aces_cluster_barrier_skew_seconds_max 0.002\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("aces_shard_0_frames_in 1\n"), std::string::npos);
+  EXPECT_NE(text.find("aces_shard_0_bytes_in 128\n"), std::string::npos);
+  EXPECT_NE(text.find("aces_shard_0_bytes_out 64\n"), std::string::npos);
+  EXPECT_NE(text.find("aces_shard_1_heartbeats 1\n"), std::string::npos);
+  EXPECT_NE(text.find("aces_shard_1_decode_rejects 1\n"), std::string::npos);
+  EXPECT_NE(text.find("aces_shard_1_relay_dropped 3\n"), std::string::npos);
+  // Exactly `key value` per line: two fields everywhere.
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    ASSERT_FALSE(line.empty());
+    const std::size_t space = line.find(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    EXPECT_EQ(line.find(' ', space + 1), std::string::npos) << line;
+    EXPECT_EQ(line.rfind("aces_", 0), 0u) << line;
+  }
+}
+
+TEST(ClusterAggregatorTest, PrometheusEscapesPathologicalLabels) {
+  // A hostile path label exercising all three defined escapes; the PE
+  // family goes through the same emitters with a numeric label.
+  const std::string evil = "in\"gress\\mid\negress";
+  LogHistogram h;
+  h.add(0.01);
+  ClusterAggregator agg;
+  agg.absorb_path_latency(0, 99, evil, h);
+  agg.absorb_gauge(0, evil, 1.5);
+
+  std::ostringstream os;
+  agg.write_prometheus(os);
+  const std::string text = os.str();
+  // The escaped form appears; the raw quote/newline form must not.
+  EXPECT_NE(text.find("in\\\"gress\\\\mid\\negress"), std::string::npos);
+  EXPECT_EQ(text.find("in\"gress"), std::string::npos);
+  for (std::istringstream lines(text); !lines.eof();) {
+    std::string line;
+    std::getline(lines, line);
+    // No label value may smuggle a raw newline: every line is either a
+    // comment or `name{...} value` / `name value`.
+    if (line.empty() || line[0] == '#') continue;
+    EXPECT_NE(line.find(' '), std::string::npos) << line;
+  }
+}
+
+TEST(ClusterAggregatorTest, PrometheusHeadersOncePerFamily) {
+  LogHistogram h;
+  h.add(0.01);
+  h.add(0.2);
+  ClusterAggregator agg;
+  for (std::uint32_t rank = 0; rank < 3; ++rank) {
+    agg.note_shard(rank);
+    agg.note_quantum(rank, 10);
+    agg.record_rtt(rank, 0.001);
+    agg.absorb_counters(rank, {{"dist.sdo.arrived", 5}});
+    agg.absorb_gauge(rank, "dist.quantum", 10.0);
+    agg.absorb_pe_latency(rank, rank, h, h);
+    agg.absorb_path_latency(rank, rank, "a>b", h);
+    agg.absorb_perf(rank, "quantum", 10, 1000);
+  }
+
+  std::ostringstream os;
+  agg.write_prometheus(os);
+  const std::string text = os.str();
+  // Every family emitted for 3 shards still carries exactly one HELP and
+  // one TYPE line.
+  for (const char* family :
+       {"aces_shard_up", "aces_shard_last_quantum", "aces_shard_rtt_seconds",
+        "aces_shard_frames_total", "aces_shard_bytes_total",
+        "aces_cluster_counter_total", "aces_cluster_gauge",
+        "aces_perf_stage_calls_total", "aces_perf_stage_ns_total",
+        "aces_pe_wait_seconds", "aces_pe_service_seconds",
+        "aces_path_latency_seconds"}) {
+    EXPECT_EQ(
+        count_occurrences(text, std::string("# HELP ") + family + " "), 1u)
+        << family;
+    EXPECT_EQ(
+        count_occurrences(text, std::string("# TYPE ") + family + " "), 1u)
+        << family;
+  }
+  // And each shard's sample is present.
+  EXPECT_EQ(count_occurrences(text, "aces_shard_up{"), 3u);
+}
+
+TEST(StatusServerTest, ServesStatusOverLoopback) {
+  ClusterAggregator agg;
+  agg.note_shard(0);
+  agg.note_quantum(0, 9);
+  StatusServer server(&agg, 0);  // ephemeral port
+  ASSERT_TRUE(server.listening()) << server.error();
+  ASSERT_GT(server.port(), 0);
+
+  const auto scrape = [&server]() {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    EXPECT_GE(fd, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(server.port());
+    EXPECT_EQ(
+        ::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr),
+        0)
+        << std::strerror(errno);
+    std::string text;
+    char buf[4096];
+    for (;;) {
+      const ssize_t n = ::read(fd, buf, sizeof buf);
+      if (n <= 0) break;
+      text.append(buf, static_cast<std::size_t>(n));
+    }
+    ::close(fd);
+    return text;
+  };
+
+  const std::string first = scrape();
+  EXPECT_NE(first.find("aces_cluster_shards 1\n"), std::string::npos);
+  EXPECT_NE(first.find("aces_shard_0_quantum 9\n"), std::string::npos);
+
+  // The endpoint is live, not a snapshot: state absorbed after the first
+  // scrape shows up in the next one.
+  agg.note_quantum(0, 11);
+  agg.note_shard(1);
+  const std::string second = scrape();
+  EXPECT_NE(second.find("aces_cluster_shards 2\n"), std::string::npos);
+  EXPECT_NE(second.find("aces_shard_0_quantum 11\n"), std::string::npos);
+
+  server.stop();  // idempotent with the destructor
+}
+
+TEST(StatusServerTest, ReportsBindFailureWithoutThrowing) {
+  ClusterAggregator agg;
+  StatusServer first(&agg, 0);
+  ASSERT_TRUE(first.listening());
+  // SO_REUSEADDR does not allow two live listeners on one port.
+  StatusServer second(&agg, first.port());
+  EXPECT_FALSE(second.listening());
+  EXPECT_FALSE(second.error().empty());
+}
+
+}  // namespace
+}  // namespace aces::obs

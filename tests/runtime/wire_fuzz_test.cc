@@ -32,6 +32,9 @@ int decode_all(const std::vector<std::uint8_t>& payload) {
   ok += decode_heartbeat(payload, &err).has_value() ? 1 : 0;
   ok += decode_targets(payload, &err).has_value() ? 1 : 0;
   ok += decode_report(payload, &err).has_value() ? 1 : 0;
+  ok += decode_metrics_report(payload, &err).has_value() ? 1 : 0;
+  ok += decode_span_batch(payload, &err).has_value() ? 1 : 0;
+  ok += decode_flight_dump(payload, &err).has_value() ? 1 : 0;
   return ok;
 }
 

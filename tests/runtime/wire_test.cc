@@ -106,6 +106,8 @@ Config random_config(Rng& rng) {
   c.plan_cpu = random_doubles(rng, 64);
   c.plan_rin = random_doubles(rng, 64);
   c.plan_rout = random_doubles(rng, 64);
+  c.span_sample = rng.uniform(0.0, 1.0);
+  c.record_trace = rng.bernoulli(0.5) ? 1 : 0;
   return c;
 }
 
@@ -146,6 +148,130 @@ Targets random_targets(Rng& rng) {
   t.rin = random_doubles(rng, 64);
   t.rout = random_doubles(rng, 64);
   return t;
+}
+
+LogHistogram random_histogram(Rng& rng) {
+  LogHistogram h;
+  const int samples = static_cast<int>(rng.uniform_int(0, 32));
+  for (int i = 0; i < samples; ++i) h.add(rng.exponential(0.05));
+  return h;
+}
+
+obs::SdoSpan random_span(Rng& rng) {
+  obs::SdoSpan s;
+  s.trace_id = static_cast<std::uint64_t>(rng.uniform_int(0, 1LL << 40));
+  s.source_pe = static_cast<std::uint32_t>(rng.uniform_int(0, 1 << 20));
+  s.start = random_double(rng);
+  s.end = random_double(rng);
+  s.dropped = rng.bernoulli(0.3);
+  s.truncated = rng.bernoulli(0.1);
+  s.hop_count = static_cast<std::uint32_t>(
+      rng.uniform_int(0, static_cast<std::int64_t>(obs::SdoSpan::kMaxHops)));
+  for (std::uint32_t i = 0; i < s.hop_count; ++i) {
+    s.hops[i].pe = static_cast<std::uint32_t>(rng.uniform_int(0, 1 << 20));
+    s.hops[i].kind = static_cast<std::uint32_t>(rng.uniform_int(0, 3));
+    s.hops[i].enqueue = random_double(rng);
+    s.hops[i].dequeue = random_double(rng);
+    s.hops[i].emit = random_double(rng);
+  }
+  return s;
+}
+
+obs::TickRecord random_tick(Rng& rng) {
+  obs::TickRecord t;
+  t.time = rng.uniform(0.0, 1e3);
+  t.node = static_cast<std::uint32_t>(rng.uniform_int(0, 1 << 16));
+  t.pe = static_cast<std::uint32_t>(rng.uniform_int(0, 1 << 20));
+  t.buffer_occupancy = random_double(rng);
+  t.arrived_sdos = random_double(rng);
+  t.processed_sdos = random_double(rng);
+  t.cpu_share = random_double(rng);
+  t.cpu_seconds_used = random_double(rng);
+  t.advertised_rmax = random_double(rng);
+  t.downstream_rmax = random_double(rng);
+  t.token_fill = random_double(rng);
+  t.output_blocked = rng.bernoulli(0.5);
+  t.dropped_total = static_cast<std::uint64_t>(rng.uniform_int(0, 1 << 20));
+  t.fault_flags = static_cast<std::uint8_t>(rng.uniform_int(0, 3));
+  t.policy = random_string(rng, 16);
+  return t;
+}
+
+MetricsReport random_metrics_report(Rng& rng) {
+  MetricsReport m;
+  m.rank = static_cast<std::uint32_t>(rng.uniform_int(0, 255));
+  m.quantum = static_cast<std::uint64_t>(rng.uniform_int(0, 1LL << 32));
+  const auto counters = static_cast<std::size_t>(rng.uniform_int(0, 8));
+  for (std::size_t i = 0; i < counters; ++i) {
+    m.counters.push_back(
+        {random_string(rng, 32),
+         static_cast<std::uint64_t>(rng.uniform_int(0, 1 << 30))});
+  }
+  const auto gauges = static_cast<std::size_t>(rng.uniform_int(0, 4));
+  for (std::size_t i = 0; i < gauges; ++i) {
+    m.gauges.push_back({random_string(rng, 32), random_double(rng)});
+  }
+  const auto pes = static_cast<std::size_t>(rng.uniform_int(0, 4));
+  for (std::size_t i = 0; i < pes; ++i) {
+    PeLatencySnapshot p;
+    p.pe = static_cast<std::uint32_t>(rng.uniform_int(0, 1 << 20));
+    p.wait = random_histogram(rng);
+    p.service = random_histogram(rng);
+    m.pe_latency.push_back(std::move(p));
+  }
+  const auto paths = static_cast<std::size_t>(rng.uniform_int(0, 4));
+  for (std::size_t i = 0; i < paths; ++i) {
+    PathLatencySnapshot p;
+    p.id = static_cast<std::uint64_t>(rng.uniform_int(0, 1LL << 40));
+    p.label = random_string(rng, 48);
+    p.end_to_end = random_histogram(rng);
+    m.path_latency.push_back(std::move(p));
+  }
+  const auto perf = static_cast<std::size_t>(rng.uniform_int(0, 6));
+  for (std::size_t i = 0; i < perf; ++i) {
+    m.perf.push_back(
+        {random_string(rng, 24),
+         static_cast<std::uint64_t>(rng.uniform_int(0, 1 << 30)),
+         static_cast<std::uint64_t>(rng.uniform_int(0, 1LL << 40))});
+  }
+  const auto ticks = static_cast<std::size_t>(rng.uniform_int(0, 6));
+  for (std::size_t i = 0; i < ticks; ++i) m.trace.push_back(random_tick(rng));
+  return m;
+}
+
+SpanBatch random_span_batch(Rng& rng) {
+  SpanBatch b;
+  b.rank = static_cast<std::uint32_t>(rng.uniform_int(0, 255));
+  b.quantum = static_cast<std::uint64_t>(rng.uniform_int(0, 1LL << 32));
+  const auto completed = static_cast<std::size_t>(rng.uniform_int(0, 6));
+  for (std::size_t i = 0; i < completed; ++i) {
+    b.completed.push_back(random_span(rng));
+  }
+  const auto handoffs = static_cast<std::size_t>(rng.uniform_int(0, 6));
+  for (std::size_t i = 0; i < handoffs; ++i) {
+    SpanHandoff h;
+    h.dest_pe = static_cast<std::uint32_t>(rng.uniform_int(0, 1 << 20));
+    h.src_node = static_cast<std::uint32_t>(rng.uniform_int(0, 1 << 16));
+    h.index = static_cast<std::uint32_t>(rng.uniform_int(0, 1 << 10));
+    h.span = random_span(rng);
+    b.handoffs.push_back(h);
+  }
+  return b;
+}
+
+FlightDump random_flight_dump(Rng& rng) {
+  FlightDump d;
+  d.rank = static_cast<std::uint32_t>(rng.uniform_int(0, 255));
+  d.event = random_string(rng, 32);
+  d.time = rng.uniform(0.0, 1e3);
+  d.pushed = static_cast<std::uint64_t>(rng.uniform_int(0, 1 << 24));
+  const auto recent = static_cast<std::size_t>(rng.uniform_int(0, 6));
+  for (std::size_t i = 0; i < recent; ++i) d.recent.push_back(random_span(rng));
+  const auto inflight = static_cast<std::size_t>(rng.uniform_int(0, 6));
+  for (std::size_t i = 0; i < inflight; ++i) {
+    d.in_flight.push_back(random_span(rng));
+  }
+  return d;
 }
 
 Report random_report(Rng& rng) {
@@ -207,6 +333,49 @@ void expect_eq(const Advert& a, const Advert& b) {
   EXPECT_EQ(a.pe, b.pe);
   EXPECT_TRUE(bits_equal(a.rmax, b.rmax));
   EXPECT_TRUE(bits_equal(a.time, b.time));
+}
+
+void expect_eq(const obs::SdoSpan& a, const obs::SdoSpan& b) {
+  EXPECT_EQ(a.trace_id, b.trace_id);
+  EXPECT_EQ(a.source_pe, b.source_pe);
+  EXPECT_TRUE(bits_equal(a.start, b.start));
+  EXPECT_TRUE(bits_equal(a.end, b.end));
+  EXPECT_EQ(a.dropped, b.dropped);
+  EXPECT_EQ(a.truncated, b.truncated);
+  ASSERT_EQ(a.hop_count, b.hop_count);
+  for (std::uint32_t i = 0; i < a.hop_count; ++i) {
+    EXPECT_EQ(a.hops[i].pe, b.hops[i].pe);
+    EXPECT_EQ(a.hops[i].kind, b.hops[i].kind);
+    EXPECT_TRUE(bits_equal(a.hops[i].enqueue, b.hops[i].enqueue));
+    EXPECT_TRUE(bits_equal(a.hops[i].dequeue, b.hops[i].dequeue));
+    EXPECT_TRUE(bits_equal(a.hops[i].emit, b.hops[i].emit));
+  }
+}
+
+void expect_eq(const obs::TickRecord& a, const obs::TickRecord& b) {
+  EXPECT_TRUE(bits_equal(a.time, b.time));
+  EXPECT_EQ(a.node, b.node);
+  EXPECT_EQ(a.pe, b.pe);
+  EXPECT_TRUE(bits_equal(a.buffer_occupancy, b.buffer_occupancy));
+  EXPECT_TRUE(bits_equal(a.arrived_sdos, b.arrived_sdos));
+  EXPECT_TRUE(bits_equal(a.processed_sdos, b.processed_sdos));
+  EXPECT_TRUE(bits_equal(a.cpu_share, b.cpu_share));
+  EXPECT_TRUE(bits_equal(a.cpu_seconds_used, b.cpu_seconds_used));
+  EXPECT_TRUE(bits_equal(a.advertised_rmax, b.advertised_rmax));
+  EXPECT_TRUE(bits_equal(a.downstream_rmax, b.downstream_rmax));
+  EXPECT_TRUE(bits_equal(a.token_fill, b.token_fill));
+  EXPECT_EQ(a.output_blocked, b.output_blocked);
+  EXPECT_EQ(a.dropped_total, b.dropped_total);
+  EXPECT_EQ(a.fault_flags, b.fault_flags);
+  EXPECT_EQ(a.policy, b.policy);
+}
+
+void expect_eq(const LogHistogram& a, const LogHistogram& b) {
+  EXPECT_EQ(a.raw_counts(), b.raw_counts());
+  EXPECT_EQ(a.count(), b.count());
+  EXPECT_TRUE(bits_equal(a.min(), b.min()));
+  EXPECT_TRUE(bits_equal(a.max(), b.max()));
+  EXPECT_TRUE(bits_equal(a.sum(), b.sum()));
 }
 
 template <typename T, typename F>
@@ -272,6 +441,8 @@ TEST(WireRoundTrip, ConfigSeeded) {
     expect_doubles_eq(out->plan_cpu, in.plan_cpu);
     expect_doubles_eq(out->plan_rin, in.plan_rin);
     expect_doubles_eq(out->plan_rout, in.plan_rout);
+    EXPECT_TRUE(bits_equal(out->span_sample, in.span_sample));
+    EXPECT_EQ(out->record_trace, in.record_trace);
   }
 }
 
@@ -375,6 +546,85 @@ TEST(WireRoundTrip, ReportSeeded) {
   }
 }
 
+TEST(WireRoundTrip, MetricsReportSeeded) {
+  Rng rng(0x3E721C5);
+  for (int i = 0; i < 100; ++i) {
+    const MetricsReport in = random_metrics_report(rng);
+    const auto out = decode_metrics_report(
+        payload_of(encode(in), FrameType::kMetricsReport));
+    ASSERT_TRUE(out.has_value());
+    EXPECT_EQ(out->rank, in.rank);
+    EXPECT_EQ(out->quantum, in.quantum);
+    expect_vec_eq(out->counters, in.counters,
+                  [](const auto& a, const auto& b) {
+                    EXPECT_EQ(a.name, b.name);
+                    EXPECT_EQ(a.delta, b.delta);
+                  });
+    expect_vec_eq(out->gauges, in.gauges, [](const auto& a, const auto& b) {
+      EXPECT_EQ(a.name, b.name);
+      EXPECT_TRUE(bits_equal(a.value, b.value));
+    });
+    expect_vec_eq(out->pe_latency, in.pe_latency,
+                  [](const auto& a, const auto& b) {
+                    EXPECT_EQ(a.pe, b.pe);
+                    expect_eq(a.wait, b.wait);
+                    expect_eq(a.service, b.service);
+                  });
+    expect_vec_eq(out->path_latency, in.path_latency,
+                  [](const auto& a, const auto& b) {
+                    EXPECT_EQ(a.id, b.id);
+                    EXPECT_EQ(a.label, b.label);
+                    expect_eq(a.end_to_end, b.end_to_end);
+                  });
+    expect_vec_eq(out->perf, in.perf, [](const auto& a, const auto& b) {
+      EXPECT_EQ(a.name, b.name);
+      EXPECT_EQ(a.calls, b.calls);
+      EXPECT_EQ(a.ns, b.ns);
+    });
+    expect_vec_eq(out->trace, in.trace,
+                  [](const auto& a, const auto& b) { expect_eq(a, b); });
+  }
+}
+
+TEST(WireRoundTrip, SpanBatchSeeded) {
+  Rng rng(0x5BA7C4);
+  for (int i = 0; i < 100; ++i) {
+    const SpanBatch in = random_span_batch(rng);
+    const auto out =
+        decode_span_batch(payload_of(encode(in), FrameType::kSpanBatch));
+    ASSERT_TRUE(out.has_value());
+    EXPECT_EQ(out->rank, in.rank);
+    EXPECT_EQ(out->quantum, in.quantum);
+    expect_vec_eq(out->completed, in.completed,
+                  [](const auto& a, const auto& b) { expect_eq(a, b); });
+    expect_vec_eq(out->handoffs, in.handoffs,
+                  [](const auto& a, const auto& b) {
+                    EXPECT_EQ(a.dest_pe, b.dest_pe);
+                    EXPECT_EQ(a.src_node, b.src_node);
+                    EXPECT_EQ(a.index, b.index);
+                    expect_eq(a.span, b.span);
+                  });
+  }
+}
+
+TEST(WireRoundTrip, FlightDumpSeeded) {
+  Rng rng(0xF11647);
+  for (int i = 0; i < 100; ++i) {
+    const FlightDump in = random_flight_dump(rng);
+    const auto out =
+        decode_flight_dump(payload_of(encode(in), FrameType::kFlightDump));
+    ASSERT_TRUE(out.has_value());
+    EXPECT_EQ(out->rank, in.rank);
+    EXPECT_EQ(out->event, in.event);
+    EXPECT_TRUE(bits_equal(out->time, in.time));
+    EXPECT_EQ(out->pushed, in.pushed);
+    expect_vec_eq(out->recent, in.recent,
+                  [](const auto& a, const auto& b) { expect_eq(a, b); });
+    expect_vec_eq(out->in_flight, in.in_flight,
+                  [](const auto& a, const auto& b) { expect_eq(a, b); });
+  }
+}
+
 TEST(WireRoundTrip, Shutdown) {
   const auto frame = encode_shutdown();
   const auto parsed = parse_frame(frame.data(), frame.size());
@@ -390,7 +640,7 @@ TEST(WireRoundTrip, Shutdown) {
 
 TEST(WireGolden, HeaderLayout) {
   const auto h = frame_header(FrameType::kStepGo, 0xAABBCCDD);
-  const std::uint8_t want[8] = {0xE5, 0xAC, 0x01, 0x03, 0xDD, 0xCC, 0xBB, 0xAA};
+  const std::uint8_t want[8] = {0xE5, 0xAC, 0x02, 0x03, 0xDD, 0xCC, 0xBB, 0xAA};
   EXPECT_EQ(0, std::memcmp(h.data(), want, sizeof want));
 }
 
@@ -400,7 +650,7 @@ TEST(WireGolden, HelloBytes) {
   h.pid = 0x1122334455667788ULL;
   const auto frame = encode(h);
   const std::uint8_t want[] = {
-      0xE5, 0xAC, 0x01, 0x01, 0x0C, 0x00, 0x00, 0x00,  // header, len 12
+      0xE5, 0xAC, 0x02, 0x01, 0x0C, 0x00, 0x00, 0x00,  // header, len 12
       0x04, 0x03, 0x02, 0x01,                          // rank LE
       0x88, 0x77, 0x66, 0x55, 0x44, 0x33, 0x22, 0x11,  // pid LE
   };
@@ -414,9 +664,90 @@ TEST(WireGolden, HeartbeatBytes) {
   hb.quantum = 7;
   const auto frame = encode(hb);
   const std::uint8_t want[] = {
-      0xE5, 0xAC, 0x01, 0x05, 0x0C, 0x00, 0x00, 0x00,
+      0xE5, 0xAC, 0x02, 0x05, 0x0C, 0x00, 0x00, 0x00,
       0x02, 0x00, 0x00, 0x00,
       0x07, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
+  };
+  ASSERT_EQ(frame.size(), sizeof want);
+  EXPECT_EQ(0, std::memcmp(frame.data(), want, sizeof want));
+}
+
+TEST(WireGolden, MetricsReportBytes) {
+  MetricsReport m;
+  m.rank = 1;
+  m.quantum = 2;
+  m.counters.push_back({"a", 3});
+  const auto frame = encode(m);
+  const std::uint8_t want[] = {
+      0xE5, 0xAC, 0x02, 0x09, 0x31, 0x00, 0x00, 0x00,  // header, len 49
+      0x01, 0x00, 0x00, 0x00,                          // rank
+      0x02, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,  // quantum
+      0x01, 0x00, 0x00, 0x00,                          // 1 counter
+      0x01, 0x00, 0x00, 0x00, 0x61,                    // name "a"
+      0x03, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,  // delta 3
+      0x00, 0x00, 0x00, 0x00,                          // 0 gauges
+      0x00, 0x00, 0x00, 0x00,                          // 0 PE latencies
+      0x00, 0x00, 0x00, 0x00,                          // 0 path latencies
+      0x00, 0x00, 0x00, 0x00,                          // 0 perf cells
+      0x00, 0x00, 0x00, 0x00,                          // 0 trace records
+  };
+  ASSERT_EQ(frame.size(), sizeof want);
+  EXPECT_EQ(0, std::memcmp(frame.data(), want, sizeof want));
+}
+
+TEST(WireGolden, SpanBatchBytes) {
+  SpanBatch b;
+  b.rank = 2;
+  b.quantum = 3;
+  obs::SdoSpan s;
+  s.trace_id = 7;
+  s.source_pe = 1;
+  s.start = 0.0;
+  s.end = 1.0;
+  s.hop_count = 1;
+  s.hops[0].pe = 1;
+  s.hops[0].kind = 0;
+  s.hops[0].enqueue = 0.0;
+  s.hops[0].dequeue = 0.0;
+  s.hops[0].emit = 1.0;
+  b.completed.push_back(s);
+  const auto frame = encode(b);
+  const std::uint8_t want[] = {
+      0xE5, 0xAC, 0x02, 0x0A, 0x53, 0x00, 0x00, 0x00,  // header, len 83
+      0x02, 0x00, 0x00, 0x00,                          // rank
+      0x03, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,  // quantum
+      0x01, 0x00, 0x00, 0x00,                          // 1 completed span
+      0x07, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,  // trace_id
+      0x01, 0x00, 0x00, 0x00,                          // source_pe
+      0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,  // start 0.0
+      0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0xF0, 0x3F,  // end 1.0
+      0x00, 0x00, 0x01,                                // flags, hop_count
+      0x01, 0x00, 0x00, 0x00,                          // hop pe
+      0x00, 0x00, 0x00, 0x00,                          // hop kind (kPe)
+      0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,  // enqueue 0.0
+      0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,  // dequeue 0.0
+      0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0xF0, 0x3F,  // emit 1.0
+      0x00, 0x00, 0x00, 0x00,                          // 0 handoffs
+  };
+  ASSERT_EQ(frame.size(), sizeof want);
+  EXPECT_EQ(0, std::memcmp(frame.data(), want, sizeof want));
+}
+
+TEST(WireGolden, FlightDumpBytes) {
+  FlightDump d;
+  d.rank = 1;
+  d.event = "x";
+  d.time = 0.0;
+  d.pushed = 5;
+  const auto frame = encode(d);
+  const std::uint8_t want[] = {
+      0xE5, 0xAC, 0x02, 0x0B, 0x21, 0x00, 0x00, 0x00,  // header, len 33
+      0x01, 0x00, 0x00, 0x00,                          // rank
+      0x01, 0x00, 0x00, 0x00, 0x78,                    // event "x"
+      0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,  // time 0.0
+      0x05, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,  // pushed
+      0x00, 0x00, 0x00, 0x00,                          // 0 recent
+      0x00, 0x00, 0x00, 0x00,                          // 0 in flight
   };
   ASSERT_EQ(frame.size(), sizeof want);
   EXPECT_EQ(0, std::memcmp(frame.data(), want, sizeof want));
@@ -550,10 +881,107 @@ TEST(WireReject, WrongDecoderForType) {
   EXPECT_FALSE(err.reason.empty());
 }
 
-TEST(WireToString, CoversAllTypes) {
-  for (std::uint8_t t = 1; t <= 8; ++t) {
-    EXPECT_NE(std::string(to_string(static_cast<FrameType>(t))), "");
+TEST(WireReject, MetricsReportTruncatedAtEveryByte) {
+  Rng rng(0x7243);
+  const MetricsReport in = random_metrics_report(rng);
+  const auto payload = payload_of(encode(in), FrameType::kMetricsReport);
+  ASSERT_FALSE(payload.empty());
+  for (std::size_t cut = 0; cut < payload.size(); ++cut) {
+    std::vector<std::uint8_t> truncated(payload.begin(),
+                                        payload.begin() + cut);
+    WireError err;
+    const auto out = decode_metrics_report(truncated, &err);
+    EXPECT_FALSE(out.has_value()) << "cut at " << cut;
+    EXPECT_FALSE(err.reason.empty());
   }
+}
+
+TEST(WireReject, SpanBatchTruncatedAtEveryByte) {
+  Rng rng(0x7244);
+  SpanBatch in = random_span_batch(rng);
+  in.completed.push_back(random_span(rng));  // guarantee a non-empty payload
+  const auto payload = payload_of(encode(in), FrameType::kSpanBatch);
+  for (std::size_t cut = 0; cut < payload.size(); ++cut) {
+    std::vector<std::uint8_t> truncated(payload.begin(),
+                                        payload.begin() + cut);
+    WireError err;
+    const auto out = decode_span_batch(truncated, &err);
+    EXPECT_FALSE(out.has_value()) << "cut at " << cut;
+    EXPECT_FALSE(err.reason.empty());
+  }
+}
+
+TEST(WireReject, SpanHopCountBeyondMax) {
+  // A span claiming more hops than the fixed array holds must be rejected
+  // by the count guard before any hop is read into the struct.
+  SpanBatch b;
+  b.completed.push_back(obs::SdoSpan{});
+  auto payload = payload_of(encode(b), FrameType::kSpanBatch);
+  // Layout: rank(4) quantum(8) count(4) trace_id(8) source_pe(4) start(8)
+  // end(8) dropped(1) truncated(1) hop_count(1).
+  const std::size_t hop_count_at = 4 + 8 + 4 + 8 + 4 + 8 + 8 + 1 + 1;
+  ASSERT_LT(hop_count_at, payload.size());
+  payload[hop_count_at] =
+      static_cast<std::uint8_t>(obs::SdoSpan::kMaxHops + 1);
+  WireError err;
+  EXPECT_FALSE(decode_span_batch(payload, &err).has_value());
+  EXPECT_NE(err.reason.find("hop count"), std::string::npos);
+}
+
+TEST(WireReject, SpanHopBadKind) {
+  SpanBatch b;
+  obs::SdoSpan s;
+  s.hop_count = 1;
+  s.hops[0].kind = 0;
+  b.completed.push_back(s);
+  auto payload = payload_of(encode(b), FrameType::kSpanBatch);
+  // First hop's kind lives right after its pe field.
+  const std::size_t kind_at = 4 + 8 + 4 + 8 + 4 + 8 + 8 + 1 + 1 + 1 + 4;
+  ASSERT_LT(kind_at, payload.size());
+  payload[kind_at] = 99;
+  WireError err;
+  EXPECT_FALSE(decode_span_batch(payload, &err).has_value());
+  EXPECT_NE(err.reason.find("hop kind"), std::string::npos);
+}
+
+TEST(WireReject, FlightDumpImplausibleSpanCount) {
+  FlightDump d;
+  d.event = "e";
+  auto payload = payload_of(encode(d), FrameType::kFlightDump);
+  // Overwrite the `recent` count (after rank, event, time, pushed) with an
+  // implausible value; the guard must fire before any allocation.
+  const std::size_t count_at = 4 + (4 + 1) + 8 + 8;
+  const std::uint32_t bogus = 0x80000000u;
+  for (std::size_t i = 0; i < 4; ++i) {
+    payload[count_at + i] = static_cast<std::uint8_t>(bogus >> (8 * i));
+  }
+  WireError err;
+  EXPECT_FALSE(decode_flight_dump(payload, &err).has_value());
+  EXPECT_NE(err.reason.find("implausible"), std::string::npos);
+}
+
+TEST(WireReject, MetricsReportHistogramLayoutMismatch) {
+  // A PE latency snapshot whose wait histogram claims a different bucket
+  // count must be rejected as a layout mismatch, not misread.
+  MetricsReport m;
+  PeLatencySnapshot p;
+  p.pe = 1;
+  m.pe_latency.push_back(p);
+  auto payload = payload_of(encode(m), FrameType::kMetricsReport);
+  // Bucket-count u32 of the wait histogram: after rank(4) quantum(8)
+  // counters(4) gauges(4) pe_count(4) pe(4).
+  const std::size_t buckets_at = 4 + 8 + 4 + 4 + 4 + 4;
+  payload[buckets_at] = static_cast<std::uint8_t>(payload[buckets_at] + 1);
+  WireError err;
+  EXPECT_FALSE(decode_metrics_report(payload, &err).has_value());
+  EXPECT_FALSE(err.reason.empty());
+}
+
+TEST(WireToString, CoversAllTypes) {
+  for (std::uint8_t t = 1; t <= 11; ++t) {
+    EXPECT_NE(std::string(to_string(static_cast<FrameType>(t))), "unknown");
+  }
+  EXPECT_EQ(std::string(to_string(static_cast<FrameType>(12))), "unknown");
 }
 
 }  // namespace

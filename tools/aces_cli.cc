@@ -12,6 +12,8 @@
 //                 [--transport=thread|inproc|uds|tcp] [--processes=2]
 //                 [--substeps=4] [--fingerprint]
 //                 [--faults=@faults.txt] [--staleness=1] [--reoptimize=5]
+//   aces cluster-report --topology=topo.txt [--transport=uds --processes=3]
+//                 [--sample=0.01] [--status-port=0] [--prom=prom.txt]
 //   aces trace-summary --in=out.jsonl [--tail=0.25] [--tolerance=0.1]
 //   aces sweep    --grid=@grid.txt [--jobs=4] [--out=BENCH_sweep.json]
 //                 [--no-timing] [--quiet]
@@ -22,6 +24,7 @@
 // write_topology, opt::optimize / optimize_dual, sim::simulate. Everything
 // it does is reachable programmatically; it exists so a downstream user can
 // reproduce an experiment without writing C++.
+#include <chrono>
 #include <cmath>
 #include <fstream>
 #include <iostream>
@@ -31,6 +34,7 @@
 #include <set>
 #include <sstream>
 #include <string>
+#include <thread>
 
 #include "fault/fault_spec.h"
 #include "graph/dot_export.h"
@@ -41,6 +45,7 @@
 #include "harness/sweep_runner.h"
 #include "harness/table.h"
 #include "metrics/report_fingerprint.h"
+#include "obs/cluster_aggregate.h"
 #include "obs/counters.h"
 #include "obs/export.h"
 #include "obs/latency.h"
@@ -441,6 +446,13 @@ harness::RunSummary run_one_runtime(const graph::ProcessingGraph& g,
 /// wall-paced threaded runtime this substrate is deterministic, so the
 /// merged report (and its fingerprint) is reproducible for any transport
 /// and process count.
+/// Observability knobs for one distributed run (the tentpole plane).
+struct DistObs {
+  double span_sample = 0.0;           ///< worker-side span tracing rate
+  bool record_trace = false;          ///< ship control-tick records
+  obs::ClusterAggregator* aggregator = nullptr;
+};
+
 harness::RunSummary run_one_dist(const graph::ProcessingGraph& g,
                                  const opt::AllocationPlan& plan,
                                  control::FlowPolicy policy, double duration,
@@ -449,6 +461,7 @@ harness::RunSummary run_one_dist(const graph::ProcessingGraph& g,
                                  runtime::transport::TransportKind transport,
                                  int processes, int substeps,
                                  const FaultFlags& faults,
+                                 const DistObs& dist_obs,
                                  metrics::RunReport* out_report,
                                  runtime::dist::DistStats* stats) {
   runtime::dist::DistOptions options;
@@ -463,10 +476,44 @@ harness::RunSummary run_one_dist(const graph::ProcessingGraph& g,
   options.controller.policy = policy;
   options.controller.advert_staleness_timeout = faults.staleness;
   options.faults = faults.schedule;
+  options.span_sample = dist_obs.span_sample;
+  options.record_trace = dist_obs.record_trace;
+  options.aggregator = dist_obs.aggregator;
   const metrics::RunReport report =
       runtime::dist::run_distributed(g, plan, options, stats);
   if (out_report != nullptr) *out_report = report;
   return harness::summarize(report, plan.weighted_throughput);
+}
+
+/// Writes shard-tagged control-tick records from a cluster aggregator
+/// (CSV by extension, like write_trace_file).
+void write_cluster_trace_file(const std::string& path,
+                              const obs::ClusterAggregator& aggregator) {
+  std::ofstream file(path);
+  if (!file) throw std::runtime_error("cannot open trace file: " + path);
+  const std::vector<obs::TickRecord> records = aggregator.trace_records();
+  if (path.size() >= 4 && path.compare(path.size() - 4, 4, ".csv") == 0) {
+    obs::write_trace_csv(file, records);
+  } else {
+    obs::write_trace_jsonl(file, records);
+  }
+  std::cerr << "wrote " << records.size() << " cluster trace records to "
+            << path << '\n';
+}
+
+/// Stderr notice for retained flight-recorder evidence (the prockill
+/// post-mortem the coordinator keeps after the worker process is gone).
+void print_flight_dump_notice(const obs::ClusterAggregator& aggregator) {
+  const auto statuses = aggregator.shard_statuses();
+  for (const auto& [rank, dump] : aggregator.flight_dumps()) {
+    const auto it = statuses.find(rank);
+    const bool dead = it != statuses.end() && !it->second.alive;
+    std::cerr << "flight dump retained for shard " << rank
+              << (dead ? " [DEAD]" : "") << ": event=" << dump.event
+              << " t=" << harness::cell(dump.time, 2) << "s, "
+              << dump.recent.size() << " recent, " << dump.in_flight.size()
+              << " in-flight spans\n";
+  }
 }
 
 void add_summary_row(harness::Table& table, const char* name,
@@ -594,9 +641,21 @@ int cmd_compare(Flags& flags) {
   const int processes = flags.get("processes", 2);
   const int substeps = flags.get("substeps", 4);
   const bool fingerprint = flags.has("fingerprint");
+  // Distributed observability plane (ignored on the other substrates):
+  // --sample traces spans cluster-wide, --status-port serves the live
+  // line-protocol endpoint, --prom writes per-policy cluster expositions.
+  const double dist_sample = flags.get("sample", 0.0);
+  const bool has_status_port = flags.has("status-port");
+  const int status_port = flags.get("status-port", 0);
+  const double status_linger = flags.get("status-linger", 0.0);
+  const std::string prom_base = flags.get("prom", std::string());
   const FaultFlags faults = FaultFlags::parse(flags);
   flags.check_all_consumed();
   fault::validate(faults.schedule, g);
+  if (dist_sample < 0.0 || dist_sample > 1.0)
+    throw std::runtime_error("--sample must be in [0,1]");
+  if (status_port < 0 || status_port > 65535)
+    throw std::runtime_error("--status-port must be in [0,65535]");
 
   // Substrate selection: the simulator by default, the wall-paced threaded
   // runtime with --runtime (equivalently --transport=thread), the
@@ -633,13 +692,24 @@ int cmd_compare(Flags& flags) {
     std::cerr << "warning: the threaded runtime is wall-paced and "
                  "nondeterministic; its fingerprints are not reproducible\n";
   }
-  if (!trace_base.empty() && use_dist) {
-    std::cerr << "warning: --trace is not implemented for the distributed "
-                 "runtime; ignored\n";
+  if ((has_status_port || dist_sample > 0.0 || !prom_base.empty()) &&
+      !use_dist) {
+    std::cerr << "warning: --status-port/--sample/--prom on compare apply to "
+                 "the distributed runtime only (--transport=inproc|uds|tcp); "
+                 "ignored\n";
   }
 
   const opt::AllocationPlan plan = opt::optimize(g);
   harness::Table table = summary_table();
+  // The aggregator is per policy run (so cross-policy telemetry never
+  // merges); the status server rebinds per run and, with --status-linger,
+  // keeps serving the last policy's snapshot after the runs finish.
+  const bool dist_obs_on =
+      use_dist && (has_status_port || dist_sample > 0.0 ||
+                   !prom_base.empty() || !trace_base.empty() ||
+                   !faults.schedule.proc_kills.empty());
+  std::unique_ptr<obs::ClusterAggregator> aggregator;
+  std::unique_ptr<obs::StatusServer> status_server;
   for (const control::FlowPolicy policy :
        {control::FlowPolicy::kAces, control::FlowPolicy::kUdp,
         control::FlowPolicy::kLockStep, control::FlowPolicy::kThreshold}) {
@@ -652,10 +722,46 @@ int cmd_compare(Flags& flags) {
     harness::RunSummary summary;
     metrics::RunReport report;
     if (use_dist) {
+      DistObs dist_obs;
+      if (dist_obs_on) {
+        status_server.reset();  // free the port before the aggregator dies
+        aggregator = std::make_unique<obs::ClusterAggregator>();
+        dist_obs.aggregator = aggregator.get();
+        dist_obs.span_sample = dist_sample;
+        dist_obs.record_trace = !trace_base.empty();
+        if (has_status_port) {
+          status_server = std::make_unique<obs::StatusServer>(
+              aggregator.get(), static_cast<std::uint16_t>(status_port));
+          if (status_server->listening()) {
+            std::cerr << "status endpoint on 127.0.0.1:"
+                      << status_server->port() << '\n';
+          } else {
+            std::cerr << "warning: status endpoint failed: "
+                      << status_server->error() << '\n';
+          }
+        }
+      }
       runtime::dist::DistStats stats;
       summary = run_one_dist(g, plan, policy, duration, warmup, seed,
                              data_plane, *dist_kind, processes, substeps,
-                             faults, &report, &stats);
+                             faults, dist_obs, &report, &stats);
+      if (aggregator != nullptr) {
+        if (!trace_base.empty()) {
+          write_cluster_trace_file(
+              policy_trace_path(trace_base, policy_tag(policy)), *aggregator);
+        }
+        if (!prom_base.empty()) {
+          const std::string path =
+              policy_trace_path(prom_base, policy_tag(policy));
+          std::ofstream file(path);
+          if (!file)
+            throw std::runtime_error("cannot open prom file: " + path);
+          aggregator->write_prometheus(file);
+          std::cerr << "wrote cluster Prometheus exposition to " << path
+                    << '\n';
+        }
+        print_flight_dump_notice(*aggregator);
+      }
       if (!faults.schedule.proc_kills.empty()) {
         std::cerr << "[" << to_string(policy) << "] workers killed "
                   << stats.workers_killed << ", restarted "
@@ -696,8 +802,109 @@ int cmd_compare(Flags& flags) {
       print_fault_counters(counters);
     }
   }
+  if (status_server != nullptr && status_server->listening() &&
+      status_linger > 0.0) {
+    // CI smoke hook: the last policy's snapshot stays scrapeable for a
+    // bounded window after the runs finish.
+    std::cerr << "status endpoint lingering " << status_linger << " s\n";
+    std::this_thread::sleep_for(std::chrono::duration<double>(status_linger));
+  }
   if (fingerprint && use_dist) return 0;  // fingerprints replace the table
   harness::print_table(table, csv, std::cout);
+  return 0;
+}
+
+/// One distributed run rendered as the full cluster observability report:
+/// summary row, then the aggregator's per-shard health / counter / latency
+/// tables. This is the human face of the telemetry plane; compare's
+/// --status-port / --prom expose the same aggregator to machines.
+int cmd_cluster_report(Flags& flags) {
+  const graph::ProcessingGraph g =
+      load_topology(flags.get("topology", std::string()));
+  const control::FlowPolicy policy =
+      parse_policy(flags.get("policy", std::string("aces")));
+  const double duration = flags.get("duration", 60.0);
+  const double warmup = flags.get("warmup", 10.0);
+  const int seed = flags.get("seed", 1);
+  const std::string transport_name =
+      flags.get("transport", std::string("uds"));
+  const int processes = flags.get("processes", 3);
+  const int substeps = flags.get("substeps", 4);
+  const double sample = flags.get("sample", 0.01);
+  const std::string trace_path = flags.get("trace", std::string());
+  const std::string prom_path = flags.get("prom", std::string());
+  const bool has_status_port = flags.has("status-port");
+  const int status_port = flags.get("status-port", 0);
+  const double status_linger = flags.get("status-linger", 0.0);
+  const DataPlaneFlags data_plane = DataPlaneFlags::parse(flags);
+  const FaultFlags faults = FaultFlags::parse(flags);
+  const bool csv = flags.has("csv");
+  flags.check_all_consumed();
+  fault::validate(faults.schedule, g);
+  if (sample < 0.0 || sample > 1.0)
+    throw std::runtime_error("--sample must be in [0,1]");
+  if (status_port < 0 || status_port > 65535)
+    throw std::runtime_error("--status-port must be in [0,65535]");
+  if (processes < 1) throw std::runtime_error("--processes must be >= 1");
+  if (substeps < 1) throw std::runtime_error("--substeps must be >= 1");
+  const std::optional<runtime::transport::TransportKind> kind =
+      runtime::transport::parse_transport(transport_name);
+  if (!kind.has_value()) {
+    throw std::runtime_error("unknown transport: " + transport_name +
+                             " (inproc|uds|tcp)");
+  }
+
+  const opt::AllocationPlan plan = opt::optimize(g);
+  obs::ClusterAggregator aggregator;
+  std::unique_ptr<obs::StatusServer> status_server;
+  if (has_status_port) {
+    status_server = std::make_unique<obs::StatusServer>(
+        &aggregator, static_cast<std::uint16_t>(status_port));
+    if (status_server->listening()) {
+      std::cerr << "status endpoint on 127.0.0.1:" << status_server->port()
+                << '\n';
+    } else {
+      std::cerr << "warning: status endpoint failed: "
+                << status_server->error() << '\n';
+    }
+  }
+  DistObs dist_obs;
+  dist_obs.aggregator = &aggregator;
+  dist_obs.span_sample = sample;
+  dist_obs.record_trace = !trace_path.empty();
+  runtime::dist::DistStats stats;
+  const harness::RunSummary summary =
+      run_one_dist(g, plan, policy, duration, warmup, seed, data_plane, *kind,
+                   processes, substeps, faults, dist_obs, nullptr, &stats);
+
+  harness::Table table = summary_table();
+  add_summary_row(table, to_string(policy), summary);
+  harness::print_table(table, csv, std::cout);
+  std::cout << '\n';
+  aggregator.write_report(std::cout);
+
+  if (!trace_path.empty()) write_cluster_trace_file(trace_path, aggregator);
+  if (!prom_path.empty()) {
+    std::ofstream file(prom_path);
+    if (!file) throw std::runtime_error("cannot open prom file: " + prom_path);
+    aggregator.write_prometheus(file);
+    std::cerr << "wrote cluster Prometheus exposition to " << prom_path
+              << '\n';
+  }
+  print_flight_dump_notice(aggregator);
+  if (!faults.schedule.proc_kills.empty()) {
+    std::cerr << "workers killed " << stats.workers_killed << ", restarted "
+              << stats.workers_restarted << ", detection "
+              << harness::cell(stats.kill_detect_wall_seconds * 1e3, 1)
+              << " ms, reoptimizations " << stats.reoptimizations
+              << ", relay dropped " << stats.relay_dropped << ", orphans "
+              << stats.orphans_reaped << '\n';
+  }
+  if (status_server != nullptr && status_server->listening() &&
+      status_linger > 0.0) {
+    std::cerr << "status endpoint lingering " << status_linger << " s\n";
+    std::this_thread::sleep_for(std::chrono::duration<double>(status_linger));
+  }
   return 0;
 }
 
@@ -807,6 +1014,8 @@ int cmd_trace_summary(Flags& flags) {
   std::size_t total_records = 0;
   Seconds t0 = 0.0;
   Seconds t1 = 0.0;
+  bool saw_tagged = false;    // cluster schema: records carry a shard tag
+  bool saw_untagged = false;  // single-process schema: no shard key
   std::map<std::string, std::vector<obs::TickRecord>> groups;
   for (const std::string& path : paths) {
     std::ifstream file(path);
@@ -823,8 +1032,18 @@ int cmd_trace_summary(Flags& flags) {
         t1 = std::max(t1, r.time);
       }
       ++total_records;
+      (r.shard >= 0 ? saw_tagged : saw_untagged) = true;
       groups[r.policy.empty() ? path : r.policy].push_back(std::move(r));
     }
+  }
+  // A cluster trace (written by a distributed run) and a single-process
+  // trace describe different acquisition pipelines; silently pooling them
+  // would skew the settling statistics. Summarize them separately.
+  if (saw_tagged && saw_untagged) {
+    throw std::runtime_error(
+        "mixed trace schemas: --in combines cluster-tagged records (with a "
+        "\"shard\" key) and untagged single-process records; pass them to "
+        "separate trace-summary invocations");
   }
 
   struct GroupRow {
@@ -901,6 +1120,38 @@ int cmd_trace_summary(Flags& flags) {
   return 0;
 }
 
+/// Per-PE wait/service and per-path end-to-end percentile tables from any
+/// LatencyRegistry — a single-process tracer's or the cluster merge.
+void print_latency_tables(const obs::LatencyRegistry& latency, bool csv) {
+  harness::Table pe_table({"pe", "waits", "wait p50 ms", "wait p99 ms",
+                           "svc p50 ms", "svc p99 ms", "svc max ms"});
+  for (const auto& [pe, stats] : latency.pes()) {
+    const obs::LatencyQuantiles w = obs::quantiles_of(stats.wait);
+    const obs::LatencyQuantiles s = obs::quantiles_of(stats.service);
+    pe_table.add_row({"pe" + std::to_string(pe), harness::cell(w.count),
+                      harness::cell(w.p50 * 1e3, 2),
+                      harness::cell(w.p99 * 1e3, 2),
+                      harness::cell(s.p50 * 1e3, 2),
+                      harness::cell(s.p99 * 1e3, 2),
+                      harness::cell(s.max * 1e3, 2)});
+  }
+  harness::print_table(pe_table, csv, std::cout);
+  std::cout << '\n';
+
+  harness::Table path_table({"path", "n", "p50 ms", "p90 ms", "p99 ms",
+                             "p99.9 ms", "max ms"});
+  for (const auto& [id, stats] : latency.paths()) {
+    const obs::LatencyQuantiles q = obs::quantiles_of(stats.end_to_end);
+    path_table.add_row({stats.label, harness::cell(q.count),
+                        harness::cell(q.p50 * 1e3, 2),
+                        harness::cell(q.p90 * 1e3, 2),
+                        harness::cell(q.p99 * 1e3, 2),
+                        harness::cell(q.p999 * 1e3, 2),
+                        harness::cell(q.max * 1e3, 2)});
+  }
+  harness::print_table(path_table, csv, std::cout);
+}
+
 int cmd_latency_report(Flags& flags) {
   const graph::ProcessingGraph g =
       load_topology(flags.get("topology", std::string()));
@@ -913,6 +1164,11 @@ int cmd_latency_report(Flags& flags) {
   const int worst = flags.get("worst", 5);
   const std::string spans_path = flags.get("spans", std::string());
   const std::string prom_path = flags.get("prom", std::string());
+  // --transport switches to the distributed runtime: the same tables, fed
+  // by the cluster-merged latency registry (wire-stitched spans included).
+  const std::string transport_name = flags.get("transport", std::string());
+  const int processes = flags.get("processes", 3);
+  const int substeps = flags.get("substeps", 4);
   const FaultFlags faults = FaultFlags::parse(flags);
   const bool csv = flags.has("csv");
   flags.check_all_consumed();
@@ -920,8 +1176,47 @@ int cmd_latency_report(Flags& flags) {
   if (sample <= 0.0 || sample > 1.0)
     throw std::runtime_error("--sample must be in (0,1]");
   if (worst < 0) throw std::runtime_error("--worst must be >= 0");
+  if (processes < 1) throw std::runtime_error("--processes must be >= 1");
+  if (substeps < 1) throw std::runtime_error("--substeps must be >= 1");
 
   const opt::AllocationPlan plan = opt::optimize(g);
+
+  if (!transport_name.empty()) {
+    const std::optional<runtime::transport::TransportKind> kind =
+        runtime::transport::parse_transport(transport_name);
+    if (!kind.has_value()) {
+      throw std::runtime_error("unknown transport: " + transport_name +
+                               " (inproc|uds|tcp)");
+    }
+    if (!spans_path.empty()) {
+      throw std::runtime_error(
+          "--spans is single-process only; the distributed runtime retains "
+          "spans in the cluster aggregator (use cluster-report / --prom)");
+    }
+    obs::ClusterAggregator aggregator;
+    DistObs dist_obs;
+    dist_obs.aggregator = &aggregator;
+    dist_obs.span_sample = sample;
+    runtime::dist::DistStats stats;
+    run_one_dist(g, plan, policy, duration, warmup, seed, DataPlaneFlags{},
+                 *kind, processes, substeps, faults, dist_obs, nullptr,
+                 &stats);
+    std::cout << "cluster latency: " << processes << " shard(s) on "
+              << transport_name << ", sample rate "
+              << harness::cell(sample, 3) << ", policy " << to_string(policy)
+              << "\n\n";
+    print_latency_tables(aggregator.merged_latency(), csv);
+    if (!prom_path.empty()) {
+      std::ofstream file(prom_path);
+      if (!file)
+        throw std::runtime_error("cannot open prom file: " + prom_path);
+      aggregator.write_prometheus(file);
+      std::cerr << "wrote cluster Prometheus exposition to " << prom_path
+                << '\n';
+    }
+    print_flight_dump_notice(aggregator);
+    return 0;
+  }
   obs::CounterRegistry counters;
   sim::SimOptions options;
   options.duration = duration;
@@ -946,33 +1241,7 @@ int cmd_latency_report(Flags& flags) {
             << harness::cell(sample, 3) << ", policy " << to_string(policy)
             << ")\n\n";
 
-  harness::Table pe_table({"pe", "waits", "wait p50 ms", "wait p99 ms",
-                           "svc p50 ms", "svc p99 ms", "svc max ms"});
-  for (const auto& [pe, stats] : tracer.latency().pes()) {
-    const obs::LatencyQuantiles w = obs::quantiles_of(stats.wait);
-    const obs::LatencyQuantiles s = obs::quantiles_of(stats.service);
-    pe_table.add_row({"pe" + std::to_string(pe), harness::cell(w.count),
-                      harness::cell(w.p50 * 1e3, 2),
-                      harness::cell(w.p99 * 1e3, 2),
-                      harness::cell(s.p50 * 1e3, 2),
-                      harness::cell(s.p99 * 1e3, 2),
-                      harness::cell(s.max * 1e3, 2)});
-  }
-  harness::print_table(pe_table, csv, std::cout);
-  std::cout << '\n';
-
-  harness::Table path_table({"path", "n", "p50 ms", "p90 ms", "p99 ms",
-                             "p99.9 ms", "max ms"});
-  for (const auto& [id, stats] : tracer.latency().paths()) {
-    const obs::LatencyQuantiles q = obs::quantiles_of(stats.end_to_end);
-    path_table.add_row({stats.label, harness::cell(q.count),
-                        harness::cell(q.p50 * 1e3, 2),
-                        harness::cell(q.p90 * 1e3, 2),
-                        harness::cell(q.p99 * 1e3, 2),
-                        harness::cell(q.p999 * 1e3, 2),
-                        harness::cell(q.max * 1e3, 2)});
-  }
-  harness::print_table(path_table, csv, std::cout);
+  print_latency_tables(tracer.latency(), csv);
 
   if (!tracer.worst_spans().empty()) {
     std::cout << "\nworst spans:\n";
@@ -1061,6 +1330,8 @@ int usage(std::ostream& os, int code) {
         "             --substeps=4 --fingerprint]\n"
         "            [--batch=8 --channel-capacity=0 --pin]\n"
         "            [--faults=SPEC|@FILE --staleness=SEC --reoptimize=SEC]\n"
+        "            [--sample=RATE --status-port=N --status-linger=SEC\n"
+        "             --prom=F.txt]   (distributed transports only)\n"
         "            (--runtime uses the wall-paced threaded runtime;\n"
         "             --transport=inproc|uds|tcp uses the deterministic\n"
         "             multi-process distributed runtime on --processes\n"
@@ -1079,19 +1350,41 @@ int usage(std::ostream& os, int code) {
         "             knobs, see docs/performance.md: --batch caps SDOs\n"
         "             moved per channel operation, --channel-capacity\n"
         "             overrides the graph's buffer bounds when > 0, --pin\n"
-        "             pins worker threads to cores)\n"
+        "             pins worker threads to cores.\n"
+        "             On the distributed transports --sample traces spans\n"
+        "             cluster-wide, --status-port=N serves the live plain-\n"
+        "             text status endpoint on 127.0.0.1 (0 picks a port),\n"
+        "             --status-linger keeps it up SEC seconds after the\n"
+        "             runs, --prom writes one cluster exposition per\n"
+        "             policy: F.<policy>.txt; --trace ships shard-tagged\n"
+        "             control ticks to F.<policy>.jsonl)\n"
+        "  cluster-report --topology=FILE [--policy --duration --warmup\n"
+        "             --seed --transport=uds --processes=3 --substeps=4\n"
+        "             --sample=0.01 --csv --trace=F.jsonl --prom=F.txt\n"
+        "             --status-port=N --status-linger=SEC]\n"
+        "            [--faults=SPEC|@FILE --staleness=SEC]\n"
+        "            (one distributed run rendered as the cluster\n"
+        "             observability report: shard health, RTT and barrier\n"
+        "             skew, cluster counter totals, merged latency\n"
+        "             percentiles, span stitching, retained flight-recorder\n"
+        "             evidence — docs/observability.md, 'Distributed\n"
+        "             observability')\n"
         "  trace-summary --in=F.jsonl[,G.jsonl...] [--tail=0.25\n"
         "             --tolerance=0.1 --csv]\n"
         "            (per-PE settling time and oscillation amplitude;\n"
         "             accepts several files and policy-tagged sweep traces,\n"
-        "             reporting each policy side by side)\n"
+        "             reporting each policy side by side. Cluster-tagged\n"
+        "             and untagged traces cannot be mixed in one run)\n"
         "  latency-report --topology=FILE [--policy --duration --warmup\n"
         "             --seed --sample=0.05 --worst=5 --csv\n"
         "             --spans=F.jsonl --prom=F.txt]\n"
+        "            [--transport=inproc|uds|tcp --processes=3 --substeps=4]\n"
         "            [--faults=SPEC|@FILE --staleness=SEC --reoptimize=SEC]\n"
         "            (runs a traced simulation and prints per-PE\n"
         "             wait/service and per-path end-to-end latency\n"
-        "             percentiles plus the slowest spans)\n"
+        "             percentiles plus the slowest spans; with --transport\n"
+        "             the same tables come from a distributed run's\n"
+        "             cluster-merged registry, wire-stitched spans and all)\n"
         "  sweep     --grid=@FILE [--jobs=N --out=BENCH_sweep.json --csv\n"
         "             --no-timing --quiet --trace=F.jsonl]\n"
         "            (parallel deterministic sweep over a topology x policy\n"
@@ -1129,6 +1422,7 @@ int main(int argc, char** argv) {
     if (command == "optimize") return cmd_optimize(flags);
     if (command == "simulate") return cmd_simulate(flags);
     if (command == "compare") return cmd_compare(flags);
+    if (command == "cluster-report") return cmd_cluster_report(flags);
     if (command == "trace-summary") return cmd_trace_summary(flags);
     if (command == "latency-report") return cmd_latency_report(flags);
     if (command == "sweep") return cmd_sweep(flags);

@@ -57,6 +57,25 @@ docs/performance.md):
                          because a matching raw delete implies a raw
                          owning pointer the annotations cannot see).
 
+``wire`` codec files (src/runtime/wire.{h,cc} and
+src/runtime/transport/ — everything that reads bytes off a socket or
+frame buffer):
+
+* ``memcpy-decode``   -- ``memcpy(&obj, ...)``: decoding a frame by
+                         overlaying bytes onto a struct. The in-memory
+                         layout (padding, field order, endianness) is not
+                         a wire format; a struct overlay turns every
+                         compiler/ABI difference into silent corruption
+                         and skips the bounds and validation checks the
+                         cursor decoders centralize. Decode field by
+                         field through wire.h's bounds-checked cursor.
+* ``cast-decode``     -- ``reinterpret_cast<T*>`` of a byte buffer to a
+                         non-byte struct pointer, the same overlay in
+                         pointer clothes (also an alignment/strict-
+                         aliasing violation). Byte views (``char*``,
+                         ``std::byte*``, ``uint8_t*``) and the POSIX
+                         ``sockaddr*`` shapes are allowed.
+
 Suppressions
 ------------
 A finding is suppressed by an explicit, reasoned annotation on the same
@@ -81,8 +100,11 @@ from dataclasses import dataclass
 FINGERPRINT_DIRS = ("src/sim", "src/harness", "src/opt", "src/metrics")
 HOTPATH_DIRS = ("src/runtime",)
 REPORT_FILES_GLOB = re.compile(
-    r"(src/harness/[^/]+\.cc|src/obs/export\.cc|src/metrics/[^/]+\.cc|"
-    r"bench/[^/]+\.cc|tools/aces_cli\.cc)$"
+    r"(src/harness/[^/]+\.cc|src/obs/export\.cc|src/obs/cluster_aggregate\.cc|"
+    r"src/metrics/[^/]+\.cc|bench/[^/]+\.cc|tools/aces_cli\.cc)$"
+)
+WIRE_FILES_GLOB = re.compile(
+    r"(src/runtime/wire\.(h|cc)|src/runtime/transport/[^/]+\.(h|cc))$"
 )
 
 ALLOW_RE = re.compile(r"aces-lint:\s*allow\(([a-z-]+)\)\s*(\S?)")
@@ -141,6 +163,34 @@ HOTPATH_RULES = [
         re.compile(r"\bdelete\s*(?:\[\s*\]\s*)?[A-Za-z_(*]"),
         "raw `delete` in the data plane; owning raw pointers defeat both "
         "the allocation gate and the annotations — use RAII",
+    ),
+]
+
+# Wire-codec rules. `memcpy-decode` matches a memcpy whose destination is
+# the address of an object (`memcpy(&frame, ...)`): the struct-overlay
+# decode. Copies into plain byte arrays (`memcpy(buf, ...)`,
+# `memcpy(addr.sun_path, ...)`) stay clean. `cast-decode` matches a
+# reinterpret_cast to a non-byte object pointer; byte views and the POSIX
+# sockaddr shapes (the OS API's own type-pun) are carved out.
+WIRE_RULES = [
+    (
+        "memcpy-decode",
+        re.compile(r"\bmemcpy\s*\(\s*&"),
+        "memcpy-into-struct decoding in wire code; in-memory layout "
+        "(padding, endianness) is not a wire format — decode field by "
+        "field through the bounds-checked cursor (runtime/wire.h)",
+    ),
+    (
+        "cast-decode",
+        re.compile(
+            r"reinterpret_cast\s*<\s*(?:const\s+)?"
+            r"(?!(?:unsigned\s+char|signed\s+char|char|std::byte|"
+            r"std::uint8_t|uint8_t|sockaddr\w*)\s*\*)"
+            r"[A-Za-z_][\w:]*\s*\*\s*>"
+        ),
+        "byte buffer cast to a struct pointer in wire code; that is the "
+        "memcpy overlay in pointer clothes (plus an alignment/aliasing "
+        "violation) — use the cursor decoders",
     ),
 ]
 
@@ -267,6 +317,10 @@ def lint_text(path: str, text: str, groups: set[str]) -> list[Finding]:
             for rule, pattern, message in HOTPATH_RULES:
                 if pattern.search(code) and rule not in allows.get(lineno, ()):
                     findings.append(Finding(path, lineno, rule, message, raw))
+        if "wire" in groups:
+            for rule, pattern, message in WIRE_RULES:
+                if pattern.search(code) and rule not in allows.get(lineno, ()):
+                    findings.append(Finding(path, lineno, rule, message, raw))
         if "report" in groups:
             for literal in string_literals(code):
                 for spec in FLOAT_SPEC_RE.findall(literal):
@@ -291,6 +345,8 @@ def classify(rel_path: str) -> set[str]:
         groups.add("report")
     if any(rel.startswith(d + "/") or rel == d for d in HOTPATH_DIRS):
         groups.add("hotpath")
+    if WIRE_FILES_GLOB.search(rel):
+        groups.add("wire")
     return groups
 
 
@@ -313,9 +369,9 @@ def main(argv: list[str]) -> int:
                         help="repo root the default scope is relative to")
     parser.add_argument("--force-groups", default=None,
                         help="comma-separated rule groups (fingerprint,"
-                             "report,hotpath) to apply to the given paths "
-                             "instead of path-based classification; for "
-                             "fixtures")
+                             "report,hotpath,wire) to apply to the given "
+                             "paths instead of path-based classification; "
+                             "for fixtures")
     parser.add_argument("paths", nargs="*",
                         help="files to lint; default: the standard scope "
                              "under --root")
@@ -324,7 +380,7 @@ def main(argv: list[str]) -> int:
     forced: set[str] | None = None
     if args.force_groups is not None:
         forced = {g for g in args.force_groups.split(",") if g}
-        if not forced or forced - {"fingerprint", "report", "hotpath"}:
+        if not forced or forced - {"fingerprint", "report", "hotpath", "wire"}:
             print(f"aces_lint: bad --force-groups '{args.force_groups}'",
                   file=sys.stderr)
             return 2

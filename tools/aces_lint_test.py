@@ -70,9 +70,18 @@ class FixtureTests(unittest.TestCase):
         self.assertEqual(sorted(f.line for f in findings),
                          [10, 11, 14, 15, 16, 21])
 
+    def test_bad_wire_flags_struct_overlays_only(self):
+        findings = lint_fixture("bad_wire.cc", {"wire"})
+        self.assertEqual(
+            rules(findings),
+            ["cast-decode", "cast-decode", "memcpy-decode", "memcpy-decode"])
+        # Byte-array copies (line 36), byte views (line 40), and the
+        # sockaddr pun (line 44) stay clean.
+        self.assertEqual(sorted(f.line for f in findings), [15, 21, 26, 30])
+
     def test_clean_fixture_is_silent_under_all_groups(self):
         findings = lint_fixture("clean.cc", {"fingerprint", "report",
-                                             "hotpath"})
+                                             "hotpath", "wire"})
         self.assertEqual(findings, [])
 
     def test_hotpath_rules_do_not_apply_to_fingerprint_files(self):
@@ -81,6 +90,12 @@ class FixtureTests(unittest.TestCase):
 
     def test_report_rules_do_not_apply_to_fingerprint_only_files(self):
         findings = lint_fixture("bad_report_format.cc", {"fingerprint"})
+        self.assertEqual(findings, [])
+
+    def test_wire_rules_do_not_apply_to_hotpath_only_files(self):
+        # src/runtime files outside wire.{h,cc} / transport/ may memcpy
+        # into objects they own; only the codec scope is banned.
+        findings = lint_fixture("bad_wire.cc", {"hotpath"})
         self.assertEqual(findings, [])
 
 
@@ -142,6 +157,20 @@ class ClassifyTests(unittest.TestCase):
         self.assertEqual(aces_lint.classify("src/runtime/runtime_engine.cc"),
                          {"hotpath"})
         self.assertNotIn("hotpath", aces_lint.classify("src/sim/simulator.cc"))
+
+    def test_wire_scope_is_codec_and_transport_files(self):
+        self.assertEqual(aces_lint.classify("src/runtime/wire.h"),
+                         {"hotpath", "wire"})
+        self.assertEqual(aces_lint.classify("src/runtime/wire.cc"),
+                         {"hotpath", "wire"})
+        self.assertEqual(aces_lint.classify("src/runtime/transport/uds.cc"),
+                         {"hotpath", "wire"})
+        self.assertEqual(aces_lint.classify("src/runtime/dist_worker.cc"),
+                         {"hotpath"})
+
+    def test_cluster_aggregate_is_report_scope(self):
+        self.assertIn("report",
+                      aces_lint.classify("src/obs/cluster_aggregate.cc"))
 
     def test_fixtures_and_headers_stay_out_of_report_scope(self):
         self.assertEqual(

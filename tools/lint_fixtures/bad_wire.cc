@@ -1,0 +1,45 @@
+// Fixture: every struct-overlay decode here must be flagged; byte-array
+// copies, byte-view casts, and the POSIX sockaddr pun must not be.
+#include <cstdint>
+#include <cstring>
+#include <sys/socket.h>
+#include <sys/un.h>
+
+struct StepGo {
+  std::uint64_t quantum = 0;
+  double vnow = 0.0;
+};
+
+StepGo overlay_decode(const std::uint8_t* payload, std::size_t n) {
+  StepGo frame;
+  std::memcpy(&frame, payload, n);         // finding: memcpy-decode
+  return frame;
+}
+
+std::uint64_t overlay_field(const char* payload) {
+  std::uint64_t quantum = 0;
+  std::memcpy(&quantum, payload, 8);       // finding: memcpy-decode
+  return quantum;
+}
+
+const StepGo* pointer_overlay(const std::uint8_t* payload) {
+  return reinterpret_cast<const StepGo*>(payload);  // finding: cast-decode
+}
+
+StepGo* mutable_overlay(char* payload) {
+  return reinterpret_cast<StepGo*>(payload);  // finding: cast-decode
+}
+
+// The sanctioned shapes: copies into byte arrays, byte views of a struct
+// for writing out, and the sockaddr pun the socket API itself demands.
+void fill_path(sockaddr_un& addr, const char* path, std::size_t len) {
+  std::memcpy(addr.sun_path, path, len + 1);
+}
+
+const char* byte_view(const StepGo& frame) {
+  return reinterpret_cast<const char*>(&frame);
+}
+
+int bind_it(int fd, const sockaddr_un& addr) {
+  return ::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr);
+}
