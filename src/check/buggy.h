@@ -1,0 +1,153 @@
+// Deliberately-buggy protocol variants: the checker's self-tests. Each is a
+// minimal standalone copy of one repo protocol with one known ordering bug
+// planted; tests/check/explorer_test.cc asserts the explorer FINDS each bug
+// (and that the correct twin passes). If a refactor ever blinds the model
+// to one of these, the self-test fails before the blindness can hide a
+// real regression.
+//
+// These are reference bugs, not reference implementations — the real
+// protocols live in runtime/spsc_ring.h and common/seqlock.h.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <optional>
+
+#include "check/shadow.h"
+#include "common/atomic_shim.h"
+
+namespace aces::check {
+
+/// Lamport SPSC ring with the tail publish DEMOTED to relaxed (the release
+/// fence/store dropped). The consumer's acquire load of tail_ then reads a
+/// store that synchronizes nothing, so the slot read races the slot write —
+/// the model reports a plain-memory data race. The same harness against
+/// runtime::SpscRing (release publish) passes.
+template <std::size_t N = 4>
+class BuggyPublishRing {
+ public:
+  BuggyPublishRing() {
+    tail_.set_check_name("buggy.tail_");
+    head_.set_check_name("buggy.head_");
+  }
+
+  bool try_push(std::uint64_t v) {
+    const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail - head_.load(std::memory_order_acquire) >= N) return false;
+    slots_[tail % N] = Shadow<std::uint64_t>(v);
+    tail_.store(tail + 1, std::memory_order_relaxed);  // BUG: not release
+    return true;
+  }
+
+  std::optional<std::uint64_t> try_pop() {
+    const std::uint64_t head = head_.load(std::memory_order_relaxed);
+    if (head == tail_.load(std::memory_order_acquire)) return std::nullopt;
+    const std::uint64_t v = slots_[head % N].value();
+    head_.store(head + 1, std::memory_order_release);
+    return v;
+  }
+
+ private:
+  std::array<Shadow<std::uint64_t>, N> slots_{};
+  aces::Atomic<std::uint64_t> tail_{0};
+  aces::Atomic<std::uint64_t> head_{0};
+};
+
+/// The close/drain protocol of SpscRing::pop_wait, parameterized on the
+/// memory order of the consumer's `closed_` load. With
+/// std::memory_order_relaxed this reproduces the lost-backlog bug PR'd out
+/// of the real ring: the consumer can observe closed == true without the
+/// happens-before edge to the producer's final tail publish, conclude
+/// "closed and drained" while an item is still invisible in the ring, and
+/// lose it. With std::memory_order_acquire the conclusion is sound and the
+/// identical harness passes.
+template <std::memory_order kCloseOrder>
+class MiniDrainRing {
+ public:
+  enum class Poll { kEmpty, kItem, kClosedDrained };
+
+  MiniDrainRing() {
+    tail_.set_check_name("mini.tail_");
+    head_.set_check_name("mini.head_");
+    closed_.set_check_name("mini.closed_");
+  }
+
+  bool try_push(std::uint64_t v) {
+    const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail - head_.load(std::memory_order_acquire) >= kSlots) return false;
+    slots_[tail % kSlots] = Shadow<std::uint64_t>(v);
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  void close() { closed_.store(true, std::memory_order_seq_cst); }
+
+  /// One consumer attempt: an item, "nothing yet", or the terminal
+  /// "closed and fully drained" verdict.
+  Poll poll(std::uint64_t* out) {
+    if (auto v = try_pop()) {
+      *out = *v;
+      return Poll::kItem;
+    }
+    if (closed_.load(kCloseOrder)) {
+      if (auto v = try_pop()) {
+        *out = *v;
+        return Poll::kItem;
+      }
+      return Poll::kClosedDrained;
+    }
+    return Poll::kEmpty;
+  }
+
+ private:
+  static constexpr std::size_t kSlots = 2;
+
+  std::optional<std::uint64_t> try_pop() {
+    const std::uint64_t head = head_.load(std::memory_order_relaxed);
+    if (head == tail_.load(std::memory_order_acquire)) return std::nullopt;
+    const std::uint64_t v = slots_[head % kSlots].value();
+    head_.store(head + 1, std::memory_order_release);
+    return v;
+  }
+
+  std::array<Shadow<std::uint64_t>, kSlots> slots_{};
+  aces::Atomic<std::uint64_t> tail_{0};
+  aces::Atomic<std::uint64_t> head_{0};
+  aces::Atomic<bool> closed_{false};
+};
+
+/// common/seqlock.h with the writer's release FENCE between the odd
+/// sequence store and the payload words dropped. A reader can then copy a
+/// fresh payload word without the odd sequence becoming visible to its
+/// re-read, and accepts a torn copy — the exact failure the Boehm protocol
+/// exists to prevent. try_read is verbatim from the correct slot; only
+/// publish differs.
+template <std::size_t NWords>
+class BuggySeqLockSlot {
+ public:
+  void publish(std::uint64_t ticket, const std::uint64_t* words) {
+    seq_.store(2 * ticket + 1, std::memory_order_relaxed);
+    // BUG: no atomic_fence(release) here.
+    for (std::size_t i = 0; i < NWords; ++i) {
+      words_[i].store(words[i], std::memory_order_relaxed);
+    }
+    seq_.store(2 * ticket + 2, std::memory_order_release);
+  }
+
+  [[nodiscard]] bool try_read(std::uint64_t* out) const {
+    const std::uint64_t s1 = seq_.load(std::memory_order_acquire);
+    if (s1 % 2 != 0 || s1 == 0) return false;
+    for (std::size_t i = 0; i < NWords; ++i) {
+      out[i] = words_[i].load(std::memory_order_relaxed);
+    }
+    aces::atomic_fence(std::memory_order_acquire);
+    return seq_.load(std::memory_order_relaxed) == s1;
+  }
+
+ private:
+  aces::Atomic<std::uint64_t> seq_{0};
+  std::array<aces::Atomic<std::uint64_t>, NWords> words_{};
+};
+
+}  // namespace aces::check

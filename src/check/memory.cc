@@ -1,0 +1,177 @@
+#include "check/memory.h"
+
+#include <cstdio>
+
+namespace aces::check {
+
+VarState& MemoryModel::touch(const void* var, std::uint64_t latest) {
+  auto it = vars_.find(var);
+  if (it != vars_.end()) return it->second;
+  VarState& v = vars_[var];
+  Store seed;
+  seed.value = latest;
+  seed.thread = -1;  // pre-history: happens-before every thread
+  v.stores.push_back(seed);
+  v.seen.fill(0);
+  return v;
+}
+
+std::pair<int, int> MemoryModel::visible_range(const VarState& v, int t,
+                                               const ThreadClocks& tc) const {
+  const int hi = static_cast<int>(v.stores.size()) - 1;
+  // Newest store that already happens-before t: everything older is
+  // superseded from t's point of view and may no longer be read.
+  int hb_floor = 0;
+  for (int i = hi; i >= 0; --i) {
+    const Store& s = v.stores[static_cast<std::size_t>(i)];
+    if (tc.cur.covers(s.thread, s.seq)) {
+      hb_floor = i;
+      break;
+    }
+  }
+  const int lo =
+      hb_floor > v.seen[static_cast<std::size_t>(t)]
+          ? hb_floor
+          : v.seen[static_cast<std::size_t>(t)];
+  return {lo, hi};
+}
+
+std::uint64_t MemoryModel::commit_load(VarState& v, int idx, int t,
+                                       ThreadClocks& tc,
+                                       std::uint64_t /*event_seq*/,
+                                       bool acquire) {
+  const Store& s = v.stores[static_cast<std::size_t>(idx)];
+  if (idx > v.seen[static_cast<std::size_t>(t)]) {
+    v.seen[static_cast<std::size_t>(t)] = idx;
+  }
+  if (acquire) {
+    tc.cur.join(s.rel);
+  } else {
+    tc.acq_pending.join(s.rel);
+  }
+  return s.value;
+}
+
+void MemoryModel::commit_store(VarState& v, std::uint64_t value, int t,
+                               const ThreadClocks& tc,
+                               std::uint64_t event_seq, bool release) {
+  Store s;
+  s.value = value;
+  s.thread = t;
+  s.seq = event_seq;
+  s.rel = release ? tc.cur : tc.fence_rel;
+  v.stores.push_back(s);
+  v.seen[static_cast<std::size_t>(t)] =
+      static_cast<int>(v.stores.size()) - 1;
+}
+
+std::uint64_t MemoryModel::commit_rmw_read(VarState& v, int t,
+                                           ThreadClocks& tc,
+                                           std::uint64_t /*event_seq*/,
+                                           bool acquire) {
+  const int idx = static_cast<int>(v.stores.size()) - 1;
+  const Store& s = v.stores[static_cast<std::size_t>(idx)];
+  v.seen[static_cast<std::size_t>(t)] = idx;
+  if (acquire) {
+    tc.cur.join(s.rel);
+  } else {
+    tc.acq_pending.join(s.rel);
+  }
+  return s.value;
+}
+
+void MemoryModel::commit_rmw_write(VarState& v, std::uint64_t new_value,
+                                   int t, const ThreadClocks& tc,
+                                   std::uint64_t event_seq, bool release) {
+  Store s;
+  s.value = new_value;
+  s.thread = t;
+  s.seq = event_seq;
+  s.rel = release ? tc.cur : tc.fence_rel;
+  // Release-sequence continuation: an acquire reader of this RMW's store
+  // also synchronizes with the store it replaced.
+  s.rel.join(v.stores.back().rel);
+  v.stores.push_back(s);
+  v.seen[static_cast<std::size_t>(t)] =
+      static_cast<int>(v.stores.size()) - 1;
+}
+
+void MemoryModel::commit_fence(ThreadClocks& tc, bool acquire, bool release) {
+  if (acquire) tc.cur.join(tc.acq_pending);
+  if (release) tc.fence_rel = tc.cur;
+}
+
+void MemoryModel::advance_floors_to_latest(int t) {
+  for (auto& [addr, v] : vars_) {
+    (void)addr;
+    v.seen[static_cast<std::size_t>(t)] =
+        static_cast<int>(v.stores.size()) - 1;
+  }
+}
+
+bool MemoryModel::floors_at_latest(int t) const {
+  for (const auto& [addr, v] : vars_) {
+    (void)addr;
+    if (v.seen[static_cast<std::size_t>(t)] <
+        static_cast<int>(v.stores.size()) - 1) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string MemoryModel::plain_read(const void* addr, int t,
+                                    const ThreadClocks& tc,
+                                    std::uint64_t event_seq) {
+  ShadowCell& cell = shadow_[addr];
+  if (cell.last_write_thread >= 0 && cell.last_write_thread != t &&
+      !tc.cur.covers(cell.last_write_thread, cell.last_write_seq)) {
+    char buf[128];
+    std::snprintf(buf, sizeof(buf),
+                  "data race: plain read by T%d of a location last written "
+                  "by T%d without happens-before",
+                  t, cell.last_write_thread);
+    return buf;
+  }
+  cell.readers.emplace_back(t, event_seq);
+  return {};
+}
+
+std::string MemoryModel::plain_write(const void* addr, int t,
+                                     const ThreadClocks& tc,
+                                     std::uint64_t event_seq) {
+  ShadowCell& cell = shadow_[addr];
+  if (cell.last_write_thread >= 0 && cell.last_write_thread != t &&
+      !tc.cur.covers(cell.last_write_thread, cell.last_write_seq)) {
+    char buf[128];
+    std::snprintf(buf, sizeof(buf),
+                  "data race: plain write by T%d over a write by T%d "
+                  "without happens-before",
+                  t, cell.last_write_thread);
+    return buf;
+  }
+  for (const auto& [rt, rs] : cell.readers) {
+    if (rt != t && !tc.cur.covers(rt, rs)) {
+      char buf[128];
+      std::snprintf(buf, sizeof(buf),
+                    "data race: plain write by T%d concurrent with a read "
+                    "by T%d",
+                    t, rt);
+      return buf;
+    }
+  }
+  cell.last_write_thread = t;
+  cell.last_write_seq = event_seq;
+  cell.readers.clear();
+  return {};
+}
+
+std::string MemoryModel::name_of(const void* var) const {
+  auto it = names_.find(var);
+  if (it != names_.end()) return it->second;
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "var@%p", var);
+  return buf;
+}
+
+}  // namespace aces::check

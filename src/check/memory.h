@@ -1,0 +1,164 @@
+// Store-buffer memory model for the bounded checker: simulates C++11
+// relaxed/acquire/release visibility so ordering bugs surface that x86's
+// strong hardware hides (TSan executes on the host memory model and only
+// ever *observes* SC-like interleavings; this model *generates* the weak
+// ones).
+//
+// Representation (one VarState per aces::Atomic address):
+//   * the variable's full modification order as a vector of Stores, each
+//     carrying {value, writing thread, that thread's event number at the
+//     store, and the vector clock the store releases};
+//   * per-thread coherence floors `seen[t]` — the newest store index thread
+//     t has read or written, which later reads may not go behind
+//     (read-read/write-read coherence).
+//
+// A load by thread t may return any store with index >= max(seen[t],
+// hb_floor), where hb_floor is the newest store that happens-before t (a
+// superseded store that already happened-before the reader is gone for
+// good). Which one it returns is a DFS decision owned by the scheduler.
+//
+// Clock rules (release/acquire as vector-clock joins, Lamport-style):
+//   * release store publishes the thread's current clock; relaxed store
+//     publishes the clock as of the thread's last release *fence*
+//     (fence_rel), which is exactly the Boehm seqlock's dependency;
+//   * acquire load joins the read store's published clock into the reader;
+//     relaxed load banks it in acq_pending, which a later acquire *fence*
+//     joins — the other half of the seqlock protocol;
+//   * RMW reads the newest store (atomic RMWs never read stale) and its
+//     store joins the previous head's published clock, continuing the
+//     release sequence;
+//   * seq_cst is modeled as acquire/release plus read-newest. That is
+//     exact for SC-per-location and for the store-buffering litmus the
+//     repo's protocols rely on, but deliberately stronger than C++ seq_cst
+//     mixed with weaker orders — see docs/model_checking.md ("what the
+//     model simplifies").
+//
+// Plain (non-atomic) memory is race-checked, not value-modeled: Shadow<T>
+// (shadow.h) reports every access here, and a read of a location whose last
+// write does not happen-before the reader — or a write racing a prior
+// unordered read/write — fails the execution (FastTrack-style, exact for
+// the <=4 threads a harness spawns).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace aces::check {
+
+inline constexpr int kMaxThreads = 4;
+
+/// Vector clock over fiber event counters. Component t counts thread t's
+/// committed operations; joins implement happens-before.
+struct Clock {
+  std::array<std::uint64_t, kMaxThreads> c{};
+
+  void join(const Clock& o) {
+    for (int i = 0; i < kMaxThreads; ++i) {
+      if (o.c[i] > c[i]) c[i] = o.c[i];
+    }
+  }
+  /// Does the event (thread u, event number s) happen-before this clock?
+  [[nodiscard]] bool covers(int u, std::uint64_t s) const {
+    return u < 0 || c[static_cast<std::size_t>(u)] >= s;
+  }
+};
+
+/// One entry in a variable's modification order.
+struct Store {
+  std::uint64_t value = 0;
+  int thread = -1;        ///< -1: pre-history (initial value seed)
+  std::uint64_t seq = 0;  ///< writer's event number at the store
+  Clock rel;              ///< clock an acquire reader of this store joins
+};
+
+struct VarState {
+  std::vector<Store> stores;
+  std::array<int, kMaxThreads> seen{};  ///< coherence floor per thread
+};
+
+/// Shadow state for one plain-memory location (see shadow.h).
+struct ShadowCell {
+  int last_write_thread = -1;
+  std::uint64_t last_write_seq = 0;
+  /// Reads since the last write, as (thread, event number).
+  std::vector<std::pair<int, std::uint64_t>> readers;
+};
+
+/// Per-thread view of the memory model.
+struct ThreadClocks {
+  Clock cur;          ///< this thread's happens-before knowledge
+  Clock fence_rel;    ///< cur as of the last release fence
+  Clock acq_pending;  ///< banked rel-clocks of relaxed-read stores
+};
+
+/// The per-execution memory state. The scheduler owns one instance, resets
+/// it between executions, and routes every shim hook through it. Methods
+/// that need a visibility decision take the chosen index from the scheduler
+/// (which owns the DFS); visible_range() reports the legal choices.
+class MemoryModel {
+ public:
+  void reset() {
+    vars_.clear();
+    shadow_.clear();
+    names_.clear();
+  }
+
+  /// Ensures `var` exists, seeding its modification order with `latest`
+  /// (the production atomic's current value) as a pre-history store that
+  /// happens-before everyone.
+  VarState& touch(const void* var, std::uint64_t latest);
+
+  /// [lo, hi] indices a load by `t` may legally return. hi is always the
+  /// newest store.
+  std::pair<int, int> visible_range(const VarState& v, int t,
+                                    const ThreadClocks& tc) const;
+
+  /// Commits a load of stores[idx]: coherence floor + clock effects.
+  /// Returns the value read.
+  std::uint64_t commit_load(VarState& v, int idx, int t, ThreadClocks& tc,
+                            std::uint64_t event_seq, bool acquire);
+
+  /// Commits a store of `value`: appends to the modification order.
+  void commit_store(VarState& v, std::uint64_t value, int t,
+                    const ThreadClocks& tc, std::uint64_t event_seq,
+                    bool release);
+
+  /// Commits an RMW: reads the newest store, appends `new_value`,
+  /// continues the release sequence. Returns the value read.
+  std::uint64_t commit_rmw_read(VarState& v, int t, ThreadClocks& tc,
+                                std::uint64_t event_seq, bool acquire);
+  void commit_rmw_write(VarState& v, std::uint64_t new_value, int t,
+                        const ThreadClocks& tc, std::uint64_t event_seq,
+                        bool release);
+
+  void commit_fence(ThreadClocks& tc, bool acquire, bool release);
+
+  /// Bounded-staleness timeout wake: every variable's coherence floor for
+  /// `t` jumps to its newest store (one park slice of real time elapsed;
+  /// hardware has propagated everything). No happens-before is created.
+  void advance_floors_to_latest(int t);
+
+  /// True when thread `t`'s coherence floor already sits at the newest
+  /// store of every variable — a timeout wake (whose only effect is
+  /// advance_floors_to_latest) could not change anything it reads.
+  [[nodiscard]] bool floors_at_latest(int t) const;
+
+  /// Plain-memory access checks; return empty string or a race description.
+  std::string plain_read(const void* addr, int t, const ThreadClocks& tc,
+                         std::uint64_t event_seq);
+  std::string plain_write(const void* addr, int t, const ThreadClocks& tc,
+                          std::uint64_t event_seq);
+
+  void set_name(const void* var, const char* name) { names_[var] = name; }
+  [[nodiscard]] std::string name_of(const void* var) const;
+
+ private:
+  std::map<const void*, VarState> vars_;
+  std::map<const void*, ShadowCell> shadow_;
+  std::map<const void*, std::string> names_;
+};
+
+}  // namespace aces::check

@@ -1,0 +1,44 @@
+#include "check/model.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "check/scheduler.h"
+
+namespace aces::check {
+namespace {
+
+[[noreturn]] void die(const char* what) {
+  std::fprintf(stderr, "model checker misuse: %s\n", what);
+  std::abort();
+}
+
+}  // namespace
+
+Result explore(const Options& opts, const std::function<void()>& body) {
+  Scheduler sched;
+  return sched.explore(opts, body);
+}
+
+void spawn(std::function<void()> fn) {
+  Scheduler* s = Scheduler::current();
+  if (s == nullptr) die("spawn() outside explore()");
+  s->spawn(std::move(fn));
+}
+
+void finally(std::function<void()> fn) {
+  Scheduler* s = Scheduler::current();
+  if (s == nullptr) die("finally() outside explore()");
+  s->add_final(std::move(fn));
+}
+
+void fail(const std::string& msg) {
+  Scheduler* s = Scheduler::current();
+  if (s == nullptr) die("fail() outside explore()");
+  if (Scheduler::on_fiber()) {
+    s->fail_from_fiber(msg);  // throws, does not return
+  }
+  s->fail_from_host(msg);
+}
+
+}  // namespace aces::check

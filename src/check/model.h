@@ -1,0 +1,98 @@
+// Public API of the bounded concurrency model checker (docs/model_checking.md).
+//
+// A checked harness is a body that builds fresh shared state and registers
+// 2-3 small thread bodies:
+//
+//   auto r = check::explore(opts, [] {
+//     auto ring = std::make_shared<runtime::SpscRing<check::Shadow<u64>>>(2);
+//     check::spawn([ring] { ring->try_push(41); ring->close(); });
+//     check::spawn([ring] { auto v = ring->pop_wait(1h); ... });
+//     check::finally([ring] { MC_CHECK(ring->size() == 0, "drained"); });
+//   });
+//   ASSERT_TRUE(r.ok) << r.failure << "\n" << r.trace;
+//   ASSERT_FALSE(r.hit_execution_cap);  // bounds exhausted, not sampled
+//
+// explore() re-runs the body once per execution, enumerating by DFS every
+// schedule decision (which thread commits its announced operation next) and
+// every load-visibility decision (which unsuperseded prior store a
+// relaxed/acquire load returns, per the store-buffer model in memory.h).
+// Capture shared state in shared_ptrs: the body returns before the fibers
+// run. The whole exploration runs on the calling OS thread — thread bodies
+// are cooperative fibers that switch at every shim operation — so harness
+// state needs no real synchronization beyond the algorithm under test.
+//
+// Exploration is deterministic: two runs of the same harness visit the same
+// executions in the same order (the acceptance self-test in
+// tests/check/explorer_test.cc re-runs every harness and compares counts).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace aces::check {
+
+struct Options {
+  /// Max context switches away from a still-enabled thread (Musuvathi &
+  /// Qadeer preemption bounding); -1 explores the full interleaving space.
+  /// Bugs in small protocols near-universally need <= 2 preemptions; the
+  /// checked harnesses use 3 (docs/model_checking.md discusses the trade).
+  int preemption_bound = 3;
+  /// Sleep-set (Godefroid) redundancy pruning. Only applied when
+  /// preemption_bound < 0: under a bound, pruning an interleaving whose
+  /// Mazurkiewicz representative exceeds the bound would lose coverage.
+  bool sleep_sets = true;
+  /// Hard caps: exploration stops (hit_execution_cap) rather than run away.
+  /// A harness that trips them is too big — shrink it.
+  long max_executions = 2000000;
+  int max_steps_per_execution = 20000;
+  /// Timeout wakeups each fiber may take per execution while parked. A
+  /// timeout-wake models one elapsed park slice (SpscRing::kParkSliceNs):
+  /// the sleeper re-checks with its visibility floors advanced to the
+  /// newest stores (bounded staleness — real hardware propagates stores
+  /// within a slice). 0 forbids timeouts, so any missed wakeup that the
+  /// bounded-slice design would absorb becomes a reported deadlock.
+  int park_timeout_budget = 2;
+};
+
+struct Result {
+  bool ok = false;
+  /// Complete executions explored (a sleep-set-pruned prefix counts too).
+  long executions = 0;
+  /// Total committed transitions across all executions.
+  long long transitions = 0;
+  /// Load-visibility decision points that had more than one option.
+  long long load_choices = 0;
+  /// Park wakeups by timeout (vs notify) across all executions.
+  long timeout_wakes = 0;
+  bool hit_execution_cap = false;
+  std::string failure;  ///< empty iff ok
+  std::string trace;    ///< rendered interleaving of the failing execution
+};
+
+/// Runs `body` under the instrumented scheduler until the decision space is
+/// exhausted, a failure is found, or a cap is hit. Not reentrant; one
+/// exploration per process at a time (harnesses are sequential tests).
+Result explore(const Options& opts, const std::function<void()>& body);
+
+/// Registers a thread body for the current execution. Call from explore()'s
+/// body (before the fibers start) only.
+void spawn(std::function<void()> fn);
+
+/// Registers a post-condition callback run after every fiber of an
+/// execution completes (inactive context: atomics read their final values).
+/// May call fail().
+void finally(std::function<void()> fn);
+
+/// Fails the current execution with `msg`; explore() stops, renders the
+/// interleaving trace, and returns ok=false. Callable from a fiber or a
+/// finally() callback. Does not return when called from a fiber.
+void fail(const std::string& msg);
+
+/// fail() unless `cond`. The harness-side assert.
+#define ACES_MC_CHECK(cond, msg)                     \
+  do {                                               \
+    if (!(cond)) ::aces::check::fail((msg));         \
+  } while (0)
+
+}  // namespace aces::check

@@ -1,0 +1,847 @@
+#include "check/scheduler.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <utility>
+
+#include "common/atomic_shim.h"
+
+namespace aces::check {
+namespace {
+
+// Internal-invariant assert. Deliberately not ACES_CHECK: the checker
+// library must not depend on aces_common (aces_common links *us* in
+// model-check builds).
+#define ACES_MC_INTERNAL(cond)                                            \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      std::fprintf(stderr, "model checker internal error: %s @ %s:%d\n",  \
+                   #cond, __FILE__, __LINE__);                            \
+      std::abort();                                                       \
+    }                                                                     \
+  } while (0)
+
+constexpr std::size_t kFiberStackBytes = 256 * 1024;
+
+// All exploration state lives on one OS thread; these are thread_local so
+// that unrelated threads in the same process (the rest of the test suite)
+// see "no scheduler" and take the production passthrough.
+thread_local Scheduler* t_scheduler = nullptr;
+thread_local int t_fiber = -1;  // id of the fiber running right now
+
+bool is_acquire(std::memory_order o) {
+  return o == std::memory_order_acquire || o == std::memory_order_consume ||
+         o == std::memory_order_acq_rel || o == std::memory_order_seq_cst;
+}
+bool is_release(std::memory_order o) {
+  return o == std::memory_order_release || o == std::memory_order_acq_rel ||
+         o == std::memory_order_seq_cst;
+}
+
+std::uint64_t width_mask(unsigned width) {
+  return width >= 8 ? ~0ULL : (1ULL << (8 * width)) - 1;
+}
+
+const char* kind_name(OpKind k) {
+  switch (k) {
+    case OpKind::kStart: return "start";
+    case OpKind::kLoad: return "load";
+    case OpKind::kStore: return "store";
+    case OpKind::kRmw: return "rmw";
+    case OpKind::kCas: return "cas";
+    case OpKind::kFence: return "fence";
+    case OpKind::kYield: return "yield";
+    case OpKind::kPark: return "park";
+    case OpKind::kTimeout: return "timeout-wake";
+    case OpKind::kWake: return "notify-wake";
+    case OpKind::kNotify: return "notify";
+  }
+  return "?";
+}
+
+const char* order_name(std::memory_order o) {
+  switch (o) {
+    case std::memory_order_relaxed: return "relaxed";
+    case std::memory_order_consume: return "consume";
+    case std::memory_order_acquire: return "acquire";
+    case std::memory_order_release: return "release";
+    case std::memory_order_acq_rel: return "acq_rel";
+    case std::memory_order_seq_cst: return "seq_cst";
+  }
+  return "?";
+}
+
+}  // namespace
+
+Scheduler::Scheduler() = default;
+Scheduler::~Scheduler() = default;
+
+Scheduler* Scheduler::current() { return t_scheduler; }
+bool Scheduler::on_fiber() { return t_scheduler != nullptr && t_fiber >= 0; }
+
+// ---------------------------------------------------------------------------
+// Exploration driver
+
+Result Scheduler::explore(const Options& opts,
+                          const std::function<void()>& body) {
+  ACES_MC_INTERNAL(t_scheduler == nullptr);  // not reentrant
+  t_scheduler = this;
+  opts_ = opts;
+  result_ = Result{};
+  nodes_.clear();
+  sleep_active_ = opts.sleep_sets && opts.preemption_bound < 0;
+
+  while (true) {
+    run_one(body);
+    ++result_.executions;
+    if (!failure_msg_.empty()) {
+      result_.ok = false;
+      result_.failure = failure_msg_;
+      result_.trace = render_trace();
+      break;
+    }
+    if (result_.executions >= opts.max_executions) {
+      result_.hit_execution_cap = true;
+      result_.ok = true;
+      break;
+    }
+    if (!backtrack()) {
+      result_.ok = true;
+      break;
+    }
+  }
+  fibers_.clear();
+  finals_.clear();
+  t_scheduler = nullptr;
+  return result_;
+}
+
+void Scheduler::run_one(const std::function<void()>& body) {
+  mm_.reset();
+  fibers_.clear();
+  finals_.clear();
+  trace_.clear();
+  depth_ = 0;
+  prev_ = -1;
+  preempts_ = 0;
+  steps_ = 0;
+  running_sleep_.clear();
+  redundant_ = false;
+  abort_ = false;
+  failure_msg_.clear();
+
+  in_body_ = true;
+  body();
+  in_body_ = false;
+
+  while (failure_msg_.empty() && !redundant_) {
+    bool any_alive = false;
+    for (const Fiber& f : fibers_) {
+      if (f.st != Fiber::St::kDone) any_alive = true;
+    }
+    if (!any_alive) break;
+    step();
+    if (++steps_ > opts_.max_steps_per_execution) {
+      fail_from_host(
+          "step cap exceeded (livelock, or a harness too large to bound)");
+    }
+  }
+  if (!failure_msg_.empty() || redundant_) abort_live_fibers();
+
+  if (failure_msg_.empty() && !redundant_) {
+    in_finals_ = true;
+    try {
+      for (const auto& fn : finals_) fn();
+    } catch (const AbortExecution&) {
+      // fail_from_host() recorded the message.
+    }
+    in_finals_ = false;
+  }
+  // Destroy fiber closures (and with them the harness's shared state)
+  // before the next execution rebuilds everything.
+  fibers_.clear();
+  finals_.clear();
+}
+
+bool Scheduler::backtrack() {
+  while (!nodes_.empty()) {
+    Node& n = nodes_.back();
+    if (!n.alts.empty()) {
+      if (n.sched) {
+        n.tried.push_back(n.chosen);
+        n.chosen = n.alts.front();
+        n.alts.erase(n.alts.begin());
+        // Sleep set handed to the successor: everything already explored
+        // here stays asleep as long as it is independent of the new choice
+        // (Godefroid's sleep-set update rule).
+        n.child_sleep.clear();
+        if (sleep_active_) {
+          const OpDesc& chosen_op = n.pending.at(n.chosen);
+          for (int t : n.sleep) {
+            auto it = n.pending.find(t);
+            if (it != n.pending.end() &&
+                op_independent(it->second, chosen_op)) {
+              n.child_sleep.insert(t);
+            }
+          }
+          for (int t : n.tried) {
+            auto it = n.pending.find(t);
+            if (it != n.pending.end() &&
+                op_independent(it->second, chosen_op)) {
+              n.child_sleep.insert(t);
+            }
+          }
+        }
+      } else {
+        n.chosen = n.alts.front();
+        n.alts.erase(n.alts.begin());
+      }
+      return true;
+    }
+    nodes_.pop_back();
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// One step: pick an enabled thread, commit its pending operation.
+
+OpDesc Scheduler::enabled_op(const Fiber& f) const {
+  switch (f.st) {
+    case Fiber::St::kNotStarted: {
+      OpDesc d;
+      d.kind = OpKind::kStart;
+      return d;
+    }
+    case Fiber::St::kRunnable:
+      return f.pending;
+    case Fiber::St::kParked: {
+      OpDesc d;
+      d.kind = OpKind::kTimeout;
+      return d;
+    }
+    case Fiber::St::kDone:
+      break;
+  }
+  ACES_MC_INTERNAL(false);
+  return OpDesc{};
+}
+
+void Scheduler::step() {
+  std::vector<int> enabled;
+  for (const Fiber& f : fibers_) {
+    switch (f.st) {
+      case Fiber::St::kNotStarted:
+      case Fiber::St::kRunnable:
+        enabled.push_back(f.id);
+        break;
+      case Fiber::St::kParked:
+        if (f.timeout_budget > 0) enabled.push_back(f.id);
+        break;
+      case Fiber::St::kDone:
+        break;
+    }
+  }
+  if (enabled.empty()) {
+    // Every live fiber is parked with its timeout budget spent. The parks
+    // the shim models are TIMED (bounded slices), so in the real system a
+    // sleeper always returns eventually — the budget bounds how much
+    // timeout branching the search explores, not liveness. A fiber whose
+    // coherence floors lag some variable's newest store gets a forced
+    // timeout wake: the wake advances its floors to latest, so its
+    // re-check runs against the true current state and either progresses
+    // or proves the blockage real. A fiber already at latest would re-read
+    // exactly what made it park — waking it is pointless, and when that
+    // holds for every sleeper the state is a genuine deadlock. (A protocol
+    // whose sleepers forever re-park each other fails via the step cap as
+    // a livelock instead.)
+    for (const Fiber& f : fibers_) {
+      if (f.st == Fiber::St::kParked && !mm_.floors_at_latest(f.id)) {
+        enabled.push_back(f.id);
+      }
+    }
+  }
+  if (enabled.empty()) {
+    fail_from_host(
+        "deadlock: every live thread is parked with no timeout budget "
+        "left (lost wakeup?)");
+    return;
+  }
+  const int c = choose_thread(enabled);
+  if (c < 0) return;  // sleep-set blocked: execution is redundant
+  // A switch costs preemption budget only when the displaced thread could
+  // have kept running (kRunnable). Switching away from a thread that just
+  // parked or finished is a voluntary yield.
+  const bool preempted = prev_ >= 0 && prev_ != c &&
+                         fibers_[static_cast<std::size_t>(prev_)].st ==
+                             Fiber::St::kRunnable;
+  if (preempted) ++preempts_;
+  commit(c);
+  prev_ = c;
+  ++result_.transitions;
+}
+
+int Scheduler::choose_thread(const std::vector<int>& enabled) {
+  if (depth_ < nodes_.size()) {
+    Node& n = nodes_[depth_];
+    ACES_MC_INTERNAL(n.sched);
+    ++depth_;
+    running_sleep_ = n.child_sleep;
+    return n.chosen;
+  }
+
+  // Candidate order: keep running the previous thread when possible (the
+  // zero-preemption schedule comes first), then ascending id.
+  std::vector<int> candidates;
+  bool prev_enabled = false;
+  for (int id : enabled) {
+    if (id == prev_) prev_enabled = true;
+  }
+  if (prev_enabled) candidates.push_back(prev_);
+  for (int id : enabled) {
+    if (id != prev_) candidates.push_back(id);
+  }
+
+  if (sleep_active_) {
+    std::vector<int> awake;
+    for (int id : candidates) {
+      if (running_sleep_.count(id) == 0) awake.push_back(id);
+    }
+    if (awake.empty()) {
+      // Every enabled transition is asleep: this execution is equivalent
+      // to one already explored. End it here.
+      redundant_ = true;
+      return -1;
+    }
+    candidates = std::move(awake);
+  }
+
+  if (opts_.preemption_bound >= 0) {
+    const bool prev_runnable =
+        prev_ >= 0 && fibers_[static_cast<std::size_t>(prev_)].st ==
+                          Fiber::St::kRunnable;
+    std::vector<int> within;
+    for (int id : candidates) {
+      const int cost = (prev_runnable && id != prev_) ? 1 : 0;
+      if (preempts_ + cost <= opts_.preemption_bound) within.push_back(id);
+    }
+    ACES_MC_INTERNAL(!within.empty());  // running prev_ always costs 0
+    candidates = std::move(within);
+  }
+
+  Node n;
+  n.sched = true;
+  n.sleep = running_sleep_;
+  n.preempts_before = preempts_;
+  for (int id : enabled) {
+    n.pending[id] = enabled_op(fibers_[static_cast<std::size_t>(id)]);
+  }
+  n.chosen = candidates.front();
+  n.alts.assign(candidates.begin() + 1, candidates.end());
+  if (sleep_active_) {
+    const OpDesc& chosen_op = n.pending.at(n.chosen);
+    for (int t : n.sleep) {
+      auto it = n.pending.find(t);
+      if (it != n.pending.end() && op_independent(it->second, chosen_op)) {
+        n.child_sleep.insert(t);
+      }
+    }
+  }
+  nodes_.push_back(std::move(n));
+  ++depth_;
+  running_sleep_ = nodes_.back().child_sleep;
+  return nodes_.back().chosen;
+}
+
+int Scheduler::choose_value(int lo, int hi) {
+  if (depth_ < nodes_.size()) {
+    Node& n = nodes_[depth_];
+    ACES_MC_INTERNAL(!n.sched);
+    ++depth_;
+    return n.chosen;
+  }
+  Node n;
+  n.sched = false;
+  n.chosen = hi;  // the newest store first: the SC-like execution leads
+  for (int i = hi - 1; i >= lo; --i) n.alts.push_back(i);
+  nodes_.push_back(std::move(n));
+  ++depth_;
+  ++result_.load_choices;
+  return hi;
+}
+
+void Scheduler::commit(int c) {
+  Fiber& f = fibers_[static_cast<std::size_t>(c)];
+  const OpDesc op = enabled_op(f);
+  switch (op.kind) {
+    case OpKind::kStart:
+      record(c, op, 0, -1, false);
+      resume(f);
+      return;
+    case OpKind::kLoad:
+      do_load(f);
+      resume(f);
+      return;
+    case OpKind::kStore:
+      do_store(f);
+      resume(f);
+      return;
+    case OpKind::kRmw:
+      do_rmw(f);
+      resume(f);
+      return;
+    case OpKind::kCas:
+      do_cas(f);
+      resume(f);
+      return;
+    case OpKind::kFence:
+      ++f.tc.cur.c[static_cast<std::size_t>(f.id)];
+      mm_.commit_fence(f.tc, is_acquire(op.order), is_release(op.order));
+      record(c, op, 0, -1, false);
+      resume(f);
+      return;
+    case OpKind::kYield:
+      record(c, op, 0, -1, false);
+      resume(f);
+      return;
+    case OpKind::kPark: {
+      // Store + park as one transition (the real code stores the waiter
+      // flag under the park mutex that the notifier must also take).
+      ++f.tc.cur.c[static_cast<std::size_t>(f.id)];
+      VarState& v = mm_.touch(op.var, op.latest);
+      mm_.commit_store(v, op.a, f.id, f.tc,
+                       f.tc.cur.c[static_cast<std::size_t>(f.id)],
+                       is_release(op.order));
+      f.st = Fiber::St::kParked;
+      f.park_tag = op.tag;
+      record(c, op, op.a, -1, false);
+      return;  // no resume: the fiber sleeps inside the park hook
+    }
+    case OpKind::kTimeout: {
+      // One park slice elapsed: the sleeper re-checks with fresh eyes
+      // (coherence floors advance — bounded staleness), but gains no
+      // happens-before edge. Forced wakes (deadlock rescue in step())
+      // arrive with the budget already at zero — don't go negative.
+      if (f.timeout_budget > 0) --f.timeout_budget;
+      ++result_.timeout_wakes;
+      mm_.advance_floors_to_latest(f.id);
+      f.st = Fiber::St::kRunnable;
+      f.op_flag = false;
+      record(c, op, 0, -1, false);
+      resume(f);
+      return;
+    }
+    case OpKind::kWake:
+      f.op_flag = true;
+      record(c, op, 0, -1, true);
+      resume(f);
+      return;
+    case OpKind::kNotify: {
+      ++f.tc.cur.c[static_cast<std::size_t>(f.id)];
+      for (Fiber& p : fibers_) {
+        if (p.st == Fiber::St::kParked && p.park_tag == op.tag) {
+          p.st = Fiber::St::kRunnable;
+          OpDesc wake;
+          wake.kind = OpKind::kWake;
+          p.pending = wake;
+          // The notifier's clock transfers: mutex hand-off plus condvar.
+          p.tc.cur.join(f.tc.cur);
+        }
+      }
+      record(c, op, 0, -1, false);
+      resume(f);
+      return;
+    }
+  }
+  ACES_MC_INTERNAL(false);
+}
+
+void Scheduler::do_load(Fiber& f) {
+  const OpDesc& op = f.pending;
+  ++f.tc.cur.c[static_cast<std::size_t>(f.id)];
+  VarState& v = mm_.touch(op.var, op.latest);
+  const auto [lo, hi] = mm_.visible_range(v, f.id, f.tc);
+  int idx = hi;
+  if (op.order != std::memory_order_seq_cst && lo < hi) {
+    idx = choose_value(lo, hi);
+  }
+  f.op_result = mm_.commit_load(v, idx, f.id, f.tc,
+                                f.tc.cur.c[static_cast<std::size_t>(f.id)],
+                                is_acquire(op.order));
+  record(f.id, op, f.op_result, idx, false);
+}
+
+void Scheduler::do_store(Fiber& f) {
+  const OpDesc& op = f.pending;
+  ++f.tc.cur.c[static_cast<std::size_t>(f.id)];
+  VarState& v = mm_.touch(op.var, op.latest);
+  mm_.commit_store(v, op.a, f.id, f.tc,
+                   f.tc.cur.c[static_cast<std::size_t>(f.id)],
+                   is_release(op.order));
+  record(f.id, op, op.a, -1, false);
+}
+
+void Scheduler::do_rmw(Fiber& f) {
+  const OpDesc& op = f.pending;
+  ++f.tc.cur.c[static_cast<std::size_t>(f.id)];
+  VarState& v = mm_.touch(op.var, op.latest);
+  const std::uint64_t old = mm_.commit_rmw_read(
+      v, f.id, f.tc, f.tc.cur.c[static_cast<std::size_t>(f.id)],
+      is_acquire(op.order));
+  const std::uint64_t mask = width_mask(op.width);
+  std::uint64_t next = 0;
+  switch (static_cast<RmwOp>(op.rmw)) {
+    case RmwOp::kAdd: next = (old + op.a) & mask; break;
+    case RmwOp::kSub: next = (old - op.a) & mask; break;
+    case RmwOp::kExchange: next = op.a & mask; break;
+  }
+  mm_.commit_rmw_write(v, next, f.id, f.tc,
+                       f.tc.cur.c[static_cast<std::size_t>(f.id)],
+                       is_release(op.order));
+  f.op_result = old;
+  record(f.id, op, old, -1, false);
+}
+
+void Scheduler::do_cas(Fiber& f) {
+  const OpDesc& op = f.pending;
+  ++f.tc.cur.c[static_cast<std::size_t>(f.id)];
+  VarState& v = mm_.touch(op.var, op.latest);
+  const std::uint64_t old = mm_.commit_rmw_read(
+      v, f.id, f.tc, f.tc.cur.c[static_cast<std::size_t>(f.id)],
+      is_acquire(op.order));
+  const bool ok = old == op.b;
+  if (ok) {
+    mm_.commit_rmw_write(v, op.a, f.id, f.tc,
+                         f.tc.cur.c[static_cast<std::size_t>(f.id)],
+                         is_release(op.order));
+  }
+  f.op_result = old;
+  f.op_flag = ok;
+  record(f.id, op, old, -1, ok);
+}
+
+// ---------------------------------------------------------------------------
+// Independence (sleep sets)
+
+bool Scheduler::op_independent(const OpDesc& x, const OpDesc& y) {
+  auto local = [](const OpDesc& d) {
+    return d.kind == OpKind::kFence || d.kind == OpKind::kYield ||
+           d.kind == OpKind::kWake || d.kind == OpKind::kStart;
+  };
+  if (local(x) || local(y)) return true;
+  auto global = [](const OpDesc& d) {
+    // Parking, notification and timeout wakeups touch scheduler state and
+    // (for timeouts) every variable's coherence floor: conservatively
+    // dependent with everything.
+    return d.kind == OpKind::kPark || d.kind == OpKind::kNotify ||
+           d.kind == OpKind::kTimeout;
+  };
+  if (global(x) || global(y)) return false;
+  if (x.var != y.var) return true;
+  return x.kind == OpKind::kLoad && y.kind == OpKind::kLoad;
+}
+
+// ---------------------------------------------------------------------------
+// Fibers
+
+void Scheduler::trampoline() {
+  t_scheduler->run_current_fiber();
+}
+
+void Scheduler::run_current_fiber() {
+  Fiber& f = fibers_[static_cast<std::size_t>(t_fiber)];
+  try {
+    f.fn();
+  } catch (const AbortExecution&) {
+    // Unwound by the scheduler; nothing to do.
+  }
+  f.st = Fiber::St::kDone;
+  swapcontext(&f.ctx, &host_ctx_);
+  ACES_MC_INTERNAL(false);  // a done fiber is never resumed
+}
+
+void Scheduler::resume(Fiber& f) {
+  if (f.st == Fiber::St::kNotStarted) {
+    f.stack.resize(kFiberStackBytes);
+    getcontext(&f.ctx);
+    f.ctx.uc_stack.ss_sp = f.stack.data();
+    f.ctx.uc_stack.ss_size = f.stack.size();
+    f.ctx.uc_link = &host_ctx_;
+    makecontext(&f.ctx, &Scheduler::trampoline, 0);
+    f.st = Fiber::St::kRunnable;
+  }
+  const int saved = t_fiber;
+  t_fiber = f.id;
+  swapcontext(&host_ctx_, &f.ctx);
+  t_fiber = saved;
+}
+
+void Scheduler::announce(Fiber& f, const OpDesc& op) {
+  f.pending = op;
+  swapcontext(&f.ctx, &host_ctx_);
+  if (abort_) throw AbortExecution{};
+}
+
+void Scheduler::abort_live_fibers() {
+  abort_ = true;
+  for (Fiber& f : fibers_) {
+    if (f.st == Fiber::St::kRunnable || f.st == Fiber::St::kParked) {
+      // Resuming makes the announce/park hook throw AbortExecution, which
+      // unwinds the fiber's stack (running destructors) back to its entry.
+      resume(f);
+      ACES_MC_INTERNAL(f.st == Fiber::St::kDone);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// model.h entry points
+
+void Scheduler::spawn(std::function<void()> fn) {
+  ACES_MC_INTERNAL(in_body_);
+  if (fibers_.size() >= static_cast<std::size_t>(kMaxThreads)) {
+    fail_from_host("spawn: more threads than kMaxThreads");
+    return;
+  }
+  Fiber f;
+  f.id = static_cast<int>(fibers_.size());
+  f.fn = std::move(fn);
+  f.timeout_budget = opts_.park_timeout_budget;
+  fibers_.push_back(std::move(f));
+}
+
+void Scheduler::add_final(std::function<void()> fn) {
+  ACES_MC_INTERNAL(in_body_);
+  finals_.push_back(std::move(fn));
+}
+
+void Scheduler::fail_from_fiber(const std::string& msg) {
+  if (failure_msg_.empty()) failure_msg_ = msg;
+  throw AbortExecution{};
+}
+
+void Scheduler::fail_from_host(const std::string& msg) {
+  if (failure_msg_.empty()) failure_msg_ = msg;
+  // From a finally() oracle, unwind the rest of the callback (its later
+  // statements may rely on the assertion that just failed); run_one
+  // catches. From the stepping loop (deadlock / step cap), recording is
+  // enough — the loop checks failure_msg_ every iteration.
+  if (in_finals_) throw AbortExecution{};
+}
+
+// ---------------------------------------------------------------------------
+// Shim hooks (fiber side)
+
+std::uint64_t Scheduler::hook_load(const void* var, std::uint64_t latest,
+                                   std::memory_order order) {
+  Fiber& f = fibers_[static_cast<std::size_t>(t_fiber)];
+  if (abort_) {
+    if (std::uncaught_exceptions() == 0) throw AbortExecution{};
+    return latest;  // passthrough during unwinding destructors
+  }
+  OpDesc op;
+  op.kind = OpKind::kLoad;
+  op.var = var;
+  op.order = order;
+  op.latest = latest;
+  announce(f, op);
+  return f.op_result;
+}
+
+void Scheduler::hook_store(const void* var, std::uint64_t latest,
+                           std::uint64_t value, std::memory_order order) {
+  Fiber& f = fibers_[static_cast<std::size_t>(t_fiber)];
+  if (abort_) {
+    if (std::uncaught_exceptions() == 0) throw AbortExecution{};
+    return;
+  }
+  OpDesc op;
+  op.kind = OpKind::kStore;
+  op.var = var;
+  op.order = order;
+  op.latest = latest;
+  op.a = value;
+  announce(f, op);
+}
+
+std::uint64_t Scheduler::hook_rmw(const void* var, std::uint64_t latest,
+                                  int rmw, std::uint64_t operand,
+                                  std::memory_order order, unsigned width) {
+  Fiber& f = fibers_[static_cast<std::size_t>(t_fiber)];
+  if (abort_) {
+    if (std::uncaught_exceptions() == 0) throw AbortExecution{};
+    return latest;
+  }
+  OpDesc op;
+  op.kind = OpKind::kRmw;
+  op.var = var;
+  op.order = order;
+  op.latest = latest;
+  op.a = operand;
+  op.rmw = rmw;
+  op.width = width;
+  announce(f, op);
+  return f.op_result;
+}
+
+bool Scheduler::hook_cas(const void* var, std::uint64_t latest,
+                         std::uint64_t expected, std::uint64_t desired,
+                         std::memory_order order, std::uint64_t* observed) {
+  Fiber& f = fibers_[static_cast<std::size_t>(t_fiber)];
+  if (abort_) {
+    if (std::uncaught_exceptions() == 0) throw AbortExecution{};
+    *observed = latest;
+    return latest == expected;
+  }
+  OpDesc op;
+  op.kind = OpKind::kCas;
+  op.var = var;
+  op.order = order;
+  op.latest = latest;
+  op.a = desired;
+  op.b = expected;
+  announce(f, op);
+  *observed = f.op_result;
+  return f.op_flag;
+}
+
+void Scheduler::hook_fence(std::memory_order order) {
+  Fiber& f = fibers_[static_cast<std::size_t>(t_fiber)];
+  if (abort_) {
+    if (std::uncaught_exceptions() == 0) throw AbortExecution{};
+    return;
+  }
+  OpDesc op;
+  op.kind = OpKind::kFence;
+  op.order = order;
+  announce(f, op);
+}
+
+bool Scheduler::hook_park(const void* var, std::uint64_t latest,
+                          std::uint64_t value, std::memory_order order,
+                          const void* tag) {
+  Fiber& f = fibers_[static_cast<std::size_t>(t_fiber)];
+  if (abort_) {
+    if (std::uncaught_exceptions() == 0) throw AbortExecution{};
+    return false;
+  }
+  OpDesc op;
+  op.kind = OpKind::kPark;
+  op.var = var;
+  op.order = order;
+  op.latest = latest;
+  op.a = value;
+  op.tag = tag;
+  announce(f, op);
+  return f.op_flag;
+}
+
+void Scheduler::hook_notify(const void* tag) {
+  Fiber& f = fibers_[static_cast<std::size_t>(t_fiber)];
+  if (abort_) {
+    if (std::uncaught_exceptions() == 0) throw AbortExecution{};
+    return;
+  }
+  OpDesc op;
+  op.kind = OpKind::kNotify;
+  op.tag = tag;
+  announce(f, op);
+}
+
+void Scheduler::hook_yield() {
+  Fiber& f = fibers_[static_cast<std::size_t>(t_fiber)];
+  if (abort_) {
+    if (std::uncaught_exceptions() == 0) throw AbortExecution{};
+    return;
+  }
+  OpDesc op;
+  op.kind = OpKind::kYield;
+  announce(f, op);
+}
+
+void Scheduler::hook_name(const void* var, const char* name) {
+  mm_.set_name(var, name);
+}
+
+void Scheduler::hook_plain(const void* addr, bool is_write) {
+  if (t_fiber < 0) return;  // body or finally context: single-threaded
+  Fiber& f = fibers_[static_cast<std::size_t>(t_fiber)];
+  if (abort_) return;
+  ++f.tc.cur.c[static_cast<std::size_t>(f.id)];
+  const std::uint64_t seq = f.tc.cur.c[static_cast<std::size_t>(f.id)];
+  const std::string err = is_write
+                              ? mm_.plain_write(addr, f.id, f.tc, seq)
+                              : mm_.plain_read(addr, f.id, f.tc, seq);
+  if (!err.empty()) fail_from_fiber(err);
+}
+
+// ---------------------------------------------------------------------------
+// Trace rendering
+
+void Scheduler::record(int thread, const OpDesc& op, std::uint64_t value,
+                       int idx, bool flag) {
+  TraceStep s;
+  s.thread = thread;
+  s.op = op;
+  s.value = value;
+  s.store_idx = idx;
+  s.flag = flag;
+  trace_.push_back(s);
+}
+
+std::string Scheduler::render_trace() const {
+  std::string out;
+  char line[256];
+  int i = 0;
+  for (const TraceStep& s : trace_) {
+    const std::string var =
+        s.op.var != nullptr ? mm_.name_of(s.op.var) : std::string();
+    switch (s.op.kind) {
+      case OpKind::kLoad:
+        std::snprintf(line, sizeof(line),
+                      "#%-4d T%d  load   %-20s = %llu  (%s, store#%d)\n", i,
+                      s.thread, var.c_str(),
+                      static_cast<unsigned long long>(s.value),
+                      order_name(s.op.order), s.store_idx);
+        break;
+      case OpKind::kStore:
+      case OpKind::kPark:
+        std::snprintf(line, sizeof(line),
+                      "#%-4d T%d  %-6s %-20s = %llu  (%s)\n", i, s.thread,
+                      kind_name(s.op.kind), var.c_str(),
+                      static_cast<unsigned long long>(s.value),
+                      order_name(s.op.order));
+        break;
+      case OpKind::kRmw:
+        std::snprintf(line, sizeof(line),
+                      "#%-4d T%d  rmw    %-20s read %llu  (%s)\n", i,
+                      s.thread, var.c_str(),
+                      static_cast<unsigned long long>(s.value),
+                      order_name(s.op.order));
+        break;
+      case OpKind::kCas:
+        std::snprintf(line, sizeof(line),
+                      "#%-4d T%d  cas    %-20s read %llu %s  (%s)\n", i,
+                      s.thread, var.c_str(),
+                      static_cast<unsigned long long>(s.value),
+                      s.flag ? "ok" : "failed", order_name(s.op.order));
+        break;
+      case OpKind::kFence:
+        std::snprintf(line, sizeof(line), "#%-4d T%d  fence  (%s)\n", i,
+                      s.thread, order_name(s.op.order));
+        break;
+      default:
+        std::snprintf(line, sizeof(line), "#%-4d T%d  %s\n", i, s.thread,
+                      kind_name(s.op.kind));
+        break;
+    }
+    out += line;
+    ++i;
+  }
+  return out;
+}
+
+#undef ACES_MC_INTERNAL
+
+}  // namespace aces::check

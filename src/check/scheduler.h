@@ -1,0 +1,191 @@
+// The explorer behind check::explore() (model.h): cooperative ucontext
+// fibers for thread bodies, a DFS over schedule and load-visibility
+// decisions with stateless replay, sleep-set pruning (Godefroid) for
+// unbounded runs, and preemption bounding (Musuvathi & Qadeer) for the
+// rest. One instance per exploration; everything runs on the calling OS
+// thread.
+//
+// The announce/commit split: a fiber that reaches a shim operation records
+// it as `pending` and suspends. The scheduler therefore always sees every
+// enabled thread's NEXT operation before deciding who runs — which is what
+// the sleep-set independence check needs — and commits the chosen
+// operation itself (including the load-visibility decision) before
+// resuming the fiber.
+//
+// A committed step also runs the fiber's code up to its next announce;
+// that tail may touch plain shared memory (e.g. a ring slot). Sleep sets
+// stay sound anyway: racy plain accesses are detected symmetrically in
+// either order (MemoryModel::plain_*), and non-racy ones are
+// happens-before-ordered, which independence-respecting commutation
+// preserves (the hb chain runs through same-variable atomic ops, which are
+// never treated as independent).
+#pragma once
+
+#include <ucontext.h>
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "check/memory.h"
+#include "check/model.h"
+
+namespace aces::check {
+
+enum class OpKind {
+  kStart,    // run a not-yet-started fiber to its first announce
+  kLoad,
+  kStore,
+  kRmw,
+  kCas,
+  kFence,
+  kYield,
+  kPark,     // store + park, one transition (Atomic::park_after_store)
+  kTimeout,  // budgeted wakeup of a parked fiber (one park slice elapsed)
+  kWake,     // resume a fiber that notify() made runnable
+  kNotify,
+};
+
+struct OpDesc {
+  OpKind kind = OpKind::kStart;
+  const void* var = nullptr;
+  std::memory_order order = std::memory_order_seq_cst;
+  std::uint64_t latest = 0;  ///< production value, seeds the store history
+  std::uint64_t a = 0;       ///< store value / RMW operand / CAS desired
+  std::uint64_t b = 0;       ///< CAS expected
+  int rmw = 0;               ///< RmwOp as int
+  unsigned width = 8;        ///< payload width in bytes (masks RMW math)
+  const void* tag = nullptr; ///< park/notify channel
+};
+
+/// Thrown into fibers to unwind them when an execution ends early (failure
+/// elsewhere, or a sleep-set-redundant prefix). Caught at the fiber entry.
+struct AbortExecution {};
+
+class Scheduler {
+ public:
+  Scheduler();
+  ~Scheduler();
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  Result explore(const Options& opts, const std::function<void()>& body);
+
+  // model.h entry points (valid during explore()).
+  void spawn(std::function<void()> fn);
+  void add_final(std::function<void()> fn);
+  [[noreturn]] void fail_from_fiber(const std::string& msg);
+  void fail_from_host(const std::string& msg);
+
+  // Shim hooks (called on a fiber; see shim.cc).
+  std::uint64_t hook_load(const void* var, std::uint64_t latest,
+                          std::memory_order order);
+  void hook_store(const void* var, std::uint64_t latest, std::uint64_t value,
+                  std::memory_order order);
+  std::uint64_t hook_rmw(const void* var, std::uint64_t latest, int op,
+                         std::uint64_t operand, std::memory_order order,
+                         unsigned width);
+  bool hook_cas(const void* var, std::uint64_t latest, std::uint64_t expected,
+                std::uint64_t desired, std::memory_order order,
+                std::uint64_t* observed);
+  void hook_fence(std::memory_order order);
+  bool hook_park(const void* var, std::uint64_t latest, std::uint64_t value,
+                 std::memory_order order, const void* tag);
+  void hook_notify(const void* tag);
+  void hook_yield();
+  void hook_name(const void* var, const char* name);
+  void hook_plain(const void* addr, bool is_write);
+
+  /// The scheduler driving the calling OS thread right now, if any.
+  static Scheduler* current();
+  /// The fiber running on the calling OS thread right now, if any.
+  static bool on_fiber();
+
+ private:
+  struct Fiber {
+    int id = 0;
+    std::function<void()> fn;
+    ucontext_t ctx{};
+    std::vector<char> stack;
+    enum class St { kNotStarted, kRunnable, kParked, kDone } st = St::kNotStarted;
+    ThreadClocks tc;
+    OpDesc pending;
+    const void* park_tag = nullptr;
+    int timeout_budget = 0;
+    std::uint64_t op_result = 0;  ///< value handed back to the hook
+    bool op_flag = false;         ///< CAS success / park-was-notified
+  };
+
+  struct TraceStep {
+    int thread = 0;
+    OpDesc op;
+    std::uint64_t value = 0;  ///< load result / stored value
+    int store_idx = -1;       ///< which store a load read
+    bool flag = false;        ///< CAS success / park notified
+  };
+
+  /// One DFS decision. Schedule nodes choose a thread; value nodes choose
+  /// which visible store a load returns.
+  struct Node {
+    bool sched = true;
+    int chosen = -1;
+    std::vector<int> alts;  ///< untried alternatives, in exploration order
+    // Schedule nodes only:
+    std::vector<int> tried;        ///< fully explored threads (sleep sets)
+    std::map<int, OpDesc> pending; ///< enabled threads' ops at this state
+    std::set<int> sleep;           ///< sleep set on entry
+    std::set<int> child_sleep;     ///< sleep set handed to the next state
+    int preempts_before = 0;
+  };
+
+  void run_one(const std::function<void()>& body);
+  bool backtrack();
+  void step();
+  void commit(int c);
+  void resume(Fiber& f);
+  /// Fiber side: record `op` as pending and switch to the host until the
+  /// scheduler commits it. Throws AbortExecution when the execution is
+  /// being torn down.
+  void announce(Fiber& f, const OpDesc& op);
+  void abort_live_fibers();
+  void do_load(Fiber& f);
+  void do_store(Fiber& f);
+  void do_rmw(Fiber& f);
+  void do_cas(Fiber& f);
+  int choose_value(int lo, int hi);
+  int choose_thread(const std::vector<int>& enabled);
+  [[nodiscard]] OpDesc enabled_op(const Fiber& f) const;
+  [[nodiscard]] std::string render_trace() const;
+  void record(int thread, const OpDesc& op, std::uint64_t value, int idx,
+              bool flag);
+  static bool op_independent(const OpDesc& x, const OpDesc& y);
+  static void trampoline();
+  void run_current_fiber();
+
+  Options opts_;
+  Result result_;
+  MemoryModel mm_;
+  std::vector<Fiber> fibers_;
+  std::vector<std::function<void()>> finals_;
+  std::vector<Node> nodes_;
+  std::vector<TraceStep> trace_;
+  ucontext_t host_ctx_{};
+
+  std::size_t depth_ = 0;       ///< next node index while stepping
+  int prev_ = -1;               ///< thread that committed the last step
+  int preempts_ = 0;
+  int steps_ = 0;
+  std::set<int> running_sleep_; ///< sleep set of the current state
+  bool sleep_active_ = false;
+  bool redundant_ = false;      ///< sleep-set-blocked: end execution early
+  bool abort_ = false;
+  bool in_body_ = false;
+  bool in_finals_ = false;
+  std::string failure_msg_;
+};
+
+}  // namespace aces::check

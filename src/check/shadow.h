@@ -1,0 +1,73 @@
+// Shadow<T>: a plain-memory payload wrapper that reports every read and
+// write to the model's race detector (MemoryModel::plain_*). Instantiate
+// the structure under test with a Shadow payload — e.g.
+// SpscRing<Shadow<std::uint64_t>> — and any execution in which a slot read
+// races a slot write without a happens-before edge fails with the full
+// interleaving, exactly like TSan but exhaustive over the bounded space.
+//
+// Outside a running exploration (including all production builds) every
+// access is a plain access: Shadow<T> adds no code the optimizer keeps.
+// Accesses are NOT schedule points — plain memory has no visibility
+// choices; only the happens-before bookkeeping runs.
+#pragma once
+
+#include <utility>
+
+#include "common/atomic_shim.h"
+
+namespace aces::check {
+
+template <typename T>
+class Shadow {
+ public:
+  Shadow() = default;
+  Shadow(T v) : v_(std::move(v)) {}  // NOLINT(google-explicit-constructor): payload wrapper
+
+  Shadow(const Shadow& o) : v_(o.checked_get()) { on_write(); }
+  Shadow(Shadow&& o) noexcept : v_(std::move(o.checked_ref())) {
+    on_write();
+  }
+  Shadow& operator=(const Shadow& o) {
+    if (this != &o) {
+      T tmp = o.checked_get();
+      on_write();
+      v_ = std::move(tmp);
+    }
+    return *this;
+  }
+  Shadow& operator=(Shadow&& o) noexcept {
+    if (this != &o) {
+      T tmp = std::move(o.checked_ref());
+      on_write();
+      v_ = std::move(tmp);
+    }
+    return *this;
+  }
+  ~Shadow() = default;
+
+  [[nodiscard]] T value() const { return checked_get(); }
+
+ private:
+  [[nodiscard]] T checked_get() const {
+    on_read();
+    return v_;
+  }
+  [[nodiscard]] T& checked_ref() {
+    on_read();
+    return v_;
+  }
+  void on_read() const {
+#if defined(ACES_MODEL_CHECK)
+    shim_plain_read(this);
+#endif
+  }
+  void on_write() {
+#if defined(ACES_MODEL_CHECK)
+    shim_plain_write(this);
+#endif
+  }
+
+  T v_{};
+};
+
+}  // namespace aces::check

@@ -1,0 +1,100 @@
+// Bridges the atomic-shim hooks (common/atomic_shim.h) to the exploring
+// scheduler. Every hook is a no-op passthrough unless the calling OS
+// thread is inside check::explore(): the scheduler pointer and the
+// current-fiber id are thread_local, so the rest of a model-check build —
+// including the full multi-threaded test suite running in the same binary
+// — never pays more than one TLS read per atomic operation.
+#include "common/atomic_shim.h"
+
+#include "check/scheduler.h"
+
+namespace aces::check {
+
+#if defined(ACES_MODEL_CHECK)
+bool active() noexcept { return Scheduler::on_fiber(); }
+#endif
+
+std::uint64_t shim_load(const void* var, std::uint64_t latest,
+                        std::memory_order order) {
+  Scheduler* s = Scheduler::current();
+  if (s == nullptr || !Scheduler::on_fiber()) return latest;
+  return s->hook_load(var, latest, order);
+}
+
+void shim_store(const void* var, std::uint64_t latest, std::uint64_t value,
+                std::memory_order order) {
+  Scheduler* s = Scheduler::current();
+  if (s == nullptr || !Scheduler::on_fiber()) return;
+  s->hook_store(var, latest, value, order);
+}
+
+std::uint64_t shim_rmw(const void* var, std::uint64_t latest, RmwOp op,
+                       std::uint64_t operand, std::memory_order order,
+                       bool is_signed, unsigned width_bytes) {
+  (void)is_signed;  // two's-complement masking covers signed payloads
+  Scheduler* s = Scheduler::current();
+  if (s == nullptr || !Scheduler::on_fiber()) return latest;
+  return s->hook_rmw(var, latest, static_cast<int>(op), operand, order,
+                     width_bytes);
+}
+
+bool shim_cas(const void* var, std::uint64_t latest, std::uint64_t expected,
+              std::uint64_t desired, std::memory_order order,
+              std::uint64_t* observed) {
+  Scheduler* s = Scheduler::current();
+  if (s == nullptr || !Scheduler::on_fiber()) {
+    *observed = latest;
+    return latest == expected;
+  }
+  return s->hook_cas(var, latest, expected, desired, order, observed);
+}
+
+void shim_fence(std::memory_order order) {
+  Scheduler* s = Scheduler::current();
+  if (s == nullptr || !Scheduler::on_fiber()) return;
+  s->hook_fence(order);
+}
+
+bool shim_park_after_store(const void* var, std::uint64_t latest,
+                           std::uint64_t value, std::memory_order order,
+                           const void* tag) {
+  Scheduler* s = Scheduler::current();
+  if (s == nullptr || !Scheduler::on_fiber()) return false;
+  return s->hook_park(var, latest, value, order, tag);
+}
+
+void shim_notify(const void* tag) {
+  Scheduler* s = Scheduler::current();
+  if (s == nullptr || !Scheduler::on_fiber()) return;
+  s->hook_notify(tag);
+}
+
+void shim_yield() {
+  Scheduler* s = Scheduler::current();
+  if (s == nullptr || !Scheduler::on_fiber()) return;
+  s->hook_yield();
+}
+
+void shim_name(const void* var, const char* name) {
+  // Name registration is useful from the harness body (no fiber yet), so
+  // only the scheduler's presence gates it — but exclusively on the
+  // exploring OS thread: Scheduler::current() is thread_local, so rings
+  // built concurrently by ordinary tests never touch the model's maps.
+  Scheduler* s = Scheduler::current();
+  if (s == nullptr) return;
+  s->hook_name(var, name);
+}
+
+void shim_plain_read(const void* addr) {
+  Scheduler* s = Scheduler::current();
+  if (s == nullptr) return;
+  s->hook_plain(addr, /*is_write=*/false);
+}
+
+void shim_plain_write(const void* addr) {
+  Scheduler* s = Scheduler::current();
+  if (s == nullptr) return;
+  s->hook_plain(addr, /*is_write=*/true);
+}
+
+}  // namespace aces::check

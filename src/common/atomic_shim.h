@@ -1,0 +1,258 @@
+// Atomic shim: the single doorway between the repo's lock-free algorithms
+// and the memory system, so the bounded model checker (src/check/,
+// docs/model_checking.md) can interpose on every load/store/RMW/fence.
+//
+// Production builds (`-DACES_MODEL_CHECK=OFF`, the default): `aces::Atomic<T>`
+// is a zero-cost wrapper over `std::atomic<T>` — every method is a one-line
+// inline forward, `aces::check::active()` is a constexpr `false` so the model
+// branches are dead code, and the dual-build fingerprint diff in CI proves
+// the data plane's behaviour is bit-identical with and without the shim.
+//
+// Model-check builds (`-DACES_MODEL_CHECK=ON`): each operation first asks
+// `aces::check::active()` — a thread-local flag that is true only on a fiber
+// of a running `aces::check::explore()` — and, when active, routes through
+// the instrumented scheduler, which treats the operation as a schedule point
+// and simulates relaxed/acquire/release visibility with a store-buffer model
+// (a relaxed load may return any unsuperseded prior store). Outside an
+// exploration the ON build behaves exactly like the OFF build, so the full
+// test suite still runs in a model-check tree.
+//
+// The shim supports trivially-copyable payloads of at most 8 bytes (the
+// model's store history holds raw 64-bit words). That covers every atomic on
+// the data plane: counters, indices, flags, and the `double` gauges.
+//
+// Parking: `Atomic<T>::park_after_store()` publishes a value and parks the
+// calling model thread as ONE indivisible transition — the model's stand-in
+// for "store the waiter flag under the park mutex, then wait on the condvar
+// with that mutex held". `aces::check::notify(tag)` is the matching wakeup.
+// Production code never calls either (it uses the real mutex/condvar); the
+// model branch in e.g. SpscRing::park() is the only caller.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <type_traits>
+
+namespace aces::check {
+
+// Scheduler hooks, implemented in src/check/shim.cc. Declared in both build
+// modes so src/check/ itself compiles everywhere; only model-check builds
+// ever reference them (every call site below is inside an ACES_MODEL_CHECK
+// block), so production binaries need not link the checker. `var` keys the
+// model's per-variable store history; `latest` seeds it on first touch (the
+// value the production atomic held when the model first saw the variable).
+std::uint64_t shim_load(const void* var, std::uint64_t latest,
+                        std::memory_order order);
+void shim_store(const void* var, std::uint64_t latest, std::uint64_t value,
+                std::memory_order order);
+/// Generic RMW: reads the newest store (RMW semantics), applies `op` via the
+/// callback below, appends the result. Returns the value read.
+enum class RmwOp { kAdd, kSub, kExchange };
+std::uint64_t shim_rmw(const void* var, std::uint64_t latest, RmwOp op,
+                       std::uint64_t operand, std::memory_order order,
+                       bool is_signed, unsigned width_bytes);
+/// CAS: reads the newest store; stores `desired` iff it equals `expected`.
+/// Returns true on success; `*observed` receives the value read either way.
+bool shim_cas(const void* var, std::uint64_t latest, std::uint64_t expected,
+              std::uint64_t desired, std::memory_order order,
+              std::uint64_t* observed);
+void shim_fence(std::memory_order order);
+/// Store + park as one transition. Returns true when woken by notify(),
+/// false on a (budgeted) timeout wakeup.
+bool shim_park_after_store(const void* var, std::uint64_t latest,
+                           std::uint64_t value, std::memory_order order,
+                           const void* tag);
+void shim_notify(const void* tag);
+/// Pure schedule point (models cpu_relax / spin backoff).
+void shim_yield();
+/// Attaches a human-readable name to `var` for interleaving traces.
+void shim_name(const void* var, const char* name);
+/// Plain (non-atomic) memory access reports for race checking — the
+/// backing of check::Shadow<T> (src/check/shadow.h). No schedule point;
+/// a racy access fails the execution.
+void shim_plain_read(const void* addr);
+void shim_plain_write(const void* addr);
+
+#if defined(ACES_MODEL_CHECK)
+
+/// True iff the calling thread is a fiber of a running exploration.
+[[nodiscard]] bool active() noexcept;
+inline void notify(const void* tag) { shim_notify(tag); }
+inline void yield_point() {
+  if (active()) shim_yield();
+}
+
+#else  // !ACES_MODEL_CHECK
+
+constexpr bool active() noexcept { return false; }
+inline void notify(const void*) {}
+inline void yield_point() {}
+
+#endif  // ACES_MODEL_CHECK
+
+}  // namespace aces::check
+
+namespace aces {
+
+/// Drop-in for std::atomic_thread_fence, routed through the model when a
+/// checked exploration is running on this thread.
+inline void atomic_fence(std::memory_order order) {
+#if defined(ACES_MODEL_CHECK)
+  if (check::active()) {
+    check::shim_fence(order);
+    return;
+  }
+#endif
+  std::atomic_thread_fence(order);
+}
+
+/// Drop-in for std::atomic<T> (the subset the repo uses), interposable by
+/// the model checker. See the header comment for the two build modes.
+template <typename T>
+class Atomic {
+  static_assert(std::is_trivially_copyable_v<T> && sizeof(T) <= 8,
+                "the model's store history holds 64-bit words; shim payloads "
+                "must be trivially copyable and at most 8 bytes");
+
+ public:
+  constexpr Atomic() noexcept : value_(T{}) {}
+  constexpr Atomic(T v) noexcept : value_(v) {}  // NOLINT(google-explicit-constructor): mirrors std::atomic
+  Atomic(const Atomic&) = delete;
+  Atomic& operator=(const Atomic&) = delete;
+
+  T load(std::memory_order order = std::memory_order_seq_cst) const {
+#if defined(ACES_MODEL_CHECK)
+    if (check::active()) {
+      return from_bits(check::shim_load(this, latest_bits(), order));
+    }
+#endif
+    return value_.load(order);
+  }
+
+  void store(T v, std::memory_order order = std::memory_order_seq_cst) {
+#if defined(ACES_MODEL_CHECK)
+    if (check::active()) {
+      check::shim_store(this, latest_bits(), to_bits(v), order);
+      value_.store(v, std::memory_order_relaxed);  // keep the seed in sync
+      return;
+    }
+#endif
+    value_.store(v, order);
+  }
+
+  T exchange(T v, std::memory_order order = std::memory_order_seq_cst) {
+#if defined(ACES_MODEL_CHECK)
+    if (check::active()) {
+      const std::uint64_t old = check::shim_rmw(
+          this, latest_bits(), check::RmwOp::kExchange, to_bits(v), order,
+          /*is_signed=*/false, sizeof(T));
+      value_.store(v, std::memory_order_relaxed);
+      return from_bits(old);
+    }
+#endif
+    return value_.exchange(v, order);
+  }
+
+  bool compare_exchange_strong(
+      T& expected, T desired,
+      std::memory_order order = std::memory_order_seq_cst) {
+#if defined(ACES_MODEL_CHECK)
+    if (check::active()) {
+      std::uint64_t observed = 0;
+      const bool ok =
+          check::shim_cas(this, latest_bits(), to_bits(expected),
+                          to_bits(desired), order, &observed);
+      if (ok) {
+        value_.store(desired, std::memory_order_relaxed);
+      } else {
+        expected = from_bits(observed);
+      }
+      return ok;
+    }
+#endif
+    return value_.compare_exchange_strong(expected, desired, order);
+  }
+
+  template <typename U = T,
+            typename = std::enable_if_t<std::is_integral_v<U>>>
+  T fetch_add(T delta, std::memory_order order = std::memory_order_seq_cst) {
+#if defined(ACES_MODEL_CHECK)
+    if (check::active()) {
+      const std::uint64_t old = check::shim_rmw(
+          this, latest_bits(), check::RmwOp::kAdd, to_bits(delta), order,
+          std::is_signed_v<T>, sizeof(T));
+      const T oldv = from_bits(old);
+      value_.store(static_cast<T>(oldv + delta), std::memory_order_relaxed);
+      return oldv;
+    }
+#endif
+    return value_.fetch_add(delta, order);
+  }
+
+  template <typename U = T,
+            typename = std::enable_if_t<std::is_integral_v<U>>>
+  T fetch_sub(T delta, std::memory_order order = std::memory_order_seq_cst) {
+#if defined(ACES_MODEL_CHECK)
+    if (check::active()) {
+      const std::uint64_t old = check::shim_rmw(
+          this, latest_bits(), check::RmwOp::kSub, to_bits(delta), order,
+          std::is_signed_v<T>, sizeof(T));
+      const T oldv = from_bits(old);
+      value_.store(static_cast<T>(oldv - delta), std::memory_order_relaxed);
+      return oldv;
+    }
+#endif
+    return value_.fetch_sub(delta, order);
+  }
+
+  /// Model-only combined transition: store(v, order) and park the calling
+  /// fiber on `tag` indivisibly (see the header comment). Returns true when
+  /// woken by notify, false on a budgeted timeout. Production code must
+  /// branch on check::active() and never reach this; outside a model run it
+  /// degrades to a plain store (no parking — there is no scheduler to wake
+  /// us) and returns false so callers fall through to their timeout path.
+  bool park_after_store(T v, std::memory_order order, const void* tag) {
+#if defined(ACES_MODEL_CHECK)
+    if (check::active()) {
+      const bool notified = check::shim_park_after_store(
+          this, latest_bits(), to_bits(v), order, tag);
+      value_.store(v, std::memory_order_relaxed);
+      return notified;
+    }
+#endif
+    store(v, order);
+    (void)tag;
+    return false;
+  }
+
+  /// Names this variable in model interleaving traces; no-op in production.
+  void set_check_name(const char* name) {
+#if defined(ACES_MODEL_CHECK)
+    check::shim_name(this, name);
+#else
+    (void)name;
+#endif
+  }
+
+ private:
+  static std::uint64_t to_bits(T v) {
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &v, sizeof(T));
+    return bits;
+  }
+  static T from_bits(std::uint64_t bits) {
+    T v;
+    std::memcpy(&v, &bits, sizeof(T));
+    return v;
+  }
+#if defined(ACES_MODEL_CHECK)
+  std::uint64_t latest_bits() const {
+    return to_bits(value_.load(std::memory_order_relaxed));
+  }
+#endif
+
+  std::atomic<T> value_;
+};
+
+}  // namespace aces

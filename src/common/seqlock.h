@@ -1,0 +1,84 @@
+// Single-writer seqlock slot over an N-word payload — the Boehm protocol
+// ("Can seqlocks get along with programming language memory models?",
+// MSPC 2012), extracted from the FlightRecorder (obs/spans.*) so the model
+// checker can verify the protocol on a 2-word instance and the recorder can
+// reuse the proven slot verbatim.
+//
+//   writer: seq.store(2T+1, relaxed)        // mark write-in-progress
+//           atomic_fence(release)           // odd seq visible before any
+//                                           // payload word
+//           words[i].store(.., relaxed)     // payload, atomic words
+//           seq.store(2T+2, release)        // publish: payload before the
+//                                           // even seq
+//
+//   reader: s1 = seq.load(acquire)          // even ⇒ payload of s1/2-1
+//           w[i] = words[i].load(relaxed)
+//           atomic_fence(acquire)           // any torn word forces the
+//                                           // re-read below to see the
+//                                           // writer's odd seq
+//           s2 = seq.load(relaxed); accept iff s1 == s2 and s1 even
+//
+// Invariant: a reader that accepts a copy observed every payload word from
+// the single write numbered s1/2 - 1; the release fence after the odd store
+// means any payload word from a newer write drags the newer (odd or later)
+// sequence into the re-read, failing the check. Dropping that fence is the
+// planted bug src/check/buggy.h keeps for the checker's self-test — the
+// explorer reaches a torn accepted copy in a handful of executions.
+//
+// Contract: publish() calls must be externally serialized (single writer);
+// try_read() is safe from any thread at any time without a lock. The
+// payload is stored as relaxed-atomic 64-bit words, never as a raw struct,
+// so a reader racing a writer reads *atomic* data (no C++ data race / UB)
+// and the sequence check discards torn copies.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+#include "common/atomic_shim.h"
+
+namespace aces {
+
+template <std::size_t NWords>
+class SeqLockSlot {
+  static_assert(NWords > 0);
+
+ public:
+  /// Publishes the `ticket`-th payload (tickets count from 0; the slot
+  /// encodes them as sequence 2*ticket+2 so 0 stays "never written").
+  void publish(std::uint64_t ticket, const std::uint64_t* words) {
+    seq_.store(2 * ticket + 1, std::memory_order_relaxed);
+    atomic_fence(std::memory_order_release);
+    for (std::size_t i = 0; i < NWords; ++i) {
+      words_[i].store(words[i], std::memory_order_relaxed);
+    }
+    seq_.store(2 * ticket + 2, std::memory_order_release);
+  }
+
+  /// Copies an intact payload into `out` and returns true; returns false
+  /// when the slot was never written, is mid-write, or the copy raced a
+  /// writer (torn copies are discarded, never returned).
+  [[nodiscard]] bool try_read(std::uint64_t* out) const {
+    const std::uint64_t s1 = seq_.load(std::memory_order_acquire);
+    if (s1 % 2 != 0 || s1 == 0) return false;
+    for (std::size_t i = 0; i < NWords; ++i) {
+      out[i] = words_[i].load(std::memory_order_relaxed);
+    }
+    atomic_fence(std::memory_order_acquire);
+    return seq_.load(std::memory_order_relaxed) == s1;
+  }
+
+  /// Names the slot's variables in model-checker traces; production no-op.
+  void set_check_name(const char* name) {
+    seq_.set_check_name(name);
+    (void)name;
+  }
+
+ private:
+  Atomic<std::uint64_t> seq_{0};
+  std::array<Atomic<std::uint64_t>, NWords> words_{};
+};
+
+}  // namespace aces

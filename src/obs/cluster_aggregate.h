@@ -33,7 +33,6 @@
 // why the wire carries them as deltas.
 #pragma once
 
-#include <atomic>
 #include <cstdint>
 #include <iosfwd>
 #include <map>
@@ -42,6 +41,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/atomic_shim.h"
 #include "common/histogram.h"
 #include "common/mutex.h"
 #include "common/stats.h"
@@ -241,7 +241,7 @@ class StatusServer {
   int fd_ = -1;
   std::uint16_t port_ = 0;
   std::string error_;
-  std::atomic<bool> stopping_{false};
+  Atomic<bool> stopping_{false};
   std::thread thread_;
 };
 

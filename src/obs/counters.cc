@@ -26,7 +26,7 @@ Counter CounterRegistry::counter(const std::string& name) {
 Gauge CounterRegistry::gauge(const std::string& name) {
   MutexLock lock(mutex_);
   auto& cell = gauges_[name];
-  if (cell == nullptr) cell = std::make_unique<std::atomic<double>>(0.0);
+  if (cell == nullptr) cell = std::make_unique<Atomic<double>>(0.0);
   return Gauge(cell.get());
 }
 

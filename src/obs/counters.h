@@ -20,7 +20,6 @@
 // valid for the registry's lifetime.
 #pragma once
 
-#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -28,6 +27,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/atomic_shim.h"
 #include "common/mutex.h"
 #include "common/thread_annotations.h"
 
@@ -37,13 +37,13 @@ class CounterRegistry;
 
 /// One cache line per cell so sharded writers never false-share.
 struct alignas(64) CounterCell {
-  std::atomic<std::uint64_t> value{0};
+  Atomic<std::uint64_t> value{0};
 };
 
 namespace detail {
 /// Small dense id for the calling thread, assigned on first use.
 inline std::size_t this_thread_shard() {
-  static std::atomic<std::size_t> next{0};
+  static Atomic<std::size_t> next{0};
   thread_local const std::size_t shard =
       next.fetch_add(1, std::memory_order_relaxed);
   return shard;
@@ -105,8 +105,8 @@ class Gauge {
 
  private:
   friend class CounterRegistry;
-  explicit Gauge(std::atomic<double>* cell) : cell_(cell) {}
-  std::atomic<double>* cell_ = nullptr;
+  explicit Gauge(Atomic<double>* cell) : cell_(cell) {}
+  Atomic<double>* cell_ = nullptr;
 };
 
 /// Point-in-time copy of every registered cell, sorted by name. Counter
@@ -144,7 +144,7 @@ class CounterRegistry {
   // published through them, so no acquire/release edge is needed).
   std::map<std::string, std::unique_ptr<CounterCell[]>> counters_
       ACES_GUARDED_BY(mutex_);
-  std::map<std::string, std::unique_ptr<std::atomic<double>>> gauges_
+  std::map<std::string, std::unique_ptr<Atomic<double>>> gauges_
       ACES_GUARDED_BY(mutex_);
 };
 

@@ -7,6 +7,7 @@
 #endif
 
 #ifdef ACES_PERF_INSTRUMENT
+#include <atomic>
 #include <cstdlib>
 #include <new>
 #endif
@@ -67,7 +68,11 @@ namespace perf_detail {
 namespace {
 // Operator-new hit counter. Plain malloc backing: the override must not
 // itself allocate, and must compose with sanitizer interceptors being OFF
-// in instrumented builds (CI never combines the two).
+// in instrumented builds (CI never combines the two). Deliberately NOT
+// aces::Atomic: the shim would make every allocation a model schedule
+// point — including the checker's own allocations — and CI keeps
+// ACES_PERF_INSTRUMENT and ACES_MODEL_CHECK disjoint anyway.
+// aces-lint: allow(raw-atomic) operator-new counter must never become a model schedule point
 std::atomic<std::uint64_t> g_alloc_count{0};
 }  // namespace
 

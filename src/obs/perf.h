@@ -40,8 +40,9 @@
 #include <vector>
 
 #ifdef ACES_PERF_INSTRUMENT
-#include <atomic>
 #include <chrono>
+
+#include "common/atomic_shim.h"
 #if defined(__x86_64__) || defined(_M_X64)
 #include <x86intrin.h>
 #endif
@@ -135,7 +136,7 @@ namespace perf_detail {
 /// Dense per-thread id, same construction as counters.h but a separate
 /// counter so perf shard density does not depend on counter usage.
 inline std::size_t this_thread_shard() {
-  static std::atomic<std::size_t> next{0};
+  static aces::Atomic<std::size_t> next{0};
   thread_local const std::size_t shard =
       next.fetch_add(1, std::memory_order_relaxed);
   return shard;
@@ -153,13 +154,13 @@ constexpr std::size_t kShards = 16;  // power of two; cap on writer spread
 constexpr std::size_t kShardMask = kShards - 1;
 
 struct alignas(64) StageCell {
-  std::atomic<std::uint64_t> calls{0};
-  std::atomic<std::uint64_t> ns{0};
-  std::atomic<std::uint64_t> cycles{0};
+  aces::Atomic<std::uint64_t> calls{0};
+  aces::Atomic<std::uint64_t> ns{0};
+  aces::Atomic<std::uint64_t> cycles{0};
 };
 
 struct alignas(64) EventCell {
-  std::atomic<std::uint64_t> count{0};
+  aces::Atomic<std::uint64_t> count{0};
 };
 
 /// Fixed-slot registry: [stage-or-event][shard] cell matrix, zero setup.

@@ -51,44 +51,21 @@ void FlightRecorder::push(const SdoSpan& span) {
   Slot& slot = slots_[ticket % slots_.size()];
   std::uint64_t words[kSpanWords];
   std::memcpy(words, &span, sizeof(SdoSpan));
-  // Seqlock write (ordering rationale on Slot::seq): the odd store must be
-  // visible before any payload word, so a reader that observes a fresh
-  // word re-reads an odd (or newer) sequence and discards its copy. The
-  // release *fence* — not a release store — provides that edge, because a
-  // release store would only order what comes BEFORE it.
-  slot.seq.store(2 * ticket + 1, std::memory_order_relaxed);
-  std::atomic_thread_fence(std::memory_order_release);
-  for (std::size_t i = 0; i < kSpanWords; ++i) {
-    slot.words[i].store(words[i], std::memory_order_relaxed);
-  }
-  // Release store: every payload word above happens-before a reader's
-  // acquire load that returns this even value.
-  slot.seq.store(2 * ticket + 2, std::memory_order_release);
+  slot.publish(ticket, words);
 }
 
 std::vector<SdoSpan> FlightRecorder::snapshot() const {
-  // Seqlock read: a slot whose sequence is odd or changed across the copy
-  // was being written and is skipped. The payload copy is word-wise
-  // relaxed-atomic, so racing a writer is well-defined (no torn *words*,
-  // and torn *spans* are discarded by the sequence check).
+  // A slot whose sequence is odd or changed across the copy was being
+  // written and is skipped; the full tear-freedom argument lives on
+  // SeqLockSlot (common/seqlock.h).
   const std::uint64_t head = head_.load(std::memory_order_acquire);
   const std::uint64_t cap = slots_.size();
   const std::uint64_t first = head > cap ? head - cap : 0;
   std::vector<SdoSpan> out;
   out.reserve(static_cast<std::size_t>(head - first));
   for (std::uint64_t ticket = first; ticket < head; ++ticket) {
-    const Slot& slot = slots_[ticket % cap];
-    const std::uint64_t s1 = slot.seq.load(std::memory_order_acquire);
-    if (s1 % 2 != 0 || s1 == 0) continue;
     std::uint64_t words[kSpanWords];
-    for (std::size_t i = 0; i < kSpanWords; ++i) {
-      words[i] = slot.words[i].load(std::memory_order_relaxed);
-    }
-    // Acquire fence before the re-read: if any word above came from a
-    // newer write, the writer's release fence forces that newer (odd)
-    // sequence to be visible here, failing the s1 == s2 check.
-    std::atomic_thread_fence(std::memory_order_acquire);
-    if (slot.seq.load(std::memory_order_relaxed) != s1) continue;
+    if (!slots_[ticket % cap].try_read(words)) continue;
     SdoSpan copy;
     std::memcpy(&copy, words, sizeof(SdoSpan));
     out.push_back(copy);

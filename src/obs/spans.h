@@ -25,14 +25,14 @@
 // is far off the hot path, and -Wthread-safety proves the discipline.
 #pragma once
 
-#include <array>
-#include <atomic>
 #include <cstdint>
 #include <string>
 #include <type_traits>
 #include <vector>
 
+#include "common/atomic_shim.h"
 #include "common/mutex.h"
+#include "common/seqlock.h"
 #include "common/thread_annotations.h"
 #include "common/types.h"
 #include "obs/latency.h"
@@ -126,34 +126,14 @@ class FlightRecorder {
                 "SdoSpan must be a whole number of 64-bit words for the "
                 "seqlock's word-wise atomic copy");
 
-  struct Slot {
-    // Seqlock protocol (Boehm, "Can seqlocks get along with programming
-    // language memory models?"):
-    //
-    //   writer: seq.store(2T+1, relaxed)        // mark write-in-progress
-    //           atomic_thread_fence(release)    // odd seq visible before
-    //                                           // any payload word
-    //           words[i].store(.., relaxed)     // payload, atomic words
-    //           seq.store(2T+2, release)        // publish: payload before
-    //                                           // the even seq
-    //
-    //   reader: s1 = seq.load(acquire)          // even ⇒ payload of s1/2-1
-    //           w[i] = words[i].load(relaxed)
-    //           atomic_thread_fence(acquire)    // any torn word forces the
-    //                                           // re-read below to see the
-    //                                           // writer's odd seq
-    //           s2 = seq.load(relaxed); accept iff s1 == s2 and s1 even
-    //
-    // Invariant: a reader that accepts a copy observed every payload word
-    // from the single write numbered s1/2 - 1; the release fence after the
-    // odd store means any payload word from a newer write drags the newer
-    // (odd or later) seq into the re-read, failing the check.
-    std::atomic<std::uint64_t> seq{0};
-    std::array<std::atomic<std::uint64_t>, kSpanWords> words{};
-  };
+  // The Boehm seqlock protocol lives in common/seqlock.h (where the
+  // ordering argument is documented and the bounded model checker verifies
+  // it on a 2-word instance — tests/check/seqlock_mc_test.cc); the
+  // recorder just stamps tickets and copies spans word-wise.
+  using Slot = SeqLockSlot<kSpanWords>;
 
   std::vector<Slot> slots_;
-  std::atomic<std::uint64_t> head_{0};
+  Atomic<std::uint64_t> head_{0};
 };
 
 /// One automatic dump taken when a fault.* event fired: the recorder's

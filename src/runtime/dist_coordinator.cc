@@ -6,7 +6,6 @@
 #include <unistd.h>
 
 #include <algorithm>
-#include <atomic>
 #include <chrono>
 #include <cmath>
 #include <cstdlib>
@@ -18,6 +17,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/atomic_shim.h"
 #include "common/check.h"
 #include "fault/fault_spec.h"
 #include "graph/serialization.h"
@@ -287,7 +287,7 @@ class Coordinator {
         const char* tmp = std::getenv("TMPDIR");
         dir = tmp != nullptr && tmp[0] != '\0' ? tmp : "/tmp";
       }
-      static std::atomic<std::uint64_t> seq{0};
+      static Atomic<std::uint64_t> seq{0};
       const std::string path =
           dir + "/aces-dist-" + std::to_string(::getpid()) + "-" +
           std::to_string(seq.fetch_add(1)) + ".sock";

@@ -22,7 +22,6 @@
 #include <unistd.h>
 
 #include <algorithm>
-#include <atomic>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
@@ -38,6 +37,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/atomic_shim.h"
 #include "common/check.h"
 #include "common/rng.h"
 #include "control/node_controller.h"
@@ -206,7 +206,7 @@ class WorkerEngine {
   }
 
   int run() {
-    std::atomic<bool> stop{false};
+    Atomic<bool> stop{false};
     std::thread heartbeat([this, &stop] {
       while (!stop.load(std::memory_order_relaxed)) {
         std::this_thread::sleep_for(std::chrono::duration<double>(
@@ -1036,7 +1036,7 @@ class WorkerEngine {
   std::vector<std::uint32_t> crashed_this_quantum_;
   std::vector<std::uint32_t> restored_this_quantum_;
   std::uint64_t events_executed_ = 0;
-  std::atomic<std::uint64_t> current_quantum_{0};
+  Atomic<std::uint64_t> current_quantum_{0};
 
   // ---- telemetry (tentpole: the distributed observability plane) -----
   obs::CounterRegistry counters_;

@@ -1,7 +1,6 @@
 #include "runtime/runtime_engine.h"
 
 #include <algorithm>
-#include <atomic>
 #include <chrono>
 #include <cmath>
 #include <limits>
@@ -10,6 +9,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/atomic_shim.h"
 #include "common/bounded_queue.h"
 #include "common/check.h"
 #include "common/mutex.h"
@@ -97,13 +97,13 @@ struct PeRt {
   SdoChannel<Sdo> input;
   /// Total accepted pushes; the node thread diffs this per tick to report
   /// arrivals to the controller.
-  std::atomic<std::uint64_t> pushed{0};
+  Atomic<std::uint64_t> pushed{0};
   /// This PE's latest advertised r_max (its input, SDO/s). Written by its
   /// node's tick; read by upstream nodes — the control-plane mailbox.
-  std::atomic<double> advert{kInf};
+  Atomic<double> advert{kInf};
   /// Virtual time the mailbox was last refreshed (run start counts as
   /// fresh); drives the advertisement-staleness degradation rule.
-  std::atomic<Seconds> advert_time{0.0};
+  Atomic<Seconds> advert_time{0.0};
 
   workload::ServiceModel service;
   std::size_t egress_index = static_cast<std::size_t>(-1);
@@ -136,7 +136,7 @@ struct PeRt {
   // Lifetime accounting. `dropped` is touched by node, bus, and source
   // threads; the rest belong to the hosting node thread and are read only
   // after the worker threads join.
-  std::atomic<std::uint64_t> dropped{0};
+  Atomic<std::uint64_t> dropped{0};
   std::uint64_t lifetime_processed = 0;
   std::uint64_t lifetime_emitted = 0;
   double lifetime_cpu = 0.0;
@@ -802,7 +802,7 @@ class Engine {
   std::vector<Source> sources_;
   double total_capacity_ = 0.0;
   std::chrono::steady_clock::time_point start_;
-  std::atomic<bool> stop_{false};
+  Atomic<bool> stop_{false};
   std::unique_ptr<MessageBus> bus_;
   // Data-plane counters (disabled handles unless options.counters is set).
   obs::Counter channel_send_;

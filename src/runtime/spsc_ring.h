@@ -23,15 +23,21 @@
 //    capacity-20 ring drops exactly like a capacity-20 channel even though
 //    it owns 32 slots.
 //
-// Memory-ordering argument (the full version is docs/performance.md):
+// Memory-ordering argument (the full version is docs/performance.md; the
+// bounded model checker exhausts it mechanically — docs/model_checking.md):
 // the producer writes slots_[tail & mask] and then store-releases tail_;
 // the consumer load-acquires tail_ before reading the slot, so the slot
 // write happens-before the slot read. Symmetrically the consumer
 // store-releases head_ after moving out of a slot and the producer
-// load-acquires head_ before overwriting it. Everything else is
-// single-threaded by the SPSC contract: tail_ has one writer (producer),
-// head_ has one writer (consumer), and the cached indices are plain
-// members touched only by their owning side.
+// load-acquires head_ before overwriting it. The consumer's reads of
+// closed_ are load-ACQUIRE: observing closed == true must also make every
+// item pushed before the close visible, or "closed and drained" could be
+// concluded with backlog still in flight and an SDO lost at shutdown (the
+// checker's close-with-backlog harness reaches exactly that trace when
+// these loads are demoted to relaxed — see check::MiniDrainRing).
+// Everything else is single-threaded by the SPSC contract: tail_ has one
+// writer (producer), head_ has one writer (consumer), and the cached
+// indices are plain members touched only by their owning side.
 //
 // Blocking (push_wait / pop_wait) is a *slow path*: after a short bounded
 // spin the waiter parks on a condvar behind aces::Mutex. Wakeups are an
@@ -56,6 +62,7 @@
 #include <optional>
 #include <vector>
 
+#include "common/atomic_shim.h"
 #include "common/check.h"
 #include "common/mutex.h"
 #include "common/thread_annotations.h"
@@ -70,6 +77,11 @@ class SpscRing {
       : capacity_(capacity), mask_(slot_count(capacity) - 1) {
     ACES_CHECK_MSG(capacity > 0, "ring capacity must be positive");
     slots_.resize(mask_ + 1);
+    tail_.set_check_name("ring.tail_");
+    head_.set_check_name("ring.head_");
+    closed_.set_check_name("ring.closed_");
+    consumer_parked_.set_check_name("ring.consumer_parked_");
+    producer_parked_.set_check_name("ring.producer_parked_");
   }
 
   SpscRing(const SpscRing&) = delete;
@@ -118,7 +130,13 @@ class SpscRing {
   /// or close. Spins briefly, then parks in bounded slices.
   bool push_wait(T value, std::chrono::nanoseconds timeout)
       ACES_EXCLUDES(park_mutex_) {
-    for (int spin = 0; spin < kSpinBound; ++spin) {
+    // Under the model checker the spin phase is one attempt: each retry is
+    // several schedule points, and 128 identical failing probes explode the
+    // interleaving space without adding behaviours (the park path covers
+    // the waiting semantics). check::active() is constexpr false in
+    // production builds, so this folds to kSpinBound.
+    const int spin_bound = check::active() ? 1 : kSpinBound;
+    for (int spin = 0; spin < spin_bound; ++spin) {
       if (try_push(std::move(value))) return true;
       if (closed_.load(std::memory_order_relaxed)) return false;
       cpu_relax();
@@ -172,15 +190,21 @@ class SpscRing {
   /// timeout, or when the ring is closed and drained.
   std::optional<T> pop_wait(std::chrono::nanoseconds timeout)
       ACES_EXCLUDES(park_mutex_) {
-    for (int spin = 0; spin < kSpinBound; ++spin) {
+    // The closed_ loads are ACQUIRE: concluding "closed and drained" is
+    // only sound if every push sequenced before the close is visible to
+    // the final try_pop (see the header comment). Acquire is free on x86;
+    // the model checker's close-with-backlog harness is the regression
+    // gate for anyone tempted to demote it.
+    const int spin_bound = check::active() ? 1 : kSpinBound;
+    for (int spin = 0; spin < spin_bound; ++spin) {
       if (auto out = try_pop()) return out;
-      if (closed_.load(std::memory_order_relaxed)) return try_pop();
+      if (closed_.load(std::memory_order_acquire)) return try_pop();
       cpu_relax();
     }
     const auto deadline = std::chrono::steady_clock::now() + timeout;
     while (true) {
       if (auto out = try_pop()) return out;
-      if (closed_.load(std::memory_order_relaxed)) return try_pop();
+      if (closed_.load(std::memory_order_acquire)) return try_pop();
       if (std::chrono::steady_clock::now() >= deadline) return std::nullopt;
       park(/*producer=*/false, deadline);
     }
@@ -190,6 +214,13 @@ class SpscRing {
   /// Callable from any thread.
   void close() ACES_EXCLUDES(park_mutex_) {
     closed_.store(true, std::memory_order_seq_cst);
+#if defined(ACES_MODEL_CHECK)
+    if (check::active()) {
+      check::notify(&not_empty_);
+      check::notify(&not_full_);
+      return;
+    }
+#endif
     MutexLock lock(park_mutex_);
     not_empty_.notify_all();
     not_full_.notify_all();
@@ -237,13 +268,24 @@ class SpscRing {
   /// missed notify cost at most kParkSliceNs, never a hang.
   void park(bool producer, std::chrono::steady_clock::time_point deadline)
       ACES_EXCLUDES(park_mutex_) {
-    std::atomic<int>& flag = producer ? producer_parked_ : consumer_parked_;
+    Atomic<int>& flag = producer ? producer_parked_ : consumer_parked_;
     std::condition_variable_any& cv = producer ? not_full_ : not_empty_;
     if (producer) {
       ACES_PERF_COUNT(PerfEvent::kRingFullPark);
     } else {
       ACES_PERF_COUNT(PerfEvent::kRingEmptyPark);
     }
+#if defined(ACES_MODEL_CHECK)
+    if (check::active()) {
+      // Model: flag publish + park are ONE transition, mirroring the
+      // atomicity the park mutex provides below (a notify can never slip
+      // between the flag store and the wait). A timeout wakeup stands in
+      // for one elapsed kParkSliceNs slice.
+      flag.park_after_store(1, std::memory_order_seq_cst, &cv);
+      flag.store(0, std::memory_order_relaxed);
+      return;
+    }
+#endif
     MutexLock lock(park_mutex_);
     flag.store(1, std::memory_order_seq_cst);
     const auto slice = std::chrono::steady_clock::now() + kParkSliceNs;
@@ -253,12 +295,24 @@ class SpscRing {
 
   void wake_consumer() ACES_EXCLUDES(park_mutex_) {
     if (consumer_parked_.load(std::memory_order_relaxed) != 0) {
+#if defined(ACES_MODEL_CHECK)
+      if (check::active()) {
+        check::notify(&not_empty_);
+        return;
+      }
+#endif
       MutexLock lock(park_mutex_);
       not_empty_.notify_all();
     }
   }
   void wake_producer() ACES_EXCLUDES(park_mutex_) {
     if (producer_parked_.load(std::memory_order_relaxed) != 0) {
+#if defined(ACES_MODEL_CHECK)
+      if (check::active()) {
+        check::notify(&not_full_);
+        return;
+      }
+#endif
       MutexLock lock(park_mutex_);
       not_full_.notify_all();
     }
@@ -269,17 +323,17 @@ class SpscRing {
   std::vector<T> slots_;        ///< one up-front allocation, never resized
 
   /// Producer cache line: the index it owns plus its cache of head_.
-  alignas(64) std::atomic<std::uint64_t> tail_{0};
+  alignas(64) Atomic<std::uint64_t> tail_{0};
   std::uint64_t cached_head_ = 0;  // producer-thread-only
 
   /// Consumer cache line.
-  alignas(64) std::atomic<std::uint64_t> head_{0};
+  alignas(64) Atomic<std::uint64_t> head_{0};
   std::uint64_t cached_tail_ = 0;  // consumer-thread-only
 
   /// Slow-path parking lot; untouched by the lock-free fast path.
-  alignas(64) std::atomic<bool> closed_{false};
-  std::atomic<int> consumer_parked_{0};
-  std::atomic<int> producer_parked_{0};
+  alignas(64) Atomic<bool> closed_{false};
+  Atomic<int> consumer_parked_{0};
+  Atomic<int> producer_parked_{0};
   Mutex park_mutex_;
   std::condition_variable_any not_empty_;
   std::condition_variable_any not_full_;

@@ -1,0 +1,83 @@
+// Model-checked tear-freedom for the extracted seqlock slot
+// (common/seqlock.h) — the protocol under the FlightRecorder's crash
+// forensics ring (obs/spans.h). The harnesses run the slot the way the
+// recorder does: a single writer republishing the same slot (ring
+// wrap-around) against an any-time reader. The dropped-fence twin that the
+// checker must CATCH lives in tests/check/explorer_test.cc
+// (PlantedBugs.BuggySeqLockSlotAcceptsTornCopy); these tests pin the
+// correct protocol as a permanent pass.
+//
+// The full FlightRecorder is deliberately not modeled: an SdoSpan is tens
+// of words, which multiplies transitions without adding protocol behaviour
+// — the 2-word slot IS the protocol (docs/model_checking.md, "choosing a
+// harness size").
+#include "common/seqlock.h"
+
+#include <cstdint>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "check/model.h"
+
+namespace aces {
+namespace {
+
+check::Options exhaustive() {
+  check::Options opts;
+  opts.preemption_bound = -1;
+  return opts;
+}
+
+/// A reader racing one republish never accepts a torn copy, and anything
+/// it does accept is a value some single publish actually wrote.
+TEST(SeqLockMc, ReaderNeverAcceptsTornCopy) {
+  const check::Result r = check::explore(exhaustive(), [] {
+    auto slot = std::make_shared<SeqLockSlot<2>>();
+    slot->set_check_name("slot.seq_");
+    // Ticket 0 from the body: the reader has an intact generation to
+    // accept while the writer fiber overwrites the slot (wrap-around).
+    const std::uint64_t first[2] = {1, 1};
+    slot->publish(0, first);
+    check::spawn([slot] {
+      const std::uint64_t second[2] = {2, 2};
+      slot->publish(1, second);
+    });
+    check::spawn([slot] {
+      std::uint64_t out[2] = {0, 0};
+      if (slot->try_read(out)) {
+        ACES_MC_CHECK(out[0] == out[1], "torn copy accepted");
+        ACES_MC_CHECK(out[0] == 1 || out[0] == 2,
+                      "accepted value no publish ever wrote");
+      }
+    });
+  });
+  EXPECT_TRUE(r.ok) << r.failure << "\n" << r.trace;
+  EXPECT_FALSE(r.hit_execution_cap);
+}
+
+/// A never-written slot never yields a read, from any interleaving of a
+/// late-starting writer.
+TEST(SeqLockMc, UnwrittenSlotIsNeverReadable) {
+  const check::Result r = check::explore(exhaustive(), [] {
+    auto slot = std::make_shared<SeqLockSlot<2>>();
+    check::spawn([slot] {
+      std::uint64_t out[2] = {0, 0};
+      const bool ok = slot->try_read(out);
+      // The only publish is below; if the reader ran first, the slot must
+      // report unreadable rather than hand back zeros as a "payload".
+      if (ok) {
+        ACES_MC_CHECK(out[0] == 5 && out[1] == 6,
+                      "accepted a copy that was never published intact");
+      }
+    });
+    check::spawn([slot] {
+      const std::uint64_t words[2] = {5, 6};
+      slot->publish(0, words);
+    });
+  });
+  EXPECT_TRUE(r.ok) << r.failure << "\n" << r.trace;
+}
+
+}  // namespace
+}  // namespace aces

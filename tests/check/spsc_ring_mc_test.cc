@@ -1,0 +1,214 @@
+// Model-checked harnesses for runtime::SpscRing — the checker-side half of
+// the ring's verification story (the other half is the two-thread torture
+// oracle in tests/runtime/spsc_ring_test.cc, which runs real threads under
+// TSan). Each harness is 2 threads and a handful of operations, small
+// enough for the explorer to exhaust its bounded interleaving space in
+// seconds; docs/model_checking.md records the bounds.
+//
+// The payload is check::Shadow<u64>, so every slot copy is reported to the
+// race detector: a publish-ordering bug fails as a concrete data race with
+// the interleaving attached (the planted-bug twin BuggyPublishRing in
+// tests/check/explorer_test.cc proves the detector sees exactly that).
+#include "runtime/spsc_ring.h"
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "check/model.h"
+#include "check/shadow.h"
+
+namespace aces::runtime {
+namespace {
+
+using Payload = check::Shadow<std::uint64_t>;
+using Ring = SpscRing<Payload>;
+
+/// Far beyond any model run: pop_wait/push_wait never time out under the
+/// checker (the park-slice timeout is modeled by the explorer's budgeted
+/// timeout wakes, not by this deadline).
+constexpr std::chrono::nanoseconds kNever = std::chrono::minutes(10);
+
+/// Self-checking payload: both halves carry the index, so any torn or
+/// misrouted copy breaks hi == lo.
+std::uint64_t pack(std::uint64_t i) { return (i << 32) | i; }
+bool intact(std::uint64_t v) { return (v >> 32) == (v & 0xFFFFFFFFu); }
+
+check::Options ring_options(int preemption_bound) {
+  check::Options opts;
+  opts.preemption_bound = preemption_bound;
+  return opts;
+}
+
+/// Push/pop linearizability: two pushes, two blocking pops — the consumer
+/// receives exactly the pushed values, in order, untorn. Run twice to pin
+/// the determinism acceptance criterion on a real-protocol harness.
+TEST(SpscRingMc, PushPopLinearizableAndUntorn) {
+  struct Obs {
+    bool push_a = false, push_b = false;
+    std::vector<std::uint64_t> popped;
+  };
+  const auto harness = [] {
+    auto ring = std::make_shared<Ring>(2);
+    auto obs = std::make_shared<Obs>();
+    check::spawn([ring, obs] {
+      obs->push_a = ring->try_push(Payload(pack(1)));
+      obs->push_b = ring->try_push(Payload(pack(2)));
+    });
+    check::spawn([ring, obs] {
+      for (int i = 0; i < 2; ++i) {
+        auto v = ring->pop_wait(kNever);
+        ACES_MC_CHECK(v.has_value(), "pop_wait gave up with a producer live");
+        obs->popped.push_back(v->value());
+      }
+    });
+    check::finally([obs] {
+      ACES_MC_CHECK(obs->push_a && obs->push_b,
+                    "push into an empty capacity-2 ring failed");
+      ACES_MC_CHECK(obs->popped.size() == 2, "consumer did not get 2 items");
+      for (const std::uint64_t v : obs->popped) {
+        ACES_MC_CHECK(intact(v), "torn payload");
+      }
+      ACES_MC_CHECK(obs->popped[0] == pack(1) && obs->popped[1] == pack(2),
+                    "values reordered or rewritten");
+    });
+  };
+  const check::Result a = check::explore(ring_options(2), harness);
+  EXPECT_TRUE(a.ok) << a.failure << "\n" << a.trace;
+  EXPECT_FALSE(a.hit_execution_cap);
+
+  const check::Result b = check::explore(ring_options(2), harness);
+  EXPECT_EQ(a.executions, b.executions);
+  EXPECT_EQ(a.transitions, b.transitions);
+  EXPECT_EQ(a.load_choices, b.load_choices);
+}
+
+/// Batched admission invariance: one try_push_n publish admits exactly
+/// what a try_push loop would have (the capacity), and pop_burst drains a
+/// prefix — batching changes the number of atomic operations, never the
+/// admission decisions or the order.
+TEST(SpscRingMc, BatchedPushDrainAdmissionInvariance) {
+  struct Obs {
+    std::size_t accepted = 0;
+    std::vector<std::uint64_t> popped;
+    std::shared_ptr<Ring> ring;
+  };
+  const auto harness = [] {
+    auto ring = std::make_shared<Ring>(2);
+    auto obs = std::make_shared<Obs>();
+    obs->ring = ring;
+    check::spawn([ring, obs] {
+      Payload items[3] = {Payload(pack(1)), Payload(pack(2)),
+                          Payload(pack(3))};
+      obs->accepted = ring->try_push_n(items, 3);
+    });
+    check::spawn([ring, obs] {
+      Payload out[4];
+      const std::size_t k = ring->pop_burst(out, 4);
+      for (std::size_t i = 0; i < k; ++i) {
+        obs->popped.push_back(out[i].value());
+      }
+    });
+    check::finally([obs] {
+      // The ring was empty: the batch must admit exactly the capacity,
+      // like 3 try_push calls would have.
+      ACES_MC_CHECK(obs->accepted == 2,
+                    "try_push_n admitted differently than a try_push loop");
+      // Finals run with the fibers done: drain the remainder directly.
+      while (auto v = obs->ring->try_pop()) {
+        obs->popped.push_back(v->value());
+      }
+      ACES_MC_CHECK(obs->popped.size() == obs->accepted,
+                    "accepted items did not all arrive");
+      for (std::size_t i = 0; i < obs->popped.size(); ++i) {
+        ACES_MC_CHECK(intact(obs->popped[i]), "torn payload");
+        ACES_MC_CHECK(obs->popped[i] == pack(i + 1),
+                      "burst drain broke FIFO order");
+      }
+    });
+  };
+  const check::Result r = check::explore(ring_options(2), harness);
+  EXPECT_TRUE(r.ok) << r.failure << "\n" << r.trace;
+  EXPECT_FALSE(r.hit_execution_cap);
+}
+
+/// Close-with-backlog: an item pushed before close() is never lost — the
+/// regression harness for the closed_ acquire loads in pop_wait. Demoting
+/// those loads to relaxed re-creates the lost-backlog trace (the checker
+/// finds it on the MiniDrainRing twin in explorer_test.cc); this harness
+/// pins the fixed protocol as a permanent pass.
+TEST(SpscRingMc, CloseWithBacklogNeverLosesTheItem) {
+  struct Obs {
+    bool pushed = false;
+    bool got = false;
+  };
+  const auto harness = [] {
+    auto ring = std::make_shared<Ring>(2);
+    auto obs = std::make_shared<Obs>();
+    check::spawn([ring, obs] {
+      obs->pushed = ring->try_push(Payload(pack(7)));
+      ring->close();
+    });
+    check::spawn([ring, obs] {
+      // nullopt from pop_wait here means "closed and drained" (the
+      // deadline is unreachable under the model).
+      auto v = ring->pop_wait(kNever);
+      if (v.has_value()) {
+        ACES_MC_CHECK(v->value() == pack(7), "wrong item");
+        obs->got = true;
+      }
+    });
+    check::finally([obs] {
+      ACES_MC_CHECK(!obs->pushed || obs->got,
+                    "backlog lost: consumer concluded closed-and-drained "
+                    "with an item still in the ring");
+    });
+  };
+  const check::Result r = check::explore(ring_options(3), harness);
+  EXPECT_TRUE(r.ok) << r.failure << "\n" << r.trace;
+  EXPECT_FALSE(r.hit_execution_cap);
+}
+
+/// The fence-free park: the fast-path publish may miss a freshly-parked
+/// waiter, and the bounded park slice absorbs it. Under the model that
+/// absorption is the budgeted timeout wake — the harness passes, and the
+/// explorer must actually exercise timeout wakes (a run with none never
+/// tested the missed-wakeup path).
+TEST(SpscRingMc, MissedWakeupIsBoundedByParkSlices) {
+  struct Obs {
+    bool push_a = false, push_b = false;
+    std::vector<std::uint64_t> popped;
+  };
+  const auto harness = [] {
+    auto ring = std::make_shared<Ring>(1);
+    auto obs = std::make_shared<Obs>();
+    check::spawn([ring, obs] {
+      obs->push_a = ring->push_wait(Payload(pack(1)), kNever);
+      obs->push_b = ring->push_wait(Payload(pack(2)), kNever);
+    });
+    check::spawn([ring, obs] {
+      for (int i = 0; i < 2; ++i) {
+        auto v = ring->pop_wait(kNever);
+        ACES_MC_CHECK(v.has_value(), "pop_wait gave up with a producer live");
+        obs->popped.push_back(v->value());
+      }
+    });
+    check::finally([obs] {
+      ACES_MC_CHECK(obs->push_a && obs->push_b, "push_wait failed");
+      ACES_MC_CHECK(obs->popped.size() == 2 && obs->popped[0] == pack(1) &&
+                        obs->popped[1] == pack(2),
+                    "items lost or reordered through the park path");
+    });
+  };
+  check::Options opts = ring_options(2);
+  const check::Result r = check::explore(opts, harness);
+  EXPECT_TRUE(r.ok) << r.failure << "\n" << r.trace;
+  EXPECT_FALSE(r.hit_execution_cap);
+  EXPECT_GT(r.timeout_wakes, 0);
+}
+
+}  // namespace
+}  // namespace aces::runtime

@@ -57,6 +57,22 @@ docs/performance.md):
                          because a matching raw delete implies a raw
                          owning pointer the annotations cannot see).
 
+``atomics`` files (src/runtime and src/obs — the lock-free algorithms
+the bounded model checker must be able to interpose on; see
+docs/model_checking.md):
+
+* ``raw-atomic``      -- ``std::atomic<T>``. Shim-covered code declares
+                         ``aces::Atomic<T>`` (common/atomic_shim.h),
+                         which compiles to std::atomic in production and
+                         routes through the instrumented scheduler under
+                         ``-DACES_MODEL_CHECK=ON``; a bare std::atomic is
+                         invisible to the checker, so its orderings are
+                         never model-verified. ``std::atomic_signal_fence``
+                         (a pure compiler barrier) stays allowed.
+* ``raw-fence``       -- ``std::atomic_thread_fence`` calls; use
+                         ``aces::atomic_fence``, the interposable
+                         drop-in with identical production codegen.
+
 ``wire`` codec files (src/runtime/wire.{h,cc} and
 src/runtime/transport/ — everything that reads bytes off a socket or
 frame buffer):
@@ -99,6 +115,7 @@ from dataclasses import dataclass
 
 FINGERPRINT_DIRS = ("src/sim", "src/harness", "src/opt", "src/metrics")
 HOTPATH_DIRS = ("src/runtime",)
+ATOMICS_DIRS = ("src/runtime", "src/obs")
 REPORT_FILES_GLOB = re.compile(
     r"(src/harness/[^/]+\.cc|src/obs/export\.cc|src/obs/cluster_aggregate\.cc|"
     r"src/metrics/[^/]+\.cc|bench/[^/]+\.cc|tools/aces_cli\.cc)$"
@@ -163,6 +180,27 @@ HOTPATH_RULES = [
         re.compile(r"\bdelete\s*(?:\[\s*\]\s*)?[A-Za-z_(*]"),
         "raw `delete` in the data plane; owning raw pointers defeat both "
         "the allocation gate and the annotations — use RAII",
+    ),
+]
+
+# Shim-coverage rules. `raw-atomic` matches the template-id (`std::atomic<`)
+# so `std::atomic_signal_fence` — a compiler barrier with no inter-thread
+# semantics for the model to simulate — stays clean. `raw-fence` matches the
+# thread fence only, for the same reason.
+ATOMICS_RULES = [
+    (
+        "raw-atomic",
+        re.compile(r"\bstd::atomic\s*<"),
+        "raw std::atomic in shim-covered code; use aces::Atomic "
+        "(common/atomic_shim.h) so the bounded model checker can "
+        "interpose on the operation",
+    ),
+    (
+        "raw-fence",
+        re.compile(r"\batomic_thread_fence\s*\("),
+        "raw std::atomic_thread_fence in shim-covered code; use "
+        "aces::atomic_fence (common/atomic_shim.h), the interposable "
+        "drop-in",
     ),
 ]
 
@@ -317,6 +355,10 @@ def lint_text(path: str, text: str, groups: set[str]) -> list[Finding]:
             for rule, pattern, message in HOTPATH_RULES:
                 if pattern.search(code) and rule not in allows.get(lineno, ()):
                     findings.append(Finding(path, lineno, rule, message, raw))
+        if "atomics" in groups:
+            for rule, pattern, message in ATOMICS_RULES:
+                if pattern.search(code) and rule not in allows.get(lineno, ()):
+                    findings.append(Finding(path, lineno, rule, message, raw))
         if "wire" in groups:
             for rule, pattern, message in WIRE_RULES:
                 if pattern.search(code) and rule not in allows.get(lineno, ()):
@@ -345,6 +387,8 @@ def classify(rel_path: str) -> set[str]:
         groups.add("report")
     if any(rel.startswith(d + "/") or rel == d for d in HOTPATH_DIRS):
         groups.add("hotpath")
+    if any(rel.startswith(d + "/") or rel == d for d in ATOMICS_DIRS):
+        groups.add("atomics")
     if WIRE_FILES_GLOB.search(rel):
         groups.add("wire")
     return groups
@@ -369,9 +413,9 @@ def main(argv: list[str]) -> int:
                         help="repo root the default scope is relative to")
     parser.add_argument("--force-groups", default=None,
                         help="comma-separated rule groups (fingerprint,"
-                             "report,hotpath,wire) to apply to the given "
-                             "paths instead of path-based classification; "
-                             "for fixtures")
+                             "report,hotpath,atomics,wire) to apply to the "
+                             "given paths instead of path-based "
+                             "classification; for fixtures")
     parser.add_argument("paths", nargs="*",
                         help="files to lint; default: the standard scope "
                              "under --root")
@@ -380,7 +424,8 @@ def main(argv: list[str]) -> int:
     forced: set[str] | None = None
     if args.force_groups is not None:
         forced = {g for g in args.force_groups.split(",") if g}
-        if not forced or forced - {"fingerprint", "report", "hotpath", "wire"}:
+        if not forced or forced - {"fingerprint", "report", "hotpath",
+                                   "atomics", "wire"}:
             print(f"aces_lint: bad --force-groups '{args.force_groups}'",
                   file=sys.stderr)
             return 2

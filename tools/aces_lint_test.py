@@ -79,9 +79,17 @@ class FixtureTests(unittest.TestCase):
         # sockaddr pun (line 44) stay clean.
         self.assertEqual(sorted(f.line for f in findings), [15, 21, 26, 30])
 
+    def test_bad_atomics_flags_raw_atomics_and_thread_fences(self):
+        findings = lint_fixture("bad_atomics.cc", {"atomics"})
+        self.assertEqual(rules(findings),
+                         ["raw-atomic", "raw-atomic", "raw-fence"])
+        # The shim type (17), aces::atomic_fence (20), the signal fence
+        # (27), and the reasoned escape (32) stay clean.
+        self.assertEqual(sorted(f.line for f in findings), [8, 9, 12])
+
     def test_clean_fixture_is_silent_under_all_groups(self):
         findings = lint_fixture("clean.cc", {"fingerprint", "report",
-                                             "hotpath", "wire"})
+                                             "hotpath", "atomics", "wire"})
         self.assertEqual(findings, [])
 
     def test_hotpath_rules_do_not_apply_to_fingerprint_files(self):
@@ -96,6 +104,12 @@ class FixtureTests(unittest.TestCase):
         # src/runtime files outside wire.{h,cc} / transport/ may memcpy
         # into objects they own; only the codec scope is banned.
         findings = lint_fixture("bad_wire.cc", {"hotpath"})
+        self.assertEqual(findings, [])
+
+    def test_atomics_rules_do_not_apply_to_fingerprint_files(self):
+        # The simulator is single-threaded; std::atomic there is unusual
+        # but not a shim-coverage hole.
+        findings = lint_fixture("bad_atomics.cc", {"fingerprint"})
         self.assertEqual(findings, [])
 
 
@@ -151,22 +165,28 @@ class ClassifyTests(unittest.TestCase):
         self.assertIn("fingerprint",
                       aces_lint.classify("src/metrics/collector.cc"))
 
-    def test_runtime_is_hotpath_scope(self):
+    def test_runtime_is_hotpath_and_atomics_scope(self):
         self.assertEqual(aces_lint.classify("src/runtime/spsc_ring.h"),
-                         {"hotpath"})
+                         {"hotpath", "atomics"})
         self.assertEqual(aces_lint.classify("src/runtime/runtime_engine.cc"),
-                         {"hotpath"})
+                         {"hotpath", "atomics"})
         self.assertNotIn("hotpath", aces_lint.classify("src/sim/simulator.cc"))
 
     def test_wire_scope_is_codec_and_transport_files(self):
         self.assertEqual(aces_lint.classify("src/runtime/wire.h"),
-                         {"hotpath", "wire"})
+                         {"hotpath", "atomics", "wire"})
         self.assertEqual(aces_lint.classify("src/runtime/wire.cc"),
-                         {"hotpath", "wire"})
+                         {"hotpath", "atomics", "wire"})
         self.assertEqual(aces_lint.classify("src/runtime/transport/uds.cc"),
-                         {"hotpath", "wire"})
+                         {"hotpath", "atomics", "wire"})
         self.assertEqual(aces_lint.classify("src/runtime/dist_worker.cc"),
-                         {"hotpath"})
+                         {"hotpath", "atomics"})
+
+    def test_obs_is_atomics_scope(self):
+        self.assertIn("atomics", aces_lint.classify("src/obs/spans.h"))
+        self.assertIn("atomics", aces_lint.classify("src/obs/perf.cc"))
+        self.assertNotIn("atomics", aces_lint.classify("src/sim/simulator.cc"))
+        self.assertNotIn("atomics", aces_lint.classify("src/common/atomic_shim.h"))
 
     def test_cluster_aggregate_is_report_scope(self):
         self.assertIn("report",

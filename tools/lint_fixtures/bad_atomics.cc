@@ -1,0 +1,32 @@
+// Fixture: every raw std::atomic declaration / std::atomic_thread_fence
+// call here must be flagged; the shim wrapper, the signal fence (a pure
+// compiler barrier), and the reasoned escape must not be.
+#include <atomic>
+
+#include "common/atomic_shim.h"
+
+std::atomic<int> g_flag{0};                       // finding: raw-atomic
+std::atomic<unsigned long> g_count{0};            // finding: raw-atomic
+
+void publish() {
+  std::atomic_thread_fence(std::memory_order_release);  // finding: raw-fence
+  g_flag.store(1, std::memory_order_relaxed);
+}
+
+// The sanctioned alternatives: the shim type and its fence drop-in.
+aces::Atomic<int> g_shimmed{0};
+
+void publish_shimmed() {
+  aces::atomic_fence(std::memory_order_release);
+  g_shimmed.store(1, std::memory_order_relaxed);
+}
+
+// Signal fences order only the compiler, not other threads; the model has
+// nothing to simulate and the rule leaves them alone.
+void compiler_barrier() {
+  std::atomic_signal_fence(std::memory_order_seq_cst);
+}
+
+// A reasoned escape stays clean; the reason is the review artifact.
+// aces-lint: allow(raw-atomic) allocator counter; must never become a model schedule point
+std::atomic<int> g_escaped{0};
